@@ -1,0 +1,36 @@
+"""Benchmark for the full ablations experiment (A1 + A2 + spot study)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations_experiment(benchmark, warm_ctx):
+    result = benchmark.pedantic(ablations.run, args=(warm_ctx,), rounds=1,
+                                iterations=1)
+    gaps = {o.strategy: o.optimality_gap for o in result.search if o.found}
+    benchmark.extra_info["search_gaps"] = {
+        k: round(v, 4) for k, v in gaps.items()}
+    benchmark.extra_info["spot_saving"] = round(
+        result.spot.mean_saving_fraction, 2)
+    benchmark.extra_info["spot_on_time"] = round(
+        result.spot.on_time_probability, 2)
+    assert gaps["exhaustive"] == 0.0
+
+
+def test_bench_spot_simulation(benchmark, warm_ctx):
+    """One Monte-Carlo spot run (price path + checkpointed progress)."""
+    from repro.spot import CheckpointPolicy
+    from repro.spot.execution import SpotRunConfig, simulate_spot_run
+
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    demand = celia.demand_gi(app, 65_536, 6_000)
+    answer = celia.min_cost_index(app).query(demand, 24.0)
+    run = SpotRunConfig(
+        configuration=answer.configuration,
+        capacity_gips=answer.capacity_gips,
+        demand_gi=demand,
+        bid_fraction=0.5,
+        policy=CheckpointPolicy.young(8.0),
+    )
+    outcome = benchmark(simulate_spot_run, run, warm_ctx.catalog, seed=3)
+    assert outcome.cost_dollars > 0

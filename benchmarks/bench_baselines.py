@@ -1,0 +1,64 @@
+"""Benchmark A1/A2 — ablations: heuristics vs exhaustive search, and
+spec-sheet vs measured capacity.
+
+A1 records each baseline's optimality gap against the exhaustive optimum
+on the paper's galaxy Figure 4 problem; A2 records how wrong the
+frequency-only capacity estimate is per application (the paper's
+justification for measurement-driven characterization).
+"""
+
+import numpy as np
+
+from repro.baselines.comparison import compare_baselines
+from repro.baselines.greedy import greedy_min_cost
+from repro.baselines.specbound import spec_prediction_error
+
+
+def test_bench_baseline_comparison(benchmark, warm_ctx):
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    capacities = celia.capacities(app)
+    index = celia.min_cost_index(app)
+    demand = celia.demand_gi(app, 65_536, 8_000)
+    outcomes = benchmark.pedantic(
+        compare_baselines,
+        args=(warm_ctx.catalog, capacities, index, demand, 24.0),
+        kwargs={"random_samples": 20_000, "seed": 0},
+        rounds=3, iterations=1)
+    for o in outcomes:
+        benchmark.extra_info[f"gap_{o.strategy}"] = (
+            round(o.optimality_gap, 4) if o.found else "not found")
+    exhaustive = outcomes[0]
+    assert exhaustive.optimality_gap == 0.0
+    for o in outcomes[1:]:
+        if o.found:
+            assert o.optimality_gap >= -1e-9
+
+
+def test_bench_greedy_heuristic(benchmark, warm_ctx):
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    capacities = celia.capacities(app)
+    demand = celia.demand_gi(app, 65_536, 8_000)
+    answer = benchmark(greedy_min_cost, warm_ctx.catalog, capacities,
+                       demand, 24.0)
+    optimal = celia.min_cost_index(app).query(demand, 24.0)
+    benchmark.extra_info["greedy_gap"] = round(
+        answer.cost_dollars / optimal.cost_dollars - 1, 4)
+
+
+def test_bench_spec_capacity_error(benchmark, warm_ctx):
+    """A2: per-app error of the spec-sheet capacity estimator."""
+    celia = warm_ctx.celia
+    for name, app in warm_ctx.apps.items():
+        measured = celia.capacities(app)
+        errors = spec_prediction_error(app, warm_ctx.catalog, measured)
+        benchmark.extra_info[f"spec_error_{name}"] = (
+            f"{errors.min():+.0%}..{errors.max():+.0%}")
+
+    app = warm_ctx.app("galaxy")
+    measured = celia.capacities(app)
+    errors = benchmark(spec_prediction_error, app, warm_ctx.catalog,
+                       measured)
+    # Spec-frequency grossly over-promises for the low-IPC app.
+    assert np.all(np.abs(errors) > 0.3)

@@ -1,0 +1,84 @@
+"""Benchmarks for the extension APIs (planner, robust, campaign,
+tri-objective, autoscaler, faults)."""
+
+import numpy as np
+
+from repro.baselines.autoscale import simulate_autoscaler
+from repro.core.campaign import CampaignRun, plan_campaign
+from repro.core.planner import max_accuracy_plan
+from repro.core.robust import deadline_miss_probability, select_with_margin
+from repro.core.triobjective import tri_objective_frontier
+
+
+def test_bench_max_accuracy_plan(benchmark, warm_ctx):
+    """Bisection planning over the 10M-configuration index."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    plan = benchmark(
+        max_accuracy_plan, celia.demand_model(app),
+        celia.min_cost_index(app), 65_536, (1_000, 20_000), 24.0, 120.0,
+        integral=True)
+    benchmark.extra_info["max_steps"] = plan.value
+    assert plan.answer.cost_dollars <= 120.0
+
+
+def test_bench_margin_selection(benchmark, warm_ctx):
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    demand = celia.demand_gi(app, 65_536, 6_000)
+    sel = benchmark(select_with_margin, celia.min_cost_index(app),
+                    demand, 24.0, margin=0.15)
+    benchmark.extra_info["insurance"] = round(sel.insurance_cost_fraction, 3)
+
+
+def test_bench_miss_probability(benchmark, warm_ctx):
+    """Twenty Monte-Carlo engine executions of one configuration."""
+    app = warm_ctx.app("galaxy")
+    estimate = benchmark.pedantic(
+        deadline_miss_probability,
+        args=(app, 65_536, 4_000, (5, 5, 0, 0, 0, 0, 0, 0, 0),
+              warm_ctx.catalog, 24.0),
+        kwargs={"trials": 20, "seed": 0},
+        rounds=3, iterations=1)
+    benchmark.extra_info["miss_probability"] = estimate.miss_probability
+
+
+def test_bench_campaign(benchmark, warm_ctx):
+    celia = warm_ctx.celia
+    runs = []
+    for name, app_name, size, levels in (
+        ("g", "galaxy", 65_536, [1000, 2000, 4000, 8000]),
+        ("s", "sand", 2_048e6, [0.2, 0.4, 0.8, 1.0]),
+    ):
+        app = warm_ctx.app(app_name)
+        runs.append(CampaignRun(
+            name=name, app=app, demand=celia.demand_model(app),
+            index=celia.min_cost_index(app), problem_size=size,
+            accuracy_levels=np.array(levels, dtype=float)))
+    plan = benchmark(plan_campaign, runs, 48.0, 150.0)
+    benchmark.extra_info["total_score"] = round(plan.total_score, 3)
+    assert plan.total_cost <= 150.0
+
+
+def test_bench_tri_objective(benchmark, warm_ctx):
+    """Four full-space selections pooled into a 3-D frontier."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    frontier = benchmark.pedantic(
+        tri_objective_frontier,
+        args=(celia.evaluation(app), celia.demand_model(app),
+              app.accuracy_score, 65_536,
+              np.array([2000.0, 4000.0, 6000.0, 8000.0]), 24.0, 350.0),
+        rounds=1, iterations=1)
+    benchmark.extra_info["frontier_points"] = len(frontier)
+
+
+def test_bench_autoscaler(benchmark, warm_ctx):
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    capacities = celia.capacities(app)
+    demand = celia.demand_gi(app, 65_536, 4_000)
+    outcome = benchmark(simulate_autoscaler, warm_ctx.catalog, capacities,
+                        demand, 24.0, seed=0)
+    benchmark.extra_info["epochs"] = outcome.epochs
+    assert outcome.completed_on_time

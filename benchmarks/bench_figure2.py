@@ -1,0 +1,35 @@
+"""Benchmark E1 — Figure 2: demand measurement sweeps + shape fitting."""
+
+import numpy as np
+
+from repro.apps import GalaxyApp
+from repro.experiments import figure2
+from repro.measurement.baseline import measure_demand_grid
+from repro.measurement.fitting import fit_separable_demand
+from repro.measurement.perf import PerfCounter
+
+
+def test_bench_figure2_full(benchmark, ctx):
+    result = benchmark.pedantic(figure2.run, args=(ctx,), rounds=3,
+                                iterations=1)
+    assert len(result.panels) == 6
+    benchmark.extra_info["shapes"] = {
+        f"{p.app_name}-{p.axis}": p.fitted_kind for p in result.panels
+    }
+
+
+def test_bench_demand_grid_measurement(benchmark):
+    app = GalaxyApp()
+    perf = PerfCounter(seed=0)
+    samples = benchmark(measure_demand_grid, app, perf)
+    assert samples.demand_gi.shape == (4, 4)
+
+
+def test_bench_separable_fit(benchmark):
+    app = GalaxyApp()
+    perf = PerfCounter(seed=0)
+    samples = measure_demand_grid(app, perf)
+    fitted = benchmark(fit_separable_demand, samples)
+    assert fitted.grid_r2 > 0.999
+    truth = app.demand_gi(65536, 8000)
+    assert np.isclose(fitted.gi(65536, 8000), truth, rtol=0.05)

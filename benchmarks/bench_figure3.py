@@ -1,0 +1,35 @@
+"""Benchmark E2/E11 — Figure 3: resource characterization.
+
+Times both protocols: full (nine timed baselines per app) and the
+Section IV-C one-type-per-category shortcut, recording the speedup the
+shortcut buys and the capacity error it introduces.
+"""
+
+import numpy as np
+
+from repro.apps import GalaxyApp
+from repro.cloud.catalog import ec2_catalog
+from repro.core.characterization import characterize_resources
+from repro.measurement.perf import PerfCounter
+
+
+def test_bench_characterize_full(benchmark):
+    catalog = ec2_catalog()
+    perf = PerfCounter(seed=0)
+    result = benchmark(characterize_resources, GalaxyApp(), catalog, perf,
+                       method="full", seed=0)
+    benchmark.extra_info["normalized_c4_large"] = round(
+        result.normalized()["c4.large"], 2)
+
+
+def test_bench_characterize_by_category(benchmark):
+    catalog = ec2_catalog()
+    perf = PerfCounter(seed=0)
+    result = benchmark(characterize_resources, GalaxyApp(), catalog, perf,
+                       method="by-category", seed=0)
+    # Record the IV-C shortcut's deviation from the full protocol.
+    full = characterize_resources(GalaxyApp(), catalog, perf,
+                                  method="full", seed=0)
+    err = np.abs(result.capacity_vector() / full.capacity_vector() - 1)
+    benchmark.extra_info["max_extrapolation_error"] = float(err.max())
+    assert err.max() < 0.10

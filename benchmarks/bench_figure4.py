@@ -1,0 +1,58 @@
+"""Benchmark E5 — Figure 4: the 10,077,695-configuration selection.
+
+The reproduction's heaviest kernel: evaluate the whole space (Eq. 2/5
+per configuration), count the feasible set, and extract the Pareto
+frontier.  Throughput is reported as configurations/second.
+"""
+
+from repro.core.selection import select_configurations
+from repro.experiments import figure4
+
+
+def test_bench_space_evaluation(benchmark, warm_ctx):
+    """Raw Eq. 3/6 reduction of the full space (one matmul pass)."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    capacities = celia.capacities(app)
+    evaluation = benchmark.pedantic(
+        celia.space.evaluate, args=(capacities,), rounds=3, iterations=1)
+    size = evaluation.space.size
+    benchmark.extra_info["configurations"] = size
+    benchmark.extra_info["configs_per_second"] = int(
+        size / benchmark.stats.stats.mean)
+
+
+def test_bench_selection_galaxy(benchmark, warm_ctx):
+    """Algorithm 1 for galaxy(65536, 8000), T'=24 h, C'=$350."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    evaluation = celia.evaluation(app)
+    demand = celia.demand_gi(app, 65_536, 8_000)
+    result = benchmark.pedantic(
+        select_configurations, args=(evaluation, demand, 24.0, 350.0),
+        rounds=3, iterations=1)
+    benchmark.extra_info["feasible"] = result.feasible_count
+    benchmark.extra_info["pareto"] = result.pareto_count
+    assert 4_500_000 < result.feasible_count < 7_000_000
+
+
+def test_bench_selection_sand(benchmark, warm_ctx):
+    """Algorithm 1 for sand(8192 M, 0.32), T'=24 h, C'=$350."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("sand")
+    evaluation = celia.evaluation(app)
+    demand = celia.demand_gi(app, 8_192e6, 0.32)
+    result = benchmark.pedantic(
+        select_configurations, args=(evaluation, demand, 24.0, 350.0),
+        rounds=3, iterations=1)
+    benchmark.extra_info["feasible"] = result.feasible_count
+    benchmark.extra_info["pareto"] = result.pareto_count
+
+
+def test_bench_figure4_experiment(benchmark, warm_ctx):
+    """The full two-panel experiment including scatter sampling."""
+    result = benchmark.pedantic(figure4.run, args=(warm_ctx,),
+                                kwargs={"scatter_sample": 5000},
+                                rounds=1, iterations=1)
+    lo, hi = result.case("galaxy").selection.cost_span
+    benchmark.extra_info["galaxy_cost_span"] = f"${lo:.0f}-${hi:.0f}"

@@ -1,0 +1,45 @@
+"""Benchmark E6 — Figure 5: fixed-time problem-size scaling sweeps.
+
+Also times the underlying O(log S) index queries that make the sweeps
+cheap (vs re-scanning 10M configurations per point).
+"""
+
+import numpy as np
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5_experiment(benchmark, warm_ctx):
+    result = benchmark.pedantic(figure5.run, args=(warm_ctx,), rounds=3,
+                                iterations=1)
+    assert len(result.panels) == 2
+
+
+def test_bench_min_cost_index_build(benchmark, warm_ctx):
+    """One-off index construction over the 10M-row evaluation."""
+    from repro.core.optimizer import MinCostIndex
+
+    evaluation = warm_ctx.celia.evaluation(warm_ctx.app("galaxy"))
+    index = benchmark.pedantic(MinCostIndex, args=(evaluation,), rounds=3,
+                               iterations=1)
+    assert index.max_capacity_gips > 0
+
+
+def test_bench_min_cost_query(benchmark, warm_ctx):
+    """A single optimal-configuration query (binary search)."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    index = celia.min_cost_index(app)
+    demand = celia.demand_gi(app, 65_536, 8_000)
+    answer = benchmark(index.query, demand, 24.0)
+    assert answer.cost_dollars > 0
+
+
+def test_bench_min_cost_sweep(benchmark, warm_ctx):
+    """Vectorized 1000-point demand sweep at one deadline."""
+    celia = warm_ctx.celia
+    app = warm_ctx.app("galaxy")
+    index = celia.min_cost_index(app)
+    demands = np.linspace(1e5, 2e7, 1000)
+    costs = benchmark(index.sweep, demands, 24.0)
+    assert np.isfinite(costs).any()

@@ -1,0 +1,14 @@
+"""Benchmark E7 — Figure 6: fixed-time accuracy scaling with spill
+detection (the Observation 2 machinery)."""
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6_experiment(benchmark, warm_ctx):
+    result = benchmark.pedantic(figure6.run, args=(warm_ctx,), rounds=3,
+                                iterations=1)
+    panel = result.panel("galaxy")
+    benchmark.extra_info["galaxy_spills_24h"] = [
+        float(panel.accuracies[i]) for i in panel.spill_indices[24.0]
+    ]
+    assert panel.spill_indices[24.0]

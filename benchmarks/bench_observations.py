@@ -1,0 +1,14 @@
+"""Benchmark E8-E10 — Observations 1-3 quantified end to end."""
+
+from repro.experiments import observations
+
+
+def test_bench_observations(benchmark, warm_ctx):
+    result = benchmark.pedantic(observations.run, args=(warm_ctx,),
+                                rounds=3, iterations=1)
+    benchmark.extra_info["obs1_galaxy_saving"] = round(
+        result.obs1.saving_fraction["galaxy"], 3)
+    _, _, reduction, increase = result.obs3.headline["galaxy"]
+    benchmark.extra_info["obs3_galaxy"] = (
+        f"-{reduction:.0%} deadline -> +{increase:.0%} cost")
+    assert increase < reduction

@@ -1,0 +1,20 @@
+"""Benchmark E3 — Table III: catalog construction and Eq. 1.
+
+Trivial by design; it exists so every paper artifact has a bench target
+and records the configuration-space size alongside the timing.
+"""
+
+from repro.cloud.catalog import ec2_catalog
+from repro.experiments import table3
+
+
+def test_bench_table3_catalog(benchmark):
+    catalog = benchmark(ec2_catalog)
+    assert catalog.configuration_count() == 10_077_695
+    benchmark.extra_info["configurations"] = catalog.configuration_count()
+
+
+def test_bench_table3_render(benchmark, ctx):
+    result = table3.run(ctx)
+    text = benchmark(result.render)
+    assert "c4.large" in text

@@ -1,0 +1,29 @@
+"""Benchmark E4 — Table IV: model validation.
+
+Times the full validation (nine predictions + nine discrete-event
+executions) and records the per-application maximum errors the paper
+reports (its bar: <= ~17%).
+"""
+
+from repro.experiments import table4
+
+
+def test_bench_table4_full_validation(benchmark, warm_ctx):
+    result = benchmark.pedantic(table4.run, args=(warm_ctx,), rounds=3,
+                                iterations=1)
+    assert len(result.rows) == 9
+    for app_name in ("x264", "galaxy", "sand"):
+        error = result.max_error_for(app_name)
+        benchmark.extra_info[f"max_error_{app_name}_pct"] = round(error, 1)
+        assert error < 18.0
+
+
+def test_bench_single_engine_run(benchmark, warm_ctx):
+    """One galaxy validation execution on the discrete-event engine."""
+    from repro.engine.runner import run_on_configuration
+
+    app = warm_ctx.app("galaxy")
+    report = benchmark(run_on_configuration, app, 65_536, 4_000,
+                       (5, 5, 0, 0, 0, 0, 0, 0, 0), warm_ctx.catalog,
+                       config=warm_ctx.engine_config, seed=1)
+    assert report.time_hours > 0

@@ -1,0 +1,40 @@
+"""Benchmarks for the workflow extension (DAG selection + DES execution)."""
+
+import numpy as np
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.workflow import (
+    execute_workflow,
+    fork_join,
+    select_workflow_configurations,
+)
+
+
+def test_bench_workflow_selection(benchmark, warm_ctx):
+    """Two-bound exhaustive selection over the quota-2 space (19,682)."""
+    catalog = ec2_catalog(max_nodes_per_type=2)
+    app = warm_ctx.app("galaxy")
+    capacities = np.array([app.true_rate_gips(t) for t in catalog])
+    workflow = fork_join(8, branch_tasks=200, branch_task_gi=50.0)
+    selection = benchmark(
+        select_workflow_configurations, workflow, catalog, capacities,
+        1.0, 10.0)
+    benchmark.extra_info["pareto"] = selection.pareto_count
+    assert selection.feasible_count > 0
+
+
+def test_bench_workflow_execution(benchmark, warm_ctx):
+    """DES precedence scheduling of ~1600 tasks on a 16-slot cluster."""
+    catalog = ec2_catalog()
+    app = warm_ctx.app("galaxy")
+    instances = [
+        Instance(instance_id=f"i-{k}", itype=catalog.type_named("c4.2xlarge"))
+        for k in range(2)
+    ]
+    cluster = SimCluster(instances, app)
+    workflow = fork_join(8, branch_tasks=200, branch_task_gi=50.0)
+    report = benchmark(execute_workflow, workflow, cluster)
+    benchmark.extra_info["tasks"] = report.n_tasks
+    assert report.busy_fraction > 0.5

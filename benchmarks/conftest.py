@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+A single session-scoped :class:`ExperimentContext` backs all benchmarks;
+app caches (characterization, space evaluation, query indexes) are
+prewarmed where a benchmark times only the downstream analysis, and hit
+cold where enumerating the space *is* the thing being measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(seed=42)
+
+
+@pytest.fixture(scope="session")
+def warm_ctx(ctx) -> ExperimentContext:
+    """Context with demand models, capacities, evaluations and min-cost
+    indexes already built for all three applications."""
+    for app in ctx.apps.values():
+        ctx.celia.demand_model(app)
+        ctx.celia.characterization(app)
+        ctx.celia.evaluation(app)
+        ctx.celia.min_cost_index(app)
+    return ctx

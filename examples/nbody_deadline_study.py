@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Deadline study for an n-body simulation campaign (galaxy).
+
+A research group must deliver a 262,144-mass galaxy simulation and wants
+to know what urgency costs: for deadlines from 72 h down to 6 h, what is
+the cheapest cloud configuration, and how does the cost of tightening
+compare to the time saved (the paper's Observation 3)?
+
+The study then *verifies* the recommendation by actually executing the
+chosen configuration on the discrete-event cloud engine and comparing
+predicted vs simulated time and billed cost — the same validation loop
+as the paper's Table IV.
+
+Run:  python examples/nbody_deadline_study.py
+"""
+
+import numpy as np
+
+from repro import Celia, GalaxyApp, ec2_catalog, run_on_configuration
+from repro.core import deadline_tightening_study
+from repro.errors import InfeasibleError
+
+SEED = 11
+N_MASSES = 262_144
+STEPS = 1_000
+DEADLINES = [72.0, 48.0, 24.0, 12.0, 6.0]
+
+
+def main() -> None:
+    catalog = ec2_catalog()
+    celia = Celia(catalog, seed=SEED)
+    app = GalaxyApp()
+
+    demand = celia.demand_gi(app, N_MASSES, STEPS)
+    print(f"galaxy({N_MASSES}, {STEPS}): estimated demand "
+          f"{demand:,.0f} GI")
+
+    index = celia.min_cost_index(app)
+    study = deadline_tightening_study(index, demand, DEADLINES)
+
+    print("\ndeadline -> cheapest configuration:")
+    for deadline, cost, config in zip(study.deadlines_hours, study.costs,
+                                      study.configurations):
+        if config is None:
+            print(f"  {deadline:5.0f} h : infeasible "
+                  f"(not enough capacity in the whole catalog)")
+        else:
+            print(f"  {deadline:5.0f} h : ${cost:7.2f}  {list(config)}")
+
+    try:
+        reduction, increase = study.tightening(72.0, 24.0)
+        print(f"\ntightening 72 h -> 24 h: deadline -{reduction:.0%}, "
+              f"cost +{increase:.0%} "
+              f"({'cheaper than proportional' if increase < reduction else 'NOT sub-proportional'})")
+    except InfeasibleError:
+        print("\n72 h -> 24 h comparison infeasible for this demand")
+
+    # Verify the 24 h recommendation against the engine.  Plan against a
+    # 10% tightened deadline: the paper's model errors reach ~17%, so a
+    # prediction that lands exactly on the deadline would miss it about
+    # half the time on the real (simulated) cloud.
+    try:
+        answer = index.query(demand, 24.0 * 0.9)
+        margin_note = "planned with a 10% safety margin"
+    except InfeasibleError:
+        # The catalog cannot absorb the margin — plan on the raw deadline
+        # and accept the risk the validation below quantifies.
+        answer = index.query(demand, 24.0)
+        margin_note = "no headroom for a safety margin; deadline is at risk"
+    print(f"\nverifying {list(answer.configuration)} on the cloud engine "
+          f"({margin_note})...")
+    report = run_on_configuration(app, N_MASSES, STEPS,
+                                  answer.configuration, catalog, seed=SEED)
+    time_err = abs(answer.time_hours - report.time_hours) / report.time_hours
+    cost_err = abs(answer.cost_dollars - report.cost_dollars) / report.cost_dollars
+    print(f"  predicted: {answer.time_hours:5.1f} h  ${answer.cost_dollars:7.2f}")
+    print(f"  simulated: {report.time_hours:5.1f} h  ${report.cost_dollars:7.2f}  "
+          f"(billed, hourly quantized)")
+    print(f"  errors: time {time_err:.1%}, cost {cost_err:.1%} "
+          f"(paper's validation band: <17%)")
+    print(f"  cluster utilization: {report.utilization:.1%}, "
+          f"deadline met: {report.time_hours < 24.0}")
+
+    # How accuracy would scale if the budget were spent differently:
+    print("\nfixed 24 h deadline, varying step count (accuracy):")
+    for steps in [500, 1000, 2000, 4000]:
+        d = celia.demand_gi(app, N_MASSES, steps)
+        try:
+            a = index.query(d, 24.0)
+            print(f"  s={steps:5d}: ${a.cost_dollars:7.2f} "
+                  f"accuracy score {app.accuracy_score(steps):.2f}")
+        except InfeasibleError:
+            print(f"  s={steps:5d}: infeasible within 24 h")
+
+
+if __name__ == "__main__":
+    main()

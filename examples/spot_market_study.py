@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Spot market vs on-demand: is CELIA right to avoid spot instances?
+
+The paper restricts CELIA to on-demand resources, arguing spot prices'
+fluctuations "risk abrupt termination, thus, [make it] difficult to
+guarantee time deadline satisfaction".  This study quantifies that
+trade-off for the galaxy workload: run CELIA's optimal on-demand plan,
+then simulate the *same configuration* bid on the spot market with
+checkpointing, across bid levels — reporting the cost saving and the
+probability of still making the deadline.
+
+Run:  python examples/spot_market_study.py
+"""
+
+from repro import Celia, GalaxyApp, ec2_catalog
+from repro.spot import CheckpointPolicy, compare_spot_vs_ondemand
+
+SEED = 17
+N_MASSES = 65_536
+STEPS = 6_000
+DEADLINE_HOURS = 30.0  # some slack over the ~24 h on-demand plan
+TRIALS = 40
+
+
+def main() -> None:
+    catalog = ec2_catalog()
+    celia = Celia(catalog, seed=SEED)
+    app = GalaxyApp()
+
+    demand = celia.demand_gi(app, N_MASSES, STEPS)
+    ondemand = celia.min_cost(app, N_MASSES, STEPS, DEADLINE_HOURS)
+    print(f"on-demand plan: {list(ondemand.configuration)} — "
+          f"{ondemand.time_hours:.1f} h, ${ondemand.cost_dollars:.2f} "
+          f"(guaranteed)")
+
+    print(f"\nspot alternative ({TRIALS} Monte-Carlo runs per bid, "
+          f"Young-interval checkpointing):")
+    print(f"{'bid':>5} {'mean cost':>10} {'saving':>7} {'on-time':>8} "
+          f"{'interrupts':>10} {'efficiency':>10}")
+    for bid in (0.40, 0.50, 0.65, 0.80, 1.00):
+        study = compare_spot_vs_ondemand(
+            ondemand, demand, catalog, DEADLINE_HOURS,
+            bid_fraction=bid, trials=TRIALS, seed=SEED)
+        print(f"{bid:>5.0%} {study.mean_cost:>10.2f} "
+              f"{study.mean_saving_fraction:>7.0%} "
+              f"{study.on_time_probability:>8.0%} "
+              f"{study.mean_interruptions:>10.1f} "
+              f"{study.mean_efficiency:>10.0%}")
+
+    print("\ncheckpointing ablation at bid 50%:")
+    for label, policy in (
+        ("none", CheckpointPolicy.none()),
+        ("hourly", CheckpointPolicy(interval_hours=1.0)),
+        ("Young (MTTI 8 h)", CheckpointPolicy.young(8.0)),
+    ):
+        study = compare_spot_vs_ondemand(
+            ondemand, demand, catalog, DEADLINE_HOURS,
+            bid_fraction=0.5, policy=policy, trials=TRIALS, seed=SEED)
+        print(f"  {label:18s}: mean {study.mean_elapsed_hours:5.1f} h / "
+              f"${study.mean_cost:6.2f}, on-time "
+              f"{study.on_time_probability:4.0%}, "
+              f"efficiency {study.mean_efficiency:4.0%}")
+
+    print("\nconclusion: spot cuts cost dramatically but the deadline "
+          "becomes a random variable — the paper's reason to optimize "
+          "over on-demand resources only.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package, where PEP 660 editable wheels cannot be built).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Elastic applications: the workloads whose accuracy scales with resources.
+
+The paper evaluates three applications with qualitatively different demand
+shapes (Section IV-A / Figure 2):
+
+========  ===================  ======================  =====================
+app       domain               demand vs problem size  demand vs accuracy
+========  ===================  ======================  =====================
+x264      video compression    linear in n (videos)    quadratic in f (rate)
+galaxy    n-body simulation    quadratic in n (masses) linear in s (steps)
+sand      genome assembly      linear in n (sequences) logarithmic in t
+========  ===================  ======================  =====================
+
+Each application object bundles:
+
+* a *ground-truth demand function* ``D(n, a)`` in giga-instructions (GI),
+  calibrated so magnitudes land on the paper's figures (see DESIGN.md §4);
+* a *performance profile* — per-resource-category instructions-per-cycle,
+  the hidden truth the measurement layer estimates (Figure 3);
+* a *task decomposition* for the discrete-event engine (independent tasks,
+  BSP steps, or a master–worker queue);
+* an *accuracy semantics* mapping the accuracy knob to output quality;
+* optional *reference kernels* (:mod:`repro.apps.kernels`) — real NumPy
+  computations demonstrating the elasticity on actual code.
+"""
+
+from repro.apps.demand import (
+    DemandTerm,
+    ConstantTerm,
+    LinearTerm,
+    AffineTerm,
+    QuadraticTerm,
+    PowerTerm,
+    LogTerm,
+    SeparableDemand,
+)
+from repro.apps.base import (
+    ElasticApplication,
+    ExecutionStyle,
+    PerformanceProfile,
+    Workload,
+)
+from repro.apps.x264 import X264App
+from repro.apps.galaxy import GalaxyApp
+from repro.apps.sand import SandApp
+from repro.apps.synthetic import SyntheticApp
+from repro.apps.registry import paper_applications, application_by_name
+
+__all__ = [
+    "DemandTerm",
+    "ConstantTerm",
+    "LinearTerm",
+    "AffineTerm",
+    "QuadraticTerm",
+    "PowerTerm",
+    "LogTerm",
+    "SeparableDemand",
+    "ElasticApplication",
+    "ExecutionStyle",
+    "PerformanceProfile",
+    "Workload",
+    "X264App",
+    "GalaxyApp",
+    "SandApp",
+    "SyntheticApp",
+    "paper_applications",
+    "application_by_name",
+]

@@ -1,0 +1,216 @@
+"""The elastic-application interface.
+
+An :class:`ElasticApplication` is everything CELIA and the simulation
+substrate need to know about a workload:
+
+* ``demand`` — the ground-truth resource demand function ``D(n, a)`` in GI
+  (hidden from CELIA, which must estimate it from baseline measurements);
+* ``profile`` — ground-truth execution rates per resource category
+  (likewise hidden; CELIA estimates capacities from timed cloud runs);
+* ``workload(n, a)`` — how the computation decomposes into schedulable
+  units for the discrete-event engine;
+* parameter domains and accuracy semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.demand import SeparableDemand
+from repro.cloud.instance import InstanceType, ResourceCategory
+from repro.errors import ValidationError
+
+__all__ = ["ExecutionStyle", "PerformanceProfile", "Workload", "ElasticApplication"]
+
+
+class ExecutionStyle(enum.Enum):
+    """How an application's tasks are executed on a cluster."""
+
+    #: Fully independent tasks, no inter-node communication (x264).
+    INDEPENDENT = "independent"
+    #: Bulk-synchronous steps with a barrier + exchange per step (galaxy).
+    BSP = "bsp"
+    #: Master–worker work queue with per-task dispatch (sand).
+    WORKQUEUE = "workqueue"
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """Ground-truth per-category execution rates of one application.
+
+    The paper shows different applications achieve different instruction
+    rates on the same instance (Figure 3) — execution profiles differ in
+    IPC.  We store *effective virtualized IPC per hyper-thread*: the
+    steady-state instructions-per-cycle one vCPU sustains for this app on
+    a host of the given category, hypervisor overhead included (measured
+    cloud rates include it, so ground truth does too — matching the
+    paper's remark that overhead needs no separate modeling).
+
+    ``rate_gips(itype)`` = ``vcpus × frequency_GHz × ipc``.
+    """
+
+    ipc_by_category: dict[ResourceCategory, float]
+    #: IPC on the local measurement server (one hyper-thread).
+    local_ipc: float = 1.0
+
+    def __post_init__(self) -> None:
+        for cat, ipc in self.ipc_by_category.items():
+            if ipc <= 0:
+                raise ValidationError(f"IPC for {cat} must be positive")
+        if self.local_ipc <= 0:
+            raise ValidationError("local IPC must be positive")
+
+    def ipc_for(self, category: ResourceCategory) -> float:
+        """Effective IPC per vCPU on hosts of ``category``."""
+        try:
+            return self.ipc_by_category[category]
+        except KeyError:
+            raise ValidationError(
+                f"application has no performance profile for category {category}"
+            ) from None
+
+    def rate_gips(self, itype: InstanceType) -> float:
+        """True aggregate execution rate of one instance of ``itype`` (GI/s)."""
+        return itype.vcpus * itype.frequency_ghz * self.ipc_for(itype.category)
+
+    def rate_per_vcpu_gips(self, itype: InstanceType) -> float:
+        """True per-vCPU rate ``W_{i,vCPU}`` in GI/s."""
+        return itype.frequency_ghz * self.ipc_for(itype.category)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Schedulable decomposition of one application run.
+
+    Exactly one of the three shapes is populated, matching the style:
+
+    * ``INDEPENDENT`` — ``task_gi`` holds one entry per task.
+    * ``BSP`` — ``n_steps`` steps of ``step_gi`` GI each, executed by all
+      vCPUs with a barrier and a ``comm_seconds_per_step`` exchange after
+      each step.
+    * ``WORKQUEUE`` — ``task_gi`` tasks pulled from a master that needs
+      ``dispatch_seconds`` of serial work per task.
+    """
+
+    style: ExecutionStyle
+    total_gi: float
+    task_gi: np.ndarray | None = None
+    n_steps: int = 0
+    step_gi: float = 0.0
+    comm_seconds_per_step: float = 0.0
+    dispatch_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_gi <= 0:
+            raise ValidationError("workload must contain positive work")
+        if self.style is ExecutionStyle.BSP:
+            if self.n_steps < 1 or self.step_gi <= 0:
+                raise ValidationError("BSP workload needs steps and step size")
+        else:
+            if self.task_gi is None or len(self.task_gi) == 0:
+                raise ValidationError(f"{self.style} workload needs tasks")
+            if np.any(np.asarray(self.task_gi) <= 0):
+                raise ValidationError("task sizes must be positive")
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of schedulable units (tasks or steps)."""
+        if self.style is ExecutionStyle.BSP:
+            return self.n_steps
+        assert self.task_gi is not None
+        return int(len(self.task_gi))
+
+
+class ElasticApplication(ABC):
+    """Base class for the paper's elastic applications.
+
+    Subclasses define class attributes ``name``, ``domain``,
+    ``size_symbol``, ``accuracy_symbol``, ``style`` and implement the
+    abstract members.  The notation follows Table I: an application run is
+    ``P(n, a)`` with resource demand ``D_{P(n,a)}``.
+    """
+
+    name: str = "abstract"
+    domain: str = ""
+    size_symbol: str = "n"
+    accuracy_symbol: str = "a"
+    style: ExecutionStyle = ExecutionStyle.INDEPENDENT
+
+    # -- ground truth ---------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def demand(self) -> SeparableDemand:
+        """Ground-truth demand function ``D(n, a)`` in GI."""
+
+    @property
+    @abstractmethod
+    def profile(self) -> PerformanceProfile:
+        """Ground-truth execution-rate profile."""
+
+    # -- parameter domains -----------------------------------------------------
+
+    @abstractmethod
+    def validate_params(self, n: float, a: float) -> None:
+        """Raise :class:`ValidationError` if (n, a) is out of domain."""
+
+    @abstractmethod
+    def scale_down_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sizes, accuracies) used for baseline characterization runs.
+
+        These are the paper's Section IV-A sweep ranges, scaled to what a
+        local server can execute — CELIA's ``P(n', a')``.
+        """
+
+    # -- decomposition -----------------------------------------------------------
+
+    @abstractmethod
+    def workload(self, n: float, a: float) -> Workload:
+        """Decompose run ``P(n, a)`` into engine-schedulable units."""
+
+    # -- accuracy semantics -------------------------------------------------------
+
+    @abstractmethod
+    def accuracy_score(self, a: float) -> float:
+        """Normalized output-quality score in (0, 1] for accuracy knob ``a``.
+
+        Monotonically non-decreasing in ``a`` — spending more resources
+        never yields worse output (the defining property of elastic
+        applications).
+        """
+
+    # -- memory model -------------------------------------------------------------
+
+    def min_memory_gb_per_vcpu(self, n: float, a: float) -> float:
+        """Working-set memory one worker process needs, in GB.
+
+        An instance type can host run ``P(n, a)`` only if
+        ``memory_gb >= vcpus × min_memory_gb_per_vcpu(n, a)`` (one worker
+        per vCPU, the paper's execution model).  The base implementation
+        returns a small runtime footprint; applications override it with
+        their real working sets.  CELIA's selection enforces this only
+        when asked (``enforce_memory=True``) — the paper itself treats
+        all workloads as compute-bound.
+        """
+        return 0.25
+
+    # -- conveniences ------------------------------------------------------------
+
+    def demand_gi(self, n: float, a: float) -> float:
+        """Ground-truth demand for one run, after validating parameters."""
+        self.validate_params(n, a)
+        return self.demand.gi(n, a)
+
+    def true_rate_gips(self, itype: InstanceType) -> float:
+        """Ground-truth rate of one instance for this app (GI/s)."""
+        return self.profile.rate_gips(itype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.name} "
+            f"({self.size_symbol}, {self.accuracy_symbol}) {self.style.value}>"
+        )

@@ -1,0 +1,232 @@
+"""Parametric resource-demand functions ``D(n, a)``.
+
+CELIA needs the relationship between application parameters (problem size
+``n``, accuracy ``a``) and resource demand in instructions.  All three
+paper applications are *separable*: ``D(n, a) = scale × g(n) × h(a)`` with
+``g``/``h`` drawn from a small family of one-dimensional terms (linear,
+affine, quadratic, power, logarithmic).  The same family is what the
+fitting layer (:mod:`repro.measurement.fitting`) estimates from baseline
+measurements, so ground truth and fitted models share this vocabulary.
+
+All terms are vectorized: they accept scalars or NumPy arrays and return
+the same shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "DemandTerm",
+    "ConstantTerm",
+    "LinearTerm",
+    "AffineTerm",
+    "QuadraticTerm",
+    "PowerTerm",
+    "LogTerm",
+    "SeparableDemand",
+]
+
+
+class DemandTerm(ABC):
+    """A one-dimensional factor of a separable demand function.
+
+    Terms must be strictly positive over their declared domain so that the
+    product demand is a valid instruction count.
+    """
+
+    #: Short name used in fitted-model reports ("linear", "quadratic", ...).
+    kind: str = "abstract"
+
+    @abstractmethod
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the term at ``x`` (scalar or array)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable formula, e.g. ``"314 + 0.574*x^2"``."""
+
+    def _as_array(self, x: np.ndarray | float) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+
+@dataclass(frozen=True)
+class ConstantTerm(DemandTerm):
+    """``f(x) = c`` — a parameter the demand does not depend on."""
+
+    value: float = 1.0
+    kind = "constant"
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValidationError("constant term must be positive")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        arr = self._as_array(x)
+        out = np.full_like(arr, self.value)
+        return float(out) if np.isscalar(x) or arr.ndim == 0 else out
+
+    def describe(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class LinearTerm(DemandTerm):
+    """``f(x) = b·x`` — proportional (through the origin).
+
+    x264's demand is linear in the number of videos: encoding ``2n`` clips
+    costs exactly twice ``n`` clips.
+    """
+
+    slope: float = 1.0
+    kind = "linear"
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ValidationError("linear slope must be positive")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        return self.slope * self._as_array(x) if not np.isscalar(x) else self.slope * x
+
+    def describe(self) -> str:
+        return f"{self.slope:g}*x"
+
+
+@dataclass(frozen=True)
+class AffineTerm(DemandTerm):
+    """``f(x) = a + b·x`` with ``a, b >= 0`` and not both zero."""
+
+    intercept: float
+    slope: float
+    kind = "affine"
+
+    def __post_init__(self) -> None:
+        if self.intercept < 0 or self.slope < 0 or (self.intercept == 0 and self.slope == 0):
+            raise ValidationError("affine term needs non-negative a, b, not both 0")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        return self.intercept + self.slope * self._as_array(x) if not np.isscalar(x) \
+            else self.intercept + self.slope * x
+
+    def describe(self) -> str:
+        return f"{self.intercept:g} + {self.slope:g}*x"
+
+
+@dataclass(frozen=True)
+class QuadraticTerm(DemandTerm):
+    """``f(x) = a + b·x + c·x²`` with non-negative coefficients, c > 0.
+
+    x264's per-video demand is quadratic in the compression factor ``f``;
+    galaxy's demand is quadratic in the number of masses (all-pairs force
+    computation).
+    """
+
+    a: float
+    b: float
+    c: float
+    kind = "quadratic"
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0 or self.c <= 0:
+            raise ValidationError("quadratic term needs a,b >= 0 and c > 0")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        arr = self._as_array(x)
+        result = self.a + self.b * arr + self.c * arr * arr
+        return float(result) if np.isscalar(x) or arr.ndim == 0 else result
+
+    def describe(self) -> str:
+        return f"{self.a:g} + {self.b:g}*x + {self.c:g}*x^2"
+
+
+@dataclass(frozen=True)
+class PowerTerm(DemandTerm):
+    """``f(x) = b·x^p`` for positive ``x`` — generalizes linear/quadratic."""
+
+    coefficient: float
+    exponent: float
+    kind = "power"
+
+    def __post_init__(self) -> None:
+        if self.coefficient <= 0:
+            raise ValidationError("power coefficient must be positive")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        arr = self._as_array(x)
+        if np.any(arr <= 0):
+            raise ValidationError("power term requires positive inputs")
+        result = self.coefficient * np.power(arr, self.exponent)
+        return float(result) if np.isscalar(x) or arr.ndim == 0 else result
+
+    def describe(self) -> str:
+        return f"{self.coefficient:g}*x^{self.exponent:g}"
+
+
+@dataclass(frozen=True)
+class LogTerm(DemandTerm):
+    """``f(x) = b·ln(1 + x/tau)`` — saturating logarithmic growth.
+
+    sand's demand grows logarithmically with the quality threshold ``t``:
+    raising the threshold admits ever fewer additional candidate pairs.
+    The ``1 +`` shift keeps the term positive over the paper's full
+    meaningful range ``t ∈ (0, 1]``.
+    """
+
+    coefficient: float
+    tau: float
+    kind = "log"
+
+    def __post_init__(self) -> None:
+        if self.coefficient <= 0 or self.tau <= 0:
+            raise ValidationError("log term needs positive coefficient and tau")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        arr = self._as_array(x)
+        if np.any(arr < 0):
+            raise ValidationError("log term requires non-negative inputs")
+        result = self.coefficient * np.log1p(arr / self.tau)
+        return float(result) if np.isscalar(x) or arr.ndim == 0 else result
+
+    def describe(self) -> str:
+        return f"{self.coefficient:g}*ln(1 + x/{self.tau:g})"
+
+
+@dataclass(frozen=True)
+class SeparableDemand:
+    """``D(n, a) = scale × size_term(n) × accuracy_term(a)`` in GI.
+
+    This is the object CELIA's time model consumes: ``T = D(n,a) / U_j``
+    (Eq. 2) with ``D`` in giga-instructions and ``U`` in GI/s.
+    """
+
+    size_term: DemandTerm
+    accuracy_term: DemandTerm
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValidationError("demand scale must be positive")
+
+    def __call__(self, n: np.ndarray | float, a: np.ndarray | float) -> np.ndarray | float:
+        """Demand in GI at problem size ``n`` and accuracy ``a``.
+
+        Inputs broadcast against each other, so a full (n, a) grid can be
+        evaluated in one call with ``n[:, None]`` and ``a[None, :]``.
+        """
+        return self.scale * self.size_term(n) * self.accuracy_term(a)
+
+    def gi(self, n: float, a: float) -> float:
+        """Scalar demand in GI (alias emphasising the unit)."""
+        return float(self(n, a))
+
+    def describe(self) -> str:
+        """Human-readable formula of the full demand function."""
+        return (
+            f"D(n,a) = {self.scale:g} * [{self.size_term.describe()}](n)"
+            f" * [{self.accuracy_term.describe()}](a)  [GI]"
+        )

@@ -1,0 +1,195 @@
+"""Barnes–Hut tree code — algorithmic elasticity for the n-body kernel.
+
+The direct kernel (:mod:`repro.apps.kernels.nbody`) spends O(n²) per
+step; Barnes–Hut approximates far-field forces with octree cell
+aggregates, spending O(n log n) — *if* one accepts approximation error
+controlled by the opening angle θ:
+
+* θ → 0: every cell is opened, forces are exact, work approaches O(n²);
+* θ large: whole subtrees collapse to monopoles, work plummets, error
+  grows.
+
+That is a textbook elastic application *inside the algorithm*: the knob
+``1/θ`` buys accuracy with instructions.  This kernel measures both —
+interaction counts (work) and force error vs the direct sum (accuracy) —
+so the repository demonstrates elasticity at the algorithmic level, not
+only at the parameter level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.kernels.nbody import FLOP_PER_PAIR, _accelerations
+from repro.errors import ValidationError
+
+__all__ = ["BarnesHutResult", "barnes_hut_accelerations"]
+
+#: Maximum bodies a leaf cell may hold before splitting.
+LEAF_CAPACITY = 8
+
+
+@dataclass
+class _Cell:
+    """One octree cell: bounds, mass aggregate, children or bodies."""
+
+    center: np.ndarray  # geometric center of the cube
+    half: float  # half side length
+    body_indices: list[int] = field(default_factory=list)
+    children: list["_Cell"] = field(default_factory=list)
+    mass: float = 0.0
+    com: np.ndarray | None = None  # center of mass
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _build_tree(positions: np.ndarray, masses: np.ndarray) -> _Cell:
+    """Build the octree and compute mass aggregates bottom-up."""
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    center = 0.5 * (lo + hi)
+    half = float(0.5 * (hi - lo).max()) * 1.001 + 1e-12
+    root = _Cell(center=center, half=half,
+                 body_indices=list(range(positions.shape[0])))
+    stack = [root]
+    while stack:
+        cell = stack.pop()
+        if len(cell.body_indices) <= LEAF_CAPACITY:
+            continue
+        # Split into octants.
+        groups: dict[int, list[int]] = {}
+        for idx in cell.body_indices:
+            offset = positions[idx] >= cell.center
+            key = int(offset[0]) | int(offset[1]) << 1 | int(offset[2]) << 2
+            groups.setdefault(key, []).append(idx)
+        quarter = cell.half / 2.0
+        for key, members in groups.items():
+            sign = np.array([1 if key & 1 else -1,
+                             1 if key & 2 else -1,
+                             1 if key & 4 else -1], dtype=float)
+            child = _Cell(center=cell.center + sign * quarter,
+                          half=quarter, body_indices=members)
+            cell.children.append(child)
+            stack.append(child)
+        cell.body_indices = []
+
+    # Bottom-up aggregates via explicit post-order.
+    def aggregate(cell: _Cell) -> tuple[float, np.ndarray]:
+        if cell.is_leaf:
+            if cell.body_indices:
+                m = float(masses[cell.body_indices].sum())
+                com = (masses[cell.body_indices, None]
+                       * positions[cell.body_indices]).sum(axis=0) / m
+            else:  # pragma: no cover - empty leaves are never created
+                m, com = 0.0, cell.center.copy()
+        else:
+            m = 0.0
+            com = np.zeros(3)
+            for child in cell.children:
+                cm, ccom = aggregate(child)
+                m += cm
+                com += cm * ccom
+            com /= m
+        cell.mass = m
+        cell.com = com
+        return m, com
+
+    aggregate(root)
+    return root
+
+
+@dataclass(frozen=True)
+class BarnesHutResult:
+    """Approximate accelerations plus work and accuracy accounting."""
+
+    accelerations: np.ndarray
+    theta: float
+    interactions: int
+    direct_interactions: int
+    max_relative_error: float
+    mean_relative_error: float
+
+    @property
+    def work_fraction(self) -> float:
+        """Interactions relative to the direct O(n²) sum."""
+        return self.interactions / self.direct_interactions
+
+    @property
+    def flops(self) -> float:
+        """Approximate flop count of the tree walk."""
+        return FLOP_PER_PAIR * self.interactions
+
+
+def barnes_hut_accelerations(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    theta: float,
+    softening: float = 0.05,
+) -> BarnesHutResult:
+    """Softened gravitational accelerations via a Barnes–Hut octree.
+
+    Parameters
+    ----------
+    theta:
+        Opening angle: a cell of size ``s`` at distance ``d`` is accepted
+        as a monopole when ``s / d < theta``.  Must be positive; values
+        near zero recover the direct sum.
+    """
+    positions = np.asarray(positions, dtype=float)
+    masses = np.asarray(masses, dtype=float)
+    n = masses.shape[0]
+    if positions.shape != (n, 3):
+        raise ValidationError("positions must be (n, 3)")
+    if n < 2:
+        raise ValidationError("need at least two bodies")
+    if theta <= 0:
+        raise ValidationError("theta must be positive")
+
+    root = _build_tree(positions, masses)
+    acc = np.zeros((n, 3))
+    interactions = 0
+
+    for i in range(n):
+        pos_i = positions[i]
+        stack = [root]
+        while stack:
+            cell = stack.pop()
+            if cell.mass == 0.0:
+                continue
+            assert cell.com is not None
+            delta = cell.com - pos_i
+            dist_sq = float(delta @ delta) + softening**2
+            dist = dist_sq**0.5
+            size = 2.0 * cell.half
+            if cell.is_leaf or (size / dist) < theta:
+                if cell.is_leaf:
+                    for j in cell.body_indices:
+                        if j == i:
+                            continue
+                        dj = positions[j] - pos_i
+                        dsq = float(dj @ dj) + softening**2
+                        acc[i] += masses[j] * dj / dsq**1.5
+                        interactions += 1
+                else:
+                    acc[i] += cell.mass * delta / dist_sq**1.5
+                    interactions += 1
+            else:
+                stack.extend(cell.children)
+
+    exact = _accelerations(positions, masses, softening)
+    norms = np.linalg.norm(exact, axis=1)
+    norms = np.where(norms == 0, 1.0, norms)
+    rel_err = np.linalg.norm(acc - exact, axis=1) / norms
+    return BarnesHutResult(
+        accelerations=acc,
+        theta=theta,
+        interactions=interactions,
+        direct_interactions=n * (n - 1),
+        max_relative_error=float(rel_err.max()),
+        mean_relative_error=float(rel_err.mean()),
+    )

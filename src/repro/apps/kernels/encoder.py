@@ -1,0 +1,238 @@
+"""A real block-transform image encoder — the x264 application's kernel.
+
+JPEG/x264-style intra coding of grayscale frames: 8×8 blocks, 2-D DCT
+(via ``scipy.fft.dctn``), uniform quantization controlled by a
+*compression factor* ``f`` (mapped to a quantizer step like x264's CRF),
+then reconstruction.  The elastic trade-off is real and measurable:
+
+* higher ``f`` → coarser quantization → fewer bits (better compression)
+  but lower PSNR, and — with the rate-distortion search loop below —
+  *more* computation, mirroring the paper's quadratic demand in ``f``;
+* quality is reported as PSNR against the source frame.
+
+To reflect x264's encoder effort growing with compression (mode decisions
+search harder when the rate budget is tight) the encoder performs
+``1 + round((f/10)²)`` candidate quantizer trials per block and keeps the
+best rate-distortion score, making measured work genuinely superlinear in
+``f`` while remaining a real computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.errors import ValidationError
+
+__all__ = ["EncodeResult", "encode_image", "synthetic_frames",
+           "MotionEncodeResult", "encode_frame_pair"]
+
+BLOCK = 8
+
+
+@dataclass(frozen=True)
+class EncodeResult:
+    """Outcome of encoding one frame."""
+
+    reconstructed: np.ndarray
+    psnr_db: float
+    bits_estimate: float
+    compression_factor: float
+    block_trials: int
+    flops: float
+
+    @property
+    def accuracy(self) -> float:
+        """Compression achieved, normalized: 1 - bits/raw_bits, in [0, 1)."""
+        raw_bits = self.reconstructed.size * 8.0
+        return max(0.0, 1.0 - self.bits_estimate / raw_bits)
+
+
+def synthetic_frames(n_frames: int, *, height: int = 64, width: int = 64,
+                     seed: int = 0) -> list[np.ndarray]:
+    """Generate synthetic grayscale frames with natural-image statistics.
+
+    Smooth low-frequency content plus texture plus a moving edge, so DCT
+    energy compaction behaves like real video rather than white noise.
+    """
+    if n_frames < 1:
+        raise ValidationError("need at least one frame")
+    if height % BLOCK or width % BLOCK:
+        raise ValidationError(f"frame dimensions must be multiples of {BLOCK}")
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    frames = []
+    for k in range(n_frames):
+        phase = 2 * np.pi * k / max(n_frames, 1)
+        smooth = 96 + 64 * np.sin(2 * np.pi * xx / width + phase) \
+            * np.cos(2 * np.pi * yy / height)
+        texture = 12 * rng.standard_normal((height, width))
+        edge = 40.0 * (xx > (width / 2 + 10 * np.sin(phase)))
+        frames.append(np.clip(smooth + texture + edge, 0, 255))
+    return frames
+
+
+def _block_view(frame: np.ndarray) -> np.ndarray:
+    """Reshape (H, W) into (H/8, W/8, 8, 8) without copying."""
+    h, w = frame.shape
+    return frame.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK).swapaxes(1, 2)
+
+
+def _quantizer_step(f: float) -> float:
+    """Map compression factor f∈[1,51] to a quantizer step (x264-like)."""
+    # Exponential like H.264's QP→Qstep: doubles every ~6 f-units.
+    return 0.5 * 2.0 ** (f / 6.0)
+
+
+def encode_image(frame: np.ndarray, compression_factor: float) -> EncodeResult:
+    """Encode one grayscale frame at the given compression factor.
+
+    Returns the reconstruction, PSNR, an entropy-based bit estimate, and a
+    flop count covering the DCT and the per-block rate-distortion trials.
+    """
+    f = float(compression_factor)
+    if not (1.0 <= f <= 51.0):
+        raise ValidationError(f"compression factor must be in [1, 51], got {f}")
+    frame = np.asarray(frame, dtype=np.float64)
+    if frame.ndim != 2 or frame.shape[0] % BLOCK or frame.shape[1] % BLOCK:
+        raise ValidationError("frame must be 2-D with dimensions divisible by 8")
+
+    blocks = _block_view(frame)
+    coeffs = dctn(blocks, axes=(-2, -1), norm="ortho")
+
+    base_step = _quantizer_step(f)
+    n_trials = 1 + int(round((f / 10.0) ** 2))
+    trial_steps = base_step * np.linspace(0.85, 1.15, n_trials)
+
+    best_score = None
+    best_q = None
+    best_step = None
+    for step in trial_steps:
+        q = np.round(coeffs / step)
+        recon_coeffs = q * step
+        distortion = np.sum((recon_coeffs - coeffs) ** 2, axis=(-2, -1))
+        rate = np.count_nonzero(q, axis=(-2, -1)).astype(float)
+        score = distortion + (step ** 2) * rate  # Lagrangian RD cost
+        total = float(np.sum(score))
+        if best_score is None or total < best_score:
+            best_score, best_q, best_step = total, q, step
+    assert best_q is not None and best_step is not None
+
+    recon_blocks = idctn(best_q * best_step, axes=(-2, -1), norm="ortho")
+    recon = recon_blocks.swapaxes(1, 2).reshape(frame.shape)
+    recon = np.clip(recon, 0, 255)
+
+    mse = float(np.mean((recon - frame) ** 2))
+    psnr = 99.0 if mse == 0 else 10.0 * np.log10(255.0**2 / mse)
+
+    # Entropy-style bit estimate: ~2·log2(1+|q|) bits per significant
+    # coefficient (sign + magnitude under a Golomb-like code) plus a small
+    # per-block header.
+    q_abs = np.abs(best_q)
+    coeff_bits = float(np.sum(2.0 * np.log2(1.0 + q_abs[q_abs > 0])))
+    bits = coeff_bits + 8.0 * best_q.shape[0] * best_q.shape[1]
+
+    n_px = frame.size
+    # 2-D 8x8 DCT ≈ 2*8*64 mul-adds per block → 16 flop/px each way,
+    # plus ~6 flop/px per RD trial (round, scale, square, accumulate).
+    flops = n_px * (32.0 + 6.0 * n_trials)
+    return EncodeResult(
+        reconstructed=recon,
+        psnr_db=float(psnr),
+        bits_estimate=float(bits),
+        compression_factor=f,
+        block_trials=n_trials,
+        flops=float(flops),
+    )
+
+
+@dataclass(frozen=True)
+class MotionEncodeResult:
+    """Outcome of inter-frame (P-frame) encoding of one frame pair."""
+
+    reconstructed: np.ndarray
+    psnr_db: float
+    bits_estimate: float
+    search_radius: int
+    sad_evaluations: int
+    mean_abs_residual: float
+    flops: float
+
+
+def _sad(a: np.ndarray, b: np.ndarray) -> float:
+    """Sum of absolute differences between two equal-shape blocks."""
+    return float(np.abs(a - b).sum())
+
+
+def encode_frame_pair(reference: np.ndarray, frame: np.ndarray,
+                      compression_factor: float,
+                      *, search_radius: int = 4) -> MotionEncodeResult:
+    """P-frame encoding: block motion search + residual transform coding.
+
+    For each 8×8 block of ``frame``, an exhaustive motion search over
+    ``(2·radius + 1)²`` candidate displacements in ``reference`` finds
+    the best-matching predictor (minimum SAD); the residual is then
+    DCT-coded exactly like :func:`encode_image`.
+
+    This grounds x264's *effort* elasticity in real computation: work
+    grows **quadratically with the search radius** while larger radii
+    find better predictors (smaller residuals → fewer bits at equal
+    quality) — the same shape as the paper's quadratic demand in ``f``.
+    """
+    f = float(compression_factor)
+    if not (1.0 <= f <= 51.0):
+        raise ValidationError(f"compression factor must be in [1, 51], got {f}")
+    if search_radius < 0:
+        raise ValidationError("search radius must be >= 0")
+    reference = np.asarray(reference, dtype=np.float64)
+    frame = np.asarray(frame, dtype=np.float64)
+    if reference.shape != frame.shape:
+        raise ValidationError("reference and frame must have equal shapes")
+    h, w = frame.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValidationError("frame dimensions must be divisible by 8")
+
+    predicted = np.empty_like(frame)
+    sad_evaluations = 0
+    for by in range(0, h, BLOCK):
+        for bx in range(0, w, BLOCK):
+            block = frame[by:by + BLOCK, bx:bx + BLOCK]
+            best_sad = np.inf
+            best = reference[by:by + BLOCK, bx:bx + BLOCK]
+            for dy in range(-search_radius, search_radius + 1):
+                sy = by + dy
+                if sy < 0 or sy + BLOCK > h:
+                    continue
+                for dx in range(-search_radius, search_radius + 1):
+                    sx = bx + dx
+                    if sx < 0 or sx + BLOCK > w:
+                        continue
+                    candidate = reference[sy:sy + BLOCK, sx:sx + BLOCK]
+                    sad = _sad(block, candidate)
+                    sad_evaluations += 1
+                    if sad < best_sad:
+                        best_sad = sad
+                        best = candidate
+            predicted[by:by + BLOCK, bx:bx + BLOCK] = best
+
+    residual = frame - predicted
+    # Transform-code the residual (shift into a valid range and back).
+    shifted = np.clip(residual + 128.0, 0, 255)
+    coded = encode_image(shifted, f)
+    recon = np.clip(predicted + (coded.reconstructed - 128.0), 0, 255)
+
+    mse = float(np.mean((recon - frame) ** 2))
+    psnr = 99.0 if mse == 0 else 10.0 * np.log10(255.0**2 / mse)
+    # SAD costs ~3 flop per pixel (sub, abs, add).
+    flops = coded.flops + 3.0 * BLOCK * BLOCK * sad_evaluations
+    return MotionEncodeResult(
+        reconstructed=recon,
+        psnr_db=float(psnr),
+        bits_estimate=coded.bits_estimate,
+        search_radius=search_radius,
+        sad_evaluations=sad_evaluations,
+        mean_abs_residual=float(np.abs(residual).mean()),
+        flops=float(flops),
+    )

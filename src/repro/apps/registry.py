@@ -1,0 +1,31 @@
+"""Registry of the paper's evaluation applications."""
+
+from __future__ import annotations
+
+from repro.apps.base import ElasticApplication
+from repro.apps.galaxy import GalaxyApp
+from repro.apps.sand import SandApp
+from repro.apps.x264 import X264App
+from repro.errors import ValidationError
+
+__all__ = ["paper_applications", "application_by_name"]
+
+
+def paper_applications(*, seed: int = 0) -> dict[str, ElasticApplication]:
+    """The three Table II applications keyed by name."""
+    return {
+        "x264": X264App(seed=seed),
+        "galaxy": GalaxyApp(),
+        "sand": SandApp(seed=seed),
+    }
+
+
+def application_by_name(name: str, *, seed: int = 0) -> ElasticApplication:
+    """Look up one paper application by its Table II name."""
+    apps = paper_applications(seed=seed)
+    try:
+        return apps[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown application {name!r}; choose from {sorted(apps)}"
+        ) from None

@@ -1,0 +1,148 @@
+"""sand — the genome sequence-assembly elastic application.
+
+The paper's SAND workload [21] aligns compatible genome sequences from a
+candidate list of size ``n``; the quality threshold ``t ∈ (0, 1]`` sets
+how similar two candidates must be to be aligned.  It runs master–worker
+on the Work Queue platform [23]: the master creates alignment tasks and
+distributes them to slaves, which is why sand shows the largest validation
+errors in Table IV (up to 16.7%) — dispatch serialization and load
+imbalance are invisible to the analytical model.
+
+Demand is linear in ``n`` and logarithmic in ``t`` (Figure 2(c)/(f)).
+Calibration (DESIGN.md §4): per-sequence demand
+``d(t) = A·ln(1 + t/τ)`` with ``τ = 0.08`` and ``A = 3.09e-3`` GI
+reproduces Figure 2(c)'s ~80-90 TI at (n=64 M, t=0.04) and keeps demand
+positive over the paper's full meaningful range t ∈ (0, 1], while giving
+Figure 6(b)'s ≈20% cost increase from t=0.64 to t=1.0.
+
+A real, runnable k-mer filter + banded alignment kernel lives in
+:mod:`repro.apps.kernels.align`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.apps.base import (
+    ElasticApplication,
+    ExecutionStyle,
+    PerformanceProfile,
+    Workload,
+)
+from repro.apps.demand import LinearTerm, LogTerm, SeparableDemand
+from repro.cloud.instance import ResourceCategory
+from repro.errors import ValidationError
+from repro.utils.rng import derive_rng
+
+__all__ = ["SandApp"]
+
+#: Per-sequence demand coefficient A (GI) and threshold scale tau.
+A_COEFF = 3.09e-3
+TAU = 0.08
+
+#: Sequences grouped into one Work Queue task.
+DEFAULT_CHUNK_SEQUENCES = 1_000_000
+
+#: Effective virtualized IPC per vCPU by host category, calibrated to
+#: Figure 3 (sand: c4 80, m4 60, r3 40 GI/s per $/h).
+_IPC = {
+    ResourceCategory.COMPUTE: 80.0 * 0.105 / (2 * 2.9),
+    ResourceCategory.GENERAL: 60.0 * 0.133 / (2 * 2.3),
+    ResourceCategory.MEMORY: 40.0 * 0.166 / (2 * 2.5),
+}
+
+
+class SandApp(ElasticApplication):
+    """Genome assembly over ``n`` candidate sequences at threshold ``t``.
+
+    Parameters
+    ----------
+    chunk_sequences:
+        Sequences per Work Queue task.
+    dispatch_seconds:
+        Serial master time to create + dispatch one task (Work Queue's
+        per-task overhead).
+    task_size_sigma:
+        Log-normal heterogeneity of per-task demand (candidate density
+        varies along the genome).
+    """
+
+    name = "sand"
+    domain = "bioinformatics"
+    size_symbol = "n"
+    accuracy_symbol = "t"
+    style = ExecutionStyle.WORKQUEUE
+
+    def __init__(self, *, chunk_sequences: int = DEFAULT_CHUNK_SEQUENCES,
+                 dispatch_seconds: float = 0.35,
+                 task_size_sigma: float = 0.30, seed: int = 0):
+        if chunk_sequences < 1:
+            raise ValidationError("chunk_sequences must be >= 1")
+        if dispatch_seconds < 0 or task_size_sigma < 0:
+            raise ValidationError("overheads must be non-negative")
+        self.chunk_sequences = chunk_sequences
+        self.dispatch_seconds = dispatch_seconds
+        self.task_size_sigma = task_size_sigma
+        self.seed = seed
+
+    @cached_property
+    def demand(self) -> SeparableDemand:
+        return SeparableDemand(
+            size_term=LinearTerm(slope=1.0),
+            accuracy_term=LogTerm(coefficient=A_COEFF, tau=TAU),
+            scale=1.0,
+        )
+
+    @cached_property
+    def profile(self) -> PerformanceProfile:
+        return PerformanceProfile(ipc_by_category=dict(_IPC), local_ipc=1.35)
+
+    def validate_params(self, n: float, a: float) -> None:
+        if n < 1 or n != int(n):
+            raise ValidationError(f"sand needs an integer sequence count >= 1, got {n}")
+        if not (0.0 < a <= 1.0):
+            raise ValidationError(f"sand threshold must be in (0, 1], got {a}")
+
+    def scale_down_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Section IV-A sweep: n from 1 M to 64 M; t from 0.01 to 1."""
+        return (
+            np.array([1e6, 4e6, 16e6, 64e6]),
+            np.array([0.01, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0]),
+        )
+
+    def workload(self, n: float, a: float) -> Workload:
+        """Chunk sequences into tasks with heterogeneous demand."""
+        self.validate_params(n, a)
+        n_seq = int(n)
+        total = self.demand.gi(n, a)
+        # Ceil-divide into chunks, but never fewer than 64 tasks (SAND's
+        # master shrinks the chunk for small inputs so all workers get
+        # work during characterization runs).
+        n_tasks = max(1, -(-n_seq // self.chunk_sequences))
+        if n_tasks < 64:
+            n_tasks = min(64, n_seq)
+        rng = derive_rng(self.seed, "sand-tasks", n_seq, a)
+        if self.task_size_sigma > 0 and n_tasks > 1:
+            sizes = rng.lognormal(mean=0.0, sigma=self.task_size_sigma, size=n_tasks)
+        else:
+            sizes = np.ones(n_tasks)
+        sizes *= total / sizes.sum()
+        return Workload(
+            style=self.style,
+            total_gi=total,
+            task_gi=sizes,
+            dispatch_seconds=self.dispatch_seconds,
+        )
+
+    def accuracy_score(self, a: float) -> float:
+        """The threshold itself — already normalized to (0, 1]."""
+        self.validate_params(1, a)
+        return a
+
+    def min_memory_gb_per_vcpu(self, n: float, a: float) -> float:
+        """One chunk of sequences (~200 B each) plus the worker's k-mer
+        index shard over it (~3x the raw data)."""
+        chunk = min(float(n), float(self.chunk_sequences))
+        return 0.15 + chunk * 200e-9 * 4

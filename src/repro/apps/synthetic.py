@@ -1,0 +1,155 @@
+"""A fully configurable synthetic elastic application.
+
+Tests, ablations and property-based checks need applications with
+arbitrary demand shapes, execution styles and rate profiles — this class
+assembles one from parts.  It is also the extension point for users
+bringing their own workloads to CELIA: provide a demand function (or let
+the measurement layer fit one), a performance profile, and a task
+decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import (
+    ElasticApplication,
+    ExecutionStyle,
+    PerformanceProfile,
+    Workload,
+)
+from repro.apps.demand import SeparableDemand
+from repro.cloud.instance import ResourceCategory
+from repro.errors import ValidationError
+from repro.utils.rng import derive_rng
+
+__all__ = ["SyntheticApp"]
+
+_DEFAULT_IPC = {
+    ResourceCategory.COMPUTE: 1.0,
+    ResourceCategory.GENERAL: 1.0,
+    ResourceCategory.MEMORY: 1.0,
+}
+
+
+class SyntheticApp(ElasticApplication):
+    """An elastic application assembled from explicit components.
+
+    Parameters
+    ----------
+    demand:
+        Ground-truth demand function in GI.
+    profile:
+        Ground-truth rate profile; defaults to IPC 1.0 everywhere.
+    style:
+        Execution style; task decomposition follows it.
+    name:
+        Identifier used in reports and RNG stream keys.
+    size_domain, accuracy_domain:
+        Inclusive (lo, hi) validation bounds for n and a.
+    n_tasks:
+        For task-based styles: number of tasks the run splits into
+        (defaults to ``int(n)``); for BSP: steps default to ``int(a)``.
+    task_size_sigma:
+        Log-normal task heterogeneity.
+    """
+
+    domain = "synthetic"
+    size_symbol = "n"
+    accuracy_symbol = "a"
+
+    def __init__(
+        self,
+        demand: SeparableDemand,
+        *,
+        profile: PerformanceProfile | None = None,
+        style: ExecutionStyle = ExecutionStyle.INDEPENDENT,
+        name: str = "synthetic",
+        size_domain: tuple[float, float] = (1.0, float("inf")),
+        accuracy_domain: tuple[float, float] = (1e-9, float("inf")),
+        n_tasks: int | None = None,
+        task_size_sigma: float = 0.0,
+        dispatch_seconds: float = 0.0,
+        comm_seconds_per_step: float = 0.0,
+        seed: int = 0,
+    ):
+        if size_domain[0] > size_domain[1] or accuracy_domain[0] > accuracy_domain[1]:
+            raise ValidationError("domains must satisfy lo <= hi")
+        if task_size_sigma < 0 or dispatch_seconds < 0 or comm_seconds_per_step < 0:
+            raise ValidationError("overheads must be non-negative")
+        self._demand = demand
+        self._profile = profile or PerformanceProfile(
+            ipc_by_category=dict(_DEFAULT_IPC), local_ipc=1.0
+        )
+        self.style = style
+        self.name = name
+        self.size_domain = size_domain
+        self.accuracy_domain = accuracy_domain
+        self.n_tasks_override = n_tasks
+        self.task_size_sigma = task_size_sigma
+        self.dispatch_seconds = dispatch_seconds
+        self.comm_seconds_per_step = comm_seconds_per_step
+        self.seed = seed
+
+    @property
+    def demand(self) -> SeparableDemand:
+        return self._demand
+
+    @property
+    def profile(self) -> PerformanceProfile:
+        return self._profile
+
+    def validate_params(self, n: float, a: float) -> None:
+        lo, hi = self.size_domain
+        if not (lo <= n <= hi):
+            raise ValidationError(f"{self.name}: size {n} outside [{lo}, {hi}]")
+        lo, hi = self.accuracy_domain
+        if not (lo <= a <= hi):
+            raise ValidationError(f"{self.name}: accuracy {a} outside [{lo}, {hi}]")
+
+    def scale_down_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """A geometric grid spanning the lower part of the domains."""
+        size_lo = max(self.size_domain[0], 1.0)
+        acc_lo = max(self.accuracy_domain[0], 1e-3)
+        sizes = size_lo * np.array([1, 2, 4, 8], dtype=float)
+        accs = acc_lo * np.array([1, 2, 4, 8], dtype=float)
+        sizes = np.minimum(sizes, self.size_domain[1])
+        accs = np.minimum(accs, self.accuracy_domain[1])
+        return np.unique(sizes), np.unique(accs)
+
+    def workload(self, n: float, a: float) -> Workload:
+        self.validate_params(n, a)
+        total = self._demand.gi(n, a)
+        if self.style is ExecutionStyle.BSP:
+            steps = self.n_tasks_override or max(1, int(a))
+            return Workload(
+                style=self.style,
+                total_gi=total,
+                n_steps=steps,
+                step_gi=total / steps,
+                comm_seconds_per_step=self.comm_seconds_per_step,
+            )
+        n_tasks = self.n_tasks_override or max(1, int(n))
+        rng = derive_rng(self.seed, self.name, "tasks", n, a)
+        if self.task_size_sigma > 0 and n_tasks > 1:
+            sizes = rng.lognormal(0.0, self.task_size_sigma, size=n_tasks)
+        else:
+            sizes = np.ones(n_tasks)
+        sizes *= total / sizes.sum()
+        return Workload(
+            style=self.style,
+            total_gi=total,
+            task_gi=sizes,
+            dispatch_seconds=self.dispatch_seconds,
+        )
+
+    def accuracy_score(self, a: float) -> float:
+        """Accuracy normalized against the domain's finite upper bound.
+
+        Falls back to a saturating map when the domain is unbounded.
+        """
+        self.validate_params(max(self.size_domain[0], 1.0), a)
+        hi = self.accuracy_domain[1]
+        if np.isfinite(hi):
+            return float(a / hi)
+        return float(a / (a + 1.0))

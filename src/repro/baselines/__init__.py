@@ -1,0 +1,36 @@
+"""Baseline strategies CELIA is compared against.
+
+The paper argues for (a) *measured* capacities over spec-sheet estimates
+(Section IV-B) and (b) *exhaustive* search over heuristics (its Algorithm
+1 "guarantees to find all optimal configurations").  This package
+implements the alternatives so both claims can be quantified:
+
+* :mod:`~repro.baselines.specbound` — capacity from the spec-sheet
+  frequency (the strawman the paper rejects);
+* :mod:`~repro.baselines.random_search` — uniform random configuration
+  sampling;
+* :mod:`~repro.baselines.greedy` — pack capacity by cost-efficiency;
+* :mod:`~repro.baselines.hillclimb` — local search in configuration
+  space (a CherryPick-flavoured sequential optimizer);
+* :mod:`~repro.baselines.comparison` — a harness measuring each
+  baseline's optimality gap against the exhaustive optimum.
+"""
+
+from repro.baselines.specbound import spec_capacities, spec_prediction_error
+from repro.baselines.random_search import random_search_min_cost
+from repro.baselines.greedy import greedy_min_cost
+from repro.baselines.hillclimb import hillclimb_min_cost
+from repro.baselines.autoscale import AutoscaleOutcome, simulate_autoscaler
+from repro.baselines.comparison import BaselineOutcome, compare_baselines
+
+__all__ = [
+    "spec_capacities",
+    "spec_prediction_error",
+    "random_search_min_cost",
+    "greedy_min_cost",
+    "hillclimb_min_cost",
+    "AutoscaleOutcome",
+    "simulate_autoscaler",
+    "BaselineOutcome",
+    "compare_baselines",
+]

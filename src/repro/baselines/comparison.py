@@ -1,0 +1,98 @@
+"""Baseline-vs-exhaustive comparison harness (ablation A1 in DESIGN.md)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.greedy import greedy_min_cost
+from repro.baselines.hillclimb import hillclimb_min_cost
+from repro.baselines.random_search import random_search_min_cost
+from repro.cloud.catalog import Catalog
+from repro.core.optimizer import MinCostIndex, OptimizerAnswer
+from repro.errors import InfeasibleError
+
+__all__ = ["BaselineOutcome", "compare_baselines"]
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """One strategy's result on one (demand, deadline) problem."""
+
+    strategy: str
+    answer: OptimizerAnswer | None  # None when the strategy found nothing
+    optimal_cost: float
+    wall_seconds: float
+
+    @property
+    def found(self) -> bool:
+        """Whether the strategy produced any feasible configuration."""
+        return self.answer is not None
+
+    @property
+    def optimality_gap(self) -> float:
+        """cost/optimal − 1 (``inf`` when nothing was found)."""
+        if self.answer is None:
+            return float("inf")
+        return self.answer.cost_dollars / self.optimal_cost - 1.0
+
+
+def compare_baselines(
+    catalog: Catalog,
+    capacities_gips: np.ndarray,
+    index: MinCostIndex,
+    demand_gi: float,
+    deadline_hours: float,
+    *,
+    random_samples: int = 10_000,
+    hillclimb_restarts: int = 5,
+    seed: int = 0,
+) -> list[BaselineOutcome]:
+    """Run every strategy on one problem and report gaps vs exhaustive.
+
+    The exhaustive optimum comes from the (already built) MinCostIndex;
+    its reported wall time covers only the O(log S) query, since the
+    index amortizes across the whole evaluation.
+    """
+    t0 = time.perf_counter()
+    optimal = index.query(demand_gi, deadline_hours)
+    exhaustive_seconds = time.perf_counter() - t0
+    optimal_cost = optimal.cost_dollars
+
+    outcomes = [
+        BaselineOutcome(
+            strategy="exhaustive",
+            answer=optimal,
+            optimal_cost=optimal_cost,
+            wall_seconds=exhaustive_seconds,
+        )
+    ]
+
+    rng = np.random.default_rng(seed)
+    runs = [
+        ("greedy", lambda: greedy_min_cost(
+            catalog, capacities_gips, demand_gi, deadline_hours)),
+        ("random-search", lambda: random_search_min_cost(
+            catalog, capacities_gips, demand_gi, deadline_hours,
+            n_samples=random_samples, rng=rng)),
+        ("hill-climb", lambda: hillclimb_min_cost(
+            catalog, capacities_gips, demand_gi, deadline_hours,
+            restarts=hillclimb_restarts, rng=rng)),
+    ]
+    for name, run in runs:
+        t0 = time.perf_counter()
+        try:
+            answer = run()
+        except InfeasibleError:
+            answer = None
+        outcomes.append(
+            BaselineOutcome(
+                strategy=name,
+                answer=answer,
+                optimal_cost=optimal_cost,
+                wall_seconds=time.perf_counter() - t0,
+            )
+        )
+    return outcomes

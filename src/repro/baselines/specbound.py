@@ -1,0 +1,50 @@
+"""Spec-sheet capacity estimation — the baseline the paper rejects.
+
+Section IV-B: "One way to estimate this rate is to use the base CPU
+frequency obtained from the specification, and to derive an upper-bound
+of the performance.  However, different applications have different
+execution profiles and different instruction execution rates."  This
+module implements exactly that estimator so the resulting prediction
+error can be measured against CELIA's measured capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import ElasticApplication
+from repro.cloud.catalog import Catalog
+from repro.errors import ValidationError
+
+__all__ = ["spec_capacities", "spec_prediction_error"]
+
+
+def spec_capacities(catalog: Catalog,
+                    *, instructions_per_cycle: float = 1.0) -> np.ndarray:
+    """Frequency × vCPUs × assumed IPC for every type (GI/s).
+
+    The assumed IPC is application-independent — the estimator's defining
+    flaw.  With the default IPC of 1.0 this is the "one instruction per
+    cycle per hyper-thread" rule of thumb.
+    """
+    if instructions_per_cycle <= 0:
+        raise ValidationError("assumed IPC must be positive")
+    return np.array([
+        t.spec_gips_upper_bound(instructions_per_cycle) for t in catalog
+    ])
+
+
+def spec_prediction_error(app: ElasticApplication, catalog: Catalog,
+                          measured_capacities: np.ndarray,
+                          *, instructions_per_cycle: float = 1.0) -> np.ndarray:
+    """Per-type relative error of the spec estimate vs measured capacity.
+
+    Positive values mean the spec sheet over-promises (it usually does:
+    real IPC per hyper-thread is application dependent and typically
+    below 1 for memory-bound codes, above for cache-friendly ones).
+    """
+    measured = np.asarray(measured_capacities, dtype=float)
+    if measured.shape != (len(catalog),):
+        raise ValidationError("measured capacities must align with catalog")
+    spec = spec_capacities(catalog, instructions_per_cycle=instructions_per_cycle)
+    return (spec - measured) / measured

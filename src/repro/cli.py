@@ -1,0 +1,249 @@
+"""``celia`` — command-line interface to the CELIA pipeline.
+
+Subcommands mirror how a practitioner would use the system:
+
+* ``characterize`` — measure an application's demand model and per-type
+  capacities, optionally saving the profile as JSON for reuse;
+* ``select`` — run Algorithm 1 and print the Pareto frontier;
+* ``predict`` — time/cost of one run on one explicit configuration;
+* ``plan`` — best affordable accuracy (or problem size) under a deadline
+  and budget;
+* ``validate`` — compare a prediction against a simulated execution.
+
+All commands operate on the paper's Table III catalog (quota adjustable
+with ``--quota``) and the three built-in applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import application_by_name
+from repro.cloud.catalog import ec2_catalog
+from repro.core.celia import Celia
+from repro.core.planner import max_accuracy_plan, max_problem_size_plan
+from repro.engine.runner import run_on_configuration
+from repro.errors import InfeasibleError, ReproError
+from repro.utils.mathutil import percent_error
+from repro.utils.tables import TextTable
+
+__all__ = ["build_parser", "main"]
+
+APP_CHOICES = ("x264", "galaxy", "sand")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="celia",
+        description="Cost-time optimal cloud configurations for elastic "
+                    "applications (CELIA, ICPP 2017).",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="measurement seed (default 0)")
+    parser.add_argument("--quota", type=int, default=5,
+                        help="max nodes per instance type (default 5)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize",
+                       help="measure demand model and capacities")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("--method", choices=("full", "by-category"),
+                   default="full")
+    p.add_argument("--output", help="write the profile JSON here")
+
+    p = sub.add_parser("select", help="Pareto-optimal configurations")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("n", type=float, help="problem size")
+    p.add_argument("a", type=float, help="accuracy")
+    p.add_argument("--deadline", type=float, required=True,
+                   help="deadline T' in hours")
+    p.add_argument("--budget", type=float, required=True,
+                   help="budget C' in dollars")
+    p.add_argument("--top", type=int, default=0,
+                   help="print only the first K frontier points")
+
+    p = sub.add_parser("predict", help="time/cost on one configuration")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("n", type=float)
+    p.add_argument("a", type=float)
+    p.add_argument("--config", required=True,
+                   help="comma-separated node counts, catalog order")
+
+    p = sub.add_parser("plan", help="best affordable accuracy or size")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("--deadline", type=float, required=True)
+    p.add_argument("--budget", type=float, required=True)
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--fix-size", type=float,
+                       help="fixed n; plan max accuracy")
+    group.add_argument("--fix-accuracy", type=float,
+                       help="fixed a; plan max problem size")
+    p.add_argument("--range", required=True,
+                   help="lo,hi search range for the planned knob")
+    p.add_argument("--integral", action="store_true",
+                   help="knob takes integer values")
+
+    p = sub.add_parser("validate",
+                       help="prediction vs simulated execution")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("n", type=float)
+    p.add_argument("a", type=float)
+    p.add_argument("--config", required=True)
+
+    p = sub.add_parser("spot",
+                       help="spot-vs-on-demand Monte-Carlo study")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("n", type=float)
+    p.add_argument("a", type=float)
+    p.add_argument("--deadline", type=float, required=True)
+    p.add_argument("--bid", type=float, default=0.5,
+                   help="bid as a fraction of the on-demand price")
+    p.add_argument("--trials", type=int, default=30)
+    return parser
+
+
+def _parse_config(raw: str, width: int) -> tuple[int, ...]:
+    try:
+        values = tuple(int(v) for v in raw.split(","))
+    except ValueError:
+        raise SystemExit(f"--config must be comma-separated integers, "
+                         f"got {raw!r}") from None
+    if len(values) != width:
+        raise SystemExit(f"--config needs {width} entries, got {len(values)}")
+    return values
+
+
+def _parse_range(raw: str) -> tuple[float, float]:
+    try:
+        lo, hi = (float(v) for v in raw.split(","))
+    except ValueError:
+        raise SystemExit(f"--range must be 'lo,hi', got {raw!r}") from None
+    return lo, hi
+
+
+def _cmd_characterize(celia: Celia, args) -> int:
+    app = application_by_name(args.app, seed=celia.seed)
+    celia.characterization_method = args.method
+    fitted = celia.demand_model(app)
+    print(fitted.describe())
+    print()
+    characterization = celia.characterization(app)
+    table = TextTable(["Type", "W [GI/s]", "GI/s per $/h"], aligns="lrr",
+                      float_format="{:.2f}")
+    for entry in characterization.entries:
+        table.add_row([entry.type_name, entry.rate_gips,
+                       entry.normalized_performance])
+    print(table.render())
+    if args.output:
+        celia.profile(app).save(args.output)
+        print(f"\nprofile written to {args.output}")
+    return 0
+
+
+def _cmd_select(celia: Celia, args) -> int:
+    app = application_by_name(args.app, seed=celia.seed)
+    result = celia.select(app, args.n, args.a, args.deadline, args.budget)
+    print(f"{result.feasible_count:,} of {result.total_configurations:,} "
+          f"configurations feasible; {result.pareto_count} Pareto-optimal")
+    if not result.pareto:
+        print("no feasible configuration — relax the deadline or budget")
+        return 1
+    points = result.pareto[:args.top] if args.top else result.pareto
+    table = TextTable(["Configuration", "T (h)", "C ($)"], aligns="lrr",
+                      float_format="{:.2f}")
+    for p in points:
+        table.add_row([str(list(p.configuration)), p.time_hours,
+                       p.cost_dollars])
+    print(table.render())
+    lo, hi = result.cost_span
+    print(f"frontier cost span ${lo:.2f}-${hi:.2f} "
+          f"(cheapest saves {result.max_saving_fraction:.0%})")
+    return 0
+
+
+def _cmd_predict(celia: Celia, args) -> int:
+    app = application_by_name(args.app, seed=celia.seed)
+    config = _parse_config(args.config, len(celia.catalog))
+    pred = celia.predict(app, args.n, args.a, config)
+    print(f"demand   : {pred.demand_gi:,.0f} GI")
+    print(f"capacity : {pred.capacity_gips:.2f} GI/s")
+    print(f"time     : {pred.time_hours:.2f} h")
+    print(f"cost     : ${pred.cost_dollars:.2f} "
+          f"(${pred.unit_cost_per_hour:.3f}/h)")
+    return 0
+
+
+def _cmd_plan(celia: Celia, args) -> int:
+    app = application_by_name(args.app, seed=celia.seed)
+    demand = celia.demand_model(app)
+    index = celia.min_cost_index(app)
+    knob_range = _parse_range(args.range)
+    if args.fix_size is not None:
+        plan = max_accuracy_plan(demand, index, args.fix_size, knob_range,
+                                 args.deadline, args.budget,
+                                 integral=args.integral)
+    else:
+        plan = max_problem_size_plan(demand, index, args.fix_accuracy,
+                                     knob_range, args.deadline, args.budget,
+                                     integral=args.integral)
+    print(plan.describe())
+    return 0
+
+
+def _cmd_validate(celia: Celia, args) -> int:
+    app = application_by_name(args.app, seed=celia.seed)
+    config = _parse_config(args.config, len(celia.catalog))
+    pred = celia.predict(app, args.n, args.a, config)
+    report = run_on_configuration(app, args.n, args.a, config, celia.catalog,
+                                  config=celia.engine_config,
+                                  seed=celia.seed)
+    t_err = percent_error(pred.time_hours, report.time_hours)
+    c_err = percent_error(pred.cost_dollars, report.cost_dollars)
+    print(f"predicted: {pred.time_hours:.2f} h / ${pred.cost_dollars:.2f}")
+    print(f"actual   : {report.time_hours:.2f} h / "
+          f"${report.cost_dollars:.2f} (simulated, billed hourly)")
+    print(f"error    : time {t_err:.1f}%, cost {c_err:.1f}%")
+    return 0
+
+
+def _cmd_spot(celia: Celia, args) -> int:
+    from repro.spot import compare_spot_vs_ondemand
+
+    app = application_by_name(args.app, seed=celia.seed)
+    demand = celia.demand_gi(app, args.n, args.a)
+    ondemand = celia.min_cost_index(app).query(demand, args.deadline)
+    study = compare_spot_vs_ondemand(
+        ondemand, demand, celia.catalog, args.deadline,
+        bid_fraction=args.bid, trials=args.trials, seed=celia.seed)
+    print(study.render())
+    return 0
+
+
+_COMMANDS = {
+    "characterize": _cmd_characterize,
+    "select": _cmd_select,
+    "predict": _cmd_predict,
+    "plan": _cmd_plan,
+    "validate": _cmd_validate,
+    "spot": _cmd_spot,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    celia = Celia(ec2_catalog(max_nodes_per_type=args.quota), seed=args.seed)
+    try:
+        return _COMMANDS[args.command](celia, args)
+    except InfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

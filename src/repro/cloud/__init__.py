@@ -1,0 +1,47 @@
+"""Cloud substrate: a simulated IaaS provider standing in for Amazon EC2.
+
+CELIA consumes three things from the cloud: a catalog of instance types
+with prices and vCPU counts (Table III), per-type instruction-execution
+capacity (obtained by running scale-down baselines on real instances), and
+on-demand billing.  This package simulates all three, including the
+virtualization effects (overhead, processor sharing between tenants) that
+make the paper's validation errors non-zero.
+"""
+
+from repro.cloud.instance import (
+    InstanceType,
+    Instance,
+    ResourceCategory,
+    StorageKind,
+)
+from repro.cloud.catalog import Catalog, ec2_catalog, make_catalog
+from repro.cloud.pricing import (
+    BillingModel,
+    LinearBilling,
+    HourlyQuantizedBilling,
+    PerSecondBilling,
+    SpotPriceProcess,
+)
+from repro.cloud.virtualization import VirtualizationModel
+from repro.cloud.provider import CloudProvider, Lease
+from repro.cloud.billing import BillingLedger, LedgerEntry
+
+__all__ = [
+    "InstanceType",
+    "Instance",
+    "ResourceCategory",
+    "StorageKind",
+    "Catalog",
+    "ec2_catalog",
+    "make_catalog",
+    "BillingModel",
+    "LinearBilling",
+    "HourlyQuantizedBilling",
+    "PerSecondBilling",
+    "SpotPriceProcess",
+    "VirtualizationModel",
+    "CloudProvider",
+    "Lease",
+    "BillingLedger",
+    "LedgerEntry",
+]

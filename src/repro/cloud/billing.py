@@ -1,0 +1,61 @@
+"""Cost accounting for the simulated provider."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LedgerEntry", "BillingLedger"]
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerEntry:
+    """One billed instance-termination event."""
+
+    lease_id: int
+    instance_id: str
+    type_name: str
+    uptime_hours: float
+    amount: float
+
+
+class BillingLedger:
+    """Append-only record of all billed amounts for one provider."""
+
+    def __init__(self) -> None:
+        self._entries: list[LedgerEntry] = []
+
+    def record(self, *, lease_id: int, instance_id: str, type_name: str,
+               uptime_hours: float, amount: float) -> LedgerEntry:
+        """Append one entry and return it."""
+        entry = LedgerEntry(
+            lease_id=lease_id,
+            instance_id=instance_id,
+            type_name=type_name,
+            uptime_hours=uptime_hours,
+            amount=amount,
+        )
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> list[LedgerEntry]:
+        """All entries in insertion order (copy)."""
+        return list(self._entries)
+
+    def total(self) -> float:
+        """Total dollars billed so far."""
+        return sum(e.amount for e in self._entries)
+
+    def total_for_lease(self, lease_id: int) -> float:
+        """Dollars billed against one lease."""
+        return sum(e.amount for e in self._entries if e.lease_id == lease_id)
+
+    def by_type(self) -> dict[str, float]:
+        """Dollars billed per instance-type name."""
+        out: dict[str, float] = {}
+        for e in self._entries:
+            out[e.type_name] = out.get(e.type_name, 0.0) + e.amount
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)

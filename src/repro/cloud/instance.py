@@ -1,0 +1,148 @@
+"""Instance types and instances of the simulated cloud.
+
+Mirrors Amazon EC2's taxonomy as used in the paper: *categories*
+(compute-intensive ``c4``, general-purpose ``m4``, memory-optimized
+``r3``) each containing *types* (``large``, ``xlarge``, ``2xlarge``) that
+double vCPUs (and roughly price) at each step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = ["ResourceCategory", "StorageKind", "InstanceType", "Instance"]
+
+
+class ResourceCategory(enum.Enum):
+    """EC2 resource category (performance family)."""
+
+    COMPUTE = "c4"
+    GENERAL = "m4"
+    MEMORY = "r3"
+
+    @classmethod
+    def from_prefix(cls, prefix: str) -> "ResourceCategory":
+        """Map a family prefix like ``"c4"`` to a category."""
+        for cat in cls:
+            if cat.value == prefix:
+                return cat
+        raise ValidationError(f"unknown resource category prefix: {prefix!r}")
+
+
+class StorageKind(enum.Enum):
+    """Instance storage backing (Table III's Storage column)."""
+
+    EBS = "EBS"
+    LOCAL_SSD = "SSD"
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceType:
+    """A cloud resource type — one row of Table III.
+
+    Attributes
+    ----------
+    name:
+        Full type name, e.g. ``"c4.xlarge"``.
+    category:
+        The resource category (family) the type belongs to.
+    vcpus:
+        Number of virtual processors ``v_i``.  Each vCPU is modeled as a
+        hyper-thread of the underlying physical core, as in the paper.
+    frequency_ghz:
+        Base frequency of the host processor; only used by the
+        spec-frequency baseline estimator, never by CELIA proper.
+    memory_gb:
+        Instance memory.  Not part of CELIA's capacity model (the paper's
+        applications are compute-bound) but kept for catalog fidelity and
+        memory-feasibility checks in the engine.
+    storage:
+        EBS or local SSD with the local size in GB (0 for EBS).
+    price_per_hour:
+        On-demand price ``c_i`` in dollars per hour.
+    host_processor:
+        Marketing name of the host CPU (documentation only).
+    """
+
+    name: str
+    category: ResourceCategory
+    vcpus: int
+    frequency_ghz: float
+    memory_gb: float
+    storage: StorageKind
+    local_storage_gb: float
+    price_per_hour: float
+    host_processor: str = ""
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValidationError(f"{self.name}: vcpus must be >= 1")
+        if self.price_per_hour <= 0:
+            raise ValidationError(f"{self.name}: price must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValidationError(f"{self.name}: frequency must be positive")
+        if self.memory_gb <= 0:
+            raise ValidationError(f"{self.name}: memory must be positive")
+        if self.local_storage_gb < 0:
+            raise ValidationError(f"{self.name}: storage size must be >= 0")
+        if (self.storage is StorageKind.LOCAL_SSD) != (self.local_storage_gb > 0):
+            raise ValidationError(
+                f"{self.name}: local storage size must be positive exactly "
+                f"when storage kind is local SSD"
+            )
+
+    @property
+    def size_label(self) -> str:
+        """The size part of the name (``"large"``, ``"2xlarge"``, ...)."""
+        _, _, size = self.name.partition(".")
+        return size
+
+    def spec_gips_upper_bound(self, instructions_per_cycle: float = 1.0) -> float:
+        """Frequency-based capacity upper bound in GI/s.
+
+        The paper notes one *could* estimate capacity from the spec sheet
+        frequency, then rejects that in favour of measurement; this method
+        exists to implement that rejected baseline
+        (:mod:`repro.baselines.specbound`).
+        """
+        if instructions_per_cycle <= 0:
+            raise ValidationError("instructions_per_cycle must be positive")
+        return self.frequency_ghz * self.vcpus * instructions_per_cycle
+
+
+@dataclass(slots=True)
+class Instance:
+    """A provisioned node of some :class:`InstanceType`.
+
+    Instances are created by the :class:`~repro.cloud.provider.CloudProvider`
+    and carry the identity and host-level state the execution engine needs
+    (notably the per-instance *contention factor* sampled from the
+    virtualization model, which makes two instances of the same type
+    slightly different — the paper attributes most of its prediction error
+    to exactly this processor-sharing effect).
+    """
+
+    instance_id: str
+    itype: InstanceType
+    contention_factor: float = 1.0
+    launched_at_hours: float = 0.0
+    terminated_at_hours: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.contention_factor <= 0:
+            raise ValidationError("contention factor must be positive")
+
+    @property
+    def running(self) -> bool:
+        """True while the instance has not been terminated."""
+        return self.terminated_at_hours is None
+
+    def uptime_hours(self, now_hours: float) -> float:
+        """Billable uptime at simulated time ``now_hours``."""
+        end = self.terminated_at_hours if self.terminated_at_hours is not None else now_hours
+        if end < self.launched_at_hours:
+            raise ValidationError("instance terminated before launch")
+        return end - self.launched_at_hours

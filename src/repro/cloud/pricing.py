@@ -1,0 +1,151 @@
+"""Billing models for the simulated provider.
+
+CELIA's analytical cost model (Eq. 5) is *linear*: ``C = T × C_u``.  Real
+EC2 in 2017 billed by the full hour, which is one of the effects that make
+predicted and measured costs differ in Table IV.  The engine therefore
+supports several billing models; experiments use
+:class:`HourlyQuantizedBilling` for "actual" costs and the analytical
+model's linearity for predictions, exactly mirroring the paper's setup.
+
+A simple mean-reverting :class:`SpotPriceProcess` is included to support
+the paper's related-work discussion (spot instances are explicitly out of
+scope for CELIA, but the ablation benchmarks use the process to show *why*
+deadline guarantees break under spot pricing).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "BillingModel",
+    "LinearBilling",
+    "HourlyQuantizedBilling",
+    "PerSecondBilling",
+    "SpotPriceProcess",
+]
+
+
+class BillingModel(ABC):
+    """Maps (hourly price, uptime) to a billed amount in dollars."""
+
+    @abstractmethod
+    def amount_due(self, price_per_hour: float, uptime_hours: float) -> float:
+        """Dollars owed for keeping one instance up for ``uptime_hours``."""
+
+    def validate_inputs(self, price_per_hour: float, uptime_hours: float) -> None:
+        """Shared input validation for all billing models."""
+        if price_per_hour < 0:
+            raise ValidationError("price must be non-negative")
+        if uptime_hours < 0:
+            raise ValidationError("uptime must be non-negative")
+
+
+class LinearBilling(BillingModel):
+    """Exact proportional billing — the analytical model's assumption."""
+
+    def amount_due(self, price_per_hour: float, uptime_hours: float) -> float:
+        self.validate_inputs(price_per_hour, uptime_hours)
+        return price_per_hour * uptime_hours
+
+
+class HourlyQuantizedBilling(BillingModel):
+    """Bill full hours, rounding uptime up — EC2's 2017 on-demand policy.
+
+    Any positive uptime is billed at least one hour.
+    """
+
+    def amount_due(self, price_per_hour: float, uptime_hours: float) -> float:
+        self.validate_inputs(price_per_hour, uptime_hours)
+        if uptime_hours == 0:
+            return 0.0
+        return price_per_hour * math.ceil(uptime_hours)
+
+
+class PerSecondBilling(BillingModel):
+    """Per-second billing with a minimum charge (EC2's post-2017 policy).
+
+    Included as an extension point: re-running the experiments under
+    per-second billing shows how much of Table IV's cost error is billing
+    quantization rather than performance mis-prediction.
+    """
+
+    def __init__(self, minimum_seconds: float = 60.0):
+        if minimum_seconds < 0:
+            raise ValidationError("minimum charge must be non-negative")
+        self.minimum_seconds = minimum_seconds
+
+    def amount_due(self, price_per_hour: float, uptime_hours: float) -> float:
+        self.validate_inputs(price_per_hour, uptime_hours)
+        if uptime_hours == 0:
+            return 0.0
+        seconds = max(math.ceil(uptime_hours * 3600.0), self.minimum_seconds)
+        return price_per_hour * seconds / 3600.0
+
+
+class SpotPriceProcess:
+    """Mean-reverting (Ornstein–Uhlenbeck-like) spot price path generator.
+
+    ``price_{k+1} = price_k + theta*(mean - price_k)*dt + sigma*sqrt(dt)*N``
+    clipped from below at ``floor_fraction * mean``.  Prices exceeding the
+    on-demand price model out-bid termination events.
+
+    Parameters
+    ----------
+    on_demand_price:
+        Hourly on-demand price for the type; the spot mean defaults to a
+        fraction of it and crossing it means termination.
+    mean_fraction:
+        Long-run spot mean as a fraction of the on-demand price.
+    theta, sigma:
+        Mean-reversion speed per hour and *relative* volatility — sigma
+        scales the mean price, so price swings are proportional to the
+        market's level regardless of instance size.
+    """
+
+    def __init__(self, on_demand_price: float, *, mean_fraction: float = 0.35,
+                 theta: float = 0.6, sigma: float = 0.35,
+                 floor_fraction: float = 0.05):
+        if on_demand_price <= 0:
+            raise ValidationError("on-demand price must be positive")
+        if not (0 < mean_fraction <= 1):
+            raise ValidationError("mean_fraction must be in (0, 1]")
+        if theta <= 0 or sigma < 0:
+            raise ValidationError("theta must be > 0 and sigma >= 0")
+        self.on_demand_price = on_demand_price
+        self.mean_price = mean_fraction * on_demand_price
+        self.theta = theta
+        self.sigma = sigma * self.mean_price
+        self.floor = floor_fraction * self.mean_price
+
+    def sample_path(self, hours: float, step_hours: float,
+                    rng: np.random.Generator) -> np.ndarray:
+        """Simulate a spot price path over ``hours`` at ``step_hours`` steps."""
+        if hours <= 0 or step_hours <= 0:
+            raise ValidationError("hours and step_hours must be positive")
+        n_steps = int(math.ceil(hours / step_hours)) + 1
+        prices = np.empty(n_steps, dtype=np.float64)
+        prices[0] = self.mean_price
+        noise = rng.standard_normal(n_steps - 1)
+        sqrt_dt = math.sqrt(step_hours)
+        for k in range(n_steps - 1):
+            drift = self.theta * (self.mean_price - prices[k]) * step_hours
+            prices[k + 1] = prices[k] + drift + self.sigma * sqrt_dt * noise[k]
+        return np.clip(prices, self.floor, None)
+
+    def first_interruption_hour(self, path: np.ndarray,
+                                step_hours: float,
+                                bid_price: float) -> float | None:
+        """Hour of the first step where the spot price exceeds the bid.
+
+        Returns ``None`` if the bid survives the whole path.
+        """
+        above = np.flatnonzero(np.asarray(path) > bid_price)
+        if above.size == 0:
+            return None
+        return float(above[0]) * step_hours

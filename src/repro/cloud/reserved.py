@@ -1,0 +1,110 @@
+"""Reserved-instance pricing — the commitment alternative to on-demand.
+
+EC2 sells the same instance types under reservation contracts: pay part
+(or all) upfront for a term, get a discounted hourly rate.  CELIA's
+models price single runs at on-demand rates; this module answers the
+follow-on question a recurring workload raises — *at what utilization
+does reserving beat on-demand?* — and converts a reservation into the
+effective hourly price CELIA's cost model can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import InstanceType
+from repro.errors import ValidationError
+
+__all__ = ["ReservedOffering", "standard_one_year_offering"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReservedOffering:
+    """One reservation contract for an instance type.
+
+    Attributes
+    ----------
+    itype:
+        The reserved instance type.
+    upfront_dollars:
+        One-time payment at purchase.
+    hourly_dollars:
+        Discounted hourly rate while the reservation is active (paid for
+        every hour of the term whether used or not under "no-upfront";
+        here: paid only when running, matching partial-upfront contracts).
+    term_hours:
+        Contract length (1 year = 8,766 h).
+    """
+
+    itype: InstanceType
+    upfront_dollars: float
+    hourly_dollars: float
+    term_hours: float
+
+    def __post_init__(self) -> None:
+        if self.upfront_dollars < 0 or self.hourly_dollars < 0:
+            raise ValidationError("payments must be non-negative")
+        if self.term_hours <= 0:
+            raise ValidationError("term must be positive")
+        if self.hourly_dollars >= self.itype.price_per_hour:
+            raise ValidationError(
+                "a reservation must discount the on-demand hourly rate")
+
+    def effective_hourly(self, hours_used: float) -> float:
+        """All-in hourly price when the reservation runs ``hours_used``.
+
+        Amortizes the upfront over the hours actually used; the contract
+        cannot be used beyond its term.
+        """
+        if not (0 < hours_used <= self.term_hours):
+            raise ValidationError(
+                f"hours_used must be in (0, {self.term_hours}]")
+        return self.hourly_dollars + self.upfront_dollars / hours_used
+
+    def breakeven_hours(self) -> float:
+        """Usage above which the reservation beats on-demand.
+
+        Solves ``hourly + upfront / h = on_demand`` for ``h``; returns
+        ``inf`` when the contract can never break even within its term.
+        """
+        margin = self.itype.price_per_hour - self.hourly_dollars
+        hours = self.upfront_dollars / margin
+        return hours if hours <= self.term_hours else float("inf")
+
+    def breakeven_utilization(self) -> float:
+        """Break-even point as a fraction of the term."""
+        hours = self.breakeven_hours()
+        return hours / self.term_hours if hours != float("inf") else float("inf")
+
+    def saving_fraction(self, hours_used: float) -> float:
+        """1 − reserved cost / on-demand cost for the given usage."""
+        effective = self.effective_hourly(hours_used)
+        return 1.0 - effective / self.itype.price_per_hour
+
+
+#: Hours in one contract year.
+YEAR_HOURS = 8766.0
+
+
+def standard_one_year_offering(itype: InstanceType,
+                               *, upfront_fraction: float = 0.5,
+                               hourly_discount: float = 0.40
+                               ) -> ReservedOffering:
+    """A typical partial-upfront 1-year contract for ``itype``.
+
+    Defaults approximate EC2's 2017 standard 1-year partial-upfront
+    pricing: ~50% of a year's on-demand cost upfront is replaced here by
+    ``upfront_fraction`` of *half* the yearly on-demand spend, with the
+    running rate discounted by ``hourly_discount``.
+    """
+    if not (0 <= upfront_fraction <= 1):
+        raise ValidationError("upfront fraction must be in [0, 1]")
+    if not (0 < hourly_discount < 1):
+        raise ValidationError("hourly discount must be in (0, 1)")
+    yearly_on_demand = itype.price_per_hour * YEAR_HOURS
+    return ReservedOffering(
+        itype=itype,
+        upfront_dollars=upfront_fraction * 0.5 * yearly_on_demand,
+        hourly_dollars=itype.price_per_hour * (1.0 - hourly_discount),
+        term_hours=YEAR_HOURS,
+    )

@@ -1,0 +1,206 @@
+"""Campaign planning: budget allocation across multiple elastic runs.
+
+A lab rarely runs one job.  Given several independent elastic runs (each
+with its own application, problem size and accuracy range) plus a shared
+deadline and one *total* budget, how should the budget be split so total
+output quality is maximized?
+
+Because each run's accuracy-vs-cost curve is concave for the paper's
+applications (linear or logarithmic accuracy terms mean diminishing
+accuracy returns per dollar; quadratic ones are handled by working on
+the measured curve directly), greedy marginal allocation is near-optimal:
+repeatedly give the next budget increment to the run with the best
+accuracy-score gain per dollar.  The curves themselves come from the
+exact per-run optimum (:class:`~repro.core.optimizer.MinCostIndex`), so
+each candidate allocation is individually cost-optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ElasticApplication
+from repro.core.optimizer import MinCostIndex
+from repro.errors import InfeasibleError, ValidationError
+from repro.measurement.fitting import FittedDemand
+
+__all__ = ["CampaignRun", "RunAllocation", "CampaignPlan", "plan_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One elastic run competing for the campaign budget."""
+
+    name: str
+    app: ElasticApplication
+    demand: FittedDemand
+    index: MinCostIndex
+    problem_size: float
+    accuracy_levels: np.ndarray  # candidate knob values, ascending
+    #: Relative importance of this run's accuracy score (default 1).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        levels = np.asarray(self.accuracy_levels, dtype=float)
+        if levels.ndim != 1 or levels.size < 1:
+            raise ValidationError("accuracy_levels must be a 1-D array")
+        if np.any(np.diff(levels) <= 0):
+            raise ValidationError("accuracy_levels must be strictly increasing")
+        if self.weight <= 0:
+            raise ValidationError("weight must be positive")
+
+
+@dataclass(frozen=True)
+class RunAllocation:
+    """The chosen accuracy level and configuration for one run."""
+
+    run_name: str
+    accuracy: float | None  # None when the run was dropped entirely
+    cost_dollars: float
+    score: float
+    configuration: tuple[int, ...] | None
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A full campaign allocation."""
+
+    allocations: tuple[RunAllocation, ...]
+    total_cost: float
+    total_score: float
+    budget_dollars: float
+    deadline_hours: float
+
+    def allocation_for(self, run_name: str) -> RunAllocation:
+        """Allocation of one run by name."""
+        for alloc in self.allocations:
+            if alloc.run_name == run_name:
+                return alloc
+        raise KeyError(f"no allocation for run {run_name!r}")
+
+    def render(self) -> str:
+        """Readable allocation table."""
+        lines = [
+            f"campaign plan: budget ${self.budget_dollars:g}, "
+            f"deadline {self.deadline_hours:g} h -> total score "
+            f"{self.total_score:.3f} at ${self.total_cost:.2f}",
+        ]
+        for alloc in self.allocations:
+            if alloc.accuracy is None:
+                lines.append(f"  {alloc.run_name}: dropped (unaffordable)")
+            else:
+                lines.append(
+                    f"  {alloc.run_name}: accuracy {alloc.accuracy:g} "
+                    f"(score {alloc.score:.3f}) for "
+                    f"${alloc.cost_dollars:.2f} on "
+                    f"{list(alloc.configuration)}"
+                )
+        return "\n".join(lines)
+
+
+def _cost_score_curves(run: CampaignRun, deadline_hours: float
+                       ) -> tuple[np.ndarray, np.ndarray, list]:
+    """(costs, weighted scores, answers) per feasible accuracy level."""
+    costs = []
+    scores = []
+    answers = []
+    for level in run.accuracy_levels:
+        demand_gi = run.demand.gi(run.problem_size, float(level))
+        try:
+            answer = run.index.query(demand_gi, deadline_hours)
+        except InfeasibleError:
+            break  # higher levels only need more capacity
+        costs.append(answer.cost_dollars)
+        scores.append(run.weight * run.app.accuracy_score(float(level)))
+        answers.append(answer)
+    return np.asarray(costs), np.asarray(scores), answers
+
+
+def plan_campaign(
+    runs: list[CampaignRun],
+    deadline_hours: float,
+    budget_dollars: float,
+) -> CampaignPlan:
+    """Greedy marginal allocation of one budget across runs.
+
+    Every run starts unallocated (score 0).  At each step, the upgrade
+    (run, next accuracy level) with the highest score gain per marginal
+    dollar that still fits the remaining budget is applied.  Runs whose
+    cheapest level never fits are dropped with a zero score.
+
+    Deadlines are per-run (all runs may execute concurrently on separate
+    configurations; the provider's quota is assumed per-run, matching the
+    paper's single-application scope).
+    """
+    if not runs:
+        raise ValidationError("campaign needs at least one run")
+    if deadline_hours <= 0 or budget_dollars <= 0:
+        raise ValidationError("deadline and budget must be positive")
+    names = [r.name for r in runs]
+    if len(set(names)) != len(names):
+        raise ValidationError("run names must be unique")
+
+    curves = {r.name: _cost_score_curves(r, deadline_hours) for r in runs}
+    # current level index per run: -1 = not scheduled.
+    chosen: dict[str, int] = {r.name: -1 for r in runs}
+    spent = 0.0
+
+    while True:
+        best_name = None
+        best_gain_rate = 0.0
+        best_delta_cost = 0.0
+        for r in runs:
+            costs, scores, _ = curves[r.name]
+            k = chosen[r.name]
+            if k + 1 >= costs.size:
+                continue
+            delta_cost = costs[k + 1] - (costs[k] if k >= 0 else 0.0)
+            delta_score = scores[k + 1] - (scores[k] if k >= 0 else 0.0)
+            if delta_cost <= 0:
+                # Free upgrade (cost curve flat): always take it.
+                gain_rate = np.inf
+            else:
+                if spent + delta_cost > budget_dollars:
+                    continue
+                gain_rate = delta_score / delta_cost
+            if gain_rate > best_gain_rate:
+                best_gain_rate = gain_rate
+                best_name = r.name
+                best_delta_cost = max(delta_cost, 0.0)
+        if best_name is None:
+            break
+        chosen[best_name] += 1
+        spent += best_delta_cost
+        # Recompute spent exactly to avoid drift on free upgrades.
+        spent = sum(
+            curves[name][0][k] for name, k in chosen.items() if k >= 0
+        )
+
+    allocations = []
+    total_score = 0.0
+    for r in runs:
+        costs, scores, answers = curves[r.name]
+        k = chosen[r.name]
+        if k < 0:
+            allocations.append(RunAllocation(
+                run_name=r.name, accuracy=None, cost_dollars=0.0,
+                score=0.0, configuration=None))
+        else:
+            total_score += float(scores[k])
+            allocations.append(RunAllocation(
+                run_name=r.name,
+                accuracy=float(r.accuracy_levels[k]),
+                cost_dollars=float(costs[k]),
+                score=float(scores[k]),
+                configuration=answers[k].configuration,
+            ))
+    total_cost = sum(a.cost_dollars for a in allocations)
+    return CampaignPlan(
+        allocations=tuple(allocations),
+        total_cost=total_cost,
+        total_score=total_score,
+        budget_dollars=budget_dollars,
+        deadline_hours=deadline_hours,
+    )

@@ -1,0 +1,234 @@
+"""The CELIA facade — the full Figure 1 pipeline in one object.
+
+Given a catalog and a measurement harness, :class:`Celia`:
+
+1. characterizes an application's demand (local perf runs + fitting) and
+   the cloud's capacities (timed baselines) — cached per application;
+2. evaluates the full configuration space once per application (``U_j``,
+   ``C_{j,u}`` for all S configurations) — also cached;
+3. answers predictions (Eq. 2/5), Algorithm-1 selections, and optimal
+   configuration queries.
+
+Everything downstream of the cached artefacts is deterministic pure
+math, so one ``Celia`` instance can drive all figures of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ElasticApplication
+from repro.cloud.catalog import Catalog
+from repro.core.characterization import (
+    CharacterizationResult,
+    characterize_resources,
+)
+from repro.core.configspace import ConfigurationSpace, SpaceEvaluation
+from repro.core.optimizer import MinCostIndex, MinTimeIndex, OptimizerAnswer
+from repro.core.selection import SelectionResult, select_configurations
+from repro.engine.runner import EngineConfig
+from repro.errors import ValidationError
+from repro.measurement.baseline import measure_demand_grid
+from repro.measurement.fitting import FittedDemand, fit_separable_demand
+from repro.measurement.perf import PerfCounter
+from repro.measurement.profiles import ApplicationProfile
+
+__all__ = ["Prediction", "Celia"]
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """Predicted time and cost of one run on one configuration."""
+
+    configuration: tuple[int, ...]
+    demand_gi: float
+    capacity_gips: float
+    unit_cost_per_hour: float
+    time_hours: float
+    cost_dollars: float
+
+
+class Celia:
+    """Measurement-driven cost-time optimizer for elastic applications.
+
+    Parameters
+    ----------
+    catalog:
+        Cloud resource types and quotas (Table III by default upstream).
+    perf:
+        Local instruction-counting harness; a default PerfCounter on the
+        paper's Xeon server is created if omitted.
+    engine_config:
+        Realism knobs for the simulated baseline timings.
+    characterization_method:
+        ``"full"`` (time every type) or ``"by-category"`` (Section IV-C).
+    seed:
+        Root seed for all measurement randomness.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        perf: PerfCounter | None = None,
+        engine_config: EngineConfig | None = None,
+        characterization_method: str = "full",
+        seed: int = 0,
+    ):
+        self.catalog = catalog
+        self.perf = perf or PerfCounter(seed=seed)
+        self.engine_config = engine_config or EngineConfig()
+        self.characterization_method = characterization_method
+        self.seed = seed
+        self.space = ConfigurationSpace(catalog)
+        self._demand_cache: dict[str, FittedDemand] = {}
+        self._characterization_cache: dict[str, CharacterizationResult] = {}
+        self._evaluation_cache: dict[str, SpaceEvaluation] = {}
+        self._min_cost_cache: dict[str, MinCostIndex] = {}
+        self._min_time_cache: dict[str, MinTimeIndex] = {}
+
+    # -- characterization (cached) ---------------------------------------------
+
+    def demand_model(self, app: ElasticApplication) -> FittedDemand:
+        """Fitted demand model of ``app`` (measures on first call)."""
+        if app.name not in self._demand_cache:
+            samples = measure_demand_grid(app, self.perf)
+            self._demand_cache[app.name] = fit_separable_demand(samples)
+        return self._demand_cache[app.name]
+
+    def characterization(self, app: ElasticApplication) -> CharacterizationResult:
+        """Per-type capacity characterization of ``app`` (cached)."""
+        if app.name not in self._characterization_cache:
+            self._characterization_cache[app.name] = characterize_resources(
+                app,
+                self.catalog,
+                self.perf,
+                method=self.characterization_method,
+                engine_config=self.engine_config,
+                seed=self.seed,
+            )
+        return self._characterization_cache[app.name]
+
+    def capacities(self, app: ElasticApplication) -> np.ndarray:
+        """Measured per-type capacity vector ``W`` (GI/s, catalog order)."""
+        return self.characterization(app).capacity_vector()
+
+    def profile(self, app: ElasticApplication) -> ApplicationProfile:
+        """Bundle demand model + capacities for persistence."""
+        fitted = self.demand_model(app)
+        capacities = self.capacities(app)
+        return ApplicationProfile(
+            app_name=app.name,
+            demand=fitted.model,
+            capacities_gips={
+                t.name: float(w) for t, w in zip(self.catalog, capacities)
+            },
+        )
+
+    # -- space evaluation (cached) -----------------------------------------------
+
+    def evaluation(self, app: ElasticApplication) -> SpaceEvaluation:
+        """``U_j`` / ``C_{j,u}`` over the full space for ``app`` (cached)."""
+        if app.name not in self._evaluation_cache:
+            self._evaluation_cache[app.name] = self.space.evaluate(
+                self.capacities(app)
+            )
+        return self._evaluation_cache[app.name]
+
+    def min_cost_index(self, app: ElasticApplication) -> MinCostIndex:
+        """Deadline-query index over the space for ``app`` (cached)."""
+        if app.name not in self._min_cost_cache:
+            self._min_cost_cache[app.name] = MinCostIndex(self.evaluation(app))
+        return self._min_cost_cache[app.name]
+
+    def min_time_index(self, app: ElasticApplication) -> MinTimeIndex:
+        """Budget-query index over the space for ``app`` (cached)."""
+        if app.name not in self._min_time_cache:
+            self._min_time_cache[app.name] = MinTimeIndex(self.evaluation(app))
+        return self._min_time_cache[app.name]
+
+    # -- queries -------------------------------------------------------------------
+
+    def demand_gi(self, app: ElasticApplication, n: float, a: float) -> float:
+        """Estimated demand of ``P(n, a)`` from the fitted model (GI)."""
+        app.validate_params(n, a)
+        return self.demand_model(app).gi(n, a)
+
+    def predict(self, app: ElasticApplication, n: float, a: float,
+                configuration: tuple[int, ...] | list[int]) -> Prediction:
+        """Eq. 2 and Eq. 5 for one run on one explicit configuration."""
+        vec = np.asarray(configuration, dtype=np.int64)
+        if vec.shape != (len(self.catalog),):
+            raise ValidationError(
+                f"configuration needs {len(self.catalog)} entries"
+            )
+        if vec.sum() == 0:
+            raise ValidationError("configuration must contain at least one node")
+        demand = self.demand_gi(app, n, a)
+        capacities = self.capacities(app)
+        capacity = float(vec @ capacities)
+        unit_cost = float(vec @ self.catalog.prices)
+        time_h = demand / capacity / 3600.0
+        return Prediction(
+            configuration=tuple(int(v) for v in vec),
+            demand_gi=demand,
+            capacity_gips=capacity,
+            unit_cost_per_hour=unit_cost,
+            time_hours=time_h,
+            cost_dollars=time_h * unit_cost,
+        )
+
+    def memory_infeasible_types(self, app: ElasticApplication,
+                                n: float, a: float) -> list[int]:
+        """Catalog indices whose memory cannot host ``P(n, a)``.
+
+        A type is infeasible when ``memory_gb < vcpus × per-vCPU working
+        set`` (one worker per vCPU, the paper's execution model).
+        """
+        app.validate_params(n, a)
+        per_vcpu = app.min_memory_gb_per_vcpu(n, a)
+        return [
+            i for i, t in enumerate(self.catalog)
+            if t.memory_gb < t.vcpus * per_vcpu
+        ]
+
+    def select(self, app: ElasticApplication, n: float, a: float,
+               deadline_hours: float, budget_dollars: float,
+               *, enforce_memory: bool = False) -> SelectionResult:
+        """Algorithm 1: all feasible configurations → Pareto frontier.
+
+        With ``enforce_memory=True``, configurations using any type whose
+        memory cannot hold the application's working set are excluded —
+        an extension beyond the paper, which treats all applications as
+        compute-bound (matching its evaluation; defaults preserve that).
+        """
+        demand = self.demand_gi(app, n, a)
+        exclude_mask = None
+        if enforce_memory:
+            bad_types = self.memory_infeasible_types(app, n, a)
+            if bad_types:
+                exclude_mask = self.space.mask_using_types(bad_types)
+        return select_configurations(
+            self.evaluation(app), demand, deadline_hours, budget_dollars,
+            exclude_mask=exclude_mask,
+        )
+
+    def min_cost(self, app: ElasticApplication, n: float, a: float,
+                 deadline_hours: float,
+                 *, budget_dollars: float | None = None) -> OptimizerAnswer:
+        """Cheapest configuration meeting the deadline."""
+        demand = self.demand_gi(app, n, a)
+        return self.min_cost_index(app).query(
+            demand, deadline_hours, budget_dollars=budget_dollars
+        )
+
+    def min_time(self, app: ElasticApplication, n: float, a: float,
+                 budget_dollars: float,
+                 *, deadline_hours: float | None = None) -> OptimizerAnswer:
+        """Fastest configuration within the budget."""
+        demand = self.demand_gi(app, n, a)
+        return self.min_time_index(app).query(
+            demand, budget_dollars, deadline_hours=deadline_hours
+        )

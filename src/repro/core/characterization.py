@@ -1,0 +1,145 @@
+"""Cloud-resource characterization — Section IV-B/IV-C and Figure 3.
+
+Wraps the measurement layer into the artefacts the evaluation uses:
+per-type measured rates, the *normalized performance* metric
+(GI/s per dollar-hour — Figure 3's y-axis), and the within-category
+spread that justifies the Section IV-C one-type-per-category shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ElasticApplication
+from repro.cloud.catalog import Catalog
+from repro.cloud.instance import ResourceCategory
+from repro.engine.runner import EngineConfig
+from repro.errors import ValidationError
+from repro.measurement.baseline import (
+    measure_capacities,
+    measure_capacities_by_category,
+)
+from repro.measurement.perf import PerfCounter
+
+__all__ = ["TypeCharacterization", "CharacterizationResult", "characterize_resources"]
+
+
+@dataclass(frozen=True, slots=True)
+class TypeCharacterization:
+    """One instance type's characterization for one application."""
+
+    type_name: str
+    category: ResourceCategory
+    rate_gips: float
+    price_per_hour: float
+    extrapolated: bool
+
+    @property
+    def normalized_performance(self) -> float:
+        """GI/s per $/h — Figure 3's metric."""
+        return self.rate_gips / self.price_per_hour
+
+    @property
+    def rate_per_vcpu_note(self) -> str:
+        """Readable rate summary."""
+        return f"{self.rate_gips:.2f} GI/s @ ${self.price_per_hour}/h"
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Full per-type characterization of one application on one catalog."""
+
+    app_name: str
+    entries: tuple[TypeCharacterization, ...]
+    method: str  # "full" or "by-category"
+
+    def capacity_vector(self) -> np.ndarray:
+        """Measured ``W`` in catalog order (GI/s)."""
+        return np.array([e.rate_gips for e in self.entries])
+
+    def normalized(self) -> dict[str, float]:
+        """Normalized performance per type name (Figure 3 bars)."""
+        return {e.type_name: e.normalized_performance for e in self.entries}
+
+    def category_normalized(self) -> dict[ResourceCategory, float]:
+        """Mean normalized performance per category."""
+        sums: dict[ResourceCategory, list[float]] = {}
+        for e in self.entries:
+            sums.setdefault(e.category, []).append(e.normalized_performance)
+        return {cat: float(np.mean(vals)) for cat, vals in sums.items()}
+
+    def within_category_spread(self) -> dict[ResourceCategory, float]:
+        """Relative spread (max/min − 1) of normalized performance.
+
+        The paper reports e.g. 26.27 / 26.21 / 26.01 GI/s/$ across c4
+        types for galaxy — a spread of ~1% — and concludes profiling one
+        type per category suffices.
+        """
+        by_cat: dict[ResourceCategory, list[float]] = {}
+        for e in self.entries:
+            by_cat.setdefault(e.category, []).append(e.normalized_performance)
+        out = {}
+        for cat, vals in by_cat.items():
+            lo, hi = min(vals), max(vals)
+            if lo <= 0:
+                raise ValidationError("normalized performance must be positive")
+            out[cat] = hi / lo - 1.0
+        return out
+
+    def category_ratios(self, reference: ResourceCategory = ResourceCategory.MEMORY
+                        ) -> dict[ResourceCategory, float]:
+        """Normalized performance of each category relative to ``reference``.
+
+        The paper's Section IV-C headline: c4 ≈ 2× and m4 ≈ 1.5× the r3
+        normalized performance, for every application.
+        """
+        means = self.category_normalized()
+        if reference not in means:
+            raise ValidationError(f"no entries for reference category {reference}")
+        ref = means[reference]
+        return {cat: val / ref for cat, val in means.items()}
+
+
+def characterize_resources(
+    app: ElasticApplication,
+    catalog: Catalog,
+    perf: PerfCounter,
+    *,
+    method: str = "full",
+    engine_config: EngineConfig | None = None,
+    seed: int = 0,
+) -> CharacterizationResult:
+    """Measure (or extrapolate) every type's rate for ``app``.
+
+    ``method="full"`` times a baseline on all M types (Section IV-B);
+    ``method="by-category"`` times one per category and extrapolates by
+    price (Section IV-C).
+    """
+    if method == "full":
+        _, measurements = measure_capacities(
+            app, catalog, perf, engine_config=engine_config, seed=seed
+        )
+    elif method == "by-category":
+        _, measurements = measure_capacities_by_category(
+            app, catalog, perf, engine_config=engine_config, seed=seed
+        )
+    else:
+        raise ValidationError(f"unknown characterization method {method!r}")
+
+    entries = []
+    for itype, m in zip(catalog, measurements):
+        assert itype.name == m.type_name
+        entries.append(
+            TypeCharacterization(
+                type_name=itype.name,
+                category=itype.category,
+                rate_gips=m.rate_gips,
+                price_per_hour=itype.price_per_hour,
+                extrapolated=m.extrapolated,
+            )
+        )
+    return CharacterizationResult(
+        app_name=app.name, entries=tuple(entries), method=method
+    )

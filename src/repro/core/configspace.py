@@ -1,0 +1,168 @@
+"""Configuration-space enumeration — Equation 1 and the vectorized sweep.
+
+A configuration is a tuple ``<m_1, ..., m_M>`` with ``0 <= m_i <=
+m_i,max`` and not all zero; the space has ``S = Π (m_i,max + 1) − 1``
+members (Eq. 1) — 10,077,695 for the paper's catalog.  Configurations are
+identified with *linear indices* in ``[1, S]`` under a mixed-radix code
+(first catalog type most significant), so the space never needs to exist
+as Python objects: chunks of the index range are decoded into small
+integer matrices and reduced to capacity/unit-cost vectors with one
+matmul each, following the HPC-guide idiom of keeping the hot path free
+of per-item Python work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.core.capacity import configuration_capacity
+from repro.core.costmodel import configuration_unit_cost
+from repro.errors import ConfigurationError
+
+__all__ = ["ConfigurationSpace", "SpaceEvaluation"]
+
+#: Default number of configurations decoded per chunk (~160 MB peak for
+#: the paper's nine-type space at int16).
+DEFAULT_CHUNK = 1 << 21
+
+
+class ConfigurationSpace:
+    """The set of all non-empty configurations over a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.radices = catalog.quota_vector + 1  # m_i,max + 1 values per slot
+        # Mixed-radix strides, first type most significant.
+        strides = np.ones(len(catalog), dtype=np.int64)
+        for i in range(len(catalog) - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.radices[i + 1]
+        self.strides = strides
+
+    @property
+    def size(self) -> int:
+        """Eq. 1: number of non-empty configurations ``S``."""
+        return self.catalog.configuration_count()
+
+    # -- index <-> configuration codecs --------------------------------------
+
+    def decode(self, indices: np.ndarray | int) -> np.ndarray:
+        """Decode linear indices (1..S) into an (k, M) node-count matrix."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if np.any(idx < 1) or np.any(idx > self.size):
+            raise ConfigurationError(
+                f"indices must be in [1, {self.size}]"
+            )
+        return ((idx[:, None] // self.strides[None, :])
+                % self.radices[None, :]).astype(np.int16)
+
+    def encode(self, configuration: np.ndarray) -> int:
+        """Linear index of one configuration vector."""
+        vec = np.asarray(configuration, dtype=np.int64)
+        if vec.shape != (len(self.catalog),):
+            raise ConfigurationError(
+                f"configuration must have {len(self.catalog)} entries"
+            )
+        if np.any(vec < 0) or np.any(vec > self.catalog.quota_vector):
+            raise ConfigurationError("configuration violates quotas")
+        index = int(np.sum(vec * self.strides))
+        if index == 0:
+            raise ConfigurationError("the empty configuration has no index")
+        return index
+
+    # -- enumeration -----------------------------------------------------------
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK
+                    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(start_index, matrix)`` covering indices 1..S in order.
+
+        ``matrix[r]`` is the configuration with linear index
+        ``start_index + r``.
+        """
+        if chunk_size < 1:
+            raise ConfigurationError("chunk size must be >= 1")
+        total = self.size
+        start = 1
+        while start <= total:
+            stop = min(start + chunk_size, total + 1)
+            yield start, self.decode(np.arange(start, stop, dtype=np.int64))
+            start = stop
+
+    def mask_using_types(self, type_indices: Sequence[int] | np.ndarray,
+                         *, chunk_size: int = DEFAULT_CHUNK) -> np.ndarray:
+        """Boolean array: which configurations use any of the given types.
+
+        Supports constrained selections (e.g. memory feasibility: mark
+        every configuration that places nodes on a type whose memory
+        cannot hold the application's working set).  Row ``r`` is linear
+        index ``r + 1``.
+        """
+        indices = np.asarray(type_indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= len(self.catalog)):
+            raise ConfigurationError("type index out of range")
+        out = np.zeros(self.size, dtype=bool)
+        if indices.size == 0:
+            return out
+        for start, matrix in self.iter_chunks(chunk_size):
+            stop = start + matrix.shape[0]
+            out[start - 1:stop - 1] = (matrix[:, indices] > 0).any(axis=1)
+        return out
+
+    def evaluate(self, capacities_gips: np.ndarray,
+                 *, chunk_size: int = DEFAULT_CHUNK) -> "SpaceEvaluation":
+        """Reduce the whole space to capacity and unit-cost vectors.
+
+        Decodes chunk by chunk so peak memory is one chunk's matrix plus
+        the two S-length float64 outputs (~160 MB for the paper's space).
+        """
+        prices = self.catalog.prices
+        total = self.size
+        capacity = np.empty(total, dtype=np.float64)
+        unit_cost = np.empty(total, dtype=np.float64)
+        for start, matrix in self.iter_chunks(chunk_size):
+            stop = start + matrix.shape[0]
+            capacity[start - 1:stop - 1] = configuration_capacity(
+                matrix, capacities_gips
+            )
+            unit_cost[start - 1:stop - 1] = configuration_unit_cost(matrix, prices)
+        return SpaceEvaluation(space=self, capacity_gips=capacity,
+                               unit_cost_per_hour=unit_cost)
+
+
+@dataclass(frozen=True)
+class SpaceEvaluation:
+    """Precomputed ``U_j`` and ``C_{j,u}`` for every configuration.
+
+    Row ``r`` corresponds to linear index ``r + 1`` (the empty
+    configuration is excluded).  This is the reusable artefact behind all
+    sweep analyses: computing it costs one pass over the space; every
+    (demand, deadline, budget) query afterwards is a cheap vector
+    operation or an indexed lookup.
+    """
+
+    space: ConfigurationSpace
+    capacity_gips: np.ndarray
+    unit_cost_per_hour: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.capacity_gips.shape != (self.space.size,) or \
+                self.unit_cost_per_hour.shape != (self.space.size,):
+            raise ConfigurationError("evaluation arrays must cover the space")
+
+    def configuration_at(self, row: int) -> tuple[int, ...]:
+        """Node-count tuple for evaluation row ``row`` (0-based)."""
+        return tuple(int(v) for v in self.space.decode(row + 1)[0])
+
+    def times_hours(self, demand_gi: float) -> np.ndarray:
+        """Predicted execution time of every configuration (Eq. 2)."""
+        if demand_gi <= 0:
+            raise ConfigurationError("demand must be positive")
+        return demand_gi / self.capacity_gips / 3600.0
+
+    def costs(self, demand_gi: float) -> np.ndarray:
+        """Predicted execution cost of every configuration (Eq. 5)."""
+        return self.times_hours(demand_gi) * self.unit_cost_per_hour

@@ -1,0 +1,188 @@
+"""Accuracy and problem-size planning — the inverse CELIA problem.
+
+CELIA answers "what does run P(n, a) cost under deadline T'?".  The
+paper's introduction motivates the *inverse* question an elastic-
+application user actually has: **given a deadline and a budget, what is
+the best accuracy (or largest problem) I can afford?**  Section I calls
+these the two fixed-time scaling cases: (i) fix deadline and accuracy,
+scale problem size; (ii) fix deadline and problem size, scale accuracy.
+
+Because demand is monotone in both knobs (a defining property of elastic
+applications — more accuracy or more data never needs fewer
+instructions), the feasible region in each knob is an interval and the
+optimum is found by bisection over the knob against the exact min-cost
+index: ``O(log(range) · log S)`` per plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.optimizer import MinCostIndex, OptimizerAnswer
+from repro.errors import InfeasibleError, ValidationError
+from repro.measurement.fitting import FittedDemand
+
+__all__ = ["Plan", "max_accuracy_plan", "max_problem_size_plan"]
+
+#: Relative bisection tolerance on the knob value.
+DEFAULT_TOLERANCE = 1e-4
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A planned run: the chosen knob value and its optimal configuration."""
+
+    knob: str  # "accuracy" or "problem_size"
+    value: float
+    fixed_value: float  # the other parameter, held constant
+    answer: OptimizerAnswer
+    deadline_hours: float
+    budget_dollars: float
+
+    @property
+    def configuration(self) -> tuple[int, ...]:
+        """The cost-optimal configuration for the planned run."""
+        return self.answer.configuration
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"max {self.knob} = {self.value:g} "
+            f"(deadline {self.deadline_hours:g} h, budget "
+            f"${self.budget_dollars:g}) -> {list(self.configuration)} "
+            f"at {self.answer.time_hours:.1f} h / ${self.answer.cost_dollars:.2f}"
+        )
+
+
+def _affordable(index: MinCostIndex, demand_gi: float, deadline_hours: float,
+                budget_dollars: float) -> OptimizerAnswer | None:
+    """Cheapest deadline-meeting answer if it fits the budget, else None."""
+    try:
+        return index.query(demand_gi, deadline_hours,
+                           budget_dollars=budget_dollars)
+    except InfeasibleError:
+        return None
+
+
+def _bisect_knob(
+    evaluate,  # knob value -> demand GI
+    index: MinCostIndex,
+    lo: float,
+    hi: float,
+    deadline_hours: float,
+    budget_dollars: float,
+    tolerance: float,
+    integral: bool,
+) -> tuple[float, OptimizerAnswer]:
+    """Largest knob value in [lo, hi] whose run is affordable.
+
+    Assumes demand (hence cost) is non-decreasing in the knob.  Raises
+    :class:`InfeasibleError` when even ``lo`` is unaffordable.
+    """
+    if lo > hi:
+        raise ValidationError("knob range must satisfy lo <= hi")
+    answer_lo = _affordable(index, evaluate(lo), deadline_hours,
+                            budget_dollars)
+    if answer_lo is None:
+        raise InfeasibleError(
+            f"even the minimum knob value {lo:g} misses the deadline "
+            f"or budget",
+            deadline_hours=deadline_hours,
+            budget_dollars=budget_dollars,
+        )
+    answer_hi = _affordable(index, evaluate(hi), deadline_hours,
+                            budget_dollars)
+    if answer_hi is not None:
+        return hi, answer_hi
+
+    best_value, best_answer = lo, answer_lo
+    lo_b, hi_b = lo, hi
+    while True:
+        if integral:
+            if hi_b - lo_b <= 1:
+                break
+            mid = (lo_b + hi_b) // 2
+        else:
+            if (hi_b - lo_b) <= tolerance * max(abs(hi_b), 1.0):
+                break
+            mid = 0.5 * (lo_b + hi_b)
+        answer = _affordable(index, evaluate(mid), deadline_hours,
+                             budget_dollars)
+        if answer is None:
+            hi_b = mid
+        else:
+            lo_b = mid
+            best_value, best_answer = mid, answer
+    return best_value, best_answer
+
+
+def max_accuracy_plan(
+    demand: FittedDemand,
+    index: MinCostIndex,
+    problem_size: float,
+    accuracy_range: tuple[float, float],
+    deadline_hours: float,
+    budget_dollars: float,
+    *,
+    integral: bool = False,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Plan:
+    """Best affordable accuracy at a fixed problem size (fixed-time case ii).
+
+    Parameters
+    ----------
+    demand:
+        Fitted demand model ``D(n, a)``.
+    index:
+        Min-cost index over the configuration space.
+    problem_size:
+        The fixed ``n``.
+    accuracy_range:
+        Inclusive (lo, hi) search interval for the accuracy knob.
+    integral:
+        Search integers only (e.g. galaxy's step count).
+    """
+    if deadline_hours <= 0 or budget_dollars <= 0:
+        raise ValidationError("deadline and budget must be positive")
+    value, answer = _bisect_knob(
+        lambda a: demand.gi(problem_size, a),
+        index, accuracy_range[0], accuracy_range[1],
+        deadline_hours, budget_dollars, tolerance, integral,
+    )
+    return Plan(
+        knob="accuracy",
+        value=float(value),
+        fixed_value=problem_size,
+        answer=answer,
+        deadline_hours=deadline_hours,
+        budget_dollars=budget_dollars,
+    )
+
+
+def max_problem_size_plan(
+    demand: FittedDemand,
+    index: MinCostIndex,
+    accuracy: float,
+    size_range: tuple[float, float],
+    deadline_hours: float,
+    budget_dollars: float,
+    *,
+    integral: bool = True,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Plan:
+    """Largest affordable problem at a fixed accuracy (fixed-time case i)."""
+    if deadline_hours <= 0 or budget_dollars <= 0:
+        raise ValidationError("deadline and budget must be positive")
+    value, answer = _bisect_knob(
+        lambda n: demand.gi(n, accuracy),
+        index, size_range[0], size_range[1],
+        deadline_hours, budget_dollars, tolerance, integral,
+    )
+    return Plan(
+        knob="problem_size",
+        value=float(value),
+        fixed_value=accuracy,
+        answer=answer,
+        deadline_hours=deadline_hours,
+        budget_dollars=budget_dollars,
+    )

@@ -1,0 +1,146 @@
+"""Fixed-time scaling analyses — Section IV-E.2, Figures 5 and 6.
+
+Fixed-time scaling holds the deadline constant and grows the application
+along one axis:
+
+* **problem-size scaling** (Figure 5): fix accuracy, sweep ``n`` —
+  Gustafson-style growth of the problem with the platform;
+* **accuracy scaling** (Figure 6): fix ``n``, sweep the accuracy knob —
+  the elastic-application trade-off of quality for cost.
+
+For each sweep point the minimum execution cost under the deadline is
+found exactly (via :class:`~repro.core.optimizer.MinCostIndex`), along
+with the winning configuration, so the analysis can annotate *category
+spills* — the points where the optimum first draws nodes from a less
+cost-efficient category and the cost curve's gradient jumps
+(Observation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.optimizer import MinCostIndex
+from repro.errors import InfeasibleError, ValidationError
+from repro.utils.mathutil import approx_gradient
+
+__all__ = ["ScalingCurve", "fixed_time_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Minimum-cost curve for one deadline over one swept parameter."""
+
+    deadline_hours: float
+    parameter_name: str
+    parameter_values: np.ndarray
+    costs: np.ndarray  # inf where infeasible
+    demands_gi: np.ndarray
+    configurations: tuple[tuple[int, ...] | None, ...]
+
+    def feasible_mask(self) -> np.ndarray:
+        """True where a deadline-meeting configuration exists."""
+        return np.isfinite(self.costs)
+
+    def spill_points(self, category_slices: list[slice]) -> list[int]:
+        """Sweep indices where the optimum first uses a new category.
+
+        ``category_slices`` maps each category to its columns of the
+        configuration vector (e.g. ``[slice(0,3), slice(3,6),
+        slice(6,9)]`` for the paper's catalog).  Returns indices ``k``
+        such that the configuration at ``k`` uses a category the
+        configuration at ``k-1`` did not.
+        """
+        spills = []
+        prev_used: set[int] | None = None
+        for k, config in enumerate(self.configurations):
+            if config is None:
+                prev_used = None
+                continue
+            used = {
+                ci for ci, sl in enumerate(category_slices)
+                if any(v > 0 for v in config[sl])
+            }
+            if prev_used is not None and used - prev_used:
+                spills.append(k)
+            prev_used = used
+        return spills
+
+    def gradient_break_indices(self, *, rel_jump: float = 0.25) -> list[int]:
+        """Sweep indices where the cost gradient jumps by > ``rel_jump``.
+
+        Detects Figure 6(a)'s "sudden changes of gradient" numerically;
+        compared against :meth:`spill_points` they coincide (Observation 2).
+        """
+        mask = self.feasible_mask()
+        if mask.sum() < 3:
+            return []
+        x = np.asarray(self.parameter_values, dtype=float)[mask]
+        y = self.costs[mask]
+        grads = approx_gradient(x, y)
+        breaks = []
+        original_indices = np.flatnonzero(mask)
+        for k in range(1, grads.size):
+            if grads[k - 1] <= 0:
+                continue
+            if grads[k] / grads[k - 1] - 1.0 > rel_jump:
+                breaks.append(int(original_indices[k + 1]))
+        return breaks
+
+    def cost_demand_elasticity(self) -> np.ndarray:
+        """Pointwise d(log cost)/d(log demand) along the feasible sweep.
+
+        Observation 2 states this exceeds 1 once categories mix: cost
+        grows *faster* than resource demand.
+        """
+        mask = self.feasible_mask()
+        d = self.demands_gi[mask]
+        c = self.costs[mask]
+        if d.size < 2:
+            raise ValidationError("need at least two feasible points")
+        return approx_gradient(np.log(d), np.log(c))
+
+
+def fixed_time_scaling(
+    index: MinCostIndex,
+    demands_gi: np.ndarray,
+    parameter_values: np.ndarray,
+    deadline_hours: float,
+    *,
+    parameter_name: str = "n",
+    budget_dollars: float | None = None,
+) -> ScalingCurve:
+    """Minimum cost at a fixed deadline for each demand in a sweep.
+
+    ``demands_gi[k]`` must be the demand of the run with
+    ``parameter_values[k]`` (callers compute it from a demand model with
+    the other parameter held fixed).  Infeasible points get cost ``inf``
+    and configuration ``None``.
+    """
+    demands = np.asarray(demands_gi, dtype=float)
+    values = np.asarray(parameter_values, dtype=float)
+    if demands.shape != values.shape or demands.ndim != 1:
+        raise ValidationError("demands and parameter values must align (1-D)")
+
+    costs = np.empty(demands.size)
+    configs: list[tuple[int, ...] | None] = []
+    for k, d in enumerate(demands):
+        try:
+            answer = index.query(float(d), deadline_hours,
+                                 budget_dollars=budget_dollars)
+        except InfeasibleError:
+            costs[k] = np.inf
+            configs.append(None)
+        else:
+            costs[k] = answer.cost_dollars
+            configs.append(answer.configuration)
+    return ScalingCurve(
+        deadline_hours=deadline_hours,
+        parameter_name=parameter_name,
+        parameter_values=values,
+        costs=costs,
+        demands_gi=demands,
+        configurations=tuple(configs),
+    )

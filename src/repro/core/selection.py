@@ -1,0 +1,191 @@
+"""Algorithm 1 — resource configuration selection.
+
+Enumerate every configuration, predict its time and cost, keep those with
+``T < T'`` and ``C < C'``, and pass the survivors through the
+Pareto-optimal filter.  Because the whole space is explored, *all*
+optimal configurations are found (the paper's exhaustiveness guarantee).
+
+The implementation streams the space in chunks: each chunk contributes
+its feasible count and its local 2-D Pareto candidates; the candidates
+are merged and re-filtered at the end (the Pareto set of a union is a
+subset of the union of per-chunk Pareto sets, so this is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.configspace import DEFAULT_CHUNK, ConfigurationSpace, SpaceEvaluation
+from repro.errors import ValidationError
+from repro.pareto.frontier import pareto_mask_2d
+
+__all__ = ["ParetoPoint", "SelectionResult", "select_configurations"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoPoint:
+    """One Pareto-optimal configuration with its predictions."""
+
+    configuration: tuple[int, ...]
+    time_hours: float
+    cost_dollars: float
+    capacity_gips: float
+    unit_cost_per_hour: float
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Output of Algorithm 1 for one (application run, deadline, budget)."""
+
+    demand_gi: float
+    deadline_hours: float
+    budget_dollars: float
+    total_configurations: int
+    feasible_count: int
+    pareto: tuple[ParetoPoint, ...]
+
+    @property
+    def pareto_count(self) -> int:
+        """Number of Pareto-optimal configurations."""
+        return len(self.pareto)
+
+    @property
+    def cost_span(self) -> tuple[float, float]:
+        """(min, max) cost across the Pareto frontier."""
+        if not self.pareto:
+            raise ValidationError("no Pareto points: selection was infeasible")
+        costs = [p.cost_dollars for p in self.pareto]
+        return min(costs), max(costs)
+
+    @property
+    def max_saving_fraction(self) -> float:
+        """Cost saved choosing the cheapest frontier point vs the dearest.
+
+        The paper's Observation 1 headline: up to ~30% for galaxy
+        (frontier spans $126–$167 → 1 − 126/167 ≈ 0.25, "up to 30%").
+        """
+        lo, hi = self.cost_span
+        return 1.0 - lo / hi
+
+    def cheapest(self) -> ParetoPoint:
+        """The minimum-cost Pareto point."""
+        if not self.pareto:
+            raise ValidationError("no Pareto points: selection was infeasible")
+        return min(self.pareto, key=lambda p: p.cost_dollars)
+
+    def fastest(self) -> ParetoPoint:
+        """The minimum-time Pareto point."""
+        if not self.pareto:
+            raise ValidationError("no Pareto points: selection was infeasible")
+        return min(self.pareto, key=lambda p: p.time_hours)
+
+
+def select_configurations(
+    evaluation: SpaceEvaluation,
+    demand_gi: float,
+    deadline_hours: float,
+    budget_dollars: float,
+    *,
+    chunk_size: int = DEFAULT_CHUNK,
+    exclude_mask: np.ndarray | None = None,
+    epsilons: tuple[float, float] | None = None,
+) -> SelectionResult:
+    """Run Algorithm 1 against a precomputed space evaluation.
+
+    Parameters
+    ----------
+    evaluation:
+        ``U_j`` / ``C_{j,u}`` for the whole space
+        (from :meth:`ConfigurationSpace.evaluate`).
+    demand_gi:
+        Application resource demand ``D_{P(n,a)}`` in GI.
+    deadline_hours, budget_dollars:
+        The constraints ``T'`` and ``C'`` (strict, per Algorithm 1).
+    exclude_mask:
+        Optional boolean array over the space (row ``r`` ↔ linear index
+        ``r + 1``); ``True`` rows are treated as infeasible regardless of
+        time and cost — used for memory-feasibility and similar hard
+        constraints (see :meth:`ConfigurationSpace.mask_using_types`).
+    epsilons:
+        Optional ``(time_hours, cost_dollars)`` box sizes for an
+        ε-nondomination final filter — the paper's actual pareto.py
+        configuration, thinning near-duplicate frontier points.  ``None``
+        keeps exact nondomination.
+    """
+    if demand_gi <= 0:
+        raise ValidationError("demand must be positive")
+    if deadline_hours <= 0 or budget_dollars <= 0:
+        raise ValidationError("deadline and budget must be positive")
+
+    space: ConfigurationSpace = evaluation.space
+    total = space.size
+    if exclude_mask is not None and exclude_mask.shape != (total,):
+        raise ValidationError("exclude_mask must cover the whole space")
+    feasible_count = 0
+    cand_time: list[np.ndarray] = []
+    cand_cost: list[np.ndarray] = []
+    cand_index: list[np.ndarray] = []
+
+    for start in range(0, total, chunk_size):
+        stop = min(start + chunk_size, total)
+        capacity = evaluation.capacity_gips[start:stop]
+        unit_cost = evaluation.unit_cost_per_hour[start:stop]
+        times = demand_gi / capacity / 3600.0
+        costs = times * unit_cost
+        mask = (times < deadline_hours) & (costs < budget_dollars)
+        if exclude_mask is not None:
+            mask &= ~exclude_mask[start:stop]
+        n_feasible = int(np.count_nonzero(mask))
+        feasible_count += n_feasible
+        if n_feasible == 0:
+            continue
+        t_f = times[mask]
+        c_f = costs[mask]
+        idx_f = np.flatnonzero(mask) + start  # 0-based evaluation rows
+        local = pareto_mask_2d(t_f, c_f)
+        cand_time.append(t_f[local])
+        cand_cost.append(c_f[local])
+        cand_index.append(idx_f[local])
+
+    pareto_points: list[ParetoPoint] = []
+    if cand_time:
+        all_t = np.concatenate(cand_time)
+        all_c = np.concatenate(cand_cost)
+        all_i = np.concatenate(cand_index)
+        final = pareto_mask_2d(all_t, all_c)
+        if epsilons is not None:
+            from repro.pareto.epsilon import eps_sort
+
+            rows = np.column_stack([all_t[final], all_c[final]])
+            _, kept_tags = eps_sort(rows, epsilons=list(epsilons),
+                                    tags=list(np.flatnonzero(final)))
+            eps_mask = np.zeros(all_t.size, dtype=bool)
+            eps_mask[np.asarray(kept_tags, dtype=np.int64)] = True
+            final = eps_mask
+        order = np.argsort(all_t[final], kind="stable")
+        sel_t = all_t[final][order]
+        sel_c = all_c[final][order]
+        sel_i = all_i[final][order]
+        for t, c, row in zip(sel_t, sel_c, sel_i):
+            pareto_points.append(
+                ParetoPoint(
+                    configuration=evaluation.configuration_at(int(row)),
+                    time_hours=float(t),
+                    cost_dollars=float(c),
+                    capacity_gips=float(evaluation.capacity_gips[int(row)]),
+                    unit_cost_per_hour=float(
+                        evaluation.unit_cost_per_hour[int(row)]
+                    ),
+                )
+            )
+
+    return SelectionResult(
+        demand_gi=demand_gi,
+        deadline_hours=deadline_hours,
+        budget_dollars=budget_dollars,
+        total_configurations=total,
+        feasible_count=feasible_count,
+        pareto=tuple(pareto_points),
+    )

@@ -1,0 +1,36 @@
+"""Time model — Equation 2: ``T = D_{P(n,a)} / U_j``.
+
+The paper models highly parallelizable compute-bound applications where
+communication is negligible, so predicted time is simply demand divided
+by aggregate capacity.  Demand is in GI, capacity in GI/s; helpers return
+seconds or hours explicitly to keep call sites unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = ["predict_time_seconds", "predict_time_hours"]
+
+
+def predict_time_seconds(demand_gi: float | np.ndarray,
+                         capacity_gips: float | np.ndarray) -> float | np.ndarray:
+    """Eq. 2 in seconds.  Broadcasts over arrays of either argument."""
+    demand = np.asarray(demand_gi, dtype=np.float64)
+    capacity = np.asarray(capacity_gips, dtype=np.float64)
+    if np.any(demand <= 0):
+        raise ValidationError("demand must be positive")
+    if np.any(capacity <= 0):
+        raise ValidationError("capacity must be positive")
+    result = demand / capacity
+    return float(result) if result.ndim == 0 else result
+
+
+def predict_time_hours(demand_gi: float | np.ndarray,
+                       capacity_gips: float | np.ndarray) -> float | np.ndarray:
+    """Eq. 2 in hours (the unit of deadlines and billing)."""
+    result = np.asarray(predict_time_seconds(demand_gi, capacity_gips)) / SECONDS_PER_HOUR
+    return float(result) if result.ndim == 0 else result

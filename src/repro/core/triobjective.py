@@ -1,0 +1,144 @@
+"""Tri-objective frontiers: time × cost × accuracy.
+
+CELIA fixes the accuracy and finds the 2-D (time, cost) frontier; the
+elastic-application story really has **three** objectives — the quality
+of the result trades against both money and time.  This module sweeps
+the accuracy knob, pools (time, cost, −accuracy-score) points over all
+(configuration, accuracy) pairs, and extracts the 3-D nondominated set
+with the ε-archive (the pareto.py reimplementation handles any
+dimension).  The result answers questions like "what accuracies are even
+*on the table* at this deadline, and what does each quality tier cost?".
+
+Configurations per accuracy level come pre-filtered: only each level's
+2-D (time, cost) frontier can contribute to the 3-D frontier (adding a
+dimension never un-dominates a point that was dominated at equal
+accuracy), keeping the pooled set small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.configspace import SpaceEvaluation
+from repro.core.selection import select_configurations
+from repro.errors import ValidationError
+from repro.measurement.fitting import FittedDemand
+from repro.pareto.epsilon import eps_sort
+
+__all__ = ["TriObjectivePoint", "TriObjectiveFrontier",
+           "tri_objective_frontier"]
+
+
+@dataclass(frozen=True, slots=True)
+class TriObjectivePoint:
+    """One nondominated (configuration, accuracy) choice."""
+
+    configuration: tuple[int, ...]
+    accuracy: float
+    accuracy_score: float
+    time_hours: float
+    cost_dollars: float
+
+
+@dataclass(frozen=True)
+class TriObjectiveFrontier:
+    """The 3-D frontier over (time, cost, accuracy score)."""
+
+    points: tuple[TriObjectivePoint, ...]
+    deadline_hours: float
+    budget_dollars: float
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def accuracies_available(self) -> list[float]:
+        """Distinct accuracy knob values present on the frontier."""
+        return sorted({p.accuracy for p in self.points})
+
+    def best_accuracy(self) -> TriObjectivePoint:
+        """Highest-scoring point (cheapest among ties)."""
+        if not self.points:
+            raise ValidationError("empty frontier")
+        return max(self.points,
+                   key=lambda p: (p.accuracy_score, -p.cost_dollars))
+
+    def cheapest_at(self, accuracy: float) -> TriObjectivePoint:
+        """Cheapest frontier point at one accuracy value."""
+        candidates = [p for p in self.points if p.accuracy == accuracy]
+        if not candidates:
+            raise ValidationError(
+                f"accuracy {accuracy} not on the frontier")
+        return min(candidates, key=lambda p: p.cost_dollars)
+
+    def render(self) -> str:
+        """Frontier grouped by accuracy tier."""
+        lines = [
+            f"tri-objective frontier (T' = {self.deadline_hours:g} h, "
+            f"C' = ${self.budget_dollars:g}): {len(self.points)} points, "
+            f"{len(self.accuracies_available())} accuracy tiers",
+        ]
+        for a in self.accuracies_available():
+            best = self.cheapest_at(a)
+            lines.append(
+                f"  accuracy {a:g} (score {best.accuracy_score:.3f}): "
+                f"from ${best.cost_dollars:.2f} / {best.time_hours:.1f} h "
+                f"on {list(best.configuration)}"
+            )
+        return "\n".join(lines)
+
+
+def tri_objective_frontier(
+    evaluation: SpaceEvaluation,
+    demand: FittedDemand,
+    accuracy_score_fn,
+    problem_size: float,
+    accuracy_levels: np.ndarray,
+    deadline_hours: float,
+    budget_dollars: float,
+) -> TriObjectiveFrontier:
+    """Pool per-accuracy 2-D frontiers and extract the 3-D frontier.
+
+    Parameters
+    ----------
+    evaluation:
+        Full-space ``U``/``C_u`` evaluation (capacities are accuracy-
+        independent — the paper's per-app characterization).
+    demand:
+        Fitted demand model providing ``gi(n, a)``.
+    accuracy_score_fn:
+        Maps the accuracy knob to a (0, 1] quality score (monotone).
+    accuracy_levels:
+        Knob values to consider.
+    """
+    levels = np.asarray(accuracy_levels, dtype=float)
+    if levels.ndim != 1 or levels.size == 0:
+        raise ValidationError("accuracy_levels must be a non-empty 1-D array")
+
+    pooled_rows: list[list[float]] = []
+    pooled_tags: list[TriObjectivePoint] = []
+    for a in levels:
+        demand_gi = demand.gi(problem_size, float(a))
+        selection = select_configurations(
+            evaluation, demand_gi, deadline_hours, budget_dollars)
+        score = float(accuracy_score_fn(float(a)))
+        for p in selection.pareto:
+            pooled_rows.append([p.time_hours, p.cost_dollars, -score])
+            pooled_tags.append(
+                TriObjectivePoint(
+                    configuration=p.configuration,
+                    accuracy=float(a),
+                    accuracy_score=score,
+                    time_hours=p.time_hours,
+                    cost_dollars=p.cost_dollars,
+                )
+            )
+
+    if not pooled_rows:
+        return TriObjectiveFrontier(points=(), deadline_hours=deadline_hours,
+                                    budget_dollars=budget_dollars)
+    _, tags = eps_sort(np.asarray(pooled_rows), tags=pooled_tags)
+    points = tuple(sorted(tags, key=lambda p: (p.accuracy, p.time_hours)))
+    return TriObjectiveFrontier(points=points, deadline_hours=deadline_hours,
+                                budget_dollars=budget_dollars)

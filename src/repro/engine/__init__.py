@@ -1,0 +1,39 @@
+"""Discrete-event execution engine — the simulated "actual" runs.
+
+The analytical CELIA models predict time and cost; Table IV validates
+those predictions against *measured* executions on EC2.  This engine plays
+EC2's role: it executes an application's task decomposition on a cluster
+of provisioned instances with the mechanisms the analytical model ignores
+(per-instance contention, runtime jitter, BSP barrier losses, master
+dispatch serialization, node startup, hourly billing), producing the
+"Actual" columns.
+"""
+
+from repro.engine.events import EventSimulator
+from repro.engine.cluster import SimCluster, NodeState
+from repro.engine.schedulers import (
+    simulate_independent,
+    simulate_bsp,
+    simulate_workqueue,
+    ScheduleOutcome,
+)
+from repro.engine.runner import (
+    EngineConfig,
+    ExecutionReport,
+    run_on_configuration,
+    time_single_node_run,
+)
+
+__all__ = [
+    "EventSimulator",
+    "SimCluster",
+    "NodeState",
+    "simulate_independent",
+    "simulate_bsp",
+    "simulate_workqueue",
+    "ScheduleOutcome",
+    "EngineConfig",
+    "ExecutionReport",
+    "run_on_configuration",
+    "time_single_node_run",
+]

@@ -1,0 +1,112 @@
+"""Cluster view of a provisioned lease for one application.
+
+Translates provider-level instances into the flat arrays the schedulers
+consume: per-node *effective* rates (ground-truth app rate × the
+instance's launch-time contention factor) and per-node vCPU counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ElasticApplication
+from repro.cloud.instance import Instance
+from repro.errors import SimulationError
+
+__all__ = ["NodeState", "SimCluster"]
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """One node as the schedulers see it.
+
+    ``rate_gips`` is the node's *effective* rate (launch-time contention
+    applied); ``nominal_rate_gips`` is the type's uncontended rate — what
+    a static partitioner believes about the node, since contention is
+    invisible until the run executes.
+    """
+
+    instance_id: str
+    type_name: str
+    vcpus: int
+    rate_gips: float
+    nominal_rate_gips: float
+
+    @property
+    def rate_per_vcpu_gips(self) -> float:
+        """Effective rate of one vCPU slot."""
+        return self.rate_gips / self.vcpus
+
+    @property
+    def contention(self) -> float:
+        """Effective / nominal rate — the hidden slowdown of this node."""
+        return self.rate_gips / self.nominal_rate_gips
+
+
+class SimCluster:
+    """Nodes of one lease, with app-specific effective rates.
+
+    Parameters
+    ----------
+    instances:
+        Provisioned instances (from a :class:`~repro.cloud.provider.Lease`).
+    app:
+        The application whose performance profile sets nominal rates.
+    """
+
+    def __init__(self, instances: list[Instance], app: ElasticApplication):
+        if not instances:
+            raise SimulationError("cluster needs at least one node")
+        self.nodes = [
+            NodeState(
+                instance_id=inst.instance_id,
+                type_name=inst.itype.name,
+                vcpus=inst.itype.vcpus,
+                rate_gips=app.true_rate_gips(inst.itype) * inst.contention_factor,
+                nominal_rate_gips=app.true_rate_gips(inst.itype),
+            )
+            for inst in instances
+        ]
+
+    # -- aggregate views ------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_vcpus(self) -> int:
+        """Total vCPU slots across nodes."""
+        return sum(node.vcpus for node in self.nodes)
+
+    @property
+    def total_rate_gips(self) -> float:
+        """Aggregate effective rate in GI/s (the engine's true ``U``)."""
+        return float(sum(node.rate_gips for node in self.nodes))
+
+    def node_rates(self) -> np.ndarray:
+        """Per-node effective rates (GI/s)."""
+        return np.array([node.rate_gips for node in self.nodes])
+
+    def node_nominal_rates(self) -> np.ndarray:
+        """Per-node nominal (uncontended) rates (GI/s)."""
+        return np.array([node.nominal_rate_gips for node in self.nodes])
+
+    def node_contentions(self) -> np.ndarray:
+        """Per-node hidden slowdown factors (effective / nominal)."""
+        return np.array([node.contention for node in self.nodes])
+
+    def slot_rates(self) -> np.ndarray:
+        """Per-vCPU-slot effective rates (GI/s), node order preserved."""
+        return np.concatenate([
+            np.full(node.vcpus, node.rate_per_vcpu_gips) for node in self.nodes
+        ])
+
+    def ideal_seconds(self, total_gi: float) -> float:
+        """Perfect-parallelism execution time: work / aggregate rate."""
+        if total_gi <= 0:
+            raise SimulationError("work must be positive")
+        return total_gi / self.total_rate_gips

@@ -1,0 +1,73 @@
+"""A minimal discrete-event simulation core.
+
+A classic event-heap simulator: schedule callbacks at future times, run
+until the heap drains or a horizon is reached.  The work-queue scheduler
+is built on it, and it is exported for users extending the engine with
+new execution styles (e.g. pipelined or DAG-structured workloads).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventSimulator"]
+
+
+class EventSimulator:
+    """Event heap with a monotonically advancing clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def run(self, *, horizon: float = float("inf"),
+            max_events: int = 50_000_000) -> float:
+        """Process events in time order until the heap drains.
+
+        Returns the final clock value.  ``horizon`` bounds simulated time
+        (events beyond it stay unprocessed); ``max_events`` guards against
+        runaway event loops.
+        """
+        while self._heap:
+            time, _, callback = self._heap[0]
+            if time > horizon:
+                break
+            heapq.heappop(self._heap)
+            if time < self._now:
+                raise SimulationError("event heap produced time travel")
+            self._now = time
+            self._processed += 1
+            if self._processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            callback()
+        return self._now

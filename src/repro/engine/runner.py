@@ -1,0 +1,197 @@
+"""Top-level engine entry points: execute an app run on a configuration.
+
+:func:`run_on_configuration` is what Table IV's "Actual" columns come
+from: provision the configuration from a simulated provider, execute the
+workload with the style-appropriate scheduler, terminate, and settle the
+hourly-quantized bill.
+
+:func:`time_single_node_run` is the measurement layer's stopwatch: the
+wall time of a scale-down run on a single instance, used to derive
+measured capacities ``W_i`` (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import ElasticApplication
+from repro.cloud.catalog import Catalog
+from repro.cloud.instance import InstanceType
+from repro.cloud.pricing import BillingModel, HourlyQuantizedBilling
+from repro.cloud.provider import CloudProvider
+from repro.cloud.virtualization import VirtualizationModel
+from repro.engine.cluster import SimCluster
+from repro.engine.schedulers import ScheduleOutcome, simulate_workload
+from repro.errors import ConfigurationError
+from repro.units import seconds_to_hours
+from repro.utils.rng import derive_rng
+
+__all__ = ["EngineConfig", "ExecutionReport", "run_on_configuration",
+           "time_single_node_run"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine realism knobs.
+
+    Attributes
+    ----------
+    node_startup_seconds:
+        Provisioning-to-ready time per node (VM boot, image pull, data
+        staging).  Applies once per run — all nodes boot in parallel but
+        the run starts when the last is ready.  Billed.
+    startup_straggler_sigma:
+        Log-normal spread of per-node boot time around the nominal value.
+    jitter_sigma:
+        Per-task / per-step runtime jitter passed to the schedulers.
+    virtualization:
+        Launch-time contention model for the provider.
+    billing:
+        Billing model for "actual" costs (hourly-quantized by default,
+        as EC2 billed in 2017).
+    """
+
+    node_startup_seconds: float = 180.0
+    startup_straggler_sigma: float = 0.15
+    jitter_sigma: float = 0.03
+    virtualization: VirtualizationModel = field(default_factory=VirtualizationModel)
+    billing: BillingModel = field(default_factory=HourlyQuantizedBilling)
+
+    @classmethod
+    def ideal(cls) -> "EngineConfig":
+        """A fully deterministic, overhead-free engine (model assumptions).
+
+        With this config the engine reproduces the analytical model
+        exactly (up to billing linearity) — used by tests to verify the
+        engine and the model agree when the model's assumptions hold.
+        """
+        from repro.cloud.pricing import LinearBilling
+
+        return cls(
+            node_startup_seconds=0.0,
+            startup_straggler_sigma=0.0,
+            jitter_sigma=0.0,
+            virtualization=VirtualizationModel.noiseless(),
+            billing=LinearBilling(),
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Everything one engine run produced."""
+
+    app_name: str
+    n: float
+    a: float
+    configuration: tuple[int, ...]
+    time_hours: float
+    cost_dollars: float
+    ideal_time_hours: float
+    total_gi: float
+    utilization: float
+    n_units: int
+    startup_hours: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """(actual - ideal) / ideal — what the analytical model missed."""
+        return (self.time_hours - self.ideal_time_hours) / self.ideal_time_hours
+
+
+def run_on_configuration(
+    app: ElasticApplication,
+    n: float,
+    a: float,
+    configuration: tuple[int, ...] | list[int],
+    catalog: Catalog,
+    *,
+    config: EngineConfig | None = None,
+    seed: int = 0,
+) -> ExecutionReport:
+    """Execute ``app(n, a)`` on ``configuration`` and return the report.
+
+    The run provisions fresh instances (sampling new contention factors),
+    boots them, executes the workload, terminates, and bills — mirroring
+    one of the paper's validation executions end to end.
+    """
+    cfg = config or EngineConfig()
+    if sum(configuration) == 0:
+        raise ConfigurationError("cannot execute on the empty configuration")
+    provider = CloudProvider(
+        catalog,
+        virtualization=cfg.virtualization,
+        billing_model=cfg.billing,
+        seed=seed,
+    )
+    lease = provider.provision(configuration)
+    cluster = SimCluster(lease.instances, app)
+    workload = app.workload(n, a)
+
+    rng = derive_rng(seed, "engine-run", app.name, n, a, tuple(configuration))
+    if cfg.node_startup_seconds > 0:
+        boots = cfg.node_startup_seconds * (
+            rng.lognormal(0.0, cfg.startup_straggler_sigma, size=cluster.n_nodes)
+            if cfg.startup_straggler_sigma > 0
+            else 1.0
+        )
+        startup_seconds = float(boots.max()) if hasattr(boots, "max") else float(boots)
+    else:
+        startup_seconds = 0.0
+
+    outcome: ScheduleOutcome = simulate_workload(
+        workload, cluster, rng, jitter_sigma=cfg.jitter_sigma
+    )
+    elapsed_seconds = startup_seconds + outcome.makespan_seconds
+    elapsed_hours = seconds_to_hours(elapsed_seconds)
+    billed = provider.terminate(lease, now_hours=elapsed_hours)
+
+    return ExecutionReport(
+        app_name=app.name,
+        n=n,
+        a=a,
+        configuration=tuple(int(v) for v in configuration),
+        time_hours=elapsed_hours,
+        cost_dollars=billed,
+        ideal_time_hours=seconds_to_hours(cluster.ideal_seconds(workload.total_gi)),
+        total_gi=workload.total_gi,
+        utilization=outcome.utilization,
+        n_units=outcome.n_units,
+        startup_hours=seconds_to_hours(startup_seconds),
+    )
+
+
+def time_single_node_run(
+    app: ElasticApplication,
+    n: float,
+    a: float,
+    itype: InstanceType,
+    *,
+    config: EngineConfig | None = None,
+    seed: int = 0,
+    include_startup: bool = False,
+) -> float:
+    """Wall-clock seconds of a scale-down run on one instance of ``itype``.
+
+    This is the cloud half of CELIA's characterization: the user launches
+    one instance, runs ``P(n', a')``, and times it.  By default the timer
+    starts when the application starts (the user SSHes in after boot), so
+    node startup is excluded; pass ``include_startup=True`` to model a
+    cruder protocol that times from the provisioning call.
+    """
+    cfg = config or EngineConfig()
+    rng = derive_rng(seed, "baseline-run", app.name, n, a, itype.name)
+    contention = cfg.virtualization.sample_contention(rng)
+
+    # Build a one-node cluster directly (no provider round trip needed).
+    from repro.cloud.instance import Instance
+
+    inst = Instance(instance_id="i-baseline", itype=itype,
+                    contention_factor=contention)
+    cluster = SimCluster([inst], app)
+    workload = app.workload(n, a)
+    outcome = simulate_workload(workload, cluster, rng,
+                                jitter_sigma=cfg.jitter_sigma)
+    elapsed = outcome.makespan_seconds
+    if include_startup:
+        elapsed += cfg.node_startup_seconds
+    return float(elapsed)

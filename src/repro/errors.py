@@ -1,0 +1,72 @@
+"""Exception hierarchy for the CELIA reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration errors from runtime simulation failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CatalogError",
+    "QuotaExceededError",
+    "ProvisioningError",
+    "MeasurementError",
+    "FittingError",
+    "InfeasibleError",
+    "SimulationError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cloud configuration was constructed or requested.
+
+    Raised, for example, when a configuration vector has negative node
+    counts, has the wrong dimensionality for its catalog, or is the empty
+    (all-zero) configuration where a non-empty one is required.
+    """
+
+
+class CatalogError(ReproError):
+    """A resource catalog is malformed (duplicate types, bad prices...)."""
+
+
+class QuotaExceededError(ConfigurationError):
+    """A configuration requests more nodes of a type than its quota allows."""
+
+
+class ProvisioningError(ReproError):
+    """The simulated provider could not satisfy a provisioning request."""
+
+
+class MeasurementError(ReproError):
+    """A baseline measurement could not be performed or is inconsistent."""
+
+
+class FittingError(ReproError):
+    """Demand-model fitting failed (rank deficiency, too few samples...)."""
+
+
+class InfeasibleError(ReproError):
+    """No configuration satisfies the given deadline and budget."""
+
+    def __init__(self, message: str, *, deadline_hours: float | None = None,
+                 budget_dollars: float | None = None):
+        super().__init__(message)
+        self.deadline_hours = deadline_hours
+        self.budget_dollars = budget_dollars
+
+
+class SimulationError(ReproError):
+    """The discrete-event execution engine reached an inconsistent state."""
+
+
+class ValidationError(ReproError):
+    """An input value failed validation (out of the meaningful range)."""

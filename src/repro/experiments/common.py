@@ -1,0 +1,89 @@
+"""Shared experiment infrastructure.
+
+All experiments run against one :class:`ExperimentContext`, which owns
+the catalog, the measurement harness, the CELIA instance (whose caches
+make the space evaluation per application happen once), and the paper's
+three applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.apps import paper_applications
+from repro.apps.base import ElasticApplication
+from repro.cloud.catalog import Catalog, ec2_catalog
+from repro.core.celia import Celia
+from repro.engine.runner import EngineConfig
+from repro.errors import ValidationError
+from repro.measurement.perf import PerfCounter
+from repro.utils.rng import DEFAULT_ROOT_SEED
+
+__all__ = ["ExperimentContext", "ExperimentResult", "category_slices"]
+
+
+class ExperimentResult(Protocol):
+    """Every experiment result can render itself as text."""
+
+    def render(self) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the experiment modules need, built once.
+
+    Parameters mirror the paper's setup: the Table III catalog with quota
+    5, the three Table II applications, and a fixed seed so the entire
+    evaluation regenerates bit-identically.
+    """
+
+    seed: int = DEFAULT_ROOT_SEED
+    catalog: Catalog = field(default_factory=ec2_catalog)
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        self.perf = PerfCounter(seed=self.seed)
+        self.celia = Celia(
+            self.catalog,
+            perf=self.perf,
+            engine_config=self.engine_config,
+            seed=self.seed,
+        )
+        self.apps = paper_applications(seed=self.seed)
+
+    def app(self, name: str) -> ElasticApplication:
+        """One of the paper's applications by name."""
+        try:
+            return self.apps[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown application {name!r}; have {sorted(self.apps)}"
+            ) from None
+
+
+def category_slices(catalog: Catalog) -> list[slice]:
+    """Contiguous configuration-vector slices per resource category.
+
+    The paper's catalog lists each category's types contiguously; this
+    helper recovers the slices (e.g. c4 → 0:3, m4 → 3:6, r3 → 6:9) for
+    spill-point detection in the Figure 6 analysis.
+    """
+    slices: list[slice] = []
+    cats = catalog.categories
+    start = 0
+    for i in range(1, len(cats) + 1):
+        if i == len(cats) or cats[i] is not cats[start]:
+            slices.append(slice(start, i))
+            start = i
+    # Verify contiguity: a category must not reappear later.
+    seen = set()
+    for sl in slices:
+        cat = cats[sl.start]
+        if cat in seen:
+            raise ValidationError(
+                "catalog categories must be contiguous for spill analysis"
+            )
+        seen.add(cat)
+    return slices

@@ -1,0 +1,113 @@
+"""Figure 2 — resource demand of elastic applications.
+
+Six panels: demand vs problem size and vs accuracy for x264, galaxy and
+sand, each at two fixed values of the other parameter, measured through
+the local perf harness exactly as Section IV-A describes, plus the
+fitted shape (linear / quadratic / power / log) for each axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext
+from repro.measurement.baseline import measure_demand_grid
+from repro.measurement.fitting import fit_term
+from repro.utils.tables import TextTable
+
+__all__ = ["Figure2Panel", "Figure2Result", "run"]
+
+#: (app, axis, swept values, fixed parameter values) per panel, following
+#: the paper's panel layout (a)-(f).
+PANELS: tuple[tuple[str, str, tuple[float, ...], tuple[float, ...]], ...] = (
+    ("x264", "n", (2, 4, 8, 16, 32), (10.0, 20.0)),
+    ("galaxy", "n", (8192, 16384, 32768, 65536), (1000.0, 2000.0)),
+    ("sand", "n", (1e6, 4e6, 16e6, 64e6), (0.04, 0.08)),
+    ("x264", "a", (10, 20, 30, 40, 50), (2.0, 4.0)),
+    ("galaxy", "a", (1000, 2000, 4000, 8000), (8192.0, 16384.0)),
+    ("sand", "a", (0.04, 0.08, 0.16, 0.32, 0.64, 1.0), (8e6, 16e6)),
+)
+
+
+@dataclass(frozen=True)
+class Figure2Panel:
+    """One panel: demand series at two fixed values of the other knob."""
+
+    app_name: str
+    axis: str  # "n" (problem size) or "a" (accuracy)
+    axis_symbol: str
+    swept: np.ndarray
+    fixed_values: tuple[float, ...]
+    series_gi: tuple[np.ndarray, ...]  # one per fixed value
+    fitted_kind: str
+    fitted_formula: str
+    fit_r2: float
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """All six panels."""
+
+    panels: tuple[Figure2Panel, ...]
+
+    def panel(self, app_name: str, axis: str) -> Figure2Panel:
+        """Look up one panel."""
+        for p in self.panels:
+            if p.app_name == app_name and p.axis == axis:
+                return p
+        raise KeyError(f"no panel for ({app_name}, {axis})")
+
+    def render(self) -> str:
+        """Paper-style series tables, one block per panel."""
+        blocks = []
+        for p in self.panels:
+            fixed_sym = "a" if p.axis == "n" else "n"
+            table = TextTable(
+                [p.axis_symbol] + [f"{fixed_sym}={v:g}" for v in p.fixed_values],
+                aligns="r" * (1 + len(p.fixed_values)),
+                title=(f"Figure 2: {p.app_name} demand vs {p.axis_symbol} "
+                       f"[GI]  (shape: {p.fitted_kind}, R2={p.fit_r2:.4f})"),
+                float_format="{:.4g}",
+            )
+            for k, x in enumerate(p.swept):
+                table.add_row([f"{x:g}"] + [float(s[k]) for s in p.series_gi])
+            blocks.append(table.render())
+        return "\n\n".join(blocks)
+
+
+def run(ctx: ExperimentContext) -> Figure2Result:
+    """Measure and fit all six panels."""
+    panels = []
+    for app_name, axis, swept_vals, fixed_vals in PANELS:
+        app = ctx.app(app_name)
+        swept = np.asarray(swept_vals, dtype=float)
+        series = []
+        for fixed in fixed_vals:
+            if axis == "n":
+                samples = measure_demand_grid(
+                    app, ctx.perf, sizes=swept, accuracies=np.array([fixed])
+                )
+                series.append(samples.demand_gi[:, 0])
+            else:
+                samples = measure_demand_grid(
+                    app, ctx.perf, sizes=np.array([fixed]), accuracies=swept
+                )
+                series.append(samples.demand_gi[0, :])
+        fit = fit_term(swept, series[0])
+        symbol = app.size_symbol if axis == "n" else app.accuracy_symbol
+        panels.append(
+            Figure2Panel(
+                app_name=app_name,
+                axis=axis,
+                axis_symbol=symbol,
+                swept=swept,
+                fixed_values=tuple(fixed_vals),
+                series_gi=tuple(series),
+                fitted_kind=fit.kind,
+                fitted_formula=fit.term.describe(),
+                fit_r2=fit.r2,
+            )
+        )
+    return Figure2Result(panels=tuple(panels))

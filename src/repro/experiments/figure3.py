@@ -1,0 +1,63 @@
+"""Figure 3 — cloud resource characterization.
+
+Normalized performance (GI/s per dollar-hour) of all nine instance types
+for all three applications, plus the two Section IV-C findings: the
+category ratios (c4 ≈ 2× r3, m4 ≈ 1.5× r3 per cost) and the
+within-category spread that justifies one-type-per-category profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import ResourceCategory
+from repro.core.characterization import CharacterizationResult
+from repro.experiments.common import ExperimentContext
+from repro.utils.tables import TextTable
+
+__all__ = ["Figure3Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Characterizations of the three applications on the full catalog."""
+
+    by_app: dict[str, CharacterizationResult]
+
+    def render(self) -> str:
+        """Paper-style normalized-performance table + IV-C summaries."""
+        app_names = sorted(self.by_app)
+        first = self.by_app[app_names[0]]
+        table = TextTable(
+            ["Type"] + app_names,
+            aligns="l" + "r" * len(app_names),
+            title="Figure 3: normalized performance [GI/s per $/h]",
+            float_format="{:.2f}",
+        )
+        for i, entry in enumerate(first.entries):
+            row = [entry.type_name]
+            for name in app_names:
+                row.append(self.by_app[name].entries[i].normalized_performance)
+            table.add_row(row)
+        lines = [table.render(), ""]
+        for name in app_names:
+            ch = self.by_app[name]
+            ratios = ch.category_ratios(ResourceCategory.MEMORY)
+            spread = ch.within_category_spread()
+            lines.append(
+                f"{name}: category ratios vs r3 = "
+                + ", ".join(f"{c.value}×{r:.2f}" for c, r in sorted(
+                    ratios.items(), key=lambda kv: kv[0].value))
+                + " | within-category spread = "
+                + ", ".join(f"{c.value}:{s:.1%}" for c, s in sorted(
+                    spread.items(), key=lambda kv: kv[0].value))
+            )
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext) -> Figure3Result:
+    """Characterize all applications on the full catalog (Section IV-B)."""
+    return Figure3Result(
+        by_app={name: ctx.celia.characterization(app)
+                for name, app in ctx.apps.items()}
+    )

@@ -1,0 +1,170 @@
+"""Figure 4 — the cloud configuration space in the time-cost plane.
+
+For galaxy(65536, 8000) and sand(8192 M, 0.32) with a 24-hour deadline
+and $350 budget: the number of feasible configurations (the paper finds
+~5.8 M and ~2 M), the Pareto-optimal set (23 and 58 configurations
+spanning $126–167 and $180–210), and a down-sampled scatter of the
+feasible cloud for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection import SelectionResult, select_configurations
+from repro.experiments.common import ExperimentContext
+from repro.utils.rng import derive_rng
+from repro.utils.tables import TextTable
+
+__all__ = ["Figure4Case", "Figure4Result", "run", "CASES"]
+
+#: (app, n, a) per panel; deadline and budget are shared.
+CASES: tuple[tuple[str, float, float], ...] = (
+    ("galaxy", 65_536, 8_000),
+    ("sand", 8_192e6, 0.32),
+)
+
+DEADLINE_HOURS = 24.0
+BUDGET_DOLLARS = 350.0
+
+
+@dataclass(frozen=True)
+class Figure4Case:
+    """One panel: the selection result plus a plottable sample."""
+
+    app_name: str
+    n: float
+    a: float
+    selection: SelectionResult
+    sample_times_hours: np.ndarray
+    sample_costs: np.ndarray
+
+    @property
+    def feasible_count(self) -> int:
+        """Number of feasible configurations."""
+        return self.selection.feasible_count
+
+    @property
+    def pareto_count(self) -> int:
+        """Number of Pareto-optimal configurations."""
+        return self.selection.pareto_count
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Both panels."""
+
+    cases: tuple[Figure4Case, ...]
+    deadline_hours: float
+    budget_dollars: float
+
+    def case(self, app_name: str) -> Figure4Case:
+        """Panel for one application."""
+        for c in self.cases:
+            if c.app_name == app_name:
+                return c
+        raise KeyError(f"no case for {app_name}")
+
+    def to_series(self) -> dict:
+        """JSON-safe data behind the figure (for external plotting)."""
+        out: dict = {
+            "deadline_hours": self.deadline_hours,
+            "budget_dollars": self.budget_dollars,
+            "cases": {},
+        }
+        for c in self.cases:
+            out["cases"][c.app_name] = {
+                "n": c.n,
+                "a": c.a,
+                "feasible_count": c.feasible_count,
+                "total_configurations": c.selection.total_configurations,
+                "scatter_times_hours": c.sample_times_hours.tolist(),
+                "scatter_costs": c.sample_costs.tolist(),
+                "pareto": [
+                    {
+                        "configuration": list(p.configuration),
+                        "time_hours": p.time_hours,
+                        "cost_dollars": p.cost_dollars,
+                    }
+                    for p in c.selection.pareto
+                ],
+            }
+        return out
+
+    def render(self) -> str:
+        """Headline counts, a time-cost scatter, and the frontier rows."""
+        import numpy as np
+
+        from repro.utils.asciiplot import ascii_scatter
+
+        lines = [
+            f"Figure 4: configuration space, T' = {self.deadline_hours:g} h, "
+            f"C' = ${self.budget_dollars:g}",
+        ]
+        for c in self.cases:
+            lo, hi = c.selection.cost_span
+            lines.append("")
+            lines.append(
+                f"{c.app_name}({c.n:g}, {c.a:g}): "
+                f"{c.feasible_count:,} feasible of "
+                f"{c.selection.total_configurations:,}; "
+                f"{c.pareto_count} Pareto-optimal spanning "
+                f"${lo:.0f}-${hi:.0f} (x{hi / lo:.2f})"
+            )
+            lines.append(ascii_scatter(
+                c.sample_times_hours,
+                c.sample_costs,
+                overlay_x=np.array([p.time_hours for p in c.selection.pareto]),
+                overlay_y=np.array([p.cost_dollars for p in c.selection.pareto]),
+                xlabel="time [h]",
+                ylabel="cost [$]",
+                title=f"{c.app_name}: feasible cloud (.) and Pareto frontier (*)",
+            ))
+            table = TextTable(
+                ["Configuration", "T (h)", "C ($)"],
+                aligns="lrr", float_format="{:.2f}",
+            )
+            for p in c.selection.pareto:
+                table.add_row([str(list(p.configuration)), p.time_hours,
+                               p.cost_dollars])
+            lines.append(table.render())
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext, *, scatter_sample: int = 20_000
+        ) -> Figure4Result:
+    """Run Algorithm 1 for both panels and sample the feasible scatter."""
+    cases = []
+    for app_name, n, a in CASES:
+        app = ctx.app(app_name)
+        evaluation = ctx.celia.evaluation(app)
+        demand = ctx.celia.demand_gi(app, n, a)
+        selection = select_configurations(
+            evaluation, demand, DEADLINE_HOURS, BUDGET_DOLLARS
+        )
+        # Uniform random sample of feasible points for the scatter plot.
+        rng = derive_rng(ctx.seed, "figure4-scatter", app_name)
+        times = evaluation.times_hours(demand)
+        costs = times * evaluation.unit_cost_per_hour
+        feasible = np.flatnonzero(
+            (times < DEADLINE_HOURS) & (costs < BUDGET_DOLLARS)
+        )
+        if feasible.size > scatter_sample:
+            feasible = rng.choice(feasible, size=scatter_sample, replace=False)
+        cases.append(
+            Figure4Case(
+                app_name=app_name,
+                n=n,
+                a=a,
+                selection=selection,
+                sample_times_hours=times[feasible],
+                sample_costs=costs[feasible],
+            )
+        )
+    return Figure4Result(
+        cases=tuple(cases),
+        deadline_hours=DEADLINE_HOURS,
+        budget_dollars=BUDGET_DOLLARS,
+    )

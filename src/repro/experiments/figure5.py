@@ -1,0 +1,132 @@
+"""Figure 5 — effect of scaling problem size on cost.
+
+Fix accuracy, sweep problem size, and find the minimum execution cost at
+each of five deadlines (6/12/24/48/72 h).  The cost should track the
+demand's shape — quadratic in ``n`` for galaxy, linear for sand — with
+gradient breaks where the optimum spills into a new resource category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scaling import ScalingCurve, fixed_time_scaling
+from repro.experiments.common import ExperimentContext, category_slices
+from repro.utils.tables import TextTable
+
+__all__ = ["Figure5Panel", "Figure5Result", "run", "PANELS", "DEADLINES_HOURS"]
+
+#: (app, fixed accuracy, swept problem sizes) per panel.
+PANELS: tuple[tuple[str, float, tuple[float, ...]], ...] = (
+    ("galaxy", 1_000, (32_768, 65_536, 131_072, 262_144)),
+    ("sand", 0.32, (1_024e6, 2_048e6, 4_096e6, 8_192e6)),
+)
+
+DEADLINES_HOURS: tuple[float, ...] = (6, 12, 24, 48, 72)
+
+
+@dataclass(frozen=True)
+class Figure5Panel:
+    """One application's family of min-cost curves (one per deadline)."""
+
+    app_name: str
+    fixed_accuracy: float
+    sizes: np.ndarray
+    curves: dict[float, ScalingCurve]  # deadline -> curve
+
+    def costs_matrix(self) -> np.ndarray:
+        """(deadlines × sizes) cost matrix, inf where infeasible."""
+        return np.vstack([self.curves[d].costs for d in sorted(self.curves)])
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Both panels."""
+
+    panels: tuple[Figure5Panel, ...]
+
+    def panel(self, app_name: str) -> Figure5Panel:
+        """Panel for one application."""
+        for p in self.panels:
+            if p.app_name == app_name:
+                return p
+        raise KeyError(f"no panel for {app_name}")
+
+    def to_series(self) -> dict:
+        """JSON-safe data behind the figure (for external plotting)."""
+        out: dict = {}
+        for p in self.panels:
+            out[p.app_name] = {
+                "fixed_accuracy": p.fixed_accuracy,
+                "sizes": p.sizes.tolist(),
+                "min_cost_by_deadline": {
+                    f"{d:g}": [
+                        (None if not np.isfinite(c) else float(c))
+                        for c in p.curves[d].costs
+                    ]
+                    for d in sorted(p.curves)
+                },
+            }
+        return out
+
+    def render(self) -> str:
+        """One series table per panel (rows: sizes, columns: deadlines)."""
+        blocks = []
+        for p in self.panels:
+            deadlines = sorted(p.curves)
+            table = TextTable(
+                ["n"] + [f"{d:g}hr" for d in deadlines],
+                aligns="r" * (1 + len(deadlines)),
+                title=(f"Figure 5: {p.app_name} min cost [$] vs problem "
+                       f"size (accuracy fixed at {p.fixed_accuracy:g})"),
+                float_format="{:.1f}",
+            )
+            for k, n in enumerate(p.sizes):
+                row: list[object] = [f"{n:g}"]
+                for d in deadlines:
+                    c = p.curves[d].costs[k]
+                    row.append(float(c) if np.isfinite(c) else "infeasible")
+                table.add_row(row)
+            from repro.utils.asciiplot import ascii_lines
+
+            chart = ascii_lines(
+                p.sizes,
+                {f"{d:g}hr": p.curves[d].costs for d in deadlines},
+                xlabel=f"problem size n ({p.app_name})",
+                ylabel="cost [$]",
+            )
+            blocks.append(table.render() + "\n" + chart)
+        return "\n\n".join(blocks)
+
+
+def run(ctx: ExperimentContext) -> Figure5Result:
+    """Sweep both panels across all deadlines."""
+    slices = category_slices(ctx.catalog)
+    panels = []
+    for app_name, accuracy, size_values in PANELS:
+        app = ctx.app(app_name)
+        index = ctx.celia.min_cost_index(app)
+        sizes = np.asarray(size_values, dtype=float)
+        demands = np.array([
+            ctx.celia.demand_gi(app, float(n), accuracy) for n in sizes
+        ])
+        curves = {
+            float(d): fixed_time_scaling(
+                index, demands, sizes, float(d), parameter_name="n"
+            )
+            for d in DEADLINES_HOURS
+        }
+        # Touch spill analysis so misconfigured catalogs fail loudly here.
+        for curve in curves.values():
+            curve.spill_points(slices)
+        panels.append(
+            Figure5Panel(
+                app_name=app_name,
+                fixed_accuracy=accuracy,
+                sizes=sizes,
+                curves=curves,
+            )
+        )
+    return Figure5Result(panels=tuple(panels))

@@ -1,0 +1,151 @@
+"""Figure 6 — effect of scaling accuracy on cost.
+
+Fix the problem size, sweep the accuracy knob, and find the minimum
+execution cost at each deadline.  Reproduces the paper's two panel-level
+findings: cost tracks the demand shape (linear in ``s`` for galaxy,
+logarithmic in ``t`` for sand), and the cost curve's gradient jumps
+exactly where the optimal configuration spills into a new resource
+category (annotated configurations in panel (a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scaling import ScalingCurve, fixed_time_scaling
+from repro.experiments.common import ExperimentContext, category_slices
+from repro.utils.tables import TextTable
+
+__all__ = ["Figure6Panel", "Figure6Result", "run", "PANELS", "DEADLINES_HOURS"]
+
+#: (app, fixed problem size, swept accuracies) per panel.
+PANELS: tuple[tuple[str, float, tuple[float, ...]], ...] = (
+    ("galaxy", 65_536, (1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 7_000,
+                        8_000, 9_000, 10_000)),
+    ("sand", 8_192e6, (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)),
+)
+
+DEADLINES_HOURS: tuple[float, ...] = (6, 12, 24, 48, 72)
+
+
+@dataclass(frozen=True)
+class Figure6Panel:
+    """One application's accuracy-vs-cost curve family."""
+
+    app_name: str
+    fixed_size: float
+    accuracies: np.ndarray
+    curves: dict[float, ScalingCurve]
+    spill_indices: dict[float, list[int]]  # deadline -> spill positions
+
+    def annotated_curve(self, deadline: float) -> ScalingCurve:
+        """The curve the paper annotates (24 h in panel (a))."""
+        return self.curves[deadline]
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Both panels."""
+
+    panels: tuple[Figure6Panel, ...]
+
+    def panel(self, app_name: str) -> Figure6Panel:
+        """Panel for one application."""
+        for p in self.panels:
+            if p.app_name == app_name:
+                return p
+        raise KeyError(f"no panel for {app_name}")
+
+    def to_series(self) -> dict:
+        """JSON-safe data behind the figure (for external plotting)."""
+        out: dict = {}
+        for p in self.panels:
+            annotated = p.curves[24.0]
+            out[p.app_name] = {
+                "fixed_size": p.fixed_size,
+                "accuracies": p.accuracies.tolist(),
+                "min_cost_by_deadline": {
+                    f"{d:g}": [
+                        (None if not np.isfinite(c) else float(c))
+                        for c in p.curves[d].costs
+                    ]
+                    for d in sorted(p.curves)
+                },
+                "configurations_24h": [
+                    (list(c) if c is not None else None)
+                    for c in annotated.configurations
+                ],
+                "spill_accuracies_24h": [
+                    float(p.accuracies[i]) for i in p.spill_indices[24.0]
+                ],
+            }
+        return out
+
+    def render(self) -> str:
+        """Series tables with configuration annotations at 24 h."""
+        blocks = []
+        for p in self.panels:
+            deadlines = sorted(p.curves)
+            table = TextTable(
+                ["a"] + [f"{d:g}hr" for d in deadlines] + ["config @24hr"],
+                aligns="r" * (1 + len(deadlines)) + "l",
+                title=(f"Figure 6: {p.app_name} min cost [$] vs accuracy "
+                       f"(size fixed at {p.fixed_size:g})"),
+                float_format="{:.1f}",
+            )
+            annotated = p.curves[24.0]
+            for k, a in enumerate(p.accuracies):
+                row: list[object] = [f"{a:g}"]
+                for d in deadlines:
+                    c = p.curves[d].costs[k]
+                    row.append(float(c) if np.isfinite(c) else "infeasible")
+                config = annotated.configurations[k]
+                row.append(str(list(config)) if config else "-")
+                table.add_row(row)
+            spills = p.spill_indices.get(24.0, [])
+            footer = ("category spills @24hr at a = "
+                      + ", ".join(f"{p.accuracies[i]:g}" for i in spills)
+                      if spills else "no category spills @24hr")
+            from repro.utils.asciiplot import ascii_lines
+
+            chart = ascii_lines(
+                p.accuracies,
+                {f"{d:g}hr": p.curves[d].costs for d in deadlines},
+                xlabel=f"accuracy ({p.app_name})",
+                ylabel="cost [$]",
+            )
+            blocks.append(table.render() + "\n" + footer + "\n" + chart)
+        return "\n\n".join(blocks)
+
+
+def run(ctx: ExperimentContext) -> Figure6Result:
+    """Sweep both panels across all deadlines, with spill detection."""
+    slices = category_slices(ctx.catalog)
+    panels = []
+    for app_name, size, accuracy_values in PANELS:
+        app = ctx.app(app_name)
+        index = ctx.celia.min_cost_index(app)
+        accuracies = np.asarray(accuracy_values, dtype=float)
+        demands = np.array([
+            ctx.celia.demand_gi(app, size, float(a)) for a in accuracies
+        ])
+        curves = {}
+        spill_indices = {}
+        for d in DEADLINES_HOURS:
+            curve = fixed_time_scaling(
+                index, demands, accuracies, float(d), parameter_name="a"
+            )
+            curves[float(d)] = curve
+            spill_indices[float(d)] = curve.spill_points(slices)
+        panels.append(
+            Figure6Panel(
+                app_name=app_name,
+                fixed_size=size,
+                accuracies=accuracies,
+                curves=curves,
+                spill_indices=spill_indices,
+            )
+        )
+    return Figure6Result(panels=tuple(panels))

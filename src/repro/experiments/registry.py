@@ -1,0 +1,115 @@
+"""Experiment registry and command-line entry point.
+
+``python -m repro.experiments.registry [name ...]`` runs the requested
+experiments (all by default) against one shared context and prints each
+rendered report.  ``--list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    observations,
+    schedulers_exp,
+    sensitivity_exp,
+    table3,
+    table4,
+)
+from repro.experiments.common import ExperimentContext
+from repro.utils.rng import DEFAULT_ROOT_SEED
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: name -> (runner, description).
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "table3": (table3.run, "Table III: EC2 resource-type catalog"),
+    "figure2": (figure2.run, "Figure 2: resource demand of elastic apps"),
+    "figure3": (figure3.run, "Figure 3: normalized performance per cost"),
+    "table4": (table4.run, "Table IV: model validation"),
+    "figure4": (figure4.run, "Figure 4: configuration space + Pareto front"),
+    "figure5": (figure5.run, "Figure 5: cost of scaling problem size"),
+    "figure6": (figure6.run, "Figure 6: cost of scaling accuracy"),
+    "observations": (observations.run, "Observations 1-3 quantified"),
+    "ablations": (ablations.run,
+                  "A1/A2 ablations + spot-vs-on-demand study"),
+    "sensitivity": (sensitivity_exp.run,
+                    "selection regret under capacity-estimate error"),
+    "schedulers": (schedulers_exp.run,
+                   "engine ablation: work queue vs stealing vs LPT"),
+}
+
+
+def run_experiment(name: str, ctx: ExperimentContext):
+    """Run one experiment by name against a context."""
+    try:
+        runner, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(ctx)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="celia-experiments",
+        description="Reproduce the CELIA paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", metavar="EXPERIMENT",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list available experiments and exit")
+    parser.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED,
+                        help="root seed for all measurements")
+    parser.add_argument("--output-dir", default=None,
+                        help="also write each rendered report to "
+                             "<dir>/<experiment>.txt")
+    args = parser.parse_args(argv)
+
+    if args.list_only:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:14s} {description}")
+        return 0
+
+    out_dir = None
+    if args.output_dir:
+        from pathlib import Path
+
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = args.names or list(EXPERIMENTS)
+    ctx = ExperimentContext(seed=args.seed)
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, ctx)
+        elapsed = time.perf_counter() - t0
+        rendered = result.render()
+        print("=" * 72)
+        print(f"{name} — {EXPERIMENTS[name][1]}  [{elapsed:.1f}s]")
+        print("=" * 72)
+        print(rendered)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(rendered + "\n")
+            if hasattr(result, "to_series"):
+                import json
+
+                (out_dir / f"{name}.json").write_text(
+                    json.dumps(result.to_series(), indent=1))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Table III — the Amazon EC2 resource-type catalog.
+
+An input table rather than a result, reproduced so reports are
+self-contained and the catalog's provenance (2017 Oregon on-demand
+prices) stays auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.catalog import Catalog
+from repro.cloud.instance import StorageKind
+from repro.experiments.common import ExperimentContext
+from repro.utils.tables import TextTable
+
+__all__ = ["Table3Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """The catalog plus its derived configuration-space size."""
+
+    catalog: Catalog
+
+    @property
+    def configuration_count(self) -> int:
+        """Eq. 1 applied to the catalog (10,077,695 for the paper's)."""
+        return self.catalog.configuration_count()
+
+    def render(self) -> str:
+        """Render Table III in the paper's column order."""
+        table = TextTable(
+            ["Type", "vCPUs", "Frequency (GHz)", "Memory (GB)",
+             "Storage (GB)", "Cost ($)"],
+            aligns="lrrrlr",
+            title="Table III: Amazon EC2 cloud resource types",
+            float_format="{:g}",
+        )
+        # The paper prints rows small-to-large; the catalog orders them
+        # large-first (configuration-tuple order), so sort for display.
+        for itype in sorted(self.catalog, key=lambda t: (t.category.value,
+                                                         t.price_per_hour)):
+            storage = ("EBS" if itype.storage is StorageKind.EBS
+                       else f"{itype.local_storage_gb:g}")
+            table.add_row([
+                itype.name, itype.vcpus, itype.frequency_ghz,
+                itype.memory_gb, storage, itype.price_per_hour,
+            ])
+        footer = (f"\nquota: {self.catalog.quotas[0]} nodes/type -> "
+                  f"{self.configuration_count:,} configurations (Eq. 1)")
+        return table.render() + footer
+
+
+def run(ctx: ExperimentContext) -> Table3Result:
+    """Wrap the context's catalog."""
+    return Table3Result(catalog=ctx.catalog)

@@ -1,0 +1,125 @@
+"""Table IV — model validation.
+
+For each of the paper's nine validation points (three per application,
+on the paper's exact configuration vectors), compare CELIA's predicted
+time and cost against an independent "actual" execution by the
+discrete-event engine, and report the percentage error.  The paper's
+acceptance bar is a maximum error of ~17%, higher for the communicating
+applications (galaxy, sand) than for embarrassingly parallel x264.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.runner import run_on_configuration
+from repro.experiments.common import ExperimentContext
+from repro.utils.mathutil import percent_error
+from repro.utils.tables import TextTable
+
+__all__ = ["ValidationRow", "Table4Result", "run", "VALIDATION_POINTS"]
+
+#: The paper's validation runs: (app, n, a, configuration).
+VALIDATION_POINTS: tuple[tuple[str, float, float, tuple[int, ...]], ...] = (
+    ("x264", 8_000, 20, (2, 1, 0, 0, 0, 0, 0, 0, 0)),
+    ("x264", 16_000, 20, (5, 1, 1, 0, 0, 0, 0, 0, 0)),
+    ("x264", 32_000, 20, (5, 5, 5, 1, 0, 0, 0, 0, 0)),
+    ("galaxy", 65_536, 4_000, (5, 5, 0, 0, 0, 0, 0, 0, 0)),
+    ("galaxy", 65_536, 6_000, (5, 5, 5, 0, 0, 0, 0, 0, 0)),
+    ("galaxy", 65_536, 8_000, (5, 5, 5, 3, 0, 0, 0, 0, 0)),
+    ("sand", 1_024e6, 0.32, (5, 4, 1, 0, 0, 0, 0, 0, 0)),
+    ("sand", 2_048e6, 0.32, (5, 5, 0, 0, 0, 0, 0, 0, 0)),
+    ("sand", 4_096e6, 0.32, (5, 3, 1, 0, 0, 0, 0, 0, 0)),
+)
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One validation point: predicted vs actual time and cost."""
+
+    app_name: str
+    n: float
+    a: float
+    configuration: tuple[int, ...]
+    predicted_hours: float
+    actual_hours: float
+    predicted_cost: float
+    actual_cost: float
+
+    @property
+    def time_error_percent(self) -> float:
+        """Time prediction error vs the engine's measurement."""
+        return percent_error(self.predicted_hours, self.actual_hours)
+
+    @property
+    def cost_error_percent(self) -> float:
+        """Cost prediction error vs the billed amount."""
+        return percent_error(self.predicted_cost, self.actual_cost)
+
+    @property
+    def max_error_percent(self) -> float:
+        """The paper's per-row Error column (its worse of time/cost)."""
+        return max(self.time_error_percent, self.cost_error_percent)
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """All validation rows."""
+
+    rows: tuple[ValidationRow, ...]
+
+    def max_error_for(self, app_name: str) -> float:
+        """Maximum error across one application's rows."""
+        errors = [r.max_error_percent for r in self.rows
+                  if r.app_name == app_name]
+        if not errors:
+            raise KeyError(f"no rows for {app_name}")
+        return max(errors)
+
+    def render(self) -> str:
+        """Render the paper's Table IV layout."""
+        table = TextTable(
+            ["Application", "Configuration", "T pred (h)", "T actual (h)",
+             "C pred ($)", "C actual ($)", "Error (%)"],
+            aligns="llrrrrr",
+            title="Table IV: model validation (predicted vs engine-actual)",
+            float_format="{:.1f}",
+        )
+        for r in self.rows:
+            label = f"{r.app_name}({r.n:g},{r.a:g})"
+            table.add_row([
+                label, str(list(r.configuration)),
+                r.predicted_hours, r.actual_hours,
+                r.predicted_cost, r.actual_cost,
+                r.max_error_percent,
+            ])
+        per_app = sorted({r.app_name for r in self.rows})
+        footer = "\nmax error: " + ", ".join(
+            f"{name} {self.max_error_for(name):.1f}%" for name in per_app
+        )
+        return table.render() + footer
+
+
+def run(ctx: ExperimentContext) -> Table4Result:
+    """Predict and execute all nine validation points."""
+    rows = []
+    for app_name, n, a, config in VALIDATION_POINTS:
+        app = ctx.app(app_name)
+        prediction = ctx.celia.predict(app, n, a, config)
+        actual = run_on_configuration(
+            app, n, a, config, ctx.catalog,
+            config=ctx.engine_config, seed=ctx.seed,
+        )
+        rows.append(
+            ValidationRow(
+                app_name=app_name,
+                n=n,
+                a=a,
+                configuration=tuple(config),
+                predicted_hours=prediction.time_hours,
+                actual_hours=actual.time_hours,
+                predicted_cost=prediction.cost_dollars,
+                actual_cost=actual.cost_dollars,
+            )
+        )
+    return Table4Result(rows=tuple(rows))

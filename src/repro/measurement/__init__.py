@@ -1,0 +1,52 @@
+"""Measurement-driven characterization — the "measurement" in CELIA.
+
+The paper cannot read hardware performance counters on virtualized cloud
+instances, so it splits characterization in two (Section III-A):
+
+1. **Demand** — run scale-down versions ``P(n', a')`` on a *local server*
+   with the same micro-architecture and read the instruction count with
+   Linux ``perf`` (simulated by :class:`~repro.measurement.perf.PerfCounter`).
+2. **Capacity** — run the same scale-down versions on each cloud instance
+   type and divide the measured instruction count by measured wall time
+   (:mod:`repro.measurement.baseline`), which bakes virtualization
+   overhead into the rate, so it needs no separate model.
+
+The fitted relationship between parameters and demand
+(:mod:`repro.measurement.fitting`) turns the sampled grid into the
+continuous ``D(n, a)`` the time model needs; fitted artefacts round-trip
+through JSON (:mod:`repro.measurement.profiles`).
+"""
+
+from repro.measurement.machines import MachineSpec, LOCAL_XEON_E5_2630_V4
+from repro.measurement.perf import PerfCounter, PerfReading
+from repro.measurement.baseline import (
+    DemandSamples,
+    measure_demand_grid,
+    measure_capacities,
+    measure_capacities_by_category,
+    CapacityMeasurement,
+)
+from repro.measurement.fitting import (
+    TermFit,
+    FittedDemand,
+    fit_term,
+    fit_separable_demand,
+)
+from repro.measurement.profiles import ApplicationProfile
+
+__all__ = [
+    "MachineSpec",
+    "LOCAL_XEON_E5_2630_V4",
+    "PerfCounter",
+    "PerfReading",
+    "DemandSamples",
+    "measure_demand_grid",
+    "measure_capacities",
+    "measure_capacities_by_category",
+    "CapacityMeasurement",
+    "TermFit",
+    "FittedDemand",
+    "fit_term",
+    "fit_separable_demand",
+    "ApplicationProfile",
+]

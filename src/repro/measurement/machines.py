@@ -1,0 +1,49 @@
+"""Machine specifications for the measurement substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["MachineSpec", "LOCAL_XEON_E5_2630_V4"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """A physical measurement host.
+
+    The paper requires the local server to share the instruction-set
+    architecture *and* micro-architecture family with the cloud hosts so
+    instruction counts transfer; both are recorded so the measurement
+    layer can refuse mismatched setups.
+    """
+
+    name: str
+    cores: int
+    threads: int
+    frequency_ghz: float
+    isa: str = "x86_64"
+    microarchitecture: str = "haswell-broadwell"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads < self.cores:
+            raise ValidationError("threads must be >= cores >= 1")
+        if self.frequency_ghz <= 0:
+            raise ValidationError("frequency must be positive")
+
+    def compatible_with(self, other_isa: str,
+                        other_microarchitecture: str) -> bool:
+        """True when instruction counts transfer between the machines."""
+        return (self.isa == other_isa
+                and self.microarchitecture == other_microarchitecture)
+
+
+#: The paper's measurement host: a dual-socket Intel Xeon E5-2630 v4
+#: (Broadwell, 10 cores / 20 threads per socket, 2.2 GHz base).
+LOCAL_XEON_E5_2630_V4 = MachineSpec(
+    name="Intel Xeon E5-2630 v4",
+    cores=10,
+    threads=20,
+    frequency_ghz=2.2,
+)

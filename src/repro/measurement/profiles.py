@@ -1,0 +1,139 @@
+"""Persistence of characterization artefacts.
+
+An :class:`ApplicationProfile` bundles what CELIA learned about one
+application — the fitted demand model and the measured per-type
+capacities — and round-trips through JSON, so an expensive
+characterization (real money on a real cloud) is done once and reused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.demand import (
+    AffineTerm,
+    ConstantTerm,
+    DemandTerm,
+    LinearTerm,
+    LogTerm,
+    PowerTerm,
+    QuadraticTerm,
+    SeparableDemand,
+)
+from repro.errors import ValidationError
+
+__all__ = ["ApplicationProfile", "term_to_dict", "term_from_dict"]
+
+
+def term_to_dict(term: DemandTerm) -> dict:
+    """Serialize a demand term to a JSON-safe dict."""
+    if isinstance(term, ConstantTerm):
+        return {"kind": "constant", "value": term.value}
+    if isinstance(term, LinearTerm):
+        return {"kind": "linear", "slope": term.slope}
+    if isinstance(term, AffineTerm):
+        return {"kind": "affine", "intercept": term.intercept, "slope": term.slope}
+    if isinstance(term, QuadraticTerm):
+        return {"kind": "quadratic", "a": term.a, "b": term.b, "c": term.c}
+    if isinstance(term, PowerTerm):
+        return {"kind": "power", "coefficient": term.coefficient,
+                "exponent": term.exponent}
+    if isinstance(term, LogTerm):
+        return {"kind": "log", "coefficient": term.coefficient, "tau": term.tau}
+    raise ValidationError(f"cannot serialize term of type {type(term).__name__}")
+
+
+def term_from_dict(data: dict) -> DemandTerm:
+    """Inverse of :func:`term_to_dict`."""
+    kind = data.get("kind")
+    try:
+        if kind == "constant":
+            return ConstantTerm(value=data["value"])
+        if kind == "linear":
+            return LinearTerm(slope=data["slope"])
+        if kind == "affine":
+            return AffineTerm(intercept=data["intercept"], slope=data["slope"])
+        if kind == "quadratic":
+            return QuadraticTerm(a=data["a"], b=data["b"], c=data["c"])
+        if kind == "power":
+            return PowerTerm(coefficient=data["coefficient"],
+                             exponent=data["exponent"])
+        if kind == "log":
+            return LogTerm(coefficient=data["coefficient"], tau=data["tau"])
+    except KeyError as exc:
+        raise ValidationError(f"term dict missing field {exc}") from None
+    raise ValidationError(f"unknown term kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Characterization result for one application on one catalog.
+
+    Attributes
+    ----------
+    app_name:
+        The application this profile describes.
+    demand:
+        Fitted demand model ``D(n, a)`` in GI.
+    capacities_gips:
+        Measured rate per type name in GI/s.
+    """
+
+    app_name: str
+    demand: SeparableDemand
+    capacities_gips: dict[str, float]
+
+    def capacity_vector(self, type_names: list[str]) -> np.ndarray:
+        """Capacities arranged to match a catalog's type order."""
+        try:
+            return np.array([self.capacities_gips[name] for name in type_names])
+        except KeyError as exc:
+            raise ValidationError(
+                f"profile has no capacity for type {exc}; "
+                f"known types: {sorted(self.capacities_gips)}"
+            ) from None
+
+    # -- JSON round trip -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "app_name": self.app_name,
+            "demand": {
+                "scale": self.demand.scale,
+                "size_term": term_to_dict(self.demand.size_term),
+                "accuracy_term": term_to_dict(self.demand.accuracy_term),
+            },
+            "capacities_gips": dict(self.capacities_gips),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ApplicationProfile":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            demand = SeparableDemand(
+                size_term=term_from_dict(data["demand"]["size_term"]),
+                accuracy_term=term_from_dict(data["demand"]["accuracy_term"]),
+                scale=float(data["demand"]["scale"]),
+            )
+            return cls(
+                app_name=str(data["app_name"]),
+                demand=demand,
+                capacities_gips={k: float(v)
+                                 for k, v in data["capacities_gips"].items()},
+            )
+        except KeyError as exc:
+            raise ValidationError(f"profile dict missing field {exc}") from None
+
+    def save(self, path: str | Path) -> None:
+        """Write the profile as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ApplicationProfile":
+        """Read a profile written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,206 @@
+"""ε-nondomination sorting, reimplemented from pareto.py [27].
+
+The routine maintains an *archive* of ε-nondominated rows.  Objective space
+is partitioned into hyper-boxes of side ``epsilons[k]`` along objective
+``k``; at most one archive member may occupy a box, and a box whose corner
+is dominated by another occupied box's corner is discarded entirely.  With
+all epsilons → 0 this degenerates to classic Pareto nondomination (the
+implementation special-cases ``epsilons=None`` to exact nondomination).
+
+Semantics follow Woodruff & Herman's ``pareto.py``:
+
+* all objectives are minimized;
+* within one box, the row closest (squared Euclidean) to the box's lower
+  corner wins;
+* domination between rows is decided on *box corners*, which provides the
+  ε-dominance relation of Laumanns et al.
+
+This module is the reference implementation: clear, row-at-a-time, used on
+the (small) filtered frontiers.  The bulk 10M-point screens use the
+vectorized scan in :mod:`repro.pareto.frontier` first, which is proven
+equivalent for 2-D exact nondomination by the property tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["EpsilonArchive", "eps_sort"]
+
+
+class EpsilonArchive:
+    """Incremental archive of ε-nondominated objective rows.
+
+    Parameters
+    ----------
+    n_objectives:
+        Number of objective columns (2 for CELIA's cost-time space).
+    epsilons:
+        Box side length per objective, or ``None`` for exact (ε→0)
+        nondomination.  Must be positive when given.
+
+    Notes
+    -----
+    ``sortinto`` accepts an arbitrary payload (*tag*) per row so callers
+    can recover which configuration produced an archived point.
+    """
+
+    def __init__(self, n_objectives: int, epsilons: Sequence[float] | None = None):
+        if n_objectives < 1:
+            raise ValueError("need at least one objective")
+        if epsilons is not None:
+            epsilons = [float(e) for e in epsilons]
+            if len(epsilons) != n_objectives:
+                raise ValueError(
+                    f"expected {n_objectives} epsilons, got {len(epsilons)}"
+                )
+            if any(e <= 0 for e in epsilons):
+                raise ValueError("epsilons must be strictly positive")
+        self.n_objectives = n_objectives
+        self.epsilons = epsilons
+        self._rows: list[np.ndarray] = []
+        self._boxes: list[tuple[int, ...]] | None = [] if epsilons else None
+        self._tags: list[object] = []
+
+    # -- public views ------------------------------------------------------
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Archived objective rows as an (n, n_objectives) array."""
+        if not self._rows:
+            return np.empty((0, self.n_objectives))
+        return np.vstack(self._rows)
+
+    @property
+    def tags(self) -> list[object]:
+        """Payloads associated with the archived rows, in row order."""
+        return list(self._tags)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- core --------------------------------------------------------------
+
+    def _box_of(self, row: np.ndarray) -> tuple[int, ...]:
+        assert self.epsilons is not None
+        return tuple(int(np.floor(v / e)) for v, e in zip(row, self.epsilons))
+
+    @staticmethod
+    def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+        """True if ``a`` weakly dominates ``b`` with at least one strict win."""
+        at_least_as_good = all(x <= y for x, y in zip(a, b))
+        strictly_better = any(x < y for x, y in zip(a, b))
+        return at_least_as_good and strictly_better
+
+    def _corner(self, box: tuple[int, ...]) -> tuple[float, ...]:
+        assert self.epsilons is not None
+        return tuple(b * e for b, e in zip(box, self.epsilons))
+
+    def sortinto(self, row: Sequence[float], tag: object = None) -> bool:
+        """Offer one row to the archive.
+
+        Returns ``True`` if the row was accepted (it is currently
+        ε-nondominated), ``False`` if it was rejected.  Accepting a row may
+        evict previously archived rows it now dominates.
+        """
+        arr = np.asarray(row, dtype=float)
+        if arr.shape != (self.n_objectives,):
+            raise ValueError(
+                f"row must have shape ({self.n_objectives},), got {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("objective values must be finite")
+
+        if self.epsilons is None:
+            return self._sortinto_exact(arr, tag)
+        return self._sortinto_eps(arr, tag)
+
+    def _sortinto_exact(self, arr: np.ndarray, tag: object) -> bool:
+        survivors_r: list[np.ndarray] = []
+        survivors_t: list[object] = []
+        for existing, etag in zip(self._rows, self._tags):
+            if self._dominates(existing, arr) or np.array_equal(existing, arr):
+                return False  # duplicate rows keep the incumbent
+            if not self._dominates(arr, existing):
+                survivors_r.append(existing)
+                survivors_t.append(etag)
+        survivors_r.append(arr)
+        survivors_t.append(tag)
+        self._rows = survivors_r
+        self._tags = survivors_t
+        return True
+
+    def _sortinto_eps(self, arr: np.ndarray, tag: object) -> bool:
+        assert self._boxes is not None
+        box = self._box_of(arr)
+        corner = self._corner(box)
+
+        # Same-box contest: keep whichever row is closer to the box corner.
+        for i, existing_box in enumerate(self._boxes):
+            if existing_box == box:
+                incumbent = self._rows[i]
+                dist_new = float(np.sum((arr - corner) ** 2))
+                dist_old = float(np.sum((incumbent - corner) ** 2))
+                if dist_new < dist_old:
+                    self._rows[i] = arr
+                    self._tags[i] = tag
+                    return True
+                return False
+
+        # Cross-box domination on corners.
+        for existing_box in self._boxes:
+            if self._dominates(self._corner(existing_box), corner):
+                return False
+        keep = [
+            i for i, existing_box in enumerate(self._boxes)
+            if not self._dominates(corner, self._corner(existing_box))
+        ]
+        self._rows = [self._rows[i] for i in keep]
+        self._tags = [self._tags[i] for i in keep]
+        self._boxes = [self._boxes[i] for i in keep]
+
+        self._rows.append(arr)
+        self._tags.append(tag)
+        self._boxes.append(box)
+        return True
+
+
+def eps_sort(
+    rows: Iterable[Sequence[float]] | np.ndarray,
+    epsilons: Sequence[float] | None = None,
+    *,
+    tags: Sequence[object] | None = None,
+) -> tuple[np.ndarray, list[object]]:
+    """Sort rows into an ε-nondominated set (the pareto.py entry point).
+
+    Parameters
+    ----------
+    rows:
+        Iterable of objective rows, or a 2-D array.
+    epsilons:
+        Per-objective box sizes, or ``None`` for exact nondomination.
+    tags:
+        Optional payloads aligned with ``rows``; defaults to row indices.
+
+    Returns
+    -------
+    (archive_rows, archive_tags):
+        The surviving rows as a 2-D array and their payloads.
+    """
+    matrix = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows,
+                        dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.size == 0:
+        return np.empty((0, 0)), []
+    n, m = matrix.shape
+    if tags is None:
+        tags = list(range(n))
+    elif len(tags) != n:
+        raise ValueError("tags must align with rows")
+    archive = EpsilonArchive(m, epsilons)
+    for row, tag in zip(matrix, tags):
+        archive.sortinto(row, tag)
+    return archive.rows, archive.tags

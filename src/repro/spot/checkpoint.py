@@ -1,0 +1,81 @@
+"""Checkpointing policies for interruptible execution.
+
+A checkpoint policy decides how often a run persists its state.  On an
+interruption the run loses all progress since the last completed
+checkpoint and pays a restart (resubmission + state reload) before
+continuing.  The classic tuning is Young's approximation —
+``interval ≈ sqrt(2 · checkpoint_cost · MTTI)`` — provided here next to
+a fixed-interval policy so the ablation can sweep both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["CheckpointPolicy"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Periodic checkpointing with fixed overheads.
+
+    Attributes
+    ----------
+    interval_hours:
+        Useful-work time between checkpoint completions.
+    checkpoint_cost_hours:
+        Time to write one checkpoint (work pauses).
+    restart_cost_hours:
+        Time to resume after an interruption (reprovision + reload).
+    """
+
+    interval_hours: float
+    checkpoint_cost_hours: float = 0.05
+    restart_cost_hours: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.interval_hours <= 0:
+            raise ValidationError("checkpoint interval must be positive")
+        if self.checkpoint_cost_hours < 0 or self.restart_cost_hours < 0:
+            raise ValidationError("checkpoint overheads must be >= 0")
+
+    @classmethod
+    def young(cls, mean_time_to_interrupt_hours: float,
+              checkpoint_cost_hours: float = 0.05,
+              restart_cost_hours: float = 0.15) -> "CheckpointPolicy":
+        """Young's near-optimal interval for the given interruption rate."""
+        if mean_time_to_interrupt_hours <= 0:
+            raise ValidationError("MTTI must be positive")
+        interval = math.sqrt(
+            2.0 * checkpoint_cost_hours * mean_time_to_interrupt_hours)
+        return cls(
+            interval_hours=max(interval, 1e-3),
+            checkpoint_cost_hours=checkpoint_cost_hours,
+            restart_cost_hours=restart_cost_hours,
+        )
+
+    @classmethod
+    def none(cls) -> "CheckpointPolicy":
+        """No checkpointing: an interruption restarts from scratch.
+
+        Modeled as an effectively infinite interval.
+        """
+        return cls(interval_hours=1e9, checkpoint_cost_hours=0.0,
+                   restart_cost_hours=0.15)
+
+    def overhead_factor(self) -> float:
+        """Work-time inflation from checkpoint writes alone."""
+        return 1.0 + self.checkpoint_cost_hours / self.interval_hours
+
+    def progress_after(self, useful_hours_done: float) -> float:
+        """Useful work safely persisted after ``useful_hours_done``.
+
+        Progress is saved only at completed checkpoint boundaries.
+        """
+        if useful_hours_done < 0:
+            raise ValidationError("elapsed work must be >= 0")
+        completed = math.floor(useful_hours_done / self.interval_hours)
+        return completed * self.interval_hours

@@ -1,0 +1,136 @@
+"""Spot vs on-demand study: cost savings against deadline risk.
+
+Runs the Monte-Carlo spot simulation many times for one application run
+and compares against CELIA's on-demand plan, producing the trade-off the
+paper gestures at when it rules spot out: spot is usually much cheaper
+(prices average ~35% of on-demand) but its completion time is a random
+variable, so deadline satisfaction becomes probabilistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.core.optimizer import OptimizerAnswer
+from repro.errors import ValidationError
+from repro.spot.checkpoint import CheckpointPolicy
+from repro.spot.execution import SpotRunConfig, simulate_spot_run
+
+__all__ = ["SpotStudy", "compare_spot_vs_ondemand"]
+
+
+@dataclass(frozen=True)
+class SpotStudy:
+    """Monte-Carlo comparison of one spot plan against an on-demand plan."""
+
+    ondemand: OptimizerAnswer
+    deadline_hours: float
+    bid_fraction: float
+    trials: int
+    completed_trials: int
+    on_time_trials: int
+    mean_cost: float
+    p95_cost: float
+    mean_elapsed_hours: float
+    p95_elapsed_hours: float
+    mean_interruptions: float
+    mean_efficiency: float
+
+    @property
+    def on_time_probability(self) -> float:
+        """Fraction of trials finishing within the deadline."""
+        return self.on_time_trials / self.trials
+
+    @property
+    def mean_saving_fraction(self) -> float:
+        """1 − mean spot cost / on-demand cost (can be negative)."""
+        return 1.0 - self.mean_cost / self.ondemand.cost_dollars
+
+    def on_time_interval(self, confidence: float = 0.95
+                         ) -> tuple[float, float]:
+        """Wilson interval for the on-time probability."""
+        from repro.utils.stats import binomial_ci
+
+        return binomial_ci(self.on_time_trials, self.trials,
+                           confidence=confidence)
+
+    def render(self) -> str:
+        """Compact comparison summary (with a Wilson CI on on-time)."""
+        lo, hi = self.on_time_interval()
+        return "\n".join([
+            f"spot vs on-demand (bid {self.bid_fraction:.0%} of on-demand, "
+            f"{self.trials} trials)",
+            f"  on-demand plan : {self.ondemand.time_hours:.1f} h / "
+            f"${self.ondemand.cost_dollars:.2f} (deterministic)",
+            f"  spot mean      : {self.mean_elapsed_hours:.1f} h / "
+            f"${self.mean_cost:.2f}  (p95: {self.p95_elapsed_hours:.1f} h / "
+            f"${self.p95_cost:.2f})",
+            f"  saving         : {self.mean_saving_fraction:.0%} mean",
+            f"  on-time within {self.deadline_hours:g} h: "
+            f"{self.on_time_probability:.0%} "
+            f"(95% CI {lo:.0%}-{hi:.0%}; "
+            f"interruptions/run: {self.mean_interruptions:.1f}, "
+            f"efficiency {self.mean_efficiency:.0%})",
+        ])
+
+
+def compare_spot_vs_ondemand(
+    ondemand: OptimizerAnswer,
+    demand_gi: float,
+    catalog: Catalog,
+    deadline_hours: float,
+    *,
+    bid_fraction: float = 0.5,
+    policy: CheckpointPolicy | None = None,
+    trials: int = 50,
+    seed: int = 0,
+) -> SpotStudy:
+    """Monte-Carlo spot study using the on-demand plan's configuration.
+
+    The same configuration (hence the same capacity) is bid on the spot
+    market; only availability and price differ.  ``policy`` defaults to
+    Young's interval for an assumed 8-hour mean time to interruption.
+    """
+    if trials < 1:
+        raise ValidationError("need at least one trial")
+    policy = policy or CheckpointPolicy.young(8.0)
+    run = SpotRunConfig(
+        configuration=ondemand.configuration,
+        capacity_gips=ondemand.capacity_gips,
+        demand_gi=demand_gi,
+        bid_fraction=bid_fraction,
+        policy=policy,
+    )
+    costs = np.empty(trials)
+    elapsed = np.empty(trials)
+    interruptions = np.empty(trials)
+    efficiency = np.empty(trials)
+    completed = 0
+    on_time = 0
+    for k in range(trials):
+        outcome = simulate_spot_run(run, catalog, seed=seed + 104729 * (k + 1))
+        costs[k] = outcome.cost_dollars
+        elapsed[k] = outcome.elapsed_hours
+        interruptions[k] = outcome.interruptions
+        efficiency[k] = outcome.efficiency
+        if outcome.completed:
+            completed += 1
+            if outcome.elapsed_hours <= deadline_hours:
+                on_time += 1
+    return SpotStudy(
+        ondemand=ondemand,
+        deadline_hours=deadline_hours,
+        bid_fraction=bid_fraction,
+        trials=trials,
+        completed_trials=completed,
+        on_time_trials=on_time,
+        mean_cost=float(costs.mean()),
+        p95_cost=float(np.quantile(costs, 0.95)),
+        mean_elapsed_hours=float(elapsed.mean()),
+        p95_elapsed_hours=float(np.quantile(elapsed, 0.95)),
+        mean_interruptions=float(interruptions.mean()),
+        mean_efficiency=float(efficiency.mean()),
+    )

@@ -1,0 +1,218 @@
+"""Quantities and unit conversions used throughout the CELIA reproduction.
+
+The paper expresses application resource demand in *billions of
+instructions* (GI), resource capacity in *billions of instructions per
+second* (GIPS, the paper calls it MIPS per vCPU scaled up), execution time
+in hours, and cost in US dollars per hour.  Mixing these scales is the
+easiest way to produce silently wrong results, so this module provides:
+
+* canonical scale constants (``GIGA``, ``SECONDS_PER_HOUR``),
+* thin converter functions that make call sites self-documenting,
+* small frozen dataclasses for quantities where attaching the unit to the
+  value pays for itself (:class:`Rate`, :class:`Price`).
+
+Plain ``float``/NumPy arrays remain the currency on hot paths — the
+dataclasses here are for configuration and reporting layers, never inner
+loops (per the HPC guide: keep the vectorized core free of object churn).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "HOURS_PER_DAY",
+    "giga_instructions",
+    "instructions_from_gi",
+    "hours_to_seconds",
+    "seconds_to_hours",
+    "gips_to_gi_per_hour",
+    "gi_per_hour_to_gips",
+    "dollars_per_hour_to_per_second",
+    "Rate",
+    "Price",
+    "format_duration",
+    "format_money",
+    "format_instructions",
+]
+
+#: One billion — instructions are reported in GI (giga-instructions).
+GIGA: float = 1e9
+#: One million.
+MEGA: float = 1e6
+#: One thousand.
+KILO: float = 1e3
+#: Seconds in one hour (cloud billing granularity in the paper).
+SECONDS_PER_HOUR: float = 3600.0
+#: Seconds in one minute.
+SECONDS_PER_MINUTE: float = 60.0
+#: Hours in one day.
+HOURS_PER_DAY: float = 24.0
+
+
+def giga_instructions(raw_instructions: float) -> float:
+    """Convert a raw instruction count to giga-instructions (GI)."""
+    return raw_instructions / GIGA
+
+
+def instructions_from_gi(gi: float) -> float:
+    """Convert giga-instructions back to a raw instruction count."""
+    return gi * GIGA
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def gips_to_gi_per_hour(gips: float) -> float:
+    """Convert a rate in GI/second to GI/hour."""
+    return gips * SECONDS_PER_HOUR
+
+
+def gi_per_hour_to_gips(gi_per_hour: float) -> float:
+    """Convert a rate in GI/hour to GI/second."""
+    return gi_per_hour / SECONDS_PER_HOUR
+
+
+def dollars_per_hour_to_per_second(dollars_per_hour: float) -> float:
+    """Convert an hourly price to a per-second price."""
+    return dollars_per_hour / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True, slots=True)
+class Rate:
+    """An instruction-execution rate, stored canonically in GI/second.
+
+    This is the paper's ``W`` (resource capacity).  Comparison and
+    arithmetic are defined so that characterization code reads naturally::
+
+        total = Rate.from_gips(2.7) * 4          # four vCPUs
+        per_dollar = total.per_dollar_hour(0.105)  # Figure 3's y-axis
+    """
+
+    gips: float
+
+    @classmethod
+    def from_gips(cls, gips: float) -> "Rate":
+        """Build a rate from GI/second."""
+        return cls(gips=float(gips))
+
+    @classmethod
+    def from_instructions_per_second(cls, ips: float) -> "Rate":
+        """Build a rate from raw instructions/second."""
+        return cls(gips=ips / GIGA)
+
+    @property
+    def instructions_per_second(self) -> float:
+        """The rate as raw instructions per second."""
+        return self.gips * GIGA
+
+    @property
+    def gi_per_hour(self) -> float:
+        """The rate as GI per hour."""
+        return gips_to_gi_per_hour(self.gips)
+
+    def per_dollar_hour(self, dollars_per_hour: float) -> float:
+        """Normalized performance: GI/s per ($/hour) — Figure 3's metric."""
+        if dollars_per_hour <= 0:
+            raise ValueError("price must be positive to normalize by it")
+        return self.gips / dollars_per_hour
+
+    def __mul__(self, factor: float) -> "Rate":
+        return Rate(gips=self.gips * float(factor))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "Rate") -> "Rate":
+        return Rate(gips=self.gips + other.gips)
+
+    def __lt__(self, other: "Rate") -> bool:
+        return self.gips < other.gips
+
+    def __le__(self, other: "Rate") -> bool:
+        return self.gips <= other.gips
+
+
+@dataclass(frozen=True, slots=True)
+class Price:
+    """An hourly on-demand price in US dollars (Table III's Cost column)."""
+
+    dollars_per_hour: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.dollars_per_hour) or self.dollars_per_hour < 0:
+            raise ValueError(
+                f"price must be a non-negative finite number, "
+                f"got {self.dollars_per_hour!r}"
+            )
+
+    @property
+    def dollars_per_second(self) -> float:
+        """The price converted to $/second."""
+        return dollars_per_hour_to_per_second(self.dollars_per_hour)
+
+    def cost_for(self, hours: float) -> float:
+        """Linear (non-quantized) cost of running for ``hours`` hours."""
+        return self.dollars_per_hour * hours
+
+    def __mul__(self, factor: float) -> "Price":
+        return Price(dollars_per_hour=self.dollars_per_hour * float(factor))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "Price") -> "Price":
+        return Price(dollars_per_hour=self.dollars_per_hour + other.dollars_per_hour)
+
+
+def format_duration(hours: float) -> str:
+    """Render a duration in hours as a compact human string.
+
+    >>> format_duration(25.5)
+    '1d 1h 30m'
+    >>> format_duration(0.25)
+    '15m'
+    """
+    if hours < 0:
+        return "-" + format_duration(-hours)
+    total_minutes = int(round(hours * 60))
+    days, rem = divmod(total_minutes, 24 * 60)
+    hrs, minutes = divmod(rem, 60)
+    parts: list[str] = []
+    if days:
+        parts.append(f"{days}d")
+    if hrs:
+        parts.append(f"{hrs}h")
+    if minutes or not parts:
+        parts.append(f"{minutes}m")
+    return " ".join(parts)
+
+
+def format_money(dollars: float) -> str:
+    """Render a dollar amount with two decimals and a `$` sign."""
+    if dollars < 0:
+        return f"-${-dollars:,.2f}"
+    return f"${dollars:,.2f}"
+
+
+def format_instructions(gi: float) -> str:
+    """Render a GI count with an adaptive suffix (GI, TI, PI).
+
+    >>> format_instructions(2.5e6)
+    '2.50 PI'
+    """
+    for limit, suffix in ((1e6, "PI"), (1e3, "TI")):
+        if abs(gi) >= limit:
+            return f"{gi / limit:.2f} {suffix}"
+    return f"{gi:.2f} GI"

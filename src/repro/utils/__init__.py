@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG plumbing, table rendering, math helpers."""
+
+from repro.utils.rng import derive_rng, spawn_seed
+from repro.utils.tables import TextTable
+from repro.utils.mathutil import (
+    relative_error,
+    percent_error,
+    approx_gradient,
+    geometric_mean,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_seed",
+    "TextTable",
+    "relative_error",
+    "percent_error",
+    "approx_gradient",
+    "geometric_mean",
+]

@@ -1,0 +1,166 @@
+"""Terminal plotting: ASCII scatter and line charts for the experiments.
+
+The paper's artifacts are figures; the reproduction renders them as
+character grids so `celia-experiments` output is visually comparable to
+the paper without a plotting stack.  Only what the experiments need is
+implemented: 2-D scatter with an overlay series (Figure 4's cloud +
+Pareto frontier) and multi-series line charts (Figures 5/6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ascii_scatter", "ascii_lines"]
+
+#: Markers assigned to line-chart series, in order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, cells: int) -> np.ndarray:
+    """Map values in [lo, hi] to integer cells [0, cells-1]."""
+    if hi <= lo:
+        return np.zeros(values.shape, dtype=int)
+    frac = (values - lo) / (hi - lo)
+    return np.clip((frac * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def _axis_limits(*arrays: np.ndarray) -> tuple[float, float]:
+    parts = [np.asarray(a, dtype=float).ravel()
+             for a in arrays if np.asarray(a).size]
+    if not parts:
+        raise ValidationError("no finite values to plot")
+    stacked = np.concatenate(parts)
+    finite = stacked[np.isfinite(stacked)]
+    if finite.size == 0:
+        raise ValidationError("no finite values to plot")
+    lo, hi = float(finite.min()), float(finite.max())
+    if lo == hi:
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _render_grid(grid: list[list[str]], x_lo: float, x_hi: float,
+                 y_lo: float, y_hi: float, xlabel: str, ylabel: str,
+                 title: str | None) -> str:
+    height = len(grid)
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    pad = max(len(y_hi_label), len(y_lo_label), len(ylabel))
+    for r in range(height):
+        if r == 0:
+            label = y_hi_label
+        elif r == height - 1:
+            label = y_lo_label
+        elif r == height // 2:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(grid[r]))
+    width = len(grid[0])
+    lines.append(" " * pad + " +" + "-" * width)
+    x_lo_label = f"{x_lo:.4g}"
+    x_hi_label = f"{x_hi:.4g}"
+    gap = max(width - len(x_lo_label) - len(x_hi_label), 1)
+    lines.append(" " * (pad + 2) + x_lo_label + " " * gap + x_hi_label)
+    lines.append(" " * (pad + 2) + xlabel.center(width))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    overlay_x: np.ndarray | None = None,
+    overlay_y: np.ndarray | None = None,
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+    marker: str = ".",
+    overlay_marker: str = "*",
+) -> str:
+    """Scatter plot with an optional overlay series drawn on top.
+
+    The y axis increases upward (row 0 is the maximum), matching the
+    paper's figures.  Density is not encoded — any hit marks the cell.
+    """
+    if width < 8 or height < 4:
+        raise ValidationError("plot must be at least 8x4 cells")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValidationError("x and y must have the same shape")
+    ox = np.asarray(overlay_x, dtype=float) if overlay_x is not None else np.empty(0)
+    oy = np.asarray(overlay_y, dtype=float) if overlay_y is not None else np.empty(0)
+    if ox.shape != oy.shape:
+        raise ValidationError("overlay x and y must have the same shape")
+
+    x_lo, x_hi = _axis_limits(x, ox)
+    y_lo, y_hi = _axis_limits(y, oy)
+    grid = [[" "] * width for _ in range(height)]
+
+    cols = _scale(x, x_lo, x_hi, width)
+    rows = (height - 1) - _scale(y, y_lo, y_hi, height)
+    for r, c in zip(rows, cols):
+        grid[r][c] = marker
+    if ox.size:
+        cols_o = _scale(ox, x_lo, x_hi, width)
+        rows_o = (height - 1) - _scale(oy, y_lo, y_hi, height)
+        for r, c in zip(rows_o, cols_o):
+            grid[r][c] = overlay_marker
+
+    return _render_grid(grid, x_lo, x_hi, y_lo, y_hi, xlabel, ylabel, title)
+
+
+def ascii_lines(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+) -> str:
+    """Multi-series chart: one marker character per series, plus a legend.
+
+    Non-finite values (infeasible sweep points) are skipped per series.
+    """
+    if not series:
+        raise ValidationError("need at least one series")
+    if len(series) > len(SERIES_MARKERS):
+        raise ValidationError(
+            f"at most {len(SERIES_MARKERS)} series are supported")
+    x = np.asarray(x, dtype=float)
+    finite_ys = []
+    for label, y in series.items():
+        y = np.asarray(y, dtype=float)
+        if y.shape != x.shape:
+            raise ValidationError(f"series {label!r} does not match x")
+        finite_ys.append(y[np.isfinite(y)])
+    x_lo, x_hi = _axis_limits(x)
+    y_lo, y_hi = _axis_limits(*finite_ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (label, y) in zip(SERIES_MARKERS, series.items()):
+        y = np.asarray(y, dtype=float)
+        ok = np.isfinite(y)
+        cols = _scale(x[ok], x_lo, x_hi, width)
+        rows = (height - 1) - _scale(y[ok], y_lo, y_hi, height)
+        for r, c in zip(rows, cols):
+            grid[r][c] = marker
+        legend.append(f"{marker}={label}")
+
+    body = _render_grid(grid, x_lo, x_hi, y_lo, y_hi, xlabel, ylabel, title)
+    return body + "\n" + "legend: " + "  ".join(legend)

@@ -1,0 +1,71 @@
+"""Small numerical helpers shared by analyses and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "percent_error",
+    "approx_gradient",
+    "geometric_mean",
+    "monotone_nonincreasing",
+    "monotone_nondecreasing",
+]
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """|predicted - actual| / |actual|.
+
+    Table IV reports prediction error this way (actual in the denominator).
+    Raises ``ZeroDivisionError`` for ``actual == 0`` — a zero ground truth
+    indicates a broken experiment, not an error of 0 or infinity.
+    """
+    if actual == 0:
+        raise ZeroDivisionError("relative error undefined for actual == 0")
+    return abs(predicted - actual) / abs(actual)
+
+
+def percent_error(predicted: float, actual: float) -> float:
+    """Relative error expressed in percent, as in Table IV's Error column."""
+    return 100.0 * relative_error(predicted, actual)
+
+
+def approx_gradient(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Finite-difference gradient dy/dx at segment midpoints.
+
+    Used by the fixed-time-scaling analysis to locate the points where the
+    cost curve's gradient jumps (category-spill points, Figure 6a).
+    Returns an array one element shorter than the inputs.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points for a gradient")
+    dx = np.diff(x)
+    if np.any(dx == 0):
+        raise ValueError("x values must be strictly distinct")
+    return np.diff(y) / dx
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty array is undefined")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def monotone_nonincreasing(values: np.ndarray, *, tol: float = 0.0) -> bool:
+    """True if the sequence never increases by more than ``tol``."""
+    arr = np.asarray(values, dtype=float)
+    return bool(np.all(np.diff(arr) <= tol))
+
+
+def monotone_nondecreasing(values: np.ndarray, *, tol: float = 0.0) -> bool:
+    """True if the sequence never decreases by more than ``tol``."""
+    arr = np.asarray(values, dtype=float)
+    return bool(np.all(np.diff(arr) >= -tol))

@@ -1,0 +1,83 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+Experiments print paper-style tables (Table III, Table IV) to stdout and to
+``EXPERIMENTS.md``.  This renderer intentionally supports only what those
+reports need: left/right alignment, a header rule, and a title line.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """Accumulate rows and render them as a monospace table.
+
+    >>> t = TextTable(["Type", "Cost"], aligns="lr", title="Catalog")
+    >>> t.add_row(["c4.large", 0.105])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Catalog
+    Type     |  Cost
+    ---------+------
+    c4.large | 0.105
+    """
+
+    def __init__(self, headers: Sequence[str], *, aligns: str | None = None,
+                 title: str | None = None, float_format: str = "{:g}"):
+        if aligns is not None and len(aligns) != len(headers):
+            raise ValueError("aligns must have one character per column")
+        if aligns is not None and set(aligns) - {"l", "r"}:
+            raise ValueError("aligns may contain only 'l' and 'r'")
+        self.headers = [str(h) for h in headers]
+        self.aligns = aligns or "l" * len(headers)
+        self.title = title
+        self.float_format = float_format
+        self._rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append one row; values are formatted immediately."""
+        cells = [self._format(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(cells)
+
+    def _format(self, cell: object) -> str:
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table (title, header, rule, rows) as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            out = []
+            for cell, width, align in zip(cells, widths, self.aligns):
+                out.append(cell.ljust(width) if align == "l" else cell.rjust(width))
+            return " | ".join(out).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt_row(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table (no title)."""
+        header = "| " + " | ".join(self.headers) + " |"
+        rule_cells = [("---:" if a == "r" else ":---") for a in self.aligns]
+        rule = "| " + " | ".join(rule_cells) + " |"
+        body = ["| " + " | ".join(row) + " |" for row in self._rows]
+        return "\n".join([header, rule, *body])

@@ -1,0 +1,190 @@
+"""Workflow DAGs: stages of independent tasks with precedence edges.
+
+A :class:`Stage` is a bag of ``n_tasks`` independent tasks of
+``task_gi`` GI each (the natural granularity of the paper's
+applications: encode jobs, alignment chunks, simulation phases).  A
+:class:`WorkflowDAG` wires stages with precedence edges — a stage may
+start only when all its predecessors have *completely* finished (stage-
+barrier semantics, as in Pegasus/Montage-style scientific workflows).
+
+The graph lives in a :class:`networkx.DiGraph`, which provides cycle
+detection, topological order and longest-path (critical path) machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import ValidationError
+
+__all__ = ["Stage", "WorkflowDAG", "chain", "fork_join", "diamond"]
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One workflow stage: ``n_tasks`` independent tasks of equal size."""
+
+    name: str
+    n_tasks: int
+    task_gi: float
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValidationError(f"stage {self.name}: n_tasks must be >= 1")
+        if self.task_gi <= 0:
+            raise ValidationError(f"stage {self.name}: task_gi must be > 0")
+
+    @property
+    def total_gi(self) -> float:
+        """Total work of the stage."""
+        return self.n_tasks * self.task_gi
+
+
+class WorkflowDAG:
+    """A directed acyclic graph of stages.
+
+    Parameters
+    ----------
+    stages:
+        All stages, uniquely named.
+    edges:
+        (predecessor_name, successor_name) pairs.
+    """
+
+    def __init__(self, stages: list[Stage],
+                 edges: list[tuple[str, str]] | None = None):
+        if not stages:
+            raise ValidationError("workflow needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate stage names: {names}")
+        self._stages = {s.name: s for s in stages}
+        graph = nx.DiGraph()
+        graph.add_nodes_from(names)
+        for pred, succ in edges or []:
+            if pred not in self._stages or succ not in self._stages:
+                raise ValidationError(
+                    f"edge ({pred}, {succ}) references unknown stages")
+            graph.add_edge(pred, succ)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValidationError("workflow graph contains a cycle")
+        self.graph = graph
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stages(self) -> list[Stage]:
+        """All stages in topological order."""
+        return [self._stages[name] for name in nx.topological_sort(self.graph)]
+
+    def stage(self, name: str) -> Stage:
+        """Stage lookup by name."""
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise ValidationError(f"no stage named {name!r}") from None
+
+    def predecessors(self, name: str) -> list[str]:
+        """Names of stages that must finish before ``name`` starts."""
+        self.stage(name)
+        return sorted(self.graph.predecessors(name))
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    # -- demand aggregates ------------------------------------------------------
+
+    @property
+    def total_gi(self) -> float:
+        """Total work across all stages (the workflow's ``D``)."""
+        return sum(s.total_gi for s in self._stages.values())
+
+    def critical_path(self) -> tuple[list[str], float]:
+        """(stage names, serial GI) of the heaviest dependency chain.
+
+        The weight of a chain is the sum over its stages of the *serial
+        residue* — one task's GI per stage under stage-barrier semantics
+        a successor waits for the whole stage; with unlimited slots a
+        stage still takes at least one task's duration, so the chain
+        cannot beat Σ task_gi along the path.
+        """
+        def weight(name: str) -> float:
+            return self._stages[name].task_gi
+
+        best_path: list[str] = []
+        best_weight = -1.0
+        # Longest path by node weights: dynamic programming over topo order.
+        dist: dict[str, float] = {}
+        prev: dict[str, str | None] = {}
+        for name in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(name))
+            if preds:
+                best_pred = max(preds, key=lambda p: dist[p])
+                dist[name] = dist[best_pred] + weight(name)
+                prev[name] = best_pred
+            else:
+                dist[name] = weight(name)
+                prev[name] = None
+            if dist[name] > best_weight:
+                best_weight = dist[name]
+                end = name
+        # Reconstruct.
+        node: str | None = end
+        while node is not None:
+            best_path.append(node)
+            node = prev[node]
+        best_path.reverse()
+        return best_path, best_weight
+
+    def level_widths(self) -> list[int]:
+        """Task counts per topological generation (a parallelism profile)."""
+        return [
+            sum(self._stages[name].n_tasks for name in generation)
+            for generation in nx.topological_generations(self.graph)
+        ]
+
+
+# -- common topology builders ----------------------------------------------------
+
+
+def chain(stage_sizes: list[tuple[int, float]], *,
+          prefix: str = "s") -> WorkflowDAG:
+    """A linear pipeline: s0 → s1 → ... with given (n_tasks, task_gi)."""
+    stages = [Stage(name=f"{prefix}{k}", n_tasks=n, task_gi=gi)
+              for k, (n, gi) in enumerate(stage_sizes)]
+    edges = [(f"{prefix}{k}", f"{prefix}{k + 1}")
+             for k in range(len(stages) - 1)]
+    return WorkflowDAG(stages, edges)
+
+
+def fork_join(n_branches: int, branch_tasks: int, branch_task_gi: float,
+              *, setup_gi: float = 1.0, join_gi: float = 1.0) -> WorkflowDAG:
+    """setup → N parallel branches → join (map-reduce shape)."""
+    if n_branches < 1:
+        raise ValidationError("need at least one branch")
+    stages = [Stage(name="setup", n_tasks=1, task_gi=setup_gi)]
+    edges = []
+    for b in range(n_branches):
+        name = f"branch{b}"
+        stages.append(Stage(name=name, n_tasks=branch_tasks,
+                            task_gi=branch_task_gi))
+        edges.append(("setup", name))
+        edges.append((name, "join"))
+    stages.append(Stage(name="join", n_tasks=1, task_gi=join_gi))
+    return WorkflowDAG(stages, edges)
+
+
+def diamond(top_gi: float, left: tuple[int, float], right: tuple[int, float],
+            bottom_gi: float) -> WorkflowDAG:
+    """top → {left, right} → bottom."""
+    stages = [
+        Stage(name="top", n_tasks=1, task_gi=top_gi),
+        Stage(name="left", n_tasks=left[0], task_gi=left[1]),
+        Stage(name="right", n_tasks=right[0], task_gi=right[1]),
+        Stage(name="bottom", n_tasks=1, task_gi=bottom_gi),
+    ]
+    edges = [("top", "left"), ("top", "right"),
+             ("left", "bottom"), ("right", "bottom")]
+    return WorkflowDAG(stages, edges)

@@ -1,0 +1,198 @@
+"""Analytical workflow time/cost model and workflow-aware selection.
+
+Two lower bounds govern a workflow's makespan on configuration ``G_j``:
+
+* the **work bound** — Eq. 2 applied to total demand: ``D_total / U_j``;
+* the **critical-path bound** — dependent stages serialize, and each
+  stage on the chain needs at least one task's time on the fastest vCPU
+  present: ``CP_gi / W_vcpu_max(G_j)``.
+
+The model predicts ``T = max(work bound, critical-path bound)`` — tight
+in both regimes the engine exhibits (wide workflows saturate capacity;
+deep chains are latency-bound and *more capacity does not help*, which
+is exactly the phenomenon single-application CELIA cannot express).
+
+Selection generalizes Algorithm 1: feasibility and the Pareto filter are
+applied over (predicted T, C) for every configuration, computed chunk-
+wise (the per-config fastest-vCPU rate is a masked max, still
+vectorized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.core.configspace import DEFAULT_CHUNK, ConfigurationSpace
+from repro.errors import ValidationError
+from repro.pareto.frontier import pareto_mask_2d
+from repro.units import SECONDS_PER_HOUR
+from repro.workflow.dag import WorkflowDAG
+
+__all__ = ["WorkflowPrediction", "predict_workflow",
+           "select_workflow_configurations", "WorkflowSelection",
+           "WorkflowParetoPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowPrediction:
+    """Predicted makespan and cost of a workflow on one configuration."""
+
+    time_hours: float
+    cost_dollars: float
+    work_bound_hours: float
+    critical_path_bound_hours: float
+
+    @property
+    def latency_bound(self) -> bool:
+        """True when the critical path, not capacity, limits the run."""
+        return self.critical_path_bound_hours > self.work_bound_hours
+
+
+def _per_vcpu_rates(catalog: Catalog, capacities_gips: np.ndarray
+                    ) -> np.ndarray:
+    return np.asarray(capacities_gips, dtype=float) / catalog.vcpus
+
+
+def predict_workflow(
+    workflow: WorkflowDAG,
+    configuration: np.ndarray | tuple[int, ...],
+    catalog: Catalog,
+    capacities_gips: np.ndarray,
+) -> WorkflowPrediction:
+    """Two-bound prediction for one explicit configuration."""
+    config = np.asarray(configuration, dtype=np.int64)
+    if config.shape != (len(catalog),):
+        raise ValidationError("configuration width must match the catalog")
+    if config.sum() == 0:
+        raise ValidationError("configuration must contain at least one node")
+    capacities = np.asarray(capacities_gips, dtype=float)
+    if capacities.shape != (len(catalog),):
+        raise ValidationError("capacities must align with the catalog")
+
+    total_capacity = float(config @ capacities)
+    unit_cost = float(config @ catalog.prices)
+    per_vcpu = _per_vcpu_rates(catalog, capacities)
+    fastest_vcpu = float(per_vcpu[config > 0].max())
+
+    work_bound = workflow.total_gi / total_capacity / SECONDS_PER_HOUR
+    _, cp_gi = workflow.critical_path()
+    cp_bound = cp_gi / fastest_vcpu / SECONDS_PER_HOUR
+    time_hours = max(work_bound, cp_bound)
+    return WorkflowPrediction(
+        time_hours=time_hours,
+        cost_dollars=time_hours * unit_cost,
+        work_bound_hours=work_bound,
+        critical_path_bound_hours=cp_bound,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowParetoPoint:
+    """One Pareto-optimal configuration for a workflow."""
+
+    configuration: tuple[int, ...]
+    time_hours: float
+    cost_dollars: float
+    latency_bound: bool
+
+
+@dataclass(frozen=True)
+class WorkflowSelection:
+    """Workflow-aware Algorithm 1 output."""
+
+    total_configurations: int
+    feasible_count: int
+    pareto: tuple[WorkflowParetoPoint, ...]
+    deadline_hours: float
+    budget_dollars: float
+
+    @property
+    def pareto_count(self) -> int:
+        """Number of frontier configurations."""
+        return len(self.pareto)
+
+
+def select_workflow_configurations(
+    workflow: WorkflowDAG,
+    catalog: Catalog,
+    capacities_gips: np.ndarray,
+    deadline_hours: float,
+    budget_dollars: float,
+    *,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> WorkflowSelection:
+    """Exhaustive workflow selection with the two-bound time model.
+
+    Chunk-wise over the space: capacity and unit cost come from matrix
+    products as usual; the per-configuration fastest-vCPU rate is a
+    masked maximum over the types a configuration uses.
+    """
+    if deadline_hours <= 0 or budget_dollars <= 0:
+        raise ValidationError("deadline and budget must be positive")
+    capacities = np.asarray(capacities_gips, dtype=float)
+    if capacities.shape != (len(catalog),):
+        raise ValidationError("capacities must align with the catalog")
+
+    space = ConfigurationSpace(catalog)
+    prices = catalog.prices
+    per_vcpu = _per_vcpu_rates(catalog, capacities)
+    total_gi = workflow.total_gi
+    _, cp_gi = workflow.critical_path()
+
+    feasible_count = 0
+    cand_t: list[np.ndarray] = []
+    cand_c: list[np.ndarray] = []
+    cand_i: list[np.ndarray] = []
+    for start, matrix in space.iter_chunks(chunk_size):
+        capacity = matrix @ capacities
+        unit_cost = matrix @ prices
+        used = matrix > 0
+        fastest = np.where(used, per_vcpu[None, :], 0.0).max(axis=1)
+        work_bound = total_gi / capacity
+        cp_bound = cp_gi / fastest
+        times = np.maximum(work_bound, cp_bound) / SECONDS_PER_HOUR
+        costs = times * unit_cost
+        mask = (times < deadline_hours) & (costs < budget_dollars)
+        n_f = int(np.count_nonzero(mask))
+        feasible_count += n_f
+        if n_f == 0:
+            continue
+        t_f, c_f = times[mask], costs[mask]
+        rows = np.flatnonzero(mask) + start - 1
+        local = pareto_mask_2d(t_f, c_f)
+        cand_t.append(t_f[local])
+        cand_c.append(c_f[local])
+        cand_i.append(rows[local])
+
+    pareto_points: list[WorkflowParetoPoint] = []
+    if cand_t:
+        all_t = np.concatenate(cand_t)
+        all_c = np.concatenate(cand_c)
+        all_i = np.concatenate(cand_i)
+        final = pareto_mask_2d(all_t, all_c)
+        order = np.argsort(all_t[final], kind="stable")
+        for t, c, row in zip(all_t[final][order], all_c[final][order],
+                             all_i[final][order]):
+            config = space.decode(int(row) + 1)[0]
+            fastest = float(per_vcpu[config > 0].max())
+            cp_bound_h = cp_gi / fastest / SECONDS_PER_HOUR
+            work_bound_h = total_gi / float(config @ capacities) \
+                / SECONDS_PER_HOUR
+            pareto_points.append(
+                WorkflowParetoPoint(
+                    configuration=tuple(int(v) for v in config),
+                    time_hours=float(t),
+                    cost_dollars=float(c),
+                    latency_bound=cp_bound_h > work_bound_h,
+                )
+            )
+    return WorkflowSelection(
+        total_configurations=space.size,
+        feasible_count=feasible_count,
+        pareto=tuple(pareto_points),
+        deadline_hours=deadline_hours,
+        budget_dollars=budget_dollars,
+    )

@@ -1,0 +1,112 @@
+"""Discrete-event workflow execution with precedence constraints.
+
+Validates the analytical two-bound model the way Table IV validates
+Eq. 2: execute the workflow on a simulated cluster using list scheduling
+— a stage becomes *ready* when all its predecessors complete; tasks of
+ready stages are pulled by free vCPU slots in topological order.
+
+Built directly on :class:`~repro.engine.events.EventSimulator`, making
+this module the engine's showcase consumer of the DES core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.cluster import SimCluster
+from repro.engine.events import EventSimulator
+from repro.errors import SimulationError
+from repro.units import seconds_to_hours
+from repro.workflow.dag import WorkflowDAG
+
+__all__ = ["WorkflowReport", "execute_workflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowReport:
+    """Result of one workflow execution."""
+
+    makespan_hours: float
+    stage_finish_hours: dict[str, float]
+    busy_fraction: float
+    n_tasks: int
+
+    def finish_order(self) -> list[str]:
+        """Stage names ordered by completion time."""
+        return sorted(self.stage_finish_hours,
+                      key=lambda k: self.stage_finish_hours[k])
+
+
+def execute_workflow(
+    workflow: WorkflowDAG,
+    cluster: SimCluster,
+    *,
+    rng: np.random.Generator | None = None,
+    jitter_sigma: float = 0.0,
+) -> WorkflowReport:
+    """Run the workflow to completion on the cluster.
+
+    Scheduling policy: FIFO over ready tasks (stages become ready in
+    topological order as predecessors finish); each free slot takes the
+    next ready task.  Per-task log-normal jitter optional.
+    """
+    rng = rng or np.random.default_rng(0)
+    sim = EventSimulator()
+    slot_rates = cluster.slot_rates()
+    n_slots = slot_rates.size
+
+    remaining_preds = {
+        stage.name: len(workflow.predecessors(stage.name))
+        for stage in workflow.stages
+    }
+    remaining_tasks = {s.name: s.n_tasks for s in workflow.stages}
+    ready_tasks: list[tuple[str, float]] = []  # (stage, task_gi) FIFO
+    free_slots: list[int] = list(range(n_slots))
+    stage_finish: dict[str, float] = {}
+    busy_seconds = 0.0
+    total_tasks = sum(s.n_tasks for s in workflow.stages)
+
+    def enqueue_stage(name: str) -> None:
+        stage = workflow.stage(name)
+        ready_tasks.extend((name, stage.task_gi) for _ in range(stage.n_tasks))
+
+    def dispatch() -> None:
+        nonlocal busy_seconds
+        while free_slots and ready_tasks:
+            slot = free_slots.pop()
+            stage_name, gi = ready_tasks.pop(0)
+            jitter = (rng.lognormal(0.0, jitter_sigma)
+                      if jitter_sigma > 0 else 1.0)
+            duration = gi / (slot_rates[slot] * jitter)
+            busy_seconds += duration
+            sim.schedule(duration, lambda s=slot, n=stage_name: finish(s, n))
+
+    def finish(slot: int, stage_name: str) -> None:
+        free_slots.append(slot)
+        remaining_tasks[stage_name] -= 1
+        if remaining_tasks[stage_name] == 0:
+            stage_finish[stage_name] = sim.now
+            for succ in workflow.graph.successors(stage_name):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    enqueue_stage(succ)
+        dispatch()
+
+    for stage in workflow.stages:
+        if remaining_preds[stage.name] == 0:
+            enqueue_stage(stage.name)
+    dispatch()
+    makespan_seconds = sim.run()
+
+    if any(count != 0 for count in remaining_tasks.values()):
+        raise SimulationError("workflow did not drain — scheduling bug")
+    return WorkflowReport(
+        makespan_hours=seconds_to_hours(makespan_seconds),
+        stage_finish_hours={k: seconds_to_hours(v)
+                            for k, v in stage_finish.items()},
+        busy_fraction=busy_seconds / (makespan_seconds * n_slots)
+        if makespan_seconds > 0 else 0.0,
+        n_tasks=total_tasks,
+    )

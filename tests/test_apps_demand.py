@@ -1,0 +1,127 @@
+"""Tests for the demand-term family and separable demand functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.demand import (
+    AffineTerm,
+    ConstantTerm,
+    LinearTerm,
+    LogTerm,
+    PowerTerm,
+    QuadraticTerm,
+    SeparableDemand,
+)
+from repro.errors import ValidationError
+
+positive = st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestTerms:
+    def test_constant(self):
+        term = ConstantTerm(3.0)
+        assert term(10) == 3.0
+        np.testing.assert_allclose(term(np.array([1.0, 2.0])), [3.0, 3.0])
+
+    def test_constant_positive(self):
+        with pytest.raises(ValidationError):
+            ConstantTerm(0.0)
+
+    def test_linear(self):
+        term = LinearTerm(slope=2.0)
+        assert term(3) == 6.0
+        np.testing.assert_allclose(term(np.array([1, 2])), [2.0, 4.0])
+
+    def test_linear_through_origin(self):
+        assert LinearTerm(slope=5.0)(0) == 0.0
+
+    def test_affine(self):
+        term = AffineTerm(intercept=1.0, slope=2.0)
+        assert term(3) == 7.0
+
+    def test_affine_constraints(self):
+        with pytest.raises(ValidationError):
+            AffineTerm(intercept=-1.0, slope=1.0)
+        with pytest.raises(ValidationError):
+            AffineTerm(intercept=0.0, slope=0.0)
+
+    def test_quadratic(self):
+        term = QuadraticTerm(a=1.0, b=2.0, c=3.0)
+        assert term(2) == pytest.approx(1 + 4 + 12)
+
+    def test_quadratic_needs_positive_c(self):
+        with pytest.raises(ValidationError):
+            QuadraticTerm(a=1.0, b=1.0, c=0.0)
+
+    def test_power(self):
+        term = PowerTerm(coefficient=2.0, exponent=2.0)
+        assert term(3) == pytest.approx(18.0)
+
+    def test_power_rejects_nonpositive_input(self):
+        with pytest.raises(ValidationError):
+            PowerTerm(coefficient=1.0, exponent=2.0)(0.0)
+
+    def test_log(self):
+        term = LogTerm(coefficient=2.0, tau=1.0)
+        assert term(0) == 0.0
+        assert term(np.e - 1) == pytest.approx(2.0)
+
+    def test_log_positive_over_paper_range(self):
+        # sand's t range is (0, 1]; the shifted log must stay positive.
+        term = LogTerm(coefficient=3.09e-3, tau=0.08)
+        t = np.linspace(0.01, 1.0, 100)
+        assert np.all(term(t) > 0)
+
+    def test_describe_contains_parameters(self):
+        assert "2" in LinearTerm(slope=2.0).describe()
+        assert "x^2" in QuadraticTerm(a=0.0, b=0.0, c=1.0).describe()
+
+    @given(positive, positive)
+    def test_linear_scales_proportionally(self, slope, x):
+        term = LinearTerm(slope=slope)
+        assert term(2 * x) == pytest.approx(2 * term(x), rel=1e-9)
+
+    @given(positive)
+    def test_log_is_monotone(self, x):
+        term = LogTerm(coefficient=1.0, tau=0.5)
+        assert term(x * 1.5) > term(x)
+
+
+class TestSeparableDemand:
+    def make(self) -> SeparableDemand:
+        return SeparableDemand(
+            size_term=LinearTerm(slope=1.0),
+            accuracy_term=QuadraticTerm(a=314.0, b=0.0, c=0.574),
+            scale=1.0,
+        )
+
+    def test_scalar_evaluation(self):
+        demand = self.make()
+        assert demand.gi(2, 50) == pytest.approx(2 * (314 + 0.574 * 2500))
+
+    def test_broadcast_grid(self):
+        demand = self.make()
+        n = np.array([1.0, 2.0])[:, None]
+        a = np.array([10.0, 20.0, 30.0])[None, :]
+        grid = demand(n, a)
+        assert grid.shape == (2, 3)
+        assert grid[1, 0] == pytest.approx(2 * (314 + 57.4))
+
+    def test_separability(self):
+        demand = self.make()
+        # D(2n, a) = 2 D(n, a) for a linear size term.
+        assert demand.gi(8, 20) == pytest.approx(2 * demand.gi(4, 20))
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            SeparableDemand(size_term=LinearTerm(1.0),
+                            accuracy_term=ConstantTerm(1.0), scale=0.0)
+
+    def test_describe(self):
+        assert "D(n,a)" in self.make().describe()
+
+    @given(positive, st.floats(1, 51))
+    def test_positive_everywhere(self, n, a):
+        assert self.make().gi(n, a) > 0

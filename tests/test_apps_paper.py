@@ -1,0 +1,183 @@
+"""Tests for the three paper applications (x264, galaxy, sand)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ExecutionStyle,
+    GalaxyApp,
+    SandApp,
+    X264App,
+    application_by_name,
+    paper_applications,
+)
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.instance import ResourceCategory
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_three_applications(self):
+        apps = paper_applications()
+        assert set(apps) == {"x264", "galaxy", "sand"}
+
+    def test_lookup(self):
+        assert application_by_name("galaxy").name == "galaxy"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            application_by_name("hadoop")
+
+
+class TestDemandShapes:
+    """Figure 2's six relationships, asserted on ground truth."""
+
+    def test_x264_linear_in_n(self, x264):
+        d1 = x264.demand_gi(8, 20)
+        d2 = x264.demand_gi(16, 20)
+        assert d2 == pytest.approx(2 * d1, rel=1e-9)
+
+    def test_x264_quadratic_in_f(self, x264):
+        # Fit a quadratic exactly through three points; a fourth must match.
+        fs = np.array([10.0, 20.0, 40.0])
+        ds = np.array([x264.demand_gi(1, f) for f in fs])
+        coeffs = np.polyfit(fs, ds, 2)
+        predicted = np.polyval(coeffs, 30.0)
+        assert x264.demand_gi(1, 30) == pytest.approx(predicted, rel=1e-6)
+
+    def test_galaxy_quadratic_in_n(self, galaxy):
+        d1 = galaxy.demand_gi(8192, 1000)
+        d2 = galaxy.demand_gi(16384, 1000)
+        assert d2 == pytest.approx(4 * d1, rel=1e-9)
+
+    def test_galaxy_linear_in_s(self, galaxy):
+        d1 = galaxy.demand_gi(8192, 1000)
+        d2 = galaxy.demand_gi(8192, 3000)
+        assert d2 == pytest.approx(3 * d1, rel=1e-9)
+
+    def test_sand_linear_in_n(self, sand):
+        d1 = sand.demand_gi(1_000_000, 0.32)
+        d2 = sand.demand_gi(3_000_000, 0.32)
+        assert d2 == pytest.approx(3 * d1, rel=1e-9)
+
+    def test_sand_log_in_t(self, sand):
+        # Sub-linear: doubling t must less-than-double demand.
+        d1 = sand.demand_gi(1_000_000, 0.25)
+        d2 = sand.demand_gi(1_000_000, 0.5)
+        assert d1 < d2 < 2 * d1
+
+    def test_figure2_magnitudes(self, galaxy, sand, x264):
+        """Ground truth lands on the paper's figure axes (DESIGN.md §4)."""
+        # Fig 2(b): galaxy(65536, 2000) ~ 2.5-2.7 PI.
+        assert galaxy.demand_gi(65536, 2000) == pytest.approx(2.66e6, rel=0.05)
+        # Fig 2(c): sand(64M, 0.04) ~ 80-90 TI.
+        assert sand.demand_gi(64e6, 0.04) == pytest.approx(8.0e4, rel=0.1)
+        # Fig 2(d): x264(2, 50) ~ 3.5 TI.
+        assert x264.demand_gi(2, 50) == pytest.approx(3.5e3, rel=0.05)
+
+
+class TestParameterValidation:
+    def test_x264_domain(self, x264):
+        with pytest.raises(ValidationError):
+            x264.validate_params(0, 20)
+        with pytest.raises(ValidationError):
+            x264.validate_params(2.5, 20)
+        with pytest.raises(ValidationError):
+            x264.validate_params(2, 52)
+        x264.validate_params(2, 51)
+
+    def test_galaxy_domain(self, galaxy):
+        with pytest.raises(ValidationError):
+            galaxy.validate_params(1, 100)
+        with pytest.raises(ValidationError):
+            galaxy.validate_params(100, 0)
+        galaxy.validate_params(2, 1)
+
+    def test_sand_domain(self, sand):
+        with pytest.raises(ValidationError):
+            sand.validate_params(1e6, 0.0)
+        with pytest.raises(ValidationError):
+            sand.validate_params(1e6, 1.5)
+        sand.validate_params(1e6, 1.0)
+
+
+class TestWorkloads:
+    def test_x264_one_task_per_clip(self, x264):
+        w = x264.workload(16, 20)
+        assert w.style is ExecutionStyle.INDEPENDENT
+        assert w.n_tasks == 16
+        assert w.task_gi.sum() == pytest.approx(x264.demand_gi(16, 20))
+
+    def test_x264_task_heterogeneity_controlled(self):
+        app = X264App(task_size_sigma=0.0)
+        w = app.workload(8, 20)
+        np.testing.assert_allclose(w.task_gi, w.task_gi[0])
+
+    def test_galaxy_bsp_steps(self, galaxy):
+        w = galaxy.workload(8192, 100)
+        assert w.style is ExecutionStyle.BSP
+        assert w.n_steps == 100
+        assert w.step_gi * 100 == pytest.approx(galaxy.demand_gi(8192, 100))
+        assert w.comm_seconds_per_step > 0
+
+    def test_sand_chunking(self, sand):
+        w = sand.workload(4_000_000_000, 0.32)
+        assert w.style is ExecutionStyle.WORKQUEUE
+        assert w.n_tasks == 4000
+        assert w.task_gi.sum() == pytest.approx(
+            sand.demand_gi(4_000_000_000, 0.32))
+
+    def test_sand_minimum_tasks_for_small_inputs(self, sand):
+        w = sand.workload(1_000_000, 0.32)
+        assert w.n_tasks == 64  # adaptive chunk shrink
+
+    def test_workload_is_deterministic(self):
+        a = SandApp(seed=9).workload(2_000_000, 0.5)
+        b = SandApp(seed=9).workload(2_000_000, 0.5)
+        np.testing.assert_allclose(a.task_gi, b.task_gi)
+
+
+class TestPerformanceProfiles:
+    def test_figure3_normalized_targets(self, galaxy, sand, x264):
+        """True rates hit the Figure 3 calibration (DESIGN.md §4)."""
+        catalog = ec2_catalog()
+        c4l = catalog.type_named("c4.large")
+        assert galaxy.true_rate_gips(c4l) / 0.105 == pytest.approx(26.2, rel=0.01)
+        assert sand.true_rate_gips(c4l) / 0.105 == pytest.approx(80.0, rel=0.01)
+        assert x264.true_rate_gips(c4l) / 0.105 == pytest.approx(55.0, rel=0.01)
+
+    def test_category_ratios(self, galaxy):
+        """c4 ~ 2x and m4 ~ 1.5x r3 in GI/s per dollar (Section IV-C)."""
+        catalog = ec2_catalog()
+        norm = {}
+        for name in ("c4.large", "m4.large", "r3.large"):
+            t = catalog.type_named(name)
+            norm[name] = galaxy.true_rate_gips(t) / t.price_per_hour
+        assert norm["c4.large"] / norm["r3.large"] == pytest.approx(2.0, rel=0.02)
+        assert norm["m4.large"] / norm["r3.large"] == pytest.approx(1.5, rel=0.02)
+
+    def test_rate_scales_with_vcpus(self, galaxy):
+        catalog = ec2_catalog()
+        large = galaxy.true_rate_gips(catalog.type_named("c4.large"))
+        xlarge = galaxy.true_rate_gips(catalog.type_named("c4.xlarge"))
+        assert xlarge == pytest.approx(2 * large, rel=1e-9)
+
+    def test_unknown_category_rejected(self, galaxy):
+        from repro.apps.base import PerformanceProfile
+
+        profile = PerformanceProfile(
+            ipc_by_category={ResourceCategory.COMPUTE: 1.0})
+        with pytest.raises(ValidationError):
+            profile.ipc_for(ResourceCategory.MEMORY)
+
+
+class TestAccuracyScores:
+    def test_monotone_in_knob(self, galaxy, sand, x264):
+        assert x264.accuracy_score(40) > x264.accuracy_score(20)
+        assert galaxy.accuracy_score(8000) > galaxy.accuracy_score(1000)
+        assert sand.accuracy_score(0.8) > sand.accuracy_score(0.4)
+
+    def test_bounded(self, galaxy, sand, x264):
+        for score in (x264.accuracy_score(51), galaxy.accuracy_score(100000),
+                      sand.accuracy_score(1.0)):
+            assert 0 < score <= 1

@@ -1,0 +1,94 @@
+"""Tests for the configurable synthetic application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import ExecutionStyle
+from repro.apps.demand import LinearTerm, LogTerm, SeparableDemand
+from repro.apps.synthetic import SyntheticApp
+from repro.errors import ValidationError
+
+
+def make_demand() -> SeparableDemand:
+    return SeparableDemand(
+        size_term=LinearTerm(slope=2.0),
+        accuracy_term=LogTerm(coefficient=1.0, tau=0.1),
+        scale=3.0,
+    )
+
+
+class TestSyntheticApp:
+    def test_demand_delegation(self):
+        app = SyntheticApp(make_demand())
+        assert app.demand_gi(10, 1.0) == pytest.approx(
+            3.0 * 20.0 * np.log1p(10.0))
+
+    def test_domain_enforcement(self):
+        app = SyntheticApp(make_demand(), size_domain=(1, 100),
+                           accuracy_domain=(0.1, 1.0))
+        with pytest.raises(ValidationError):
+            app.validate_params(0.5, 0.5)
+        with pytest.raises(ValidationError):
+            app.validate_params(10, 2.0)
+        app.validate_params(10, 0.5)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            SyntheticApp(make_demand(), size_domain=(10, 1))
+
+    def test_independent_workload_default_tasks(self):
+        app = SyntheticApp(make_demand())
+        w = app.workload(7, 1.0)
+        assert w.style is ExecutionStyle.INDEPENDENT
+        assert w.n_tasks == 7
+        assert w.task_gi.sum() == pytest.approx(app.demand_gi(7, 1.0))
+
+    def test_bsp_workload(self):
+        app = SyntheticApp(make_demand(), style=ExecutionStyle.BSP)
+        w = app.workload(10, 5.0)
+        assert w.style is ExecutionStyle.BSP
+        assert w.n_steps == 5
+        assert w.step_gi * 5 == pytest.approx(app.demand_gi(10, 5.0))
+
+    def test_workqueue_workload(self):
+        app = SyntheticApp(make_demand(), style=ExecutionStyle.WORKQUEUE,
+                           dispatch_seconds=0.5, n_tasks=20)
+        w = app.workload(10, 1.0)
+        assert w.style is ExecutionStyle.WORKQUEUE
+        assert w.n_tasks == 20
+        assert w.dispatch_seconds == 0.5
+
+    def test_task_override(self):
+        app = SyntheticApp(make_demand(), n_tasks=3)
+        assert app.workload(100, 1.0).n_tasks == 3
+
+    def test_heterogeneity_deterministic(self):
+        app_a = SyntheticApp(make_demand(), task_size_sigma=0.5, seed=1)
+        app_b = SyntheticApp(make_demand(), task_size_sigma=0.5, seed=1)
+        np.testing.assert_allclose(app_a.workload(10, 1.0).task_gi,
+                                   app_b.workload(10, 1.0).task_gi)
+
+    def test_scale_down_grid_within_domain(self):
+        app = SyntheticApp(make_demand(), size_domain=(4, 16),
+                           accuracy_domain=(0.1, 0.2))
+        sizes, accs = app.scale_down_grid()
+        assert sizes.min() >= 4 and sizes.max() <= 16
+        assert accs.max() <= 0.2
+
+    def test_accuracy_score_bounded_domain(self):
+        app = SyntheticApp(make_demand(), accuracy_domain=(0.1, 2.0))
+        assert app.accuracy_score(1.0) == pytest.approx(0.5)
+
+    def test_accuracy_score_unbounded_domain(self):
+        app = SyntheticApp(make_demand())
+        assert 0 < app.accuracy_score(3.0) < 1
+        assert app.accuracy_score(30.0) > app.accuracy_score(3.0)
+
+    def test_default_profile_uniform(self):
+        app = SyntheticApp(make_demand())
+        from repro.cloud.catalog import ec2_catalog
+
+        catalog = ec2_catalog()
+        c4l = catalog.type_named("c4.large")
+        # IPC 1.0 everywhere: rate = vcpus * GHz.
+        assert app.true_rate_gips(c4l) == pytest.approx(2 * 2.9)

@@ -1,0 +1,87 @@
+"""Tests for the ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.asciiplot import ascii_lines, ascii_scatter
+
+
+class TestScatter:
+    def test_contains_markers_and_labels(self):
+        x = np.linspace(0, 10, 50)
+        y = x**2
+        out = ascii_scatter(x, y, xlabel="time", ylabel="cost",
+                            title="demo")
+        assert "demo" in out
+        assert "time" in out
+        assert "cost" in out
+        assert "." in out
+
+    def test_overlay_drawn_on_top(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 1.0])
+        out = ascii_scatter(x, y, overlay_x=x, overlay_y=y)
+        assert "*" in out
+        # Overlay covers the base markers at identical positions.
+        assert "." not in out.split("\n", 1)[0]
+
+    def test_axis_limits_in_output(self):
+        x = np.array([2.0, 8.0])
+        y = np.array([100.0, 400.0])
+        out = ascii_scatter(x, y)
+        assert "2" in out and "8" in out
+        assert "100" in out and "400" in out
+
+    def test_constant_values_padded(self):
+        out = ascii_scatter(np.array([1.0, 1.0]), np.array([5.0, 5.0]))
+        assert "." in out
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_too_small_grid(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter(np.array([1.0]), np.array([1.0]), width=2)
+
+    def test_all_points_inside_grid(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(200), rng.random(200)
+        out = ascii_scatter(x, y, width=40, height=10)
+        body_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(body_lines) == 10
+
+
+class TestLines:
+    def test_legend_and_markers(self):
+        x = np.linspace(1, 10, 10)
+        out = ascii_lines(x, {"6hr": x * 2, "24hr": x})
+        assert "legend:" in out
+        assert "o=6hr" in out
+        assert "x=24hr" in out
+
+    def test_infeasible_points_skipped(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, np.inf, 3.0])
+        out = ascii_lines(x, {"s": y})
+        assert "legend" in out  # renders despite the inf
+
+    def test_needs_series(self):
+        with pytest.raises(ValidationError):
+            ascii_lines(np.array([1.0]), {})
+
+    def test_too_many_series(self):
+        x = np.array([1.0, 2.0])
+        series = {f"s{k}": x for k in range(9)}
+        with pytest.raises(ValidationError):
+            ascii_lines(x, series)
+
+    def test_series_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            ascii_lines(np.array([1.0, 2.0]), {"s": np.array([1.0])})
+
+    def test_all_infinite_series_rejected(self):
+        x = np.array([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            ascii_lines(x, {"s": np.array([np.inf, np.inf])})

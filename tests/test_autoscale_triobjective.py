@@ -1,0 +1,136 @@
+"""Tests for the autoscaler baseline and the tri-objective frontier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoscale import simulate_autoscaler
+from repro.core.triobjective import tri_objective_frontier
+from repro.errors import ValidationError
+
+
+class TestAutoscaler:
+    def test_completes_within_deadline_when_feasible(self, celia_ec2,
+                                                     galaxy, ec2):
+        capacities = celia_ec2.capacities(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 2_000)
+        outcome = simulate_autoscaler(ec2, capacities, demand, 48.0, seed=0)
+        assert outcome.completed_on_time
+        assert outcome.cost_dollars > 0
+        assert outcome.peak_nodes >= 1
+        assert outcome.epochs >= 1
+
+    def test_static_optimal_cheaper_with_accurate_estimate(self, celia_ec2,
+                                                           galaxy, ec2):
+        """With a correct demand estimate, CELIA's static plan beats the
+        reactive policy (no scaling churn, no hourly re-billing)."""
+        capacities = celia_ec2.capacities(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 2_000)
+        static = celia_ec2.min_cost_index(galaxy).query(demand, 48.0)
+        reactive = simulate_autoscaler(ec2, capacities, demand, 48.0, seed=0)
+        assert static.cost_dollars <= reactive.cost_dollars * 1.05
+
+    def test_autoscaler_rescues_underestimated_demand(self, celia_ec2,
+                                                      galaxy, ec2):
+        """The reactive policy's advantage: a static plan sized from a
+        2x-underestimated demand misses the deadline; the autoscaler,
+        which observes the true remaining work, still finishes on time."""
+        capacities = celia_ec2.capacities(galaxy)
+        true_demand = celia_ec2.demand_gi(galaxy, 65_536, 6_000)
+        believed = true_demand / 2.0
+        deadline = 30.0
+        static = celia_ec2.min_cost_index(galaxy).query(believed, deadline)
+        static_true_time = true_demand / static.capacity_gips / 3600.0
+        assert static_true_time > deadline  # the static plan is sunk
+        reactive = simulate_autoscaler(ec2, capacities, true_demand,
+                                       deadline, seed=1)
+        assert reactive.completed_on_time
+
+    def test_scaling_actions_counted(self, celia_ec2, galaxy, ec2):
+        capacities = celia_ec2.capacities(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 4_000)
+        outcome = simulate_autoscaler(ec2, capacities, demand, 24.0, seed=2)
+        assert outcome.scaling_actions >= 1
+        assert len(outcome.configuration_history) == outcome.epochs
+
+    def test_validation(self, ec2):
+        capacities = np.ones(9)
+        with pytest.raises(ValidationError):
+            simulate_autoscaler(ec2, capacities, 0.0, 10.0)
+        with pytest.raises(ValidationError):
+            simulate_autoscaler(ec2, capacities, 1.0, 10.0, headroom=0.5)
+        with pytest.raises(ValidationError):
+            simulate_autoscaler(ec2, np.ones(2), 1.0, 10.0)
+
+    def test_deterministic(self, celia_ec2, galaxy, ec2):
+        capacities = celia_ec2.capacities(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 2_000)
+        a = simulate_autoscaler(ec2, capacities, demand, 48.0, seed=9)
+        b = simulate_autoscaler(ec2, capacities, demand, 48.0, seed=9)
+        assert a.cost_dollars == b.cost_dollars
+        assert a.configuration_history == b.configuration_history
+
+
+class TestTriObjectiveFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self, celia_ec2, galaxy):
+        return tri_objective_frontier(
+            celia_ec2.evaluation(galaxy),
+            celia_ec2.demand_model(galaxy),
+            galaxy.accuracy_score,
+            problem_size=65_536,
+            accuracy_levels=np.array([2_000, 4_000, 6_000, 8_000]),
+            deadline_hours=24.0,
+            budget_dollars=350.0,
+        )
+
+    def test_multiple_accuracy_tiers_present(self, frontier):
+        assert len(frontier.accuracies_available()) >= 2
+        assert len(frontier) > 4
+
+    def test_points_mutually_nondominated(self, frontier):
+        for p in frontier.points:
+            for q in frontier.points:
+                if p is q:
+                    continue
+                dominates = (
+                    q.time_hours <= p.time_hours
+                    and q.cost_dollars <= p.cost_dollars
+                    and q.accuracy_score >= p.accuracy_score
+                    and (q.time_hours < p.time_hours
+                         or q.cost_dollars < p.cost_dollars
+                         or q.accuracy_score > p.accuracy_score)
+                )
+                assert not dominates, (p, q)
+
+    def test_higher_accuracy_costs_more_at_minimum(self, frontier):
+        tiers = frontier.accuracies_available()
+        costs = [frontier.cheapest_at(a).cost_dollars for a in tiers]
+        assert costs == sorted(costs)
+
+    def test_best_accuracy(self, frontier):
+        best = frontier.best_accuracy()
+        assert best.accuracy == max(frontier.accuracies_available())
+
+    def test_all_points_within_constraints(self, frontier):
+        for p in frontier.points:
+            assert p.time_hours < 24.0
+            assert p.cost_dollars < 350.0
+
+    def test_render(self, frontier):
+        text = frontier.render()
+        assert "tri-objective frontier" in text
+        assert "accuracy tiers" in text
+
+    def test_empty_when_infeasible(self, celia_ec2, galaxy):
+        frontier = tri_objective_frontier(
+            celia_ec2.evaluation(galaxy),
+            celia_ec2.demand_model(galaxy),
+            galaxy.accuracy_score,
+            problem_size=65_536,
+            accuracy_levels=np.array([8_000]),
+            deadline_hours=0.001,
+            budget_dollars=0.001,
+        )
+        assert len(frontier) == 0
+        with pytest.raises(ValidationError):
+            frontier.best_accuracy()

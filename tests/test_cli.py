@@ -1,0 +1,140 @@
+"""Tests for the ``celia`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["select", "galaxy", "100", "10",
+                                  "--deadline", "24", "--budget", "350"])
+        assert args.command == "select"
+        assert args.app == "galaxy"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "hadoop"])
+
+    def test_plan_mutually_exclusive_knobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "plan", "galaxy", "--deadline", "24", "--budget", "100",
+                "--fix-size", "100", "--fix-accuracy", "10",
+                "--range", "1,2",
+            ])
+
+
+@pytest.mark.parametrize("quota", ["2"])
+class TestCommands:
+    """End-to-end CLI runs on a reduced quota (3^9-1 = 19k configs)."""
+
+    def test_predict(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "predict", "galaxy",
+                     "65536", "4000", "--config", "2,2,0,0,0,0,0,0,0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "demand" in out and "cost" in out
+
+    def test_predict_bad_config(self, quota):
+        with pytest.raises(SystemExit):
+            main(["--quota", quota, "predict", "galaxy", "65536", "4000",
+                  "--config", "1,2"])
+        with pytest.raises(SystemExit):
+            main(["--quota", quota, "predict", "galaxy", "65536", "4000",
+                  "--config", "a,b,c,d,e,f,g,h,i"])
+
+    def test_select(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "select", "galaxy",
+                     "65536", "2000", "--deadline", "48", "--budget", "350",
+                     "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Pareto-optimal" in out
+        assert "frontier cost span" in out
+
+    def test_select_infeasible(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "select", "galaxy",
+                     "65536", "8000", "--deadline", "0.001",
+                     "--budget", "0.001"])
+        assert code == 1
+
+    def test_characterize_with_profile_output(self, capsys, tmp_path, quota):
+        out_file = tmp_path / "galaxy.json"
+        code = main(["--seed", "1", "--quota", quota, "characterize",
+                     "galaxy", "--output", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GI/s per $/h" in out
+        assert out_file.exists()
+        from repro.measurement.profiles import ApplicationProfile
+
+        profile = ApplicationProfile.load(out_file)
+        assert profile.app_name == "galaxy"
+
+    def test_plan_accuracy(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "plan", "galaxy",
+                     "--deadline", "24", "--budget", "50",
+                     "--fix-size", "65536", "--range", "100,20000",
+                     "--integral"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max accuracy" in out
+
+    def test_plan_infeasible_returns_one(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "plan", "galaxy",
+                     "--deadline", "0.0001", "--budget", "0.0001",
+                     "--fix-size", "65536", "--range", "1000,2000"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "infeasible" in err
+
+    def test_plan_bad_range(self, quota):
+        with pytest.raises(SystemExit):
+            main(["--quota", quota, "plan", "galaxy", "--deadline", "24",
+                  "--budget", "50", "--fix-size", "65536",
+                  "--range", "oops"])
+
+    def test_validate(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "validate", "x264",
+                     "256", "20", "--config", "2,0,0,0,0,0,0,0,0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "predicted" in out and "error" in out
+
+
+class TestSpotCommand:
+    def test_spot_study(self, capsys):
+        code = main(["--seed", "1", "--quota", "2", "spot", "galaxy",
+                     "65536", "2000", "--deadline", "48", "--bid", "0.6",
+                     "--trials", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spot vs on-demand" in out
+        assert "on-time" in out
+
+    def test_spot_infeasible_deadline(self, capsys):
+        code = main(["--seed", "1", "--quota", "2", "spot", "galaxy",
+                     "65536", "8000", "--deadline", "0.001"])
+        assert code == 1
+
+
+class TestRegistryJsonExport:
+    def test_figure5_series_written(self, tmp_path):
+        from repro.experiments.registry import main as reg_main
+
+        code = reg_main(["figure5", "--output-dir", str(tmp_path)])
+        assert code == 0
+        import json
+
+        data = json.loads((tmp_path / "figure5.json").read_text())
+        assert "galaxy" in data and "sand" in data
+        assert "24" in data["galaxy"]["min_cost_by_deadline"]
+        # Infeasible points serialize as null.
+        six_hr = data["galaxy"]["min_cost_by_deadline"]["6"]
+        assert six_hr[-1] is None

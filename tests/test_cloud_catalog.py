@@ -1,0 +1,112 @@
+"""Tests for resource catalogs, including the Table III reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import Catalog, ec2_catalog, make_catalog
+from repro.cloud.instance import ResourceCategory
+from repro.errors import CatalogError
+
+
+class TestEc2Catalog:
+    def test_nine_types(self, ec2):
+        assert len(ec2) == 9
+
+    def test_configuration_count_matches_paper(self, ec2):
+        # The paper: 10,077,695 configurations from 9 types, 5 nodes each.
+        assert ec2.configuration_count() == 10_077_695
+
+    def test_eq1_formula(self, ec2):
+        assert ec2.configuration_count() == 6**9 - 1
+
+    def test_prices_match_table_iii(self, ec2):
+        expected = {
+            "c4.large": 0.105, "c4.xlarge": 0.209, "c4.2xlarge": 0.419,
+            "m4.large": 0.133, "m4.xlarge": 0.266, "m4.2xlarge": 0.532,
+            "r3.large": 0.166, "r3.xlarge": 0.333, "r3.2xlarge": 0.664,
+        }
+        for name, price in expected.items():
+            assert ec2.type_named(name).price_per_hour == price
+
+    def test_price_range_matches_paper(self, ec2):
+        # "hourly prices range from $0.105 to $0.664"
+        assert ec2.prices.min() == pytest.approx(0.105)
+        assert ec2.prices.max() == pytest.approx(0.664)
+
+    def test_vcpus_match_table_iii(self, ec2):
+        for itype in ec2:
+            expected = {"large": 2, "xlarge": 4, "2xlarge": 8}[itype.size_label]
+            assert itype.vcpus == expected
+
+    def test_categories_are_contiguous_c4_m4_r3(self, ec2):
+        cats = [c.value for c in ec2.categories]
+        assert cats == ["c4"] * 3 + ["m4"] * 3 + ["r3"] * 3
+
+    def test_configuration_tuple_order_is_largest_first(self, ec2):
+        # Configuration vectors must match the paper's annotations:
+        # first slot is c4.2xlarge (see Table IV cross-check in DESIGN.md).
+        assert ec2.names[0] == "c4.2xlarge"
+        assert ec2.names[3] == "m4.2xlarge"
+        assert ec2.names[6] == "r3.2xlarge"
+
+    def test_custom_quota(self):
+        cat = ec2_catalog(max_nodes_per_type=2)
+        assert cat.configuration_count() == 3**9 - 1
+
+    def test_frequencies(self, ec2):
+        assert ec2.type_named("c4.large").frequency_ghz == 2.9
+        assert ec2.type_named("m4.large").frequency_ghz == 2.3
+        assert ec2.type_named("r3.large").frequency_ghz == 2.5
+
+
+class TestCatalogBehaviour:
+    def test_index_of_and_type_named(self, small_catalog):
+        assert small_catalog.index_of("a.big") == 1
+        assert small_catalog.type_named("a.big").vcpus == 4
+
+    def test_unknown_type(self, small_catalog):
+        with pytest.raises(CatalogError):
+            small_catalog.index_of("nope")
+
+    def test_vector_views(self, small_catalog):
+        np.testing.assert_allclose(small_catalog.prices, [0.10, 0.21, 0.16])
+        np.testing.assert_array_equal(small_catalog.vcpus, [2, 4, 2])
+        np.testing.assert_array_equal(small_catalog.quota_vector, [2, 2, 2])
+
+    def test_restrict_preserves_order(self, ec2):
+        sub = ec2.restrict(["m4.large", "c4.large"])
+        assert sub.names == ["m4.large", "c4.large"]
+        assert sub.configuration_count() == 6 * 6 - 1
+
+    def test_with_quota(self, ec2):
+        assert ec2.with_quota(1).configuration_count() == 2**9 - 1
+
+    def test_types_in_category(self, ec2):
+        c4 = ec2.types_in_category(ResourceCategory.COMPUTE)
+        assert [t.name for t in c4] == ["c4.2xlarge", "c4.xlarge", "c4.large"]
+
+    def test_duplicate_names_rejected(self, small_catalog):
+        with pytest.raises(CatalogError):
+            Catalog(types=(small_catalog.types[0], small_catalog.types[0]),
+                    quotas=(1, 1))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog(types=(), quotas=())
+
+    def test_quota_mismatch_rejected(self, small_catalog):
+        with pytest.raises(CatalogError):
+            Catalog(types=small_catalog.types, quotas=(1, 2))
+
+    def test_zero_quota_rejected(self, small_catalog):
+        with pytest.raises(CatalogError):
+            Catalog(types=small_catalog.types, quotas=(0, 1, 1))
+
+    def test_iteration_and_indexing(self, small_catalog):
+        assert [t.name for t in small_catalog] == \
+            [small_catalog[i].name for i in range(len(small_catalog))]
+
+    def test_make_catalog_defaults(self):
+        cat = make_catalog([("x", 2, 2.0, 0.1)], quota=3)
+        assert cat.configuration_count() == 3
+        assert cat[0].memory_gb == 8.0

@@ -1,0 +1,103 @@
+"""Tests for instance types and instances."""
+
+import pytest
+
+from repro.cloud.instance import (
+    Instance,
+    InstanceType,
+    ResourceCategory,
+    StorageKind,
+)
+from repro.errors import ValidationError
+
+
+def make_type(**overrides) -> InstanceType:
+    base = dict(
+        name="c4.large",
+        category=ResourceCategory.COMPUTE,
+        vcpus=2,
+        frequency_ghz=2.9,
+        memory_gb=3.75,
+        storage=StorageKind.EBS,
+        local_storage_gb=0.0,
+        price_per_hour=0.105,
+    )
+    base.update(overrides)
+    return InstanceType(**base)
+
+
+class TestResourceCategory:
+    def test_from_prefix(self):
+        assert ResourceCategory.from_prefix("c4") is ResourceCategory.COMPUTE
+        assert ResourceCategory.from_prefix("m4") is ResourceCategory.GENERAL
+        assert ResourceCategory.from_prefix("r3") is ResourceCategory.MEMORY
+
+    def test_unknown_prefix(self):
+        with pytest.raises(ValidationError):
+            ResourceCategory.from_prefix("t2")
+
+
+class TestInstanceType:
+    def test_size_label(self):
+        assert make_type(name="c4.2xlarge", vcpus=8).size_label == "2xlarge"
+
+    def test_invalid_vcpus(self):
+        with pytest.raises(ValidationError):
+            make_type(vcpus=0)
+
+    def test_invalid_price(self):
+        with pytest.raises(ValidationError):
+            make_type(price_per_hour=0.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValidationError):
+            make_type(frequency_ghz=-1)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValidationError):
+            make_type(memory_gb=0)
+
+    def test_local_storage_consistency(self):
+        with pytest.raises(ValidationError):
+            make_type(storage=StorageKind.LOCAL_SSD, local_storage_gb=0.0)
+        with pytest.raises(ValidationError):
+            make_type(storage=StorageKind.EBS, local_storage_gb=32.0)
+
+    def test_spec_upper_bound(self):
+        t = make_type()
+        assert t.spec_gips_upper_bound() == pytest.approx(2 * 2.9)
+        assert t.spec_gips_upper_bound(0.5) == pytest.approx(2.9)
+
+    def test_spec_upper_bound_rejects_bad_ipc(self):
+        with pytest.raises(ValidationError):
+            make_type().spec_gips_upper_bound(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_type().vcpus = 4
+
+
+class TestInstance:
+    def test_uptime(self):
+        inst = Instance(instance_id="i-1", itype=make_type(),
+                        launched_at_hours=1.0)
+        assert inst.running
+        assert inst.uptime_hours(3.5) == pytest.approx(2.5)
+
+    def test_terminated_uptime_frozen(self):
+        inst = Instance(instance_id="i-1", itype=make_type())
+        inst.terminated_at_hours = 2.0
+        assert not inst.running
+        assert inst.uptime_hours(10.0) == pytest.approx(2.0)
+
+    def test_termination_before_launch_rejected(self):
+        inst = Instance(instance_id="i-1", itype=make_type(),
+                        launched_at_hours=5.0)
+        inst.terminated_at_hours = 1.0
+        with pytest.raises(ValidationError):
+            inst.uptime_hours(10.0)
+
+    def test_contention_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Instance(instance_id="i-1", itype=make_type(),
+                     contention_factor=0.0)

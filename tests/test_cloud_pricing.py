@@ -1,0 +1,120 @@
+"""Tests for billing models and the spot-price process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.pricing import (
+    HourlyQuantizedBilling,
+    LinearBilling,
+    PerSecondBilling,
+    SpotPriceProcess,
+)
+from repro.errors import ValidationError
+
+
+class TestLinearBilling:
+    def test_proportional(self):
+        assert LinearBilling().amount_due(0.5, 3.0) == pytest.approx(1.5)
+
+    def test_zero_uptime_free(self):
+        assert LinearBilling().amount_due(0.5, 0.0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearBilling().amount_due(-1, 1)
+        with pytest.raises(ValidationError):
+            LinearBilling().amount_due(1, -1)
+
+
+class TestHourlyQuantizedBilling:
+    def test_rounds_up(self):
+        assert HourlyQuantizedBilling().amount_due(0.105, 2.1) == \
+            pytest.approx(0.105 * 3)
+
+    def test_exact_hours_not_inflated(self):
+        assert HourlyQuantizedBilling().amount_due(0.105, 2.0) == \
+            pytest.approx(0.105 * 2)
+
+    def test_minimum_one_hour(self):
+        assert HourlyQuantizedBilling().amount_due(0.105, 0.01) == \
+            pytest.approx(0.105)
+
+    def test_zero_uptime_free(self):
+        assert HourlyQuantizedBilling().amount_due(0.105, 0.0) == 0.0
+
+    @given(st.floats(0.01, 10.0), st.floats(0.001, 100.0))
+    def test_never_cheaper_than_linear(self, price, uptime):
+        quantized = HourlyQuantizedBilling().amount_due(price, uptime)
+        linear = LinearBilling().amount_due(price, uptime)
+        assert quantized >= linear - 1e-12
+        # ...and never more than one extra hour.
+        assert quantized <= linear + price + 1e-12
+
+
+class TestPerSecondBilling:
+    def test_minimum_charge(self):
+        billing = PerSecondBilling(minimum_seconds=60)
+        assert billing.amount_due(3.6, 1 / 3600) == pytest.approx(3.6 * 60 / 3600)
+
+    def test_rounds_to_seconds(self):
+        billing = PerSecondBilling(minimum_seconds=0)
+        assert billing.amount_due(3600.0, 0.5) == pytest.approx(3600.0 * 0.5)
+
+    def test_much_closer_to_linear_than_hourly(self):
+        price, uptime = 0.419, 5.4
+        linear = LinearBilling().amount_due(price, uptime)
+        per_second = PerSecondBilling().amount_due(price, uptime)
+        hourly = HourlyQuantizedBilling().amount_due(price, uptime)
+        assert abs(per_second - linear) < abs(hourly - linear)
+
+    def test_negative_minimum_rejected(self):
+        with pytest.raises(ValidationError):
+            PerSecondBilling(minimum_seconds=-1)
+
+
+class TestSpotPriceProcess:
+    def test_path_properties(self):
+        process = SpotPriceProcess(on_demand_price=0.419)
+        rng = np.random.default_rng(0)
+        path = process.sample_path(hours=24, step_hours=0.25, rng=rng)
+        assert path.shape[0] == 24 * 4 + 1
+        assert np.all(path >= process.floor)
+
+    def test_mean_reversion(self):
+        process = SpotPriceProcess(on_demand_price=1.0, sigma=0.02)
+        rng = np.random.default_rng(1)
+        path = process.sample_path(hours=200, step_hours=0.5, rng=rng)
+        assert abs(path.mean() - process.mean_price) < 0.1
+
+    def test_zero_sigma_is_deterministic(self):
+        process = SpotPriceProcess(on_demand_price=1.0, sigma=0.0)
+        rng = np.random.default_rng(2)
+        path = process.sample_path(hours=10, step_hours=1.0, rng=rng)
+        np.testing.assert_allclose(path, process.mean_price)
+
+    def test_interruption_detection(self):
+        process = SpotPriceProcess(on_demand_price=1.0)
+        path = np.array([0.3, 0.4, 0.6, 0.4])
+        hour = process.first_interruption_hour(path, step_hours=1.0,
+                                               bid_price=0.5)
+        assert hour == 2.0
+
+    def test_no_interruption(self):
+        process = SpotPriceProcess(on_demand_price=1.0)
+        path = np.array([0.3, 0.4])
+        assert process.first_interruption_hour(path, 1.0, 0.5) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SpotPriceProcess(on_demand_price=0.0)
+        with pytest.raises(ValidationError):
+            SpotPriceProcess(on_demand_price=1.0, mean_fraction=1.5)
+        with pytest.raises(ValidationError):
+            SpotPriceProcess(on_demand_price=1.0, theta=0.0)
+
+    def test_invalid_path_request(self):
+        process = SpotPriceProcess(on_demand_price=1.0)
+        with pytest.raises(ValidationError):
+            process.sample_path(0, 1, np.random.default_rng(0))

@@ -1,0 +1,153 @@
+"""Tests for the provider simulator, virtualization model and ledger."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import BillingLedger
+from repro.cloud.instance import ResourceCategory
+from repro.cloud.pricing import HourlyQuantizedBilling, LinearBilling
+from repro.cloud.provider import CloudProvider
+from repro.cloud.virtualization import VirtualizationModel
+from repro.errors import ConfigurationError, ProvisioningError, QuotaExceededError
+
+
+class TestVirtualizationModel:
+    def test_noiseless_factory(self):
+        model = VirtualizationModel.noiseless()
+        rng = np.random.default_rng(0)
+        assert model.sample_contention(rng) == 1.0
+        np.testing.assert_allclose(model.sample_jitter(rng, 4), np.ones(4))
+
+    def test_contention_in_half_open_interval(self):
+        model = VirtualizationModel(contention_sigma=0.05)
+        rng = np.random.default_rng(1)
+        samples = [model.sample_contention(rng) for _ in range(200)]
+        assert all(0.5 <= s <= 1.0 for s in samples)
+        assert np.mean(samples) < 1.0  # systematically below nominal
+
+    def test_jitter_unit_median(self):
+        model = VirtualizationModel(jitter_sigma=0.1)
+        rng = np.random.default_rng(2)
+        jitter = model.sample_jitter(rng, 4001)
+        assert abs(np.median(jitter) - 1.0) < 0.02
+
+    def test_overhead_lookup(self):
+        model = VirtualizationModel()
+        assert 0 < model.overhead_for(ResourceCategory.COMPUTE) < 1
+        assert model.efficiency_for(ResourceCategory.COMPUTE) == \
+            pytest.approx(1 - model.overhead_for(ResourceCategory.COMPUTE))
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(Exception):
+            VirtualizationModel(contention_sigma=-0.1)
+
+
+class TestProvisioning:
+    def test_provision_counts_and_types(self, small_catalog):
+        provider = CloudProvider(small_catalog, seed=0)
+        lease = provider.provision([2, 1, 0])
+        assert lease.node_count == 3
+        names = [inst.itype.name for inst in lease.instances]
+        assert names == ["a.small", "a.small", "a.big"]
+        np.testing.assert_array_equal(provider.in_use, [2, 1, 0])
+
+    def test_empty_configuration_rejected(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        with pytest.raises(ConfigurationError):
+            provider.provision([0, 0, 0])
+
+    def test_negative_counts_rejected(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        with pytest.raises(ConfigurationError):
+            provider.provision([-1, 1, 0])
+
+    def test_wrong_width_rejected(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        with pytest.raises(ConfigurationError):
+            provider.provision([1, 1])
+
+    def test_quota_enforced(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        with pytest.raises(QuotaExceededError):
+            provider.provision([3, 0, 0])
+
+    def test_quota_across_leases(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        provider.provision([2, 0, 0])
+        with pytest.raises(QuotaExceededError):
+            provider.provision([1, 0, 0])
+        np.testing.assert_array_equal(provider.available(), [0, 2, 2])
+
+    def test_unique_instance_ids(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        lease = provider.provision([2, 2, 2])
+        ids = [inst.instance_id for inst in lease.instances]
+        assert len(set(ids)) == len(ids)
+
+    def test_contention_deterministic_per_seed(self, small_catalog):
+        lease_a = CloudProvider(small_catalog, seed=5).provision([2, 0, 0])
+        lease_b = CloudProvider(small_catalog, seed=5).provision([2, 0, 0])
+        assert [i.contention_factor for i in lease_a.instances] == \
+            [i.contention_factor for i in lease_b.instances]
+
+
+class TestTermination:
+    def test_terminate_releases_quota_and_bills(self, small_catalog):
+        provider = CloudProvider(small_catalog,
+                                 billing_model=LinearBilling(), seed=0)
+        lease = provider.provision([1, 1, 0])
+        billed = provider.terminate(lease, now_hours=2.0)
+        assert billed == pytest.approx(2.0 * (0.10 + 0.21))
+        assert not lease.active
+        np.testing.assert_array_equal(provider.in_use, [0, 0, 0])
+        assert provider.ledger.total() == pytest.approx(billed)
+
+    def test_hourly_quantization(self, small_catalog):
+        provider = CloudProvider(small_catalog,
+                                 billing_model=HourlyQuantizedBilling(),
+                                 seed=0)
+        lease = provider.provision([1, 0, 0])
+        billed = provider.terminate(lease, now_hours=1.2)
+        assert billed == pytest.approx(0.10 * 2)
+
+    def test_double_terminate_rejected(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        lease = provider.provision([1, 0, 0])
+        provider.terminate(lease, now_hours=1.0)
+        with pytest.raises(ProvisioningError):
+            provider.terminate(lease, now_hours=2.0)
+
+    def test_terminate_before_start_rejected(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        lease = provider.provision([1, 0, 0], now_hours=5.0)
+        with pytest.raises(ProvisioningError):
+            provider.terminate(lease, now_hours=1.0)
+
+    def test_active_lease_listing(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        lease = provider.provision([1, 0, 0])
+        assert provider.active_leases() == [lease]
+        provider.terminate(lease, now_hours=1.0)
+        assert provider.active_leases() == []
+
+
+class TestLedger:
+    def test_entries_and_totals(self):
+        ledger = BillingLedger()
+        ledger.record(lease_id=1, instance_id="i-1", type_name="a",
+                      uptime_hours=1.0, amount=2.0)
+        ledger.record(lease_id=1, instance_id="i-2", type_name="b",
+                      uptime_hours=2.0, amount=3.0)
+        ledger.record(lease_id=2, instance_id="i-3", type_name="a",
+                      uptime_hours=1.0, amount=5.0)
+        assert len(ledger) == 3
+        assert ledger.total() == pytest.approx(10.0)
+        assert ledger.total_for_lease(1) == pytest.approx(5.0)
+        assert ledger.by_type() == {"a": 7.0, "b": 3.0}
+
+    def test_entries_are_copies(self):
+        ledger = BillingLedger()
+        ledger.record(lease_id=1, instance_id="i", type_name="a",
+                      uptime_hours=1.0, amount=1.0)
+        ledger.entries.clear()
+        assert len(ledger) == 1

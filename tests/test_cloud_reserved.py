@@ -1,0 +1,84 @@
+"""Tests for reserved-instance pricing."""
+
+import pytest
+
+from repro.cloud.reserved import (
+    YEAR_HOURS,
+    ReservedOffering,
+    standard_one_year_offering,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def c4_large(ec2):
+    return ec2.type_named("c4.large")
+
+
+class TestReservedOffering:
+    def test_effective_hourly_amortizes_upfront(self, c4_large):
+        offer = ReservedOffering(itype=c4_large, upfront_dollars=100.0,
+                                 hourly_dollars=0.06, term_hours=1000.0)
+        assert offer.effective_hourly(1000.0) == pytest.approx(0.16)
+        assert offer.effective_hourly(500.0) == pytest.approx(0.26)
+
+    def test_breakeven_hours(self, c4_large):
+        # margin = 0.105 - 0.063 = 0.042; breakeven = 42 / 0.042 = 1000 h.
+        offer = ReservedOffering(itype=c4_large, upfront_dollars=42.0,
+                                 hourly_dollars=0.063, term_hours=YEAR_HOURS)
+        assert offer.breakeven_hours() == pytest.approx(1000.0)
+        assert offer.breakeven_utilization() == pytest.approx(1000 / YEAR_HOURS)
+
+    def test_breakeven_beyond_term_is_infinite(self, c4_large):
+        offer = ReservedOffering(itype=c4_large, upfront_dollars=1e6,
+                                 hourly_dollars=0.06, term_hours=100.0)
+        assert offer.breakeven_hours() == float("inf")
+        assert offer.breakeven_utilization() == float("inf")
+
+    def test_saving_positive_above_breakeven(self, c4_large):
+        offer = standard_one_year_offering(c4_large)
+        breakeven = offer.breakeven_hours()
+        assert offer.saving_fraction(breakeven * 1.5) > 0
+        assert offer.saving_fraction(breakeven) == pytest.approx(0.0, abs=1e-9)
+        assert offer.saving_fraction(breakeven * 0.5) < 0
+
+    def test_full_utilization_saving_band(self, c4_large):
+        """A standard 1-year contract at 100% utilization saves ~15-40%."""
+        offer = standard_one_year_offering(c4_large)
+        saving = offer.saving_fraction(YEAR_HOURS)
+        assert 0.10 < saving < 0.45
+
+    def test_must_discount(self, c4_large):
+        with pytest.raises(ValidationError):
+            ReservedOffering(itype=c4_large, upfront_dollars=0.0,
+                             hourly_dollars=0.2, term_hours=100.0)
+
+    def test_usage_bounds(self, c4_large):
+        offer = standard_one_year_offering(c4_large)
+        with pytest.raises(ValidationError):
+            offer.effective_hourly(0.0)
+        with pytest.raises(ValidationError):
+            offer.effective_hourly(YEAR_HOURS + 1)
+
+    def test_factory_validation(self, c4_large):
+        with pytest.raises(ValidationError):
+            standard_one_year_offering(c4_large, upfront_fraction=1.5)
+        with pytest.raises(ValidationError):
+            standard_one_year_offering(c4_large, hourly_discount=0.0)
+
+    def test_celia_integration(self, c4_large, ec2, celia_ec2, galaxy):
+        """Effective reserved rates slot into the cost model: re-pricing
+        a catalog at reserved rates lowers every unit cost."""
+        import numpy as np
+
+        from repro.core.costmodel import configuration_unit_cost
+
+        hours = YEAR_HOURS  # fully utilized reservations
+        reserved_prices = np.array([
+            standard_one_year_offering(t).effective_hourly(hours)
+            for t in ec2
+        ])
+        config = np.array([5, 5, 5, 3, 0, 0, 0, 0, 0])
+        od = configuration_unit_cost(config, ec2.prices)[0]
+        rv = configuration_unit_cost(config, reserved_prices)[0]
+        assert rv < od

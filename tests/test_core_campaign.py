@@ -1,0 +1,109 @@
+"""Tests for the campaign (multi-run budget allocation) planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignRun, plan_campaign
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def galaxy_run(celia_ec2, galaxy):
+    return CampaignRun(
+        name="galaxy-run",
+        app=galaxy,
+        demand=celia_ec2.demand_model(galaxy),
+        index=celia_ec2.min_cost_index(galaxy),
+        problem_size=65_536,
+        accuracy_levels=np.array([1000, 2000, 4000, 6000, 8000],
+                                 dtype=float),
+    )
+
+
+@pytest.fixture()
+def sand_run(celia_ec2, sand):
+    return CampaignRun(
+        name="sand-run",
+        app=sand,
+        demand=celia_ec2.demand_model(sand),
+        index=celia_ec2.min_cost_index(sand),
+        problem_size=2_048e6,
+        accuracy_levels=np.array([0.1, 0.2, 0.4, 0.8, 1.0]),
+    )
+
+
+class TestPlanCampaign:
+    def test_respects_budget(self, galaxy_run, sand_run):
+        plan = plan_campaign([galaxy_run, sand_run], 48.0, 100.0)
+        assert plan.total_cost <= 100.0 + 1e-9
+        assert plan.total_score > 0
+
+    def test_bigger_budget_never_worse(self, galaxy_run, sand_run):
+        small = plan_campaign([galaxy_run, sand_run], 48.0, 50.0)
+        large = plan_campaign([galaxy_run, sand_run], 48.0, 300.0)
+        assert large.total_score >= small.total_score - 1e-12
+        assert large.total_cost >= small.total_cost - 1e-9
+
+    def test_generous_budget_maxes_all_runs(self, galaxy_run, sand_run):
+        plan = plan_campaign([galaxy_run, sand_run], 72.0, 1e6)
+        assert plan.allocation_for("galaxy-run").accuracy == 8000
+        assert plan.allocation_for("sand-run").accuracy == 1.0
+
+    def test_tiny_budget_drops_runs(self, galaxy_run, sand_run):
+        plan = plan_campaign([galaxy_run, sand_run], 48.0, 0.01)
+        assert all(a.accuracy is None for a in plan.allocations)
+        assert plan.total_cost == 0.0
+
+    def test_weight_steers_allocation(self, celia_ec2, galaxy, sand,
+                                      galaxy_run, sand_run):
+        """Budget so tight only one run can get its first level: the
+        heavier-weighted run wins."""
+        # First-level costs for both runs at 48 h:
+        g_cost = galaxy_run.index.query(
+            galaxy_run.demand.gi(65_536, 1000), 48.0).cost_dollars
+        s_cost = sand_run.index.query(
+            sand_run.demand.gi(2_048e6, 0.1), 48.0).cost_dollars
+        budget = max(g_cost, s_cost) * 1.05
+
+        import dataclasses
+
+        heavy_galaxy = dataclasses.replace(galaxy_run, weight=100.0)
+        plan = plan_campaign([heavy_galaxy, sand_run], 48.0, budget)
+        assert plan.allocation_for("galaxy-run").accuracy is not None
+
+    def test_allocation_configurations_valid(self, galaxy_run):
+        plan = plan_campaign([galaxy_run], 48.0, 100.0)
+        alloc = plan.allocation_for("galaxy-run")
+        if alloc.accuracy is not None:
+            assert sum(alloc.configuration) > 0
+
+    def test_duplicate_names_rejected(self, galaxy_run):
+        with pytest.raises(ValidationError):
+            plan_campaign([galaxy_run, galaxy_run], 48.0, 10.0)
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValidationError):
+            plan_campaign([], 48.0, 10.0)
+
+    def test_invalid_constraints(self, galaxy_run):
+        with pytest.raises(ValidationError):
+            plan_campaign([galaxy_run], 0.0, 10.0)
+        with pytest.raises(ValidationError):
+            plan_campaign([galaxy_run], 48.0, 0.0)
+
+    def test_run_validation(self, celia_ec2, galaxy):
+        with pytest.raises(ValidationError):
+            CampaignRun(
+                name="bad",
+                app=galaxy,
+                demand=celia_ec2.demand_model(galaxy),
+                index=celia_ec2.min_cost_index(galaxy),
+                problem_size=65_536,
+                accuracy_levels=np.array([2000, 1000], dtype=float),
+            )
+
+    def test_render(self, galaxy_run, sand_run):
+        plan = plan_campaign([galaxy_run, sand_run], 48.0, 100.0)
+        text = plan.render()
+        assert "campaign plan" in text
+        assert "galaxy-run" in text

@@ -1,0 +1,75 @@
+"""Tests for resource characterization (Section IV-B/C, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import ResourceCategory
+from repro.core.characterization import characterize_resources
+from repro.errors import ValidationError
+from repro.measurement.perf import PerfCounter
+
+
+@pytest.fixture(scope="module")
+def galaxy_characterization(ec2=None):
+    from repro.apps import GalaxyApp
+    from repro.cloud.catalog import ec2_catalog
+
+    return characterize_resources(
+        GalaxyApp(), ec2_catalog(), PerfCounter(seed=0), seed=0)
+
+
+class TestCharacterization:
+    def test_entries_align_with_catalog(self, ec2, galaxy_characterization):
+        names = [e.type_name for e in galaxy_characterization.entries]
+        assert names == ec2.names
+
+    def test_capacity_vector_positive(self, galaxy_characterization):
+        assert np.all(galaxy_characterization.capacity_vector() > 0)
+
+    def test_normalized_performance(self, galaxy_characterization):
+        norm = galaxy_characterization.normalized()
+        # Figure 3: galaxy on c4 is ~26 GI/s per $/h.
+        assert norm["c4.large"] == pytest.approx(26.2, rel=0.1)
+
+    def test_category_ratios_match_paper(self, galaxy_characterization):
+        ratios = galaxy_characterization.category_ratios(
+            ResourceCategory.MEMORY)
+        assert ratios[ResourceCategory.COMPUTE] == pytest.approx(2.0, rel=0.1)
+        assert ratios[ResourceCategory.GENERAL] == pytest.approx(1.5, rel=0.1)
+        assert ratios[ResourceCategory.MEMORY] == 1.0
+
+    def test_within_category_spread_small(self, galaxy_characterization):
+        """Section IV-C's premise: GI/s-per-$ nearly constant in-category."""
+        spread = galaxy_characterization.within_category_spread()
+        assert all(s < 0.10 for s in spread.values())
+
+    def test_by_category_method(self):
+        from repro.apps import GalaxyApp
+        from repro.cloud.catalog import ec2_catalog
+
+        result = characterize_resources(
+            GalaxyApp(), ec2_catalog(), PerfCounter(seed=0),
+            method="by-category", seed=0)
+        assert result.method == "by-category"
+        assert sum(1 for e in result.entries if not e.extrapolated) == 3
+        # Extrapolated entries have exactly zero within-category spread
+        # relative to their representative by construction.
+        spread = result.within_category_spread()
+        assert all(s < 0.02 for s in spread.values())
+
+    def test_unknown_method_rejected(self):
+        from repro.apps import GalaxyApp
+        from repro.cloud.catalog import ec2_catalog
+
+        with pytest.raises(ValidationError):
+            characterize_resources(GalaxyApp(), ec2_catalog(),
+                                   PerfCounter(seed=0), method="oracle")
+
+    def test_unknown_reference_category(self, galaxy_characterization):
+        result = galaxy_characterization
+
+        class FakeCategory:
+            pass
+
+        with pytest.raises(ValidationError):
+            result.category_ratios(FakeCategory())

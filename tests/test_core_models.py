@@ -1,0 +1,116 @@
+"""Tests for the analytical models (Eq. 2-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.capacity import (
+    capacity_from_per_vcpu,
+    capacity_per_type,
+    configuration_capacity,
+)
+from repro.core.costmodel import configuration_unit_cost, predict_cost
+from repro.core.timemodel import predict_time_hours, predict_time_seconds
+from repro.errors import ValidationError
+
+positive = st.floats(1e-3, 1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestCapacity:
+    def test_eq4_per_vcpu(self):
+        # W_i = W_i,vCPU * v_i.
+        assert capacity_from_per_vcpu(1.375, 2) == pytest.approx(2.75)
+        np.testing.assert_allclose(
+            capacity_from_per_vcpu(np.array([1.0, 2.0]), np.array([2, 4])),
+            [2.0, 8.0])
+
+    def test_eq4_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            capacity_from_per_vcpu(0.0, 2)
+
+    def test_eq3_single_configuration(self):
+        w = np.array([2.0, 4.0, 8.0])
+        u = configuration_capacity(np.array([1, 2, 0]), w)
+        assert u[0] == pytest.approx(2 + 8)
+
+    def test_eq3_matrix(self):
+        w = np.array([1.0, 10.0])
+        configs = np.array([[1, 0], [0, 1], [2, 3]])
+        np.testing.assert_allclose(configuration_capacity(configs, w),
+                                   [1.0, 10.0, 32.0])
+
+    def test_eq3_is_linear_in_nodes(self):
+        w = np.array([2.0, 3.0])
+        u1 = configuration_capacity(np.array([1, 1]), w)[0]
+        u2 = configuration_capacity(np.array([2, 2]), w)[0]
+        assert u2 == pytest.approx(2 * u1)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            configuration_capacity(np.array([1, 2]), np.array([1.0]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            configuration_capacity(np.array([-1, 2]), np.array([1.0, 1.0]))
+
+    def test_capacity_vector_validation(self):
+        with pytest.raises(ValidationError):
+            capacity_per_type(np.array([1.0, 0.0]))
+        with pytest.raises(ValidationError):
+            capacity_per_type(np.array([np.inf]))
+        with pytest.raises(ValidationError):
+            capacity_per_type(np.array([[1.0]]))
+
+
+class TestTimeModel:
+    def test_eq2(self):
+        # T = D / U: 7200 GI at 2 GI/s = 3600 s = 1 h.
+        assert predict_time_seconds(7200, 2.0) == pytest.approx(3600)
+        assert predict_time_hours(7200, 2.0) == pytest.approx(1.0)
+
+    def test_broadcasts(self):
+        times = predict_time_hours(3600.0, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(times, [1.0, 0.5])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            predict_time_seconds(0, 1)
+        with pytest.raises(ValidationError):
+            predict_time_seconds(1, 0)
+
+    @given(positive, positive)
+    def test_monotonicity(self, demand, capacity):
+        t = predict_time_seconds(demand, capacity)
+        assert predict_time_seconds(2 * demand, capacity) == pytest.approx(2 * t)
+        assert predict_time_seconds(demand, 2 * capacity) == pytest.approx(t / 2)
+
+
+class TestCostModel:
+    def test_eq6(self):
+        prices = np.array([0.105, 0.209])
+        cu = configuration_unit_cost(np.array([2, 1]), prices)
+        assert cu[0] == pytest.approx(0.419)
+
+    def test_eq5(self):
+        assert predict_cost(24.0, 5.25) == pytest.approx(126.0)
+
+    def test_eq5_broadcast(self):
+        np.testing.assert_allclose(
+            predict_cost(np.array([1.0, 2.0]), 3.0), [3.0, 6.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            predict_cost(-1.0, 1.0)
+
+    def test_table_iv_galaxy_row_consistency(self, ec2):
+        """The paper's galaxy(65536, 8000) row: [5,5,5,3,...] at 24 h
+        costs $126 — only with the largest-first type ordering."""
+        config = np.array([5, 5, 5, 3, 0, 0, 0, 0, 0])
+        cu = configuration_unit_cost(config, ec2.prices)[0]
+        assert predict_cost(24.0, cu) == pytest.approx(126.3, rel=0.01)
+
+    @given(positive, positive)
+    def test_cost_linear_in_time(self, t, cu):
+        assert predict_cost(2 * t, cu) == pytest.approx(
+            2 * predict_cost(t, cu), rel=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for the accuracy/problem-size planner (inverse CELIA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configspace import ConfigurationSpace
+from repro.core.optimizer import MinCostIndex
+from repro.core.planner import max_accuracy_plan, max_problem_size_plan
+from repro.errors import InfeasibleError, ValidationError
+from repro.measurement.baseline import DemandSamples
+from repro.measurement.fitting import fit_separable_demand
+
+
+@pytest.fixture()
+def index(small_catalog, small_capacities):
+    evaluation = ConfigurationSpace(small_catalog).evaluate(small_capacities)
+    return MinCostIndex(evaluation)
+
+
+@pytest.fixture()
+def fitted_demand():
+    """Fitted model of D(n, a) = 10 * n * a (linear in both)."""
+    sizes = np.array([1.0, 2.0, 4.0, 8.0])
+    accs = np.array([1.0, 2.0, 4.0, 8.0])
+    demand = 10.0 * np.outer(sizes, accs)
+    samples = DemandSamples(app_name="lin", sizes=sizes, accuracies=accs,
+                            demand_gi=demand)
+    return fit_separable_demand(samples)
+
+
+class TestMaxAccuracyPlan:
+    def test_budget_is_binding(self, index, fitted_demand):
+        plan = max_accuracy_plan(fitted_demand, index, problem_size=100,
+                                 accuracy_range=(1.0, 1000.0),
+                                 deadline_hours=100.0, budget_dollars=2.0)
+        # cost grows with a; the plan must nearly exhaust the budget.
+        assert plan.answer.cost_dollars <= 2.0
+        assert plan.answer.cost_dollars > 2.0 * 0.98
+        assert plan.knob == "accuracy"
+
+    def test_monotone_in_budget(self, index, fitted_demand):
+        small = max_accuracy_plan(fitted_demand, index, 100, (1.0, 1e4),
+                                  100.0, 1.0)
+        large = max_accuracy_plan(fitted_demand, index, 100, (1.0, 1e4),
+                                  100.0, 4.0)
+        assert large.value > small.value
+
+    def test_monotone_in_deadline(self, index, fitted_demand):
+        # Very tight deadline caps capacity, hence accuracy.
+        tight = max_accuracy_plan(fitted_demand, index, 100, (1.0, 1e6),
+                                  0.5, 1e9)
+        loose = max_accuracy_plan(fitted_demand, index, 100, (1.0, 1e6),
+                                  5.0, 1e9)
+        assert loose.value >= tight.value
+
+    def test_whole_range_affordable(self, index, fitted_demand):
+        plan = max_accuracy_plan(fitted_demand, index, 1, (1.0, 2.0),
+                                 100.0, 1e9)
+        assert plan.value == 2.0
+
+    def test_nothing_affordable(self, index, fitted_demand):
+        with pytest.raises(InfeasibleError):
+            max_accuracy_plan(fitted_demand, index, 1e9, (1.0, 2.0),
+                              0.001, 0.001)
+
+    def test_integral_knob(self, index, fitted_demand):
+        plan = max_accuracy_plan(fitted_demand, index, 100, (1, 1000),
+                                 100.0, 2.0, integral=True)
+        assert plan.value == int(plan.value)
+
+    def test_invalid_inputs(self, index, fitted_demand):
+        with pytest.raises(ValidationError):
+            max_accuracy_plan(fitted_demand, index, 1, (2.0, 1.0), 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            max_accuracy_plan(fitted_demand, index, 1, (1.0, 2.0), 0.0, 1.0)
+
+    def test_describe(self, index, fitted_demand):
+        plan = max_accuracy_plan(fitted_demand, index, 1, (1.0, 2.0),
+                                 100.0, 1e9)
+        assert "max accuracy" in plan.describe()
+
+
+class TestMaxProblemSizePlan:
+    def test_budget_is_binding(self, index, fitted_demand):
+        plan = max_problem_size_plan(fitted_demand, index, accuracy=1.0,
+                                     size_range=(1, 10**9),
+                                     deadline_hours=100.0,
+                                     budget_dollars=2.0, integral=True)
+        assert plan.knob == "problem_size"
+        assert plan.answer.cost_dollars <= 2.0
+        # One more unit of problem size must be unaffordable.
+        bigger_demand = fitted_demand.gi(plan.value * 1.01, 1.0)
+        from repro.core.planner import _affordable
+
+        assert _affordable(index, bigger_demand, 100.0, 2.0) is None
+
+    def test_deadline_binding_case(self, index, fitted_demand):
+        # Huge budget, tight-ish deadline: capacity ceiling binds.
+        plan = max_problem_size_plan(fitted_demand, index, accuracy=1.0,
+                                     size_range=(1, 10**9),
+                                     deadline_hours=1.0,
+                                     budget_dollars=1e9, integral=True)
+        max_capacity = index.max_capacity_gips
+        max_demand = max_capacity * 3600.0
+        assert fitted_demand.gi(plan.value, 1.0) <= max_demand * 1.01
+
+    def test_paper_galaxy_plan(self, celia_ec2, galaxy):
+        """End-to-end: largest galaxy that fits 24 h and $100."""
+        from repro.core.planner import max_problem_size_plan as plan_fn
+
+        demand = celia_ec2.demand_model(galaxy)
+        index = celia_ec2.min_cost_index(galaxy)
+        plan = plan_fn(demand, index, accuracy=1000,
+                       size_range=(8192, 10**6), deadline_hours=24.0,
+                       budget_dollars=100.0, integral=True)
+        assert 100_000 < plan.value < 300_000
+        assert plan.answer.cost_dollars <= 100.0

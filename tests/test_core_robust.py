@@ -1,0 +1,96 @@
+"""Tests for robust (margin-hedged) selection and miss-probability."""
+
+import pytest
+
+from repro.core.robust import (
+    calibrate_margin,
+    deadline_miss_probability,
+    select_with_margin,
+)
+from repro.errors import InfeasibleError, ValidationError
+
+
+class TestSelectWithMargin:
+    def test_zero_margin_equals_naive(self, celia_ec2, galaxy):
+        index = celia_ec2.min_cost_index(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 6_000)
+        sel = select_with_margin(index, demand, 24.0, margin=0.0)
+        assert sel.answer.configuration == sel.naive_answer.configuration
+        assert sel.insurance_cost_fraction == pytest.approx(0.0)
+
+    def test_margin_buys_headroom_for_a_price(self, celia_ec2, galaxy):
+        index = celia_ec2.min_cost_index(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 6_000)
+        sel = select_with_margin(index, demand, 24.0, margin=0.15)
+        assert sel.insurance_cost_fraction >= 0.0
+        assert sel.predicted_headroom_hours >= 0.15 * 24.0 - 1e-9
+        assert sel.answer.capacity_gips >= sel.naive_answer.capacity_gips
+
+    def test_margin_validation(self, celia_ec2, galaxy):
+        index = celia_ec2.min_cost_index(galaxy)
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 6_000)
+        with pytest.raises(ValidationError):
+            select_with_margin(index, demand, 24.0, margin=1.0)
+        with pytest.raises(ValidationError):
+            select_with_margin(index, demand, 24.0, margin=-0.1)
+
+    def test_impossible_margin(self, celia_ec2, galaxy):
+        index = celia_ec2.min_cost_index(galaxy)
+        # Demand sized so only the full catalog barely meets 24 h.
+        demand = index.max_capacity_gips * 24.0 * 3600.0 * 0.99
+        with pytest.raises(InfeasibleError):
+            select_with_margin(index, demand, 24.0, margin=0.3)
+
+
+class TestMissProbability:
+    def test_estimate_fields(self, ec2, galaxy):
+        estimate = deadline_miss_probability(
+            galaxy, 16_384, 400, (2, 0, 0, 0, 0, 0, 0, 0, 0), ec2,
+            deadline_hours=10.0, trials=5, seed=0)
+        assert estimate.trials == 5
+        assert 0 <= estimate.misses <= 5
+        assert estimate.p95_time_hours >= estimate.mean_time_hours * 0.9
+        assert estimate.mean_cost_dollars > 0
+
+    def test_generous_deadline_never_misses(self, ec2, galaxy):
+        estimate = deadline_miss_probability(
+            galaxy, 16_384, 400, (2, 0, 0, 0, 0, 0, 0, 0, 0), ec2,
+            deadline_hours=1000.0, trials=5, seed=0)
+        assert estimate.miss_probability == 0.0
+
+    def test_impossible_deadline_always_misses(self, ec2, galaxy):
+        estimate = deadline_miss_probability(
+            galaxy, 16_384, 400, (2, 0, 0, 0, 0, 0, 0, 0, 0), ec2,
+            deadline_hours=0.001, trials=5, seed=0)
+        assert estimate.miss_probability == 1.0
+
+    def test_validation(self, ec2, galaxy):
+        with pytest.raises(ValidationError):
+            deadline_miss_probability(galaxy, 16_384, 400,
+                                      (1,) + (0,) * 8, ec2, 1.0, trials=0)
+
+
+class TestCalibrateMargin:
+    def test_finds_margin_meeting_target(self, celia_ec2, galaxy, ec2):
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 4_000)
+        index = celia_ec2.min_cost_index(galaxy)
+        selection, estimate = calibrate_margin(
+            galaxy, 65_536, 4_000, index, demand, ec2,
+            deadline_hours=30.0, target_on_time=0.9, trials=8, seed=0)
+        assert 1.0 - estimate.miss_probability >= 0.9
+        assert selection.margin in (0.0, 0.05, 0.10, 0.15, 0.20, 0.30)
+
+    def test_unreachable_target_raises(self, celia_ec2, galaxy, ec2):
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 4_000)
+        index = celia_ec2.min_cost_index(galaxy)
+        with pytest.raises(InfeasibleError):
+            # Deadline below anything the catalog can do.
+            calibrate_margin(galaxy, 65_536, 4_000, index, demand, ec2,
+                             deadline_hours=0.01, trials=2, seed=0)
+
+    def test_target_validation(self, celia_ec2, galaxy, ec2):
+        demand = celia_ec2.demand_gi(galaxy, 65_536, 4_000)
+        index = celia_ec2.min_cost_index(galaxy)
+        with pytest.raises(ValidationError):
+            calibrate_margin(galaxy, 65_536, 4_000, index, demand, ec2,
+                             deadline_hours=30.0, target_on_time=1.5)

@@ -1,0 +1,115 @@
+"""Tests for fixed-time scaling and deadline-tightening analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.configspace import ConfigurationSpace
+from repro.core.deadline import deadline_tightening_study
+from repro.core.optimizer import MinCostIndex
+from repro.core.scaling import fixed_time_scaling
+from repro.errors import InfeasibleError, ValidationError
+
+
+@pytest.fixture()
+def index(small_catalog, small_capacities):
+    evaluation = ConfigurationSpace(small_catalog).evaluate(small_capacities)
+    return MinCostIndex(evaluation)
+
+
+class TestFixedTimeScaling:
+    def test_curve_structure(self, index):
+        demands = np.array([1e4, 2e4, 4e4])
+        values = np.array([1.0, 2.0, 4.0])
+        curve = fixed_time_scaling(index, demands, values, 5.0,
+                                   parameter_name="n")
+        assert curve.parameter_name == "n"
+        assert curve.costs.shape == (3,)
+        assert all(c is not None for c in curve.configurations)
+
+    def test_costs_track_demand_shape(self, index):
+        """Linear demand within one 'category' -> near-linear cost."""
+        demands = np.array([1e4, 2e4, 4e4])
+        curve = fixed_time_scaling(index, demands, demands, 100.0)
+        # Generous deadline: the cheapest ratio config is used throughout,
+        # so cost is exactly proportional to demand.
+        np.testing.assert_allclose(curve.costs / curve.costs[0],
+                                   demands / demands[0], rtol=1e-9)
+
+    def test_infeasible_points_marked(self, index):
+        demands = np.array([1e4, 1e13])
+        curve = fixed_time_scaling(index, demands, np.array([1.0, 2.0]), 1.0)
+        assert np.isfinite(curve.costs[0])
+        assert np.isinf(curve.costs[1])
+        assert curve.configurations[1] is None
+        np.testing.assert_array_equal(curve.feasible_mask(), [True, False])
+
+    def test_mismatched_arrays_rejected(self, index):
+        with pytest.raises(ValidationError):
+            fixed_time_scaling(index, np.array([1.0]), np.array([1.0, 2.0]),
+                               1.0)
+
+    def test_spill_points_detect_new_category(self, index):
+        demands = np.array([1e4, 2e4])
+        curve = fixed_time_scaling(index, demands, np.array([1.0, 2.0]), 10.0)
+        # Fabricate slices: treat each type as its own category.
+        slices = [slice(0, 1), slice(1, 2), slice(2, 3)]
+        spills = curve.spill_points(slices)
+        assert isinstance(spills, list)
+
+    def test_spill_points_empty_when_config_stable(self, index):
+        demands = np.array([1e3, 1.1e3])
+        curve = fixed_time_scaling(index, demands, np.array([1.0, 2.0]),
+                                   100.0)
+        slices = [slice(0, 3)]  # one category: no spill possible
+        assert curve.spill_points(slices) == []
+
+    def test_elasticity_unit_for_proportional_cost(self, index):
+        demands = np.array([1e4, 2e4, 4e4])
+        curve = fixed_time_scaling(index, demands, demands, 100.0)
+        np.testing.assert_allclose(curve.cost_demand_elasticity(),
+                                   1.0, rtol=1e-6)
+
+    def test_elasticity_needs_two_points(self, index):
+        curve = fixed_time_scaling(index, np.array([1e13]),
+                                   np.array([1.0]), 0.1)
+        with pytest.raises(ValidationError):
+            curve.cost_demand_elasticity()
+
+
+class TestDeadlineStudy:
+    def test_costs_nonincreasing_in_deadline(self, index):
+        study = deadline_tightening_study(index, 2e5, [1, 2, 4, 8, 16])
+        finite = study.costs[np.isfinite(study.costs)]
+        # deadlines_hours is sorted descending; costs ascend as we tighten.
+        assert np.all(np.diff(finite) >= -1e-12)
+
+    def test_tightening_pair(self, index):
+        study = deadline_tightening_study(index, 2e5, [4, 8])
+        reduction, increase = study.tightening(8, 4)
+        assert reduction == pytest.approx(0.5)
+        assert increase >= 0
+
+    def test_tightening_requires_known_deadlines(self, index):
+        study = deadline_tightening_study(index, 2e5, [4, 8])
+        with pytest.raises(ValidationError):
+            study.tightening(8, 3)
+        with pytest.raises(ValidationError):
+            study.tightening(2, 8)
+
+    def test_infeasible_deadline_in_pair(self, index):
+        study = deadline_tightening_study(index, 2e5, [0.0001, 8])
+        assert np.isinf(study.costs[-1])
+        with pytest.raises(InfeasibleError):
+            study.tightening(8, 0.0001)
+
+    def test_observation3_property_on_small_space(self, index):
+        """Observation 3 holds by construction for the analytical model:
+        cost ratio = (Cu'/U')/(Cu/U) while the deadline ratio is bounded
+        by capacity growth; verify empirically here."""
+        study = deadline_tightening_study(index, 3e5,
+                                          [0.5, 1, 2, 4, 8, 16, 32])
+        assert study.increase_always_smaller_than_reduction()
+
+    def test_invalid_deadlines_rejected(self, index):
+        with pytest.raises(ValidationError):
+            deadline_tightening_study(index, 1e4, [0.0, 1.0])

@@ -1,0 +1,162 @@
+"""Tests for Algorithm 1 (feasibility + Pareto selection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.catalog import make_catalog
+from repro.core.configspace import ConfigurationSpace
+from repro.core.selection import select_configurations
+from repro.errors import ValidationError
+from repro.pareto.frontier import pareto_mask_2d
+from tests.conftest import brute_force_space
+
+
+def brute_force_selection(catalog, capacities, demand, deadline, budget):
+    """Reference implementation of Algorithm 1 by direct enumeration."""
+    configs = brute_force_space(catalog)
+    capacity = configs @ capacities
+    unit_cost = configs @ catalog.prices
+    times = demand / capacity / 3600.0
+    costs = times * unit_cost
+    feasible = (times < deadline) & (costs < budget)
+    f_configs = configs[feasible]
+    f_times = times[feasible]
+    f_costs = costs[feasible]
+    mask = pareto_mask_2d(f_times, f_costs)
+    return feasible.sum(), {tuple(c) for c in f_configs[mask]}
+
+
+class TestSelection:
+    def test_matches_brute_force(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities, chunk_size=4)
+        demand = 50_000.0
+        result = select_configurations(evaluation, demand, 5.0, 3.0,
+                                       chunk_size=4)
+        expected_count, expected_pareto = brute_force_selection(
+            small_catalog, small_capacities, demand, 5.0, 3.0)
+        assert result.feasible_count == expected_count
+        assert {p.configuration for p in result.pareto} == expected_pareto
+
+    def test_strict_inequalities(self, small_catalog, small_capacities):
+        """Algorithm 1 uses T < T' and C < C' (strict)."""
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        # Pick a demand such that one configuration lands exactly on T'.
+        row = 0
+        demand = evaluation.capacity_gips[row] * 3600.0  # exactly 1 hour
+        result = select_configurations(evaluation, demand, 1.0, 1e9)
+        times = evaluation.times_hours(demand)
+        assert result.feasible_count == int(np.sum(times < 1.0))
+
+    def test_infeasible_constraints_empty(self, small_catalog,
+                                          small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        result = select_configurations(evaluation, 1e12, 0.001, 0.001)
+        assert result.feasible_count == 0
+        assert result.pareto_count == 0
+        with pytest.raises(ValidationError):
+            result.cost_span
+
+    def test_pareto_points_sorted_by_time(self, small_catalog,
+                                          small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        result = select_configurations(evaluation, 50_000.0, 10.0, 10.0)
+        times = [p.time_hours for p in result.pareto]
+        assert times == sorted(times)
+        costs = [p.cost_dollars for p in result.pareto]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_cheapest_and_fastest(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        result = select_configurations(evaluation, 50_000.0, 10.0, 10.0)
+        assert result.cheapest().cost_dollars == min(
+            p.cost_dollars for p in result.pareto)
+        assert result.fastest().time_hours == min(
+            p.time_hours for p in result.pareto)
+
+    def test_max_saving_fraction(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        result = select_configurations(evaluation, 50_000.0, 10.0, 10.0)
+        lo, hi = result.cost_span
+        assert result.max_saving_fraction == pytest.approx(1 - lo / hi)
+
+    def test_invalid_inputs(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        with pytest.raises(ValidationError):
+            select_configurations(evaluation, 0.0, 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            select_configurations(evaluation, 1.0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            select_configurations(evaluation, 1.0, 1.0, 0.0)
+
+    def test_chunking_invariance(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        big = select_configurations(evaluation, 50_000.0, 5.0, 3.0,
+                                    chunk_size=10_000)
+        tiny = select_configurations(evaluation, 50_000.0, 5.0, 3.0,
+                                     chunk_size=3)
+        assert big.feasible_count == tiny.feasible_count
+        assert {p.configuration for p in big.pareto} == \
+            {p.configuration for p in tiny.pareto}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(0.5, 10.0), min_size=2, max_size=4),
+        st.floats(1e3, 1e6),
+        st.floats(0.5, 50.0),
+        st.floats(0.1, 100.0),
+    )
+    def test_random_catalogs_match_brute_force(self, rates, demand,
+                                               deadline, budget):
+        rows = [(f"t{k}", 2, 2.0, 0.05 * (k + 1)) for k in range(len(rates))]
+        catalog = make_catalog(rows, quota=2)
+        capacities = np.asarray(rates)
+        space = ConfigurationSpace(catalog)
+        evaluation = space.evaluate(capacities)
+        result = select_configurations(evaluation, demand, deadline, budget,
+                                       chunk_size=5)
+        expected_count, expected_pareto = brute_force_selection(
+            catalog, capacities, demand, deadline, budget)
+        assert result.feasible_count == expected_count
+        assert {p.configuration for p in result.pareto} == expected_pareto
+
+
+class TestEpsilonSelection:
+    def test_epsilon_filter_thins_frontier(self, small_catalog,
+                                           small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        exact = select_configurations(evaluation, 50_000.0, 10.0, 10.0)
+        coarse = select_configurations(evaluation, 50_000.0, 10.0, 10.0,
+                                       epsilons=(5.0, 5.0))
+        assert coarse.pareto_count <= exact.pareto_count
+        assert coarse.pareto_count >= 1
+
+    def test_epsilon_points_subset_of_feasible(self, small_catalog,
+                                               small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        coarse = select_configurations(evaluation, 50_000.0, 10.0, 10.0,
+                                       epsilons=(2.0, 2.0))
+        for p in coarse.pareto:
+            assert p.time_hours < 10.0
+            assert p.cost_dollars < 10.0
+
+    def test_tiny_epsilon_matches_exact(self, small_catalog,
+                                        small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        exact = select_configurations(evaluation, 50_000.0, 10.0, 10.0)
+        fine = select_configurations(evaluation, 50_000.0, 10.0, 10.0,
+                                     epsilons=(1e-9, 1e-9))
+        assert {p.configuration for p in fine.pareto} == \
+            {p.configuration for p in exact.pareto}

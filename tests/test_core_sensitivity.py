@@ -1,0 +1,70 @@
+"""Tests for the capacity-error sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import capacity_sensitivity
+from repro.errors import ValidationError
+
+
+class TestCapacitySensitivity:
+    def test_zero_error_zero_regret(self, small_catalog, small_capacities):
+        result = capacity_sensitivity(
+            small_catalog, small_capacities, demand_gi=1e5,
+            deadline_hours=8.0, epsilons=(0.0,), trials=3, seed=0)
+        point = result.points[0]
+        assert point.mean_regret == pytest.approx(0.0, abs=1e-12)
+        assert point.deadline_violation_rate == 0.0
+
+    def test_regret_grows_with_error(self, small_catalog, small_capacities):
+        result = capacity_sensitivity(
+            small_catalog, small_capacities, demand_gi=1e5,
+            deadline_hours=8.0, epsilons=(0.02, 0.25), trials=20, seed=1)
+        small_eps, big_eps = result.points
+        assert big_eps.mean_regret >= small_eps.mean_regret - 1e-9
+        assert big_eps.max_regret >= small_eps.max_regret - 1e-9
+
+    def test_regret_nonnegative(self, small_catalog, small_capacities):
+        result = capacity_sensitivity(
+            small_catalog, small_capacities, demand_gi=1e5,
+            deadline_hours=8.0, epsilons=(0.1,), trials=15, seed=2)
+        assert result.points[0].mean_regret >= -1e-12
+
+    def test_flat_landscape_small_regret_at_table_iv_error(
+            self, small_catalog, small_capacities):
+        """The paper's implicit claim: ~17% capacity error costs only a
+        modest amount of optimality."""
+        result = capacity_sensitivity(
+            small_catalog, small_capacities, demand_gi=1e5,
+            deadline_hours=8.0, epsilons=(0.17,), trials=25, seed=3)
+        assert result.points[0].mean_regret < 0.25
+
+    def test_render(self, small_catalog, small_capacities):
+        result = capacity_sensitivity(
+            small_catalog, small_capacities, demand_gi=1e5,
+            deadline_hours=8.0, epsilons=(0.05,), trials=3, seed=0)
+        text = result.render()
+        assert "sensitivity" in text
+        assert "5%" in text
+
+    def test_validation(self, small_catalog, small_capacities):
+        with pytest.raises(ValidationError):
+            capacity_sensitivity(small_catalog, small_capacities,
+                                 demand_gi=0.0, deadline_hours=1.0)
+        with pytest.raises(ValidationError):
+            capacity_sensitivity(small_catalog, small_capacities,
+                                 demand_gi=1.0, deadline_hours=1.0, trials=0)
+        with pytest.raises(ValidationError):
+            capacity_sensitivity(small_catalog, np.array([1.0]),
+                                 demand_gi=1.0, deadline_hours=1.0)
+        with pytest.raises(ValidationError):
+            capacity_sensitivity(small_catalog, small_capacities,
+                                 demand_gi=1.0, deadline_hours=1.0,
+                                 epsilons=(-0.1,))
+
+    def test_deterministic(self, small_catalog, small_capacities):
+        kwargs = dict(demand_gi=1e5, deadline_hours=8.0, epsilons=(0.1,),
+                      trials=5, seed=7)
+        a = capacity_sensitivity(small_catalog, small_capacities, **kwargs)
+        b = capacity_sensitivity(small_catalog, small_capacities, **kwargs)
+        assert a.points[0].mean_regret == b.points[0].mean_regret

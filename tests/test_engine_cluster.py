@@ -1,0 +1,65 @@
+"""Tests for the cluster view."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.errors import SimulationError
+
+
+def make_instances(catalog, app, spec):
+    """spec: list of (type_name, contention)."""
+    out = []
+    for k, (name, contention) in enumerate(spec):
+        out.append(Instance(instance_id=f"i-{k}",
+                            itype=catalog.type_named(name),
+                            contention_factor=contention))
+    return out
+
+
+class TestSimCluster:
+    def test_rates_apply_contention(self, ec2, galaxy):
+        instances = make_instances(ec2, galaxy,
+                                   [("c4.large", 1.0), ("c4.large", 0.9)])
+        cluster = SimCluster(instances, galaxy)
+        nominal = galaxy.true_rate_gips(ec2.type_named("c4.large"))
+        np.testing.assert_allclose(cluster.node_rates(),
+                                   [nominal, 0.9 * nominal])
+        np.testing.assert_allclose(cluster.node_nominal_rates(),
+                                   [nominal, nominal])
+        np.testing.assert_allclose(cluster.node_contentions(), [1.0, 0.9])
+
+    def test_totals(self, ec2, galaxy):
+        instances = make_instances(ec2, galaxy,
+                                   [("c4.large", 1.0), ("c4.xlarge", 1.0)])
+        cluster = SimCluster(instances, galaxy)
+        assert cluster.n_nodes == 2
+        assert cluster.total_vcpus == 6
+        assert cluster.total_rate_gips == pytest.approx(
+            galaxy.true_rate_gips(ec2.type_named("c4.large"))
+            + galaxy.true_rate_gips(ec2.type_named("c4.xlarge")))
+
+    def test_slot_rates_expand_vcpus(self, ec2, galaxy):
+        instances = make_instances(ec2, galaxy, [("c4.xlarge", 1.0)])
+        cluster = SimCluster(instances, galaxy)
+        slots = cluster.slot_rates()
+        assert slots.shape == (4,)
+        np.testing.assert_allclose(slots, slots[0])
+        assert slots.sum() == pytest.approx(cluster.total_rate_gips)
+
+    def test_ideal_seconds(self, ec2, galaxy):
+        instances = make_instances(ec2, galaxy, [("c4.large", 1.0)])
+        cluster = SimCluster(instances, galaxy)
+        rate = cluster.total_rate_gips
+        assert cluster.ideal_seconds(rate * 100) == pytest.approx(100.0)
+
+    def test_empty_cluster_rejected(self, galaxy):
+        with pytest.raises(SimulationError):
+            SimCluster([], galaxy)
+
+    def test_nonpositive_work_rejected(self, ec2, galaxy):
+        instances = make_instances(ec2, galaxy, [("c4.large", 1.0)])
+        cluster = SimCluster(instances, galaxy)
+        with pytest.raises(SimulationError):
+            cluster.ideal_seconds(0.0)

@@ -1,0 +1,82 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.engine.events import EventSimulator
+from repro.errors import SimulationError
+
+
+class TestEventSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_can_schedule_events(self):
+        sim = EventSimulator()
+        fired = []
+
+        def chain(k: int):
+            fired.append(k)
+            if k < 3:
+                sim.schedule(1.0, lambda: chain(k + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_horizon_stops_processing(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run(horizon=5.0)
+        assert fired == ["early"]
+        assert sim.now == 1.0
+
+    def test_schedule_at_absolute_time(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule_at(4.0, lambda: fired.append("x"))
+        sim.run()
+        assert sim.now == 4.0
+
+    def test_cannot_schedule_into_past(self):
+        sim = EventSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_processed_counter(self):
+        sim = EventSimulator()
+        for k in range(5):
+            sim.schedule(float(k), lambda: None)
+        sim.run()
+        assert sim.processed_events == 5

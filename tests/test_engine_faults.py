@@ -1,0 +1,102 @@
+"""Tests for fault-injected execution."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import ExecutionStyle, Workload
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.engine.faults import FaultModel, simulate_with_failures
+from repro.engine.schedulers import simulate_independent
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def cluster(ec2, x264):
+    instances = [
+        Instance(instance_id=f"i-{k}", itype=ec2.type_named("c4.large"))
+        for k in range(3)
+    ]
+    return SimCluster(instances, x264)
+
+
+def workload(n_tasks=100, gi=10.0) -> Workload:
+    tasks = np.full(n_tasks, gi)
+    return Workload(style=ExecutionStyle.INDEPENDENT,
+                    total_gi=float(tasks.sum()), task_gi=tasks)
+
+
+class TestFaultModel:
+    def test_zero_rate_never_crashes(self):
+        model = FaultModel(crash_rate_per_hour=0.0)
+        times = model.sample_crash_seconds(np.random.default_rng(0), 5)
+        assert np.all(np.isinf(times))
+
+    def test_rate_scales_crash_times(self):
+        rng = np.random.default_rng(1)
+        fast = FaultModel(1.0).sample_crash_seconds(rng, 2000).mean()
+        rng = np.random.default_rng(1)
+        slow = FaultModel(0.1).sample_crash_seconds(rng, 2000).mean()
+        assert slow > fast * 5
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultModel(crash_rate_per_hour=-1.0)
+
+
+class TestSimulateWithFailures:
+    def test_no_faults_matches_plain_scheduler(self, cluster):
+        w = workload()
+        outcome = simulate_with_failures(
+            w, cluster, FaultModel(0.0), np.random.default_rng(0),
+            jitter_sigma=0.0)
+        assert outcome.survived
+        assert outcome.crashed_nodes == 0
+        assert outcome.retried_tasks == 0
+        plain = simulate_independent(w, cluster, np.random.default_rng(0),
+                                     jitter_sigma=0.0)
+        # Same order of magnitude (scheduling order differs: FIFO vs LPT).
+        assert outcome.makespan_seconds == pytest.approx(
+            plain.makespan_seconds, rel=0.2)
+
+    def test_faults_only_slow_down(self, cluster):
+        w = workload(200, 20.0)
+        clean = simulate_with_failures(
+            w, cluster, FaultModel(0.0), np.random.default_rng(2),
+            jitter_sigma=0.0)
+        # Moderate hazard: expect some crashes across seeds; find one.
+        for seed in range(10):
+            faulty = simulate_with_failures(
+                w, cluster, FaultModel(3.0), np.random.default_rng(seed),
+                jitter_sigma=0.0)
+            if faulty.crashed_nodes:
+                assert faulty.makespan_seconds >= clean.makespan_seconds - 1e-9
+                return
+        pytest.fail("no crash materialized across seeds")
+
+    def test_all_nodes_crashing_raises(self, cluster):
+        w = workload(500, 100.0)
+        with pytest.raises(SimulationError):
+            # Hazard so high every node dies almost immediately.
+            simulate_with_failures(w, cluster, FaultModel(10_000.0),
+                                   np.random.default_rng(3),
+                                   jitter_sigma=0.0)
+
+    def test_retries_accounted(self, cluster):
+        w = workload(300, 50.0)
+        for seed in range(12):
+            outcome = simulate_with_failures(
+                w, cluster, FaultModel(2.0), np.random.default_rng(seed),
+                jitter_sigma=0.0)
+            if outcome.retried_tasks:
+                assert outcome.wasted_seconds > 0
+                assert outcome.crashed_nodes >= 1
+                return
+        pytest.fail("no retry materialized across seeds")
+
+    def test_bsp_rejected(self, cluster):
+        w = Workload(style=ExecutionStyle.BSP, total_gi=10.0, n_steps=2,
+                     step_gi=5.0)
+        with pytest.raises(SimulationError):
+            simulate_with_failures(w, cluster, FaultModel(0.0),
+                                   np.random.default_rng(0))

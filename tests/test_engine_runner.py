@@ -1,0 +1,109 @@
+"""Tests for the end-to-end engine runner."""
+
+import pytest
+
+from repro.engine.runner import (
+    EngineConfig,
+    run_on_configuration,
+    time_single_node_run,
+)
+from repro.errors import ConfigurationError
+from repro.units import seconds_to_hours
+
+
+class TestRunOnConfiguration:
+    def test_ideal_engine_matches_analytical_model(self, ec2, galaxy):
+        """With all noise off the engine reproduces T = D/U and C = T*Cu."""
+        config = (1, 1, 0, 0, 0, 0, 0, 0, 0)
+        report = run_on_configuration(
+            galaxy, 8192, 200, config, ec2,
+            config=EngineConfig.ideal(), seed=0)
+        demand = galaxy.demand_gi(8192, 200)
+        capacity = sum(
+            galaxy.true_rate_gips(ec2[i]) * c for i, c in enumerate(config))
+        expected_hours = seconds_to_hours(demand / capacity)
+        # Only real communication time separates engine from model.
+        assert report.time_hours == pytest.approx(expected_hours, rel=0.01)
+        unit_cost = sum(ec2.prices[i] * c for i, c in enumerate(config))
+        assert report.cost_dollars == pytest.approx(
+            report.time_hours * unit_cost, rel=1e-9)
+
+    def test_realistic_engine_slower_and_pricier(self, ec2, galaxy):
+        config = (1, 1, 0, 0, 0, 0, 0, 0, 0)
+        ideal = run_on_configuration(galaxy, 8192, 200, config, ec2,
+                                     config=EngineConfig.ideal(), seed=0)
+        real = run_on_configuration(galaxy, 8192, 200, config, ec2, seed=0)
+        assert real.time_hours > ideal.time_hours
+        assert real.cost_dollars >= ideal.cost_dollars
+
+    def test_report_fields(self, ec2, x264):
+        report = run_on_configuration(x264, 64, 20,
+                                      (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2,
+                                      seed=1)
+        assert report.app_name == "x264"
+        assert report.configuration == (1, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert report.total_gi == pytest.approx(x264.demand_gi(64, 20))
+        assert 0 < report.utilization <= 1.0
+        assert report.n_units == 64
+        assert report.startup_hours > 0
+        assert report.overhead_fraction > 0
+
+    def test_empty_configuration_rejected(self, ec2, x264):
+        with pytest.raises(ConfigurationError):
+            run_on_configuration(x264, 4, 20, (0,) * 9, ec2)
+
+    def test_deterministic_per_seed(self, ec2, sand):
+        a = run_on_configuration(sand, 64_000_000, 0.32,
+                                 (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2, seed=5)
+        b = run_on_configuration(sand, 64_000_000, 0.32,
+                                 (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2, seed=5)
+        assert a.time_hours == b.time_hours
+        assert a.cost_dollars == b.cost_dollars
+
+    def test_different_seeds_differ(self, ec2, sand):
+        a = run_on_configuration(sand, 64_000_000, 0.32,
+                                 (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2, seed=5)
+        b = run_on_configuration(sand, 64_000_000, 0.32,
+                                 (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2, seed=6)
+        assert a.time_hours != b.time_hours
+
+    def test_hourly_billing_quantization(self, ec2, x264):
+        report = run_on_configuration(x264, 64, 20,
+                                      (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2,
+                                      seed=2)
+        import math
+
+        price = ec2.type_named("c4.2xlarge").price_per_hour
+        assert report.cost_dollars == pytest.approx(
+            price * math.ceil(report.time_hours))
+
+    def test_more_nodes_finish_faster(self, ec2, galaxy):
+        small = run_on_configuration(galaxy, 16384, 400,
+                                     (1, 0, 0, 0, 0, 0, 0, 0, 0), ec2, seed=3)
+        big = run_on_configuration(galaxy, 16384, 400,
+                                   (5, 5, 0, 0, 0, 0, 0, 0, 0), ec2, seed=3)
+        assert big.time_hours < small.time_hours
+
+
+class TestSingleNodeBaseline:
+    def test_ideal_time_matches_rate(self, ec2, x264):
+        itype = ec2.type_named("c4.large")
+        elapsed = time_single_node_run(x264, 64, 20, itype,
+                                       config=EngineConfig.ideal(), seed=0)
+        expected = x264.demand_gi(64, 20) / x264.true_rate_gips(itype)
+        assert elapsed == pytest.approx(expected, rel=0.02)
+
+    def test_startup_flag(self, ec2, x264):
+        itype = ec2.type_named("c4.large")
+        without = time_single_node_run(x264, 64, 20, itype, seed=0)
+        with_startup = time_single_node_run(x264, 64, 20, itype, seed=0,
+                                            include_startup=True)
+        assert with_startup == pytest.approx(
+            without + EngineConfig().node_startup_seconds)
+
+    def test_faster_type_is_faster(self, ec2, x264):
+        t_large = time_single_node_run(x264, 64, 20,
+                                       ec2.type_named("c4.large"), seed=0)
+        t_2xlarge = time_single_node_run(x264, 64, 20,
+                                         ec2.type_named("c4.2xlarge"), seed=0)
+        assert t_2xlarge < t_large

@@ -1,0 +1,168 @@
+"""Tests for the three execution-style schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import ExecutionStyle, Workload
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.engine.schedulers import (
+    simulate_bsp,
+    simulate_independent,
+    simulate_workload,
+    simulate_workqueue,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def cluster(ec2, galaxy):
+    instances = [
+        Instance(instance_id="i-0", itype=ec2.type_named("c4.large")),
+        Instance(instance_id="i-1", itype=ec2.type_named("c4.xlarge")),
+    ]
+    return SimCluster(instances, galaxy)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def independent_workload(task_gi) -> Workload:
+    arr = np.asarray(task_gi, dtype=float)
+    return Workload(style=ExecutionStyle.INDEPENDENT,
+                    total_gi=float(arr.sum()), task_gi=arr)
+
+
+class TestIndependent:
+    def test_single_huge_task_limited_by_one_slot(self, cluster, rng):
+        w = independent_workload([100.0])
+        outcome = simulate_independent(w, cluster, rng, jitter_sigma=0.0)
+        fastest_slot = cluster.slot_rates().max()
+        assert outcome.makespan_seconds == pytest.approx(100.0 / fastest_slot)
+
+    def test_many_tasks_approach_ideal(self, cluster, rng):
+        w = independent_workload(np.full(2000, 1.0))
+        outcome = simulate_independent(w, cluster, rng, jitter_sigma=0.0)
+        ideal = cluster.ideal_seconds(w.total_gi)
+        assert outcome.makespan_seconds == pytest.approx(ideal, rel=0.02)
+        assert outcome.utilization > 0.97
+
+    def test_jitter_increases_spread_not_direction(self, cluster):
+        w = independent_workload(np.full(500, 1.0))
+        base = simulate_independent(
+            w, cluster, np.random.default_rng(1), jitter_sigma=0.0)
+        noisy = simulate_independent(
+            w, cluster, np.random.default_rng(1), jitter_sigma=0.1)
+        assert noisy.makespan_seconds == pytest.approx(
+            base.makespan_seconds, rel=0.2)
+
+    def test_style_check(self, cluster, rng):
+        w = Workload(style=ExecutionStyle.BSP, total_gi=1.0,
+                     n_steps=1, step_gi=1.0)
+        with pytest.raises(SimulationError):
+            simulate_independent(w, cluster, rng)
+
+    def test_unit_count(self, cluster, rng):
+        w = independent_workload(np.full(37, 1.0))
+        assert simulate_independent(w, cluster, rng).n_units == 37
+
+
+class TestBsp:
+    def bsp_workload(self, steps=10, step_gi=50.0, comm=0.0) -> Workload:
+        return Workload(style=ExecutionStyle.BSP, total_gi=steps * step_gi,
+                        n_steps=steps, step_gi=step_gi,
+                        comm_seconds_per_step=comm)
+
+    def test_uncontended_matches_ideal(self, cluster, rng):
+        w = self.bsp_workload()
+        outcome = simulate_bsp(w, cluster, rng, jitter_sigma=0.0)
+        assert outcome.makespan_seconds == pytest.approx(
+            cluster.ideal_seconds(w.total_gi))
+
+    def test_communication_adds_linear_time(self, cluster, rng):
+        no_comm = simulate_bsp(self.bsp_workload(comm=0.0), cluster,
+                               np.random.default_rng(2), jitter_sigma=0.0)
+        with_comm = simulate_bsp(self.bsp_workload(comm=0.5), cluster,
+                                 np.random.default_rng(2), jitter_sigma=0.0)
+        assert with_comm.makespan_seconds == pytest.approx(
+            no_comm.makespan_seconds + 10 * 0.5)
+
+    def test_contended_node_gates_barrier(self, ec2, galaxy, rng):
+        slow = Instance(instance_id="i-0", itype=ec2.type_named("c4.large"),
+                        contention_factor=0.8)
+        fast = Instance(instance_id="i-1", itype=ec2.type_named("c4.large"),
+                        contention_factor=1.0)
+        cluster = SimCluster([slow, fast], galaxy)
+        w = self.bsp_workload()
+        outcome = simulate_bsp(w, cluster, rng, jitter_sigma=0.0)
+        # Static partition assumes equal nodes; the 0.8 node takes 1/0.8x.
+        nominal_total = cluster.node_nominal_rates().sum()
+        expected = w.n_steps * (w.step_gi / nominal_total) / 0.8
+        assert outcome.makespan_seconds == pytest.approx(expected)
+
+    def test_jitter_only_slows(self, cluster):
+        w = self.bsp_workload(steps=200)
+        base = simulate_bsp(w, cluster, np.random.default_rng(3),
+                            jitter_sigma=0.0)
+        noisy = simulate_bsp(w, cluster, np.random.default_rng(3),
+                             jitter_sigma=0.05)
+        assert noisy.makespan_seconds > base.makespan_seconds
+
+    def test_style_check(self, cluster, rng):
+        with pytest.raises(SimulationError):
+            simulate_bsp(independent_workload([1.0]), cluster, rng)
+
+
+class TestWorkqueue:
+    def wq_workload(self, task_gi, dispatch=0.0) -> Workload:
+        arr = np.asarray(task_gi, dtype=float)
+        return Workload(style=ExecutionStyle.WORKQUEUE,
+                        total_gi=float(arr.sum()), task_gi=arr,
+                        dispatch_seconds=dispatch)
+
+    def test_no_dispatch_matches_near_ideal(self, cluster, rng):
+        w = self.wq_workload(np.full(2000, 1.0))
+        outcome = simulate_workqueue(w, cluster, rng, jitter_sigma=0.0)
+        ideal = cluster.ideal_seconds(w.total_gi)
+        assert outcome.makespan_seconds == pytest.approx(ideal, rel=0.02)
+
+    def test_dispatch_serializes_at_master(self, cluster, rng):
+        # Tiny tasks: dispatch dominates; makespan >= n_tasks * dispatch.
+        w = self.wq_workload(np.full(100, 1e-6), dispatch=0.1)
+        outcome = simulate_workqueue(w, cluster, rng, jitter_sigma=0.0)
+        assert outcome.makespan_seconds >= 100 * 0.1
+
+    def test_dispatch_overhead_vs_no_dispatch(self, cluster, rng):
+        tasks = np.full(200, 1.0)
+        fast = simulate_workqueue(self.wq_workload(tasks), cluster,
+                                  np.random.default_rng(4), jitter_sigma=0.0)
+        slow = simulate_workqueue(self.wq_workload(tasks, dispatch=0.05),
+                                  cluster, np.random.default_rng(4),
+                                  jitter_sigma=0.0)
+        assert slow.makespan_seconds > fast.makespan_seconds
+
+    def test_heterogeneous_tail(self, cluster, rng):
+        """One giant task dispatched last creates a completion tail."""
+        tasks = np.concatenate([np.full(50, 1.0), [500.0]])
+        outcome = simulate_workqueue(self.wq_workload(tasks), cluster,
+                                     rng, jitter_sigma=0.0)
+        # The giant task alone takes 500/slot_rate on whichever slot got it.
+        assert outcome.makespan_seconds > 500.0 / cluster.slot_rates().max()
+
+    def test_style_check(self, cluster, rng):
+        with pytest.raises(SimulationError):
+            simulate_workqueue(independent_workload([1.0]), cluster, rng)
+
+
+class TestDispatch:
+    def test_simulate_workload_routes_by_style(self, cluster, rng):
+        ind = independent_workload([1.0, 2.0])
+        assert simulate_workload(ind, cluster, rng).n_units == 2
+        bsp = Workload(style=ExecutionStyle.BSP, total_gi=10.0,
+                       n_steps=5, step_gi=2.0)
+        assert simulate_workload(bsp, cluster, rng).n_units == 5
+        wq = Workload(style=ExecutionStyle.WORKQUEUE, total_gi=3.0,
+                      task_gi=np.array([1.0, 2.0]))
+        assert simulate_workload(wq, cluster, rng).n_units == 2

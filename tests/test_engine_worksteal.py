@@ -1,0 +1,64 @@
+"""Tests for the work-stealing scheduler extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import ExecutionStyle, Workload
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.engine.schedulers import simulate_worksteal, simulate_workqueue
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def cluster(ec2, sand):
+    instances = [
+        Instance(instance_id="i-0", itype=ec2.type_named("c4.large")),
+        Instance(instance_id="i-1", itype=ec2.type_named("c4.xlarge")),
+    ]
+    return SimCluster(instances, sand)
+
+
+def wq_workload(task_gi, dispatch=0.2) -> Workload:
+    arr = np.asarray(task_gi, dtype=float)
+    return Workload(style=ExecutionStyle.WORKQUEUE,
+                    total_gi=float(arr.sum()), task_gi=arr,
+                    dispatch_seconds=dispatch)
+
+
+class TestWorkSteal:
+    def test_near_ideal_with_many_tasks(self, cluster):
+        w = wq_workload(np.full(1000, 1.0))
+        outcome = simulate_worksteal(w, cluster, np.random.default_rng(0),
+                                     jitter_sigma=0.0)
+        ideal = cluster.ideal_seconds(w.total_gi)
+        assert outcome.makespan_seconds == pytest.approx(ideal, rel=0.05)
+
+    def test_eliminates_master_bottleneck(self, cluster):
+        """With heavy dispatch cost, stealing beats the work queue."""
+        tasks = np.full(400, 0.5)
+        rng = np.random.default_rng(1)
+        wq = simulate_workqueue(wq_workload(tasks, dispatch=0.5), cluster,
+                                rng, jitter_sigma=0.0)
+        ws = simulate_worksteal(wq_workload(tasks, dispatch=0.5), cluster,
+                                np.random.default_rng(1), jitter_sigma=0.0)
+        assert ws.makespan_seconds < wq.makespan_seconds
+
+    def test_accepts_independent_style(self, cluster):
+        w = Workload(style=ExecutionStyle.INDEPENDENT, total_gi=10.0,
+                     task_gi=np.full(10, 1.0))
+        outcome = simulate_worksteal(w, cluster, np.random.default_rng(0))
+        assert outcome.n_units == 10
+
+    def test_rejects_bsp(self, cluster):
+        w = Workload(style=ExecutionStyle.BSP, total_gi=10.0, n_steps=5,
+                     step_gi=2.0)
+        with pytest.raises(SimulationError):
+            simulate_worksteal(w, cluster, np.random.default_rng(0))
+
+    def test_steal_latency_counts(self, cluster):
+        """A single tiny task still pays one steal latency."""
+        w = wq_workload(np.array([1e-9]))
+        outcome = simulate_worksteal(w, cluster, np.random.default_rng(0),
+                                     jitter_sigma=0.0)
+        assert outcome.makespan_seconds >= 0.002

@@ -1,0 +1,385 @@
+"""Integration tests: every paper artifact regenerates with the right shape.
+
+One session-scoped :class:`ExperimentContext` is shared by all tests here,
+so the three 10M-configuration evaluations happen once.  Assertions target
+the paper's qualitative claims (shapes, orderings, bands) and the
+headline quantities with generous tolerances — the reproduction matches
+shapes, not testbed-exact numbers (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    observations,
+    table3,
+    table4,
+)
+from repro.experiments.common import ExperimentContext, category_slices
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=42)
+
+
+class TestTable3(object):
+    def test_catalog_and_space(self, ctx):
+        result = table3.run(ctx)
+        assert result.configuration_count == 10_077_695
+        text = result.render()
+        assert "c4.large" in text and "0.105" in text
+        assert "10,077,695" in text
+
+
+class TestFigure2:
+    def test_all_six_shapes(self, ctx):
+        result = figure2.run(ctx)
+        assert len(result.panels) == 6
+        shape = {(p.app_name, p.axis): p.fitted_kind for p in result.panels}
+        assert shape[("x264", "n")] in ("linear", "power")
+        assert shape[("x264", "a")] == "quadratic"
+        assert shape[("galaxy", "n")] in ("quadratic", "power")
+        assert shape[("galaxy", "a")] == "linear"
+        assert shape[("sand", "n")] in ("linear", "power")
+        assert shape[("sand", "a")] == "log"
+
+    def test_fits_are_tight(self, ctx):
+        result = figure2.run(ctx)
+        for p in result.panels:
+            assert p.fit_r2 > 0.99
+
+    def test_series_increase_with_fixed_parameter(self, ctx):
+        result = figure2.run(ctx)
+        for p in result.panels:
+            lo, hi = p.series_gi[0], p.series_gi[-1]
+            assert np.all(hi >= lo)  # more accuracy/size -> more demand
+
+    def test_render(self, ctx):
+        text = figure2.run(ctx).render()
+        assert "galaxy demand vs s" in text
+
+
+class TestFigure3:
+    def test_category_ratios(self, ctx):
+        result = figure3.run(ctx)
+        for app_name, ch in result.by_app.items():
+            from repro.cloud.instance import ResourceCategory
+
+            ratios = ch.category_ratios(ResourceCategory.MEMORY)
+            assert ratios[ResourceCategory.COMPUTE] == pytest.approx(2.0,
+                                                                     rel=0.12)
+            assert ratios[ResourceCategory.GENERAL] == pytest.approx(1.5,
+                                                                     rel=0.12)
+
+    def test_normalized_ordering_sand_highest(self, ctx):
+        """Figure 3: sand achieves the highest GI/s per dollar."""
+        result = figure3.run(ctx)
+        for entry_index in range(9):
+            sand_norm = result.by_app["sand"].entries[entry_index]
+            galaxy_norm = result.by_app["galaxy"].entries[entry_index]
+            assert sand_norm.normalized_performance > \
+                galaxy_norm.normalized_performance
+
+    def test_render(self, ctx):
+        text = figure3.run(ctx).render()
+        assert "GI/s per $/h" in text
+        assert "within-category spread" in text
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return table4.run(ctx)
+
+    def test_nine_rows(self, result):
+        assert len(result.rows) == 9
+
+    def test_errors_within_paper_band(self, result):
+        """Paper max errors: 9.5 / 13.1 / 16.7 percent per app."""
+        for row in result.rows:
+            assert row.max_error_percent < 18.0
+
+    def test_embarrassingly_parallel_app_validates_best(self, result):
+        assert result.max_error_for("x264") < result.max_error_for("galaxy") + 5
+
+    def test_predicted_galaxy_cells_match_paper(self, result):
+        """The paper's predicted galaxy(65536, 8000) row: 24 h, $126."""
+        row = [r for r in result.rows
+               if r.app_name == "galaxy" and r.a == 8_000][0]
+        assert row.predicted_hours == pytest.approx(24.0, rel=0.06)
+        assert row.predicted_cost == pytest.approx(126.0, rel=0.06)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "max error" in text
+        assert "galaxy(65536,8000)" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return figure4.run(ctx, scatter_sample=1000)
+
+    def test_feasible_counts_in_paper_band(self, result):
+        galaxy_case = result.case("galaxy")
+        sand_case = result.case("sand")
+        # Paper: ~5.8M and ~2M feasible of 10,077,695.
+        assert 4_500_000 < galaxy_case.feasible_count < 7_000_000
+        assert 1_000_000 < sand_case.feasible_count < 3_500_000
+
+    def test_multiple_pareto_points(self, result):
+        # Paper: 23 (galaxy) and 58 (sand) — require the same order.
+        assert 10 <= result.case("galaxy").pareto_count <= 120
+        assert 10 <= result.case("sand").pareto_count <= 120
+
+    def test_cost_span_ratios(self, result):
+        lo, hi = result.case("galaxy").selection.cost_span
+        assert hi / lo == pytest.approx(1.3, abs=0.15)
+        lo, hi = result.case("sand").selection.cost_span
+        assert hi / lo == pytest.approx(1.2, abs=0.15)
+
+    def test_scatter_sample_feasible(self, result):
+        case = result.case("galaxy")
+        assert np.all(case.sample_times_hours < 24.0)
+        assert np.all(case.sample_costs < 350.0)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Pareto-optimal" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return figure5.run(ctx)
+
+    def test_cost_grows_with_problem_size(self, result):
+        for panel in result.panels:
+            curve = panel.curves[72.0]
+            costs = curve.costs[np.isfinite(curve.costs)]
+            assert np.all(np.diff(costs) > 0)
+
+    def test_tighter_deadline_never_cheaper(self, result):
+        for panel in result.panels:
+            matrix = panel.costs_matrix()  # rows: deadlines ascending
+            # cost(6h) >= cost(12h) >= ... >= cost(72h) pointwise.
+            for col in range(matrix.shape[1]):
+                finite = matrix[np.isfinite(matrix[:, col]), col]
+                assert np.all(np.diff(finite) <= 1e-9)
+
+    def test_galaxy_superlinear_sand_linear(self, result):
+        """Figure 5's shapes: quadratic-ish for galaxy, linear for sand."""
+        g = result.panel("galaxy").curves[72.0]
+        ratio_g = g.costs[-1] / g.costs[0]
+        size_ratio = g.parameter_values[-1] / g.parameter_values[0]
+        assert ratio_g > size_ratio * 2  # much faster than linear
+        s = result.panel("sand").curves[72.0]
+        ratio_s = s.costs[-1] / s.costs[0]
+        size_ratio_s = s.parameter_values[-1] / s.parameter_values[0]
+        assert ratio_s == pytest.approx(size_ratio_s, rel=0.25)
+
+    def test_tight_deadlines_become_infeasible_at_scale(self, result):
+        g6 = result.panel("galaxy").curves[6.0]
+        assert np.isinf(g6.costs[-1])  # n=262144 cannot fit in 6 h
+
+    def test_render(self, result):
+        assert "min cost" in result.render()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return figure6.run(ctx)
+
+    def test_galaxy_cost_linear_in_steps_before_spill(self, result):
+        panel = result.panel("galaxy")
+        curve = panel.curves[72.0]
+        costs = curve.costs[:4]
+        steps = panel.accuracies[:4]
+        # Roughly proportional in the pre-spill region.
+        np.testing.assert_allclose(costs / costs[0], steps / steps[0],
+                                   rtol=0.15)
+
+    def test_sand_cost_sublinear_in_threshold(self, result):
+        panel = result.panel("sand")
+        curve = panel.curves[72.0]
+        finite = np.isfinite(curve.costs)
+        costs = curve.costs[finite]
+        ts = panel.accuracies[finite]
+        # Logarithmic: doubling t raises cost by much less than 2x.
+        assert costs[-1] / costs[0] < (ts[-1] / ts[0]) * 0.6
+
+    def test_sand_figure6b_headline(self, result):
+        """~1.6x accuracy (t 0.6 -> 1.0) for only ~20-30% more cost."""
+        panel = result.panel("sand")
+        curve = panel.curves[72.0]
+        t = panel.accuracies.tolist()
+        c60, c100 = curve.costs[t.index(0.6)], curve.costs[t.index(1.0)]
+        assert c100 / c60 - 1 == pytest.approx(0.21, abs=0.12)
+
+    def test_galaxy_spill_matches_gradient_break(self, result):
+        """Observation 2: gradient jumps exactly at category spills."""
+        panel = result.panel("galaxy")
+        curve = panel.curves[24.0]
+        spills = set(panel.spill_indices[24.0])
+        assert spills, "expected at least one spill on the 24 h curve"
+        breaks = set(curve.gradient_break_indices(rel_jump=0.1))
+        assert spills & breaks, (spills, breaks)
+
+    def test_galaxy_24h_configs_match_paper_annotations(self, result):
+        """Paper Fig 6(a): at s=6000 the optimum is all-c4 [5,5,5,0,...];
+        at s=8000 it spills into m4."""
+        panel = result.panel("galaxy")
+        curve = panel.curves[24.0]
+        s = panel.accuracies.tolist()
+        config_6000 = curve.configurations[s.index(6000)]
+        assert config_6000[:3] == (5, 5, 5) or sum(config_6000[3:]) <= 1
+        config_8000 = curve.configurations[s.index(8000)]
+        assert sum(config_8000[3:6]) > 0  # m4 nodes in use
+
+    def test_render(self, result):
+        text = result.render()
+        assert "config @24hr" in text
+
+
+class TestObservations:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return observations.run(ctx)
+
+    def test_observation1_savings_band(self, result):
+        # Paper: up to 30% (galaxy), ~20% (sand).
+        assert 0.10 < result.obs1.saving_fraction["galaxy"] < 0.40
+        assert 0.05 < result.obs1.saving_fraction["sand"] < 0.35
+
+    def test_observation2_elasticity_exceeds_one_after_spill(self, result):
+        for app in ("galaxy", "sand"):
+            assert result.obs2.elasticity_after_spill[app] > 1.05
+            assert result.obs2.elasticity_after_spill[app] > \
+                result.obs2.elasticity_before_spill[app]
+
+    def test_observation3_headlines(self, result):
+        f, t, reduction, increase = result.obs3.headline["galaxy"]
+        assert reduction == pytest.approx(2 / 3, rel=1e-6)
+        # Paper: +40%; band allows measurement-seed variation.
+        assert 0.25 < increase < 0.55
+        assert increase < reduction
+        f, t, reduction, increase = result.obs3.headline["sand"]
+        assert increase < reduction
+
+    def test_observation3_universal(self, result):
+        for study in result.obs3.studies.values():
+            assert study.increase_always_smaller_than_reduction()
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Observation 1" in text
+        assert "holds" in text
+
+
+class TestCommon:
+    def test_category_slices(self, ctx):
+        slices = category_slices(ctx.catalog)
+        assert slices == [slice(0, 3), slice(3, 6), slice(6, 9)]
+
+    def test_app_lookup(self, ctx):
+        assert ctx.app("galaxy").name == "galaxy"
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            ctx.app("nope")
+
+
+class TestSensitivityExperiment:
+    def test_regret_small_at_paper_error(self, ctx):
+        from repro.experiments import sensitivity_exp
+
+        result = sensitivity_exp.run(ctx)
+        by_eps = {p.epsilon: p for p in result.result.points}
+        # At Table IV's worst error (17%), mean regret stays small.
+        assert by_eps[0.17].mean_regret < 0.10
+        # Regret is monotone-ish in the error scale at the extremes.
+        assert by_eps[0.25].mean_regret >= by_eps[0.02].mean_regret
+        assert "regret" in result.render()
+
+
+class TestRegistryCli:
+    def test_list(self, capsys):
+        from repro.experiments.registry import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "ablations" in out
+
+    def test_run_one_with_output_dir(self, capsys, tmp_path):
+        from repro.experiments.registry import main
+
+        code = main(["table3", "--output-dir", str(tmp_path)])
+        assert code == 0
+        written = tmp_path / "table3.txt"
+        assert written.exists()
+        assert "c4.large" in written.read_text()
+
+    def test_unknown_experiment(self):
+        from repro.experiments.registry import main
+
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+
+class TestSchedulersExperiment:
+    def test_granularity_and_strategy_ordering(self, ctx):
+        from repro.experiments import schedulers_exp
+
+        result = schedulers_exp.run(ctx)
+        # Fine chunking shrinks the work-queue tail.
+        assert result.overhead("work queue, fine 128k") < \
+            result.overhead("work queue, coarse 1M")
+        # The LPT oracle is the best strategy at each granularity.
+        for label in ("coarse 1M", "fine 128k"):
+            assert result.overhead(f"LPT oracle, {label}") <= \
+                result.overhead(f"work queue, {label}") + 1e-9
+        # Everything is slower than ideal.
+        for name in result.outcomes:
+            assert result.overhead(name) >= -1e-9
+        assert "Engine ablation" in result.render()
+
+
+class TestAblationsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        from repro.experiments import ablations
+
+        return ablations.run(ctx)
+
+    def test_exhaustive_is_optimal(self, result):
+        gaps = {o.strategy: o.optimality_gap for o in result.search
+                if o.found}
+        assert gaps["exhaustive"] == 0.0
+        for name, gap in gaps.items():
+            assert gap >= -1e-9, name
+
+    def test_spec_errors_per_app(self, result):
+        lo, hi = result.spec_errors["galaxy"]
+        assert lo > 0.3  # spec grossly over-promises for galaxy
+        lo, hi = result.spec_errors["sand"]
+        assert hi < 0.0  # and under-promises for sand
+
+    def test_spot_saves_but_risks(self, result):
+        assert result.spot.mean_saving_fraction > 0.3
+        assert result.spot.on_time_probability < 1.0
+
+    def test_autoscale_story(self, result):
+        static_cost, reactive_cost, rescued = result.autoscale
+        assert static_cost <= reactive_cost * 1.10
+        assert rescued  # the autoscaler recovers the underestimated run
+
+    def test_render(self, result):
+        text = result.render()
+        assert "A1" in text and "A2" in text and "A4" in text

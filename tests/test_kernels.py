@@ -1,0 +1,206 @@
+"""Tests for the real runnable kernels (n-body, encoder, alignment).
+
+These assert the *elastic-application property* on real computation:
+spending more resources (steps, trials, comparisons) improves measured
+output quality monotonically — the premise of the whole paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.align import assemble_candidates, synthetic_reads
+from repro.apps.kernels.encoder import encode_image, synthetic_frames
+from repro.apps.kernels.nbody import NBodySystem, simulate_nbody
+from repro.errors import ValidationError
+
+
+class TestNBody:
+    def test_system_construction(self):
+        system = NBodySystem.plummer_like(16, seed=0)
+        assert system.positions.shape == (16, 3)
+        assert system.masses.sum() == pytest.approx(1.0)
+
+    def test_needs_two_bodies(self):
+        with pytest.raises(ValidationError):
+            NBodySystem.plummer_like(1)
+
+    def test_energy_drift_decreases_with_steps(self):
+        """The defining elastic property: more steps -> better accuracy."""
+        system = NBodySystem.plummer_like(24, seed=1)
+        drifts = []
+        for steps in (4, 16, 64):
+            result = simulate_nbody(system, steps=steps, span=0.5)
+            drifts.append(result.energy_drift)
+        assert drifts[0] > drifts[1] > drifts[2]
+
+    def test_accuracy_score_increases_with_steps(self):
+        system = NBodySystem.plummer_like(24, seed=1)
+        coarse = simulate_nbody(system, steps=4, span=0.5)
+        fine = simulate_nbody(system, steps=64, span=0.5)
+        assert fine.accuracy > coarse.accuracy
+
+    def test_flop_count_matches_demand_shape(self):
+        """Work ~ n^2 * s, the paper's galaxy demand shape."""
+        small = NBodySystem.plummer_like(10, seed=0)
+        big = NBodySystem.plummer_like(20, seed=0)
+        r_small = simulate_nbody(small, steps=3)
+        r_big = simulate_nbody(big, steps=3)
+        assert r_big.flops == pytest.approx(4 * r_small.flops)
+        r_more_steps = simulate_nbody(small, steps=6)
+        assert r_more_steps.flops == pytest.approx(2 * r_small.flops)
+
+    def test_input_not_mutated(self):
+        system = NBodySystem.plummer_like(8, seed=2)
+        before = system.positions.copy()
+        simulate_nbody(system, steps=5)
+        np.testing.assert_array_equal(system.positions, before)
+
+    def test_invalid_parameters(self):
+        system = NBodySystem.plummer_like(8)
+        with pytest.raises(ValidationError):
+            simulate_nbody(system, steps=0)
+        with pytest.raises(ValidationError):
+            simulate_nbody(system, steps=1, span=0.0)
+
+    def test_momentum_roughly_conserved(self):
+        system = NBodySystem.plummer_like(16, seed=3)
+        p0 = (system.masses[:, None] * system.velocities).sum(axis=0)
+        result = simulate_nbody(system, steps=50, span=0.5)
+        p1 = (result.system.masses[:, None] * result.system.velocities).sum(axis=0)
+        np.testing.assert_allclose(p0, p1, atol=1e-10)
+
+
+class TestEncoder:
+    def test_synthetic_frames(self):
+        frames = synthetic_frames(3, height=32, width=32, seed=0)
+        assert len(frames) == 3
+        assert frames[0].shape == (32, 32)
+        assert frames[0].min() >= 0 and frames[0].max() <= 255
+
+    def test_frame_dimension_validation(self):
+        with pytest.raises(ValidationError):
+            synthetic_frames(1, height=30, width=32)
+
+    def test_quality_compression_tradeoff(self):
+        """Higher f -> fewer bits, lower PSNR (the x264 elasticity)."""
+        frame = synthetic_frames(1, height=32, width=32, seed=1)[0]
+        low = encode_image(frame, 10)
+        high = encode_image(frame, 40)
+        assert high.bits_estimate < low.bits_estimate
+        assert high.psnr_db < low.psnr_db
+
+    def test_work_grows_with_compression_factor(self):
+        """Demand superlinear in f, as in Figure 2(d)."""
+        frame = synthetic_frames(1, height=32, width=32, seed=1)[0]
+        f10 = encode_image(frame, 10)
+        f40 = encode_image(frame, 40)
+        assert f40.block_trials > f10.block_trials
+        assert f40.flops > f10.flops
+        # Superlinear: quadrupling f more than quadruples trial count - 1.
+        assert (f40.block_trials - 1) == pytest.approx(
+            16 * (f10.block_trials - 1), rel=0.1)
+
+    def test_reconstruction_reasonable(self):
+        frame = synthetic_frames(1, height=32, width=32, seed=2)[0]
+        result = encode_image(frame, 15)
+        assert result.psnr_db > 25.0  # recognizable reconstruction
+        assert result.reconstructed.shape == frame.shape
+
+    def test_factor_domain(self):
+        frame = synthetic_frames(1, height=32, width=32)[0]
+        with pytest.raises(ValidationError):
+            encode_image(frame, 0.5)
+        with pytest.raises(ValidationError):
+            encode_image(frame, 52)
+
+    def test_accuracy_is_compression_fraction(self):
+        frame = synthetic_frames(1, height=32, width=32, seed=3)[0]
+        result = encode_image(frame, 30)
+        assert 0.0 <= result.accuracy < 1.0
+
+
+class TestAlignment:
+    def test_synthetic_reads(self):
+        reads, starts, genome = synthetic_reads(50, read_length=32,
+                                                genome_length=512, seed=0)
+        assert len(reads) == 50
+        assert all(len(r) == 32 for r in reads)
+        assert len(genome) == 512
+        assert starts.min() >= 0
+        assert starts.max() <= 512 - 32
+
+    def test_zero_error_reads_match_genome(self):
+        reads, starts, genome = synthetic_reads(10, read_length=16,
+                                                genome_length=128,
+                                                error_rate=0.0, seed=1)
+        for read, start in zip(reads, starts):
+            assert genome[start:start + 16] == read
+
+    def test_precision_increases_with_threshold(self):
+        reads, starts, _ = synthetic_reads(120, read_length=48,
+                                           genome_length=1024,
+                                           error_rate=0.03, seed=2)
+        loose = assemble_candidates(reads, starts, threshold=0.3)
+        strict = assemble_candidates(reads, starts, threshold=0.9)
+        assert strict.precision >= loose.precision
+        assert len(strict.accepted_pairs) <= len(loose.accepted_pairs)
+
+    def test_true_overlaps_detected_with_low_errors(self):
+        reads, starts, _ = synthetic_reads(80, read_length=48,
+                                           genome_length=512,
+                                           error_rate=0.0, seed=3)
+        result = assemble_candidates(reads, starts, threshold=0.45)
+        assert result.recall > 0.8
+
+    def test_threshold_domain(self):
+        reads, starts, _ = synthetic_reads(10, seed=0)
+        with pytest.raises(ValidationError):
+            assemble_candidates(reads, starts, threshold=0.0)
+        with pytest.raises(ValidationError):
+            assemble_candidates(reads, starts, threshold=1.1)
+
+    def test_result_counts_consistent(self):
+        reads, starts, _ = synthetic_reads(60, seed=4)
+        result = assemble_candidates(reads, starts, threshold=0.5)
+        assert result.aligned_pairs == result.comparisons
+        assert len(result.accepted_pairs) <= result.candidate_pairs
+
+
+class TestMotionEncoder:
+    def test_radius_quadratic_work(self):
+        from repro.apps.kernels.encoder import encode_frame_pair
+
+        frames = synthetic_frames(2, height=48, width=48, seed=3)
+        r2 = encode_frame_pair(frames[0], frames[1], 25, search_radius=2)
+        r6 = encode_frame_pair(frames[0], frames[1], 25, search_radius=6)
+        # Interior blocks evaluate (2r+1)^2 candidates: 169 vs 25 ~ 6.8x.
+        assert r6.sad_evaluations > 5 * r2.sad_evaluations
+
+    def test_larger_radius_better_prediction(self):
+        from repro.apps.kernels.encoder import encode_frame_pair
+
+        frames = synthetic_frames(2, height=48, width=48, seed=4)
+        small = encode_frame_pair(frames[0], frames[1], 25, search_radius=0)
+        large = encode_frame_pair(frames[0], frames[1], 25, search_radius=6)
+        assert large.mean_abs_residual <= small.mean_abs_residual
+        assert large.psnr_db >= small.psnr_db
+        assert large.flops > small.flops
+
+    def test_identical_frames_perfect_prediction(self):
+        from repro.apps.kernels.encoder import encode_frame_pair
+
+        frame = synthetic_frames(1, height=32, width=32, seed=5)[0]
+        result = encode_frame_pair(frame, frame, 20, search_radius=2)
+        assert result.mean_abs_residual == pytest.approx(0.0)
+        assert result.psnr_db > 45
+
+    def test_validation(self):
+        from repro.apps.kernels.encoder import encode_frame_pair
+
+        frames = synthetic_frames(2, height=32, width=32)
+        with pytest.raises(ValidationError):
+            encode_frame_pair(frames[0], frames[1], 0.5)
+        with pytest.raises(ValidationError):
+            encode_frame_pair(frames[0], frames[1], 20, search_radius=-1)
+        with pytest.raises(ValidationError):
+            encode_frame_pair(frames[0][:24], frames[1], 20)

@@ -1,0 +1,84 @@
+"""Tests for the Barnes–Hut tree code (algorithmic elasticity)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.barneshut import barnes_hut_accelerations
+from repro.apps.kernels.nbody import NBodySystem, _accelerations
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def system():
+    return NBodySystem.plummer_like(300, seed=0)
+
+
+class TestBarnesHut:
+    def test_tiny_theta_matches_direct_sum(self, system):
+        result = barnes_hut_accelerations(system.positions, system.masses,
+                                          theta=1e-6)
+        exact = _accelerations(system.positions, system.masses, 0.05)
+        np.testing.assert_allclose(result.accelerations, exact, rtol=1e-9,
+                                   atol=1e-12)
+        assert result.max_relative_error < 1e-9
+
+    def test_work_decreases_with_theta(self, system):
+        works = []
+        for theta in (0.3, 0.7, 1.2):
+            result = barnes_hut_accelerations(system.positions,
+                                              system.masses, theta=theta)
+            works.append(result.interactions)
+        assert works[0] > works[1] > works[2]
+
+    def test_error_increases_with_theta(self, system):
+        errors = []
+        for theta in (0.3, 0.7, 1.2):
+            result = barnes_hut_accelerations(system.positions,
+                                              system.masses, theta=theta)
+            errors.append(result.mean_relative_error)
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_elasticity_tradeoff(self, system):
+        """The paper's defining property, at the algorithm level: buying
+        accuracy (smaller theta) costs instructions."""
+        cheap = barnes_hut_accelerations(system.positions, system.masses,
+                                         theta=1.2)
+        accurate = barnes_hut_accelerations(system.positions, system.masses,
+                                            theta=0.4)
+        assert accurate.flops > cheap.flops
+        assert accurate.mean_relative_error < cheap.mean_relative_error
+
+    def test_moderate_theta_accuracy_band(self, system):
+        result = barnes_hut_accelerations(system.positions, system.masses,
+                                          theta=0.5)
+        assert result.mean_relative_error < 0.02
+        assert result.work_fraction < 1.0
+
+    def test_work_fraction_bounds(self, system):
+        result = barnes_hut_accelerations(system.positions, system.masses,
+                                          theta=0.8)
+        assert 0 < result.work_fraction <= 1.0
+        assert result.direct_interactions == 300 * 299
+
+    def test_validation(self, system):
+        with pytest.raises(ValidationError):
+            barnes_hut_accelerations(system.positions, system.masses,
+                                     theta=0.0)
+        with pytest.raises(ValidationError):
+            barnes_hut_accelerations(system.positions[:1], system.masses[:1],
+                                     theta=0.5)
+        with pytest.raises(ValidationError):
+            barnes_hut_accelerations(system.positions[:, :2], system.masses,
+                                     theta=0.5)
+
+    def test_sublinear_scaling(self):
+        """Interactions grow far slower than n^2 at fixed theta."""
+        small = NBodySystem.plummer_like(100, seed=1)
+        large = NBodySystem.plummer_like(400, seed=1)
+        r_small = barnes_hut_accelerations(small.positions, small.masses,
+                                           theta=0.8)
+        r_large = barnes_hut_accelerations(large.positions, large.masses,
+                                           theta=0.8)
+        direct_ratio = r_large.direct_interactions / r_small.direct_interactions
+        actual_ratio = r_large.interactions / r_small.interactions
+        assert actual_ratio < direct_ratio * 0.7

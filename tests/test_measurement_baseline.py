@@ -1,0 +1,125 @@
+"""Tests for baseline measurement: demand grids and capacity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import GalaxyApp
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.instance import ResourceCategory
+from repro.engine.runner import EngineConfig
+from repro.measurement.baseline import (
+    default_cloud_baseline,
+    measure_capacities,
+    measure_capacities_by_category,
+    measure_demand_grid,
+)
+from repro.measurement.perf import PerfCounter
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ec2_catalog()
+
+
+@pytest.fixture(scope="module")
+def perf():
+    return PerfCounter(seed=0)
+
+
+class TestDemandGrid:
+    def test_grid_shape_follows_app(self, simple_app):
+        perf = PerfCounter(seed=0)
+        samples = measure_demand_grid(simple_app, perf)
+        sizes, accs = simple_app.scale_down_grid()
+        assert samples.demand_gi.shape == (sizes.size, accs.size)
+
+    def test_custom_grid(self, simple_app):
+        perf = PerfCounter(seed=0)
+        samples = measure_demand_grid(
+            simple_app, perf,
+            sizes=np.array([1.0, 2.0]), accuracies=np.array([1.0, 2.0, 3.0]))
+        assert samples.demand_gi.shape == (2, 3)
+
+    def test_values_track_ground_truth(self, simple_app):
+        perf = PerfCounter(seed=0, noise_sigma=0.0)
+        samples = measure_demand_grid(simple_app, perf)
+        for i, n in enumerate(samples.sizes):
+            for j, a in enumerate(samples.accuracies):
+                assert samples.demand_gi[i, j] == pytest.approx(
+                    simple_app.demand_gi(float(n), float(a)))
+
+
+class TestDefaultBaseline:
+    def test_paper_apps_have_presets(self):
+        from repro.apps import SandApp, X264App
+
+        assert default_cloud_baseline(X264App()) == (32.0, 30.0)
+        assert default_cloud_baseline(GalaxyApp()) == (8192.0, 1000.0)
+        assert default_cloud_baseline(SandApp())[1] == 0.32
+
+    def test_fallback_uses_grid(self, simple_app):
+        n, a = default_cloud_baseline(simple_app)
+        sizes, accs = simple_app.scale_down_grid()
+        assert n == sizes[-1]
+        assert a in accs
+
+
+class TestCapacityMeasurement:
+    def test_full_measurement_close_to_truth(self, catalog, perf):
+        app = GalaxyApp()
+        rates, measurements = measure_capacities(
+            app, catalog, perf, seed=1, instances_per_type=3)
+        assert rates.shape == (9,)
+        for itype, rate in zip(catalog, rates):
+            truth = app.true_rate_gips(itype)
+            # Measured rate within ~10% of truth (contention + jitter).
+            assert rate == pytest.approx(truth, rel=0.10)
+        assert all(not m.extrapolated for m in measurements)
+
+    def test_measured_rate_never_exceeds_truth_much(self, catalog, perf):
+        """Contention only slows hosts, so estimates skew low."""
+        app = GalaxyApp()
+        rates, _ = measure_capacities(app, catalog, perf, seed=2)
+        truths = np.array([app.true_rate_gips(t) for t in catalog])
+        assert np.all(rates <= truths * 1.02)
+
+    def test_by_category_measures_three(self, catalog, perf):
+        app = GalaxyApp()
+        rates, measurements = measure_capacities_by_category(
+            app, catalog, perf, seed=1)
+        measured = [m for m in measurements if not m.extrapolated]
+        extrapolated = [m for m in measurements if m.extrapolated]
+        assert len(measured) == 3  # one per category
+        assert len(extrapolated) == 6
+        # Extrapolated rates follow price proportionality in-category.
+        by_name = {m.type_name: m.rate_gips for m in measurements}
+        assert by_name["c4.2xlarge"] / by_name["c4.large"] == pytest.approx(
+            0.419 / 0.105, rel=1e-6) or not np.isnan(by_name["c4.2xlarge"])
+
+    def test_by_category_close_to_full(self, catalog, perf):
+        """The IV-C shortcut agrees with full measurement within a few %."""
+        app = GalaxyApp()
+        full, _ = measure_capacities(app, catalog, perf, seed=3)
+        shortcut, _ = measure_capacities_by_category(app, catalog, perf, seed=3)
+        np.testing.assert_allclose(shortcut, full, rtol=0.08)
+
+    def test_custom_representative(self, catalog, perf):
+        app = GalaxyApp()
+        _, measurements = measure_capacities_by_category(
+            app, catalog, perf, seed=1,
+            representative={ResourceCategory.COMPUTE: "c4.2xlarge"})
+        measured_names = {m.type_name for m in measurements
+                          if not m.extrapolated}
+        assert "c4.2xlarge" in measured_names
+
+    def test_noiseless_measurement_nearly_exact(self, catalog):
+        """With all noise off, only real per-step communication time
+        separates the measured rate from ground truth (<0.5%)."""
+        app = GalaxyApp()
+        perf0 = PerfCounter(seed=0, noise_sigma=0.0)
+        rates, _ = measure_capacities(
+            app, catalog, perf0,
+            engine_config=EngineConfig.ideal(), seed=0)
+        truths = np.array([app.true_rate_gips(t) for t in catalog])
+        np.testing.assert_allclose(rates, truths, rtol=5e-3)
+        assert np.all(rates <= truths)  # comm only ever slows the run

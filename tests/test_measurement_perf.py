@@ -1,0 +1,76 @@
+"""Tests for the simulated perf counter and machine specs."""
+
+import pytest
+
+from repro.errors import MeasurementError, ValidationError
+from repro.measurement.machines import LOCAL_XEON_E5_2630_V4, MachineSpec
+from repro.measurement.perf import PerfCounter
+
+
+class TestMachineSpec:
+    def test_paper_server(self):
+        assert LOCAL_XEON_E5_2630_V4.cores == 10
+        assert LOCAL_XEON_E5_2630_V4.threads == 20
+        assert LOCAL_XEON_E5_2630_V4.frequency_ghz == 2.2
+
+    def test_compatibility(self):
+        assert LOCAL_XEON_E5_2630_V4.compatible_with(
+            "x86_64", "haswell-broadwell")
+        assert not LOCAL_XEON_E5_2630_V4.compatible_with("arm64", "neoverse")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MachineSpec(name="bad", cores=0, threads=0, frequency_ghz=2.0)
+        with pytest.raises(ValidationError):
+            MachineSpec(name="bad", cores=4, threads=2, frequency_ghz=2.0)
+        with pytest.raises(ValidationError):
+            MachineSpec(name="bad", cores=4, threads=8, frequency_ghz=0.0)
+
+
+class TestPerfCounter:
+    def test_reading_close_to_ground_truth(self, simple_app):
+        perf = PerfCounter(seed=0, noise_sigma=0.005)
+        reading = perf.measure(simple_app, 100, 2.0)
+        truth = simple_app.demand_gi(100, 2.0)
+        assert reading.instructions_gi == pytest.approx(truth, rel=0.03)
+
+    def test_noiseless_reading_is_exact(self, simple_app):
+        perf = PerfCounter(seed=0, noise_sigma=0.0)
+        reading = perf.measure(simple_app, 100, 2.0)
+        assert reading.instructions_gi == simple_app.demand_gi(100, 2.0)
+
+    def test_repeat_reduces_noise(self, simple_app):
+        noisy = PerfCounter(seed=1, noise_sigma=0.05)
+        truth = simple_app.demand_gi(100, 2.0)
+        single = abs(noisy.measure(simple_app, 100, 2.0).instructions_gi - truth)
+        averaged = abs(
+            noisy.measure(simple_app, 100, 2.0, repeat=64).instructions_gi
+            - truth)
+        assert averaged < single + 1e-9
+
+    def test_deterministic_per_seed(self, simple_app):
+        a = PerfCounter(seed=3).measure(simple_app, 10, 1.0)
+        b = PerfCounter(seed=3).measure(simple_app, 10, 1.0)
+        assert a.instructions_gi == b.instructions_gi
+
+    def test_elapsed_time_consistent_with_rate(self, simple_app):
+        perf = PerfCounter(seed=0, noise_sigma=0.0)
+        reading = perf.measure(simple_app, 100, 2.0)
+        # Local server: 20 threads * 2.2 GHz * local IPC (1.0).
+        assert reading.rate_gips == pytest.approx(44.0)
+
+    def test_incompatible_machine_rejected(self, simple_app):
+        arm = MachineSpec(name="graviton", cores=16, threads=16,
+                          frequency_ghz=2.5, isa="arm64",
+                          microarchitecture="neoverse")
+        perf = PerfCounter(machine=arm)
+        with pytest.raises(MeasurementError):
+            perf.measure(simple_app, 10, 1.0)
+
+    def test_invalid_repeat(self, simple_app):
+        with pytest.raises(MeasurementError):
+            PerfCounter().measure(simple_app, 10, 1.0, repeat=0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(MeasurementError):
+            PerfCounter(noise_sigma=-0.1)

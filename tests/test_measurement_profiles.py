@@ -1,0 +1,88 @@
+"""Tests for profile persistence (JSON round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.demand import (
+    AffineTerm,
+    ConstantTerm,
+    LinearTerm,
+    LogTerm,
+    PowerTerm,
+    QuadraticTerm,
+    SeparableDemand,
+)
+from repro.errors import ValidationError
+from repro.measurement.profiles import (
+    ApplicationProfile,
+    term_from_dict,
+    term_to_dict,
+)
+
+ALL_TERMS = [
+    ConstantTerm(2.0),
+    LinearTerm(slope=3.1e-7),
+    AffineTerm(intercept=1.0, slope=2.0),
+    QuadraticTerm(a=314.0, b=0.0, c=0.574),
+    PowerTerm(coefficient=1.0, exponent=2.003),
+    LogTerm(coefficient=3.09e-3, tau=0.08),
+]
+
+
+class TestTermSerialization:
+    @pytest.mark.parametrize("term", ALL_TERMS, ids=lambda t: t.kind)
+    def test_round_trip(self, term):
+        restored = term_from_dict(term_to_dict(term))
+        assert type(restored) is type(term)
+        x = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(restored(x), term(x))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            term_from_dict({"kind": "spline"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValidationError):
+            term_from_dict({"kind": "linear"})
+
+
+class TestApplicationProfile:
+    def make(self) -> ApplicationProfile:
+        return ApplicationProfile(
+            app_name="galaxy",
+            demand=SeparableDemand(
+                size_term=PowerTerm(coefficient=1.0, exponent=2.0),
+                accuracy_term=LinearTerm(slope=1.0),
+                scale=3.1e-7,
+            ),
+            capacities_gips={"c4.large": 2.75, "c4.xlarge": 5.5},
+        )
+
+    def test_dict_round_trip(self):
+        profile = self.make()
+        restored = ApplicationProfile.from_dict(profile.to_dict())
+        assert restored.app_name == "galaxy"
+        assert restored.demand.gi(100, 10) == pytest.approx(
+            profile.demand.gi(100, 10))
+        assert restored.capacities_gips == profile.capacities_gips
+
+    def test_file_round_trip(self, tmp_path):
+        profile = self.make()
+        path = tmp_path / "galaxy.json"
+        profile.save(path)
+        restored = ApplicationProfile.load(path)
+        assert restored.demand.gi(64, 8) == pytest.approx(
+            profile.demand.gi(64, 8))
+
+    def test_capacity_vector_ordering(self):
+        profile = self.make()
+        vec = profile.capacity_vector(["c4.xlarge", "c4.large"])
+        np.testing.assert_allclose(vec, [5.5, 2.75])
+
+    def test_capacity_vector_unknown_type(self):
+        with pytest.raises(ValidationError):
+            self.make().capacity_vector(["m4.large"])
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            ApplicationProfile.from_dict({"app_name": "x"})

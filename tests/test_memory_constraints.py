@@ -1,0 +1,98 @@
+"""Tests for memory-feasibility constraints (select enforce_memory)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configspace import ConfigurationSpace
+from repro.core.selection import select_configurations
+from repro.errors import ConfigurationError, ValidationError
+
+
+class TestMaskUsingTypes:
+    def test_marks_users_of_type(self, small_catalog, small_space):
+        mask = small_space.mask_using_types([0])
+        for row in range(small_space.size):
+            config = small_space.decode(row + 1)[0]
+            assert mask[row] == (config[0] > 0)
+
+    def test_empty_indices(self, small_space):
+        assert not small_space.mask_using_types([]).any()
+
+    def test_multiple_types(self, small_space):
+        mask = small_space.mask_using_types([0, 2])
+        # Only configurations using exclusively type 1 stay unmarked.
+        unmarked = np.flatnonzero(~mask)
+        for row in unmarked:
+            config = small_space.decode(row + 1)[0]
+            assert config[0] == 0 and config[2] == 0
+
+    def test_out_of_range(self, small_space):
+        with pytest.raises(ConfigurationError):
+            small_space.mask_using_types([5])
+
+
+class TestSelectionWithExclusion:
+    def test_exclusion_reduces_feasible_set(self, small_catalog,
+                                            small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        free = select_configurations(evaluation, 5e4, 10.0, 10.0)
+        mask = space.mask_using_types([0])
+        constrained = select_configurations(evaluation, 5e4, 10.0, 10.0,
+                                            exclude_mask=mask)
+        assert constrained.feasible_count < free.feasible_count
+        for p in constrained.pareto:
+            assert p.configuration[0] == 0
+
+    def test_mask_shape_validated(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        with pytest.raises(ValidationError):
+            select_configurations(evaluation, 5e4, 10.0, 10.0,
+                                  exclude_mask=np.zeros(3, dtype=bool))
+
+
+class TestApplicationMemoryModels:
+    def test_defaults_fit_every_paper_type(self, ec2, galaxy, sand, x264):
+        """At the paper's evaluation scales, all nine types qualify —
+        preserving the reproduction (memory enforcement changes nothing
+        unless problems outgrow Table III's memory)."""
+        for app, n, a in ((galaxy, 65_536, 8_000), (sand, 8_192e6, 0.32),
+                          (x264, 32_000, 20)):
+            per_vcpu = app.min_memory_gb_per_vcpu(n, a)
+            for t in ec2:
+                assert t.memory_gb >= t.vcpus * per_vcpu
+
+    def test_galaxy_memory_grows_with_n(self, galaxy):
+        assert galaxy.min_memory_gb_per_vcpu(1_000_000, 100) > \
+            galaxy.min_memory_gb_per_vcpu(10_000, 100)
+
+    def test_huge_galaxy_excludes_lean_types(self, celia_ec2, galaxy):
+        """A 100M-mass galaxy (7.3 GB/process) cannot run on c4 types
+        (1.875 GB per vCPU) — memory_infeasible_types flags them."""
+        bad = celia_ec2.memory_infeasible_types(galaxy, 100_000_000, 100)
+        names = [celia_ec2.catalog.names[i] for i in bad]
+        assert "c4.2xlarge" in names
+        assert "r3.2xlarge" not in names  # 61 GB / 8 vCPU = 7.6 GB
+
+    def test_enforce_memory_in_select(self, celia_ec2, galaxy):
+        """Constrained selection keeps only memory-feasible frontiers."""
+        free = celia_ec2.select(galaxy, 100_000_000, 1,
+                                deadline_hours=50_000.0,
+                                budget_dollars=500_000.0)
+        constrained = celia_ec2.select(galaxy, 100_000_000, 1,
+                                       deadline_hours=50_000.0,
+                                       budget_dollars=500_000.0,
+                                       enforce_memory=True)
+        assert free.feasible_count > 0
+        assert constrained.feasible_count < free.feasible_count
+        bad = set(celia_ec2.memory_infeasible_types(galaxy, 100_000_000, 1))
+        assert bad
+        for p in constrained.pareto:
+            assert all(p.configuration[i] == 0 for i in bad)
+
+    def test_enforce_memory_noop_at_paper_scale(self, celia_ec2, galaxy):
+        a = celia_ec2.select(galaxy, 65_536, 2_000, 48.0, 350.0)
+        b = celia_ec2.select(galaxy, 65_536, 2_000, 48.0, 350.0,
+                             enforce_memory=True)
+        assert a.feasible_count == b.feasible_count

@@ -1,0 +1,159 @@
+"""Tests for the ε-nondomination sorter (pareto.py reimplementation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pareto.epsilon import EpsilonArchive, eps_sort
+
+
+def brute_force_pareto(rows: np.ndarray) -> set[tuple[float, ...]]:
+    """Exact nondominated set by pairwise comparison (deduplicated)."""
+    out = set()
+    for i, a in enumerate(rows):
+        dominated = False
+        for j, b in enumerate(rows):
+            if i == j:
+                continue
+            if np.all(b <= a) and np.any(b < a):
+                dominated = True
+                break
+        if not dominated:
+            out.add(tuple(a))
+    return out
+
+
+class TestExactArchive:
+    def test_single_row_accepted(self):
+        archive = EpsilonArchive(2)
+        assert archive.sortinto([1.0, 2.0])
+        assert len(archive) == 1
+
+    def test_dominated_row_rejected(self):
+        archive = EpsilonArchive(2)
+        archive.sortinto([1.0, 1.0])
+        assert not archive.sortinto([2.0, 2.0])
+        assert len(archive) == 1
+
+    def test_dominating_row_evicts(self):
+        archive = EpsilonArchive(2)
+        archive.sortinto([2.0, 2.0], tag="old")
+        assert archive.sortinto([1.0, 1.0], tag="new")
+        assert len(archive) == 1
+        assert archive.tags == ["new"]
+
+    def test_incomparable_rows_coexist(self):
+        archive = EpsilonArchive(2)
+        archive.sortinto([1.0, 3.0])
+        archive.sortinto([3.0, 1.0])
+        assert len(archive) == 2
+
+    def test_duplicate_keeps_incumbent(self):
+        archive = EpsilonArchive(2)
+        archive.sortinto([1.0, 1.0], tag="first")
+        assert not archive.sortinto([1.0, 1.0], tag="second")
+        assert archive.tags == ["first"]
+
+    def test_wrong_shape_rejected(self):
+        archive = EpsilonArchive(2)
+        with pytest.raises(ValueError):
+            archive.sortinto([1.0])
+
+    def test_non_finite_rejected(self):
+        archive = EpsilonArchive(2)
+        with pytest.raises(ValueError):
+            archive.sortinto([np.inf, 1.0])
+
+    def test_needs_at_least_one_objective(self):
+        with pytest.raises(ValueError):
+            EpsilonArchive(0)
+
+
+class TestEpsilonBehaviour:
+    def test_same_box_keeps_closest_to_corner(self):
+        archive = EpsilonArchive(2, epsilons=[1.0, 1.0])
+        archive.sortinto([0.9, 0.9], tag="far")
+        assert archive.sortinto([0.1, 0.1], tag="near")
+        assert archive.tags == ["near"]
+        assert len(archive) == 1
+
+    def test_same_box_rejects_farther_row(self):
+        archive = EpsilonArchive(2, epsilons=[1.0, 1.0])
+        archive.sortinto([0.1, 0.1], tag="near")
+        assert not archive.sortinto([0.9, 0.9], tag="far")
+        assert archive.tags == ["near"]
+
+    def test_box_domination_evicts(self):
+        archive = EpsilonArchive(2, epsilons=[1.0, 1.0])
+        archive.sortinto([5.5, 5.5])
+        assert archive.sortinto([0.5, 0.5])
+        assert len(archive) == 1
+
+    def test_epsilon_count_must_match(self):
+        with pytest.raises(ValueError):
+            EpsilonArchive(2, epsilons=[1.0])
+
+    def test_epsilons_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EpsilonArchive(2, epsilons=[1.0, 0.0])
+
+    def test_coarse_epsilon_thins_frontier(self):
+        # 100 points on a fine frontier, huge boxes -> few survivors.
+        xs = np.linspace(0, 1, 100)
+        rows = np.column_stack([xs, 1 - xs])
+        exact_rows, _ = eps_sort(rows)
+        coarse_rows, _ = eps_sort(rows, epsilons=[0.25, 0.25])
+        assert len(coarse_rows) < len(exact_rows)
+        assert len(coarse_rows) >= 1
+
+
+class TestEpsSort:
+    def test_empty_input(self):
+        rows, tags = eps_sort(np.empty((0, 2)))
+        assert rows.shape[0] == 0
+        assert tags == []
+
+    def test_default_tags_are_indices(self):
+        rows, tags = eps_sort([[1.0, 3.0], [3.0, 1.0], [4.0, 4.0]])
+        assert set(tags) == {0, 1}
+
+    def test_custom_tags_align(self):
+        rows, tags = eps_sort([[1.0, 3.0], [0.5, 4.0]],
+                              tags=["a", "b"])
+        assert set(tags) == {"a", "b"}
+
+    def test_tag_length_mismatch(self):
+        with pytest.raises(ValueError):
+            eps_sort([[1.0, 2.0]], tags=["a", "b"])
+
+    def test_matches_brute_force_on_fixed_set(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 10, size=(50, 2)).astype(float)
+        sorted_rows, _ = eps_sort(rows)
+        assert {tuple(r) for r in sorted_rows} == brute_force_pareto(rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)),
+        min_size=1, max_size=40,
+    ))
+    def test_matches_brute_force_3d(self, points):
+        rows = np.asarray(points, dtype=float)
+        sorted_rows, _ = eps_sort(rows)
+        assert {tuple(r) for r in sorted_rows} == brute_force_pareto(rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False),
+                  st.floats(0, 100, allow_nan=False)),
+        min_size=1, max_size=30,
+    ))
+    def test_archive_members_mutually_nondominated(self, points):
+        rows, _ = eps_sort(np.asarray(points, dtype=float))
+        for i in range(rows.shape[0]):
+            for j in range(rows.shape[0]):
+                if i == j:
+                    continue
+                a, b = rows[i], rows[j]
+                assert not (np.all(a <= b) and np.any(a < b))

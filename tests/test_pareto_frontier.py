@@ -1,0 +1,211 @@
+"""Tests for the vectorized 2-D frontier utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pareto.epsilon import eps_sort
+from repro.pareto.frontier import (
+    attainment_surface,
+    dominates,
+    frontier_cost_span,
+    hypervolume_2d,
+    knee_point_2d,
+    pareto_indices_2d,
+    pareto_mask_2d,
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([1, 1], [2, 2])
+
+    def test_weak_plus_strict(self):
+        assert dominates([1, 2], [1, 3])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [3, 1])
+
+
+class TestParetoMask2D:
+    def test_empty(self):
+        assert pareto_mask_2d(np.array([]), np.array([])).size == 0
+
+    def test_single_point(self):
+        assert pareto_mask_2d(np.array([1.0]), np.array([1.0])).tolist() == [True]
+
+    def test_simple_frontier(self):
+        f = np.array([1.0, 2.0, 3.0, 2.0])
+        s = np.array([3.0, 2.0, 1.0, 3.0])
+        mask = pareto_mask_2d(f, s)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_duplicates_on_frontier_all_kept(self):
+        f = np.array([1.0, 1.0, 2.0])
+        s = np.array([1.0, 1.0, 0.5])
+        mask = pareto_mask_2d(f, s)
+        assert mask.tolist() == [True, True, True]
+
+    def test_equal_first_objective_strict_second_dominates(self):
+        f = np.array([1.0, 1.0])
+        s = np.array([2.0, 1.0])
+        assert pareto_mask_2d(f, s).tolist() == [False, True]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_mask_2d(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)),
+        min_size=1, max_size=60,
+    ))
+    def test_matches_eps_sort_exact(self, points):
+        """The O(n log n) scan equals the reference archive's survivors."""
+        arr = np.asarray(points, dtype=float)
+        mask = pareto_mask_2d(arr[:, 0], arr[:, 1])
+        scan_set = {tuple(r) for r in arr[mask]}
+        archive_rows, _ = eps_sort(arr)
+        archive_set = {tuple(r) for r in archive_rows}
+        assert scan_set == archive_set
+
+    def test_indices_sorted_by_first_objective(self):
+        rng = np.random.default_rng(3)
+        f = rng.random(100)
+        s = rng.random(100)
+        idx = pareto_indices_2d(f, s)
+        assert np.all(np.diff(f[idx]) >= 0)
+        # On a frontier the second objective is non-increasing.
+        assert np.all(np.diff(s[idx]) <= 0)
+
+
+class TestFrontierMetrics:
+    def test_cost_span(self):
+        lo, hi, ratio = frontier_cost_span(np.array([126.0, 140.0, 167.0]))
+        assert lo == 126.0
+        assert hi == 167.0
+        assert ratio == pytest.approx(167 / 126)
+
+    def test_cost_span_empty_rejected(self):
+        with pytest.raises(ValueError):
+            frontier_cost_span(np.array([]))
+
+    def test_cost_span_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            frontier_cost_span(np.array([0.0, 1.0]))
+
+    def test_hypervolume_unit_square(self):
+        # Single point at origin, reference (1, 1): area 1.
+        assert hypervolume_2d(np.array([0.0]), np.array([0.0]),
+                              (1.0, 1.0)) == pytest.approx(1.0)
+
+    def test_hypervolume_staircase(self):
+        f = np.array([0.0, 0.5])
+        s = np.array([0.5, 0.0])
+        hv = hypervolume_2d(f, s, (1.0, 1.0))
+        assert hv == pytest.approx(0.75)
+
+    def test_hypervolume_ignores_points_beyond_reference(self):
+        hv = hypervolume_2d(np.array([2.0]), np.array([2.0]), (1.0, 1.0))
+        assert hv == 0.0
+
+    def test_hypervolume_monotone_in_points(self):
+        rng = np.random.default_rng(5)
+        f = rng.random(30)
+        s = rng.random(30)
+        hv_all = hypervolume_2d(f, s, (1.5, 1.5))
+        hv_some = hypervolume_2d(f[:5], s[:5], (1.5, 1.5))
+        assert hv_all >= hv_some - 1e-12
+
+    def test_knee_point_on_l_shaped_frontier(self):
+        # The corner of an L is the knee.
+        f = np.array([0.0, 0.0, 0.1, 1.0])
+        s = np.array([1.0, 1.0, 0.1, 0.0])
+        knee = knee_point_2d(f, s)
+        assert (f[knee], s[knee]) == (0.1, 0.1)
+
+    def test_knee_point_two_points_returns_first(self):
+        idx = knee_point_2d(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+        assert idx in (0, 1)
+
+    def test_knee_point_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point_2d(np.array([]), np.array([]))
+
+
+class TestAttainmentSurface:
+    def test_running_minimum(self):
+        f = np.array([1.0, 2.0, 3.0])
+        s = np.array([5.0, 3.0, 4.0])
+        out = attainment_surface(f, s, np.array([0.5, 1.0, 2.5, 10.0]))
+        assert out[0] == np.inf
+        assert out[1] == 5.0
+        assert out[2] == 3.0
+        assert out[3] == 3.0
+
+    def test_is_min_cost_for_deadline_semantics(self):
+        # attainment at deadline q = min cost among configs with T <= q.
+        times = np.array([10.0, 20.0, 30.0])
+        costs = np.array([100.0, 60.0, 80.0])
+        out = attainment_surface(times, costs, np.array([15.0, 25.0, 35.0]))
+        np.testing.assert_allclose(out, [100.0, 60.0, 60.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            attainment_surface(np.array([1.0]), np.array([1.0, 2.0]),
+                               np.array([1.0]))
+
+
+class TestNondominatedRank:
+    def test_front_zero_is_pareto_set(self):
+        from repro.pareto.frontier import nondominated_rank_2d
+
+        rng = np.random.default_rng(7)
+        f = rng.random(60)
+        s = rng.random(60)
+        ranks = nondominated_rank_2d(f, s)
+        np.testing.assert_array_equal(ranks == 0, pareto_mask_2d(f, s))
+
+    def test_all_ranks_assigned(self):
+        from repro.pareto.frontier import nondominated_rank_2d
+
+        rng = np.random.default_rng(8)
+        f = rng.integers(0, 10, 50).astype(float)
+        s = rng.integers(0, 10, 50).astype(float)
+        ranks = nondominated_rank_2d(f, s)
+        assert np.all(ranks >= 0)
+
+    def test_each_front_nondominated_within_itself(self):
+        from repro.pareto.frontier import nondominated_rank_2d
+
+        rng = np.random.default_rng(9)
+        f = rng.integers(0, 8, 40).astype(float)
+        s = rng.integers(0, 8, 40).astype(float)
+        ranks = nondominated_rank_2d(f, s)
+        for r in range(ranks.max() + 1):
+            idx = np.flatnonzero(ranks == r)
+            for i in idx:
+                for j in idx:
+                    if i != j:
+                        assert not dominates((f[i], s[i]), (f[j], s[j]))
+
+    def test_higher_rank_dominated_by_lower(self):
+        from repro.pareto.frontier import nondominated_rank_2d
+
+        f = np.array([0.0, 1.0, 2.0])
+        s = np.array([0.0, 1.0, 2.0])
+        ranks = nondominated_rank_2d(f, s)
+        np.testing.assert_array_equal(ranks, [0, 1, 2])
+
+    def test_max_rank_caps_peeling(self):
+        from repro.pareto.frontier import nondominated_rank_2d
+
+        f = np.arange(10, dtype=float)
+        s = np.arange(10, dtype=float)
+        ranks = nondominated_rank_2d(f, s, max_rank=3)
+        assert ranks.max() == 3
+        assert np.count_nonzero(ranks == 3) == 7

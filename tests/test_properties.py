@@ -1,0 +1,193 @@
+"""Cross-cutting property-based tests (hypothesis) on simulator invariants.
+
+These assert physical laws of the substrate rather than specific values:
+no scheduler beats perfect parallelism, utilization stays in (0, 1],
+billing is monotone, spot efficiency is a fraction, workflow makespans
+respect both analytical bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import ExecutionStyle, Workload
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.engine.schedulers import (
+    simulate_bsp,
+    simulate_independent,
+    simulate_workqueue,
+    simulate_worksteal,
+)
+
+CATALOG = ec2_catalog()
+
+task_lists = st.lists(st.floats(0.1, 500.0), min_size=1, max_size=60)
+node_specs = st.lists(
+    st.sampled_from(["c4.large", "c4.2xlarge", "m4.xlarge", "r3.large"]),
+    min_size=1, max_size=4,
+)
+jitters = st.sampled_from([0.0, 0.02, 0.1])
+
+
+def make_cluster(names, app):
+    instances = [
+        Instance(instance_id=f"i-{k}", itype=CATALOG.type_named(name))
+        for k, name in enumerate(names)
+    ]
+    return SimCluster(instances, app)
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, names=node_specs, jitter=jitters,
+           seed=st.integers(0, 100))
+    def test_no_scheduler_beats_perfect_parallelism(self, galaxy, tasks,
+                                                    names, jitter, seed):
+        """makespan >= total work / aggregate rate, for every scheduler.
+
+        Holds with jitter <= ... not in general (lucky jitter can speed a
+        task up), so we assert against the jitter-free bound with a
+        tolerance covering the maximum plausible speedup.
+        """
+        cluster = make_cluster(names, galaxy)
+        arr = np.asarray(tasks)
+        ideal = cluster.ideal_seconds(float(arr.sum()))
+        for style, fn in (
+            (ExecutionStyle.INDEPENDENT, simulate_independent),
+            (ExecutionStyle.WORKQUEUE, simulate_workqueue),
+            (ExecutionStyle.WORKQUEUE, simulate_worksteal),
+        ):
+            w = Workload(style=style, total_gi=float(arr.sum()), task_gi=arr)
+            outcome = fn(w, cluster, np.random.default_rng(seed),
+                         jitter_sigma=jitter)
+            # lognormal(0, 0.1) speedups are bounded well below 1.6x.
+            assert outcome.makespan_seconds >= ideal / 1.6
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, names=node_specs, jitter=jitters,
+           seed=st.integers(0, 100))
+    def test_utilization_in_unit_interval(self, galaxy, tasks, names,
+                                          jitter, seed):
+        cluster = make_cluster(names, galaxy)
+        arr = np.asarray(tasks)
+        w = Workload(style=ExecutionStyle.INDEPENDENT,
+                     total_gi=float(arr.sum()), task_gi=arr)
+        outcome = simulate_independent(w, cluster,
+                                       np.random.default_rng(seed),
+                                       jitter_sigma=jitter)
+        assert 0 < outcome.utilization <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(steps=st.integers(1, 200), step_gi=st.floats(0.5, 50.0),
+           names=node_specs)
+    def test_bsp_without_noise_equals_ideal(self, galaxy, steps, step_gi,
+                                            names):
+        cluster = make_cluster(names, galaxy)
+        w = Workload(style=ExecutionStyle.BSP, total_gi=steps * step_gi,
+                     n_steps=steps, step_gi=step_gi)
+        outcome = simulate_bsp(w, cluster, np.random.default_rng(0),
+                               jitter_sigma=0.0)
+        ideal = cluster.ideal_seconds(w.total_gi)
+        assert outcome.makespan_seconds == pytest.approx(ideal, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=task_lists, names=node_specs)
+    def test_dispatch_cost_near_monotone(self, sand, tasks, names):
+        """More master overhead (almost) never speeds the work queue up.
+
+        "Almost": dispatch delays shift task start times, which can
+        re-route a heavy task onto a faster slot — the classic Graham
+        list-scheduling anomaly — so tiny *improvements* are legitimate.
+        We assert the improvement can never exceed the anomaly scale (a
+        few percent on heterogeneous clusters), while large dispatch
+        costs still dominate.
+        """
+        cluster = make_cluster(names, sand)
+        arr = np.asarray(tasks)
+        results = []
+        for dispatch in (0.0, 0.5):
+            w = Workload(style=ExecutionStyle.WORKQUEUE,
+                         total_gi=float(arr.sum()), task_gi=arr,
+                         dispatch_seconds=dispatch)
+            outcome = simulate_workqueue(w, cluster,
+                                         np.random.default_rng(1),
+                                         jitter_sigma=0.0)
+            results.append(outcome.makespan_seconds)
+        assert results[1] >= results[0] * 0.80
+
+
+class TestSpotInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(bid=st.floats(0.3, 1.0), seed=st.integers(0, 50))
+    def test_efficiency_is_a_fraction(self, ec2, bid, seed):
+        from repro.spot.checkpoint import CheckpointPolicy
+        from repro.spot.execution import SpotRunConfig, simulate_spot_run
+
+        run = SpotRunConfig(
+            configuration=(1, 0, 0, 0, 0, 0, 0, 0, 0),
+            capacity_gips=10.0,
+            demand_gi=50_000.0,
+            bid_fraction=bid,
+            policy=CheckpointPolicy.young(8.0),
+        )
+        outcome = simulate_spot_run(run, ec2, seed=seed)
+        assert 0.0 <= outcome.efficiency <= 1.0
+        assert outcome.cost_dollars >= 0.0
+        assert outcome.useful_hours >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 30))
+    def test_completion_implies_enough_useful_work(self, ec2, seed):
+        from repro.spot.checkpoint import CheckpointPolicy
+        from repro.spot.execution import SpotRunConfig, simulate_spot_run
+
+        run = SpotRunConfig(
+            configuration=(1, 0, 0, 0, 0, 0, 0, 0, 0),
+            capacity_gips=10.0,
+            demand_gi=30_000.0,
+            bid_fraction=0.8,
+            policy=CheckpointPolicy.young(8.0),
+        )
+        outcome = simulate_spot_run(run, ec2, seed=seed)
+        work_needed = (run.demand_gi / run.capacity_gips / 3600.0
+                       * run.policy.overhead_factor())
+        if outcome.completed:
+            assert outcome.useful_hours >= work_needed - 1e-6
+
+
+class TestWorkflowInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        stage_sizes=st.lists(
+            st.tuples(st.integers(1, 20), st.floats(1.0, 100.0)),
+            min_size=1, max_size=6),
+        names=node_specs,
+    )
+    def test_makespan_respects_both_bounds(self, galaxy, stage_sizes, names):
+        from repro.workflow import chain, execute_workflow, predict_workflow
+
+        workflow = chain(stage_sizes)
+        cluster = make_cluster(names, galaxy)
+        report = execute_workflow(workflow, cluster)
+        config = np.zeros(len(CATALOG), dtype=int)
+        for name in names:
+            config[CATALOG.index_of(name)] += 1
+        capacities = np.array([galaxy.true_rate_gips(t) for t in CATALOG])
+        pred = predict_workflow(workflow, config, CATALOG, capacities)
+        assert report.makespan_hours >= pred.work_bound_hours * 0.999
+        assert report.makespan_hours >= \
+            pred.critical_path_bound_hours * 0.999
+
+    @settings(max_examples=25, deadline=None)
+    @given(branches=st.integers(1, 6), tasks=st.integers(1, 30),
+           gi=st.floats(1.0, 50.0))
+    def test_fork_join_total_work_conserved(self, branches, tasks, gi):
+        from repro.workflow import fork_join
+
+        workflow = fork_join(branches, tasks, gi)
+        assert workflow.total_gi == pytest.approx(
+            branches * tasks * gi + 2.0)
+        assert sum(workflow.level_widths()) == branches * tasks + 2

@@ -1,0 +1,173 @@
+"""Tests for the spot-market execution subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import OptimizerAnswer
+from repro.errors import ValidationError
+from repro.spot.checkpoint import CheckpointPolicy
+from repro.spot.comparison import compare_spot_vs_ondemand
+from repro.spot.execution import SpotRunConfig, simulate_spot_run
+
+
+class TestCheckpointPolicy:
+    def test_overhead_factor(self):
+        policy = CheckpointPolicy(interval_hours=1.0,
+                                  checkpoint_cost_hours=0.1)
+        assert policy.overhead_factor() == pytest.approx(1.1)
+
+    def test_progress_quantized_to_checkpoints(self):
+        policy = CheckpointPolicy(interval_hours=2.0)
+        assert policy.progress_after(0.5) == 0.0
+        assert policy.progress_after(2.0) == 2.0
+        assert policy.progress_after(5.9) == 4.0
+
+    def test_young_interval(self):
+        policy = CheckpointPolicy.young(8.0, checkpoint_cost_hours=0.05)
+        assert policy.interval_hours == pytest.approx((2 * 0.05 * 8) ** 0.5)
+
+    def test_young_shorter_for_flakier_markets(self):
+        flaky = CheckpointPolicy.young(1.0)
+        stable = CheckpointPolicy.young(100.0)
+        assert flaky.interval_hours < stable.interval_hours
+
+    def test_none_policy(self):
+        policy = CheckpointPolicy.none()
+        assert policy.overhead_factor() == pytest.approx(1.0)
+        assert policy.progress_after(500.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(interval_hours=0.0)
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(interval_hours=1.0, checkpoint_cost_hours=-1)
+        with pytest.raises(ValidationError):
+            CheckpointPolicy.young(0.0)
+
+
+def make_run(ec2, *, bid=0.5, demand=1e5, policy=None) -> SpotRunConfig:
+    config = (2, 0, 0, 0, 0, 0, 0, 0, 0)
+    return SpotRunConfig(
+        configuration=config,
+        capacity_gips=20.0,
+        demand_gi=demand,
+        bid_fraction=bid,
+        policy=policy or CheckpointPolicy.young(8.0),
+    )
+
+
+class TestSpotExecution:
+    def test_completes_and_accounts(self, ec2):
+        outcome = simulate_spot_run(make_run(ec2), ec2, seed=0)
+        assert outcome.completed
+        assert outcome.cost_dollars > 0
+        assert outcome.useful_hours > 0
+        assert 0 < outcome.efficiency <= 1.0
+
+    def test_cheaper_than_ondemand_rate(self, ec2):
+        """Paid at spot prices, the run costs well below on-demand."""
+        outcome = simulate_spot_run(make_run(ec2), ec2, seed=1)
+        config = np.array(make_run(ec2).configuration)
+        od_rate = float(config @ ec2.prices)
+        od_cost = od_rate * outcome.elapsed_hours
+        assert outcome.cost_dollars < od_cost
+
+    def test_higher_bid_fewer_interruptions(self, ec2):
+        """A bid at 100% of on-demand is never outbid by this process."""
+        demand = 3e5
+        low = [simulate_spot_run(make_run(ec2, bid=0.40, demand=demand),
+                                 ec2, seed=s).interruptions
+               for s in range(8)]
+        high = [simulate_spot_run(make_run(ec2, bid=1.0, demand=demand),
+                                  ec2, seed=s).interruptions
+                for s in range(8)]
+        assert np.mean(high) <= np.mean(low)
+
+    def test_elapsed_at_least_ideal(self, ec2):
+        run = make_run(ec2)
+        outcome = simulate_spot_run(run, ec2, seed=2)
+        ideal_hours = run.demand_gi / run.capacity_gips / 3600.0
+        assert outcome.elapsed_hours >= ideal_hours * 0.99
+
+    def test_horizon_exhaustion(self, ec2):
+        run = SpotRunConfig(
+            configuration=(2, 0, 0, 0, 0, 0, 0, 0, 0),
+            capacity_gips=20.0,
+            demand_gi=1e5,
+            bid_fraction=0.5,
+            policy=CheckpointPolicy.young(8.0),
+            horizon_hours=0.5,
+        )
+        outcome = simulate_spot_run(run, ec2, seed=0)
+        assert not outcome.completed
+        assert outcome.elapsed_hours == 0.5
+
+    def test_deterministic(self, ec2):
+        a = simulate_spot_run(make_run(ec2), ec2, seed=9)
+        b = simulate_spot_run(make_run(ec2), ec2, seed=9)
+        assert a.cost_dollars == b.cost_dollars
+        assert a.elapsed_hours == b.elapsed_hours
+
+    def test_validation(self, ec2):
+        with pytest.raises(ValidationError):
+            SpotRunConfig(configuration=(1,) * 9, capacity_gips=0.0,
+                          demand_gi=1.0, bid_fraction=0.5,
+                          policy=CheckpointPolicy.young(8.0))
+        with pytest.raises(ValidationError):
+            SpotRunConfig(configuration=(1,) * 9, capacity_gips=1.0,
+                          demand_gi=1.0, bid_fraction=1.5,
+                          policy=CheckpointPolicy.young(8.0))
+        run = make_run(ec2)
+        bad = SpotRunConfig(
+            configuration=(0,) * 9, capacity_gips=run.capacity_gips,
+            demand_gi=run.demand_gi, bid_fraction=0.5, policy=run.policy)
+        with pytest.raises(ValidationError):
+            simulate_spot_run(bad, ec2, seed=0)
+
+
+class TestSpotComparison:
+    def make_answer(self) -> OptimizerAnswer:
+        return OptimizerAnswer(
+            configuration=(2, 0, 0, 0, 0, 0, 0, 0, 0),
+            time_hours=10.0,
+            cost_dollars=8.38,
+            capacity_gips=20.0,
+            unit_cost_per_hour=0.838,
+        )
+
+    def test_study_fields(self, ec2):
+        study = compare_spot_vs_ondemand(
+            self.make_answer(), demand_gi=7.2e5, catalog=ec2,
+            deadline_hours=24.0, trials=10, seed=0)
+        assert study.trials == 10
+        assert 0 <= study.on_time_probability <= 1
+        assert study.mean_cost > 0
+        assert study.p95_elapsed_hours >= study.mean_elapsed_hours * 0.9
+
+    def test_spot_saves_money_on_average(self, ec2):
+        study = compare_spot_vs_ondemand(
+            self.make_answer(), demand_gi=7.2e5, catalog=ec2,
+            deadline_hours=1000.0, trials=10, seed=1)
+        assert study.mean_saving_fraction > 0.2
+
+    def test_spot_cannot_guarantee_tight_deadlines(self, ec2):
+        """The paper's argument for on-demand: with the deadline equal
+        to the deterministic on-demand time, spot misses sometimes."""
+        answer = self.make_answer()
+        study = compare_spot_vs_ondemand(
+            answer, demand_gi=7.2e5, catalog=ec2,
+            deadline_hours=answer.time_hours, trials=15, seed=2)
+        assert study.on_time_probability < 1.0
+
+    def test_render(self, ec2):
+        study = compare_spot_vs_ondemand(
+            self.make_answer(), demand_gi=7.2e5, catalog=ec2,
+            deadline_hours=24.0, trials=5, seed=0)
+        text = study.render()
+        assert "spot vs on-demand" in text
+        assert "on-time" in text
+
+    def test_validation(self, ec2):
+        with pytest.raises(ValidationError):
+            compare_spot_vs_ondemand(self.make_answer(), 7.2e5, ec2,
+                                     24.0, trials=0)

@@ -1,0 +1,106 @@
+"""Unit-conversion and quantity tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_giga_instructions_round_trip(self):
+        assert units.giga_instructions(units.instructions_from_gi(3.5)) == 3.5
+
+    def test_hours_seconds_round_trip(self):
+        assert units.seconds_to_hours(units.hours_to_seconds(7.25)) == 7.25
+
+    def test_one_hour_is_3600_seconds(self):
+        assert units.hours_to_seconds(1) == 3600
+
+    def test_gips_to_gi_per_hour(self):
+        assert units.gips_to_gi_per_hour(2.0) == 7200.0
+
+    def test_gi_per_hour_to_gips(self):
+        assert units.gi_per_hour_to_gips(7200.0) == 2.0
+
+    def test_dollars_per_hour_to_per_second(self):
+        assert units.dollars_per_hour_to_per_second(3600.0) == pytest.approx(1.0)
+
+
+class TestRate:
+    def test_from_gips_and_instructions(self):
+        rate = units.Rate.from_instructions_per_second(2e9)
+        assert rate.gips == pytest.approx(2.0)
+        assert rate.instructions_per_second == pytest.approx(2e9)
+
+    def test_scaling_by_vcpus(self):
+        per_vcpu = units.Rate.from_gips(1.4)
+        whole = per_vcpu * 4
+        assert whole.gips == pytest.approx(5.6)
+
+    def test_right_multiplication(self):
+        assert (3 * units.Rate.from_gips(1.0)).gips == pytest.approx(3.0)
+
+    def test_addition(self):
+        total = units.Rate.from_gips(1.0) + units.Rate.from_gips(2.5)
+        assert total.gips == pytest.approx(3.5)
+
+    def test_comparison(self):
+        assert units.Rate.from_gips(1.0) < units.Rate.from_gips(2.0)
+        assert units.Rate.from_gips(2.0) <= units.Rate.from_gips(2.0)
+
+    def test_normalized_performance(self):
+        # Figure 3's metric: GI/s per $/h.
+        rate = units.Rate.from_gips(2.751)
+        assert rate.per_dollar_hour(0.105) == pytest.approx(26.2, rel=1e-3)
+
+    def test_normalized_performance_rejects_free_resources(self):
+        with pytest.raises(ValueError):
+            units.Rate.from_gips(1.0).per_dollar_hour(0.0)
+
+    def test_gi_per_hour(self):
+        assert units.Rate.from_gips(1.0).gi_per_hour == pytest.approx(3600.0)
+
+
+class TestPrice:
+    def test_cost_for_duration(self):
+        assert units.Price(0.105).cost_for(10) == pytest.approx(1.05)
+
+    def test_dollars_per_second(self):
+        assert units.Price(3.6).dollars_per_second == pytest.approx(0.001)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            units.Price(-0.1)
+
+    def test_non_finite_price_rejected(self):
+        with pytest.raises(ValueError):
+            units.Price(math.nan)
+
+    def test_arithmetic(self):
+        total = units.Price(0.105) + units.Price(0.209)
+        assert total.dollars_per_hour == pytest.approx(0.314)
+        assert (units.Price(0.1) * 5).dollars_per_hour == pytest.approx(0.5)
+
+
+class TestFormatting:
+    def test_format_duration_days_hours_minutes(self):
+        assert units.format_duration(25.5) == "1d 1h 30m"
+
+    def test_format_duration_minutes_only(self):
+        assert units.format_duration(0.25) == "15m"
+
+    def test_format_duration_zero(self):
+        assert units.format_duration(0) == "0m"
+
+    def test_format_duration_negative(self):
+        assert units.format_duration(-1.5) == "-1h 30m"
+
+    def test_format_money(self):
+        assert units.format_money(1234.5) == "$1,234.50"
+        assert units.format_money(-3) == "-$3.00"
+
+    def test_format_instructions_scales(self):
+        assert units.format_instructions(2.5e6) == "2.50 PI"
+        assert units.format_instructions(2.5e3) == "2.50 TI"
+        assert units.format_instructions(2.5) == "2.50 GI"

@@ -1,0 +1,141 @@
+"""Tests for the shared utilities (RNG plumbing, tables, math helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathutil import (
+    approx_gradient,
+    geometric_mean,
+    monotone_nondecreasing,
+    monotone_nonincreasing,
+    percent_error,
+    relative_error,
+)
+from repro.utils.rng import derive_rng, spawn_seed
+from repro.utils.tables import TextTable
+
+
+class TestRng:
+    def test_same_keys_same_seed(self):
+        assert spawn_seed(1, "galaxy", 65536) == spawn_seed(1, "galaxy", 65536)
+
+    def test_different_root_different_seed(self):
+        assert spawn_seed(1, "galaxy") != spawn_seed(2, "galaxy")
+
+    def test_different_keys_different_seed(self):
+        assert spawn_seed(1, "galaxy") != spawn_seed(1, "sand")
+
+    def test_key_concatenation_is_not_ambiguous(self):
+        assert spawn_seed(1, "ab", "c") != spawn_seed(1, "a", "bc")
+
+    def test_derive_rng_streams_are_reproducible(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_derive_rng_streams_are_independent(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "y").random(5)
+        assert not np.allclose(a, b)
+
+    @given(st.integers(0, 2**31), st.text(max_size=20))
+    def test_spawn_seed_in_64bit_range(self, root, key):
+        seed = spawn_seed(root, key)
+        assert 0 <= seed < 2**64
+
+
+class TestTextTable:
+    def test_render_basic(self):
+        t = TextTable(["Type", "Cost"], aligns="lr", title="Catalog")
+        t.add_row(["c4.large", 0.105])
+        out = t.render()
+        assert "Catalog" in out
+        assert "c4.large" in out
+        assert "0.105" in out
+
+    def test_alignment(self):
+        t = TextTable(["L", "R"], aligns="lr")
+        t.add_row(["x", "y"])
+        body = t.render().splitlines()[-1]
+        assert body.startswith("x")
+        assert body.endswith("y")
+
+    def test_wrong_cell_count_rejected(self):
+        t = TextTable(["A", "B"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_bad_aligns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable(["A"], aligns="x")
+        with pytest.raises(ValueError):
+            TextTable(["A", "B"], aligns="l")
+
+    def test_len_counts_rows(self):
+        t = TextTable(["A"])
+        assert len(t) == 0
+        t.add_row([1])
+        assert len(t) == 1
+
+    def test_markdown_render(self):
+        t = TextTable(["A", "B"], aligns="lr")
+        t.add_row(["x", 1.5])
+        md = t.render_markdown()
+        assert md.splitlines()[0] == "| A | B |"
+        assert "---:" in md  # right-aligned column
+        assert "| x | 1.5 |" in md
+
+    def test_float_format_applied(self):
+        t = TextTable(["V"], float_format="{:.3f}")
+        t.add_row([1 / 3])
+        assert "0.333" in t.render()
+
+
+class TestMathUtil:
+    def test_relative_error(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        assert relative_error(9, 10) == pytest.approx(0.1)
+
+    def test_percent_error_matches_table_iv_convention(self):
+        # x264 row: predicted 21 h vs actual 19 h -> ~10.5%.
+        assert percent_error(21, 19) == pytest.approx(10.526, rel=1e-3)
+
+    def test_relative_error_zero_actual_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_error(1, 0)
+
+    def test_approx_gradient_linear(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = 3 * x + 1
+        np.testing.assert_allclose(approx_gradient(x, y), [3.0, 3.0])
+
+    def test_approx_gradient_needs_distinct_x(self):
+        with pytest.raises(ValueError):
+            approx_gradient(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_approx_gradient_needs_two_points(self):
+        with pytest.raises(ValueError):
+            approx_gradient(np.array([1.0]), np.array([1.0]))
+
+    def test_geometric_mean(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([]))
+
+    def test_monotone_helpers(self):
+        assert monotone_nondecreasing(np.array([1, 1, 2]))
+        assert not monotone_nondecreasing(np.array([2, 1]))
+        assert monotone_nonincreasing(np.array([3, 2, 2]))
+        assert not monotone_nonincreasing(np.array([1, 2]))
+
+    @given(st.lists(st.floats(1e-3, 1e3), min_size=1, max_size=20))
+    def test_geometric_mean_between_min_and_max(self, values):
+        arr = np.array(values)
+        gm = geometric_mean(arr)
+        assert arr.min() - 1e-9 <= gm <= arr.max() + 1e-9

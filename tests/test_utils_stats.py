@@ -1,0 +1,86 @@
+"""Tests for the bootstrap / binomial interval helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.stats import binomial_ci, bootstrap_ci
+
+
+class TestBootstrapCi:
+    def test_interval_contains_sample_mean_typically(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=60)
+        lo, hi = bootstrap_ci(samples, seed=1)
+        assert lo <= samples.mean() <= hi
+
+    def test_wider_with_fewer_samples(self):
+        rng = np.random.default_rng(1)
+        big = rng.normal(0, 1, size=200)
+        small = big[:10]
+        lo_b, hi_b = bootstrap_ci(big, seed=2)
+        lo_s, hi_s = bootstrap_ci(small, seed=2)
+        assert (hi_s - lo_s) > (hi_b - lo_b)
+
+    def test_single_sample_collapses(self):
+        lo, hi = bootstrap_ci(np.array([5.0]))
+        assert lo == hi == 5.0
+
+    def test_custom_statistic(self):
+        samples = np.array([1.0, 2.0, 3.0, 100.0])
+        lo, hi = bootstrap_ci(samples, statistic=np.median, seed=0)
+        assert lo >= 1.0 and hi <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.array([1.0]), confidence=1.0)
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.array([1.0, 2.0]), n_resamples=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    def test_interval_within_sample_range(self, values):
+        arr = np.asarray(values)
+        lo, hi = bootstrap_ci(arr, seed=3)
+        assert arr.min() - 1e-9 <= lo <= hi <= arr.max() + 1e-9
+
+
+class TestBinomialCi:
+    def test_half_and_half(self):
+        lo, hi = binomial_ci(50, 100)
+        assert lo < 0.5 < hi
+        assert hi - lo < 0.25
+
+    def test_zero_successes_lower_bound_zero(self):
+        lo, hi = binomial_ci(0, 20)
+        assert lo == 0.0
+        assert 0 < hi < 0.25
+
+    def test_all_successes_upper_bound_one(self):
+        lo, hi = binomial_ci(20, 20)
+        assert hi == 1.0
+        assert 0.75 < lo < 1.0
+
+    def test_more_trials_tighter(self):
+        lo1, hi1 = binomial_ci(5, 10)
+        lo2, hi2 = binomial_ci(50, 100)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            binomial_ci(1, 0)
+        with pytest.raises(ValidationError):
+            binomial_ci(5, 3)
+        with pytest.raises(ValidationError):
+            binomial_ci(1, 2, confidence=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 50), st.integers(1, 50))
+    def test_interval_always_valid(self, k, extra):
+        n = k + extra
+        lo, hi = binomial_ci(k, n)
+        assert 0.0 <= lo <= k / n <= hi <= 1.0

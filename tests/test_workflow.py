@@ -1,0 +1,217 @@
+"""Tests for the workflow (DAG) extension."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.instance import Instance
+from repro.engine.cluster import SimCluster
+from repro.errors import SimulationError, ValidationError
+from repro.workflow import (
+    Stage,
+    WorkflowDAG,
+    chain,
+    diamond,
+    execute_workflow,
+    fork_join,
+    predict_workflow,
+    select_workflow_configurations,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ec2_catalog(max_nodes_per_type=2)
+
+
+@pytest.fixture(scope="module")
+def capacities(catalog, galaxy):
+    return np.array([galaxy.true_rate_gips(t) for t in catalog])
+
+
+def homogeneous_cluster(catalog, galaxy, type_name="c4.2xlarge", nodes=2):
+    instances = [
+        Instance(instance_id=f"i-{k}", itype=catalog.type_named(type_name))
+        for k in range(nodes)
+    ]
+    return SimCluster(instances, galaxy)
+
+
+class TestDag:
+    def test_chain_builder(self):
+        wf = chain([(4, 10.0), (2, 5.0), (1, 20.0)])
+        assert len(wf) == 3
+        assert wf.total_gi == pytest.approx(4 * 10 + 2 * 5 + 20)
+        path, gi = wf.critical_path()
+        assert path == ["s0", "s1", "s2"]
+        assert gi == pytest.approx(10 + 5 + 20)
+
+    def test_fork_join_builder(self):
+        wf = fork_join(3, branch_tasks=10, branch_task_gi=2.0)
+        assert len(wf) == 5
+        assert wf.predecessors("join") == ["branch0", "branch1", "branch2"]
+        widths = wf.level_widths()
+        assert widths == [1, 30, 1]
+
+    def test_diamond_builder(self):
+        wf = diamond(1.0, (5, 2.0), (3, 10.0), 4.0)
+        path, gi = wf.critical_path()
+        assert path == ["top", "right", "bottom"]
+        assert gi == pytest.approx(1 + 10 + 4)
+
+    def test_cycle_rejected(self):
+        stages = [Stage("a", 1, 1.0), Stage("b", 1, 1.0)]
+        with pytest.raises(ValidationError):
+            WorkflowDAG(stages, [("a", "b"), ("b", "a")])
+
+    def test_unknown_edge_stage_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkflowDAG([Stage("a", 1, 1.0)], [("a", "ghost")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkflowDAG([Stage("a", 1, 1.0), Stage("a", 2, 1.0)])
+
+    def test_stage_validation(self):
+        with pytest.raises(ValidationError):
+            Stage("bad", 0, 1.0)
+        with pytest.raises(ValidationError):
+            Stage("bad", 1, 0.0)
+
+    def test_topological_stage_order(self):
+        wf = diamond(1.0, (1, 1.0), (1, 1.0), 1.0)
+        order = [s.name for s in wf.stages]
+        assert order.index("top") < order.index("left")
+        assert order.index("left") < order.index("bottom")
+
+
+class TestPrediction:
+    def test_wide_workflow_is_work_bound(self, catalog, capacities):
+        wf = fork_join(8, branch_tasks=200, branch_task_gi=50.0)
+        pred = predict_workflow(wf, (2, 0, 0, 0, 0, 0, 0, 0, 0), catalog,
+                                capacities)
+        assert not pred.latency_bound
+        assert pred.time_hours == pytest.approx(pred.work_bound_hours)
+
+    def test_deep_chain_is_latency_bound(self, catalog, capacities):
+        wf = chain([(1, 100.0)] * 20)
+        pred = predict_workflow(wf, (2, 2, 2, 0, 0, 0, 0, 0, 0), catalog,
+                                capacities)
+        assert pred.latency_bound
+        assert pred.time_hours == pytest.approx(
+            pred.critical_path_bound_hours)
+
+    def test_more_capacity_does_not_help_chains(self, catalog, capacities):
+        """The workflow phenomenon single-run CELIA cannot express."""
+        wf = chain([(1, 100.0)] * 10)
+        small = predict_workflow(wf, (1, 0, 0, 0, 0, 0, 0, 0, 0), catalog,
+                                 capacities)
+        big = predict_workflow(wf, (2, 2, 2, 2, 2, 2, 0, 0, 0), catalog,
+                               capacities)
+        assert big.time_hours == pytest.approx(small.time_hours)
+        assert big.cost_dollars > small.cost_dollars
+
+    def test_validation(self, catalog, capacities):
+        wf = chain([(1, 1.0)])
+        with pytest.raises(ValidationError):
+            predict_workflow(wf, (0,) * 9, catalog, capacities)
+        with pytest.raises(ValidationError):
+            predict_workflow(wf, (1, 0), catalog, capacities)
+
+
+class TestExecution:
+    def test_prediction_is_lower_bound(self, catalog, capacities, galaxy):
+        wf = fork_join(4, branch_tasks=50, branch_task_gi=100.0,
+                       setup_gi=500.0, join_gi=200.0)
+        cluster = homogeneous_cluster(catalog, galaxy)
+        report = execute_workflow(wf, cluster)
+        config = np.zeros(9, dtype=int)
+        config[0] = 2
+        pred = predict_workflow(wf, config, catalog,
+                                np.array([galaxy.true_rate_gips(t)
+                                          for t in catalog]))
+        assert report.makespan_hours >= pred.time_hours * 0.999
+
+    def test_chain_matches_critical_path_exactly(self, catalog, galaxy):
+        """Homogeneous cluster, serial chain: engine == CP bound."""
+        wf = chain([(1, 50.0)] * 5)
+        cluster = homogeneous_cluster(catalog, galaxy, nodes=1)
+        report = execute_workflow(wf, cluster)
+        slot_rate = cluster.slot_rates()[0]
+        expected_hours = 5 * 50.0 / slot_rate / 3600.0
+        assert report.makespan_hours == pytest.approx(expected_hours,
+                                                      rel=1e-9)
+
+    def test_wide_workflow_near_work_bound(self, catalog, galaxy):
+        wf = fork_join(4, branch_tasks=500, branch_task_gi=10.0,
+                       setup_gi=1.0, join_gi=1.0)
+        cluster = homogeneous_cluster(catalog, galaxy)
+        report = execute_workflow(wf, cluster)
+        ideal_hours = wf.total_gi / cluster.total_rate_gips / 3600.0
+        assert report.makespan_hours == pytest.approx(ideal_hours, rel=0.05)
+        assert report.busy_fraction > 0.9
+
+    def test_stage_order_respects_dependencies(self, catalog, galaxy):
+        wf = diamond(1.0, (3, 5.0), (3, 5.0), 1.0)
+        cluster = homogeneous_cluster(catalog, galaxy)
+        report = execute_workflow(wf, cluster)
+        finish = report.stage_finish_hours
+        assert finish["top"] <= finish["left"]
+        assert finish["top"] <= finish["right"]
+        assert max(finish["left"], finish["right"]) <= finish["bottom"]
+
+    def test_all_tasks_executed(self, catalog, galaxy):
+        wf = fork_join(3, branch_tasks=7, branch_task_gi=1.0)
+        cluster = homogeneous_cluster(catalog, galaxy)
+        report = execute_workflow(wf, cluster)
+        assert report.n_tasks == 1 + 3 * 7 + 1
+
+    def test_jitter_only_slows(self, catalog, galaxy):
+        wf = fork_join(2, branch_tasks=100, branch_task_gi=5.0)
+        cluster = homogeneous_cluster(catalog, galaxy)
+        base = execute_workflow(wf, cluster)
+        noisy = execute_workflow(wf, cluster,
+                                 rng=np.random.default_rng(1),
+                                 jitter_sigma=0.2)
+        assert noisy.makespan_hours != base.makespan_hours
+
+
+class TestWorkflowSelection:
+    def test_selection_structure(self, catalog, capacities):
+        wf = fork_join(4, branch_tasks=50, branch_task_gi=100.0)
+        sel = select_workflow_configurations(wf, catalog, capacities,
+                                             deadline_hours=1.0,
+                                             budget_dollars=5.0)
+        assert sel.total_configurations == 3**9 - 1
+        assert 0 < sel.feasible_count <= sel.total_configurations
+        assert sel.pareto_count >= 1
+        times = [p.time_hours for p in sel.pareto]
+        assert times == sorted(times)
+
+    def test_deep_chain_frontier_is_latency_bound(self, catalog, capacities):
+        wf = chain([(1, 500.0)] * 10)
+        sel = select_workflow_configurations(wf, catalog, capacities,
+                                             deadline_hours=10.0,
+                                             budget_dollars=100.0)
+        # A pure chain gains nothing from capacity: the frontier collapses
+        # to configurations distinguished only by their fastest vCPU.
+        assert all(p.latency_bound for p in sel.pareto)
+        # Cheapest frontier point uses a single node.
+        cheapest = min(sel.pareto, key=lambda p: p.cost_dollars)
+        assert sum(cheapest.configuration) == 1
+
+    def test_matches_per_config_prediction(self, catalog, capacities):
+        wf = diamond(10.0, (20, 5.0), (10, 8.0), 10.0)
+        sel = select_workflow_configurations(wf, catalog, capacities,
+                                             deadline_hours=5.0,
+                                             budget_dollars=50.0)
+        for p in sel.pareto[:5]:
+            pred = predict_workflow(wf, p.configuration, catalog, capacities)
+            assert p.time_hours == pytest.approx(pred.time_hours, rel=1e-9)
+            assert p.cost_dollars == pytest.approx(pred.cost_dollars,
+                                                   rel=1e-9)
+
+    def test_validation(self, catalog, capacities):
+        wf = chain([(1, 1.0)])
+        with pytest.raises(ValidationError):
+            select_workflow_configurations(wf, catalog, capacities, 0.0, 1.0)
