@@ -1,0 +1,131 @@
+"""Benchmark the configuration-space hot paths at three space sizes.
+
+Times, per space size (Table III catalog at quotas 2, 3 and 5 —
+19,682 / 262,143 / 10,077,695 configurations):
+
+* the full-space sweep, serial vs process-parallel
+  (:meth:`ConfigurationSpace.evaluate` with ``workers``);
+* Algorithm-1 selection, streamed vs the demand-invariant
+  :class:`FrontierIndex` fast path (build cost amortized over queries).
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_configspace.py
+
+Results land in ``BENCH_configspace.json`` at the repository root,
+including the machine's core count — the parallel speedup is only
+meaningful with multiple cores available.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.catalog import ec2_catalog
+from repro.core.configspace import ConfigurationSpace
+from repro.core.selection import FrontierIndex, select_configurations
+from repro.parallel import available_workers
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_configspace.json"
+
+QUOTAS = (2, 3, 5)
+N_QUERIES = 10
+#: Synthetic but realistic per-type capacities (GI/s).
+CAPACITIES = np.linspace(2.0, 8.0, 9)
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def bench_evaluate(space, workers):
+    serial, t_serial = _timed(space.evaluate, CAPACITIES)
+    t_parallel = None
+    if workers > 1:
+        parallel, t_parallel = _timed(space.evaluate, CAPACITIES,
+                                      workers=workers)
+        assert serial.capacity_gips.tobytes() == \
+            parallel.capacity_gips.tobytes(), "parallel sweep not bit-identical"
+        assert serial.unit_cost_per_hour.tobytes() == \
+            parallel.unit_cost_per_hour.tobytes()
+    return serial, t_serial, t_parallel
+
+
+def bench_select(evaluation):
+    # Demands spanning light to heavy load against fixed constraints, so
+    # queries hit empty, partial and near-full feasible sets.
+    max_capacity = float(evaluation.capacity_gips.max())
+    demands = np.geomspace(0.01, 10.0, N_QUERIES) * max_capacity * 3600.0
+    deadline, budget = 24.0, 350.0
+
+    t0 = time.perf_counter()
+    streamed = [
+        select_configurations(evaluation, float(d), deadline, budget,
+                              method="streamed")
+        for d in demands
+    ]
+    t_streamed = (time.perf_counter() - t0) / N_QUERIES
+
+    index, t_build = _timed(FrontierIndex, evaluation)
+    t0 = time.perf_counter()
+    indexed = [
+        index.select(float(d), deadline, budget) for d in demands
+    ]
+    t_indexed = (time.perf_counter() - t0) / N_QUERIES
+
+    for a, b in zip(streamed, indexed):
+        assert a.feasible_count == b.feasible_count, "paths disagree"
+        assert [p.configuration for p in a.pareto] == \
+            [p.configuration for p in b.pareto]
+    return t_streamed, t_build, t_indexed, index.frontier_size
+
+
+def main() -> None:
+    workers = available_workers()
+    report = {
+        "cpu_cores_available": workers,
+        "queries_per_select_benchmark": N_QUERIES,
+        "spaces": [],
+    }
+    for quota in QUOTAS:
+        space = ConfigurationSpace(ec2_catalog(max_nodes_per_type=quota))
+        print(f"quota {quota}: {space.size:,} configurations")
+        evaluation, t_serial, t_parallel = bench_evaluate(space, workers)
+        t_streamed, t_build, t_indexed, frontier = bench_select(evaluation)
+        entry = {
+            "quota": quota,
+            "space_size": space.size,
+            "evaluate_serial_s": round(t_serial, 4),
+            "evaluate_parallel_s": (round(t_parallel, 4)
+                                    if t_parallel is not None else None),
+            "evaluate_parallel_workers": workers if workers > 1 else None,
+            "evaluate_speedup": (round(t_serial / t_parallel, 2)
+                                 if t_parallel else None),
+            "select_streamed_s_per_query": round(t_streamed, 6),
+            "frontier_index_build_s": round(t_build, 4),
+            "select_indexed_s_per_query": round(t_indexed, 6),
+            "select_speedup_per_query": round(t_streamed / t_indexed, 1),
+            "frontier_size": frontier,
+        }
+        report["spaces"].append(entry)
+        print(f"  evaluate: serial {t_serial:.3f}s"
+              + (f", parallel {t_parallel:.3f}s "
+                 f"({t_serial / t_parallel:.2f}x, {workers} workers)"
+                 if t_parallel else " (single core; parallel skipped)"))
+        print(f"  select:   streamed {t_streamed * 1e3:.2f} ms/query, "
+              f"indexed {t_indexed * 1e3:.3f} ms/query "
+              f"({t_streamed / t_indexed:.0f}x after a {t_build:.2f}s build, "
+              f"frontier {frontier})")
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from repro.cloud import Catalog, CloudProvider, InstanceType, ec2_catalog, make_
 from repro.core import (
     Celia,
     ConfigurationSpace,
+    FrontierIndex,
     MinCostIndex,
     MinTimeIndex,
     Prediction,
@@ -39,6 +40,10 @@ from repro.core import (
     fixed_time_scaling,
     select_configurations,
 )
+
+# After repro.core: repro.cache depends on repro.core.configspace, which
+# the core package's own import of the Celia facade already initialized.
+from repro.cache import EvaluationCache
 from repro.engine import EngineConfig, ExecutionReport, run_on_configuration
 from repro.errors import InfeasibleError, ReproError
 from repro.measurement import PerfCounter, fit_separable_demand, measure_demand_grid
@@ -67,6 +72,8 @@ __all__ = [
     "Celia",
     "Prediction",
     "ConfigurationSpace",
+    "EvaluationCache",
+    "FrontierIndex",
     "SelectionResult",
     "select_configurations",
     "MinCostIndex",

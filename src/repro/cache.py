@@ -1,0 +1,215 @@
+"""Persistent, memory-mapped cache of full-space evaluation artefacts.
+
+Sweeping the paper's 10,077,695-configuration space produces two S-length
+float64 arrays (``U_j`` and ``C_{j,u}``) that are pure functions of the
+catalog and the measured capacity vector.  Re-deriving them in every
+process is the single largest repeated cost of the pipeline, so this
+module persists them as ``.npy`` files under a cache directory and
+memory-maps them back on the next run — a warm start costs two ``mmap``
+calls instead of a sweep.
+
+Entries are content-addressed: the key is a SHA-256 hash of the catalog
+(types, quotas, prices) and the capacity vector, so any change to either
+simply misses and re-sweeps — stale artefacts can never be returned.
+
+The cache directory resolves, in order: an explicit ``cache_dir``
+argument, the ``CELIA_CACHE_DIR`` environment variable, then
+``~/.cache/celia``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.core.configspace import ConfigurationSpace, SpaceEvaluation
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheEntry",
+    "EvaluationCache",
+    "default_cache_dir",
+    "evaluation_cache_key",
+]
+
+CACHE_DIR_ENV = "CELIA_CACHE_DIR"
+
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$CELIA_CACHE_DIR`` if set, else ``~/.cache/celia``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "celia"
+
+
+def evaluation_cache_key(catalog: Catalog, capacities_gips: np.ndarray) -> str:
+    """SHA-256 content hash of everything the sweep depends on.
+
+    Covers every field of every instance type (order-sensitive — type
+    order defines the configuration code), the quotas, and the exact
+    float64 bytes of the capacity vector.
+    """
+    payload = {
+        "version": _FORMAT_VERSION,
+        "types": [
+            [t.name, t.category.name, t.vcpus, t.frequency_ghz, t.memory_gb,
+             t.storage.name, t.local_storage_gb, t.price_per_hour]
+            for t in catalog
+        ],
+        "quotas": list(catalog.quotas),
+    }
+    digest = hashlib.sha256()
+    digest.update(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    digest.update(
+        np.ascontiguousarray(
+            np.asarray(capacities_gips, dtype=np.float64)
+        ).tobytes()
+    )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEntry:
+    """One cached evaluation on disk."""
+
+    key: str
+    space_size: int
+    type_names: tuple[str, ...]
+    bytes_on_disk: int
+
+
+class EvaluationCache:
+    """Content-addressed store of :class:`SpaceEvaluation` arrays.
+
+    ``load`` returns memory-mapped (read-only) arrays, so a warm start
+    pays I/O lazily, page by page, as analyses touch the space.  ``hits``
+    and ``misses`` count lookups for instrumentation.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.cache_dir = (Path(cache_dir).expanduser()
+                          if cache_dir is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    # -- layout ----------------------------------------------------------------
+
+    def _meta_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.meta.json"
+
+    def _array_path(self, key: str, which: str) -> Path:
+        return self.cache_dir / f"{key}.{which}.npy"
+
+    # -- lookup ----------------------------------------------------------------
+
+    def load(self, space: ConfigurationSpace,
+             capacities_gips: np.ndarray) -> SpaceEvaluation | None:
+        """The cached evaluation for (catalog, capacities), or ``None``.
+
+        Any inconsistency — missing files, unreadable metadata, an array
+        whose length does not cover the space — counts as a miss; the
+        caller re-sweeps and overwrites the entry.
+        """
+        key = evaluation_cache_key(space.catalog, capacities_gips)
+        meta_path = self._meta_path(key)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta.get("version") != _FORMAT_VERSION or \
+                    meta.get("space_size") != space.size:
+                raise ValueError("stale cache entry")
+            capacity = np.load(self._array_path(key, "capacity"),
+                               mmap_mode="r")
+            unit_cost = np.load(self._array_path(key, "unit_cost"),
+                                mmap_mode="r")
+            if capacity.shape != (space.size,) or \
+                    unit_cost.shape != (space.size,):
+                raise ValueError("cached arrays do not cover the space")
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SpaceEvaluation(space=space, capacity_gips=capacity,
+                               unit_cost_per_hour=unit_cost)
+
+    def store(self, evaluation: SpaceEvaluation,
+              capacities_gips: np.ndarray) -> str:
+        """Persist one evaluation; returns its key.
+
+        Arrays are written to temporaries and renamed into place, and the
+        metadata file — whose presence marks the entry valid — lands
+        last, so a crash mid-write can only leave an invisible partial
+        entry, never a readable corrupt one.
+        """
+        key = evaluation_cache_key(evaluation.space.catalog, capacities_gips)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        for which, array in (("capacity", evaluation.capacity_gips),
+                             ("unit_cost", evaluation.unit_cost_per_hour)):
+            target = self._array_path(key, which)
+            tmp = target.with_suffix(f".tmp{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(array))
+            os.replace(tmp, target)
+        meta = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "space_size": evaluation.space.size,
+            "type_names": evaluation.space.catalog.names,
+            "quotas": list(evaluation.space.catalog.quotas),
+        }
+        meta_path = self._meta_path(key)
+        tmp = meta_path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+        os.replace(tmp, meta_path)
+        return key
+
+    # -- maintenance -----------------------------------------------------------
+
+    def entries(self) -> list[CacheEntry]:
+        """All valid entries currently on disk."""
+        found: list[CacheEntry] = []
+        if not self.cache_dir.is_dir():
+            return found
+        for meta_path in sorted(self.cache_dir.glob("*.meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                key = meta["key"]
+                size = sum(
+                    self._array_path(key, which).stat().st_size
+                    for which in ("capacity", "unit_cost")
+                ) + meta_path.stat().st_size
+                found.append(CacheEntry(
+                    key=key,
+                    space_size=int(meta["space_size"]),
+                    type_names=tuple(meta.get("type_names", ())),
+                    bytes_on_disk=size,
+                ))
+            except (OSError, ValueError, KeyError):
+                continue
+        return found
+
+    def total_bytes(self) -> int:
+        """Disk footprint of all valid entries."""
+        return sum(e.bytes_on_disk for e in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            for path in (self._meta_path(entry.key),
+                         self._array_path(entry.key, "capacity"),
+                         self._array_path(entry.key, "unit_cost")):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            removed += 1
+        return removed

@@ -8,10 +8,14 @@ Subcommands mirror how a practitioner would use the system:
 * ``predict`` — time/cost of one run on one explicit configuration;
 * ``plan`` — best affordable accuracy (or problem size) under a deadline
   and budget;
-* ``validate`` — compare a prediction against a simulated execution.
+* ``validate`` — compare a prediction against a simulated execution;
+* ``cache`` — inspect or clear the persistent space-evaluation cache.
 
 All commands operate on the paper's Table III catalog (quota adjustable
-with ``--quota``) and the three built-in applications.
+with ``--quota``) and the three built-in applications.  Full-space
+sweeps run in parallel for large spaces (``--workers``) and persist
+their results under ``--cache-dir`` (default ``$CELIA_CACHE_DIR`` or
+``~/.cache/celia``; ``--no-cache`` disables persistence).
 """
 
 from __future__ import annotations
@@ -33,6 +37,17 @@ __all__ = ["build_parser", "main"]
 APP_CHOICES = ("x264", "galaxy", "sand")
 
 
+def _parse_workers(raw: str) -> "int | str":
+    if raw == "auto":
+        return "auto"
+    try:
+        return int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be an integer or 'auto', got {raw!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -44,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measurement seed (default 0)")
     parser.add_argument("--quota", type=int, default=5,
                         help="max nodes per instance type (default 5)")
+    parser.add_argument("--workers", type=_parse_workers, default="auto",
+                        help="space-sweep processes: an integer or 'auto' "
+                             "(default: auto)")
+    parser.add_argument("--cache-dir",
+                        help="evaluation cache directory (default: "
+                             "$CELIA_CACHE_DIR or ~/.cache/celia)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent evaluation cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("characterize",
@@ -101,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bid", type=float, default=0.5,
                    help="bid as a fraction of the on-demand price")
     p.add_argument("--trials", type=int, default=30)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the evaluation cache")
+    p.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -221,6 +248,30 @@ def _cmd_spot(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_cache(celia: Celia, args) -> int:
+    cache = celia.evaluation_cache
+    if cache is None:  # --no-cache with the cache command is a user error
+        print("persistent cache is disabled (--no-cache)", file=sys.stderr)
+        return 2
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached evaluation(s) from {cache.cache_dir}")
+        return 0
+    entries = cache.entries()
+    print(f"cache directory: {cache.cache_dir}")
+    if not entries:
+        print("no cached evaluations")
+        return 0
+    table = TextTable(["Key", "Space size", "Types", "Bytes"], aligns="lrrr")
+    for entry in entries:
+        table.add_row([entry.key[:12], f"{entry.space_size:,}",
+                       str(len(entry.type_names)),
+                       f"{entry.bytes_on_disk:,}"])
+    print(table.render())
+    print(f"total: {len(entries)} entries, {cache.total_bytes():,} bytes")
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "select": _cmd_select,
@@ -228,13 +279,19 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "validate": _cmd_validate,
     "spot": _cmd_spot,
+    "cache": _cmd_cache,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    celia = Celia(ec2_catalog(max_nodes_per_type=args.quota), seed=args.seed)
+    celia = Celia(
+        ec2_catalog(max_nodes_per_type=args.quota),
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=False if args.no_cache else args.cache_dir,
+    )
     try:
         return _COMMANDS[args.command](celia, args)
     except InfeasibleError as exc:

@@ -25,7 +25,12 @@ from repro.core.capacity import (
 from repro.core.timemodel import predict_time_hours, predict_time_seconds
 from repro.core.costmodel import configuration_unit_cost, predict_cost
 from repro.core.configspace import ConfigurationSpace, SpaceEvaluation
-from repro.core.selection import ParetoPoint, SelectionResult, select_configurations
+from repro.core.selection import (
+    FrontierIndex,
+    ParetoPoint,
+    SelectionResult,
+    select_configurations,
+)
 from repro.core.characterization import (
     CharacterizationResult,
     TypeCharacterization,
@@ -55,6 +60,7 @@ __all__ = [
     "predict_cost",
     "ConfigurationSpace",
     "SpaceEvaluation",
+    "FrontierIndex",
     "ParetoPoint",
     "SelectionResult",
     "select_configurations",

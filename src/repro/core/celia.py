@@ -16,10 +16,12 @@ math, so one ``Celia`` instance can drive all figures of the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.apps.base import ElasticApplication
+from repro.cache import EvaluationCache
 from repro.cloud.catalog import Catalog
 from repro.core.characterization import (
     CharacterizationResult,
@@ -66,6 +68,15 @@ class Celia:
         ``"full"`` (time every type) or ``"by-category"`` (Section IV-C).
     seed:
         Root seed for all measurement randomness.
+    cache_dir:
+        Where full-space evaluations persist across processes.  ``None``
+        (the default) resolves ``$CELIA_CACHE_DIR`` then
+        ``~/.cache/celia``; a path overrides both; ``False`` disables
+        persistence entirely (in-memory caching still applies).
+    workers:
+        Parallelism of the space sweep, forwarded to
+        :meth:`ConfigurationSpace.evaluate` — ``"auto"`` (default),
+        ``None``/1 for serial, or an explicit process count.
     """
 
     def __init__(
@@ -76,12 +87,21 @@ class Celia:
         engine_config: EngineConfig | None = None,
         characterization_method: str = "full",
         seed: int = 0,
+        cache_dir: "str | Path | bool | None" = None,
+        workers: int | str | None = "auto",
     ):
         self.catalog = catalog
         self.perf = perf or PerfCounter(seed=seed)
         self.engine_config = engine_config or EngineConfig()
         self.characterization_method = characterization_method
         self.seed = seed
+        self.workers = workers
+        if cache_dir is False:
+            self.evaluation_cache: EvaluationCache | None = None
+        else:
+            self.evaluation_cache = EvaluationCache(
+                None if cache_dir in (None, True) else cache_dir
+            )
         self.space = ConfigurationSpace(catalog)
         self._demand_cache: dict[str, FittedDemand] = {}
         self._characterization_cache: dict[str, CharacterizationResult] = {}
@@ -130,12 +150,33 @@ class Celia:
     # -- space evaluation (cached) -----------------------------------------------
 
     def evaluation(self, app: ElasticApplication) -> SpaceEvaluation:
-        """``U_j`` / ``C_{j,u}`` over the full space for ``app`` (cached)."""
+        """``U_j`` / ``C_{j,u}`` over the full space for ``app``.
+
+        Cached at two levels: in memory per application name, and — when
+        persistence is enabled — on disk keyed by a content hash of the
+        catalog and the measured capacity vector, so a second process
+        with a warm cache memory-maps the arrays instead of sweeping.
+        """
         if app.name not in self._evaluation_cache:
-            self._evaluation_cache[app.name] = self.space.evaluate(
-                self.capacities(app)
-            )
+            capacities = self.capacities(app)
+            evaluation = None
+            if self.evaluation_cache is not None:
+                evaluation = self.evaluation_cache.load(self.space, capacities)
+            if evaluation is None:
+                evaluation = self.space.evaluate(capacities,
+                                                 workers=self.workers)
+                if self.evaluation_cache is not None:
+                    self.evaluation_cache.store(evaluation, capacities)
+            self._evaluation_cache[app.name] = evaluation
         return self._evaluation_cache[app.name]
+
+    def selection_index(self, app: ElasticApplication):
+        """Demand-invariant frontier index for ``app`` (built once, cached).
+
+        After this, every :meth:`select` call without memory constraints
+        runs on the O(|frontier|) fast path.
+        """
+        return self.evaluation(app).frontier_index()
 
     def min_cost_index(self, app: ElasticApplication) -> MinCostIndex:
         """Deadline-query index over the space for ``app`` (cached)."""
@@ -196,13 +237,18 @@ class Celia:
 
     def select(self, app: ElasticApplication, n: float, a: float,
                deadline_hours: float, budget_dollars: float,
-               *, enforce_memory: bool = False) -> SelectionResult:
+               *, enforce_memory: bool = False,
+               method: str = "auto") -> SelectionResult:
         """Algorithm 1: all feasible configurations → Pareto frontier.
 
         With ``enforce_memory=True``, configurations using any type whose
         memory cannot hold the application's working set are excluded —
         an extension beyond the paper, which treats all applications as
         compute-bound (matching its evaluation; defaults preserve that).
+
+        ``method`` picks the execution strategy (see
+        :func:`select_configurations`); build the fast path up front with
+        :meth:`selection_index` when many selections are coming.
         """
         demand = self.demand_gi(app, n, a)
         exclude_mask = None
@@ -212,7 +258,7 @@ class Celia:
                 exclude_mask = self.space.mask_using_types(bad_types)
         return select_configurations(
             self.evaluation(app), demand, deadline_hours, budget_dollars,
-            exclude_mask=exclude_mask,
+            exclude_mask=exclude_mask, method=method,
         )
 
     def min_cost(self, app: ElasticApplication, n: float, a: float,

@@ -113,12 +113,35 @@ class ConfigurationSpace:
         return out
 
     def evaluate(self, capacities_gips: np.ndarray,
-                 *, chunk_size: int = DEFAULT_CHUNK) -> "SpaceEvaluation":
+                 *, chunk_size: int = DEFAULT_CHUNK,
+                 workers: int | str | None = None) -> "SpaceEvaluation":
         """Reduce the whole space to capacity and unit-cost vectors.
 
         Decodes chunk by chunk so peak memory is one chunk's matrix plus
         the two S-length float64 outputs (~160 MB for the paper's space).
+
+        ``workers`` selects the execution strategy: ``None`` (or 1) runs
+        the serial loop, an integer fans the sweep out over that many
+        processes via :mod:`repro.parallel`, and ``"auto"`` stays serial
+        below :data:`repro.parallel.AUTO_WORKERS_THRESHOLD` configurations
+        and uses one worker per available CPU above it.  All strategies
+        produce bit-identical arrays (worker spans are aligned to the
+        serial chunk grid).
         """
+        n_workers = 1
+        if workers is not None:
+            from repro.parallel import resolve_workers
+
+            n_workers = resolve_workers(workers, self.size)
+        if n_workers > 1:
+            from repro.parallel import evaluate_parallel
+
+            capacity, unit_cost = evaluate_parallel(
+                self, capacities_gips, workers=n_workers,
+                chunk_size=chunk_size,
+            )
+            return SpaceEvaluation(space=self, capacity_gips=capacity,
+                                   unit_cost_per_hour=unit_cost)
         prices = self.catalog.prices
         total = self.size
         capacity = np.empty(total, dtype=np.float64)
@@ -156,6 +179,62 @@ class SpaceEvaluation:
     def configuration_at(self, row: int) -> tuple[int, ...]:
         """Node-count tuple for evaluation row ``row`` (0-based)."""
         return tuple(int(v) for v in self.space.decode(row + 1)[0])
+
+    def configurations_at(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Node-count matrix for many evaluation rows (0-based) at once.
+
+        One vectorized decode instead of one per row — the way frontier
+        points are materialized after a selection.
+        """
+        idx = np.asarray(rows, dtype=np.int64)
+        return self.space.decode(idx + 1)
+
+    # -- shared lazy artefacts -------------------------------------------------
+    #
+    # These are derived purely from the two arrays, are expensive at the
+    # 10M-configuration scale, and are needed by several consumers
+    # (MinCostIndex, MinTimeIndex, FrontierIndex), so they are computed
+    # once and cached on the instance (frozen dataclasses still allow
+    # object.__setattr__).
+
+    def capacity_order(self) -> np.ndarray:
+        """Stable argsort of ``capacity_gips`` (cached)."""
+        cached = self.__dict__.get("_capacity_order")
+        if cached is None:
+            cached = np.argsort(self.capacity_gips, kind="stable")
+            object.__setattr__(self, "_capacity_order", cached)
+        return cached
+
+    def cost_ratio(self) -> np.ndarray:
+        """Demand-invariant cost rate ``C_u / U`` per row ($/h per GI/s, cached).
+
+        Predicted cost is ``D · (C_u/U) / 3600`` for every demand, so this
+        single vector carries the whole cost ordering of the space.
+        """
+        cached = self.__dict__.get("_cost_ratio")
+        if cached is None:
+            cached = self.unit_cost_per_hour / self.capacity_gips
+            object.__setattr__(self, "_cost_ratio", cached)
+        return cached
+
+    def has_frontier_index(self) -> bool:
+        """Whether :meth:`frontier_index` has already been built."""
+        return "_frontier_index" in self.__dict__
+
+    def frontier_index(self, *, chunk_size: int = DEFAULT_CHUNK):
+        """The demand-invariant :class:`~repro.core.selection.FrontierIndex`.
+
+        Built on first call (one pass over the space) and cached; every
+        subsequent Algorithm-1 query against this evaluation can then run
+        in O(|frontier| + log S) instead of O(S).
+        """
+        cached = self.__dict__.get("_frontier_index")
+        if cached is None:
+            from repro.core.selection import FrontierIndex
+
+            cached = FrontierIndex(self, chunk_size=chunk_size)
+            object.__setattr__(self, "_frontier_index", cached)
+        return cached
 
     def times_hours(self, demand_gi: float) -> np.ndarray:
         """Predicted execution time of every configuration (Eq. 2)."""

@@ -48,9 +48,9 @@ class MinCostIndex:
     def __init__(self, evaluation: SpaceEvaluation):
         self.evaluation = evaluation
         capacity = evaluation.capacity_gips
-        ratio = evaluation.unit_cost_per_hour / capacity  # $/h per GI/s
+        ratio = evaluation.cost_ratio()  # $/h per GI/s
 
-        order = np.argsort(capacity, kind="stable")
+        order = evaluation.capacity_order()
         self._capacity_sorted = capacity[order]
         # Suffix minimum of the ratio over configurations with capacity >= u,
         # plus the row achieving it — both fully vectorized (10M entries).
@@ -132,7 +132,7 @@ class MinTimeIndex:
     def __init__(self, evaluation: SpaceEvaluation):
         self.evaluation = evaluation
         capacity = evaluation.capacity_gips
-        ratio = evaluation.unit_cost_per_hour / capacity
+        ratio = evaluation.cost_ratio()
 
         order = np.argsort(ratio, kind="stable")
         self._ratio_sorted = ratio[order]

@@ -5,10 +5,33 @@ Enumerate every configuration, predict its time and cost, keep those with
 Pareto-optimal filter.  Because the whole space is explored, *all*
 optimal configurations are found (the paper's exhaustiveness guarantee).
 
-The implementation streams the space in chunks: each chunk contributes
-its feasible count and its local 2-D Pareto candidates; the candidates
-are merged and re-filtered at the end (the Pareto set of a union is a
-subset of the union of per-chunk Pareto sets, so this is exact).
+Two execution strategies produce identical results:
+
+* **streamed** — one pass over the space in chunks: each chunk
+  contributes its feasible count and its local Pareto candidates; the
+  candidates are merged and re-filtered at the end (the Pareto set of a
+  union is a subset of the union of per-chunk Pareto sets, so this is
+  exact).  Needed whenever an ``exclude_mask`` carves arbitrary holes in
+  the space.
+* **indexed** — the demand-invariance fast path.  Predicted time
+  ``D/U/3600`` and cost ``D·(C_u/U)/3600`` both scale linearly in the
+  demand ``D``, so the Pareto-optimal *set of rows* is the same for every
+  demand: it is the nondominated set over the demand-free pair
+  ``(1/U, C_u/U)``.  :class:`FrontierIndex` precomputes that set once per
+  :class:`SpaceEvaluation`; afterwards each query filters the (tiny)
+  precomputed frontier by the constraints and counts feasibility with
+  binary searches over a capacity-sorted block structure — O(|frontier| +
+  √S·log S) instead of O(S).
+
+Exactness across the two paths is bit-level, not just mathematical.
+Both compute times as ``fl(fl(D/U)/3600)`` and costs as
+``fl(fl(D·r)/3600)`` with ``r = fl(C_u/U)`` — the factored cost form
+makes cost exactly monotone in ``r`` and time exactly monotone in ``U``
+under IEEE rounding, so feasibility is exactly a capacity suffix
+intersected with a ratio prefix.  The Pareto filter runs on the exact
+pair ``(−U, r)`` in both paths (order-isomorphic to ``(T, C)`` for every
+demand in real arithmetic, and immune to rounding collisions), so the
+surviving rows coincide row-for-row.
 """
 
 from __future__ import annotations
@@ -20,8 +43,18 @@ import numpy as np
 from repro.core.configspace import DEFAULT_CHUNK, ConfigurationSpace, SpaceEvaluation
 from repro.errors import ValidationError
 from repro.pareto.frontier import pareto_mask_2d
+from repro.units import SECONDS_PER_HOUR
 
-__all__ = ["ParetoPoint", "SelectionResult", "select_configurations"]
+__all__ = [
+    "ParetoPoint",
+    "SelectionResult",
+    "FrontierIndex",
+    "select_configurations",
+]
+
+#: Rows per block of the feasibility-count structure (√S-ish for the
+#: paper's space; a single block for small spaces).
+DEFAULT_FEASIBILITY_BLOCK = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +115,202 @@ class SelectionResult:
         return min(self.pareto, key=lambda p: p.time_hours)
 
 
+def _validate_query(demand_gi: float, deadline_hours: float,
+                    budget_dollars: float) -> None:
+    if demand_gi <= 0:
+        raise ValidationError("demand must be positive")
+    if deadline_hours <= 0 or budget_dollars <= 0:
+        raise ValidationError("deadline and budget must be positive")
+
+
+def _materialize(
+    evaluation: SpaceEvaluation,
+    all_t: np.ndarray,
+    all_c: np.ndarray,
+    all_rows: np.ndarray,
+    epsilons: tuple[float, float] | None,
+) -> list[ParetoPoint]:
+    """Order the surviving frontier, optionally ε-thin it, build the points.
+
+    Shared verbatim by the streamed and indexed paths so ordering,
+    ε-filtering and decoding are identical: inputs arrive in ascending
+    evaluation-row order, output is sorted by time (stable, so ties keep
+    row order), and all configurations decode in one vectorized call.
+    """
+    if all_rows.size == 0:
+        return []
+    if epsilons is not None:
+        from repro.pareto.epsilon import eps_sort
+
+        points = np.column_stack([all_t, all_c])
+        _, kept_tags = eps_sort(points, epsilons=list(epsilons),
+                                tags=list(range(all_t.size)))
+        eps_mask = np.zeros(all_t.size, dtype=bool)
+        eps_mask[np.asarray(kept_tags, dtype=np.int64)] = True
+        all_t, all_c, all_rows = all_t[eps_mask], all_c[eps_mask], \
+            all_rows[eps_mask]
+    order = np.argsort(all_t, kind="stable")
+    sel_t = all_t[order]
+    sel_c = all_c[order]
+    sel_rows = all_rows[order]
+    matrix = evaluation.configurations_at(sel_rows)
+    capacity = evaluation.capacity_gips
+    unit_cost = evaluation.unit_cost_per_hour
+    return [
+        ParetoPoint(
+            configuration=tuple(int(v) for v in matrix[k]),
+            time_hours=float(sel_t[k]),
+            cost_dollars=float(sel_c[k]),
+            capacity_gips=float(capacity[row]),
+            unit_cost_per_hour=float(unit_cost[row]),
+        )
+        for k, row in enumerate(sel_rows.tolist())
+    ]
+
+
+class FrontierIndex:
+    """Demand-invariant Algorithm-1 accelerator over one evaluation.
+
+    Precomputes two artefacts in one O(S) pass + two sorts:
+
+    * ``frontier_rows`` — the nondominated rows over ``(−U, C_u/U)``,
+      which *is* the Pareto frontier for every demand (see module
+      docstring).  A query keeps the rows meeting ``T < T'`` and
+      ``C < C'``; the restriction is exact because any dominator of a
+      feasible point is itself feasible (both objectives only improve).
+    * a capacity-sorted order whose ratio values are additionally sorted
+      inside fixed-size blocks — ``feasible_count`` then needs one binary
+      search for the capacity cutoff, one for the ratio cutoff, and one
+      ``searchsorted`` per block instead of an O(S) chunk loop.
+    """
+
+    def __init__(self, evaluation: SpaceEvaluation,
+                 *, chunk_size: int = DEFAULT_CHUNK,
+                 block_size: int = DEFAULT_FEASIBILITY_BLOCK):
+        if block_size < 1:
+            raise ValidationError("block size must be >= 1")
+        self.evaluation = evaluation
+        capacity = evaluation.capacity_gips
+        ratio = evaluation.cost_ratio()
+        total = capacity.size
+
+        # Demand-invariant frontier: chunked local Pareto + exact merge,
+        # the same idiom the streamed path uses per query.
+        candidates: list[np.ndarray] = []
+        for start in range(0, total, chunk_size):
+            stop = min(start + chunk_size, total)
+            local = pareto_mask_2d(-capacity[start:stop], ratio[start:stop])
+            candidates.append(np.flatnonzero(local) + start)
+        rows = np.concatenate(candidates)
+        final = pareto_mask_2d(-capacity[rows], ratio[rows])
+        self.frontier_rows = rows[final]  # ascending evaluation-row order
+        self._frontier_capacity = capacity[self.frontier_rows]
+        self._frontier_ratio = ratio[self.frontier_rows]
+
+        # Feasibility-count structure.
+        order = evaluation.capacity_order()
+        self._capacity_sorted = capacity[order]
+        self._ratio_by_capacity = ratio[order]
+        self._ratio_sorted = np.sort(ratio, kind="stable")
+        self._block_size = block_size
+        n_blocks = -(-total // block_size)
+        padded = np.full(n_blocks * block_size, np.inf)
+        padded[:total] = self._ratio_by_capacity
+        self._ratio_blocks = padded.reshape(n_blocks, block_size)
+        self._ratio_blocks.sort(axis=1)
+
+    @property
+    def frontier_size(self) -> int:
+        """Number of rows on the demand-invariant frontier."""
+        return int(self.frontier_rows.size)
+
+    # -- exact feasibility cutoffs ---------------------------------------------
+
+    def _capacity_cutoff(self, demand_gi: float, deadline_hours: float) -> int:
+        """First capacity-sorted position whose predicted time beats ``T'``.
+
+        ``fl(fl(D/U)/3600)`` is monotone non-increasing in ``U`` (IEEE
+        division is monotone), so the feasible set is exactly the suffix
+        from this position; the binary search evaluates the *same*
+        floating-point predicate the streamed path applies elementwise.
+        """
+        cs = self._capacity_sorted
+        lo, hi = 0, cs.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if demand_gi / cs[mid] / SECONDS_PER_HOUR < deadline_hours:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def _ratio_cutoff(self, demand_gi: float, budget_dollars: float) -> float:
+        """Smallest ratio value whose predicted cost reaches ``C'``.
+
+        ``fl(fl(D·r)/3600)`` is monotone non-decreasing in ``r``, so a row
+        is cost-feasible iff its ratio is strictly below the returned
+        value (``inf`` when every row is feasible).
+        """
+        rs = self._ratio_sorted
+        lo, hi = 0, rs.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if demand_gi * rs[mid] / SECONDS_PER_HOUR < budget_dollars:
+                lo = mid + 1
+            else:
+                hi = mid
+        return float(rs[lo]) if lo < rs.size else np.inf
+
+    def feasible_count(self, demand_gi: float, deadline_hours: float,
+                       budget_dollars: float) -> int:
+        """How many configurations satisfy ``T < T'`` and ``C < C'``.
+
+        Exactly equal to the streamed count: the two cutoffs reduce the
+        conjunction to "capacity-suffix AND ratio < cutoff", counted with
+        one partial-block scan plus one ``searchsorted`` per full block.
+        """
+        _validate_query(demand_gi, deadline_hours, budget_dollars)
+        p = self._capacity_cutoff(demand_gi, deadline_hours)
+        total = self._capacity_sorted.size
+        if p >= total:
+            return 0
+        r_cut = self._ratio_cutoff(demand_gi, budget_dollars)
+        block = self._block_size
+        first_full = -(-p // block)  # first block fully inside the suffix
+        head_stop = min(first_full * block, total)
+        count = int(np.count_nonzero(self._ratio_by_capacity[p:head_stop]
+                                     < r_cut))
+        blocks = self._ratio_blocks
+        for b in range(first_full, blocks.shape[0]):
+            count += int(np.searchsorted(blocks[b], r_cut, side="left"))
+        return count
+
+    # -- the fast path ----------------------------------------------------------
+
+    def select(self, demand_gi: float, deadline_hours: float,
+               budget_dollars: float,
+               *, epsilons: tuple[float, float] | None = None
+               ) -> SelectionResult:
+        """Algorithm 1 via the precomputed index (no pass over the space)."""
+        _validate_query(demand_gi, deadline_hours, budget_dollars)
+        times = demand_gi / self._frontier_capacity / SECONDS_PER_HOUR
+        costs = demand_gi * self._frontier_ratio / SECONDS_PER_HOUR
+        keep = (times < deadline_hours) & (costs < budget_dollars)
+        pareto_points = _materialize(
+            self.evaluation, times[keep], costs[keep],
+            self.frontier_rows[keep], epsilons,
+        )
+        return SelectionResult(
+            demand_gi=demand_gi,
+            deadline_hours=deadline_hours,
+            budget_dollars=budget_dollars,
+            total_configurations=self.evaluation.space.size,
+            feasible_count=self.feasible_count(demand_gi, deadline_hours,
+                                               budget_dollars),
+            pareto=tuple(pareto_points),
+        )
+
+
 def select_configurations(
     evaluation: SpaceEvaluation,
     demand_gi: float,
@@ -91,6 +320,7 @@ def select_configurations(
     chunk_size: int = DEFAULT_CHUNK,
     exclude_mask: np.ndarray | None = None,
     epsilons: tuple[float, float] | None = None,
+    method: str = "auto",
 ) -> SelectionResult:
     """Run Algorithm 1 against a precomputed space evaluation.
 
@@ -108,32 +338,53 @@ def select_configurations(
         ``r + 1``); ``True`` rows are treated as infeasible regardless of
         time and cost — used for memory-feasibility and similar hard
         constraints (see :meth:`ConfigurationSpace.mask_using_types`).
+        Forces the streamed path.
     epsilons:
         Optional ``(time_hours, cost_dollars)`` box sizes for an
         ε-nondomination final filter — the paper's actual pareto.py
         configuration, thinning near-duplicate frontier points.  ``None``
         keeps exact nondomination.
+    method:
+        ``"streamed"`` forces the exact one-pass scan, ``"indexed"``
+        forces the demand-invariant fast path (building the
+        :class:`FrontierIndex` on first use; incompatible with
+        ``exclude_mask``), and ``"auto"`` uses the index when the
+        evaluation already carries one and streams otherwise.
     """
-    if demand_gi <= 0:
-        raise ValidationError("demand must be positive")
-    if deadline_hours <= 0 or budget_dollars <= 0:
-        raise ValidationError("deadline and budget must be positive")
+    if method not in ("auto", "streamed", "indexed"):
+        raise ValidationError(
+            f"method must be 'auto', 'streamed' or 'indexed', got {method!r}"
+        )
+    if method == "indexed" and exclude_mask is not None:
+        raise ValidationError(
+            "the indexed fast path cannot honour exclude_mask; "
+            "use method='streamed' (or 'auto')"
+        )
+    _validate_query(demand_gi, deadline_hours, budget_dollars)
+
+    use_index = method == "indexed" or (
+        method == "auto" and exclude_mask is None
+        and evaluation.has_frontier_index()
+    )
+    if use_index:
+        return evaluation.frontier_index().select(
+            demand_gi, deadline_hours, budget_dollars, epsilons=epsilons,
+        )
 
     space: ConfigurationSpace = evaluation.space
     total = space.size
     if exclude_mask is not None and exclude_mask.shape != (total,):
         raise ValidationError("exclude_mask must cover the whole space")
     feasible_count = 0
-    cand_time: list[np.ndarray] = []
-    cand_cost: list[np.ndarray] = []
     cand_index: list[np.ndarray] = []
 
     for start in range(0, total, chunk_size):
         stop = min(start + chunk_size, total)
         capacity = evaluation.capacity_gips[start:stop]
         unit_cost = evaluation.unit_cost_per_hour[start:stop]
-        times = demand_gi / capacity / 3600.0
-        costs = times * unit_cost
+        ratio = unit_cost / capacity
+        times = demand_gi / capacity / SECONDS_PER_HOUR
+        costs = demand_gi * ratio / SECONDS_PER_HOUR
         mask = (times < deadline_hours) & (costs < budget_dollars)
         if exclude_mask is not None:
             mask &= ~exclude_mask[start:stop]
@@ -141,45 +392,20 @@ def select_configurations(
         feasible_count += n_feasible
         if n_feasible == 0:
             continue
-        t_f = times[mask]
-        c_f = costs[mask]
-        idx_f = np.flatnonzero(mask) + start  # 0-based evaluation rows
-        local = pareto_mask_2d(t_f, c_f)
-        cand_time.append(t_f[local])
-        cand_cost.append(c_f[local])
-        cand_index.append(idx_f[local])
+        local = pareto_mask_2d(-capacity[mask], ratio[mask])
+        cand_index.append(np.flatnonzero(mask)[local] + start)
 
     pareto_points: list[ParetoPoint] = []
-    if cand_time:
-        all_t = np.concatenate(cand_time)
-        all_c = np.concatenate(cand_cost)
-        all_i = np.concatenate(cand_index)
-        final = pareto_mask_2d(all_t, all_c)
-        if epsilons is not None:
-            from repro.pareto.epsilon import eps_sort
-
-            rows = np.column_stack([all_t[final], all_c[final]])
-            _, kept_tags = eps_sort(rows, epsilons=list(epsilons),
-                                    tags=list(np.flatnonzero(final)))
-            eps_mask = np.zeros(all_t.size, dtype=bool)
-            eps_mask[np.asarray(kept_tags, dtype=np.int64)] = True
-            final = eps_mask
-        order = np.argsort(all_t[final], kind="stable")
-        sel_t = all_t[final][order]
-        sel_c = all_c[final][order]
-        sel_i = all_i[final][order]
-        for t, c, row in zip(sel_t, sel_c, sel_i):
-            pareto_points.append(
-                ParetoPoint(
-                    configuration=evaluation.configuration_at(int(row)),
-                    time_hours=float(t),
-                    cost_dollars=float(c),
-                    capacity_gips=float(evaluation.capacity_gips[int(row)]),
-                    unit_cost_per_hour=float(
-                        evaluation.unit_cost_per_hour[int(row)]
-                    ),
-                )
-            )
+    if cand_index:
+        all_rows = np.concatenate(cand_index)
+        all_capacity = evaluation.capacity_gips[all_rows]
+        all_ratio = evaluation.unit_cost_per_hour[all_rows] / all_capacity
+        final = pareto_mask_2d(-all_capacity, all_ratio)
+        sel_rows = all_rows[final]
+        all_t = demand_gi / all_capacity[final] / SECONDS_PER_HOUR
+        all_c = demand_gi * all_ratio[final] / SECONDS_PER_HOUR
+        pareto_points = _materialize(evaluation, all_t, all_c, sel_rows,
+                                     epsilons)
 
     return SelectionResult(
         demand_gi=demand_gi,

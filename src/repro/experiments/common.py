@@ -9,6 +9,7 @@ three applications.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Protocol
 
 from repro.apps import paper_applications
@@ -36,12 +37,17 @@ class ExperimentContext:
 
     Parameters mirror the paper's setup: the Table III catalog with quota
     5, the three Table II applications, and a fixed seed so the entire
-    evaluation regenerates bit-identically.
+    evaluation regenerates bit-identically.  ``workers`` and
+    ``cache_dir`` tune the full-space sweeps all figures share: sweeps
+    parallelize across processes and persist to the evaluation cache, so
+    regenerating a figure with a warm cache skips the sweep entirely.
     """
 
     seed: int = DEFAULT_ROOT_SEED
     catalog: Catalog = field(default_factory=ec2_catalog)
     engine_config: EngineConfig = field(default_factory=EngineConfig)
+    workers: "int | str | None" = "auto"
+    cache_dir: "str | Path | bool | None" = None
 
     def __post_init__(self) -> None:
         self.perf = PerfCounter(seed=self.seed)
@@ -50,6 +56,8 @@ class ExperimentContext:
             perf=self.perf,
             engine_config=self.engine_config,
             seed=self.seed,
+            workers=self.workers,
+            cache_dir=self.cache_dir,
         )
         self.apps = paper_applications(seed=self.seed)
 

@@ -1,0 +1,196 @@
+"""Process-parallel configuration-space evaluation.
+
+The full-space sweep (``ConfigurationSpace.evaluate``) is embarrassingly
+parallel: every linear index decodes and reduces independently, and the
+two outputs are disjoint writes.  This module partitions the index range
+``1..S`` across a :class:`~concurrent.futures.ProcessPoolExecutor` whose
+workers write decoded-chunk reductions directly into
+``multiprocessing.shared_memory``-backed float64 arrays, so no result
+pickling or concatenation happens on the way back.
+
+Bit-identity with the serial path is guaranteed by construction: worker
+spans are aligned to the *same* chunk grid the serial loop uses, so every
+chunk is decoded into an identical ``(k, M)`` int16 matrix and reduced by
+an identical matmul — each output row is the same floating-point
+reduction regardless of which process computed it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.capacity import capacity_per_type
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.configspace import ConfigurationSpace
+
+__all__ = [
+    "AUTO_WORKERS_THRESHOLD",
+    "available_workers",
+    "resolve_workers",
+    "partition_chunks",
+    "evaluate_parallel",
+]
+
+#: Below this space size ``workers="auto"`` stays serial — process pool
+#: startup (~10 ms/worker) dwarfs the sweep itself for small catalogs.
+AUTO_WORKERS_THRESHOLD = 1 << 19
+
+#: Contiguous spans handed out per worker; mild oversubscription keeps the
+#: pool busy if one worker is descheduled.
+_TASKS_PER_WORKER = 4
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may actually run on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | str | None, size: int,
+                    *, threshold: int = AUTO_WORKERS_THRESHOLD) -> int:
+    """Normalize the ``workers`` knob to an explicit worker count.
+
+    ``None`` (and 1) mean serial; ``"auto"`` picks serial below
+    ``threshold`` configurations and one worker per available CPU above
+    it; an explicit integer is used as given.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ConfigurationError(
+                f"workers must be an integer, None or 'auto', got {workers!r}"
+            )
+        if size < threshold:
+            return 1
+        return min(available_workers(), max(1, size // threshold))
+    count = int(workers)
+    if count < 1:
+        raise ConfigurationError("workers must be >= 1")
+    return count
+
+
+def partition_chunks(total: int, chunk_size: int,
+                     n_parts: int) -> list[tuple[int, int]]:
+    """Split linear indices ``1..total`` into contiguous ``(start, stop)`` spans.
+
+    Span boundaries always fall on the serial chunk grid (``1 + k·chunk``)
+    so a worker sweeping its span chunk-by-chunk reproduces exactly the
+    matrices the serial loop would build — the bit-identity invariant.
+    """
+    if total < 1:
+        raise ConfigurationError("cannot partition an empty space")
+    if chunk_size < 1:
+        raise ConfigurationError("chunk size must be >= 1")
+    n_chunks = -(-total // chunk_size)
+    n_parts = max(1, min(n_parts, n_chunks))
+    base, extra = divmod(n_chunks, n_parts)
+    spans: list[tuple[int, int]] = []
+    chunk = 0
+    for part in range(n_parts):
+        take = base + (1 if part < extra else 0)
+        start = 1 + chunk * chunk_size
+        chunk += take
+        stop = min(1 + chunk * chunk_size, total + 1)
+        spans.append((start, stop))
+    return spans
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifetime.
+
+    Python < 3.13 registers every attach with the resource tracker, which
+    would either unlink the segment when a worker exits (spawn) or cancel
+    the parent's registration on explicit unregister (fork, where the
+    tracker's name set is shared).  Suppressing registration during the
+    attach keeps the parent the sole owner under both start methods.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+    except Exception:  # pragma: no cover - tracker API is CPython-internal
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _evaluate_span(args: tuple) -> int:
+    """Worker: decode one span chunk-by-chunk into the shared outputs."""
+    (cap_name, cost_name, total, start, stop, chunk_size,
+     strides, radices, capacities, prices) = args
+    cap_shm = _attach(cap_name)
+    cost_shm = _attach(cost_name)
+    try:
+        capacity = np.ndarray((total,), dtype=np.float64, buffer=cap_shm.buf)
+        unit_cost = np.ndarray((total,), dtype=np.float64, buffer=cost_shm.buf)
+        for c_start in range(start, stop, chunk_size):
+            c_stop = min(c_start + chunk_size, stop)
+            idx = np.arange(c_start, c_stop, dtype=np.int64)
+            matrix = ((idx[:, None] // strides[None, :])
+                      % radices[None, :]).astype(np.int16)
+            capacity[c_start - 1:c_stop - 1] = matrix @ capacities
+            unit_cost[c_start - 1:c_stop - 1] = matrix @ prices
+        del capacity, unit_cost  # release buffer exports before close()
+        return stop - start
+    finally:
+        cap_shm.close()
+        cost_shm.close()
+
+
+def evaluate_parallel(space: "ConfigurationSpace",
+                      capacities_gips: np.ndarray,
+                      *,
+                      workers: int,
+                      chunk_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the whole space with ``workers`` processes.
+
+    Returns ``(capacity_gips, unit_cost_per_hour)`` — bit-identical to
+    the serial sweep.  Peak extra memory is the two shared S-length
+    float64 segments plus one decoded chunk per live worker.
+    """
+    if workers < 2:
+        raise ConfigurationError("parallel evaluation needs >= 2 workers")
+    w = np.ascontiguousarray(capacity_per_type(capacities_gips))
+    prices = space.catalog.prices
+    total = space.size
+    spans = partition_chunks(total, chunk_size, workers * _TASKS_PER_WORKER)
+
+    cap_shm = shared_memory.SharedMemory(create=True, size=total * 8)
+    cost_shm = shared_memory.SharedMemory(create=True, size=total * 8)
+    try:
+        tasks = [
+            (cap_shm.name, cost_shm.name, total, start, stop, chunk_size,
+             space.strides, space.radices, w, prices)
+            for start, stop in spans
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            covered = sum(pool.map(_evaluate_span, tasks))
+        if covered != total:  # pragma: no cover - partition() guarantees this
+            raise ConfigurationError(
+                f"workers covered {covered} of {total} configurations"
+            )
+        view = np.ndarray((total,), dtype=np.float64, buffer=cap_shm.buf)
+        capacity = view.copy()
+        del view
+        view = np.ndarray((total,), dtype=np.float64, buffer=cost_shm.buf)
+        unit_cost = view.copy()
+        del view
+    finally:
+        cap_shm.close()
+        cap_shm.unlink()
+        cost_shm.close()
+        cost_shm.unlink()
+    return capacity, unit_cost

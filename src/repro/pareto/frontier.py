@@ -75,7 +75,6 @@ def pareto_mask_2d(first: np.ndarray, second: np.ndarray) -> np.ndarray:
 
     # For each sorted position i, find the running min of `second` over all
     # points with strictly smaller first objective.
-    group_start = np.empty(n, dtype=np.int64)
     new_group = np.empty(n, dtype=bool)
     new_group[0] = True
     new_group[1:] = fs[1:] != fs[:-1]
@@ -187,6 +186,12 @@ def knee_point_2d(first: np.ndarray, second: np.ndarray) -> int:
     The knee maximizes distance from the chord joining the frontier's
     endpoints after min-max normalization — a standard heuristic for "best
     trade-off" recommendations surfaced by the examples.
+
+    Degenerate frontiers whose points all share one objective value (only
+    possible through duplicates, since a 2-D frontier is strictly
+    monotone) have no usable chord; the first point — minimum first
+    objective, then minimum second — is returned instead of dividing by a
+    zero span.
     """
     idx = pareto_indices_2d(first, second)
     if idx.size == 0:
@@ -195,6 +200,8 @@ def knee_point_2d(first: np.ndarray, second: np.ndarray) -> int:
         return int(idx[0])
     f = np.asarray(first, dtype=float)[idx]
     s = np.asarray(second, dtype=float)[idx]
+    if f[-1] == f[0] or s[-1] == s[0]:
+        return int(idx[0])
     fn = (f - f[0]) / (f[-1] - f[0])
     sn = (s - s[0]) / (s[-1] - s[0])
     # Distance from each normalized point to the chord (0,0)->(1,1) of the

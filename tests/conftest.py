@@ -7,6 +7,8 @@ pays for them once; most unit tests use the small 3-type catalog instead.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,25 @@ from repro.cloud.instance import ResourceCategory
 from repro.core.celia import Celia
 from repro.core.configspace import ConfigurationSpace
 from repro.engine.runner import EngineConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_evaluation_cache(tmp_path_factory):
+    """Point the persistent evaluation cache at a session tmpdir.
+
+    Keeps the suite from reading or writing the user's real
+    ``~/.cache/celia`` (tests must be hermetic and not leave hundreds of
+    megabytes behind).
+    """
+    from repro.cache import CACHE_DIR_ENV
+
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("celia-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture(scope="session")

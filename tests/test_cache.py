@@ -1,0 +1,202 @@
+"""Tests for the persistent evaluation cache (:mod:`repro.cache`)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CACHE_DIR_ENV,
+    EvaluationCache,
+    default_cache_dir,
+    evaluation_cache_key,
+)
+from repro.cloud.catalog import make_catalog
+from repro.core.celia import Celia
+from repro.core.configspace import ConfigurationSpace
+
+
+@pytest.fixture()
+def evaluated(small_catalog, small_capacities):
+    space = ConfigurationSpace(small_catalog)
+    return space, space.evaluate(small_capacities)
+
+
+class TestCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+        assert EvaluationCache().cache_dir == tmp_path / "env"
+
+    def test_explicit_dir_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        cache = EvaluationCache(tmp_path / "explicit")
+        assert cache.cache_dir == tmp_path / "explicit"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir() == Path.home() / ".cache" / "celia"
+
+
+class TestCacheKey:
+    def test_key_depends_on_capacities(self, small_catalog, small_capacities):
+        k1 = evaluation_cache_key(small_catalog, small_capacities)
+        k2 = evaluation_cache_key(small_catalog, small_capacities * 1.0001)
+        assert k1 != k2
+
+    def test_key_depends_on_catalog(self, small_catalog, small_capacities):
+        other = make_catalog(
+            [("a.small", 2, 2.0, 0.10), ("a.big", 4, 2.0, 0.21),
+             ("b.small", 2, 2.5, 0.17)],  # one price changed
+            quota=2,
+        )
+        assert evaluation_cache_key(small_catalog, small_capacities) != \
+            evaluation_cache_key(other, small_capacities)
+
+    def test_key_depends_on_quota(self, small_capacities):
+        rows = [("a.small", 2, 2.0, 0.10), ("a.big", 4, 2.0, 0.21),
+                ("b.small", 2, 2.5, 0.16)]
+        assert evaluation_cache_key(make_catalog(rows, quota=2),
+                                    small_capacities) != \
+            evaluation_cache_key(make_catalog(rows, quota=3),
+                                 small_capacities)
+
+    def test_key_is_stable(self, small_catalog, small_capacities):
+        k1 = evaluation_cache_key(small_catalog, small_capacities)
+        k2 = evaluation_cache_key(small_catalog, small_capacities.copy())
+        assert k1 == k2
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, evaluated, small_capacities, tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        assert cache.load(space, small_capacities) is None
+        cache.store(evaluation, small_capacities)
+        loaded = cache.load(space, small_capacities)
+        assert loaded is not None
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert loaded.capacity_gips.tobytes() == \
+            evaluation.capacity_gips.tobytes()
+        assert loaded.unit_cost_per_hour.tobytes() == \
+            evaluation.unit_cost_per_hour.tobytes()
+
+    def test_loaded_arrays_are_memory_mapped(self, evaluated,
+                                             small_capacities, tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        cache.store(evaluation, small_capacities)
+        loaded = cache.load(space, small_capacities)
+        assert isinstance(loaded.capacity_gips, np.memmap)
+
+    def test_hash_mismatch_is_a_miss(self, evaluated, small_capacities,
+                                     tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        cache.store(evaluation, small_capacities)
+        assert cache.load(space, small_capacities * 2.0) is None
+
+    def test_corrupt_meta_is_a_miss(self, evaluated, small_capacities,
+                                    tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        key = cache.store(evaluation, small_capacities)
+        (tmp_path / f"{key}.meta.json").write_text("{not json")
+        assert cache.load(space, small_capacities) is None
+
+    def test_truncated_array_is_a_miss(self, evaluated, small_capacities,
+                                       tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        key = cache.store(evaluation, small_capacities)
+        short = np.zeros(space.size - 1)
+        with open(tmp_path / f"{key}.capacity.npy", "wb") as fh:
+            np.save(fh, short)
+        assert cache.load(space, small_capacities) is None
+
+    def test_entries_and_clear(self, evaluated, small_capacities, tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        key = cache.store(evaluation, small_capacities)
+        entries = cache.entries()
+        assert [e.key for e in entries] == [key]
+        assert entries[0].space_size == space.size
+        assert cache.total_bytes() == entries[0].bytes_on_disk > 0
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+class TestCeliaIntegration:
+    def test_second_instance_reuses_cache(self, small_catalog, simple_app,
+                                          tmp_path, monkeypatch):
+        first = Celia(small_catalog, seed=7, cache_dir=tmp_path)
+        first.evaluation(simple_app)
+        assert first.evaluation_cache.misses == 1
+
+        # A fresh instance (fresh in-memory caches) must hit the disk
+        # cache; forbid the sweep outright to prove no recompute happens.
+        second = Celia(small_catalog, seed=7, cache_dir=tmp_path)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("swept despite a warm cache")
+
+        monkeypatch.setattr(ConfigurationSpace, "evaluate", boom)
+        evaluation = second.evaluation(simple_app)
+        assert second.evaluation_cache.hits == 1
+        assert evaluation.capacity_gips.shape == (second.space.size,)
+
+    def test_cache_disabled(self, small_catalog, simple_app, tmp_path):
+        celia = Celia(small_catalog, seed=7, cache_dir=False)
+        assert celia.evaluation_cache is None
+        celia.evaluation(simple_app)  # must not raise nor write anywhere
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fresh_process_warm_start_skips_sweep(self, small_catalog,
+                                                  tmp_path):
+        """Acceptance check: a second *process* performs no sweep."""
+        program = """
+import sys
+from repro.apps.synthetic import SyntheticApp
+from repro.apps.base import PerformanceProfile
+from repro.apps.demand import LinearTerm, QuadraticTerm, SeparableDemand
+from repro.cloud.catalog import make_catalog
+from repro.cloud.instance import ResourceCategory
+from repro.core.celia import Celia
+import repro.core.configspace as cs
+
+app = SyntheticApp(
+    SeparableDemand(size_term=LinearTerm(slope=1.0),
+                    accuracy_term=QuadraticTerm(a=1.0, b=0.0, c=0.5),
+                    scale=1.0),
+    profile=PerformanceProfile(
+        ipc_by_category={ResourceCategory.COMPUTE: 1.0,
+                         ResourceCategory.GENERAL: 0.8,
+                         ResourceCategory.MEMORY: 0.6},
+        local_ipc=1.0),
+    name="simple", task_size_sigma=0.0)
+catalog = make_catalog(
+    [("a.small", 2, 2.0, 0.10), ("a.big", 4, 2.0, 0.21),
+     ("b.small", 2, 2.5, 0.16)], quota=2)
+celia = Celia(catalog, seed=7)
+if sys.argv[1] == "warm":
+    def boom(*args, **kwargs):
+        raise AssertionError("swept despite a warm cache")
+    cs.ConfigurationSpace.evaluate = boom
+celia.evaluation(app)
+print("hits", celia.evaluation_cache.hits,
+      "misses", celia.evaluation_cache.misses)
+"""
+        env = dict(os.environ, CELIA_CACHE_DIR=str(tmp_path),
+                   PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+        cold = subprocess.run([sys.executable, "-c", program, "cold"],
+                              capture_output=True, text=True, env=env)
+        assert cold.returncode == 0, cold.stderr
+        assert "hits 0 misses 1" in cold.stdout
+        warm = subprocess.run([sys.executable, "-c", program, "warm"],
+                              capture_output=True, text=True, env=env)
+        assert warm.returncode == 0, warm.stderr
+        assert "hits 1 misses 0" in warm.stdout

@@ -63,6 +63,7 @@ class TestPrediction:
 
 
 class TestSelection:
+    @pytest.mark.slow
     def test_figure4_galaxy_headlines(self, celia_ec2, galaxy):
         """Feasible count ~5.8M, frontier span ratio ~1.3 (paper Fig. 4)."""
         result = celia_ec2.select(galaxy, 65_536, 8_000, 24.0, 350.0)
@@ -72,12 +73,14 @@ class TestSelection:
         assert hi / lo == pytest.approx(1.3, abs=0.15)
         assert 110 < lo < 145  # paper: $126
 
+    @pytest.mark.slow
     def test_figure4_sand_headlines(self, celia_ec2, sand):
         result = celia_ec2.select(sand, 8_192e6, 0.32, 24.0, 350.0)
         assert 1_000_000 < result.feasible_count < 3_500_000
         lo, hi = result.cost_span
         assert hi / lo == pytest.approx(1.2, abs=0.15)
 
+    @pytest.mark.slow
     def test_pareto_configs_meet_constraints(self, celia_ec2, galaxy):
         result = celia_ec2.select(galaxy, 65_536, 8_000, 24.0, 350.0)
         for p in result.pareto:
@@ -86,12 +89,14 @@ class TestSelection:
 
 
 class TestOptimalQueries:
+    @pytest.mark.slow
     def test_min_cost_consistent_with_selection(self, celia_ec2, galaxy):
         result = celia_ec2.select(galaxy, 65_536, 8_000, 24.0, 350.0)
         answer = celia_ec2.min_cost(galaxy, 65_536, 8_000, 24.0)
         assert answer.cost_dollars == pytest.approx(
             result.cheapest().cost_dollars, rel=1e-9)
 
+    @pytest.mark.slow
     def test_min_time_consistent_with_selection(self, celia_ec2, galaxy):
         result = celia_ec2.select(galaxy, 65_536, 8_000, 24.0, 350.0)
         answer = celia_ec2.min_time(galaxy, 65_536, 8_000, 350.0)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cloud.catalog import make_catalog
@@ -14,17 +14,26 @@ from tests.conftest import brute_force_space
 
 
 def brute_force_selection(catalog, capacities, demand, deadline, budget):
-    """Reference implementation of Algorithm 1 by direct enumeration."""
+    """Reference implementation of Algorithm 1 by direct enumeration.
+
+    Times, costs and dominance use the library's canonical forms:
+    ``T = fl(fl(D/U)/3600)``, ``C = fl(fl(D·r)/3600)`` with
+    ``r = fl(C_u/U)``, and nondomination over the demand-free proxies
+    ``(−U, r)`` — the exact real-arithmetic (time, cost) ordering.
+    Filtering rounded ``(T, C)`` values instead would occasionally
+    collapse distinct configurations into spurious ties (e.g. capacities
+    one summation-order ulp apart whose times round equal), making the
+    "frontier" depend on rounding noise rather than on dominance.
+    """
     configs = brute_force_space(catalog)
     capacity = configs @ capacities
     unit_cost = configs @ catalog.prices
+    ratio = unit_cost / capacity
     times = demand / capacity / 3600.0
-    costs = times * unit_cost
+    costs = demand * ratio / 3600.0
     feasible = (times < deadline) & (costs < budget)
     f_configs = configs[feasible]
-    f_times = times[feasible]
-    f_costs = costs[feasible]
-    mask = pareto_mask_2d(f_times, f_costs)
+    mask = pareto_mask_2d(-capacity[feasible], ratio[feasible])
     return feasible.sum(), {tuple(c) for c in f_configs[mask]}
 
 
@@ -128,6 +137,140 @@ class TestSelection:
             catalog, capacities, demand, deadline, budget)
         assert result.feasible_count == expected_count
         assert {p.configuration for p in result.pareto} == expected_pareto
+
+
+class TestIndexedSelection:
+    """The demand-invariant fast path must match the streamed scan exactly."""
+
+    # The fixtures are deterministic and read-only, so sharing them across
+    # generated examples is sound.
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        demand=st.floats(1e2, 1e8),
+        deadline=st.floats(0.01, 200.0),
+        budget=st.floats(0.01, 500.0),
+    )
+    def test_indexed_equals_streamed(self, small_catalog, small_capacities,
+                                     demand, deadline, budget):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        streamed = select_configurations(evaluation, demand, deadline, budget,
+                                         method="streamed", chunk_size=7)
+        indexed = select_configurations(evaluation, demand, deadline, budget,
+                                        method="indexed")
+        assert indexed.feasible_count == streamed.feasible_count
+        assert [p.configuration for p in indexed.pareto] == \
+            [p.configuration for p in streamed.pareto]
+        assert [p.time_hours for p in indexed.pareto] == \
+            [p.time_hours for p in streamed.pareto]
+        assert [p.cost_dollars for p in indexed.pareto] == \
+            [p.cost_dollars for p in streamed.pareto]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rates=st.lists(st.floats(0.5, 10.0), min_size=2, max_size=4),
+        demand=st.floats(1e3, 1e6),
+        deadline=st.floats(0.5, 50.0),
+        budget=st.floats(0.1, 100.0),
+    )
+    def test_random_catalogs_indexed_equals_streamed(self, rates, demand,
+                                                     deadline, budget):
+        rows = [(f"t{k}", 2, 2.0, 0.05 * (k + 1)) for k in range(len(rates))]
+        catalog = make_catalog(rows, quota=3)
+        space = ConfigurationSpace(catalog)
+        evaluation = space.evaluate(np.asarray(rates))
+        streamed = select_configurations(evaluation, demand, deadline, budget,
+                                         method="streamed", chunk_size=13)
+        indexed = select_configurations(evaluation, demand, deadline, budget,
+                                        method="indexed")
+        assert indexed.feasible_count == streamed.feasible_count
+        assert [p.configuration for p in indexed.pareto] == \
+            [p.configuration for p in streamed.pareto]
+
+    def test_small_feasibility_blocks(self, small_catalog, small_capacities):
+        """Block decomposition is exact for any block size."""
+        from repro.core.selection import FrontierIndex
+
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        reference = select_configurations(evaluation, 50_000.0, 5.0, 3.0,
+                                          method="streamed")
+        for block in (1, 2, 3, 26, 1000):
+            index = FrontierIndex(evaluation, block_size=block)
+            assert index.feasible_count(50_000.0, 5.0, 3.0) == \
+                reference.feasible_count
+
+    def test_epsilons_equivalent(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        streamed = select_configurations(evaluation, 50_000.0, 10.0, 10.0,
+                                         method="streamed",
+                                         epsilons=(2.0, 2.0))
+        indexed = select_configurations(evaluation, 50_000.0, 10.0, 10.0,
+                                        method="indexed", epsilons=(2.0, 2.0))
+        assert [p.configuration for p in indexed.pareto] == \
+            [p.configuration for p in streamed.pareto]
+
+    def test_infeasible_query(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        result = select_configurations(evaluation, 1e12, 0.001, 0.001,
+                                       method="indexed")
+        assert result.feasible_count == 0
+        assert result.pareto_count == 0
+
+    def test_indexed_rejects_exclude_mask(self, small_catalog,
+                                          small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        mask = np.zeros(space.size, dtype=bool)
+        mask[0] = True
+        with pytest.raises(ValidationError):
+            select_configurations(evaluation, 1e5, 5.0, 3.0,
+                                  exclude_mask=mask, method="indexed")
+
+    def test_auto_streams_with_exclude_mask(self, small_catalog,
+                                            small_capacities):
+        """auto + exclude_mask must stream, even with an index built."""
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        evaluation.frontier_index()  # force the index into the cache
+        mask = np.ones(space.size, dtype=bool)
+        result = select_configurations(evaluation, 1e5, 1e9, 1e9,
+                                       exclude_mask=mask)
+        assert result.feasible_count == 0
+
+    def test_auto_uses_index_when_present(self, small_catalog,
+                                          small_capacities, monkeypatch):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        index = evaluation.frontier_index()
+        called = {}
+        original = index.select
+
+        def spy(*args, **kwargs):
+            called["yes"] = True
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(index, "select", spy)
+        select_configurations(evaluation, 1e5, 5.0, 3.0)
+        assert called
+
+    def test_frontier_rows_are_demand_invariant(self, small_catalog,
+                                                small_capacities):
+        """One frontier serves wildly different demands."""
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        frontier = set(evaluation.frontier_index().frontier_rows.tolist())
+        for demand in (1e2, 1e5, 1e9):
+            unconstrained = select_configurations(
+                evaluation, demand, 1e12, 1e12, method="streamed")
+            rows = {
+                space.encode(np.asarray(p.configuration)) - 1
+                for p in unconstrained.pareto
+            }
+            assert rows == frontier
 
 
 class TestEpsilonSelection:

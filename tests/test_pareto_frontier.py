@@ -136,6 +136,24 @@ class TestFrontierMetrics:
         with pytest.raises(ValueError):
             knee_point_2d(np.array([]), np.array([]))
 
+    def test_knee_point_degenerate_frontier_no_warning(self):
+        """All-equal objectives (duplicates) must not divide by zero."""
+        f = np.array([1.0, 1.0, 1.0])
+        s = np.array([2.0, 2.0, 2.0])
+        with np.errstate(divide="raise", invalid="raise"):
+            knee = knee_point_2d(f, s)
+        assert knee == 0
+
+    def test_knee_point_degenerate_one_axis(self):
+        """A frontier flat in one objective returns its first point."""
+        # Only duplicates can flatten a frontier axis: distinct frontier
+        # points are strictly ordered in both objectives.
+        f = np.array([1.0, 1.0, 1.0, 9.0])
+        s = np.array([3.0, 3.0, 3.0, 9.0])  # (9, 9) is dominated
+        with np.errstate(divide="raise", invalid="raise"):
+            knee = knee_point_2d(f, s)
+        assert (f[knee], s[knee]) == (1.0, 3.0)
+
 
 class TestAttainmentSurface:
     def test_running_minimum(self):
