@@ -1,0 +1,204 @@
+"""Benchmark the planning service against one-process-per-request.
+
+The baseline answers each ``select`` query the way the CLI does today:
+a fresh process that imports the stack, builds the quota-2 catalog,
+characterizes the application, sweeps all 19,682 configurations and
+builds the frontier — then answers one query and exits.  Its throughput
+is bounded by that per-request chain regardless of concurrency (the
+chain is CPU-bound, so running 32 at once on this machine cannot beat
+running them back to back).
+
+The service pays the chain once, keeps it warm, and coalesces concurrent
+requests into vectorized :meth:`FrontierIndex.select_batch` passes.  A
+closed-loop load generator (``CONCURRENCIES`` asyncio workers, each
+issuing ``REQUESTS_PER_WORKER`` unique queries) measures warm throughput
+and latency; a second pass over the same queries measures the LRU result
+cache.  Both sides run with the persistent evaluation cache disabled so
+neither gets artefacts for free.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+Results land in ``BENCH_service.json`` at the repository root, including
+the acceptance check: batched throughput at concurrency 32 must be at
+least 5x the one-process-per-request baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from collections import Counter as TallyCounter
+from pathlib import Path
+
+from repro.service import PlannerService, ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+APP = "galaxy"
+QUOTA = 2
+CONCURRENCIES = (1, 8, 32)
+REQUESTS_PER_WORKER = 8
+N_BASELINE = 3
+SPEEDUP_TARGET = 5.0
+
+#: Percentile keys copied out of histogram snapshots.
+LATENCY_KEYS = ("count", "min", "max", "p50", "p95", "p99")
+
+
+def bench_baseline() -> dict:
+    """Per-request latency of a cold ``celia select`` process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    argv = [sys.executable, "-m", "repro.cli", "--quota", str(QUOTA),
+            "--no-cache", "select", APP, "65536", "2000",
+            "--deadline", "48", "--budget", "350", "--json"]
+    latencies = []
+    for _ in range(N_BASELINE):
+        t0 = time.perf_counter()
+        proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+        latencies.append(time.perf_counter() - t0)
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["feasible_count"] > 0
+    mean = sum(latencies) / len(latencies)
+    return {
+        "processes": N_BASELINE,
+        "latency_s_per_request": round(mean, 4),
+        "latency_s_samples": [round(v, 4) for v in latencies],
+        "throughput_rps": round(1.0 / mean, 4),
+    }
+
+
+def make_queries(total: int) -> list[tuple[float, float]]:
+    """``total`` distinct (n, a) pairs so no request hits the result cache.
+
+    The problem-size perturbation is small enough that every query stays
+    feasible under the fixed (deadline, budget), yet each one
+    canonicalizes to a different cache key.
+    """
+    return [(65536.0 + float(i), 2000.0) for i in range(total)]
+
+
+async def run_closed_loop(service: PlannerService,
+                          queries: list[tuple[float, float]],
+                          concurrency: int) -> tuple[float, list[float]]:
+    """Drive ``queries`` through ``concurrency`` workers; return wall, latencies."""
+    latencies: list[float] = []
+
+    async def worker(slice_queries):
+        for n, a in slice_queries:
+            t0 = time.perf_counter()
+            response = await service.select(APP, n, a, 48.0, 350.0)
+            latencies.append(time.perf_counter() - t0)
+            assert response["result"]["feasible_count"] > 0
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(
+        worker(queries[i::concurrency]) for i in range(concurrency)))
+    return time.perf_counter() - t0, latencies
+
+
+def percentile_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    last = len(ordered) - 1
+
+    def at(p):
+        return round(ordered[min(last, round(p / 100.0 * last))], 6)
+
+    return {
+        "count": len(ordered),
+        "min": round(ordered[0], 6),
+        "max": round(ordered[-1], 6),
+        "p50": at(50), "p95": at(95), "p99": at(99),
+    }
+
+
+async def bench_service_level(concurrency: int) -> dict:
+    """One warm service, closed-loop at ``concurrency``, then a cached pass."""
+    service = PlannerService(config=ServiceConfig(
+        default_quota=QUOTA, max_queue_depth=max(64, 2 * concurrency),
+        cache_dir=False))
+    t0 = time.perf_counter()
+    await service.warm(APP)
+    warm_s = time.perf_counter() - t0
+
+    queries = make_queries(concurrency * REQUESTS_PER_WORKER)
+    wall, latencies = await run_closed_loop(service, queries, concurrency)
+    snapshot = service.metrics.snapshot()
+
+    # Second pass over the same queries: every request is an LRU hit.
+    cached_wall, cached_latencies = await run_closed_loop(
+        service, queries, concurrency)
+    cached_snapshot = service.metrics.snapshot()
+    hits = cached_snapshot["counters"]["cache_hits"]
+    misses = cached_snapshot["counters"]["cache_misses"]
+
+    batch_sizes = service.metrics.histogram("batch_size").samples()
+    distribution = {str(int(size)): count for size, count
+                    in sorted(TallyCounter(batch_sizes).items())}
+    return {
+        "concurrency": concurrency,
+        "requests": len(queries),
+        "warm_build_s": round(warm_s, 4),
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(len(queries) / wall, 2),
+        "latency_s": percentile_summary(latencies),
+        "batches": snapshot["counters"]["batches_total"],
+        "mean_batch_size": round(
+            len(queries) / snapshot["counters"]["batches_total"], 2),
+        "batch_size_distribution": distribution,
+        "cached_pass": {
+            "throughput_rps": round(len(queries) / cached_wall, 2),
+            "latency_s": percentile_summary(cached_latencies),
+        },
+        "cache_hit_rate": round(hits / (hits + misses), 4),
+    }
+
+
+def main() -> None:
+    print(f"baseline: {N_BASELINE} one-process-per-request runs "
+          f"({APP}, quota {QUOTA}, no cache)")
+    baseline = bench_baseline()
+    print(f"  {baseline['latency_s_per_request']:.2f} s/request "
+          f"-> {baseline['throughput_rps']:.2f} req/s at any concurrency")
+
+    levels = []
+    for concurrency in CONCURRENCIES:
+        level = asyncio.run(bench_service_level(concurrency))
+        levels.append(level)
+        print(f"service @ c={concurrency}: "
+              f"{level['throughput_rps']:.0f} req/s, "
+              f"p50 {level['latency_s']['p50'] * 1e3:.1f} ms, "
+              f"p99 {level['latency_s']['p99'] * 1e3:.1f} ms, "
+              f"mean batch {level['mean_batch_size']:.1f}, "
+              f"cached pass {level['cached_pass']['throughput_rps']:.0f} req/s")
+
+    at_32 = next(lv for lv in levels if lv["concurrency"] == 32)
+    speedup = at_32["throughput_rps"] / baseline["throughput_rps"]
+    print(f"speedup at concurrency 32: {speedup:.0f}x "
+          f"(target >= {SPEEDUP_TARGET:g}x)")
+    assert speedup >= SPEEDUP_TARGET, (
+        f"batched service is only {speedup:.1f}x the process-per-request "
+        f"baseline; acceptance requires {SPEEDUP_TARGET:g}x")
+
+    report = {
+        "app": APP,
+        "quota": QUOTA,
+        "requests_per_worker": REQUESTS_PER_WORKER,
+        "baseline_process_per_request": baseline,
+        "service": levels,
+        "speedup_at_32": round(speedup, 1),
+        "speedup_target": SPEEDUP_TARGET,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -111,6 +111,21 @@ class EvaluationCache:
 
     # -- lookup ----------------------------------------------------------------
 
+    def _entry_is_valid(self, key: str, space_size: int) -> bool:
+        """Whether a complete, size-consistent entry for ``key`` is on disk."""
+        try:
+            meta = json.loads(self._meta_path(key).read_text(encoding="utf-8"))
+            if meta.get("version") != _FORMAT_VERSION or \
+                    meta.get("space_size") != space_size:
+                return False
+            for which in ("capacity", "unit_cost"):
+                array = np.load(self._array_path(key, which), mmap_mode="r")
+                if array.shape != (space_size,):
+                    return False
+        except (OSError, ValueError, KeyError):
+            return False
+        return True
+
     def load(self, space: ConfigurationSpace,
              capacities_gips: np.ndarray) -> SpaceEvaluation | None:
         """The cached evaluation for (catalog, capacities), or ``None``.
@@ -148,8 +163,17 @@ class EvaluationCache:
         metadata file — whose presence marks the entry valid — lands
         last, so a crash mid-write can only leave an invisible partial
         entry, never a readable corrupt one.
+
+        Safe under concurrent writers: temporaries are suffixed with the
+        writer's PID, every rename is atomic, and the key is a content
+        hash — racing processes write byte-identical artefacts, so
+        whichever replacement lands last changes nothing.  A writer that
+        finds a valid entry already present (it lost the warm-up race)
+        skips the ~160 MB rewrite and reuses the winner's artefact.
         """
         key = evaluation_cache_key(evaluation.space.catalog, capacities_gips)
+        if self._entry_is_valid(key, evaluation.space.size):
+            return key
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         for which, array in (("capacity", evaluation.capacity_gips),
                              ("unit_cost", evaluation.unit_cost_per_hour)):

@@ -9,7 +9,12 @@ Subcommands mirror how a practitioner would use the system:
 * ``plan`` — best affordable accuracy (or problem size) under a deadline
   and budget;
 * ``validate`` — compare a prediction against a simulated execution;
-* ``cache`` — inspect or clear the persistent space-evaluation cache.
+* ``cache`` — inspect or clear the persistent space-evaluation cache;
+* ``serve`` — run the batched JSON-over-HTTP planning service.
+
+``select``, ``predict`` and ``plan`` accept ``--json`` for
+machine-readable output using the same serializers as the service, so
+scripted callers see one schema whether they shell out or talk HTTP.
 
 All commands operate on the paper's Table III catalog (quota adjustable
 with ``--quota``) and the three built-in applications.  Full-space
@@ -21,6 +26,7 @@ their results under ``--cache-dir`` (default ``$CELIA_CACHE_DIR`` or
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.apps import application_by_name
@@ -35,6 +41,18 @@ from repro.utils.tables import TextTable
 __all__ = ["build_parser", "main"]
 
 APP_CHOICES = ("x264", "galaxy", "sand")
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 def _parse_workers(raw: str) -> "int | str":
@@ -55,6 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Cost-time optimal cloud configurations for elastic "
                     "applications (CELIA, ICPP 2017).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     parser.add_argument("--seed", type=int, default=0,
                         help="measurement seed (default 0)")
     parser.add_argument("--quota", type=int, default=5,
@@ -86,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="budget C' in dollars")
     p.add_argument("--top", type=int, default=0,
                    help="print only the first K frontier points")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (service schema)")
 
     p = sub.add_parser("predict", help="time/cost on one configuration")
     p.add_argument("app", choices=APP_CHOICES)
@@ -93,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("a", type=float)
     p.add_argument("--config", required=True,
                    help="comma-separated node counts, catalog order")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (service schema)")
 
     p = sub.add_parser("plan", help="best affordable accuracy or size")
     p.add_argument("app", choices=APP_CHOICES)
@@ -107,6 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lo,hi search range for the planned knob")
     p.add_argument("--integral", action="store_true",
                    help="knob takes integer values")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (service schema)")
 
     p = sub.add_parser("validate",
                        help="prediction vs simulated execution")
@@ -128,6 +154,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache",
                        help="inspect or clear the evaluation cache")
     p.add_argument("action", choices=("info", "clear"))
+
+    p = sub.add_parser("serve",
+                       help="run the batched JSON-over-HTTP planning service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337)
+    p.add_argument("--warm", action="append", choices=APP_CHOICES,
+                   default=None, metavar="APP",
+                   help="pre-warm an application's state before "
+                        "accepting requests (repeatable)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission-control queue depth (default 64)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window (default 2 ms)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="max requests per vectorized batch (default 32)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="default per-request deadline in seconds")
     return parser
 
 
@@ -172,6 +215,11 @@ def _cmd_characterize(celia: Celia, args) -> int:
 def _cmd_select(celia: Celia, args) -> int:
     app = application_by_name(args.app, seed=celia.seed)
     result = celia.select(app, args.n, args.a, args.deadline, args.budget)
+    if args.json:
+        from repro.service.serialize import selection_to_dict
+
+        print(json.dumps(selection_to_dict(result, top=args.top), indent=2))
+        return 0 if result.pareto else 1
     print(f"{result.feasible_count:,} of {result.total_configurations:,} "
           f"configurations feasible; {result.pareto_count} Pareto-optimal")
     if not result.pareto:
@@ -194,6 +242,11 @@ def _cmd_predict(celia: Celia, args) -> int:
     app = application_by_name(args.app, seed=celia.seed)
     config = _parse_config(args.config, len(celia.catalog))
     pred = celia.predict(app, args.n, args.a, config)
+    if args.json:
+        from repro.service.serialize import prediction_to_dict
+
+        print(json.dumps(prediction_to_dict(pred), indent=2))
+        return 0
     print(f"demand   : {pred.demand_gi:,.0f} GI")
     print(f"capacity : {pred.capacity_gips:.2f} GI/s")
     print(f"time     : {pred.time_hours:.2f} h")
@@ -215,6 +268,11 @@ def _cmd_plan(celia: Celia, args) -> int:
         plan = max_problem_size_plan(demand, index, args.fix_accuracy,
                                      knob_range, args.deadline, args.budget,
                                      integral=args.integral)
+    if args.json:
+        from repro.service.serialize import plan_to_dict
+
+        print(json.dumps(plan_to_dict(plan), indent=2))
+        return 0
     print(plan.describe())
     return 0
 
@@ -272,6 +330,31 @@ def _cmd_cache(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_serve(celia: Celia, args) -> int:
+    from repro.service import PlannerService, ServiceConfig, run_server
+
+    config = ServiceConfig(
+        max_queue_depth=args.max_queue,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        default_timeout_s=args.timeout,
+        default_quota=args.quota,
+        default_seed=args.seed,
+        workers=args.workers,
+        cache_dir=False if args.no_cache else args.cache_dir,
+    )
+    service = PlannerService(config=config)
+    run_server(
+        service, host=args.host, port=args.port,
+        warm_apps=tuple(args.warm or ()),
+        ready_callback=lambda server: print(
+            f"celia service listening on http://{server.host}:{server.port} "
+            f"(quota {args.quota}, {len(service.warm_signatures)} warm)",
+            flush=True),
+    )
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "select": _cmd_select,
@@ -280,6 +363,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "spot": _cmd_spot,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

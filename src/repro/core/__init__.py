@@ -30,6 +30,7 @@ from repro.core.selection import (
     ParetoPoint,
     SelectionResult,
     select_configurations,
+    select_configurations_batch,
 )
 from repro.core.characterization import (
     CharacterizationResult,
@@ -64,6 +65,7 @@ __all__ = [
     "ParetoPoint",
     "SelectionResult",
     "select_configurations",
+    "select_configurations_batch",
     "CharacterizationResult",
     "TypeCharacterization",
     "characterize_resources",

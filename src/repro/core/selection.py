@@ -36,6 +36,7 @@ surviving rows coincide row-for-row.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,6 +51,7 @@ __all__ = [
     "SelectionResult",
     "FrontierIndex",
     "select_configurations",
+    "select_configurations_batch",
 ]
 
 #: Rows per block of the feasibility-count structure (√S-ish for the
@@ -309,6 +311,79 @@ class FrontierIndex:
                                                budget_dollars),
             pareto=tuple(pareto_points),
         )
+
+    def select_batch(
+        self,
+        demands_gi: "np.ndarray | Sequence[float]",
+        deadlines_hours: "np.ndarray | Sequence[float]",
+        budgets_dollars: "np.ndarray | Sequence[float]",
+        *,
+        epsilons: tuple[float, float] | None = None,
+    ) -> list[SelectionResult]:
+        """Algorithm 1 for many (demand, deadline, budget) queries at once.
+
+        One vectorized pass computes every query's frontier times, costs
+        and feasibility mask as 2-D ``(queries, frontier)`` arrays; only
+        the per-query materialization loops in Python.  Division and
+        multiplication are applied elementwise under the same IEEE
+        rounding as the scalar path, so each returned result is
+        bit-identical to ``select(d, t, c)`` for the matching query —
+        this is what lets the planning service coalesce concurrent
+        requests without changing any answer.
+        """
+        demands = np.asarray(demands_gi, dtype=np.float64)
+        deadlines = np.asarray(deadlines_hours, dtype=np.float64)
+        budgets = np.asarray(budgets_dollars, dtype=np.float64)
+        if not (demands.ndim == deadlines.ndim == budgets.ndim == 1) or \
+                not (demands.shape == deadlines.shape == budgets.shape):
+            raise ValidationError(
+                "batch queries need equal-length 1-D demand, deadline and "
+                "budget vectors"
+            )
+        for d, t, c in zip(demands, deadlines, budgets):
+            _validate_query(float(d), float(t), float(c))
+        times = demands[:, None] / self._frontier_capacity[None, :] \
+            / SECONDS_PER_HOUR
+        costs = demands[:, None] * self._frontier_ratio[None, :] \
+            / SECONDS_PER_HOUR
+        keep = (times < deadlines[:, None]) & (costs < budgets[:, None])
+        results: list[SelectionResult] = []
+        for q in range(demands.size):
+            mask = keep[q]
+            pareto_points = _materialize(
+                self.evaluation, times[q][mask], costs[q][mask],
+                self.frontier_rows[mask], epsilons,
+            )
+            results.append(SelectionResult(
+                demand_gi=float(demands[q]),
+                deadline_hours=float(deadlines[q]),
+                budget_dollars=float(budgets[q]),
+                total_configurations=self.evaluation.space.size,
+                feasible_count=self.feasible_count(
+                    float(demands[q]), float(deadlines[q]),
+                    float(budgets[q])),
+                pareto=tuple(pareto_points),
+            ))
+        return results
+
+
+def select_configurations_batch(
+    evaluation: SpaceEvaluation,
+    demands_gi: "np.ndarray | Sequence[float]",
+    deadlines_hours: "np.ndarray | Sequence[float]",
+    budgets_dollars: "np.ndarray | Sequence[float]",
+    *,
+    epsilons: tuple[float, float] | None = None,
+) -> list[SelectionResult]:
+    """Batched Algorithm 1 over one evaluation (the service's entry point).
+
+    Builds (or reuses) the evaluation's :class:`FrontierIndex` and answers
+    all queries in one vectorized pass; results are bit-identical to
+    calling :func:`select_configurations` once per query.
+    """
+    return evaluation.frontier_index().select_batch(
+        demands_gi, deadlines_hours, budgets_dollars, epsilons=epsilons,
+    )
 
 
 def select_configurations(

@@ -1,0 +1,123 @@
+"""Blocking stdlib client for the planning service.
+
+A thin convenience wrapper over :mod:`http.client` that speaks the
+server's JSON schema and raises the same typed exceptions the in-process
+service raises — so a caller can swap `PlannerService` for a remote
+`PlannerClient` without changing its error handling::
+
+    client = PlannerClient(port=8337)
+    response = client.select("galaxy", n=65536, a=8000,
+                             deadline_hours=24, budget_dollars=350)
+    for point in response["result"]["pareto"]:
+        print(point["configuration"], point["cost_dollars"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import InfeasibleError, ReproError, ValidationError
+from repro.service.planner import RequestTimeoutError, ServiceSaturatedError
+
+__all__ = ["PlannerClient"]
+
+_ERROR_TYPES = {
+    "saturated": lambda msg: ServiceSaturatedError(
+        msg, queue_depth=-1, max_queue_depth=-1),
+    "deadline_exceeded": lambda msg: RequestTimeoutError(msg, timeout_s=-1.0),
+    "infeasible": lambda msg: InfeasibleError(msg),
+    "invalid_request": ValidationError,
+}
+
+
+class PlannerClient:
+    """One service endpoint; a fresh connection per call (the server
+    closes after each response)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8337,
+                 *, timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None \
+                else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            decoded = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        if response.status == 200:
+            return decoded
+        error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
+        code = error.get("code", "error")
+        message = error.get("message", f"HTTP {response.status}")
+        raise _ERROR_TYPES.get(code, ReproError)(message)
+
+    # -- endpoints -------------------------------------------------------------
+
+    def select(self, app: str, *, n: float, a: float, deadline_hours: float,
+               budget_dollars: float, top: int = 0,
+               quota: int | None = None, seed: int | None = None,
+               timeout_s: float | None = None) -> dict:
+        """POST /v1/select — the Pareto frontier under (T', C')."""
+        body = {"app": app, "n": n, "a": a,
+                "deadline_hours": deadline_hours,
+                "budget_dollars": budget_dollars, "top": top}
+        body.update(self._common(quota, seed, timeout_s))
+        return self._request("POST", "/v1/select", body)
+
+    def predict(self, app: str, *, n: float, a: float,
+                configuration: "list[int] | tuple[int, ...]",
+                quota: int | None = None, seed: int | None = None,
+                timeout_s: float | None = None) -> dict:
+        """POST /v1/predict — time/cost of one configuration."""
+        body = {"app": app, "n": n, "a": a,
+                "configuration": list(configuration)}
+        body.update(self._common(quota, seed, timeout_s))
+        return self._request("POST", "/v1/predict", body)
+
+    def plan(self, app: str, *, deadline_hours: float,
+             budget_dollars: float, knob_range: tuple[float, float],
+             fix_size: float | None = None,
+             fix_accuracy: float | None = None, integral: bool = False,
+             quota: int | None = None, seed: int | None = None,
+             timeout_s: float | None = None) -> dict:
+        """POST /v1/plan — best affordable accuracy or problem size."""
+        body = {"app": app, "deadline_hours": deadline_hours,
+                "budget_dollars": budget_dollars,
+                "range": list(knob_range), "integral": integral}
+        if fix_size is not None:
+            body["fix_size"] = fix_size
+        if fix_accuracy is not None:
+            body["fix_accuracy"] = fix_accuracy
+        body.update(self._common(quota, seed, timeout_s))
+        return self._request("POST", "/v1/plan", body)
+
+    def metrics(self) -> dict:
+        """GET /metrics — the live metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def health(self) -> dict:
+        """GET /healthz — liveness and warm signatures."""
+        return self._request("GET", "/healthz")
+
+    @staticmethod
+    def _common(quota, seed, timeout_s) -> dict:
+        out = {}
+        if quota is not None:
+            out["quota"] = quota
+        if seed is not None:
+            out["seed"] = seed
+        if timeout_s is not None:
+            out["timeout_s"] = timeout_s
+        return out

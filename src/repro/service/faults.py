@@ -1,0 +1,48 @@
+"""Induced service slowness — the serving-side analog of `engine.faults`.
+
+The execution engine injects node crashes to study how a cluster degrades;
+the planning service needs the equivalent for *itself*: what happens to
+admission control, queue depth and deadlines when computation is suddenly
+slow (a cold cache, a noisy neighbor, a stop-the-world hiccup)?
+
+:class:`ServiceFaults` adds deterministic delays at the two points where
+real slowness appears — state warming and per-batch compute — so tests
+and benchmarks can saturate the service on purpose and assert the typed
+rejection / deadline behavior without relying on machine speed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["ServiceFaults"]
+
+
+@dataclass(frozen=True)
+class ServiceFaults:
+    """Deterministic compute-path delays, injected inside worker threads.
+
+    ``warm_delay_s`` stretches the one-time per-signature state build;
+    ``compute_delay_s`` stretches every batch evaluation.  Zero (the
+    default) disables the fault entirely.
+    """
+
+    warm_delay_s: float = 0.0
+    compute_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.warm_delay_s < 0 or self.compute_delay_s < 0:
+            raise ValidationError("fault delays must be non-negative")
+
+    def on_warm(self) -> None:
+        """Apply the warm-path delay (runs in an executor thread)."""
+        if self.warm_delay_s > 0:
+            time.sleep(self.warm_delay_s)
+
+    def on_compute(self) -> None:
+        """Apply the compute-path delay (runs in an executor thread)."""
+        if self.compute_delay_s > 0:
+            time.sleep(self.compute_delay_s)

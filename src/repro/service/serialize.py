@@ -1,0 +1,94 @@
+"""Canonical JSON shapes for planning results.
+
+One serializer per result type, shared by ``celia ... --json``, the
+planning service's responses and the client — so a scripted caller sees
+the same schema whether it shells out to the CLI or talks HTTP, and
+tests can assert bit-identical payloads across the two paths.
+
+All functions return plain ``dict``/``list``/``float`` trees ready for
+``json.dumps``; nothing here depends on the service runtime.
+"""
+
+from __future__ import annotations
+
+from repro.core.celia import Prediction
+from repro.core.optimizer import OptimizerAnswer
+from repro.core.planner import Plan
+from repro.core.selection import ParetoPoint, SelectionResult
+
+__all__ = [
+    "pareto_point_to_dict",
+    "selection_to_dict",
+    "prediction_to_dict",
+    "optimizer_answer_to_dict",
+    "plan_to_dict",
+]
+
+
+def pareto_point_to_dict(point: ParetoPoint) -> dict:
+    """One frontier point with its predictions."""
+    return {
+        "configuration": list(point.configuration),
+        "time_hours": point.time_hours,
+        "cost_dollars": point.cost_dollars,
+        "capacity_gips": point.capacity_gips,
+        "unit_cost_per_hour": point.unit_cost_per_hour,
+    }
+
+
+def selection_to_dict(result: SelectionResult, *, top: int = 0) -> dict:
+    """An Algorithm-1 result; ``top`` > 0 trims the frontier list.
+
+    ``pareto_count`` always reflects the full frontier even when the
+    list is trimmed; ``cost_span``/``max_saving_fraction`` are ``None``
+    for infeasible selections instead of raising.
+    """
+    points = result.pareto[:top] if top else result.pareto
+    feasible = bool(result.pareto)
+    return {
+        "demand_gi": result.demand_gi,
+        "deadline_hours": result.deadline_hours,
+        "budget_dollars": result.budget_dollars,
+        "total_configurations": result.total_configurations,
+        "feasible_count": result.feasible_count,
+        "pareto_count": result.pareto_count,
+        "pareto": [pareto_point_to_dict(p) for p in points],
+        "cost_span": list(result.cost_span) if feasible else None,
+        "max_saving_fraction": (result.max_saving_fraction
+                                if feasible else None),
+    }
+
+
+def prediction_to_dict(prediction: Prediction) -> dict:
+    """Eq. 2/5 prediction for one configuration."""
+    return {
+        "configuration": list(prediction.configuration),
+        "demand_gi": prediction.demand_gi,
+        "capacity_gips": prediction.capacity_gips,
+        "unit_cost_per_hour": prediction.unit_cost_per_hour,
+        "time_hours": prediction.time_hours,
+        "cost_dollars": prediction.cost_dollars,
+    }
+
+
+def optimizer_answer_to_dict(answer: OptimizerAnswer) -> dict:
+    """A min-cost/min-time optimum."""
+    return {
+        "configuration": list(answer.configuration),
+        "time_hours": answer.time_hours,
+        "cost_dollars": answer.cost_dollars,
+        "capacity_gips": answer.capacity_gips,
+        "unit_cost_per_hour": answer.unit_cost_per_hour,
+    }
+
+
+def plan_to_dict(plan: Plan) -> dict:
+    """A planned run (best affordable accuracy or problem size)."""
+    return {
+        "knob": plan.knob,
+        "value": plan.value,
+        "fixed_value": plan.fixed_value,
+        "deadline_hours": plan.deadline_hours,
+        "budget_dollars": plan.budget_dollars,
+        "answer": optimizer_answer_to_dict(plan.answer),
+    }

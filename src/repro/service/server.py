@@ -1,0 +1,199 @@
+"""Stdlib JSON-over-HTTP front-end for :class:`PlannerService`.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+frameworks, one connection per request — exposing:
+
+* ``POST /v1/select`` / ``/v1/predict`` / ``/v1/plan`` — a JSON request
+  body (the path supplies the ``kind`` field);
+* ``GET /metrics`` — the live metrics snapshot;
+* ``GET /healthz`` — liveness plus the warm signatures.
+
+Library errors map to typed JSON error envelopes::
+
+    {"error": {"code": "saturated", "message": "..."}}
+
+with the status codes a load balancer expects: 400 for malformed or
+invalid requests, 422 for infeasible plans, 503 (+ ``Retry-After``) when
+admission control rejects, 504 for missed request deadlines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import InfeasibleError, ReproError, ValidationError
+from repro.service.planner import (
+    PlannerService,
+    RequestTimeoutError,
+    ServiceSaturatedError,
+)
+
+__all__ = ["PlannerServer", "run_server"]
+
+_MAX_BODY_BYTES = 1 << 20
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            422: "Unprocessable Entity", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+_POST_ROUTES = {"/v1/select": "select", "/v1/predict": "predict",
+                "/v1/plan": "plan"}
+
+
+def _error_body(code: str, message: str) -> dict:
+    return {"error": {"code": code, "message": message}}
+
+
+class PlannerServer:
+    """Owns the listening socket and request/response framing."""
+
+    def __init__(self, service: PlannerService, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 → ephemeral; replaced by the bound port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await self._handle_request(reader)
+        except Exception as exc:  # last-resort: never kill the server
+            status, body = 500, _error_body("internal", str(exc))
+        payload = json.dumps(body).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                + ("Retry-After: 1\r\n" if status == 503 else "")
+                + "Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to do
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader
+                              ) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, _error_body("invalid_request", "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, _error_body("invalid_request",
+                                    f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, _error_body("invalid_request",
+                                            "bad Content-Length")
+        if content_length > _MAX_BODY_BYTES:
+            return 413, _error_body("payload_too_large",
+                                    f"body over {_MAX_BODY_BYTES} bytes")
+
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {
+                    "status": "ok",
+                    "warm_signatures": [
+                        {"app": s.app, "quota": s.quota, "seed": s.seed}
+                        for s in self.service.warm_signatures
+                    ],
+                }
+            if path == "/metrics":
+                return 200, self.service.metrics.snapshot()
+            return 404, _error_body("not_found", f"no route {path!r}")
+
+        if method != "POST":
+            return 405, _error_body("method_not_allowed",
+                                    f"{method} not supported")
+        kind = _POST_ROUTES.get(path)
+        if kind is None:
+            return 404, _error_body("not_found", f"no route {path!r}")
+        raw = await reader.readexactly(content_length) if content_length \
+            else b""
+        try:
+            request = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _error_body("invalid_request", f"bad JSON: {exc}")
+        if not isinstance(request, dict):
+            return 400, _error_body("invalid_request",
+                                    "body must be a JSON object")
+        request["kind"] = kind
+        return await self._dispatch(request)
+
+    async def _dispatch(self, request: dict) -> tuple[int, dict]:
+        try:
+            return 200, await self.service.handle(request)
+        except ServiceSaturatedError as exc:
+            return 503, _error_body("saturated", str(exc))
+        except RequestTimeoutError as exc:
+            return 504, _error_body("deadline_exceeded", str(exc))
+        except InfeasibleError as exc:
+            return 422, _error_body("infeasible", str(exc))
+        except ValidationError as exc:
+            return 400, _error_body("invalid_request", str(exc))
+        except ReproError as exc:
+            return 400, _error_body("error", str(exc))
+
+
+def run_server(service: PlannerService, *, host: str = "127.0.0.1",
+               port: int = 8337, warm_apps: tuple[str, ...] = (),
+               ready_callback=None) -> None:
+    """Blocking entry point used by ``celia serve`` (Ctrl-C to stop).
+
+    ``warm_apps`` are warmed before the ready callback fires, so the
+    first real request never pays the state build.
+    """
+
+    async def _run() -> None:
+        server = PlannerServer(service, host=host, port=port)
+        await server.start()
+        for app in warm_apps:
+            await service.warm(app)
+        if ready_callback is not None:
+            ready_callback(server)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass

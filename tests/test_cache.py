@@ -4,6 +4,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -128,6 +129,98 @@ class TestRoundTrip:
         assert cache.total_bytes() == entries[0].bytes_on_disk > 0
         assert cache.clear() == 1
         assert cache.entries() == []
+
+
+class TestConcurrentWriters:
+    def test_second_store_reuses_existing_entry(self, evaluated,
+                                                small_capacities, tmp_path):
+        """The loser of a warm-up race must not rewrite the artefacts."""
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        key = cache.store(evaluation, small_capacities)
+        paths = [tmp_path / f"{key}.meta.json",
+                 tmp_path / f"{key}.capacity.npy",
+                 tmp_path / f"{key}.unit_cost.npy"]
+        before = [p.stat().st_mtime_ns for p in paths]
+        assert cache.store(evaluation, small_capacities) == key
+        assert [p.stat().st_mtime_ns for p in paths] == before
+
+    def test_stale_entry_is_rewritten(self, evaluated, small_capacities,
+                                      tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        key = cache.store(evaluation, small_capacities)
+        short = np.zeros(space.size - 1)
+        with open(tmp_path / f"{key}.capacity.npy", "wb") as fh:
+            np.save(fh, short)
+        assert cache.store(evaluation, small_capacities) == key
+        assert cache.load(space, small_capacities) is not None
+
+    def test_two_processes_race_without_corruption(self, evaluated,
+                                                   small_capacities,
+                                                   tmp_path):
+        """Two processes warming the same key concurrently: the entry
+        stays valid and bit-identical to a locally computed evaluation."""
+        space, evaluation = evaluated
+        cache_dir = tmp_path / "cache"
+        latch = tmp_path / "latch"
+        latch.mkdir()
+        program = """
+import sys, time
+from pathlib import Path
+import numpy as np
+from repro.cache import EvaluationCache
+from repro.cloud.catalog import make_catalog
+from repro.core.configspace import ConfigurationSpace
+
+cache_dir, latch, who = Path(sys.argv[1]), Path(sys.argv[2]), sys.argv[3]
+catalog = make_catalog(
+    [("a.small", 2, 2.0, 0.10), ("a.big", 4, 2.0, 0.21),
+     ("b.small", 2, 2.5, 0.16)], quota=2)
+space = ConfigurationSpace(catalog)
+caps = np.array([2.0, 4.2, 1.5])
+evaluation = space.evaluate(caps)
+cache = EvaluationCache(cache_dir)
+(latch / f"ready-{who}").touch()
+while not (latch / "go").exists():
+    time.sleep(0.002)
+for _ in range(3):  # several rounds widen the race window
+    key = cache.store(evaluation, caps)
+loaded = cache.load(space, caps)
+assert loaded is not None, "racing store corrupted the entry"
+assert loaded.capacity_gips.tobytes() == evaluation.capacity_gips.tobytes()
+print(key)
+"""
+        env = dict(os.environ,
+                   PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", program, str(cache_dir), str(latch),
+                 who],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+                env=env)
+            for who in ("a", "b")
+        ]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not all(
+                (latch / f"ready-{w}").exists() for w in ("a", "b")):
+            time.sleep(0.01)
+        (latch / "go").touch()
+        outputs = [p.communicate(timeout=120) for p in procs]
+        assert all(p.returncode == 0 for p in procs), \
+            [err for _, err in outputs]
+        keys = {out.strip() for out, _ in outputs}
+        assert len(keys) == 1  # both resolved the same content hash
+
+        # The surviving entry round-trips bit-identically.
+        cache = EvaluationCache(cache_dir)
+        loaded = cache.load(space, small_capacities)
+        assert loaded is not None
+        assert loaded.capacity_gips.tobytes() == \
+            evaluation.capacity_gips.tobytes()
+        assert loaded.unit_cost_per_hour.tobytes() == \
+            evaluation.unit_cost_per_hour.tobytes()
+        assert len(cache.entries()) == 1
 
 
 class TestCeliaIntegration:

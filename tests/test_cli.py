@@ -1,8 +1,10 @@
 """Tests for the ``celia`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, package_version
 
 
 class TestParser:
@@ -28,6 +30,26 @@ class TestParser:
                 "--fix-size", "100", "--fix-accuracy", "10",
                 "--range", "1,2",
             ])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert package_version() in out
+        assert out.startswith("celia ")
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8337
+        assert args.max_queue == 64
+        assert args.warm is None
+
+    def test_serve_warm_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--warm", "galaxy", "--warm", "x264"])
+        assert args.warm == ["galaxy", "x264"]
 
 
 @pytest.mark.parametrize("quota", ["2"])
@@ -106,6 +128,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "predicted" in out and "error" in out
+
+
+@pytest.mark.parametrize("quota", ["2"])
+class TestJsonOutput:
+    """``--json`` must emit the service schema, parseable and complete."""
+
+    def test_select_json(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "select", "galaxy",
+                     "65536", "2000", "--deadline", "48", "--budget", "350",
+                     "--top", "3", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["feasible_count"] > 0
+        assert len(data["pareto"]) <= 3
+        assert data["pareto_count"] >= len(data["pareto"])
+        point = data["pareto"][0]
+        assert set(point) == {"configuration", "time_hours", "cost_dollars",
+                              "capacity_gips", "unit_cost_per_hour"}
+
+    def test_select_json_infeasible(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "select", "galaxy",
+                     "65536", "8000", "--deadline", "0.001",
+                     "--budget", "0.001", "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        data = json.loads(out)
+        assert data["pareto"] == []
+        assert data["cost_span"] is None
+        assert data["max_saving_fraction"] is None
+
+    def test_predict_json(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "predict", "galaxy",
+                     "65536", "4000", "--config", "2,2,0,0,0,0,0,0,0",
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["configuration"] == [2, 2, 0, 0, 0, 0, 0, 0, 0]
+        assert data["cost_dollars"] > 0
+
+    def test_plan_json(self, capsys, quota):
+        code = main(["--seed", "1", "--quota", quota, "plan", "galaxy",
+                     "--deadline", "24", "--budget", "50",
+                     "--fix-size", "65536", "--range", "100,20000",
+                     "--integral", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["knob"] == "accuracy"
+        assert data["answer"]["cost_dollars"] < 50
+
+    def test_json_matches_service_serializer(self, capsys, quota):
+        """CLI --json and the service serializer are the same code path;
+        the output must round-trip through the serializer unchanged."""
+        from repro.apps import application_by_name
+        from repro.cloud.catalog import ec2_catalog
+        from repro.core.celia import Celia
+        from repro.service.serialize import selection_to_dict
+
+        code = main(["--seed", "1", "--quota", quota, "select", "galaxy",
+                     "65536", "2000", "--deadline", "48", "--budget", "350",
+                     "--json"])
+        assert code == 0
+        cli_data = json.loads(capsys.readouterr().out)
+        celia = Celia(ec2_catalog(max_nodes_per_type=int(quota)), seed=1)
+        result = celia.select(application_by_name("galaxy", seed=1),
+                              65536, 2000, 48, 350)
+        assert cli_data == selection_to_dict(result)
 
 
 class TestSpotCommand:

@@ -7,7 +7,10 @@ from hypothesis import strategies as st
 
 from repro.cloud.catalog import make_catalog
 from repro.core.configspace import ConfigurationSpace
-from repro.core.selection import select_configurations
+from repro.core.selection import (
+    select_configurations,
+    select_configurations_batch,
+)
 from repro.errors import ValidationError
 from repro.pareto.frontier import pareto_mask_2d
 from tests.conftest import brute_force_space
@@ -271,6 +274,86 @@ class TestIndexedSelection:
                 for p in unconstrained.pareto
             }
             assert rows == frontier
+
+
+class TestBatchedSelection:
+    """The service's vectorized entry point must change no answer."""
+
+    QUERIES = [
+        (50_000.0, 5.0, 3.0),       # partial feasible set
+        (1_000.0, 24.0, 50.0),      # everything feasible
+        (1e12, 0.001, 0.001),       # nothing feasible
+        (123_456.789, 7.5, 1.25),   # irrational-ish floats
+    ]
+
+    def test_batch_equals_scalar_indexed(self, small_catalog,
+                                         small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        demands, deadlines, budgets = zip(*self.QUERIES)
+        batch = select_configurations_batch(evaluation, demands, deadlines,
+                                            budgets)
+        for (d, t, c), result in zip(self.QUERIES, batch):
+            single = select_configurations(evaluation, d, t, c,
+                                           method="indexed")
+            assert result == single  # dataclass equality: bit-identical
+
+    def test_batch_equals_streamed(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        demands, deadlines, budgets = zip(*self.QUERIES)
+        batch = select_configurations_batch(evaluation, demands, deadlines,
+                                            budgets)
+        for (d, t, c), result in zip(self.QUERIES, batch):
+            streamed = select_configurations(evaluation, d, t, c,
+                                             method="streamed")
+            assert result.feasible_count == streamed.feasible_count
+            assert result.pareto == streamed.pareto
+
+    def test_single_query_batch(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        batch = select_configurations_batch(evaluation, [50_000.0], [5.0],
+                                            [3.0])
+        assert len(batch) == 1
+        assert batch[0] == select_configurations(evaluation, 50_000.0, 5.0,
+                                                 3.0, method="indexed")
+
+    def test_mismatched_lengths_rejected(self, small_catalog,
+                                         small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        with pytest.raises(ValidationError):
+            select_configurations_batch(evaluation, [1.0, 2.0], [5.0], [3.0])
+
+    def test_invalid_query_rejected(self, small_catalog, small_capacities):
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        with pytest.raises(ValidationError):
+            select_configurations_batch(evaluation, [1.0, -1.0], [5.0, 5.0],
+                                        [3.0, 3.0])
+
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        demands=st.lists(st.floats(min_value=1e2, max_value=1e9),
+                         min_size=1, max_size=8),
+        deadline=st.floats(min_value=0.1, max_value=100.0),
+        budget=st.floats(min_value=0.1, max_value=1000.0),
+    )
+    def test_random_batches_match_scalar(self, demands, deadline, budget):
+        catalog = make_catalog(
+            [("a", 2, 2.0, 0.10), ("b", 4, 2.0, 0.21), ("c", 2, 2.5, 0.16)],
+            quota=2,
+        )
+        space = ConfigurationSpace(catalog)
+        evaluation = space.evaluate(np.array([2.0, 4.2, 1.5]))
+        batch = select_configurations_batch(
+            evaluation, demands, [deadline] * len(demands),
+            [budget] * len(demands))
+        for d, result in zip(demands, batch):
+            assert result == select_configurations(evaluation, d, deadline,
+                                                   budget, method="indexed")
 
 
 class TestEpsilonSelection:

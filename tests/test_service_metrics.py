@@ -1,0 +1,107 @@
+"""Tests for the service metrics primitives (:mod:`repro.service.metrics`)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.increment()
+        c.increment(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Counter().increment(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+        threads = [threading.Thread(
+            target=lambda: [c.increment() for _ in range(1000)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["p99"] is None
+
+    def test_percentiles_on_known_distribution(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert snap["p50"] == pytest.approx(50.0, abs=1.0)
+        assert snap["p95"] == pytest.approx(95.0, abs=1.0)
+        assert snap["p99"] == pytest.approx(99.0, abs=1.0)
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.observe(3.5)
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 3.5
+
+    def test_window_bounds_memory_but_not_count(self):
+        h = Histogram(window=10)
+        for v in range(100):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 90.0  # only the window's samples remain
+
+    def test_bad_window(self):
+        with pytest.raises(ValidationError):
+            Histogram(window=0)
+
+    def test_samples_accessor(self):
+        h = Histogram(window=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.samples() == (2.0, 3.0, 4.0)
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").increment(2)
+        registry.gauge("depth").set(3)
+        registry.histogram("latency").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"requests": 2}
+        assert snap["gauges"] == {"depth": 3.0}
+        assert snap["histograms"]["latency"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("latency").observe(1.0)
+        json.dumps(registry.snapshot())

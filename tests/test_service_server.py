@@ -1,0 +1,203 @@
+"""Tests for the HTTP front-end and client (:mod:`repro.service`).
+
+The server runs on the test's own event loop; client calls are blocking
+stdlib HTTP, so they run in an executor thread — exactly how a real
+caller would hit a live service.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cloud.catalog import make_catalog
+from repro.errors import ReproError, ValidationError
+from repro.service import (
+    PlannerClient,
+    PlannerServer,
+    PlannerService,
+    ServiceConfig,
+    ServiceFaults,
+    ServiceSaturatedError,
+)
+
+ROWS = [("a.small", 2, 2.0, 0.10), ("a.big", 4, 2.0, 0.21),
+        ("b.small", 2, 2.5, 0.16)]
+
+
+def make_service(*, faults=None, **overrides) -> PlannerService:
+    overrides.setdefault("default_quota", 2)
+    overrides.setdefault("cache_dir", False)
+    return PlannerService(
+        config=ServiceConfig(**overrides),
+        faults=faults,
+        catalog_factory=lambda quota: make_catalog(ROWS, quota=quota),
+    )
+
+
+def with_server(service: PlannerService, fn):
+    """Start the server, run blocking ``fn(client)`` in a thread, stop."""
+
+    async def run():
+        server = PlannerServer(service)
+        await server.start()
+        try:
+            client = PlannerClient(port=server.port)
+            return await asyncio.get_running_loop().run_in_executor(
+                None, fn, client)
+        finally:
+            await server.stop()
+
+    return asyncio.run(run())
+
+
+class TestEndpoints:
+    def test_select_round_trip(self):
+        service = make_service()
+
+        def call(client):
+            return client.select("galaxy", n=65536, a=2000,
+                                 deadline_hours=48, budget_dollars=350)
+
+        response = with_server(service, call)
+        assert response["kind"] == "select"
+        assert response["result"]["pareto_count"] > 0
+
+    def test_http_response_matches_in_process_result(self):
+        service = make_service()
+
+        def call(client):
+            return client.select("galaxy", n=65536, a=2000,
+                                 deadline_hours=48, budget_dollars=350)
+
+        http_response = with_server(service, call)
+        direct = asyncio.run(service.select(
+            "galaxy", 65536.0, 2000.0, 48.0, 350.0))
+        assert http_response["result"] == direct["result"]
+
+    def test_predict_and_plan(self):
+        service = make_service()
+
+        def call(client):
+            predicted = client.predict("galaxy", n=65536, a=2000,
+                                       configuration=[1, 1, 0])
+            planned = client.plan("galaxy", deadline_hours=24,
+                                  budget_dollars=50, fix_size=65536,
+                                  knob_range=(100, 20000), integral=True)
+            return predicted, planned
+
+        predicted, planned = with_server(service, call)
+        assert predicted["result"]["configuration"] == [1, 1, 0]
+        assert planned["result"]["knob"] == "accuracy"
+
+    def test_health_and_metrics(self):
+        service = make_service()
+
+        def call(client):
+            client.select("galaxy", n=65536, a=2000, deadline_hours=48,
+                          budget_dollars=350)
+            return client.health(), client.metrics()
+
+        health, metrics = with_server(service, call)
+        assert health["status"] == "ok"
+        assert health["warm_signatures"] == [
+            {"app": "galaxy", "quota": 2, "seed": 0}]
+        assert metrics["counters"]["requests_total"] == 1
+        assert metrics["histograms"]["latency_select_s"]["count"] == 1
+
+
+class TestErrorMapping:
+    def test_unknown_app_is_invalid_request(self):
+        def call(client):
+            with pytest.raises(ValidationError):
+                client.select("hadoop", n=1, a=1, deadline_hours=1,
+                              budget_dollars=1)
+            return True
+
+        assert with_server(make_service(), call)
+
+    def test_unknown_route_404(self):
+        def call(client):
+            with pytest.raises(ReproError):
+                client._request("POST", "/v1/teleport", {})
+            return True
+
+        assert with_server(make_service(), call)
+
+    def test_get_on_post_route_405(self):
+        def call(client):
+            with pytest.raises(ReproError):
+                client._request("GET", "/v1/select")
+            return True
+
+        assert with_server(make_service(), call)
+
+    def test_bad_json_body_400(self):
+        def call(client):
+            import http.client
+
+            conn = http.client.HTTPConnection(client.host, client.port,
+                                              timeout=10)
+            conn.request("POST", "/v1/select", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            conn.close()
+            return response.status, body
+
+        status, body = with_server(make_service(), call)
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+    def test_saturated_maps_to_typed_client_error(self):
+        service = make_service(faults=ServiceFaults(compute_delay_s=0.4),
+                               max_queue_depth=1, batch_window_s=0.0,
+                               max_batch=1)
+
+        async def run():
+            server = PlannerServer(service)
+            await server.start()
+            try:
+                await service.warm("galaxy")
+                blocker = asyncio.create_task(service.select(
+                    "galaxy", 65536.0, 2000.0, 48.0, 350.0))
+                await asyncio.sleep(0.1)
+
+                def overflow(client):
+                    with pytest.raises(ServiceSaturatedError):
+                        client.select("galaxy", n=65536, a=3000,
+                                      deadline_hours=48, budget_dollars=350)
+                    return True
+
+                client = PlannerClient(port=server.port)
+                rejected = await asyncio.get_running_loop().run_in_executor(
+                    None, overflow, client)
+                await blocker
+                return rejected
+            finally:
+                await server.stop()
+
+        assert asyncio.run(run())
+
+
+class TestSmoke:
+    def test_start_request_metrics_shutdown(self):
+        """The CI smoke sequence: start, one request, metrics, clean stop."""
+        service = make_service()
+
+        async def run():
+            server = PlannerServer(service)
+            await server.start()
+            client = PlannerClient(port=server.port)
+            loop = asyncio.get_running_loop()
+            response = await loop.run_in_executor(
+                None, lambda: client.select(
+                    "galaxy", n=65536, a=2000, deadline_hours=48,
+                    budget_dollars=350))
+            snapshot = await loop.run_in_executor(None, client.metrics)
+            await server.stop()
+            return response, snapshot
+
+        response, snapshot = asyncio.run(run())
+        assert response["result"]["feasible_count"] > 0
+        assert snapshot["counters"]["requests_select"] == 1
