@@ -10,15 +10,20 @@ Times, per space size (Table III catalog at quotas 2, 3 and 5 —
 
 Run directly (not via pytest)::
 
-    PYTHONPATH=src python benchmarks/bench_configspace.py
+    PYTHONPATH=src python benchmarks/bench_configspace.py [--quick]
+        [--output PATH]
 
-Results land in ``BENCH_configspace.json`` at the repository root,
-including the machine's core count — the parallel speedup is only
-meaningful with multiple cores available.
+``--quick`` stops at quota 3 (the 10M-configuration quota-5 space takes
+tens of seconds) — the mode the CI benchmark-smoke job runs and compares
+against the committed baseline with ``compare_bench.py``.  Results land
+in ``BENCH_configspace.json`` at the repository root, including the
+machine's core count — the parallel speedup is only meaningful with
+multiple cores available.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -34,6 +39,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT = REPO_ROOT / "BENCH_configspace.json"
 
 QUOTAS = (2, 3, 5)
+QUICK_QUOTAS = (2, 3)
 N_QUERIES = 10
 #: Synthetic but realistic per-type capacities (GI/s).
 CAPACITIES = np.linspace(2.0, 8.0, 9)
@@ -88,13 +94,19 @@ def bench_select(evaluation):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"only quotas {QUICK_QUOTAS} (CI smoke mode)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"report path (default {OUTPUT.name})")
+    args = parser.parse_args()
     workers = available_workers()
     report = {
         "cpu_cores_available": workers,
         "queries_per_select_benchmark": N_QUERIES,
         "spaces": [],
     }
-    for quota in QUOTAS:
+    for quota in (QUICK_QUOTAS if args.quick else QUOTAS):
         space = ConfigurationSpace(ec2_catalog(max_nodes_per_type=quota))
         print(f"quota {quota}: {space.size:,} configurations")
         evaluation, t_serial, t_parallel = bench_evaluate(space, workers)
@@ -123,8 +135,9 @@ def main() -> None:
               f"indexed {t_indexed * 1e3:.3f} ms/query "
               f"({t_streamed / t_indexed:.0f}x after a {t_build:.2f}s build, "
               f"frontier {frontier})")
-    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {OUTPUT}")
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,94 @@
+"""Compare a fresh benchmark report against a committed baseline.
+
+Flags any timing metric (JSON leaves whose key ends in ``_s``,
+``_s_per_query`` or ``_s_per_request``) that regressed by more than
+``--max-ratio`` relative to the baseline.  Metrics below
+``--min-baseline-s`` in the baseline, or whose absolute slowdown is
+under ``--min-delta-s``, are skipped — at sub-hundredth-of-a-second
+scales a shared CI runner's timer noise exceeds any signal.
+
+The reports may cover different subsets (the CI smoke mode runs
+benchmarks with ``--quick``, which drops the most expensive entries);
+only metrics present in both are compared.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--max-ratio 3.0] [--min-baseline-s 0.02] [--min-delta-s 0.05]
+
+Exits non-zero if any compared metric regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIMING_SUFFIXES = ("_s", "_s_per_query", "_s_per_request")
+
+
+def flatten(node, prefix="") -> dict[str, float]:
+    """Dotted-path -> value map of every timing leaf in a report."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(flatten(value, f"{prefix}{i}."))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        key = prefix.rstrip(".")
+        leaf = key.rsplit(".", 1)[-1]
+        if leaf.endswith(TIMING_SUFFIXES):
+            out[key] = float(node)
+    return out
+
+
+def compare(baseline: dict, current: dict, *, max_ratio: float,
+            min_baseline_s: float, min_delta_s: float) -> list[str]:
+    base = flatten(baseline)
+    curr = flatten(current)
+    shared = sorted(set(base) & set(curr))
+    regressions = []
+    for key in shared:
+        b, c = base[key], curr[key]
+        if b < min_baseline_s or c - b < min_delta_s:
+            continue
+        if c > max_ratio * b:
+            regressions.append(
+                f"{key}: {c:.4f}s vs baseline {b:.4f}s "
+                f"({c / b:.1f}x > {max_ratio:g}x allowed)")
+    print(f"compared {len(shared)} shared timing metric(s); "
+          f"{len(regressions)} regression(s)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when current > ratio * baseline "
+                             "(default 3.0)")
+    parser.add_argument("--min-baseline-s", type=float, default=0.02,
+                        help="skip metrics with a baseline below this "
+                             "(default 0.02 s)")
+    parser.add_argument("--min-delta-s", type=float, default=0.05,
+                        help="skip slowdowns smaller than this in absolute "
+                             "terms (default 0.05 s)")
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    regressions = compare(baseline, current, max_ratio=args.max_ratio,
+                          min_baseline_s=args.min_baseline_s,
+                          min_delta_s=args.min_delta_s)
+    for line in regressions:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

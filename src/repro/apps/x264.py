@@ -26,7 +26,7 @@ from repro.apps.base import (
     PerformanceProfile,
     Workload,
 )
-from repro.apps.demand import AffineTerm, LinearTerm, QuadraticTerm, SeparableDemand
+from repro.apps.demand import LinearTerm, QuadraticTerm, SeparableDemand
 from repro.cloud.instance import ResourceCategory
 from repro.errors import ValidationError
 from repro.utils.rng import derive_rng

@@ -22,18 +22,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.cloud.catalog import Catalog
-from repro.core.configspace import ConfigurationSpace, SpaceEvaluation
+from repro.core.configspace import DEFAULT_CHUNK, ConfigurationSpace, SpaceEvaluation
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CacheEntry",
     "EvaluationCache",
+    "SweepCheckpoint",
     "default_cache_dir",
     "evaluation_cache_key",
 ]
@@ -85,6 +88,157 @@ class CacheEntry:
     space_size: int
     type_names: tuple[str, ...]
     bytes_on_disk: int
+
+
+_SPAN_FILE_RE = re.compile(r"^span-(\d{12})-(\d{12})\.npy$")
+
+
+class SweepCheckpoint:
+    """Shard manifest of a partially-completed space sweep.
+
+    The supervised sweep (:func:`repro.parallel.evaluate_resilient`)
+    flushes every completed span into this directory as one ``.npy``
+    shard holding a ``(2, span_length)`` float64 array — capacity row 0,
+    unit-cost row 1 — written atomically (tmp + rename).  A killed sweep
+    therefore leaves a crash-consistent set of shards; the next run
+    loads them back and evaluates only the missing spans.
+
+    Keying matches :class:`EvaluationCache` exactly: the directory name
+    embeds the same SHA-256 content hash of (catalog, capacity vector),
+    and the manifest pins the chunk grid, so shards can never be resumed
+    against a different space, measurement, or chunk alignment — any
+    mismatch discards the checkpoint and the sweep starts fresh.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: str | Path, *, key: str, space_size: int,
+                 chunk_size: int = DEFAULT_CHUNK):
+        if space_size < 1:
+            raise ValueError("space_size must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.directory = Path(directory)
+        self.key = key
+        self.space_size = int(space_size)
+        self.chunk_size = int(chunk_size)
+
+    # -- manifest --------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST
+
+    def _manifest_matches(self) -> bool:
+        try:
+            meta = json.loads(self._manifest_path().read_text(
+                encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return (meta.get("version") == _FORMAT_VERSION
+                and meta.get("key") == self.key
+                and meta.get("space_size") == self.space_size
+                and meta.get("chunk_size") == self.chunk_size)
+
+    def ensure(self) -> None:
+        """Create the directory and manifest; wipe a mismatched leftover."""
+        if self.directory.exists() and not self._manifest_matches():
+            shutil.rmtree(self.directory, ignore_errors=True)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if not self._manifest_path().exists():
+            manifest = {
+                "version": _FORMAT_VERSION,
+                "key": self.key,
+                "space_size": self.space_size,
+                "chunk_size": self.chunk_size,
+            }
+            tmp = self._manifest_path().with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+            os.replace(tmp, self._manifest_path())
+
+    # -- spans -----------------------------------------------------------------
+
+    def _span_path(self, start: int, stop: int) -> Path:
+        return self.directory / f"span-{start:012d}-{stop:012d}.npy"
+
+    def _span_is_aligned(self, start: int, stop: int) -> bool:
+        if not (1 <= start < stop <= self.space_size + 1):
+            return False
+        if (start - 1) % self.chunk_size != 0:
+            return False
+        return stop == self.space_size + 1 or \
+            (stop - 1) % self.chunk_size == 0
+
+    def write_span(self, start: int, stop: int, capacity: np.ndarray,
+                   unit_cost: np.ndarray) -> None:
+        """Atomically persist one completed span's two output slices."""
+        if not self._span_is_aligned(start, stop):
+            raise ValueError(
+                f"span [{start}, {stop}) is off the chunk grid "
+                f"(chunk size {self.chunk_size}, space {self.space_size})")
+        shard = np.vstack([
+            np.asarray(capacity, dtype=np.float64),
+            np.asarray(unit_cost, dtype=np.float64),
+        ])
+        if shard.shape != (2, stop - start):
+            raise ValueError("span slices do not match the span length")
+        target = self._span_path(start, stop)
+        tmp = target.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            np.save(fh, np.ascontiguousarray(shard))
+        os.replace(tmp, target)
+
+    def completed_spans(self) -> list[tuple[int, int]]:
+        """Chunk-aligned spans with shards on disk (sorted by start)."""
+        if not self._manifest_matches():
+            return []
+        spans: list[tuple[int, int]] = []
+        for path in self.directory.iterdir():
+            match = _SPAN_FILE_RE.match(path.name)
+            if not match:
+                continue
+            start, stop = int(match.group(1)), int(match.group(2))
+            if self._span_is_aligned(start, stop):
+                spans.append((start, stop))
+        return sorted(spans)
+
+    def has_shards(self) -> bool:
+        """Whether a resumable partial sweep is on disk."""
+        return bool(self.completed_spans())
+
+    def load_into(self, capacity: np.ndarray,
+                  unit_cost: np.ndarray) -> list[tuple[int, int]]:
+        """Restore every valid shard into the output arrays.
+
+        Returns the spans actually restored.  A shard that cannot be
+        read or has the wrong shape is deleted and simply re-evaluated —
+        corruption can cost progress, never correctness.
+        """
+        loaded: list[tuple[int, int]] = []
+        for start, stop in self.completed_spans():
+            path = self._span_path(start, stop)
+            try:
+                shard = np.load(path)
+                if shard.shape != (2, stop - start) or \
+                        shard.dtype != np.float64:
+                    raise ValueError("malformed shard")
+            except (OSError, ValueError):
+                path.unlink(missing_ok=True)
+                continue
+            capacity[start - 1:stop - 1] = shard[0]
+            unit_cost[start - 1:stop - 1] = shard[1]
+            loaded.append((start, stop))
+        return loaded
+
+    def bytes_on_disk(self) -> int:
+        """Current disk footprint of the checkpoint directory."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.directory.iterdir()
+                   if p.is_file())
+
+    def discard(self) -> None:
+        """Delete the whole checkpoint directory (idempotent)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
 
 
 class EvaluationCache:
@@ -195,6 +349,37 @@ class EvaluationCache:
         os.replace(tmp, meta_path)
         return key
 
+    # -- sweep checkpoints -----------------------------------------------------
+
+    def sweep_checkpoint(self, space: ConfigurationSpace,
+                         capacities_gips: np.ndarray,
+                         *, chunk_size: int = DEFAULT_CHUNK
+                         ) -> SweepCheckpoint:
+        """The shard checkpoint for (catalog, capacities) sweeps.
+
+        Lives beside the final artefacts under ``<key>.sweep/`` with the
+        same content-hash key, so a resumed sweep can only ever pick up
+        shards produced for the identical space and measurement.
+        """
+        key = evaluation_cache_key(space.catalog, capacities_gips)
+        return SweepCheckpoint(self.cache_dir / f"{key}.sweep", key=key,
+                               space_size=space.size, chunk_size=chunk_size)
+
+    def sweep_checkpoints(self) -> list[tuple[str, int, int]]:
+        """``(key, n_shards, bytes)`` for every checkpoint dir on disk."""
+        if not self.cache_dir.is_dir():
+            return []
+        found: list[tuple[str, int, int]] = []
+        for path in sorted(self.cache_dir.glob("*.sweep")):
+            if not path.is_dir():
+                continue
+            shards = [p for p in path.iterdir()
+                      if _SPAN_FILE_RE.match(p.name)]
+            size = sum(p.stat().st_size for p in path.iterdir()
+                       if p.is_file())
+            found.append((path.name[:-len(".sweep")], len(shards), size))
+        return found
+
     # -- maintenance -----------------------------------------------------------
 
     def entries(self) -> list[CacheEntry]:
@@ -225,7 +410,7 @@ class EvaluationCache:
         return sum(e.bytes_on_disk for e in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and sweep checkpoint); returns entries removed."""
         removed = 0
         for entry in self.entries():
             for path in (self._meta_path(entry.key),
@@ -236,4 +421,7 @@ class EvaluationCache:
                 except OSError:
                     pass
             removed += 1
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.sweep"):
+                shutil.rmtree(path, ignore_errors=True)
         return removed

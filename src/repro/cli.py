@@ -9,6 +9,9 @@ Subcommands mirror how a practitioner would use the system:
 * ``plan`` — best affordable accuracy (or problem size) under a deadline
   and budget;
 * ``validate`` — compare a prediction against a simulated execution;
+* ``sweep`` — run (or resume) the fault-tolerant full-space sweep and
+  persist its artefacts; interrupted sweeps leave checkpoint shards that
+  ``sweep --resume`` picks up instead of starting over;
 * ``cache`` — inspect or clear the persistent space-evaluation cache;
 * ``serve`` — run the batched JSON-over-HTTP planning service.
 
@@ -150,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bid", type=float, default=0.5,
                    help="bid as a fraction of the on-demand price")
     p.add_argument("--trials", type=int, default=30)
+
+    p = sub.add_parser("sweep",
+                       help="run or resume the checkpointed full-space sweep")
+    p.add_argument("app", choices=APP_CHOICES)
+    p.add_argument("--resume", action="store_true",
+                   help="pick up checkpoint shards from an interrupted "
+                        "sweep instead of starting fresh")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="configurations decoded per chunk (advanced; "
+                        "resume requires the interrupted sweep's value)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable sweep statistics")
 
     p = sub.add_parser("cache",
                        help="inspect or clear the evaluation cache")
@@ -306,6 +321,59 @@ def _cmd_spot(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_sweep(celia: Celia, args) -> int:
+    from repro.core.configspace import DEFAULT_CHUNK, SpaceEvaluation
+    from repro.parallel import evaluate_resilient, resolve_workers
+
+    cache = celia.evaluation_cache
+    if cache is None:
+        print("sweep persists artefacts and needs the cache; "
+              "drop --no-cache", file=sys.stderr)
+        return 2
+    app = application_by_name(args.app, seed=celia.seed)
+    capacities = celia.capacities(app)
+    if cache.load(celia.space, capacities) is not None:
+        from repro.cache import evaluation_cache_key
+
+        key = evaluation_cache_key(celia.catalog, capacities)
+        print(f"evaluation already cached (key {key[:12]}, "
+              f"{celia.space.size:,} configurations); nothing to sweep")
+        return 0
+    chunk_size = args.chunk_size or DEFAULT_CHUNK
+    checkpoint = cache.sweep_checkpoint(celia.space, capacities,
+                                        chunk_size=chunk_size)
+    if not args.resume:
+        checkpoint.discard()
+    workers = max(1, resolve_workers(celia.workers, celia.space.size))
+    try:
+        capacity, unit_cost, stats = evaluate_resilient(
+            celia.space, capacities, workers=workers, chunk_size=chunk_size,
+            checkpoint=checkpoint)
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        print(f"\ninterrupted; completed spans are checkpointed under "
+              f"{checkpoint.directory}\nresume with: "
+              f"celia sweep {args.app} --resume", file=sys.stderr)
+        return 130
+    evaluation = SpaceEvaluation(space=celia.space, capacity_gips=capacity,
+                                 unit_cost_per_hour=unit_cost)
+    key = cache.store(evaluation, capacities)
+    checkpoint.discard()
+    if args.json:
+        print(json.dumps({"app": args.app, "key": key,
+                          "space_size": celia.space.size,
+                          "workers": workers, **stats.to_dict()}, indent=2))
+        return 0
+    print(f"swept {celia.space.size:,} configurations with {workers} "
+          f"worker(s) in {stats.wall_s:.2f}s")
+    print(f"  spans: {stats.spans_resumed} resumed from checkpoint, "
+          f"{stats.spans_evaluated} evaluated"
+          + (f", {stats.retries} retried" if stats.retries else "")
+          + (f", {stats.workers_lost} worker(s) lost"
+             if stats.workers_lost else ""))
+    print(f"  cached under key {key[:12]} in {cache.cache_dir}")
+    return 0
+
+
 def _cmd_cache(celia: Celia, args) -> int:
     cache = celia.evaluation_cache
     if cache is None:  # --no-cache with the cache command is a user error
@@ -316,17 +384,25 @@ def _cmd_cache(celia: Celia, args) -> int:
         print(f"removed {removed} cached evaluation(s) from {cache.cache_dir}")
         return 0
     entries = cache.entries()
+    checkpoints = cache.sweep_checkpoints()
     print(f"cache directory: {cache.cache_dir}")
-    if not entries:
+    if not entries and not checkpoints:
         print("no cached evaluations")
         return 0
-    table = TextTable(["Key", "Space size", "Types", "Bytes"], aligns="lrrr")
-    for entry in entries:
-        table.add_row([entry.key[:12], f"{entry.space_size:,}",
-                       str(len(entry.type_names)),
-                       f"{entry.bytes_on_disk:,}"])
-    print(table.render())
+    if entries:
+        table = TextTable(["Key", "Space size", "Types", "Bytes"],
+                          aligns="lrrr")
+        for entry in entries:
+            table.add_row([entry.key[:12], f"{entry.space_size:,}",
+                           str(len(entry.type_names)),
+                           f"{entry.bytes_on_disk:,}"])
+        print(table.render())
     print(f"total: {len(entries)} entries, {cache.total_bytes():,} bytes")
+    if checkpoints:
+        print("interrupted sweeps (resume with `celia sweep --resume`):")
+        for key, n_shards, size in checkpoints:
+            print(f"  {key[:12]}: {n_shards} checkpointed span(s), "
+                  f"{size:,} bytes")
     return 0
 
 
@@ -362,6 +438,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "validate": _cmd_validate,
     "spot": _cmd_spot,
+    "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
 }

@@ -156,6 +156,12 @@ class Celia:
         persistence is enabled — on disk keyed by a content hash of the
         catalog and the measured capacity vector, so a second process
         with a warm cache memory-maps the arrays instead of sweeping.
+
+        When persistence is enabled the sweep also runs against a
+        :class:`~repro.cache.SweepCheckpoint`: an earlier interrupted
+        sweep's completed spans are restored from their shards and only
+        the missing spans are evaluated, after which the checkpoint is
+        replaced by the final cached artefact.
         """
         if app.name not in self._evaluation_cache:
             capacities = self.capacities(app)
@@ -163,10 +169,16 @@ class Celia:
             if self.evaluation_cache is not None:
                 evaluation = self.evaluation_cache.load(self.space, capacities)
             if evaluation is None:
+                checkpoint = None
+                if self.evaluation_cache is not None:
+                    checkpoint = self.evaluation_cache.sweep_checkpoint(
+                        self.space, capacities)
                 evaluation = self.space.evaluate(capacities,
-                                                 workers=self.workers)
+                                                 workers=self.workers,
+                                                 checkpoint=checkpoint)
                 if self.evaluation_cache is not None:
                     self.evaluation_cache.store(evaluation, capacities)
+                    checkpoint.discard()
             self._evaluation_cache[app.name] = evaluation
         return self._evaluation_cache[app.name]
 

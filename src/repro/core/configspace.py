@@ -114,7 +114,8 @@ class ConfigurationSpace:
 
     def evaluate(self, capacities_gips: np.ndarray,
                  *, chunk_size: int = DEFAULT_CHUNK,
-                 workers: int | str | None = None) -> "SpaceEvaluation":
+                 workers: int | str | None = None,
+                 checkpoint=None) -> "SpaceEvaluation":
         """Reduce the whole space to capacity and unit-cost vectors.
 
         Decodes chunk by chunk so peak memory is one chunk's matrix plus
@@ -122,26 +123,35 @@ class ConfigurationSpace:
 
         ``workers`` selects the execution strategy: ``None`` (or 1) runs
         the serial loop, an integer fans the sweep out over that many
-        processes via :mod:`repro.parallel`, and ``"auto"`` stays serial
-        below :data:`repro.parallel.AUTO_WORKERS_THRESHOLD` configurations
-        and uses one worker per available CPU above it.  All strategies
-        produce bit-identical arrays (worker spans are aligned to the
-        serial chunk grid).
+        supervised processes via :mod:`repro.parallel`, and ``"auto"``
+        stays serial below :data:`repro.parallel.AUTO_WORKERS_THRESHOLD`
+        configurations and uses one worker per available CPU above it.
+        All strategies produce bit-identical arrays (worker spans are
+        aligned to the serial chunk grid).
+
+        ``checkpoint`` (a :class:`repro.cache.SweepCheckpoint`) makes a
+        supervised sweep flush completed spans to disk and resume from
+        whatever a previous interrupted sweep left behind.  A checkpoint
+        holding shards forces the supervised path even for ``workers=1``,
+        so a resumed sweep never re-evaluates completed spans.
         """
         n_workers = 1
         if workers is not None:
             from repro.parallel import resolve_workers
 
             n_workers = resolve_workers(workers, self.size)
-        if n_workers > 1:
-            from repro.parallel import evaluate_parallel
+        if n_workers > 1 or (checkpoint is not None
+                             and checkpoint.has_shards()):
+            from repro.parallel import evaluate_resilient
 
-            capacity, unit_cost = evaluate_parallel(
-                self, capacities_gips, workers=n_workers,
-                chunk_size=chunk_size,
+            capacity, unit_cost, stats = evaluate_resilient(
+                self, capacities_gips, workers=max(n_workers, 1),
+                chunk_size=chunk_size, checkpoint=checkpoint,
             )
-            return SpaceEvaluation(space=self, capacity_gips=capacity,
-                                   unit_cost_per_hour=unit_cost)
+            evaluation = SpaceEvaluation(space=self, capacity_gips=capacity,
+                                         unit_cost_per_hour=unit_cost)
+            object.__setattr__(evaluation, "_sweep_stats", stats)
+            return evaluation
         prices = self.catalog.prices
         total = self.size
         capacity = np.empty(total, dtype=np.float64)
@@ -196,6 +206,11 @@ class SpaceEvaluation:
     # (MinCostIndex, MinTimeIndex, FrontierIndex), so they are computed
     # once and cached on the instance (frozen dataclasses still allow
     # object.__setattr__).
+
+    def sweep_stats(self):
+        """The :class:`~repro.parallel.SweepStats` of the supervised sweep
+        that produced this evaluation, or ``None`` (serial or cached)."""
+        return self.__dict__.get("_sweep_stats")
 
     def capacity_order(self) -> np.ndarray:
         """Stable argsort of ``capacity_gips`` (cached)."""

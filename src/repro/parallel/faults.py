@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the supervised space sweep.
+
+A :class:`FaultPlan` is a picklable list of :class:`WorkerFault`
+directives shipped to every sweep worker.  Each directive targets one
+worker id and fires at an exact point in that worker's life — the
+``at_span``-th span it leases (0-based, counting only spans *that
+worker* started) and the ``at_chunk``-th chunk within it — so a test or
+benchmark reproduces the same failure at the same place on every run,
+on any machine.
+
+Three kinds model the failure modes a preemptible fleet actually shows:
+
+* ``kill`` — the worker SIGKILLs itself mid-span (preemption, OOM kill);
+* ``hang`` — the worker stops making progress and stops heartbeating,
+  but its process stays alive (NFS stall, deadlock);
+* ``slow`` — the worker keeps working but each chunk takes ``delay_s``
+  longer (noisy neighbour, thermal throttling) — the straggler case.
+
+The plan is inert in production: :func:`repro.parallel.evaluate_resilient`
+defaults to ``faults=None`` and ships no directives.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "WorkerFault"]
+
+FAULT_KINDS = ("kill", "hang", "slow")
+
+#: How long a hung worker sleeps per wakeup; it never exits on its own —
+#: the supervisor's heartbeat timeout is what ends it.
+_HANG_NAP_S = 0.2
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFault:
+    """One deterministic failure directive for one worker."""
+
+    worker_id: int
+    kind: str
+    at_span: int = 0
+    at_chunk: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.worker_id < 0 or self.at_span < 0 or self.at_chunk < 0:
+            raise ConfigurationError("fault coordinates must be >= 0")
+        if self.kind == "slow" and self.delay_s <= 0:
+            raise ConfigurationError("slow faults need a positive delay_s")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable, picklable set of worker faults."""
+
+    faults: tuple[WorkerFault, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def kill_worker(cls, worker_id: int, *, at_span: int = 0,
+                    at_chunk: int = 0) -> "FaultPlan":
+        return cls((WorkerFault(worker_id, "kill", at_span, at_chunk),))
+
+    @classmethod
+    def hang_worker(cls, worker_id: int, *, at_span: int = 0,
+                    at_chunk: int = 0) -> "FaultPlan":
+        return cls((WorkerFault(worker_id, "hang", at_span, at_chunk),))
+
+    @classmethod
+    def slow_worker(cls, worker_id: int, delay_s: float, *, at_span: int = 0,
+                    at_chunk: int = 0) -> "FaultPlan":
+        return cls((WorkerFault(worker_id, "slow", at_span, at_chunk,
+                                delay_s),))
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(self.faults + other.faults)
+
+    def for_worker(self, worker_id: int) -> tuple[WorkerFault, ...]:
+        return tuple(f for f in self.faults if f.worker_id == worker_id)
+
+
+class FaultClock:
+    """Worker-side interpreter of a :class:`FaultPlan`.
+
+    Called before every chunk with the worker-local span ordinal and the
+    chunk ordinal within the span; fires each matching directive exactly
+    once (``kill`` and ``hang`` never return).
+    """
+
+    def __init__(self, plan: FaultPlan | None, worker_id: int):
+        self._pending = list(plan.for_worker(worker_id)) if plan else []
+
+    def before_chunk(self, span_ordinal: int, chunk_ordinal: int) -> None:
+        if not self._pending:
+            return
+        for fault in list(self._pending):
+            if fault.at_span != span_ordinal:
+                continue
+            if fault.kind == "slow":
+                if chunk_ordinal >= fault.at_chunk:
+                    time.sleep(fault.delay_s)
+                continue
+            if fault.at_chunk != chunk_ordinal:
+                continue
+            self._pending.remove(fault)
+            if fault.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if fault.kind == "hang":  # stop progressing, stay alive
+                while True:
+                    time.sleep(_HANG_NAP_S)
+
+    def drop_span(self, span_ordinal: int) -> None:
+        """Retire slow directives once their span is over."""
+        self._pending = [f for f in self._pending
+                         if not (f.kind == "slow" and f.at_span < span_ordinal)]

@@ -1,0 +1,510 @@
+"""Fault-tolerant, resumable supervision of the parallel space sweep.
+
+:func:`evaluate_resilient` runs the full-space sweep across worker
+processes and survives the failure modes that kill a plain process pool:
+
+* **crashed workers** — a worker that exits (SIGKILL, OOM, bug) is
+  detected by process liveness; its leased span is re-dispatched with
+  capped exponential backoff and a replacement worker is spawned;
+* **hung workers** — every chunk a worker finishes is a heartbeat; a
+  lease with no heartbeat for ``heartbeat_timeout_s`` is presumed hung,
+  the worker is SIGKILLed, and the span is re-dispatched;
+* **stragglers** — once no undispatched work remains, in-flight spans
+  that have taken disproportionately long are speculatively duplicated
+  onto idle workers; whichever copy finishes first completes the span
+  (duplicate writes are byte-identical, so the race is benign);
+* **interruption** — with a :class:`~repro.cache.SweepCheckpoint`
+  attached, every completed span is flushed to a shard file; a killed
+  sweep resumes by evaluating only the missing spans.
+
+Bit-identity with the serial sweep is preserved through all of this
+because spans live on the serial chunk grid (see
+:mod:`repro.parallel.partition`): re-executing or duplicating a span
+rewrites the same bytes at the same offsets.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process, shared_memory
+from multiprocessing.connection import wait as connection_wait
+from statistics import median
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.capacity import capacity_per_type
+from repro.errors import ConfigurationError, ReproError
+from repro.parallel.faults import FaultPlan
+from repro.parallel.partition import (
+    TASKS_PER_WORKER,
+    missing_ranges,
+    partition_chunks,
+    partition_ranges,
+)
+from repro.parallel.worker import worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache import SweepCheckpoint
+    from repro.core.configspace import ConfigurationSpace
+
+__all__ = [
+    "SupervisorConfig",
+    "SweepError",
+    "SweepInterrupted",
+    "SweepStats",
+    "evaluate_parallel",
+    "evaluate_resilient",
+]
+
+
+class SweepError(ReproError):
+    """The sweep could not complete (a span exhausted its retries)."""
+
+
+class SweepInterrupted(ReproError):
+    """The sweep stopped early on purpose; checkpointed spans persist.
+
+    Raised by the ``stop_after_spans`` test/ops hook so interruption is
+    exercisable deterministically; the checkpoint directory is left
+    intact for a later ``--resume``.
+    """
+
+    def __init__(self, message: str, *, spans_completed: int):
+        super().__init__(message)
+        self.spans_completed = spans_completed
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorConfig:
+    """Failure-handling knobs of one supervised sweep."""
+
+    #: A lease with no heartbeat for this long is presumed hung; the
+    #: worker is killed and the span re-dispatched.
+    heartbeat_timeout_s: float = 60.0
+    #: Supervisor wakeup interval (event wait timeout).
+    poll_interval_s: float = 0.05
+    #: Re-dispatch attempts per span before the sweep aborts.
+    max_span_retries: int = 4
+    #: First re-dispatch delay; doubles per retry up to the cap.
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 5.0
+    #: An in-flight span is duplicated onto an idle worker once its age
+    #: exceeds ``straggler_factor ×`` the median completed-span time
+    #: (but never sooner than ``straggler_min_s``).
+    straggler_factor: float = 3.0
+    straggler_min_s: float = 1.0
+    #: How long shutdown waits for workers to drain their sentinel
+    #: before SIGKILLing them (a duplicated straggler may still be
+    #: grinding on a span someone else already finished).
+    shutdown_grace_s: float = 2.0
+    #: Test/ops hook: raise :class:`SweepInterrupted` after this many
+    #: span completions (checkpoint shards are kept).
+    stop_after_spans: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout_s <= 0 or self.poll_interval_s <= 0:
+            raise ConfigurationError("timeouts must be positive")
+        if self.max_span_retries < 0:
+            raise ConfigurationError("max_span_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.straggler_factor < 1.0:
+            raise ConfigurationError("straggler_factor must be >= 1")
+
+
+@dataclass(slots=True)
+class SweepStats:
+    """What a supervised sweep actually did — surfaced for ops/metrics."""
+
+    spans_total: int = 0
+    spans_resumed: int = 0
+    spans_evaluated: int = 0
+    spans_duplicated: int = 0
+    workers_spawned: int = 0
+    workers_lost: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "spans_total": self.spans_total,
+            "spans_resumed": self.spans_resumed,
+            "spans_evaluated": self.spans_evaluated,
+            "spans_duplicated": self.spans_duplicated,
+            "workers_spawned": self.workers_spawned,
+            "workers_lost": self.workers_lost,
+            "retries": self.retries,
+            "wall_s": round(self.wall_s, 4),
+        }
+
+
+@dataclass(slots=True)
+class _Span:
+    span_id: int
+    start: int
+    stop: int
+    retries: int = 0
+    duplicated: bool = False
+    leased_at: float = 0.0
+    last_beat: float = 0.0
+    holders: set = field(default_factory=set)
+
+
+class _Worker:
+    __slots__ = ("worker_id", "process", "conn", "span_id")
+
+    def __init__(self, worker_id: int, process: Process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.span_id: int | None = None  # currently leased span
+
+
+class _Supervisor:
+    """One sweep's scheduling state machine (single-threaded, event-driven)."""
+
+    def __init__(self, space: "ConfigurationSpace", w: np.ndarray,
+                 prices: np.ndarray, *, workers: int, chunk_size: int,
+                 checkpoint: "SweepCheckpoint | None",
+                 faults: FaultPlan | None, config: SupervisorConfig,
+                 cap_view: np.ndarray, cost_view: np.ndarray,
+                 cap_name: str, cost_name: str):
+        self.space = space
+        self.w = w
+        self.prices = prices
+        self.target_workers = workers
+        self.chunk_size = chunk_size
+        self.checkpoint = checkpoint
+        self.faults = faults
+        self.config = config
+        self.cap_view = cap_view
+        self.cost_view = cost_view
+        self.cap_name = cap_name
+        self.cost_name = cost_name
+
+        self.stats = SweepStats()
+        self.spans: dict[int, _Span] = {}
+        self.pending: deque[int] = deque()
+        self.delayed: list[tuple[float, int]] = []
+        self.completed: set[int] = set()
+        self.durations: list[float] = []
+        self.workers: list[_Worker] = []
+        self.next_worker_id = 0
+
+    # -- setup -----------------------------------------------------------------
+
+    def plan_spans(self) -> None:
+        """Load checkpointed spans and partition the remainder."""
+        total = self.space.size
+        resumed: list[tuple[int, int]] = []
+        if self.checkpoint is not None:
+            self.checkpoint.ensure()
+            resumed = self.checkpoint.load_into(self.cap_view, self.cost_view)
+        self.stats.spans_resumed = len(resumed)
+        if resumed:
+            gaps = missing_ranges(resumed, total)
+            spans = partition_ranges(
+                gaps, self.chunk_size,
+                self.target_workers * TASKS_PER_WORKER)
+        else:
+            spans = partition_chunks(
+                total, self.chunk_size,
+                self.target_workers * TASKS_PER_WORKER)
+        for span_id, (start, stop) in enumerate(spans):
+            self.spans[span_id] = _Span(span_id, start, stop)
+            self.pending.append(span_id)
+        self.stats.spans_total = self.stats.spans_resumed + len(spans)
+
+    def spawn_worker(self) -> _Worker:
+        worker_id = self.next_worker_id
+        self.next_worker_id += 1
+        parent_conn, child_conn = Pipe(duplex=True)
+        process = Process(
+            target=worker_main,
+            args=(worker_id, child_conn, self.cap_name, self.cost_name,
+                  self.space.size, self.chunk_size, self.space.strides,
+                  self.space.radices, self.w, self.prices, self.faults),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(worker_id, process, parent_conn)
+        self.workers.append(worker)
+        self.stats.workers_spawned += 1
+        return worker
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _work_remains(self) -> bool:
+        return len(self.completed) < len(self.spans)
+
+    def _promote_delayed(self, now: float) -> None:
+        ready = [item for item in self.delayed if item[0] <= now]
+        if ready:
+            self.delayed = [item for item in self.delayed if item[0] > now]
+            for _, span_id in sorted(ready):
+                self.pending.append(span_id)
+
+    def _assign(self, worker: _Worker, span_id: int, now: float) -> None:
+        span = self.spans[span_id]
+        try:
+            worker.conn.send((span_id, span.start, span.stop))
+        except (BrokenPipeError, OSError):
+            # The worker died between liveness checks; the span stays
+            # pending and the death is handled on the next health pass.
+            self.pending.appendleft(span_id)
+            return
+        worker.span_id = span_id
+        span.holders.add(worker.worker_id)
+        span.leased_at = now
+        span.last_beat = now
+
+    def _dispatch(self, now: float) -> None:
+        for worker in self.workers:
+            if not self.pending:
+                break
+            if worker.span_id is None and worker.process.is_alive():
+                span_id = self.pending.popleft()
+                if span_id in self.completed:
+                    continue
+                self._assign(worker, span_id, now)
+
+    def _straggler_threshold(self) -> float:
+        if not self.durations:
+            return self.config.heartbeat_timeout_s
+        return max(self.config.straggler_min_s,
+                   self.config.straggler_factor * median(self.durations))
+
+    def _duplicate_stragglers(self, now: float) -> None:
+        """Speculatively re-dispatch slow in-flight spans onto idle workers."""
+        if self.pending or self.delayed:
+            return
+        idle = [worker for worker in self.workers
+                if worker.span_id is None and worker.process.is_alive()]
+        if not idle:
+            return
+        threshold = self._straggler_threshold()
+        laggards = sorted(
+            (span for span in self.spans.values()
+             if span.span_id not in self.completed and span.holders
+             and not span.duplicated
+             and now - span.leased_at > threshold),
+            key=lambda span: span.leased_at)
+        for worker, span in zip(idle, laggards):
+            span.duplicated = True
+            self.stats.spans_duplicated += 1
+            self._assign(worker, span.span_id, now)
+
+    # -- event handling --------------------------------------------------------
+
+    def _handle_message(self, worker: _Worker, message: tuple,
+                        now: float) -> None:
+        kind = message[0]
+        if kind == "lease":
+            _, _, span_id = message
+            if span_id in self.spans:
+                self.spans[span_id].last_beat = now
+        elif kind == "chunk":
+            _, _, span_id, _ = message
+            if span_id in self.spans:
+                self.spans[span_id].last_beat = now
+        elif kind == "done":
+            _, worker_id, span_id = message
+            if worker.span_id == span_id:
+                worker.span_id = None
+            span = self.spans.get(span_id)
+            if span is None:
+                return
+            span.holders.discard(worker_id)
+            if span_id in self.completed:
+                return  # a duplicate finished second; nothing left to do
+            self.completed.add(span_id)
+            self.stats.spans_evaluated += 1
+            self.durations.append(now - span.leased_at)
+            if self.checkpoint is not None:
+                self.checkpoint.write_span(
+                    span.start, span.stop,
+                    self.cap_view[span.start - 1:span.stop - 1],
+                    self.cost_view[span.start - 1:span.stop - 1])
+            stop_after = self.config.stop_after_spans
+            if stop_after is not None and \
+                    self.stats.spans_evaluated >= stop_after and \
+                    self._work_remains():
+                raise SweepInterrupted(
+                    f"sweep stopped after {self.stats.spans_evaluated} "
+                    f"span(s) as requested",
+                    spans_completed=self.stats.spans_evaluated)
+
+    def _drain_events(self) -> None:
+        conns = {worker.conn: worker for worker in self.workers
+                 if not worker.conn.closed}
+        if not conns:
+            time.sleep(self.config.poll_interval_s)
+            return
+        for conn in connection_wait(list(conns),
+                                    timeout=self.config.poll_interval_s):
+            worker = conns[conn]
+            try:
+                while conn.poll():
+                    self._handle_message(worker, conn.recv(),
+                                         time.monotonic())
+            except (EOFError, OSError):
+                pass  # liveness check below reaps the worker
+
+    # -- failure handling ------------------------------------------------------
+
+    def _requeue(self, span: _Span, now: float) -> None:
+        span.retries += 1
+        span.duplicated = False  # a retried span may straggle again
+        self.stats.retries += 1
+        if span.retries > self.config.max_span_retries:
+            raise SweepError(
+                f"span [{span.start}, {span.stop}) failed "
+                f"{span.retries} times; giving up")
+        delay = min(self.config.backoff_base_s * 2 ** (span.retries - 1),
+                    self.config.backoff_cap_s)
+        if delay > 0:
+            self.delayed.append((now + delay, span.span_id))
+        else:
+            self.pending.append(span.span_id)
+
+    def _reap(self, worker: _Worker, now: float) -> None:
+        """Handle one dead (or killed) worker: requeue, replace, close."""
+        self.workers.remove(worker)
+        self.stats.workers_lost += 1
+        worker.process.join(timeout=1.0)
+        worker.conn.close()
+        span_id = worker.span_id
+        if span_id is not None and span_id not in self.completed:
+            span = self.spans[span_id]
+            span.holders.discard(worker.worker_id)
+            if not span.holders:  # no duplicate still running it
+                self._requeue(span, now)
+        if self._work_remains() and len(self.workers) < self.target_workers:
+            self.spawn_worker()
+
+    def _check_health(self, now: float) -> None:
+        for worker in list(self.workers):
+            if not worker.process.is_alive():
+                self._reap(worker, now)
+                continue
+            if worker.span_id is not None:
+                span = self.spans[worker.span_id]
+                if now - span.last_beat > self.config.heartbeat_timeout_s:
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+                    self._reap(worker, now)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self) -> None:
+        self.plan_spans()
+        if not self._work_remains():
+            return
+        for _ in range(min(self.target_workers, len(self.spans))):
+            self.spawn_worker()
+        try:
+            while self._work_remains():
+                now = time.monotonic()
+                self._promote_delayed(now)
+                self._dispatch(now)
+                self._duplicate_stragglers(now)
+                self._drain_events()
+                self._check_health(time.monotonic())
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + self.config.shutdown_grace_s
+        for worker in self.workers:
+            worker.process.join(timeout=max(0.0,
+                                            deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        self.workers.clear()
+
+
+def evaluate_resilient(space: "ConfigurationSpace",
+                       capacities_gips: np.ndarray,
+                       *,
+                       workers: int,
+                       chunk_size: int,
+                       checkpoint: "SweepCheckpoint | None" = None,
+                       faults: FaultPlan | None = None,
+                       config: SupervisorConfig | None = None,
+                       ) -> tuple[np.ndarray, np.ndarray, SweepStats]:
+    """Supervised sweep: survives worker loss, resumes from checkpoints.
+
+    Returns ``(capacity_gips, unit_cost_per_hour, stats)`` — the arrays
+    bit-identical to the serial sweep.  ``workers`` may be 1 (a single
+    supervised worker still gets liveness checks and checkpointing).
+    """
+    if workers < 1:
+        raise ConfigurationError("supervised evaluation needs >= 1 worker")
+    config = config or SupervisorConfig()
+    if checkpoint is not None and checkpoint.chunk_size != chunk_size:
+        raise ConfigurationError(
+            f"checkpoint chunk size {checkpoint.chunk_size} does not match "
+            f"sweep chunk size {chunk_size}")
+    w = np.ascontiguousarray(capacity_per_type(capacities_gips))
+    total = space.size
+    t0 = time.perf_counter()
+
+    cap_shm = shared_memory.SharedMemory(create=True, size=total * 8)
+    cost_shm = shared_memory.SharedMemory(create=True, size=total * 8)
+    cap_view = cost_view = supervisor = None
+    try:
+        cap_view = np.ndarray((total,), dtype=np.float64, buffer=cap_shm.buf)
+        cost_view = np.ndarray((total,), dtype=np.float64, buffer=cost_shm.buf)
+        supervisor = _Supervisor(
+            space, w, space.catalog.prices, workers=workers,
+            chunk_size=chunk_size, checkpoint=checkpoint, faults=faults,
+            config=config, cap_view=cap_view, cost_view=cost_view,
+            cap_name=cap_shm.name, cost_name=cost_shm.name)
+        supervisor.run()
+        stats = supervisor.stats
+        capacity = cap_view.copy()
+        unit_cost = cost_view.copy()
+    finally:
+        # Every ndarray export must be dropped before the segments can
+        # unmap — including the supervisor's references, which outlive
+        # an exception raised inside run().
+        if supervisor is not None:
+            supervisor.cap_view = supervisor.cost_view = None
+        cap_view = cost_view = None
+        for shm in (cap_shm, cost_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray export
+                pass
+            shm.unlink()
+    stats.wall_s = time.perf_counter() - t0
+    return capacity, unit_cost, stats
+
+
+def evaluate_parallel(space: "ConfigurationSpace",
+                      capacities_gips: np.ndarray,
+                      *,
+                      workers: int,
+                      chunk_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the whole space with ``workers`` processes.
+
+    The PR-1 entry point, now backed by the fault-tolerant supervisor:
+    same signature, same bit-identical ``(capacity, unit_cost)`` result,
+    but a crashed or hung worker no longer kills the sweep.
+    """
+    if workers < 2:
+        raise ConfigurationError("parallel evaluation needs >= 2 workers")
+    capacity, unit_cost, _ = evaluate_resilient(
+        space, capacities_gips, workers=workers, chunk_size=chunk_size)
+    return capacity, unit_cost

@@ -1,0 +1,97 @@
+"""Sweep worker process: lease spans, decode chunks, heartbeat progress.
+
+Each worker owns one duplex pipe to the supervisor.  The protocol is
+four tiny tuples, every one small enough for an atomic pipe write:
+
+* supervisor → worker: ``(span_id, start, stop)`` — lease one span —
+  or ``None`` — drain and exit;
+* worker → supervisor: ``("lease", worker_id, span_id)`` on pickup,
+  ``("chunk", worker_id, span_id, c_stop)`` after every chunk (the
+  heartbeat), ``("done", worker_id, span_id)`` on completion.
+
+Results never travel over the pipe: chunks are reduced straight into
+the two shared-memory float64 arrays, at the same offsets and with the
+same matmuls as the serial loop, so any worker (or any two workers,
+racing on a duplicated span) writes byte-identical output.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.faults import FaultClock, FaultPlan
+
+__all__ = ["attach_shared", "worker_main"]
+
+
+def attach_shared(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifetime.
+
+    Python < 3.13 registers every attach with the resource tracker, which
+    would either unlink the segment when a worker exits (spawn) or cancel
+    the parent's registration on explicit unregister (fork, where the
+    tracker's name set is shared).  Suppressing registration during the
+    attach keeps the parent the sole owner under both start methods.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+    except Exception:  # pragma: no cover - tracker API is CPython-internal
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
+                total: int, chunk_size: int, strides: np.ndarray,
+                radices: np.ndarray, capacities: np.ndarray,
+                prices: np.ndarray, fault_plan: FaultPlan | None) -> None:
+    """Entry point of one sweep worker process."""
+    clock = FaultClock(fault_plan, worker_id)
+    cap_shm = attach_shared(cap_name)
+    cost_shm = attach_shared(cost_name)
+    try:
+        capacity = np.ndarray((total,), dtype=np.float64, buffer=cap_shm.buf)
+        unit_cost = np.ndarray((total,), dtype=np.float64, buffer=cost_shm.buf)
+        span_ordinal = 0
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            span_id, start, stop = task
+            conn.send(("lease", worker_id, span_id))
+            chunk_ordinal = 0
+            for c_start in range(start, stop, chunk_size):
+                clock.before_chunk(span_ordinal, chunk_ordinal)
+                c_stop = min(c_start + chunk_size, stop)
+                idx = np.arange(c_start, c_stop, dtype=np.int64)
+                matrix = ((idx[:, None] // strides[None, :])
+                          % radices[None, :]).astype(np.int16)
+                capacity[c_start - 1:c_stop - 1] = matrix @ capacities
+                unit_cost[c_start - 1:c_stop - 1] = matrix @ prices
+                conn.send(("chunk", worker_id, span_id, c_stop))
+                chunk_ordinal += 1
+            conn.send(("done", worker_id, span_id))
+            span_ordinal += 1
+            clock.drop_span(span_ordinal)
+    except (EOFError, BrokenPipeError, OSError):
+        pass  # supervisor went away; nothing useful left to do
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        pass
+    finally:
+        try:  # release buffer exports before close()
+            del capacity, unit_cost
+        except NameError:  # pragma: no cover - attach failed before views
+            pass
+        for shm in (cap_shm, cost_shm):
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - process is exiting anyway
+                pass
+        conn.close()

@@ -237,6 +237,14 @@ class PlannerService:
                 self.metrics.gauge("warm_signatures").set(len(self._states))
                 self.metrics.histogram("warm_build_s").observe(
                     time.perf_counter() - t0)
+                sweep = state.evaluation.sweep_stats()
+                if sweep is not None:
+                    # A warmup that found checkpoint shards resumed from
+                    # them instead of re-sweeping; surface the split.
+                    self.metrics.counter("warm_spans_resumed").increment(
+                        sweep.spans_resumed)
+                    self.metrics.counter("warm_spans_swept").increment(
+                        sweep.spans_evaluated)
         return state
 
     def _build_state(self, signature: SpaceSignature) -> _WarmState:

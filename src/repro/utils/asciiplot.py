@@ -9,8 +9,6 @@ Pareto frontier) and multi-series line charts (Figures 5/6).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 
 from repro.errors import ValidationError

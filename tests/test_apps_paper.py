@@ -5,7 +5,6 @@ import pytest
 
 from repro.apps import (
     ExecutionStyle,
-    GalaxyApp,
     SandApp,
     X264App,
     application_by_name,

@@ -1,6 +1,5 @@
 """Tests for the persistent evaluation cache (:mod:`repro.cache`)."""
 
-import json
 import os
 import subprocess
 import sys

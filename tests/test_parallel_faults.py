@@ -1,0 +1,234 @@
+"""Fault-tolerance tests for the supervised space sweep.
+
+Every scenario injects a deterministic failure through
+:class:`repro.parallel.FaultPlan` and asserts the ISSUE's acceptance
+property: the sweep completes and its output is *bit-identical* to the
+serial evaluation — a SIGKILLed worker, a hung worker, or a straggler
+must never change a byte of ``U_j`` / ``C_{j,u}``.
+
+The supervisor knobs are shrunk so failure handling (backoff, heartbeat
+timeout, straggler duplication) plays out in well under a second; the
+``slow``-marked round-robin test scales the failure count through
+``CELIA_FAULT_ROUNDS`` for the nightly job.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import make_catalog
+from repro.core.configspace import ConfigurationSpace
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    FaultPlan,
+    SupervisorConfig,
+    SweepError,
+    WorkerFault,
+    evaluate_resilient,
+    missing_ranges,
+    partition_ranges,
+)
+
+ROWS = [("a.small", 2, 2.0, 0.10), ("a.big", 4, 2.0, 0.21),
+        ("b.small", 2, 2.5, 0.16)]
+
+
+def space_and_caps(quota=3):
+    catalog = make_catalog(ROWS, quota=quota)
+    return ConfigurationSpace(catalog), np.array([2.0, 4.2, 1.5])
+
+
+def fast_config(**overrides) -> SupervisorConfig:
+    """Supervisor knobs scaled for sub-second failure handling."""
+    knobs = dict(poll_interval_s=0.02, backoff_base_s=0.01,
+                 backoff_cap_s=0.05, shutdown_grace_s=0.5)
+    knobs.update(overrides)
+    return SupervisorConfig(**knobs)
+
+
+def assert_bit_identical(space, caps, capacity, unit_cost, chunk_size):
+    serial = space.evaluate(caps, chunk_size=chunk_size)
+    assert serial.capacity_gips.tobytes() == capacity.tobytes()
+    assert serial.unit_cost_per_hour.tobytes() == unit_cost.tobytes()
+
+
+class TestWorkerFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerFault(0, "explode")
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerFault(-1, "kill")
+        with pytest.raises(ConfigurationError):
+            WorkerFault(0, "kill", at_span=-1)
+        with pytest.raises(ConfigurationError):
+            WorkerFault(0, "kill", at_chunk=-2)
+
+    def test_slow_needs_positive_delay(self):
+        with pytest.raises(ConfigurationError):
+            WorkerFault(0, "slow", delay_s=0.0)
+
+
+class TestFaultPlan:
+    def test_none_is_empty(self):
+        assert FaultPlan.none().faults == ()
+
+    def test_constructors_target_one_worker(self):
+        plan = FaultPlan.kill_worker(2, at_span=1, at_chunk=3)
+        (fault,) = plan.faults
+        assert (fault.worker_id, fault.kind) == (2, "kill")
+        assert (fault.at_span, fault.at_chunk) == (1, 3)
+
+    def test_plans_compose_and_filter(self):
+        plan = FaultPlan.kill_worker(0) + FaultPlan.hang_worker(1) + \
+            FaultPlan.slow_worker(0, 0.5)
+        assert len(plan.faults) == 3
+        assert {f.kind for f in plan.for_worker(0)} == {"kill", "slow"}
+        assert plan.for_worker(9) == ()
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan.kill_worker(1, at_span=2) + \
+            FaultPlan.slow_worker(0, 1.5)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestCrashedWorker:
+    def test_sigkill_mid_sweep_is_bit_identical(self):
+        """The headline acceptance scenario: SIGKILL one worker mid-span."""
+        space, caps = space_and_caps()
+        capacity, unit_cost, stats = evaluate_resilient(
+            space, caps, workers=2, chunk_size=4,
+            faults=FaultPlan.kill_worker(0, at_span=0, at_chunk=1),
+            config=fast_config())
+        assert stats.workers_lost >= 1
+        assert stats.retries >= 1
+        assert stats.workers_spawned >= 3  # the victim was replaced
+        assert_bit_identical(space, caps, capacity, unit_cost, 4)
+
+    def test_multiple_kills_are_survived(self):
+        space, caps = space_and_caps()
+        plan = FaultPlan.kill_worker(0, at_chunk=1) + \
+            FaultPlan.kill_worker(1, at_span=1)
+        capacity, unit_cost, stats = evaluate_resilient(
+            space, caps, workers=2, chunk_size=4, faults=plan,
+            config=fast_config())
+        assert stats.workers_lost >= 2
+        assert_bit_identical(space, caps, capacity, unit_cost, 4)
+
+    def test_retry_exhaustion_raises_sweep_error(self):
+        """Every replacement dies on the same (single) span -> give up."""
+        space, caps = space_and_caps()
+        chunk = space.size + 10  # one span covering the whole space
+        plan = FaultPlan.none()
+        for worker_id in range(6):
+            plan = plan + FaultPlan.kill_worker(worker_id)
+        with pytest.raises(SweepError, match="giving up"):
+            evaluate_resilient(
+                space, caps, workers=1, chunk_size=chunk, faults=plan,
+                config=fast_config(max_span_retries=2))
+
+
+class TestHungWorker:
+    def test_heartbeat_timeout_reaps_and_redispatches(self):
+        space, caps = space_and_caps()
+        capacity, unit_cost, stats = evaluate_resilient(
+            space, caps, workers=2, chunk_size=4,
+            faults=FaultPlan.hang_worker(0, at_span=0, at_chunk=1),
+            config=fast_config(heartbeat_timeout_s=0.5))
+        assert stats.workers_lost >= 1
+        assert stats.retries >= 1
+        assert_bit_identical(space, caps, capacity, unit_cost, 4)
+
+
+class TestStraggler:
+    def test_slow_span_is_duplicated_and_bit_identical(self):
+        space, caps = space_and_caps()
+        # Worker 0 needs ~3 s per chunk of its first span; the other
+        # worker drains the rest of the queue in milliseconds and then
+        # speculatively duplicates the laggard's span.
+        capacity, unit_cost, stats = evaluate_resilient(
+            space, caps, workers=2, chunk_size=4,
+            faults=FaultPlan.slow_worker(0, 3.0),
+            config=fast_config(straggler_min_s=0.15))
+        assert stats.spans_duplicated >= 1
+        assert_bit_identical(space, caps, capacity, unit_cost, 4)
+
+
+class TestSupervisorConfig:
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(heartbeat_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(poll_interval_s=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(max_span_retries=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(backoff_base_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(straggler_factor=0.5)
+
+    def test_workers_must_be_positive(self):
+        space, caps = space_and_caps(quota=2)
+        with pytest.raises(ConfigurationError):
+            evaluate_resilient(space, caps, workers=0, chunk_size=4)
+
+    def test_single_supervised_worker_is_bit_identical(self):
+        space, caps = space_and_caps(quota=2)
+        capacity, unit_cost, stats = evaluate_resilient(
+            space, caps, workers=1, chunk_size=8, config=fast_config())
+        assert stats.workers_lost == 0
+        assert stats.spans_evaluated == stats.spans_total
+        assert_bit_identical(space, caps, capacity, unit_cost, 8)
+
+
+class TestPartitionHelpers:
+    def test_missing_ranges_merges_and_complements(self):
+        assert missing_ranges([], 10) == [(1, 11)]
+        assert missing_ranges([(1, 11)], 10) == []
+        assert missing_ranges([(1, 4), (4, 7)], 10) == [(7, 11)]
+        assert missing_ranges([(4, 7)], 10) == [(1, 4), (7, 11)]
+        # Overlaps and duplicates collapse.
+        assert missing_ranges([(1, 5), (3, 7), (3, 7)], 10) == [(7, 11)]
+
+    def test_partition_ranges_respects_grid_and_boundaries(self):
+        assert partition_ranges([(1, 9), (13, 18)], 4, 2) == \
+            [(1, 9), (13, 18)]
+        spans = partition_ranges([(1, 9), (13, 18)], 4, 4)
+        assert spans == [(1, 5), (5, 9), (13, 17), (17, 18)]
+        for start, _ in spans:
+            assert (start - 1) % 4 == 0
+
+    def test_partition_ranges_rejects_off_grid_starts(self):
+        with pytest.raises(ConfigurationError):
+            partition_ranges([(2, 9)], 4, 2)
+        with pytest.raises(ConfigurationError):
+            partition_ranges([(5, 5)], 4, 2)
+
+    def test_partition_ranges_empty_input(self):
+        assert partition_ranges([], 4, 2) == []
+
+
+@pytest.mark.slow
+class TestFaultRounds:
+    """Nightly-scale fault sweep: many failures, still bit-identical.
+
+    ``CELIA_FAULT_ROUNDS`` (default 3) sets how many workers are killed,
+    one per leased span, over a quota-4 space; the nightly workflow
+    raises it to exercise longer retry/respawn chains.
+    """
+
+    def test_round_robin_kills_stay_bit_identical(self):
+        rounds = int(os.environ.get("CELIA_FAULT_ROUNDS", "3"))
+        space, caps = space_and_caps(quota=4)  # 124 configurations
+        plan = FaultPlan.none()
+        for worker_id in range(rounds):
+            plan = plan + FaultPlan.kill_worker(worker_id, at_chunk=1)
+        capacity, unit_cost, stats = evaluate_resilient(
+            space, caps, workers=2, chunk_size=4, faults=plan,
+            config=fast_config())
+        assert stats.workers_lost >= min(rounds, stats.workers_spawned)
+        assert_bit_identical(space, caps, capacity, unit_cost, 4)

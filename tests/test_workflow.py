@@ -6,7 +6,7 @@ import pytest
 from repro.cloud.catalog import ec2_catalog
 from repro.cloud.instance import Instance
 from repro.engine.cluster import SimCluster
-from repro.errors import SimulationError, ValidationError
+from repro.errors import ValidationError
 from repro.workflow import (
     Stage,
     WorkflowDAG,
