@@ -1,0 +1,130 @@
+"""Benchmark the closed-loop adaptive runtime against static execution.
+
+Runs galaxy(65536, 8000) under a 40 h / $400 envelope through every
+chaos scenario with both controllers (several seeds each), recording
+deadline-hit-rate, mean cost and cost overrun per scenario plus the
+wall-clock cost of the control loop itself.  Each cell is executed
+twice with identical seeds and asserted byte-identical — the audit
+trail's reproducibility guarantee, checked on every benchmark run.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py [--quick]
+        [--trials N] [--output PATH]
+
+``--quick`` drops to one trial per cell for the CI benchmark-smoke job.
+Results land in ``BENCH_runtime.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.cloud.catalog import ec2_catalog
+from repro.core.celia import Celia
+from repro.experiments.adaptive_exp import PROBLEM, run_cell
+from repro.apps import application_by_name
+from repro.runtime import scenario_names
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_runtime.json"
+
+QUOTA = 2
+SEED = 42
+TRIALS = 3
+QUICK_TRIALS = 1
+
+
+def bench_cell(celia: Celia, app, scenario: str, *, adaptive: bool,
+               trials: int) -> dict:
+    t0 = time.perf_counter()
+    outcome = run_cell(celia, app, scenario, adaptive=adaptive, seed=SEED,
+                       trials=trials)
+    wall = time.perf_counter() - t0
+    replay = run_cell(celia, app, scenario, adaptive=adaptive, seed=SEED,
+                      trials=trials)
+    assert outcome == replay, \
+        f"{scenario} ({'adaptive' if adaptive else 'static'}) replay with " \
+        f"identical seeds diverged — determinism is broken"
+    return {
+        "scenario": scenario,
+        "mode": "adaptive" if adaptive else "static",
+        "trials": trials,
+        "deadline_hits": outcome.deadline_hits,
+        "deadline_hit_rate": round(outcome.hit_rate, 4),
+        "mean_cost_dollars": round(outcome.mean_cost_dollars, 2),
+        "mean_overrun_dollars": round(outcome.mean_overrun_dollars, 2),
+        "mean_elapsed_hours": round(outcome.mean_elapsed_hours, 2),
+        "replans": outcome.replans,
+        "degradations": outcome.degradations,
+        "verdicts": list(outcome.verdicts),
+        "deterministic_replay": True,
+        "wall_s": round(wall, 4),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"{QUICK_TRIALS} trial per cell instead of "
+                             f"{TRIALS} (CI smoke mode)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override trials per (scenario, mode) cell")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"report path (default {OUTPUT.name})")
+    args = parser.parse_args()
+
+    trials = args.trials or (QUICK_TRIALS if args.quick else TRIALS)
+    celia = Celia(ec2_catalog(max_nodes_per_type=QUOTA), seed=SEED)
+    app = application_by_name("galaxy", seed=SEED)
+    print(f"galaxy({PROBLEM['n']}, {PROBLEM['a']}), "
+          f"T'={PROBLEM['deadline_hours']:g} h, "
+          f"C'=${PROBLEM['budget_dollars']:g}, quota {QUOTA}, "
+          f"{trials} trial(s) per cell")
+
+    t0 = time.perf_counter()
+    celia.min_cost_index(app)  # warm the planning stack once, outside timing
+    t_warm = time.perf_counter() - t0
+
+    cells = []
+    for scenario in scenario_names():
+        for adaptive in (False, True):
+            cell = bench_cell(celia, app, scenario, adaptive=adaptive,
+                              trials=trials)
+            cells.append(cell)
+            print(f"  {cell['scenario']:20s} {cell['mode']:8s} "
+                  f"hit={cell['deadline_hit_rate']:.0%} "
+                  f"${cell['mean_cost_dollars']:7.2f} "
+                  f"overrun=${cell['mean_overrun_dollars']:.2f} "
+                  f"[{cell['wall_s']:.3f}s]")
+
+    static_hits = sum(c["deadline_hits"] for c in cells
+                      if c["mode"] == "static")
+    adaptive_hits = sum(c["deadline_hits"] for c in cells
+                        if c["mode"] == "adaptive")
+    total = sum(c["trials"] for c in cells if c["mode"] == "adaptive")
+    report = {
+        "problem": dict(PROBLEM),
+        "quota": QUOTA,
+        "seed": SEED,
+        "trials_per_cell": trials,
+        "warm_build_s": round(t_warm, 4),
+        "overall": {
+            "static_deadline_hits": static_hits,
+            "adaptive_deadline_hits": adaptive_hits,
+            "trials_per_mode": total,
+        },
+        "cells": cells,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"overall deadline hits: static {static_hits}/{total}, "
+          f"adaptive {adaptive_hits}/{total}")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

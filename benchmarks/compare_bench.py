@@ -16,7 +16,10 @@ Usage::
     python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
         [--max-ratio 3.0] [--min-baseline-s 0.02] [--min-delta-s 0.05]
 
-Exits non-zero if any compared metric regressed.
+Exits 1 if any compared metric regressed, and 2 — with a one-line
+message rather than a traceback — when either report is missing,
+unreadable, or not valid JSON (e.g. a baseline that was never
+committed, or a benchmark run that died mid-write).
 """
 
 from __future__ import annotations
@@ -27,6 +30,36 @@ import sys
 from pathlib import Path
 
 TIMING_SUFFIXES = ("_s", "_s_per_query", "_s_per_request")
+
+
+class ReportError(Exception):
+    """A report file could not be loaded; the message says why."""
+
+
+def load_report(path: Path, role: str) -> dict:
+    """Read one report, raising :class:`ReportError` with a usable
+    message instead of letting I/O or JSON tracebacks escape."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise ReportError(
+            f"{role} report {path} does not exist — run the benchmark "
+            f"first (or commit its baseline)") from None
+    except OSError as exc:
+        raise ReportError(f"cannot read {role} report {path}: "
+                          f"{exc.strerror or exc}") from None
+    try:
+        report = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ReportError(
+            f"{role} report {path} is not valid JSON "
+            f"(line {exc.lineno}: {exc.msg}) — was the benchmark "
+            f"interrupted mid-write?") from None
+    if not isinstance(report, dict):
+        raise ReportError(
+            f"{role} report {path} must be a JSON object, "
+            f"got {type(report).__name__}")
+    return report
 
 
 def flatten(node, prefix="") -> dict[str, float]:
@@ -80,8 +113,12 @@ def main() -> int:
                              "terms (default 0.05 s)")
     args = parser.parse_args()
 
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    current = json.loads(args.current.read_text(encoding="utf-8"))
+    try:
+        baseline = load_report(args.baseline, "baseline")
+        current = load_report(args.current, "current")
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     regressions = compare(baseline, current, max_ratio=args.max_ratio,
                           min_baseline_s=args.min_baseline_s,
                           min_delta_s=args.min_delta_s)

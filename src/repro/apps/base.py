@@ -139,6 +139,9 @@ class ElasticApplication(ABC):
     size_symbol: str = "n"
     accuracy_symbol: str = "a"
     style: ExecutionStyle = ExecutionStyle.INDEPENDENT
+    #: Whether the accuracy knob only takes integer values (e.g. galaxy's
+    #: step count); degradation searches snap to integers when set.
+    accuracy_integral: bool = False
 
     # -- ground truth ---------------------------------------------------------
 

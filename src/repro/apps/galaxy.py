@@ -63,6 +63,7 @@ class GalaxyApp(ElasticApplication):
     domain = "astrophysics"
     size_symbol = "n"
     accuracy_symbol = "s"
+    accuracy_integral = True
     style = ExecutionStyle.BSP
 
     def __init__(self, *, comm_latency_seconds: float = 0.004,

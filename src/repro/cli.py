@@ -144,6 +144,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("a", type=float)
     p.add_argument("--config", required=True)
 
+    p = sub.add_parser("execute",
+                       help="closed-loop execution of a plan under chaos")
+    p.add_argument("app", nargs="?", choices=APP_CHOICES)
+    p.add_argument("n", nargs="?", type=float)
+    p.add_argument("a", nargs="?", type=float)
+    p.add_argument("--deadline", type=float,
+                   help="deadline T' in hours")
+    p.add_argument("--budget", type=float,
+                   help="budget C' in dollars")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--replan", dest="replan", action="store_true",
+                      default=True,
+                      help="adaptive closed-loop control (default)")
+    mode.add_argument("--static", dest="replan", action="store_false",
+                      help="provision once and never re-plan (baseline)")
+    p.add_argument("--chaos", default="calm", metavar="SCENARIO",
+                   help="chaos scenario to inject (default: calm; "
+                        "see `celia execute --list-chaos`)")
+    p.add_argument("--list-chaos", action="store_true",
+                   help="print the scenario catalog and exit")
+    p.add_argument("--config", default=None,
+                   help="pin the initial configuration "
+                        "(comma-separated node counts, catalog order)")
+    p.add_argument("--max-replans", type=int, default=None,
+                   help="re-planning budget before giving up")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report with the full timeline")
+
     p = sub.add_parser("spot",
                        help="spot-vs-on-demand Monte-Carlo study")
     p.add_argument("app", choices=APP_CHOICES)
@@ -308,6 +336,69 @@ def _cmd_validate(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_execute(celia: Celia, args) -> int:
+    from repro.runtime import (
+        SCENARIOS,
+        AdaptiveController,
+        RuntimeConfig,
+        chaos_scenario,
+    )
+
+    if args.list_chaos:
+        table = TextTable(
+            ["Scenario", "Capacity", "Throttle", "Crash/h", "Stragglers"],
+            aligns="lrrrr", float_format="{:.2f}")
+        for scenario in SCENARIOS.values():
+            table.add_row([
+                scenario.name,
+                scenario.insufficient_capacity_rate,
+                scenario.throttle_rate,
+                scenario.crash_rate_per_hour,
+                f"{scenario.straggler_fraction:.0%}@"
+                f"{scenario.straggler_slowdown:g}x",
+            ])
+        print(table.render())
+        return 0
+    if args.app is None or args.n is None or args.a is None:
+        raise SystemExit("execute needs app, n and a (or --list-chaos)")
+    if args.deadline is None or args.budget is None:
+        raise SystemExit("execute needs --deadline and --budget")
+
+    app = application_by_name(args.app, seed=celia.seed)
+    overrides = {"replan": args.replan}
+    if args.max_replans is not None:
+        overrides["max_replans"] = args.max_replans
+    controller = AdaptiveController(
+        celia, app, scenario=chaos_scenario(args.chaos),
+        config=RuntimeConfig(**overrides), seed=celia.seed)
+    configuration = (_parse_config(args.config, len(celia.catalog))
+                     if args.config else None)
+    report = controller.execute(args.n, args.a, args.deadline, args.budget,
+                                configuration=configuration)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        mode = "adaptive" if report.adaptive else "static"
+        print(f"{report.app_name}({args.n:g}, {args.a:g}) under "
+              f"'{report.scenario}' [{mode}]: {report.verdict}")
+        print(f"  elapsed : {report.elapsed_hours:.2f} h "
+              f"(deadline {report.deadline_hours:g} h, "
+              f"{'met' if report.deadline_met else 'MISSED'})")
+        print(f"  cost    : ${report.cost_dollars:.2f} "
+              f"(budget ${report.budget_dollars:g}, "
+              f"{'met' if report.budget_met else 'EXCEEDED'})")
+        print(f"  work    : {report.work_done_gi:,.0f} GI done, "
+              f"{report.remaining_gi:,.0f} GI remaining")
+        if report.final_accuracy != report.initial_accuracy:
+            print(f"  accuracy: degraded {report.initial_accuracy:g} -> "
+                  f"{report.final_accuracy:g}")
+        print(f"  events  : {report.provision_attempts} provision attempts, "
+              f"{report.crashes} crashes, {report.replans} replans, "
+              f"{report.migrations} migrations, "
+              f"{report.degradations} degradations")
+    return 0 if report.verdict in ("met", "degraded") else 1
+
+
 def _cmd_spot(celia: Celia, args) -> int:
     from repro.spot import compare_spot_vs_ondemand
 
@@ -437,6 +528,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "plan": _cmd_plan,
     "validate": _cmd_validate,
+    "execute": _cmd_execute,
     "spot": _cmd_spot,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,

@@ -23,6 +23,7 @@ from repro.cloud.pricing import (
     SpotPriceProcess,
 )
 from repro.cloud.virtualization import VirtualizationModel
+from repro.cloud.faults import ProvisioningFaultModel
 from repro.cloud.provider import CloudProvider, Lease
 from repro.cloud.billing import BillingLedger, LedgerEntry
 
@@ -40,6 +41,7 @@ __all__ = [
     "PerSecondBilling",
     "SpotPriceProcess",
     "VirtualizationModel",
+    "ProvisioningFaultModel",
     "CloudProvider",
     "Lease",
     "BillingLedger",

@@ -1,0 +1,99 @@
+"""Injectable transient provisioning faults for :class:`CloudProvider`.
+
+Real IaaS control planes fail in two qualitatively different transient
+ways: a *capacity* shortfall scoped to one instance type (EC2's
+``InsufficientInstanceCapacity``) and request-scoped *API throttling*.
+Both are survivable with retries, but they demand different remedies —
+a capacity shortfall can be routed around by substituting a
+Pareto-adjacent type, throttling can only be waited out.
+
+:class:`ProvisioningFaultModel` injects both, deterministically: every
+``provision`` call draws from an RNG derived from ``(seed, attempt
+counter)``, so identical seeds reproduce the identical fault sequence
+regardless of wall clock or process interleaving.  Rates of zero (the
+default model) never fault, so the provider's nominal behaviour is
+untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    ApiThrottledError,
+    InsufficientCapacityError,
+    ValidationError,
+)
+from repro.utils.rng import derive_rng
+
+__all__ = ["ProvisioningFaultModel"]
+
+
+@dataclass
+class ProvisioningFaultModel:
+    """Seeded transient-fault injector for provisioning calls.
+
+    Parameters
+    ----------
+    insufficient_capacity_rate:
+        Probability that one provision attempt hits a per-type capacity
+        shortfall.  The short type is chosen deterministically among the
+        types the request actually asks for.
+    throttle_rate:
+        Probability that one provision attempt is rejected by API rate
+        limiting before capacity is even considered.
+    seed:
+        Root seed of the fault stream; the per-attempt RNG is derived
+        from ``(seed, "provision-fault", attempt_index)``.
+    """
+
+    insufficient_capacity_rate: float = 0.0
+    throttle_rate: float = 0.0
+    seed: int = 0
+    _attempts: itertools.count = field(default_factory=lambda: itertools.count(),
+                                       repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("insufficient_capacity_rate", "throttle_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {rate}")
+
+    @classmethod
+    def none(cls) -> "ProvisioningFaultModel":
+        """A model that never faults (explicit version of the default)."""
+        return cls()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can ever fire."""
+        return self.insufficient_capacity_rate > 0 or self.throttle_rate > 0
+
+    def check(self, requested: np.ndarray, type_names: list[str]) -> None:
+        """Raise a transient fault for this attempt, or return quietly.
+
+        ``requested`` is the validated node-count vector of the attempt;
+        the capacity fault lands on one of its non-zero types (weighted
+        by node count — bigger asks are likelier to hit the short pool).
+        """
+        if not self.enabled:
+            return
+        attempt = next(self._attempts)
+        rng = derive_rng(self.seed, "provision-fault", attempt)
+        draw = rng.uniform()
+        if draw < self.throttle_rate:
+            raise ApiThrottledError(
+                f"provisioning API throttled (attempt {attempt})")
+        if draw < self.throttle_rate + self.insufficient_capacity_rate:
+            used = np.flatnonzero(requested)
+            weights = requested[used] / requested[used].sum()
+            short = int(rng.choice(used, p=weights))
+            raise InsufficientCapacityError(
+                f"insufficient capacity for type {type_names[short]!r} "
+                f"(attempt {attempt})",
+                type_index=short,
+                type_name=type_names[short],
+            )

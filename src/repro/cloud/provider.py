@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.cloud.billing import BillingLedger
 from repro.cloud.catalog import Catalog
+from repro.cloud.faults import ProvisioningFaultModel
 from repro.cloud.instance import Instance
 from repro.cloud.pricing import BillingModel, HourlyQuantizedBilling
 from repro.cloud.virtualization import VirtualizationModel
@@ -71,6 +72,10 @@ class CloudProvider:
     billing_model:
         How terminated leases are billed; defaults to EC2's 2017 hourly
         quantization.
+    fault_model:
+        Injectable transient provisioning faults
+        (:class:`~repro.cloud.faults.ProvisioningFaultModel`); the
+        default never faults, preserving nominal behaviour.
     seed:
         Root seed for the provider's stochastic behaviour.
     """
@@ -81,11 +86,13 @@ class CloudProvider:
         *,
         virtualization: VirtualizationModel | None = None,
         billing_model: BillingModel | None = None,
+        fault_model: ProvisioningFaultModel | None = None,
         seed: int = 0,
     ):
         self.catalog = catalog
         self.virtualization = virtualization or VirtualizationModel()
         self.billing_model = billing_model or HourlyQuantizedBilling()
+        self.fault_model = fault_model or ProvisioningFaultModel()
         self.ledger = BillingLedger()
         self._seed = seed
         self._lease_counter = itertools.count(1)
@@ -137,8 +144,14 @@ class CloudProvider:
         Either every node launches or none does (quota is checked up
         front); this mirrors how the paper's experiments acquire a whole
         configuration before starting the application.
+
+        When the provider carries a fault model, the attempt may raise a
+        :class:`~repro.errors.TransientProvisioningError` *after*
+        validation but before any instance launches — a faulted attempt
+        never leaks quota or instance ids, so retrying is always safe.
         """
         vec = self._validate_configuration(configuration)
+        self.fault_model.check(vec, self.catalog.names)
         lease_id = next(self._lease_counter)
         instances: list[Instance] = []
         for type_index, count in enumerate(vec):

@@ -13,11 +13,16 @@ __all__ = [
     "CatalogError",
     "QuotaExceededError",
     "ProvisioningError",
+    "TransientProvisioningError",
+    "InsufficientCapacityError",
+    "ApiThrottledError",
+    "ProvisioningExhaustedError",
     "MeasurementError",
     "FittingError",
     "InfeasibleError",
     "SimulationError",
     "ValidationError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -46,6 +51,49 @@ class ProvisioningError(ReproError):
     """The simulated provider could not satisfy a provisioning request."""
 
 
+class TransientProvisioningError(ProvisioningError):
+    """A provisioning failure that may succeed on retry.
+
+    Real IaaS APIs fail transiently all the time (capacity shortfalls,
+    request throttling); callers are expected to back off and retry
+    rather than give up.  Subclasses identify the retry-relevant cause.
+    """
+
+
+class InsufficientCapacityError(TransientProvisioningError):
+    """The provider is temporarily out of capacity for one instance type.
+
+    Mirrors EC2's ``InsufficientInstanceCapacity``: the account quota
+    allows the request but the underlying pool cannot place it right
+    now.  Retrying later — or substituting a different type — may
+    succeed.
+    """
+
+    def __init__(self, message: str, *, type_index: int, type_name: str):
+        super().__init__(message)
+        self.type_index = type_index
+        self.type_name = type_name
+
+
+class ApiThrottledError(TransientProvisioningError):
+    """The provisioning API rejected the call for rate limiting.
+
+    Throttling is request-scoped, not type-scoped: backing off and
+    replaying the identical request is the only remedy (substituting
+    types does not help).
+    """
+
+
+class ProvisioningExhaustedError(ProvisioningError):
+    """A bounded retry loop gave up without obtaining a lease."""
+
+    def __init__(self, message: str, *, attempts: int,
+                 elapsed_seconds: float):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_seconds = elapsed_seconds
+
+
 class MeasurementError(ReproError):
     """A baseline measurement could not be performed or is inconsistent."""
 
@@ -70,3 +118,16 @@ class SimulationError(ReproError):
 
 class ValidationError(ReproError):
     """An input value failed validation (out of the meaningful range)."""
+
+
+class ServiceUnavailableError(ReproError):
+    """A remote planning service stayed unreachable through bounded retries.
+
+    Raised by :class:`~repro.service.client.PlannerClient` after its
+    retry budget is spent on connection failures and 503 responses; the
+    last underlying error is attached as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, attempts: int):
+        super().__init__(message)
+        self.attempts = attempts

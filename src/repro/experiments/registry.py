@@ -14,6 +14,7 @@ from collections.abc import Callable
 
 from repro.experiments import (
     ablations,
+    adaptive_exp,
     figure2,
     figure3,
     figure4,
@@ -46,6 +47,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
                     "selection regret under capacity-estimate error"),
     "schedulers": (schedulers_exp.run,
                    "engine ablation: work queue vs stealing vs LPT"),
+    "adaptive": (adaptive_exp.run,
+                 "static vs closed-loop adaptive execution under chaos"),
 }
 
 

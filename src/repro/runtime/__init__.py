@@ -1,0 +1,58 @@
+"""Closed-loop adaptive execution of CELIA plans.
+
+The planning stack (:mod:`repro.core`) answers *what to buy*; this
+package keeps the answer honest at run time: provisioning with retries
+and fallback (:mod:`repro.runtime.retry`), fluid-rate execution under
+crashes and stragglers (:mod:`repro.runtime.execution`), seeded chaos
+scenarios (:mod:`repro.runtime.chaos`), a typed audit trail
+(:mod:`repro.runtime.events`), and the re-planning / degrading
+controller itself (:mod:`repro.runtime.controller`).
+"""
+
+from repro.runtime.chaos import (
+    SCENARIOS,
+    ChaosScenario,
+    chaos_scenario,
+    scenario_names,
+)
+from repro.runtime.controller import (
+    AdaptiveController,
+    RuntimeConfig,
+    RuntimeReport,
+    degraded_accuracy_search,
+)
+from repro.runtime.events import (
+    DegradationDecision,
+    ExecutionTimeline,
+    InfeasiblePlan,
+    Migration,
+    NodeCrash,
+    ProvisionAttempt,
+    ReplanDecision,
+    event_to_dict,
+)
+from repro.runtime.execution import AdvanceResult, LeaseExecution
+from repro.runtime.retry import RetryPolicy, provision_with_retry
+
+__all__ = [
+    "AdaptiveController",
+    "RuntimeConfig",
+    "RuntimeReport",
+    "degraded_accuracy_search",
+    "ChaosScenario",
+    "SCENARIOS",
+    "chaos_scenario",
+    "scenario_names",
+    "RetryPolicy",
+    "provision_with_retry",
+    "LeaseExecution",
+    "AdvanceResult",
+    "ExecutionTimeline",
+    "ProvisionAttempt",
+    "NodeCrash",
+    "ReplanDecision",
+    "DegradationDecision",
+    "Migration",
+    "InfeasiblePlan",
+    "event_to_dict",
+]

@@ -1,0 +1,118 @@
+"""Seeded, reproducible chaos scenarios for closed-loop execution.
+
+A :class:`ChaosScenario` composes the three failure families the runtime
+must survive into one named, auditable object:
+
+* **provisioning faults** — transient capacity shortfalls and API
+  throttling injected into ``CloudProvider.provision``
+  (:class:`~repro.cloud.faults.ProvisioningFaultModel`);
+* **mid-run node crashes** — the exponential per-node hazard of
+  :class:`repro.engine.faults.FaultModel`, reused verbatim;
+* **stragglers** — a seeded fraction of nodes launching at a fraction
+  of their nominal rate (hidden contention the planner cannot see).
+
+Scenarios are pure data: all randomness is sampled downstream from RNGs
+derived off ``(seed, scenario)`` keys, so one scenario replayed with one
+seed yields one timeline, bill and verdict — the reproducibility the
+acceptance criteria demand.  The built-in catalog
+(:data:`SCENARIOS`) spans calm to perfect-storm and is what the CLI's
+``--chaos`` flag, the experiment and the benchmark all draw from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.faults import ProvisioningFaultModel
+from repro.engine.faults import FaultModel
+from repro.errors import ValidationError
+from repro.utils.rng import spawn_seed
+
+__all__ = ["ChaosScenario", "SCENARIOS", "chaos_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named composition of provisioning, crash and straggler faults."""
+
+    name: str
+    #: Probability a provision attempt hits a per-type capacity shortfall.
+    insufficient_capacity_rate: float = 0.0
+    #: Probability a provision attempt is throttled by the API.
+    throttle_rate: float = 0.0
+    #: Exponential per-node crash hazard during execution (1/hour).
+    crash_rate_per_hour: float = 0.0
+    #: Fraction of launched nodes that straggle.
+    straggler_fraction: float = 0.0
+    #: Rate divisor applied to straggling nodes (>1 slows them down).
+    straggler_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("scenario needs a name")
+        if not 0 <= self.straggler_fraction <= 1:
+            raise ValidationError("straggler_fraction must be in [0, 1]")
+        if self.straggler_slowdown < 1:
+            raise ValidationError("straggler_slowdown must be >= 1")
+
+    def provisioning_faults(self, seed: int) -> ProvisioningFaultModel:
+        """The provisioning injector for one run of this scenario."""
+        return ProvisioningFaultModel(
+            insufficient_capacity_rate=self.insufficient_capacity_rate,
+            throttle_rate=self.throttle_rate,
+            seed=spawn_seed(seed, "chaos-provision", self.name),
+        )
+
+    def fault_model(self) -> FaultModel:
+        """The mid-run crash hazard (``repro.engine.faults`` reused)."""
+        return FaultModel(crash_rate_per_hour=self.crash_rate_per_hour)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "insufficient_capacity_rate": self.insufficient_capacity_rate,
+            "throttle_rate": self.throttle_rate,
+            "crash_rate_per_hour": self.crash_rate_per_hour,
+            "straggler_fraction": self.straggler_fraction,
+            "straggler_slowdown": self.straggler_slowdown,
+        }
+
+
+#: The built-in scenario catalog (see docs/ops.md for the runbook).
+SCENARIOS: dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        # Baseline: the substrate behaves; adaptive should match static.
+        ChaosScenario(name="calm"),
+        # Control-plane pain only: every other provision call fails
+        # transiently; execution itself is clean.
+        ChaosScenario(name="flaky-control-plane",
+                      insufficient_capacity_rate=0.3, throttle_rate=0.2),
+        # Data-plane pain only: nodes crash at a rate where a multi-hour
+        # run expects to lose several.
+        ChaosScenario(name="crashy", crash_rate_per_hour=0.05),
+        # Hidden contention: a third of the fleet runs at quarter speed.
+        ChaosScenario(name="stragglers", straggler_fraction=0.3,
+                      straggler_slowdown=4.0),
+        # Everything at once, harder: the graceful-degradation stressor.
+        ChaosScenario(name="perfect-storm",
+                      insufficient_capacity_rate=0.4, throttle_rate=0.2,
+                      crash_rate_per_hour=0.08, straggler_fraction=0.25,
+                      straggler_slowdown=4.0),
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Catalog order of the built-in scenarios."""
+    return tuple(SCENARIOS)
+
+
+def chaos_scenario(name: str) -> ChaosScenario:
+    """Look up a built-in scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown chaos scenario {name!r}; "
+            f"choose from {sorted(SCENARIOS)}") from None

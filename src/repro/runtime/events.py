@@ -1,0 +1,165 @@
+"""Typed, auditable events of one closed-loop execution.
+
+Every decision the adaptive controller makes — each provisioning
+attempt, crash, re-plan, accuracy degradation, migration and the final
+verdict — lands in an append-only :class:`ExecutionTimeline` as a frozen
+dataclass with a simulated timestamp.  The timeline is the audit trail
+the acceptance criteria demand: identical seeds must reproduce it
+bit-for-bit, and an operator reading it must be able to reconstruct why
+the run ended where it did.
+
+All events serialize to plain dicts (``event_to_dict``) so the CLI's
+``--json`` output, the experiment harness and the benchmark all share
+one schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "ProvisionAttempt",
+    "NodeCrash",
+    "ReplanDecision",
+    "DegradationDecision",
+    "Migration",
+    "InfeasiblePlan",
+    "RuntimeEvent",
+    "ExecutionTimeline",
+    "event_to_dict",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisionAttempt:
+    """One call into ``CloudProvider.provision`` and what it returned."""
+
+    at_hours: float
+    attempt: int
+    configuration: tuple[int, ...]
+    outcome: str  # "ok" | "throttled" | "insufficient_capacity" | "quota"
+    detail: str = ""
+    backoff_seconds: float = 0.0
+    substituted_type: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class NodeCrash:
+    """A node of the active lease died mid-run."""
+
+    at_hours: float
+    instance_id: str
+    type_name: str
+    surviving_nodes: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReplanDecision:
+    """The controller re-ran frontier selection over residual state."""
+
+    at_hours: float
+    reason: str  # "crash" | "deviation" | "provisioning" | "stall"
+    remaining_gi: float
+    residual_deadline_hours: float
+    residual_budget_dollars: float
+    feasible: bool
+    configuration: tuple[int, ...] | None
+    projected_time_hours: float | None
+    projected_cost_dollars: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationDecision:
+    """Accuracy was lowered to restore feasibility — the elasticity knob.
+
+    ``from_accuracy``/``to_accuracy`` are the knob values;
+    ``score_before``/``score_after`` their normalized output-quality
+    scores, so the audit trail records exactly how much quality was
+    traded for feasibility (and that the trade was minimal: ``to_accuracy``
+    is the largest feasible knob value found).
+    """
+
+    at_hours: float
+    from_accuracy: float
+    to_accuracy: float
+    score_before: float
+    score_after: float
+    remaining_gi_before: float
+    remaining_gi_after: float
+    configuration: tuple[int, ...]
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class Migration:
+    """The active lease was replaced by a different configuration."""
+
+    at_hours: float
+    from_configuration: tuple[int, ...]
+    to_configuration: tuple[int, ...]
+    lease_bill_dollars: float
+
+
+@dataclass(frozen=True, slots=True)
+class InfeasiblePlan:
+    """No configuration — even at the accuracy floor — can restore
+    feasibility; the run stops with an explicit verdict instead of a
+    silent overrun."""
+
+    at_hours: float
+    remaining_gi: float
+    residual_deadline_hours: float
+    residual_budget_dollars: float
+    accuracy_floor: float
+    detail: str
+
+
+RuntimeEvent = (ProvisionAttempt | NodeCrash | ReplanDecision
+                | DegradationDecision | Migration | InfeasiblePlan)
+
+_EVENT_KINDS = {
+    ProvisionAttempt: "provision_attempt",
+    NodeCrash: "node_crash",
+    ReplanDecision: "replan",
+    DegradationDecision: "degradation",
+    Migration: "migration",
+    InfeasiblePlan: "infeasible_plan",
+}
+
+
+def event_to_dict(event: RuntimeEvent) -> dict:
+    """One event as a JSON-ready dict with a ``kind`` discriminator."""
+    payload = {"kind": _EVENT_KINDS[type(event)]}
+    data = asdict(event)
+    for key, value in data.items():
+        if isinstance(value, tuple):
+            data[key] = list(value)
+    payload.update(data)
+    return payload
+
+
+class ExecutionTimeline:
+    """Append-only, time-ordered record of one execution's events."""
+
+    def __init__(self) -> None:
+        self._events: list[RuntimeEvent] = []
+
+    def record(self, event: RuntimeEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> tuple[RuntimeEvent, ...]:
+        return tuple(self._events)
+
+    def count(self, event_type: type) -> int:
+        """How many recorded events are of ``event_type``."""
+        return sum(isinstance(e, event_type) for e in self._events)
+
+    def to_dicts(self) -> list[dict]:
+        return [event_to_dict(e) for e in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)

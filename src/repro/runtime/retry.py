@@ -1,0 +1,223 @@
+"""Provisioning retries: capped exponential backoff with deterministic
+jitter and per-type Pareto-adjacent fallback.
+
+The control plane is transiently unreliable (see
+:mod:`repro.cloud.faults`); this module turns one logical "get me this
+configuration" into a bounded retry loop whose *waiting consumes
+simulated time* — backoff is not free, it burns deadline, which is
+exactly why the adaptive controller accounts for it.
+
+Two remedies, matched to the two transient causes:
+
+* **throttling** — back off and replay the identical request
+  (substitution cannot help a rate limiter);
+* **insufficient capacity** — back off, and after
+  ``fallback_after_attempts`` failures blaming the same type, rebuild
+  the request with that type substituted by its *Pareto-adjacent*
+  neighbour: the catalog type with the closest measured capacity that
+  still has quota headroom, node count rescaled to preserve aggregate
+  capacity.  This mirrors what the frontier already told us — adjacent
+  frontier points trade a little cost for a little time, so the
+  substitute keeps the plan's feasibility envelope approximately intact.
+
+Jitter is deterministic: drawn from an RNG derived from ``(seed,
+"backoff", attempt)``, so identical seeds reproduce identical timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.cloud.provider import CloudProvider, Lease
+from repro.errors import (
+    ApiThrottledError,
+    InsufficientCapacityError,
+    ProvisioningExhaustedError,
+    QuotaExceededError,
+    ValidationError,
+)
+from repro.runtime.events import ExecutionTimeline, ProvisionAttempt
+from repro.units import SECONDS_PER_HOUR
+from repro.utils.rng import derive_rng
+
+__all__ = ["RetryPolicy", "backoff_seconds", "provision_with_retry",
+           "pareto_adjacent_type", "substitute_configuration"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded capped-exponential-backoff retry schedule."""
+
+    #: Total provision attempts before giving up (first try included).
+    max_attempts: int = 6
+    #: Backoff before retry k is ``base * multiplier**(k-1)`` (seconds).
+    backoff_base_s: float = 30.0
+    backoff_multiplier: float = 2.0
+    #: Ceiling on any single backoff wait (seconds).
+    backoff_cap_s: float = 480.0
+    #: Fraction of the computed backoff added as deterministic jitter.
+    jitter_fraction: float = 0.25
+    #: Same-type capacity failures tolerated before substituting the
+    #: type with its Pareto-adjacent neighbour.
+    fallback_after_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValidationError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1:
+            raise ValidationError("backoff_multiplier must be >= 1")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ValidationError("jitter_fraction must be in [0, 1]")
+        if self.fallback_after_attempts < 1:
+            raise ValidationError("fallback_after_attempts must be >= 1")
+
+
+def backoff_seconds(policy: RetryPolicy, attempt: int, seed: int) -> float:
+    """Wait before retry ``attempt`` (1-based), jittered deterministically.
+
+    Full-jitter-style spreading, but from a seeded stream: the jitter
+    for (seed, attempt) never changes across runs, keeping chaos
+    timelines reproducible while still decorrelating concurrent
+    controllers that carry different seeds.
+    """
+    nominal = min(
+        policy.backoff_base_s * policy.backoff_multiplier ** (attempt - 1),
+        policy.backoff_cap_s,
+    )
+    if policy.jitter_fraction == 0 or nominal == 0:
+        return nominal
+    rng = derive_rng(seed, "backoff", attempt)
+    return nominal * (1.0 + policy.jitter_fraction * (rng.uniform() - 0.5))
+
+
+def pareto_adjacent_type(catalog: Catalog, capacities: np.ndarray,
+                         type_index: int, needed: int,
+                         available: np.ndarray) -> int | None:
+    """The substitute for a capacity-short type, or ``None``.
+
+    Adjacency is measured in the space the frontier lives in: among
+    types with at least ``needed`` nodes of quota headroom (after
+    rescaling to preserve aggregate capacity), pick the one whose
+    per-node capacity is closest to the short type's; break ties toward
+    the cheaper type, then the lower catalog index (deterministic).
+    """
+    short_capacity = float(capacities[type_index])
+    candidates: list[tuple[float, float, int]] = []
+    for j in range(len(catalog)):
+        if j == type_index or capacities[j] <= 0:
+            continue
+        count = substitute_count(short_capacity, float(capacities[j]), needed)
+        if count <= int(available[j]):
+            candidates.append((abs(float(capacities[j]) - short_capacity),
+                               float(catalog.prices[j]), j))
+    if not candidates:
+        return None
+    return min(candidates)[2]
+
+
+def substitute_count(short_capacity: float, substitute_capacity: float,
+                     needed: int) -> int:
+    """Nodes of the substitute type preserving ``needed`` nodes' capacity."""
+    return max(1, int(np.ceil(needed * short_capacity / substitute_capacity)))
+
+
+def substitute_configuration(
+    configuration: tuple[int, ...],
+    catalog: Catalog,
+    capacities: np.ndarray,
+    type_index: int,
+    available: np.ndarray,
+) -> tuple[tuple[int, ...], int] | None:
+    """Rebuild a configuration around a capacity-short type.
+
+    Returns ``(new_configuration, substitute_index)`` or ``None`` when
+    no adjacent type can absorb the displaced nodes.
+    """
+    needed = configuration[type_index]
+    if needed == 0:
+        return None
+    sub = pareto_adjacent_type(catalog, capacities, type_index, needed,
+                               available)
+    if sub is None:
+        return None
+    vec = list(configuration)
+    vec[type_index] = 0
+    vec[sub] += substitute_count(float(capacities[type_index]),
+                                 float(capacities[sub]), needed)
+    vec[sub] = min(vec[sub], int(available[sub]))
+    return tuple(vec), sub
+
+
+def provision_with_retry(
+    provider: CloudProvider,
+    configuration: tuple[int, ...],
+    capacities: np.ndarray,
+    *,
+    policy: RetryPolicy,
+    now_hours: float,
+    seed: int,
+    timeline: ExecutionTimeline | None = None,
+) -> tuple[Lease, float]:
+    """Provision ``configuration``, retrying transient faults.
+
+    Returns ``(lease, now_hours)`` where ``now_hours`` includes all
+    simulated backoff waiting.  Raises
+    :class:`~repro.errors.ProvisioningExhaustedError` when the attempt
+    budget is spent without a lease.  Every attempt — successful or not —
+    is recorded on ``timeline`` with its outcome and backoff.
+    """
+    vec = tuple(int(v) for v in configuration)
+    start_hours = now_hours
+    capacity_failures: dict[int, int] = {}
+    last_error: Exception | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            lease = provider.provision(vec, now_hours=now_hours)
+        except ApiThrottledError as exc:
+            last_error = exc
+            outcome, detail, substituted = "throttled", str(exc), None
+        except InsufficientCapacityError as exc:
+            last_error = exc
+            outcome, detail = "insufficient_capacity", str(exc)
+            substituted = None
+            failures = capacity_failures.get(exc.type_index, 0) + 1
+            capacity_failures[exc.type_index] = failures
+            if failures >= policy.fallback_after_attempts:
+                replacement = substitute_configuration(
+                    vec, provider.catalog, capacities, exc.type_index,
+                    provider.available())
+                if replacement is not None:
+                    vec, sub = replacement
+                    substituted = provider.catalog.names[sub]
+                    capacity_failures.pop(exc.type_index, None)
+        except QuotaExceededError as exc:
+            # Not transient at this instant, but quota frees up when a
+            # concurrent lease terminates — treat like capacity pressure.
+            last_error = exc
+            outcome, detail, substituted = "quota", str(exc), None
+        else:
+            if timeline is not None:
+                timeline.record(ProvisionAttempt(
+                    at_hours=now_hours, attempt=attempt, configuration=vec,
+                    outcome="ok"))
+            return lease, now_hours
+        wait_s = (backoff_seconds(policy, attempt, seed)
+                  if attempt < policy.max_attempts else 0.0)
+        if timeline is not None:
+            timeline.record(ProvisionAttempt(
+                at_hours=now_hours, attempt=attempt, configuration=vec,
+                outcome=outcome, detail=detail, backoff_seconds=wait_s,
+                substituted_type=substituted))
+        now_hours += wait_s / SECONDS_PER_HOUR
+    raise ProvisioningExhaustedError(
+        f"gave up provisioning after {policy.max_attempts} attempts "
+        f"({(now_hours - start_hours) * SECONDS_PER_HOUR:.0f}s of backoff); "
+        f"last error: {last_error}",
+        attempts=policy.max_attempts,
+        elapsed_seconds=(now_hours - start_hours) * SECONDS_PER_HOUR,
+    ) from last_error

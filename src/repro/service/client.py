@@ -10,41 +10,121 @@ service raises — so a caller can swap `PlannerService` for a remote
                              deadline_hours=24, budget_dollars=350)
     for point in response["result"]["pareto"]:
         print(point["configuration"], point["cost_dollars"])
+
+Transient failures — refused/dropped connections, socket timeouts, and
+503 responses (admission-control saturation or a draining server) — are
+retried with capped exponential backoff and deterministic jitter, but
+only for idempotent requests (every built-in endpoint is a pure query).
+Definitive answers (2xx, 4xx, 504) are never retried.  When the retry
+budget runs out the client raises a typed
+:class:`~repro.errors.ServiceUnavailableError` recording how many
+attempts were made.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
+import time
 
-from repro.errors import InfeasibleError, ReproError, ValidationError
+from repro.errors import (
+    InfeasibleError,
+    ReproError,
+    ServiceUnavailableError,
+    ValidationError,
+)
 from repro.service.planner import RequestTimeoutError, ServiceSaturatedError
+from repro.utils.rng import derive_rng
 
 __all__ = ["PlannerClient"]
 
 _ERROR_TYPES = {
     "saturated": lambda msg: ServiceSaturatedError(
         msg, queue_depth=-1, max_queue_depth=-1),
+    "draining": lambda msg: ServiceUnavailableError(msg, attempts=1),
     "deadline_exceeded": lambda msg: RequestTimeoutError(msg, timeout_s=-1.0),
     "infeasible": lambda msg: InfeasibleError(msg),
     "invalid_request": ValidationError,
 }
 
+#: Connection-level failures that are safe to retry for idempotent
+#: requests: the server never started (refused), or the socket died in
+#: transit.  HTTP errors with definitive status codes are NOT here.
+_TRANSIENT_ERRORS = (ConnectionError, socket.timeout, TimeoutError,
+                     http.client.HTTPException, OSError)
+
 
 class PlannerClient:
     """One service endpoint; a fresh connection per call (the server
-    closes after each response)."""
+    closes after each response).
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per request (1 = no retries).
+    backoff_base_s / backoff_cap_s:
+        Exponential backoff schedule between attempts, capped.
+    jitter_fraction:
+        Deterministic ±jitter/2 spread on each backoff, derived from
+        ``retry_seed`` so test runs reproduce their exact sleep pattern.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8337,
-                 *, timeout_s: float = 60.0):
+                 *, timeout_s: float = 60.0, max_attempts: int = 4,
+                 backoff_base_s: float = 0.05, backoff_cap_s: float = 2.0,
+                 jitter_fraction: float = 0.25, retry_seed: int = 0,
+                 sleep=time.sleep):
+        if max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter_fraction = jitter_fraction
+        self.retry_seed = retry_seed
+        self._sleep = sleep
 
     # -- transport -------------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: dict | None = None) -> dict:
+    def _backoff_s(self, attempt: int) -> float:
+        """Capped exponential backoff with deterministic jitter."""
+        base = min(self.backoff_base_s * (2.0 ** (attempt - 1)),
+                   self.backoff_cap_s)
+        rng = derive_rng(self.retry_seed, "client-backoff", attempt)
+        jitter = 1.0 + self.jitter_fraction * (float(rng.uniform()) - 0.5)
+        return base * jitter
+
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 *, idempotent: bool = True) -> dict:
+        """One HTTP exchange, with bounded retries of transient failures.
+
+        Non-idempotent requests are attempted exactly once — a dropped
+        connection leaves the outcome unknown, and replaying it could
+        apply the effect twice.  4xx/422/504 responses are definitive
+        and never retried regardless.
+        """
+        attempts = self.max_attempts if idempotent else 1
+        last_error: Exception | None = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(method, path, body)
+            except (ServiceSaturatedError, ServiceUnavailableError) as exc:
+                last_error = exc  # 503: the server asked us to back off
+            except _TRANSIENT_ERRORS as exc:
+                last_error = exc
+            if attempt < attempts:
+                self._sleep(self._backoff_s(attempt))
+        if attempts == 1:
+            raise last_error  # no retry budget: surface the original
+        raise ServiceUnavailableError(
+            f"{method} {path} failed after {attempts} attempts: "
+            f"{last_error}", attempts=attempts) from last_error
+
+    def _request_once(self, method: str, path: str,
+                      body: dict | None = None) -> dict:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout_s)
         try:
@@ -102,6 +182,29 @@ class PlannerClient:
             body["fix_accuracy"] = fix_accuracy
         body.update(self._common(quota, seed, timeout_s))
         return self._request("POST", "/v1/plan", body)
+
+    def replan(self, app: str, *, remaining_gi: float,
+               residual_deadline_hours: float,
+               residual_budget_dollars: float,
+               n: float | None = None, accuracy: float | None = None,
+               min_accuracy: float | None = None,
+               work_done_gi: float = 0.0, efficiency: float = 1.0,
+               quota: int | None = None, seed: int | None = None,
+               timeout_s: float | None = None) -> dict:
+        """POST /v1/replan — re-plan over residual state; degrade if
+        ``n`` and the current ``accuracy`` are supplied."""
+        body = {"app": app, "remaining_gi": remaining_gi,
+                "residual_deadline_hours": residual_deadline_hours,
+                "residual_budget_dollars": residual_budget_dollars,
+                "work_done_gi": work_done_gi, "efficiency": efficiency}
+        if n is not None:
+            body["n"] = n
+        if accuracy is not None:
+            body["accuracy"] = accuracy
+        if min_accuracy is not None:
+            body["min_accuracy"] = min_accuracy
+        body.update(self._common(quota, seed, timeout_s))
+        return self._request("POST", "/v1/replan", body)
 
     def metrics(self) -> dict:
         """GET /metrics — the live metrics snapshot."""

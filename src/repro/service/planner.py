@@ -494,6 +494,116 @@ class PlannerService:
                 integral=integral)
         return plan_to_dict(plan)
 
+    async def replan(self, app: str, remaining_gi: float,
+                     residual_deadline_hours: float,
+                     residual_budget_dollars: float, *,
+                     n: float | None = None, accuracy: float | None = None,
+                     min_accuracy: float | None = None,
+                     work_done_gi: float = 0.0, efficiency: float = 1.0,
+                     quota: int | None = None, seed: int | None = None,
+                     timeout_s: float | None = None) -> dict:
+        """Re-plan over residual state for a closed-loop runtime.
+
+        Finds the cheapest configuration finishing ``remaining_gi`` GI
+        within the residual envelope.  When none exists and the caller
+        supplies its run parameters (``n``, current ``accuracy``), the
+        accuracy knob is degraded minimally
+        (:func:`repro.runtime.controller.degraded_accuracy_search`) —
+        the same search the in-process controller runs, exposed over
+        HTTP.  Not cached: residual states are effectively unique.
+        Every call lands in ``replans_total``; degraded answers also in
+        ``degradations_total``.
+        """
+        t0 = time.perf_counter()
+        if remaining_gi <= 0:
+            raise ValidationError("remaining_gi must be positive")
+        if not 0 < efficiency <= 1:
+            raise ValidationError("efficiency must be in (0, 1]")
+        signature = self.signature(app, quota=quota, seed=seed)
+        self._admit()
+        try:
+            payload = await self._with_deadline(
+                self._compute_replan(signature, float(remaining_gi),
+                                     float(residual_deadline_hours),
+                                     float(residual_budget_dollars),
+                                     n, accuracy, min_accuracy,
+                                     float(work_done_gi), float(efficiency)),
+                timeout_s, "replan")
+        finally:
+            self._release()
+        self.metrics.counter("replans_total").increment()
+        if payload.get("degraded"):
+            self.metrics.counter("degradations_total").increment()
+        return self._respond("replan", payload, cached=False, t0=t0)
+
+    async def _compute_replan(self, signature: SpaceSignature,
+                              remaining_gi: float, residual_t: float,
+                              residual_c: float, n: float | None,
+                              accuracy: float | None,
+                              min_accuracy: float | None,
+                              work_done_gi: float,
+                              efficiency: float) -> dict:
+        state = await self._ensure_state(signature)
+
+        def compute() -> dict:
+            self.faults.on_compute()
+            return self._replan_payload(state, remaining_gi, residual_t,
+                                        residual_c, n, accuracy,
+                                        min_accuracy, work_done_gi,
+                                        efficiency)
+
+        return await asyncio.get_running_loop().run_in_executor(None, compute)
+
+    def _replan_payload(self, state: _WarmState, remaining_gi: float,
+                        residual_t: float, residual_c: float,
+                        n: float | None, accuracy: float | None,
+                        min_accuracy: float | None, work_done_gi: float,
+                        efficiency: float) -> dict:
+        from repro.errors import InfeasibleError
+        from repro.runtime.controller import degraded_accuracy_search
+
+        base = {
+            "remaining_gi": remaining_gi,
+            "residual_deadline_hours": residual_t,
+            "residual_budget_dollars": residual_c,
+            "efficiency": efficiency,
+        }
+        try:
+            answer = state.min_cost.query(remaining_gi / efficiency,
+                                          residual_t,
+                                          budget_dollars=residual_c)
+        except InfeasibleError:
+            answer = None
+        if answer is not None:
+            return {**base, "feasible": True, "degraded": False,
+                    "configuration": list(answer.configuration),
+                    "time_hours": answer.time_hours,
+                    "cost_dollars": answer.cost_dollars}
+        if n is None or accuracy is None:
+            return {**base, "feasible": False, "degraded": False,
+                    "detail": "no feasible configuration; supply n and "
+                              "accuracy to search degraded plans"}
+        floor = (float(min_accuracy) if min_accuracy is not None
+                 else float(min(state.app.scale_down_grid()[1])))
+        found = degraded_accuracy_search(
+            lambda acc: state.celia.demand_gi(state.app, float(n), acc),
+            state.min_cost, floor=floor, current=float(accuracy),
+            integral=state.app.accuracy_integral,
+            residual_deadline_hours=residual_t,
+            residual_budget_dollars=residual_c,
+            work_done_gi=work_done_gi, efficiency=efficiency)
+        if found is None:
+            return {**base, "feasible": False, "degraded": False,
+                    "accuracy_floor": floor,
+                    "detail": "infeasible even at the accuracy floor"}
+        degraded_accuracy, degraded_answer = found
+        return {**base, "feasible": True, "degraded": True,
+                "accuracy": degraded_accuracy,
+                "accuracy_score": state.app.accuracy_score(degraded_accuracy),
+                "configuration": list(degraded_answer.configuration),
+                "time_hours": degraded_answer.time_hours,
+                "cost_dollars": degraded_answer.cost_dollars}
+
     async def _compute_simple(self, signature: SpaceSignature, key: str,
                               fn, *args) -> dict:
         """Warm the state, run ``fn`` in an executor, cache its payload."""
@@ -539,7 +649,18 @@ class PlannerService:
                     fix_accuracy=request.get("fix_accuracy"),
                     knob_range=(float(knob_range[0]), float(knob_range[1])),
                     integral=bool(request.get("integral", False)), **common)
+            if kind == "replan":
+                return await self.replan(
+                    request["app"], float(request["remaining_gi"]),
+                    float(request["residual_deadline_hours"]),
+                    float(request["residual_budget_dollars"]),
+                    n=request.get("n"), accuracy=request.get("accuracy"),
+                    min_accuracy=request.get("min_accuracy"),
+                    work_done_gi=float(request.get("work_done_gi", 0.0)),
+                    efficiency=float(request.get("efficiency", 1.0)),
+                    **common)
         except (KeyError, TypeError) as exc:
             raise ValidationError(f"malformed {kind} request: {exc}") from exc
         raise ValidationError(
-            f"unknown request kind {kind!r}; expected select/predict/plan")
+            f"unknown request kind {kind!r}; "
+            f"expected select/predict/plan/replan")

@@ -3,10 +3,10 @@
 A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
 frameworks, one connection per request — exposing:
 
-* ``POST /v1/select`` / ``/v1/predict`` / ``/v1/plan`` — a JSON request
-  body (the path supplies the ``kind`` field);
+* ``POST /v1/select`` / ``/v1/predict`` / ``/v1/plan`` / ``/v1/replan``
+  — a JSON request body (the path supplies the ``kind`` field);
 * ``GET /metrics`` — the live metrics snapshot;
-* ``GET /healthz`` — liveness plus the warm signatures.
+* ``GET /healthz`` — liveness, warm-state readiness and drain status.
 
 Library errors map to typed JSON error envelopes::
 
@@ -14,13 +14,20 @@ Library errors map to typed JSON error envelopes::
 
 with the status codes a load balancer expects: 400 for malformed or
 invalid requests, 422 for infeasible plans, 503 (+ ``Retry-After``) when
-admission control rejects, 504 for missed request deadlines.
+admission control rejects or the server is draining, 504 for missed
+request deadlines.
+
+Shutdown is graceful: ``run_server`` installs a SIGTERM/SIGINT handler
+that stops accepting connections, lets in-flight requests finish (up to
+a drain timeout), then exits — so a rolling restart never drops work
+mid-computation.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 
 from repro.errors import InfeasibleError, ReproError, ValidationError
 from repro.service.planner import (
@@ -38,7 +45,7 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             503: "Service Unavailable", 504: "Gateway Timeout"}
 
 _POST_ROUTES = {"/v1/select": "select", "/v1/predict": "predict",
-                "/v1/plan": "plan"}
+                "/v1/plan": "plan", "/v1/replan": "replan"}
 
 
 def _error_body(code: str, message: str) -> dict:
@@ -49,11 +56,34 @@ class PlannerServer:
     """Owns the listening socket and request/response framing."""
 
     def __init__(self, service: PlannerService, *, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, expected_warm: tuple[str, ...] = ()):
         self.service = service
         self.host = host
         self.port = port  # 0 → ephemeral; replaced by the bound port
+        self.expected_warm = tuple(expected_warm)
         self._server: asyncio.AbstractServer | None = None
+        self._in_flight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    @property
+    def in_flight(self) -> int:
+        """Connections currently being served."""
+        return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        """True once graceful shutdown has begun."""
+        return self._draining
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: accepting requests and all expected state is warm."""
+        if self._draining:
+            return False
+        warm_apps = {s.app for s in self.service.warm_signatures}
+        return all(app in warm_apps for app in self.expected_warm)
 
     async def start(self) -> None:
         """Bind and start accepting connections (non-blocking)."""
@@ -72,31 +102,58 @@ class PlannerServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, *, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: refuse new work, wait for in-flight requests.
+
+        Marks the server draining (new requests get 503 + ``Retry-After``,
+        ``/healthz`` flips unready so load balancers stop routing here),
+        stops the listener, then waits up to ``timeout_s`` for in-flight
+        requests to complete.  Returns True if the server drained fully,
+        False if the timeout expired with requests still running.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
     # -- request handling ------------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self._in_flight += 1
+        self._idle.clear()
         try:
-            status, body = await self._handle_request(reader)
-        except Exception as exc:  # last-resort: never kill the server
-            status, body = 500, _error_body("internal", str(exc))
-        payload = json.dumps(body).encode("utf-8")
-        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                + ("Retry-After: 1\r\n" if status == 503 else "")
-                + "Connection: close\r\n\r\n").encode("ascii")
-        try:
-            writer.write(head + payload)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            pass  # client went away; nothing to do
-        finally:
-            writer.close()
             try:
-                await writer.wait_closed()
+                status, body = await self._handle_request(reader)
+            except Exception as exc:  # last-resort: never kill the server
+                status, body = 500, _error_body("internal", str(exc))
+            payload = json.dumps(body).encode("utf-8")
+            head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    + ("Retry-After: 1\r\n" if status == 503 else "")
+                    + "Connection: close\r\n\r\n").encode("ascii")
+            try:
+                writer.write(head + payload)
+                await writer.drain()
             except (ConnectionError, OSError):
-                pass
+                pass  # client went away; nothing to do
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
 
     async def _handle_request(self, reader: asyncio.StreamReader
                               ) -> tuple[int, dict]:
@@ -127,7 +184,11 @@ class PlannerServer:
         if method == "GET":
             if path == "/healthz":
                 return 200, {
-                    "status": "ok",
+                    "status": "draining" if self._draining else "ok",
+                    "ready": self.ready,
+                    "draining": self._draining,
+                    "in_flight": self._in_flight,
+                    "expected_warm": list(self.expected_warm),
                     "warm_signatures": [
                         {"app": s.app, "quota": s.quota, "seed": s.seed}
                         for s in self.service.warm_signatures
@@ -140,6 +201,11 @@ class PlannerServer:
         if method != "POST":
             return 405, _error_body("method_not_allowed",
                                     f"{method} not supported")
+        if self._draining:
+            # Health and metrics stay observable during the drain; new
+            # work is turned away so in-flight requests can finish.
+            return 503, _error_body(
+                "draining", "server is shutting down; retry elsewhere")
         kind = _POST_ROUTES.get(path)
         if kind is None:
             return 404, _error_body("not_found", f"no route {path!r}")
@@ -172,26 +238,49 @@ class PlannerServer:
 
 def run_server(service: PlannerService, *, host: str = "127.0.0.1",
                port: int = 8337, warm_apps: tuple[str, ...] = (),
-               ready_callback=None) -> None:
-    """Blocking entry point used by ``celia serve`` (Ctrl-C to stop).
+               ready_callback=None, drain_timeout_s: float = 10.0) -> None:
+    """Blocking entry point used by ``celia serve``.
 
     ``warm_apps`` are warmed before the ready callback fires, so the
-    first real request never pays the state build.
+    first real request never pays the state build (and ``/healthz``
+    reports unready until they are warm).  SIGTERM and SIGINT trigger a
+    graceful drain: the listener closes, in-flight requests get up to
+    ``drain_timeout_s`` to finish, then the process exits.
     """
 
     async def _run() -> None:
-        server = PlannerServer(service, host=host, port=port)
+        server = PlannerServer(service, host=host, port=port,
+                               expected_warm=warm_apps)
         await server.start()
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal support; Ctrl-C still works
         for app in warm_apps:
             await service.warm(app)
         if ready_callback is not None:
             ready_callback(server)
+        serve_task = asyncio.create_task(server.serve_forever())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await shutdown.wait()
+            drained = await server.drain(timeout_s=drain_timeout_s)
+            if not drained:
+                print(f"drain timeout ({drain_timeout_s:g}s) expired with "
+                      f"{server.in_flight} request(s) in flight",
+                      flush=True)
         finally:
-            await server.stop()
+            serve_task.cancel()
+            try:
+                await serve_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            for sig in installed:
+                loop.remove_signal_handler(sig)
 
     try:
         asyncio.run(_run())

@@ -215,6 +215,61 @@ class TestSpotCommand:
         assert code == 1
 
 
+class TestExecuteCommand:
+    def test_list_chaos_catalog(self, capsys):
+        code = main(["execute", "--list-chaos"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("calm", "flaky-control-plane", "crashy", "stragglers",
+                     "perfect-storm"):
+            assert name in out
+
+    def test_execute_calm_meets_envelope(self, capsys):
+        code = main(["--seed", "1", "--quota", "2", "execute", "galaxy",
+                     "65536", "8000", "--deadline", "40", "--budget", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "met" in out
+        assert "0 replans" in out
+
+    def test_execute_json_is_deterministic(self, capsys):
+        argv = ["--seed", "1", "--quota", "2", "execute", "galaxy",
+                "65536", "8000", "--deadline", "40", "--budget", "400",
+                "--chaos", "crashy", "--json"]
+        code = main(argv)
+        first = capsys.readouterr().out
+        assert code in (0, 1)
+        assert main(argv) == code
+        second = capsys.readouterr().out
+        assert first == second
+        report = json.loads(first)
+        assert report["scenario"] == "crashy"
+        assert report["verdict"] in ("met", "degraded", "missed_deadline",
+                                     "over_budget", "infeasible", "failed")
+        assert report["timeline"]
+
+    def test_static_flag_disables_replanning(self, capsys):
+        code = main(["--seed", "1", "--quota", "2", "execute", "galaxy",
+                     "65536", "8000", "--deadline", "40", "--budget", "400",
+                     "--static", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0  # calm: static also succeeds
+        assert report["adaptive"] is False
+
+    def test_execute_needs_problem_and_envelope(self):
+        with pytest.raises(SystemExit, match="needs app"):
+            main(["execute"])
+        with pytest.raises(SystemExit, match="deadline"):
+            main(["execute", "galaxy", "65536", "8000"])
+
+    def test_unknown_scenario_rejected(self, capsys):
+        code = main(["--quota", "2", "execute", "galaxy", "65536", "8000",
+                     "--deadline", "40", "--budget", "400",
+                     "--chaos", "volcano"])
+        assert code != 0
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
+
 class TestRegistryJsonExport:
     def test_figure5_series_written(self, tmp_path):
         from repro.experiments.registry import main as reg_main

@@ -1,0 +1,96 @@
+"""Tests for injectable provisioning faults (:mod:`repro.cloud.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.faults import ProvisioningFaultModel
+from repro.cloud.provider import CloudProvider
+from repro.errors import (
+    ApiThrottledError,
+    InsufficientCapacityError,
+    ValidationError,
+)
+
+NAMES = ["a.small", "a.big", "b.small"]
+
+
+def draw_outcomes(model: ProvisioningFaultModel, attempts: int,
+                  requested=None) -> list[str]:
+    """Classify ``attempts`` consecutive check() calls."""
+    vec = np.array([1, 2, 0]) if requested is None else requested
+    outcomes = []
+    for _ in range(attempts):
+        try:
+            model.check(vec, NAMES)
+        except ApiThrottledError:
+            outcomes.append("throttled")
+        except InsufficientCapacityError as exc:
+            outcomes.append(f"capacity:{exc.type_name}")
+        else:
+            outcomes.append("ok")
+    return outcomes
+
+
+class TestModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValidationError):
+            ProvisioningFaultModel(insufficient_capacity_rate=1.5)
+        with pytest.raises(ValidationError):
+            ProvisioningFaultModel(throttle_rate=-0.1)
+
+    def test_default_and_none_never_fault(self):
+        for model in (ProvisioningFaultModel(), ProvisioningFaultModel.none()):
+            assert not model.enabled
+            assert draw_outcomes(model, 50) == ["ok"] * 50
+
+    def test_throttle_rate_one_always_throttles(self):
+        model = ProvisioningFaultModel(throttle_rate=1.0, seed=3)
+        assert draw_outcomes(model, 10) == ["throttled"] * 10
+
+    def test_capacity_fault_names_a_requested_type(self):
+        model = ProvisioningFaultModel(insufficient_capacity_rate=1.0, seed=3)
+        for outcome in draw_outcomes(model, 20):
+            kind, name = outcome.split(":")
+            assert kind == "capacity"
+            assert name in ("a.small", "a.big")  # b.small not requested
+
+    def test_same_seed_same_fault_sequence(self):
+        kwargs = dict(insufficient_capacity_rate=0.3, throttle_rate=0.3,
+                      seed=11)
+        first = draw_outcomes(ProvisioningFaultModel(**kwargs), 60)
+        second = draw_outcomes(ProvisioningFaultModel(**kwargs), 60)
+        assert first == second
+        assert {"throttled", "ok"} <= set(first)  # mixed, not degenerate
+
+    def test_different_seeds_diverge(self):
+        kwargs = dict(insufficient_capacity_rate=0.4, throttle_rate=0.3)
+        a = draw_outcomes(ProvisioningFaultModel(seed=1, **kwargs), 60)
+        b = draw_outcomes(ProvisioningFaultModel(seed=2, **kwargs), 60)
+        assert a != b
+
+
+class TestProviderIntegration:
+    def test_faultless_provider_unchanged(self, small_catalog):
+        provider = CloudProvider(small_catalog)
+        lease = provider.provision((1, 1, 0), now_hours=0.0)
+        assert len(lease.instances) == 2
+
+    def test_injected_faults_surface_as_typed_errors(self, small_catalog):
+        provider = CloudProvider(
+            small_catalog,
+            fault_model=ProvisioningFaultModel(throttle_rate=1.0, seed=0))
+        with pytest.raises(ApiThrottledError):
+            provider.provision((1, 0, 0), now_hours=0.0)
+        # A faulted attempt must not leak a lease or consume quota.
+        assert provider.available().tolist() == \
+            list(small_catalog.quotas)
+
+    def test_capacity_fault_reports_type_index(self, small_catalog):
+        provider = CloudProvider(
+            small_catalog,
+            fault_model=ProvisioningFaultModel(
+                insufficient_capacity_rate=1.0, seed=0))
+        with pytest.raises(InsufficientCapacityError) as err:
+            provider.provision((0, 2, 0), now_hours=0.0)
+        assert err.value.type_index == 1
+        assert err.value.type_name == "a.big"

@@ -100,3 +100,97 @@ class TestSimulateWithFailures:
         with pytest.raises(SimulationError):
             simulate_with_failures(w, cluster, FaultModel(0.0),
                                    np.random.default_rng(0))
+
+
+class FixedCrashes(FaultModel):
+    """Fault model with exact, caller-chosen per-node crash times."""
+
+    def __init__(self, crash_seconds):
+        object.__setattr__(self, "crash_rate_per_hour", 1.0)
+        object.__setattr__(self, "_crash_seconds",
+                           np.asarray(crash_seconds, dtype=float))
+
+    def sample_crash_seconds(self, rng, n_nodes):
+        assert n_nodes == self._crash_seconds.size
+        return self._crash_seconds.copy()
+
+
+class TestCrashEdgeCases:
+    """Deterministic boundary behaviour pinned with exact crash times."""
+
+    def two_nodes(self, ec2, x264):
+        instances = [
+            Instance(instance_id=f"i-{k}", itype=ec2.type_named("c4.large"))
+            for k in range(2)
+        ]
+        return SimCluster(instances, x264)
+
+    def test_all_nodes_crash_before_completion(self, ec2, x264):
+        cluster = self.two_nodes(ec2, x264)
+        d = 10.0 / cluster.slot_rates()[0]  # seconds per task
+        # Every node dies mid-first-task: nothing can ever finish.
+        faults = FixedCrashes(np.full(cluster.n_nodes, d / 2))
+        with pytest.raises(SimulationError,
+                           match="all nodes crashed"):
+            simulate_with_failures(workload(20, 10.0), cluster, faults,
+                                   np.random.default_rng(0),
+                                   jitter_sigma=0.0)
+
+    def test_single_survivor_requeues_lost_tasks(self, ec2, x264):
+        cluster = self.two_nodes(ec2, x264)
+        rates = cluster.slot_rates()
+        d = 10.0 / rates[0]
+        vcpus0 = cluster.nodes[0].vcpus
+        n_tasks = 11
+        # Node 0 dies mid-first-wave; node 1 outlives everything, so
+        # every task (including node 0's lost in-flight wave) completes
+        # on node 1 alone.
+        faults = FixedCrashes([d / 2, np.inf])
+        outcome = simulate_with_failures(
+            workload(n_tasks, 10.0), cluster, faults,
+            np.random.default_rng(0), jitter_sigma=0.0)
+        assert outcome.survived
+        assert outcome.crashed_nodes == 1
+        assert outcome.retried_tasks == vcpus0
+        assert outcome.wasted_seconds == pytest.approx(vcpus0 * d / 2)
+        # All n_tasks completions land on node 1's slots, greedily packed.
+        vcpus1 = cluster.nodes[1].vcpus
+        waves = -(-n_tasks // vcpus1)  # ceil
+        assert outcome.makespan_seconds == pytest.approx(
+            waves * (10.0 / rates[vcpus0]))
+
+    def test_crash_exactly_at_task_boundary_completes_task(self, ec2, x264):
+        cluster = self.two_nodes(ec2, x264)
+        d = 10.0 / cluster.slot_rates()[0]
+        # Node 0 crashes at the precise instant its first tasks finish:
+        # the requeue condition is strictly ``finish > crash_at``, so the
+        # in-flight work completes and only the *slot* retires.
+        faults = FixedCrashes([d, np.inf])
+        outcome = simulate_with_failures(
+            workload(12, 10.0), cluster, faults,
+            np.random.default_rng(0), jitter_sigma=0.0)
+        assert outcome.survived
+        assert outcome.crashed_nodes == 1
+        assert outcome.retried_tasks == 0
+        assert outcome.wasted_seconds == 0.0
+
+    def test_bit_stable_under_fixed_seed(self, cluster):
+        w = workload(200, 20.0)
+
+        def attempt(seed):
+            try:
+                return simulate_with_failures(
+                    w, cluster, FaultModel(30.0),
+                    np.random.default_rng(seed))
+            except SimulationError:
+                return "all-crashed"
+
+        crashed = 0
+        for seed in range(8):
+            runs = [attempt(seed) for _ in range(2)]
+            # Exact equality, not approx: same draws, same event path —
+            # including seeds where the hazard wipes out every node.
+            assert runs[0] == runs[1]
+            if runs[0] != "all-crashed":
+                crashed += runs[0].crashed_nodes
+        assert crashed > 0  # the hazard actually fired somewhere

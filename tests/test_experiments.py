@@ -383,3 +383,51 @@ class TestAblationsExperiment:
     def test_render(self, result):
         text = result.render()
         assert "A1" in text and "A2" in text and "A4" in text
+
+
+class TestAdaptiveExperiment:
+    """The adaptive experiment's aggregation and rendering.
+
+    Full ``run(ctx)`` executes 30 controller runs and is covered by
+    benchmarks/bench_runtime.py; here one cheap calm cell exercises the
+    cell aggregation and the report plumbing end to end.
+    """
+
+    @pytest.fixture(scope="class")
+    def cell(self, ctx):
+        from repro.cloud.catalog import ec2_catalog
+        from repro.core.celia import Celia
+        from repro.experiments import adaptive_exp
+
+        celia = Celia(ec2_catalog(max_nodes_per_type=2), seed=ctx.seed)
+        return adaptive_exp.run_cell(
+            celia, ctx.app("galaxy"), "calm", adaptive=False,
+            seed=ctx.seed, trials=1)
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "adaptive" in EXPERIMENTS
+
+    def test_calm_static_cell_hits_deadline(self, cell):
+        assert cell.trials == 1
+        assert cell.deadline_hits == 1
+        assert cell.hit_rate == 1.0
+        assert cell.verdicts == ("met",)
+        assert cell.replans == 0 and cell.degradations == 0
+        assert cell.mean_overrun_dollars == 0.0
+        assert 0 < cell.mean_cost_dollars <= 400.0
+        assert 0 < cell.mean_elapsed_hours <= 40.0
+
+    def test_render_and_series_shape(self, cell):
+        from repro.experiments.adaptive_exp import AdaptiveExperimentResult
+
+        result = AdaptiveExperimentResult(outcomes=(cell,))
+        text = result.render()
+        assert "calm" in text and "static" in text
+        assert "no silent overruns" in text
+        series = result.to_series()
+        assert series["problem"]["deadline_hours"] == 40.0
+        (row,) = series["outcomes"]
+        assert row["scenario"] == "calm" and row["mode"] == "static"
+        assert row["verdicts"] == ["met"]

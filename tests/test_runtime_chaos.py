@@ -1,0 +1,95 @@
+"""Tests for chaos scenarios and runtime events."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime.chaos import (
+    SCENARIOS,
+    ChaosScenario,
+    chaos_scenario,
+    scenario_names,
+)
+from repro.runtime.events import (
+    DegradationDecision,
+    ExecutionTimeline,
+    NodeCrash,
+    ProvisionAttempt,
+    event_to_dict,
+)
+
+
+class TestCatalog:
+    def test_expected_scenarios_present(self):
+        assert scenario_names() == ("calm", "flaky-control-plane", "crashy",
+                                    "stragglers", "perfect-storm")
+
+    def test_calm_injects_nothing(self):
+        calm = chaos_scenario("calm")
+        assert not calm.provisioning_faults(0).enabled
+        assert calm.fault_model().crash_rate_per_hour == 0.0
+        assert calm.straggler_fraction == 0.0
+
+    def test_perfect_storm_injects_everything(self):
+        storm = chaos_scenario("perfect-storm")
+        assert storm.provisioning_faults(0).enabled
+        assert storm.fault_model().crash_rate_per_hour > 0
+        assert storm.straggler_fraction > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown chaos scenario"):
+            chaos_scenario("volcano")
+
+    def test_to_dict_round_trips_fields(self):
+        for name in scenario_names():
+            data = SCENARIOS[name].to_dict()
+            assert data["name"] == name
+            assert ChaosScenario(**data) == SCENARIOS[name]
+
+
+class TestScenarioValidation:
+    def test_needs_name(self):
+        with pytest.raises(ValidationError):
+            ChaosScenario(name="")
+
+    def test_straggler_bounds(self):
+        with pytest.raises(ValidationError):
+            ChaosScenario(name="x", straggler_fraction=1.5)
+        with pytest.raises(ValidationError):
+            ChaosScenario(name="x", straggler_slowdown=0.5)
+
+
+class TestSeededStreams:
+    def test_provisioning_faults_keyed_by_seed_and_name(self):
+        storm = chaos_scenario("perfect-storm")
+        assert storm.provisioning_faults(1).seed == \
+            storm.provisioning_faults(1).seed
+        assert storm.provisioning_faults(1).seed != \
+            storm.provisioning_faults(2).seed
+        flaky = chaos_scenario("flaky-control-plane")
+        assert storm.provisioning_faults(1).seed != \
+            flaky.provisioning_faults(1).seed
+
+
+class TestEvents:
+    def test_event_to_dict_adds_kind_and_lists(self):
+        event = ProvisionAttempt(at_hours=0.5, attempt=2,
+                                 configuration=(1, 0, 2), outcome="ok")
+        data = event_to_dict(event)
+        assert data["kind"] == "provision_attempt"
+        assert data["configuration"] == [1, 0, 2]  # JSON-ready, not tuple
+        assert data["attempt"] == 2
+
+    def test_timeline_is_append_only_and_countable(self):
+        timeline = ExecutionTimeline()
+        timeline.record(NodeCrash(at_hours=1.0, instance_id="i-0",
+                                  type_name="a.small", surviving_nodes=1))
+        timeline.record(DegradationDecision(
+            at_hours=2.0, from_accuracy=8000, to_accuracy=6000,
+            score_before=1.0, score_after=0.9,
+            remaining_gi_before=1e6, remaining_gi_after=8e5,
+            configuration=(1, 0, 0), reason="deviation"))
+        assert len(timeline) == 2
+        assert timeline.count(NodeCrash) == 1
+        assert timeline.count(ProvisionAttempt) == 0
+        kinds = [d["kind"] for d in timeline.to_dicts()]
+        assert kinds == ["node_crash", "degradation"]

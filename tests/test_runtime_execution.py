@@ -1,0 +1,115 @@
+"""Tests for fluid-rate lease execution (:mod:`repro.runtime.execution`)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.faults import FaultModel
+from repro.errors import ValidationError
+from repro.runtime.execution import LeaseExecution
+
+HOUR_S = 3600.0
+
+
+def execution(rates, crash_at, start=0.0) -> LeaseExecution:
+    return LeaseExecution(np.asarray(rates, dtype=float),
+                          np.asarray(crash_at, dtype=float), start)
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            execution([1.0, 1.0], [np.inf])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            execution([-1.0], [np.inf])
+
+    def test_advance_backwards_rejected(self):
+        ex = execution([1.0], [np.inf], start=2.0)
+        with pytest.raises(ValidationError):
+            ex.advance(1.0, 100.0)
+
+
+class TestAdvance:
+    def test_exact_integration_no_crashes(self):
+        ex = execution([1.0, 1.0], [np.inf, np.inf])
+        result = ex.advance(1.0, 1e9)
+        assert result.now_hours == 1.0
+        assert result.work_done_gi == pytest.approx(2.0 * HOUR_S)
+        assert result.crashed == ()
+        assert not result.completed and not result.stalled
+
+    def test_completion_stops_early(self):
+        ex = execution([2.0], [np.inf])
+        result = ex.advance(10.0, 2.0 * HOUR_S)  # exactly one hour of work
+        assert result.completed
+        assert result.now_hours == pytest.approx(1.0)
+        assert result.work_done_gi == pytest.approx(2.0 * HOUR_S)
+
+    def test_crash_mid_advance_is_piecewise_exact(self):
+        # Node 0 dies at 0.5 h: work = 2 rates x 0.5 h + 1 rate x 0.5 h.
+        ex = execution([1.0, 1.0], [0.5, np.inf])
+        result = ex.advance(1.0, 1e9)
+        assert result.crashed == (0,)
+        assert ex.surviving_nodes == 1
+        assert result.work_done_gi == pytest.approx(1.5 * HOUR_S)
+
+    def test_all_crashed_stalls(self):
+        ex = execution([1.0, 1.0], [0.5, 0.5])
+        result = ex.advance(2.0, 1e9)
+        assert result.stalled and not result.completed
+        assert result.crashed == (0, 1)
+        assert result.work_done_gi == pytest.approx(1.0 * HOUR_S)
+        assert result.now_hours == 0.5  # time stops where progress stops
+
+    def test_work_does_not_accrue_before_start(self):
+        ex = execution([1.0], [np.inf], start=1.0)
+        result = ex.advance(2.0, 1e9)
+        assert result.work_done_gi == pytest.approx(1.0 * HOUR_S)
+
+
+class TestProjection:
+    def test_projected_finish_ignores_future_crashes(self):
+        ex = execution([1.0, 1.0], [5.0, np.inf])
+        # The monitor cannot see crash times: projection uses live rate.
+        assert ex.projected_finish_hours(2.0 * HOUR_S) == pytest.approx(1.0)
+
+    def test_projection_when_done_or_dead(self):
+        ex = execution([1.0], [np.inf], start=3.0)
+        assert ex.projected_finish_hours(0.0) == 3.0
+        dead = execution([1.0], [0.1], start=0.2)
+        assert dead.projected_finish_hours(10.0) == np.inf
+
+
+class TestLaunch:
+    def test_same_seed_same_execution(self):
+        nominal = np.array([2.0, 2.0, 2.0])
+
+        def build():
+            return LeaseExecution.launch(
+                nominal, start_hours=0.0,
+                fault_model=FaultModel(crash_rate_per_hour=0.5),
+                straggler_fraction=0.5, straggler_slowdown=4.0,
+                seed=13, lease_id=2)
+
+        a, b = build(), build()
+        np.testing.assert_array_equal(a.crash_at, b.crash_at)
+        np.testing.assert_array_equal(a.rates, b.rates)
+
+    def test_stragglers_slow_a_seeded_subset(self):
+        nominal = np.full(64, 4.0)
+        ex = LeaseExecution.launch(
+            nominal, start_hours=0.0, fault_model=FaultModel(0.0),
+            straggler_fraction=0.5, straggler_slowdown=4.0,
+            seed=1, lease_id=0)
+        slowed = np.count_nonzero(ex.rates == 1.0)
+        assert set(np.unique(ex.rates)) == {1.0, 4.0}
+        assert 0 < slowed < 64  # a strict, seeded subset
+
+    def test_zero_fraction_leaves_rates_untouched(self):
+        nominal = np.full(8, 3.0)
+        ex = LeaseExecution.launch(
+            nominal, start_hours=0.0, fault_model=FaultModel(0.0),
+            straggler_fraction=0.0, straggler_slowdown=4.0,
+            seed=1, lease_id=0)
+        np.testing.assert_array_equal(ex.rates, nominal)

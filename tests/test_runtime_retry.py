@@ -1,0 +1,163 @@
+"""Tests for provisioning retries (:mod:`repro.runtime.retry`)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.faults import ProvisioningFaultModel
+from repro.cloud.provider import CloudProvider
+from repro.errors import ProvisioningExhaustedError, ValidationError
+from repro.runtime.events import ExecutionTimeline, ProvisionAttempt
+from repro.runtime.retry import (
+    RetryPolicy,
+    backoff_seconds,
+    pareto_adjacent_type,
+    provision_with_retry,
+    substitute_configuration,
+    substitute_count,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_base_s": -1.0},
+        {"backoff_multiplier": 0.5},
+        {"jitter_fraction": 1.5},
+        {"fallback_after_attempts": 0},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoff:
+    def test_grows_then_caps(self):
+        policy = RetryPolicy(backoff_base_s=10.0, backoff_multiplier=2.0,
+                             backoff_cap_s=35.0, jitter_fraction=0.0)
+        waits = [backoff_seconds(policy, k, seed=0) for k in (1, 2, 3, 4)]
+        assert waits == [10.0, 20.0, 35.0, 35.0]
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=100.0, backoff_cap_s=100.0,
+                             jitter_fraction=0.5)
+        first = backoff_seconds(policy, 1, seed=7)
+        assert first == backoff_seconds(policy, 1, seed=7)
+        assert first != backoff_seconds(policy, 1, seed=8)
+        assert 75.0 <= first <= 125.0  # nominal * (1 +/- jitter/2)
+
+
+class TestSubstitution:
+    def test_substitute_count_preserves_capacity(self):
+        assert substitute_count(2.0, 4.0, 4) == 2
+        assert substitute_count(2.0, 1.5, 1) == 2
+        assert substitute_count(2.0, 100.0, 1) == 1  # never zero nodes
+
+    def test_adjacent_type_is_closest_with_headroom(self, small_catalog,
+                                                    small_capacities):
+        # capacities [2.0, 4.2, 1.5]: the neighbour of type 0 by capacity
+        # distance is type 2 (|1.5-2|=0.5 vs |4.2-2|=2.2).
+        available = np.array(small_catalog.quotas)
+        sub = pareto_adjacent_type(small_catalog, small_capacities, 0, 1,
+                                   available)
+        assert sub == 2
+
+    def test_no_candidate_returns_none(self, small_catalog, small_capacities):
+        available = np.zeros(3)  # nobody has headroom
+        assert pareto_adjacent_type(small_catalog, small_capacities, 0, 1,
+                                    available) is None
+
+    def test_substitute_configuration_rebuilds_vector(self, small_catalog,
+                                                      small_capacities):
+        available = np.array(small_catalog.quotas)
+        result = substitute_configuration((1, 1, 0), small_catalog,
+                                          small_capacities, 0, available)
+        assert result is not None
+        vec, sub = result
+        assert sub == 2
+        assert vec[0] == 0  # short type evicted
+        assert vec[2] == substitute_count(2.0, 1.5, 1)
+
+    def test_zero_count_type_not_substituted(self, small_catalog,
+                                             small_capacities):
+        available = np.array(small_catalog.quotas)
+        assert substitute_configuration((0, 1, 0), small_catalog,
+                                        small_capacities, 0,
+                                        available) is None
+
+
+class TestProvisionWithRetry:
+    POLICY = RetryPolicy(max_attempts=4, backoff_base_s=30.0,
+                         backoff_cap_s=120.0, jitter_fraction=0.0,
+                         fallback_after_attempts=2)
+
+    def test_clean_provider_single_attempt(self, small_catalog,
+                                           small_capacities):
+        provider = CloudProvider(small_catalog)
+        timeline = ExecutionTimeline()
+        lease, now = provision_with_retry(
+            provider, (1, 1, 0), small_capacities, policy=self.POLICY,
+            now_hours=1.0, seed=0, timeline=timeline)
+        assert now == 1.0  # no backoff burned
+        assert len(lease.instances) == 2
+        assert timeline.count(ProvisionAttempt) == 1
+        assert timeline.events[0].outcome == "ok"
+
+    def test_exhaustion_raises_typed_error_with_elapsed_backoff(
+            self, small_catalog, small_capacities):
+        provider = CloudProvider(
+            small_catalog,
+            fault_model=ProvisioningFaultModel(throttle_rate=1.0, seed=0))
+        timeline = ExecutionTimeline()
+        with pytest.raises(ProvisioningExhaustedError) as err:
+            provision_with_retry(provider, (1, 0, 0), small_capacities,
+                                 policy=self.POLICY, now_hours=0.0, seed=0,
+                                 timeline=timeline)
+        assert err.value.attempts == 4
+        # Backoff burned simulated time: 30 + 60 + 120 (none after last).
+        assert err.value.elapsed_seconds == pytest.approx(210.0)
+        assert timeline.count(ProvisionAttempt) == 4
+        assert all(e.outcome == "throttled" for e in timeline.events)
+
+    def test_capacity_shortfall_triggers_type_substitution(
+            self, small_catalog, small_capacities):
+        provider = CloudProvider(
+            small_catalog,
+            fault_model=ProvisioningFaultModel(
+                insufficient_capacity_rate=1.0, seed=0))
+        timeline = ExecutionTimeline()
+        with pytest.raises(ProvisioningExhaustedError):
+            provision_with_retry(provider, (1, 0, 0), small_capacities,
+                                 policy=self.POLICY, now_hours=0.0, seed=0,
+                                 timeline=timeline)
+        # After fallback_after_attempts=2 same-type failures the request
+        # is rebuilt around the Pareto-adjacent neighbour (type 2).
+        substituted = [e for e in timeline.events
+                       if e.substituted_type is not None]
+        assert substituted
+        assert substituted[0].substituted_type == "b.small"
+        following = next(e for e in timeline.events
+                         if e.attempt == substituted[0].attempt + 1)
+        assert following.configuration[0] == 0  # short type evicted
+        assert following.configuration[2] >= 1  # neighbour absorbed it
+
+    def test_deterministic_timeline(self, small_catalog, small_capacities):
+        def run():
+            provider = CloudProvider(
+                small_catalog,
+                fault_model=ProvisioningFaultModel(
+                    throttle_rate=0.5, seed=5))
+            timeline = ExecutionTimeline()
+            try:
+                _, now = provision_with_retry(
+                    provider, (1, 1, 0), small_capacities,
+                    policy=RetryPolicy(max_attempts=6), now_hours=0.0,
+                    seed=9, timeline=timeline)
+            except ProvisioningExhaustedError:
+                now = None
+            return now, timeline.to_dicts()
+
+        assert run() == run()

@@ -169,7 +169,7 @@ class TestErrorMapping:
                                       deadline_hours=48, budget_dollars=350)
                     return True
 
-                client = PlannerClient(port=server.port)
+                client = PlannerClient(port=server.port, max_attempts=1)
                 rejected = await asyncio.get_running_loop().run_in_executor(
                     None, overflow, client)
                 await blocker
@@ -178,6 +178,210 @@ class TestErrorMapping:
                 await server.stop()
 
         assert asyncio.run(run())
+
+
+class TestHealthReadiness:
+    def test_unready_until_expected_state_is_warm(self):
+        service = make_service()
+
+        async def run():
+            server = PlannerServer(service, expected_warm=("galaxy",))
+            await server.start()
+            try:
+                client = PlannerClient(port=server.port)
+                loop = asyncio.get_running_loop()
+                before = await loop.run_in_executor(None, client.health)
+                await service.warm("galaxy")
+                after = await loop.run_in_executor(None, client.health)
+                return before, after
+            finally:
+                await server.stop()
+
+        before, after = asyncio.run(run())
+        assert before["status"] == "ok"  # alive...
+        assert before["ready"] is False  # ...but not routable yet
+        assert before["expected_warm"] == ["galaxy"]
+        assert after["ready"] is True
+
+
+class TestGracefulDrain:
+    def test_draining_rejects_posts_but_keeps_health_observable(self):
+        service = make_service()
+
+        async def run():
+            server = PlannerServer(service)
+            await server.start()
+            try:
+                # The drain window: flag up, listener still accepting
+                # (exactly the state between drain()'s first two steps).
+                server._draining = True
+                client = PlannerClient(port=server.port, max_attempts=1)
+                loop = asyncio.get_running_loop()
+
+                def probe():
+                    from repro.errors import ServiceUnavailableError
+
+                    with pytest.raises(ServiceUnavailableError):
+                        client.select("galaxy", n=65536, a=2000,
+                                      deadline_hours=48, budget_dollars=350)
+                    return client.health(), client.metrics()
+
+                return await loop.run_in_executor(None, probe)
+            finally:
+                await server.stop()
+
+        health, metrics = asyncio.run(run())
+        assert health["status"] == "draining"
+        assert health["ready"] is False
+        assert "counters" in metrics  # observability survives the drain
+
+    def test_idle_drain_completes_and_stops_listening(self):
+        service = make_service()
+
+        async def run():
+            server = PlannerServer(service)
+            await server.start()
+            port = server.port
+            drained = await server.drain(timeout_s=1.0)
+
+            def connect():
+                with pytest.raises(ConnectionError):
+                    PlannerClient(port=port, max_attempts=1).health()
+                return True
+
+            refused = await asyncio.get_running_loop().run_in_executor(
+                None, connect)
+            return drained, refused
+
+        drained, refused = asyncio.run(run())
+        assert drained and refused
+
+    def test_drain_waits_for_in_flight_requests(self):
+        service = make_service(faults=ServiceFaults(compute_delay_s=0.3))
+
+        async def run():
+            server = PlannerServer(service)
+            await server.start()
+            await service.warm("galaxy")
+            client = PlannerClient(port=server.port, timeout_s=10.0)
+            loop = asyncio.get_running_loop()
+            request = loop.run_in_executor(
+                None, lambda: client.select(
+                    "galaxy", n=65536, a=2000, deadline_hours=48,
+                    budget_dollars=350))
+            while server.in_flight == 0:  # request definitely admitted
+                await asyncio.sleep(0.01)
+            drained = await server.drain(timeout_s=5.0)
+            response = await request
+            return drained, response, server.in_flight
+
+        drained, response, in_flight = asyncio.run(run())
+        assert drained  # drain outwaited the slow request...
+        assert response["result"]["feasible_count"] > 0  # ...which completed
+        assert in_flight == 0
+
+    def test_drain_timeout_reports_failure(self):
+        service = make_service(faults=ServiceFaults(compute_delay_s=0.5))
+
+        async def run():
+            server = PlannerServer(service)
+            await server.start()
+            try:
+                await service.warm("galaxy")
+                client = PlannerClient(port=server.port, timeout_s=10.0)
+                loop = asyncio.get_running_loop()
+                request = loop.run_in_executor(
+                    None, lambda: client.select(
+                        "galaxy", n=65536, a=2000, deadline_hours=48,
+                        budget_dollars=350))
+                while server.in_flight == 0:
+                    await asyncio.sleep(0.01)
+                drained = await server.drain(timeout_s=0.05)
+                await request  # let it finish before teardown
+                return drained
+            finally:
+                await server.stop()
+
+        assert asyncio.run(run()) is False
+
+
+class TestClientRetry:
+    """Transport-level retry behaviour, exercised against a stub."""
+
+    def make_client(self, outcomes, *, max_attempts=3, sleeps=None):
+        """A client whose _request_once pops scripted outcomes."""
+        client = PlannerClient(port=1, max_attempts=max_attempts,
+                               backoff_base_s=0.01,
+                               sleep=(sleeps.append if sleeps is not None
+                                      else lambda s: None))
+        script = list(outcomes)
+
+        def fake_request_once(method, path, body=None):
+            outcome = script.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake_request_once
+        return client
+
+    def test_transient_failures_retried_to_success(self):
+        sleeps = []
+        client = self.make_client(
+            [ConnectionRefusedError("boom"), TimeoutError(), {"ok": True}],
+            sleeps=sleeps)
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert sleeps == [client._backoff_s(1), client._backoff_s(2)]
+
+    def test_503_retried_then_succeeds(self):
+        saturated = ServiceSaturatedError("full", queue_depth=1,
+                                          max_queue_depth=1)
+        client = self.make_client([saturated, {"ok": True}])
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        from repro.errors import ServiceUnavailableError
+
+        client = self.make_client([ConnectionRefusedError("boom")] * 3)
+        with pytest.raises(ServiceUnavailableError) as err:
+            client._request("GET", "/healthz")
+        assert err.value.attempts == 3
+        assert isinstance(err.value.__cause__, ConnectionRefusedError)
+
+    def test_single_attempt_surfaces_original_error(self):
+        client = self.make_client([ConnectionRefusedError("boom")],
+                                  max_attempts=1)
+        with pytest.raises(ConnectionRefusedError):
+            client._request("GET", "/healthz")
+
+    def test_non_idempotent_never_retried(self):
+        sleeps = []
+        client = self.make_client(
+            [ConnectionRefusedError("boom"), {"ok": True}], sleeps=sleeps)
+        with pytest.raises(ConnectionRefusedError):
+            client._request("POST", "/v1/mutate", {}, idempotent=False)
+        assert sleeps == []
+
+    def test_definitive_errors_never_retried(self):
+        client = self.make_client([ValidationError("bad"), {"ok": True}])
+        with pytest.raises(ValidationError):
+            client._request("POST", "/v1/select", {})
+
+    def test_backoff_deterministic_and_capped(self):
+        client = PlannerClient(port=1, backoff_base_s=1.0, backoff_cap_s=3.0,
+                               jitter_fraction=0.5, retry_seed=4)
+        waits = [client._backoff_s(k) for k in (1, 2, 3, 4)]
+        assert waits == [PlannerClient(
+            port=1, backoff_base_s=1.0, backoff_cap_s=3.0,
+            jitter_fraction=0.5, retry_seed=4)._backoff_s(k)
+            for k in (1, 2, 3, 4)]
+        for k, wait in enumerate(waits, start=1):
+            nominal = min(1.0 * 2 ** (k - 1), 3.0)
+            assert 0.75 * nominal <= wait <= 1.25 * nominal
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValidationError):
+            PlannerClient(max_attempts=0)
 
 
 class TestSmoke:
