@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.cloud.catalog import Catalog
 from repro.core.configspace import DEFAULT_CHUNK, ConfigurationSpace, SpaceEvaluation
+from repro.obs.metrics import global_registry
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -246,7 +248,18 @@ class EvaluationCache:
 
     ``load`` returns memory-mapped (read-only) arrays, so a warm start
     pays I/O lazily, page by page, as analyses touch the space.  ``hits``
-    and ``misses`` count lookups for instrumentation.
+    and ``misses`` count this instance's lookups; the same events also
+    feed the process-global ``eval_cache_hits_total`` /
+    ``eval_cache_misses_total`` counters (see ``docs/observability.md``).
+
+    Arguments:
+        cache_dir: Directory holding the ``.npy`` / ``.meta.json``
+            artefacts.  ``None`` resolves via ``$CELIA_CACHE_DIR``, then
+            ``~/.cache/celia``.  Created lazily on the first ``store``.
+
+    The cache never raises on corrupt or missing entries — every
+    inconsistency is a miss and the caller re-sweeps.  ``store`` may
+    raise ``OSError`` if the cache directory cannot be written.
     """
 
     def __init__(self, cache_dir: str | Path | None = None):
@@ -284,34 +297,55 @@ class EvaluationCache:
              capacities_gips: np.ndarray) -> SpaceEvaluation | None:
         """The cached evaluation for (catalog, capacities), or ``None``.
 
+        Arguments:
+            space: The configuration space the arrays must cover; its
+                catalog contributes to the content-hash key.
+            capacities_gips: Measured per-type capacity vector — the
+                other half of the key.
+
+        Returns the memory-mapped :class:`SpaceEvaluation` on a hit.
         Any inconsistency — missing files, unreadable metadata, an array
         whose length does not cover the space — counts as a miss; the
-        caller re-sweeps and overwrites the entry.
+        caller re-sweeps and overwrites the entry.  Never raises.
         """
-        key = evaluation_cache_key(space.catalog, capacities_gips)
-        meta_path = self._meta_path(key)
-        try:
-            meta = json.loads(meta_path.read_text(encoding="utf-8"))
-            if meta.get("version") != _FORMAT_VERSION or \
-                    meta.get("space_size") != space.size:
-                raise ValueError("stale cache entry")
-            capacity = np.load(self._array_path(key, "capacity"),
-                               mmap_mode="r")
-            unit_cost = np.load(self._array_path(key, "unit_cost"),
-                                mmap_mode="r")
-            if capacity.shape != (space.size,) or \
-                    unit_cost.shape != (space.size,):
-                raise ValueError("cached arrays do not cover the space")
-        except (OSError, ValueError, KeyError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return SpaceEvaluation(space=space, capacity_gips=capacity,
-                               unit_cost_per_hour=unit_cost)
+        with get_tracer().span("cache.load") as span:
+            key = evaluation_cache_key(space.catalog, capacities_gips)
+            meta_path = self._meta_path(key)
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                if meta.get("version") != _FORMAT_VERSION or \
+                        meta.get("space_size") != space.size:
+                    raise ValueError("stale cache entry")
+                capacity = np.load(self._array_path(key, "capacity"),
+                                   mmap_mode="r")
+                unit_cost = np.load(self._array_path(key, "unit_cost"),
+                                    mmap_mode="r")
+                if capacity.shape != (space.size,) or \
+                        unit_cost.shape != (space.size,):
+                    raise ValueError("cached arrays do not cover the space")
+            except (OSError, ValueError, KeyError):
+                self.misses += 1
+                global_registry().counter("eval_cache_misses_total") \
+                    .increment()
+                span.set_attribute("hit", False)
+                return None
+            self.hits += 1
+            global_registry().counter("eval_cache_hits_total").increment()
+            span.set_attribute("hit", True)
+            return SpaceEvaluation(space=space, capacity_gips=capacity,
+                                   unit_cost_per_hour=unit_cost)
 
     def store(self, evaluation: SpaceEvaluation,
               capacities_gips: np.ndarray) -> str:
-        """Persist one evaluation; returns its key.
+        """Persist one evaluation; returns its content-hash key.
+
+        Arguments:
+            evaluation: The swept arrays plus the space they cover.
+            capacities_gips: The capacity vector the sweep used (half of
+                the content-hash key).
+
+        Raises ``OSError`` if the cache directory cannot be created or
+        written.
 
         Arrays are written to temporaries and renamed into place, and the
         metadata file — whose presence marks the entry valid — lands
@@ -325,29 +359,32 @@ class EvaluationCache:
         finds a valid entry already present (it lost the warm-up race)
         skips the ~160 MB rewrite and reuses the winner's artefact.
         """
-        key = evaluation_cache_key(evaluation.space.catalog, capacities_gips)
-        if self._entry_is_valid(key, evaluation.space.size):
+        with get_tracer().span("cache.store"):
+            key = evaluation_cache_key(evaluation.space.catalog,
+                                       capacities_gips)
+            if self._entry_is_valid(key, evaluation.space.size):
+                return key
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            for which, array in (("capacity", evaluation.capacity_gips),
+                                 ("unit_cost",
+                                  evaluation.unit_cost_per_hour)):
+                target = self._array_path(key, which)
+                tmp = target.with_suffix(f".tmp{os.getpid()}")
+                with open(tmp, "wb") as fh:
+                    np.save(fh, np.ascontiguousarray(array))
+                os.replace(tmp, target)
+            meta = {
+                "version": _FORMAT_VERSION,
+                "key": key,
+                "space_size": evaluation.space.size,
+                "type_names": evaluation.space.catalog.names,
+                "quotas": list(evaluation.space.catalog.quotas),
+            }
+            meta_path = self._meta_path(key)
+            tmp = meta_path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+            os.replace(tmp, meta_path)
             return key
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        for which, array in (("capacity", evaluation.capacity_gips),
-                             ("unit_cost", evaluation.unit_cost_per_hour)):
-            target = self._array_path(key, which)
-            tmp = target.with_suffix(f".tmp{os.getpid()}")
-            with open(tmp, "wb") as fh:
-                np.save(fh, np.ascontiguousarray(array))
-            os.replace(tmp, target)
-        meta = {
-            "version": _FORMAT_VERSION,
-            "key": key,
-            "space_size": evaluation.space.size,
-            "type_names": evaluation.space.catalog.names,
-            "quotas": list(evaluation.space.catalog.quotas),
-        }
-        meta_path = self._meta_path(key)
-        tmp = meta_path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(meta, indent=2), encoding="utf-8")
-        os.replace(tmp, meta_path)
-        return key
 
     # -- sweep checkpoints -----------------------------------------------------
 

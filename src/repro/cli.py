@@ -13,11 +13,21 @@ Subcommands mirror how a practitioner would use the system:
   persist its artefacts; interrupted sweeps leave checkpoint shards that
   ``sweep --resume`` picks up instead of starting over;
 * ``cache`` — inspect or clear the persistent space-evaluation cache;
-* ``serve`` — run the batched JSON-over-HTTP planning service.
+* ``serve`` — run the batched JSON-over-HTTP planning service;
+* ``trace`` — summarize a ``--trace`` JSONL file or export it to the
+  Chrome ``trace_event`` format (``chrome://tracing`` / Perfetto);
+* ``profile`` — render the per-phase ``CELIA_PROFILE=1`` cProfile
+  tables recorded into a trace.
 
 ``select``, ``predict`` and ``plan`` accept ``--json`` for
 machine-readable output using the same serializers as the service, so
 scripted callers see one schema whether they shell out or talk HTTP.
+With ``--json``, stdout carries exactly one JSON document; every
+diagnostic goes to stderr.
+
+The global ``--trace PATH`` flag records every phase of the invocation
+(including sweep workers in other processes) as spans into a JSONL
+file — see ``docs/observability.md``.
 
 All commands operate on the paper's Table III catalog (quota adjustable
 with ``--quota``) and the three built-in applications.  Full-space
@@ -90,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "$CELIA_CACHE_DIR or ~/.cache/celia)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent evaluation cache")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a JSONL trace of this invocation "
+                             "(inspect with `celia trace`)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("characterize",
@@ -197,6 +210,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache",
                        help="inspect or clear the evaluation cache")
     p.add_argument("action", choices=("info", "clear"))
+
+    p = sub.add_parser("trace",
+                       help="inspect or convert a --trace JSONL file")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser("export",
+                        help="convert to Chrome trace_event JSON "
+                             "(chrome://tracing, ui.perfetto.dev)")
+    t.add_argument("input", help="JSONL trace written by --trace")
+    t.add_argument("--output",
+                   help="output path (default: <input>.chrome.json)")
+    t = tsub.add_parser("summary",
+                        help="per-span aggregates and wall-clock coverage")
+    t.add_argument("input", help="JSONL trace written by --trace")
+    t.add_argument("--json", action="store_true",
+                   help="machine-readable summary")
+
+    p = sub.add_parser("profile",
+                       help="render CELIA_PROFILE tables from a trace")
+    p.add_argument("input", help="JSONL trace holding profile records "
+                                 "(run with CELIA_PROFILE=1 --trace PATH)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable tables")
 
     p = sub.add_parser("serve",
                        help="run the batched JSON-over-HTTP planning service")
@@ -427,6 +462,13 @@ def _cmd_sweep(celia: Celia, args) -> int:
         from repro.cache import evaluation_cache_key
 
         key = evaluation_cache_key(celia.catalog, capacities)
+        if args.json:
+            # stdout must stay one parseable JSON document; the human
+            # notice would otherwise corrupt scripted callers.
+            print(json.dumps({"app": args.app, "key": key,
+                              "space_size": celia.space.size,
+                              "cached": True}, indent=2))
+            return 0
         print(f"evaluation already cached (key {key[:12]}, "
               f"{celia.space.size:,} configurations); nothing to sweep")
         return 0
@@ -451,7 +493,7 @@ def _cmd_sweep(celia: Celia, args) -> int:
     checkpoint.discard()
     if args.json:
         print(json.dumps({"app": args.app, "key": key,
-                          "space_size": celia.space.size,
+                          "space_size": celia.space.size, "cached": False,
                           "workers": workers, **stats.to_dict()}, indent=2))
         return 0
     print(f"swept {celia.space.size:,} configurations with {workers} "
@@ -497,6 +539,51 @@ def _cmd_cache(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_trace(_celia: "Celia | None", args) -> int:
+    from repro.obs import export_chrome_trace, read_trace, trace_summary
+
+    if args.trace_command == "export":
+        output = args.output or f"{args.input}.chrome.json"
+        events = export_chrome_trace(args.input, output)
+        print(f"wrote {events} trace event(s) to {output}")
+        print("open chrome://tracing or https://ui.perfetto.dev "
+              "and load the file", file=sys.stderr)
+        return 0
+    summary = trace_summary(read_trace(args.input))
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"{summary['spans']} span(s), {summary['errors']} error(s), "
+          f"{summary['profile_records']} profile record(s)")
+    print(f"window {summary['window_s']:.3f}s, span coverage "
+          f"{summary['coverage']:.1%}")
+    if summary["by_name"]:
+        table = TextTable(["Span", "Count", "Wall (s)", "CPU (s)",
+                           "Max (s)"], aligns="lrrrr",
+                          float_format="{:.4f}")
+        for name, row in summary["by_name"].items():
+            table.add_row([name, str(row["count"]), row["wall_s"],
+                           row["cpu_s"], row["max_wall_s"]])
+        print(table.render())
+    return 0
+
+
+def _cmd_profile(_celia: "Celia | None", args) -> int:
+    from repro.obs import read_trace
+    from repro.obs.profile import ProfileStore, render_tables
+
+    store = ProfileStore()
+    for record in read_trace(args.input):
+        if record.get("kind") == "profile":
+            store.add(record.get("phase", "?"), record.get("rows", []))
+    tables = store.tables()
+    if args.json:
+        print(json.dumps(tables, indent=2))
+        return 0
+    print(render_tables(tables), end="")
+    return 0
+
+
 def _cmd_serve(celia: Celia, args) -> int:
     from repro.service import PlannerService, ServiceConfig, run_server
 
@@ -532,27 +619,46 @@ _COMMANDS = {
     "spot": _cmd_spot,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "serve": _cmd_serve,
 }
+
+#: Commands that only read trace files — they never build the planning
+#: stack, so they dispatch without constructing a :class:`Celia`.
+_OFFLINE_COMMANDS = ("trace", "profile")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.obs import configure_tracing, get_tracer
+
     args = build_parser().parse_args(argv)
-    celia = Celia(
-        ec2_catalog(max_nodes_per_type=args.quota),
-        seed=args.seed,
-        workers=args.workers,
-        cache_dir=False if args.no_cache else args.cache_dir,
-    )
+    if args.trace:
+        configure_tracing(args.trace)
     try:
-        return _COMMANDS[args.command](celia, args)
+        if args.command in _OFFLINE_COMMANDS:
+            return _COMMANDS[args.command](None, args)
+        celia = Celia(
+            ec2_catalog(max_nodes_per_type=args.quota),
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=False if args.no_cache else args.cache_dir,
+        )
+        with get_tracer().span(f"cli.{args.command}",
+                               {"quota": args.quota, "seed": args.seed}):
+            status = _COMMANDS[args.command](celia, args)
     except InfeasibleError as exc:
         print(f"infeasible: {exc}", file=sys.stderr)
         return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(inspect with `celia trace summary {args.trace}`)",
+              file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

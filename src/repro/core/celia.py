@@ -152,6 +152,18 @@ class Celia:
     def evaluation(self, app: ElasticApplication) -> SpaceEvaluation:
         """``U_j`` / ``C_{j,u}`` over the full space for ``app``.
 
+        Parameters
+        ----------
+        app:
+            The application whose measured capacity vector parameterizes
+            the sweep.
+
+        Returns
+        -------
+        SpaceEvaluation
+            Capacity and unit-cost vectors covering linear indices
+            ``1..S`` (row ``r`` ↔ index ``r + 1``).
+
         Cached at two levels: in memory per application name, and — when
         persistence is enabled — on disk keyed by a content hash of the
         catalog and the measured capacity vector, so a second process
@@ -253,14 +265,37 @@ class Celia:
                method: str = "auto") -> SelectionResult:
         """Algorithm 1: all feasible configurations → Pareto frontier.
 
-        With ``enforce_memory=True``, configurations using any type whose
-        memory cannot hold the application's working set are excluded —
-        an extension beyond the paper, which treats all applications as
-        compute-bound (matching its evaluation; defaults preserve that).
+        Parameters
+        ----------
+        app:
+            The elastic application; its demand model and capacity
+            vector are measured on first use and cached.
+        n, a:
+            Problem size and accuracy of the run being planned.
+        deadline_hours, budget_dollars:
+            The constraints ``T'`` and ``C'`` (strict, per Algorithm 1).
+        enforce_memory:
+            Exclude configurations using any type whose memory cannot
+            hold the application's working set — an extension beyond the
+            paper, which treats all applications as compute-bound
+            (matching its evaluation; the default preserves that).
+        method:
+            Execution strategy (see :func:`select_configurations`);
+            build the fast path up front with :meth:`selection_index`
+            when many selections are coming.
 
-        ``method`` picks the execution strategy (see
-        :func:`select_configurations`); build the fast path up front with
-        :meth:`selection_index` when many selections are coming.
+        Returns
+        -------
+        SelectionResult
+            Feasible/total counts plus the cost-time Pareto frontier
+            (empty ``pareto`` means no feasible configuration).
+
+        Raises
+        ------
+        ValidationError
+            If ``(n, a)`` is outside the application's valid parameter
+            range, or ``method`` is not one of ``auto`` / ``streamed`` /
+            ``indexed``.
         """
         demand = self.demand_gi(app, n, a)
         exclude_mask = None

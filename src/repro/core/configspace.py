@@ -135,6 +135,8 @@ class ConfigurationSpace:
         holding shards forces the supervised path even for ``workers=1``,
         so a resumed sweep never re-evaluates completed spans.
         """
+        from repro.obs.trace import get_tracer
+
         n_workers = 1
         if workers is not None:
             from repro.parallel import resolve_workers
@@ -152,18 +154,22 @@ class ConfigurationSpace:
                                          unit_cost_per_hour=unit_cost)
             object.__setattr__(evaluation, "_sweep_stats", stats)
             return evaluation
-        prices = self.catalog.prices
-        total = self.size
-        capacity = np.empty(total, dtype=np.float64)
-        unit_cost = np.empty(total, dtype=np.float64)
-        for start, matrix in self.iter_chunks(chunk_size):
-            stop = start + matrix.shape[0]
-            capacity[start - 1:stop - 1] = configuration_capacity(
-                matrix, capacities_gips
-            )
-            unit_cost[start - 1:stop - 1] = configuration_unit_cost(matrix, prices)
-        return SpaceEvaluation(space=self, capacity_gips=capacity,
-                               unit_cost_per_hour=unit_cost)
+        with get_tracer().span("sweep.serial",
+                               {"size": self.size,
+                                "chunk_size": chunk_size}):
+            prices = self.catalog.prices
+            total = self.size
+            capacity = np.empty(total, dtype=np.float64)
+            unit_cost = np.empty(total, dtype=np.float64)
+            for start, matrix in self.iter_chunks(chunk_size):
+                stop = start + matrix.shape[0]
+                capacity[start - 1:stop - 1] = configuration_capacity(
+                    matrix, capacities_gips
+                )
+                unit_cost[start - 1:stop - 1] = \
+                    configuration_unit_cost(matrix, prices)
+            return SpaceEvaluation(space=self, capacity_gips=capacity,
+                                   unit_cost_per_hour=unit_cost)
 
 
 @dataclass(frozen=True)

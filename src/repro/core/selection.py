@@ -425,6 +425,20 @@ def select_configurations(
         :class:`FrontierIndex` on first use; incompatible with
         ``exclude_mask``), and ``"auto"`` uses the index when the
         evaluation already carries one and streams otherwise.
+
+    Returns
+    -------
+    SelectionResult
+        Feasibility counts and the cost-time Pareto frontier; an empty
+        ``pareto`` list means no configuration satisfies both bounds.
+
+    Raises
+    ------
+    ValidationError
+        If ``method`` names an unknown strategy, ``"indexed"`` is
+        combined with ``exclude_mask`` (hard constraints require the
+        streamed scan), or any of demand/deadline/budget is not
+        positive.
     """
     if method not in ("auto", "streamed", "indexed"):
         raise ValidationError(

@@ -1,0 +1,64 @@
+"""``repro.obs`` — the unified observability layer.
+
+Everything the stack reports about itself flows through this package:
+
+* :mod:`repro.obs.trace` — spans and the process tracer; span context
+  propagates across the sweep's process boundary so one JSONL file
+  holds the whole story (``celia --trace out.jsonl ...``);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with a
+  process-global registry shared by the sweep supervisor, evaluation
+  cache, runtime controller and planning service;
+* :mod:`repro.obs.profile` — opt-in ``CELIA_PROFILE=1`` cProfile hooks
+  aggregated into per-phase top-N tables (``celia profile``);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` conversion and trace
+  summaries (``celia trace export`` / ``celia trace summary``).
+
+The package is dependency-light by design (stdlib only) and free when
+idle: disabled tracers hand out a shared no-op span, the profile hook is
+a bare ``yield``, and metrics cost one dict lookup plus a lock.
+
+See ``docs/observability.md`` for the operator guide (span taxonomy,
+metric catalog, viewer walkthroughs).
+"""
+
+from repro.obs.export import (export_chrome_trace, read_trace, spans_only,
+                              to_chrome_trace, trace_summary)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               global_registry, merge_snapshots, render_text,
+                               reset_global_registry)
+from repro.obs.profile import (PROFILE_ENV, ProfileStore, get_store,
+                               profile_block, profiling_enabled, reset_store)
+from repro.obs.trace import (TRACE_ENV, Span, SpanContext, Tracer,
+                             configure_tracing, get_tracer, make_span_record,
+                             reset_tracing, tracing_enabled)
+
+__all__ = [
+    "PROFILE_ENV",
+    "TRACE_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileStore",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_tracing",
+    "export_chrome_trace",
+    "get_store",
+    "get_tracer",
+    "global_registry",
+    "make_span_record",
+    "merge_snapshots",
+    "profile_block",
+    "profiling_enabled",
+    "read_trace",
+    "render_text",
+    "reset_global_registry",
+    "reset_store",
+    "reset_tracing",
+    "spans_only",
+    "to_chrome_trace",
+    "trace_summary",
+    "tracing_enabled",
+]

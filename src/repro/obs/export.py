@@ -1,0 +1,175 @@
+"""Trace file tooling: JSONL readers, Chrome conversion, summaries.
+
+The tracer streams newline-delimited JSON records (``trace.py`` defines
+the schema).  This module turns those files into things an operator can
+look at:
+
+* :func:`to_chrome_trace` / :func:`export_chrome_trace` — the Chrome
+  ``trace_event`` JSON format, loadable at ``chrome://tracing`` or
+  https://ui.perfetto.dev (``celia trace export``);
+* :func:`trace_summary` — per-span-name aggregates plus wall-clock
+  coverage (what fraction of the run's wall time is under at least one
+  span — the acceptance bar is ≥95%);
+* :func:`read_trace` / :func:`spans_only` — parsing helpers shared by
+  the CLI and tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "export_chrome_trace",
+    "read_trace",
+    "spans_only",
+    "to_chrome_trace",
+    "trace_summary",
+]
+
+
+def read_trace(path: "str | Path") -> list[dict]:
+    """Parse a JSONL trace file into a list of record dicts.
+
+    Raises :class:`~repro.errors.ValidationError` on unreadable files or
+    malformed lines — a truncated trace should fail loudly, not render
+    half a timeline.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"cannot read trace file {path}: {exc}") \
+            from exc
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"{path}:{lineno}: not valid JSON ({exc})") from exc
+    return records
+
+
+def spans_only(records: list[dict]) -> list[dict]:
+    """The span records of a trace (drops profile and future kinds)."""
+    return [r for r in records if r.get("kind", "span") == "span"]
+
+
+def to_chrome_trace(records: list[dict]) -> dict:
+    """Convert trace records to the Chrome ``trace_event`` format.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    ``ts``/``dur``; the producing process becomes the Chrome ``pid`` so
+    supervisor and worker spans land on separate rows.  Profile records
+    become instant (``"ph": "i"``) events carrying their top rows in
+    ``args``, so the tables are visible in the viewer too.
+    """
+    events: list[dict] = []
+    for record in records:
+        kind = record.get("kind", "span")
+        if kind == "span":
+            args = {"span_id": record.get("span_id"),
+                    "parent_id": record.get("parent_id"),
+                    "cpu_s": record.get("cpu_s")}
+            args.update(record.get("attrs", {}))
+            events.append({
+                "name": record.get("name", "?"),
+                "ph": "X",
+                "ts": round(record.get("start_s", 0.0) * 1e6, 3),
+                "dur": round(record.get("wall_s", 0.0) * 1e6, 3),
+                "pid": record.get("pid", 0),
+                "tid": record.get("pid", 0),
+                "cat": record.get("name", "?").split(".", 1)[0],
+                "args": args,
+            })
+        elif kind == "profile":
+            events.append({
+                "name": f"profile:{record.get('phase', '?')}",
+                "ph": "i",
+                "ts": 0.0,
+                "pid": record.get("pid", 0),
+                "tid": record.get("pid", 0),
+                "s": "g",
+                "args": {"rows": record.get("rows", [])},
+            })
+    events.sort(key=lambda e: (e["ts"], e["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(in_path: "str | Path",
+                        out_path: "str | Path") -> int:
+    """Read a JSONL trace, write the Chrome JSON; returns event count."""
+    chrome = to_chrome_trace(read_trace(in_path))
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(chrome, sort_keys=True), encoding="utf-8")
+    return len(chrome["traceEvents"])
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a union of [start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            covered += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    return covered + (cur_end - cur_start)
+
+
+def trace_summary(records: list[dict]) -> dict:
+    """Aggregate a trace: per-name stats and wall-clock span coverage.
+
+    ``coverage`` is the fraction of the run's wall window (first span
+    start to last span end) lying under at least one span — the number
+    the acceptance criterion checks at ≥0.95.  A trace with a proper
+    root span (the CLI opens ``cli.<command>`` around everything) covers
+    1.0 by construction; the metric exists to catch instrumentation
+    gaps if that root ever disappears.
+    """
+    spans = spans_only(records)
+    by_name: dict[str, dict] = {}
+    intervals: list[tuple[float, float]] = []
+    errors = 0
+    for span in spans:
+        name = span.get("name", "?")
+        wall = float(span.get("wall_s", 0.0))
+        cpu = float(span.get("cpu_s", 0.0))
+        start = float(span.get("start_s", 0.0))
+        intervals.append((start, start + wall))
+        slot = by_name.setdefault(name, {"count": 0, "wall_s": 0.0,
+                                         "cpu_s": 0.0, "max_wall_s": 0.0})
+        slot["count"] += 1
+        slot["wall_s"] += wall
+        slot["cpu_s"] += cpu
+        slot["max_wall_s"] = max(slot["max_wall_s"], wall)
+        if span.get("status") == "error":
+            errors += 1
+    if intervals:
+        window_start = min(s for s, _ in intervals)
+        window_end = max(e for _, e in intervals)
+        window = window_end - window_start
+        covered = _union_seconds(intervals)
+        coverage = 1.0 if window <= 0 else min(1.0, covered / window)
+    else:
+        window = 0.0
+        coverage = 0.0
+    profiles = [r for r in records if r.get("kind") == "profile"]
+    return {
+        "spans": len(spans),
+        "errors": errors,
+        "window_s": window,
+        "coverage": coverage,
+        "profile_records": len(profiles),
+        "by_name": {name: by_name[name] for name in sorted(by_name)},
+    }

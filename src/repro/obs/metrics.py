@@ -1,0 +1,289 @@
+"""Shared metrics: counters, gauges and latency histograms.
+
+Grown out of ``repro.service.metrics`` (which now re-exports from here):
+the planning service needed a ``/metrics`` endpoint first, but the sweep
+supervisor, the evaluation cache and the adaptive runtime all have the
+same need — health as a statistical object, where a single slow request
+means nothing and the p99 means everything.  This module provides the
+three classic primitives:
+
+* :class:`Counter` — monotone event count (requests served, retries,
+  cache hits);
+* :class:`Gauge` — instantaneous level (queue depth, live workers);
+* :class:`Histogram` — bounded-memory sample reservoir reporting
+  ``p50``/``p95``/``p99`` alongside count/sum/min/max.
+
+A :class:`MetricsRegistry` names and owns them and renders one
+JSON-serializable :meth:`~MetricsRegistry.snapshot` of everything.  All
+primitives are guarded by a lock so the asyncio front-end and executor
+worker threads can record concurrently.
+
+Beyond the lifted primitives this module adds:
+
+* a **process-global registry** (:func:`global_registry`) that every
+  layer reports into, so one snapshot correlates supervisor
+  re-dispatches, cache hit ratios and runtime degradations;
+* optional **labels** — ``registry.counter("runtime_verdicts",
+  labels={"verdict": "met"})`` materializes the canonical series name
+  ``runtime_verdicts{verdict="met"}``;
+* a **text exposition** (:func:`render_text`) for ``/metrics.txt`` and
+  ``celia metrics``-style terminal output;
+* :func:`merge_snapshots` for endpoints that serve several registries
+  (the planner server merges its private registry with the global one).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "labeled_name",
+    "merge_snapshots",
+    "render_text",
+    "reset_global_registry",
+]
+
+#: Samples retained per histogram; older observations fall out of the
+#: window, so percentiles describe recent behavior (what an operator
+#: watching a dashboard actually wants).
+DEFAULT_WINDOW = 4096
+
+#: Percentiles reported by every histogram snapshot.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def labeled_name(name: str, labels: "dict[str, str] | None" = None) -> str:
+    """The canonical series name: ``name{k="v",...}`` with sorted keys.
+
+    Labels are folded into the name rather than kept as a separate
+    dimension — the registry stays a flat dict, snapshots stay plain
+    JSON, and two call sites using the same labels in different order
+    still hit the same series.
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValidationError("counters only move forward")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """An instantaneous level that can move both ways."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Sliding-window sample distribution with percentile snapshots.
+
+    Keeps the last ``window`` observations in a ring buffer plus
+    all-time count/sum, so :meth:`snapshot` is exact over the window and
+    cheap — one sort of at most ``window`` floats.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValidationError("histogram window must be >= 1")
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+            self._count += 1
+            self._sum += float(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def samples(self) -> tuple[float, ...]:
+        """The observations currently in the window, oldest first."""
+        with self._lock:
+            return tuple(self._samples)
+
+    def snapshot(self) -> dict:
+        """count/sum/min/max plus the :data:`PERCENTILES` over the window."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total = self._count, self._sum
+        out: dict = {"count": count, "sum": total}
+        if not samples:
+            out.update({"min": None, "max": None})
+            out.update({f"p{p:g}": None for p in PERCENTILES})
+            return out
+        out["min"] = samples[0]
+        out["max"] = samples[-1]
+        last = len(samples) - 1
+        for p in PERCENTILES:
+            # Nearest-rank on the sorted window.
+            rank = min(last, round(p / 100.0 * last))
+            out[f"p{p:g}"] = samples[int(rank)]
+        return out
+
+
+class MetricsRegistry:
+    """Named collection of metrics rendering one JSON snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str,
+                labels: "dict[str, str] | None" = None) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        key = labeled_name(name, labels)
+        with self._lock:
+            return self._counters.setdefault(key, Counter())
+
+    def gauge(self, name: str,
+              labels: "dict[str, str] | None" = None) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        key = labeled_name(name, labels)
+        with self._lock:
+            return self._gauges.setdefault(key, Gauge())
+
+    def histogram(self, name: str, *, window: int = DEFAULT_WINDOW,
+                  labels: "dict[str, str] | None" = None) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        key = labeled_name(name, labels)
+        with self._lock:
+            return self._histograms.setdefault(key, Histogram(window))
+
+    def snapshot(self) -> dict:
+        """Every metric's current value, ready for ``json.dumps``."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Forget every metric (tests; handles held by callers go stale)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Union several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Later snapshots win on a name collision (callers avoid collisions by
+    prefixing: the global registry uses ``sweep_*`` / ``eval_cache_*`` /
+    ``runtime_*``, the planner service uses ``requests_*`` etc.).  The
+    output keeps the same three-section shape, sorted by name.
+    """
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    for snap in snapshots:
+        counters.update(snap.get("counters", {}))
+        gauges.update(snap.get("gauges", {}))
+        histograms.update(snap.get("histograms", {}))
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def render_text(snapshot: dict) -> str:
+    """Flat ``name value`` text exposition of a snapshot.
+
+    One line per series; histogram sub-fields become ``name_count``,
+    ``name_sum``, ``name_p50`` … with empty-window percentiles rendered
+    as ``nan``.  Labels (already folded into names) pass through, so the
+    output is close enough to the Prometheus exposition format to grep
+    and diff, without claiming full compliance.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"{name} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(f"{name} {value:g}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        base, _, labels = name.partition("{")
+        suffix = ("{" + labels) if labels else ""
+        for field, value in hist.items():
+            rendered = "nan" if value is None else f"{value:g}"
+            lines.append(f"{base}_{field}{suffix} {rendered}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_GLOBAL: MetricsRegistry | None = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry every layer reports into.
+
+    The sweep supervisor, evaluation cache, runtime controller and CLI
+    all use this one; the planner service keeps a private registry per
+    instance (its request counters are part of its API) and the server
+    merges both views at ``/metrics``.
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        with _GLOBAL_LOCK:
+            if _GLOBAL is None:
+                _GLOBAL = MetricsRegistry()
+    return _GLOBAL
+
+
+def reset_global_registry() -> None:
+    """Swap in a fresh global registry (tests only)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = MetricsRegistry()

@@ -1,0 +1,190 @@
+"""Opt-in ``cProfile`` hooks for the sweep workers and the control loop.
+
+Profiling answers the question tracing cannot: *where inside a phase*
+the CPU time went.  It is strictly opt-in — set ``CELIA_PROFILE=1`` and
+the instrumented phases (sweep workers, the runtime controller loop,
+planner request handling) each run under :mod:`cProfile`; leave it unset
+and :func:`profile_block` is a no-op context manager costing one env
+check at import plus one attribute check per entry.
+
+Aggregation is per *phase*, not per process: every profiled block
+reduces its ``pstats`` table to the top-N functions by cumulative time
+(:func:`top_functions`) and merges them into the module-level
+:class:`ProfileStore` keyed by phase name.  Sweep workers, which live in
+other processes, reduce locally and ship their rows back over the
+supervisor pipe, so ``celia profile`` sees one table per phase no matter
+how many processes contributed.  When tracing is active, each profiled
+block also drops a ``{"kind": "profile"}`` record into the trace, which
+is how the tables survive into ``out.jsonl`` for offline rendering.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "PROFILE_ENV",
+    "ProfileStore",
+    "get_store",
+    "profile_block",
+    "profiling_enabled",
+    "reset_store",
+    "top_functions",
+]
+
+#: Environment variable that turns profiling on ("1", "true", "yes").
+PROFILE_ENV = "CELIA_PROFILE"
+
+#: Functions kept per phase table — enough to see the shape of a phase
+#: without drowning the terminal.
+TOP_N = 15
+
+
+def profiling_enabled() -> bool:
+    """Whether ``CELIA_PROFILE`` asks for profiling in this process."""
+    return os.environ.get(PROFILE_ENV, "").lower() in ("1", "true", "yes")
+
+
+def top_functions(profiler: cProfile.Profile, limit: int = TOP_N
+                  ) -> list[dict]:
+    """Reduce a finished profiler to its top functions by cumulative time.
+
+    Each row is a plain JSON-ready dict: ``function`` (``file:line(name)``
+    with a basename'd path), ``calls``, ``total_s`` (time inside the
+    function itself) and ``cumulative_s`` (including callees).
+    """
+    stats = pstats.Stats(profiler)
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        label = f"{os.path.basename(filename)}:{lineno}({name})"
+        rows.append({
+            "function": label,
+            "calls": int(nc),
+            "total_s": float(tt),
+            "cumulative_s": float(ct),
+        })
+    rows.sort(key=lambda r: (-r["cumulative_s"], r["function"]))
+    return rows[:limit]
+
+
+def merge_rows(existing: list[dict], incoming: list[dict],
+               limit: int = TOP_N) -> list[dict]:
+    """Fold one top-N table into another, summing shared functions."""
+    by_func = {row["function"]: dict(row) for row in existing}
+    for row in incoming:
+        slot = by_func.get(row["function"])
+        if slot is None:
+            by_func[row["function"]] = dict(row)
+        else:
+            slot["calls"] += row["calls"]
+            slot["total_s"] += row["total_s"]
+            slot["cumulative_s"] += row["cumulative_s"]
+    merged = sorted(by_func.values(),
+                    key=lambda r: (-r["cumulative_s"], r["function"]))
+    return merged[:limit]
+
+
+class ProfileStore:
+    """Per-phase aggregation of top-N profile tables (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phases: dict[str, list[dict]] = {}
+        self._blocks: dict[str, int] = {}
+
+    def add(self, phase: str, rows: list[dict]) -> None:
+        """Merge one profiled block's table into ``phase``."""
+        with self._lock:
+            current = self._phases.get(phase, [])
+            self._phases[phase] = merge_rows(current, rows)
+            self._blocks[phase] = self._blocks.get(phase, 0) + 1
+
+    def tables(self) -> dict[str, list[dict]]:
+        """Phase name → merged top-N rows, phases sorted by name."""
+        with self._lock:
+            return {phase: [dict(r) for r in rows]
+                    for phase, rows in sorted(self._phases.items())}
+
+    def blocks(self, phase: str) -> int:
+        """How many profiled blocks contributed to ``phase``."""
+        with self._lock:
+            return self._blocks.get(phase, 0)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._phases.clear()
+            self._blocks.clear()
+
+
+_STORE: ProfileStore | None = None
+_STORE_LOCK = threading.Lock()
+
+
+def get_store() -> ProfileStore:
+    """The process-wide profile store (created on first use)."""
+    global _STORE
+    if _STORE is None:
+        with _STORE_LOCK:
+            if _STORE is None:
+                _STORE = ProfileStore()
+    return _STORE
+
+
+def reset_store() -> None:
+    """Swap in a fresh store (tests only)."""
+    global _STORE
+    with _STORE_LOCK:
+        _STORE = ProfileStore()
+
+
+@contextmanager
+def profile_block(phase: str, *, force: bool = False):
+    """Profile the enclosed block into ``phase`` when profiling is on.
+
+    Disabled (the default), this is a bare ``yield`` — safe to leave in
+    hot control paths.  Enabled, the block runs under :mod:`cProfile`;
+    on exit the top-N table is merged into the global
+    :class:`ProfileStore` and, if tracing is active, recorded into the
+    trace as a ``{"kind": "profile", "phase": ..., "rows": [...]}``
+    record.  ``force=True`` profiles regardless of the environment
+    (used by tests and by workers that already checked the env).
+    """
+    if not (force or profiling_enabled()):
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        rows = top_functions(profiler)
+        get_store().add(phase, rows)
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_raw({"kind": "profile", "phase": phase,
+                               "pid": os.getpid(), "rows": rows})
+
+
+def render_tables(tables: dict[str, list[dict]]) -> str:
+    """Human-readable rendering of :meth:`ProfileStore.tables` output."""
+    if not tables:
+        return "no profile data (run with CELIA_PROFILE=1)\n"
+    lines: list[str] = []
+    for phase, rows in tables.items():
+        lines.append(f"phase: {phase}")
+        lines.append(f"  {'cumulative_s':>12} {'total_s':>10} "
+                     f"{'calls':>8}  function")
+        for row in rows:
+            lines.append(f"  {row['cumulative_s']:12.4f} "
+                         f"{row['total_s']:10.4f} {row['calls']:8d}  "
+                         f"{row['function']}")
+        lines.append("")
+    return "\n".join(lines)

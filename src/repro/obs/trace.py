@@ -1,0 +1,367 @@
+"""Spans and the process tracer — the backbone of ``repro.obs``.
+
+A :class:`Span` is one timed operation: a name, a pair of ids linking it
+into a tree, wall and CPU durations, and a small dict of typed
+attributes.  The :class:`Tracer` hands spans out as context managers,
+tracks the *current* span per task/thread through a ``contextvars``
+variable (so nesting produces parent links without any plumbing), and
+streams every finished span to a JSONL file when exporting is enabled.
+
+Tracing is **off by default and free when off**: ``tracer.span(...)``
+returns a shared no-op context manager that allocates nothing, so
+instrumented hot paths cost one attribute check.  Enable it with
+:func:`configure_tracing` (the CLI's ``--trace out.jsonl`` does this) or
+the ``CELIA_TRACE`` environment variable.
+
+Cross-process propagation uses :class:`SpanContext` — the (trace id,
+span id) pair, picklable and tiny — which the sweep supervisor ships to
+workers inside the span-dispatch tuple.  Workers do not run a tracer of
+their own; they time their work, build plain record dicts parented on
+the received context (:func:`make_span_record`), and send them back over
+the existing result pipe, where the supervisor feeds them into the
+parent tracer via :meth:`Tracer.record_raw`.  The trace therefore ends
+up in one file regardless of how many processes produced it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "TRACE_ENV",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_tracing",
+    "get_tracer",
+    "make_span_record",
+    "new_span_id",
+    "reset_tracing",
+    "tracing_enabled",
+]
+
+#: Environment variable that enables tracing (its value is the JSONL
+#: export path, or empty/"1" for in-memory only).
+TRACE_ENV = "CELIA_TRACE"
+
+#: Finished spans retained in memory per tracer (the JSONL export is
+#: unbounded; the buffer exists for in-process inspection and tests).
+DEFAULT_BUFFER = 8192
+
+_ATTR_TYPES = (str, int, float, bool)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span (or trace) id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanContext:
+    """The picklable cross-process identity of a span: who to parent on."""
+
+    trace_id: str
+    span_id: str
+
+    def to_tuple(self) -> tuple[str, str]:
+        """Wire form: a plain tuple, safe for any pickle protocol."""
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_tuple(cls, raw: "tuple[str, str] | None"
+                   ) -> "SpanContext | None":
+        return None if raw is None else cls(raw[0], raw[1])
+
+
+def make_span_record(name: str, context: SpanContext | None, *,
+                     start_s: float, wall_s: float, cpu_s: float,
+                     attrs: dict | None = None,
+                     span_id: str | None = None) -> dict:
+    """Build one span record outside any tracer (worker processes).
+
+    ``context`` supplies the trace id and the parent span id; ``None``
+    starts a fresh single-span trace (useful only in tests).  The record
+    schema matches what :class:`Tracer` writes for its own spans, so a
+    supervisor can feed these into :meth:`Tracer.record_raw` unchanged.
+    """
+    if context is None:
+        context = SpanContext(new_span_id(), "")
+    return {
+        "kind": "span",
+        "name": name,
+        "trace_id": context.trace_id,
+        "span_id": span_id or new_span_id(),
+        "parent_id": context.span_id or None,
+        "start_s": float(start_s),
+        "wall_s": float(wall_s),
+        "cpu_s": float(cpu_s),
+        "pid": os.getpid(),
+        "attrs": dict(attrs or {}),
+    }
+
+
+class Span:
+    """One timed operation in a trace tree (use via ``tracer.span(...)``).
+
+    Entering the span stamps wall and CPU clocks and makes it the
+    current span of the calling task; exiting computes durations,
+    restores the previous current span, and hands the finished record to
+    the tracer.  Attributes set with :meth:`set_attribute` must be
+    str/int/float/bool — the record must stay JSON-serializable.
+    """
+
+    __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_id",
+                 "attrs", "status", "_start_wall", "_start_perf",
+                 "_start_cpu", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: str | None, attrs: dict | None):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.attrs: dict = {}
+        self.status = "ok"
+        if attrs:
+            for key, value in attrs.items():
+                self.set_attribute(key, value)
+        self._start_wall = 0.0
+        self._start_perf = 0.0
+        self._start_cpu = 0.0
+        self._token: contextvars.Token | None = None
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's :class:`SpanContext` (for cross-process children)."""
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach one typed attribute (str/int/float/bool only)."""
+        if not isinstance(value, _ATTR_TYPES):
+            raise ValidationError(
+                f"span attribute {key!r} must be str/int/float/bool, "
+                f"got {type(value).__name__}")
+        self.attrs[str(key)] = value
+
+    def __enter__(self) -> "Span":
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        self._start_cpu = _cpu_clock()
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        self.tracer._finish(self)
+
+    def _record(self) -> dict:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self._start_wall,
+            "wall_s": time.perf_counter() - self._start_perf,
+            "cpu_s": _cpu_clock() - self._start_cpu,
+            "status": self.status,
+            "pid": os.getpid(),
+            "attrs": dict(self.attrs),
+        }
+
+
+def _cpu_clock() -> float:
+    """Per-thread CPU time where the platform has it, process CPU else."""
+    try:
+        return time.thread_time()
+    except (AttributeError, OSError):  # pragma: no cover - niche platforms
+        return time.process_time()
+
+
+class _NoopSpan:
+    """Shared do-nothing span: what ``tracer.span`` returns when disabled."""
+
+    __slots__ = ()
+
+    context = None
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+#: The innermost open span of the current task/thread (None outside any).
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = \
+    contextvars.ContextVar("celia_current_span", default=None)
+
+
+class Tracer:
+    """Collects finished spans; optionally streams them to a JSONL file.
+
+    One tracer serves the whole process (see :func:`get_tracer`);
+    constructing private instances is supported for tests.  All methods
+    are thread-safe — executor threads and the asyncio loop may finish
+    spans concurrently.
+    """
+
+    def __init__(self, *, export_path: "str | Path | None" = None,
+                 buffer: int = DEFAULT_BUFFER, enabled: bool = False):
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=buffer)
+        self._export_path: Path | None = None
+        self._trace_id = new_span_id()
+        self.enabled = enabled
+        if export_path is not None:
+            self.configure(export_path)
+
+    # -- configuration ---------------------------------------------------------
+
+    def configure(self, export_path: "str | Path | None" = None) -> None:
+        """Enable tracing, streaming to ``export_path`` when given.
+
+        The file is truncated: one ``celia`` invocation produces one
+        self-contained trace.
+        """
+        with self._lock:
+            self.enabled = True
+            if export_path:
+                self._export_path = Path(export_path)
+                self._export_path.parent.mkdir(parents=True, exist_ok=True)
+                self._export_path.write_text("", encoding="utf-8")
+
+    def disable(self) -> None:
+        """Stop recording (the in-memory buffer is kept)."""
+        with self._lock:
+            self.enabled = False
+            self._export_path = None
+
+    @property
+    def export_path(self) -> "Path | None":
+        return self._export_path
+
+    @property
+    def trace_id(self) -> str:
+        """The id new root spans join when no parent is active."""
+        return self._trace_id
+
+    # -- span creation ---------------------------------------------------------
+
+    def span(self, name: str, attrs: dict | None = None, *,
+             parent: SpanContext | None = None):
+        """A context manager timing one operation.
+
+        Disabled tracers return a shared no-op object, so instrumented
+        code pays a single attribute check.  ``parent`` overrides the
+        ambient current span — used when resuming a context that crossed
+        a process or task boundary.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        if parent is not None:
+            return Span(self, name, parent.trace_id, parent.span_id or None,
+                        attrs)
+        current = _CURRENT_SPAN.get()
+        if current is not None:
+            return Span(self, name, current.trace_id, current.span_id, attrs)
+        return Span(self, name, self._trace_id, None, attrs)
+
+    def current_context(self) -> SpanContext | None:
+        """The innermost open span's context, for cross-process dispatch."""
+        if not self.enabled:
+            return None
+        current = _CURRENT_SPAN.get()
+        if current is not None:
+            return current.context
+        return SpanContext(self._trace_id, "")
+
+    # -- record sinks ----------------------------------------------------------
+
+    def _finish(self, span: Span) -> None:
+        self.record_raw(span._record())
+
+    def record_raw(self, record: dict) -> None:
+        """Ingest one pre-built record (worker spans, profile tables)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._records.append(record)
+            if self._export_path is not None:
+                with open(self._export_path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def records(self) -> list[dict]:
+        """Finished records currently buffered, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._trace_id = new_span_id()
+
+
+_TRACER: Tracer | None = None
+_TRACER_LOCK = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (created on first use).
+
+    Honors ``CELIA_TRACE`` at creation: a non-empty value enables
+    tracing, and any value other than ``"1"`` is used as the JSONL
+    export path — so child *processes* of a traced run inherit tracing
+    without code changes (sweep workers deliberately bypass this; their
+    records travel back over the supervisor pipe instead).
+    """
+    global _TRACER
+    if _TRACER is None:
+        with _TRACER_LOCK:
+            if _TRACER is None:
+                tracer = Tracer()
+                env = os.environ.get(TRACE_ENV)
+                if env:
+                    tracer.configure(None if env == "1" else env)
+                _TRACER = tracer
+    return _TRACER
+
+
+def configure_tracing(export_path: "str | Path | None" = None) -> Tracer:
+    """Enable the process tracer (optionally exporting to JSONL)."""
+    tracer = get_tracer()
+    tracer.configure(export_path)
+    return tracer
+
+
+def tracing_enabled() -> bool:
+    """Whether the process tracer is currently recording."""
+    return _TRACER is not None and _TRACER.enabled
+
+
+def reset_tracing() -> None:
+    """Drop the process tracer (tests only; spans in flight are lost)."""
+    global _TRACER
+    with _TRACER_LOCK:
+        _TRACER = None

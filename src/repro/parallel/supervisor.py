@@ -37,6 +37,9 @@ import numpy as np
 
 from repro.core.capacity import capacity_per_type
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import global_registry
+from repro.obs.profile import get_store
+from repro.obs.trace import get_tracer
 from repro.parallel.faults import FaultPlan
 from repro.parallel.partition import (
     TASKS_PER_WORKER,
@@ -185,6 +188,11 @@ class _Supervisor:
         self.cap_name = cap_name
         self.cost_name = cost_name
 
+        # Captured once: the open span workers should parent their
+        # records on (None when tracing is off, so workers skip timing).
+        ctx = get_tracer().current_context()
+        self.trace_ctx = None if ctx is None else ctx.to_tuple()
+
         self.stats = SweepStats()
         self.spans: dict[int, _Span] = {}
         self.pending: deque[int] = deque()
@@ -251,7 +259,8 @@ class _Supervisor:
     def _assign(self, worker: _Worker, span_id: int, now: float) -> None:
         span = self.spans[span_id]
         try:
-            worker.conn.send((span_id, span.start, span.stop))
+            worker.conn.send((span_id, span.start, span.stop,
+                              self.trace_ctx))
         except (BrokenPipeError, OSError):
             # The worker died between liveness checks; the span stays
             # pending and the death is handled on the next health pass.
@@ -311,8 +320,13 @@ class _Supervisor:
             _, _, span_id, _ = message
             if span_id in self.spans:
                 self.spans[span_id].last_beat = now
+        elif kind == "profile":
+            self._absorb_profile(message[2])
         elif kind == "done":
-            _, worker_id, span_id = message
+            _, worker_id, span_id, records = message
+            tracer = get_tracer()
+            for record in records:  # even a losing duplicate did real work
+                tracer.record_raw(record)
             if worker.span_id == span_id:
                 worker.span_id = None
             span = self.spans.get(span_id)
@@ -337,6 +351,12 @@ class _Supervisor:
                     f"sweep stopped after {self.stats.spans_evaluated} "
                     f"span(s) as requested",
                     spans_completed=self.stats.spans_evaluated)
+
+    def _absorb_profile(self, record: dict) -> None:
+        """Fold one worker's cProfile table into the process store/trace."""
+        get_store().add(record.get("phase", "sweep.worker"),
+                        record.get("rows", []))
+        get_tracer().record_raw(record)
 
     def _drain_events(self) -> None:
         conns = {worker.conn: worker for worker in self.workers
@@ -430,6 +450,13 @@ class _Supervisor:
             if worker.process.is_alive():
                 worker.process.kill()
                 worker.process.join(timeout=5.0)
+            try:  # drain parting messages (profile tables arrive here)
+                while worker.conn.poll():
+                    message = worker.conn.recv()
+                    if message and message[0] == "profile":
+                        self._absorb_profile(message[2])
+            except (EOFError, OSError):
+                pass
             worker.conn.close()
         self.workers.clear()
 
@@ -460,36 +487,60 @@ def evaluate_resilient(space: "ConfigurationSpace",
     total = space.size
     t0 = time.perf_counter()
 
-    cap_shm = shared_memory.SharedMemory(create=True, size=total * 8)
-    cost_shm = shared_memory.SharedMemory(create=True, size=total * 8)
-    cap_view = cost_view = supervisor = None
-    try:
-        cap_view = np.ndarray((total,), dtype=np.float64, buffer=cap_shm.buf)
-        cost_view = np.ndarray((total,), dtype=np.float64, buffer=cost_shm.buf)
-        supervisor = _Supervisor(
-            space, w, space.catalog.prices, workers=workers,
-            chunk_size=chunk_size, checkpoint=checkpoint, faults=faults,
-            config=config, cap_view=cap_view, cost_view=cost_view,
-            cap_name=cap_shm.name, cost_name=cost_shm.name)
-        supervisor.run()
-        stats = supervisor.stats
-        capacity = cap_view.copy()
-        unit_cost = cost_view.copy()
-    finally:
-        # Every ndarray export must be dropped before the segments can
-        # unmap — including the supervisor's references, which outlive
-        # an exception raised inside run().
-        if supervisor is not None:
-            supervisor.cap_view = supervisor.cost_view = None
-        cap_view = cost_view = None
-        for shm in (cap_shm, cost_shm):
-            try:
-                shm.close()
-            except BufferError:  # pragma: no cover - stray export
-                pass
-            shm.unlink()
+    with get_tracer().span("sweep.supervised",
+                           {"workers": workers, "chunk_size": chunk_size,
+                            "size": total}):
+        cap_shm = shared_memory.SharedMemory(create=True, size=total * 8)
+        cost_shm = shared_memory.SharedMemory(create=True, size=total * 8)
+        cap_view = cost_view = supervisor = None
+        try:
+            cap_view = np.ndarray((total,), dtype=np.float64,
+                                  buffer=cap_shm.buf)
+            cost_view = np.ndarray((total,), dtype=np.float64,
+                                   buffer=cost_shm.buf)
+            supervisor = _Supervisor(
+                space, w, space.catalog.prices, workers=workers,
+                chunk_size=chunk_size, checkpoint=checkpoint, faults=faults,
+                config=config, cap_view=cap_view, cost_view=cost_view,
+                cap_name=cap_shm.name, cost_name=cost_shm.name)
+            supervisor.run()
+            stats = supervisor.stats
+            capacity = cap_view.copy()
+            unit_cost = cost_view.copy()
+        finally:
+            # Every ndarray export must be dropped before the segments can
+            # unmap — including the supervisor's references, which outlive
+            # an exception raised inside run().
+            if supervisor is not None:
+                supervisor.cap_view = supervisor.cost_view = None
+            cap_view = cost_view = None
+            for shm in (cap_shm, cost_shm):
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - stray export
+                    pass
+                shm.unlink()
     stats.wall_s = time.perf_counter() - t0
+    _record_sweep_metrics(stats)
     return capacity, unit_cost, stats
+
+
+def _record_sweep_metrics(stats: SweepStats) -> None:
+    """Publish one sweep's outcome to the process-global registry."""
+    registry = global_registry()
+    registry.counter("sweep_runs_total").increment()
+    registry.counter("sweep_spans_evaluated_total").increment(
+        stats.spans_evaluated)
+    registry.counter("sweep_spans_resumed_total").increment(
+        stats.spans_resumed)
+    registry.counter("sweep_spans_duplicated_total").increment(
+        stats.spans_duplicated)
+    registry.counter("sweep_workers_spawned_total").increment(
+        stats.workers_spawned)
+    registry.counter("sweep_workers_lost_total").increment(
+        stats.workers_lost)
+    registry.counter("sweep_retries_total").increment(stats.retries)
+    registry.histogram("sweep_wall_s").observe(stats.wall_s)
 
 
 def evaluate_parallel(space: "ConfigurationSpace",

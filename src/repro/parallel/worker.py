@@ -1,26 +1,39 @@
 """Sweep worker process: lease spans, decode chunks, heartbeat progress.
 
 Each worker owns one duplex pipe to the supervisor.  The protocol is
-four tiny tuples, every one small enough for an atomic pipe write:
+a handful of tiny tuples, every one small enough for an atomic pipe
+write:
 
-* supervisor → worker: ``(span_id, start, stop)`` — lease one span —
-  or ``None`` — drain and exit;
+* supervisor → worker: ``(span_id, start, stop, trace_ctx)`` — lease
+  one span (``trace_ctx`` is a ``(trace_id, parent_span_id)`` pair when
+  the supervisor is being traced, else ``None``) — or ``None`` — drain
+  and exit;
 * worker → supervisor: ``("lease", worker_id, span_id)`` on pickup,
   ``("chunk", worker_id, span_id, c_stop)`` after every chunk (the
-  heartbeat), ``("done", worker_id, span_id)`` on completion.
+  heartbeat), ``("done", worker_id, span_id, records)`` on completion
+  (``records`` holds the worker-side trace spans, empty when tracing is
+  off), and ``("profile", worker_id, record)`` once at drain if
+  ``CELIA_PROFILE`` asked for profiling.
 
 Results never travel over the pipe: chunks are reduced straight into
 the two shared-memory float64 arrays, at the same offsets and with the
 same matmuls as the serial loop, so any worker (or any two workers,
-racing on a duplicated span) writes byte-identical output.
+racing on a duplicated span) writes byte-identical output.  Tracing and
+profiling only ever *observe* — they time the chunk loop and sample the
+interpreter around it, never touch the arrays, so results stay
+bit-identical with observability on or off.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.obs.profile import profiling_enabled, top_functions
+from repro.obs.trace import SpanContext, make_span_record
 from repro.parallel.faults import FaultClock, FaultPlan
 
 __all__ = ["attach_shared", "worker_main"]
@@ -54,6 +67,11 @@ def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
                 prices: np.ndarray, fault_plan: FaultPlan | None) -> None:
     """Entry point of one sweep worker process."""
     clock = FaultClock(fault_plan, worker_id)
+    profiler = None
+    if profiling_enabled():
+        import cProfile
+
+        profiler = cProfile.Profile()
     cap_shm = attach_shared(cap_name)
     cost_shm = attach_shared(cost_name)
     try:
@@ -63,9 +81,19 @@ def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
         while True:
             task = conn.recv()
             if task is None:
+                if profiler is not None:
+                    conn.send(("profile", worker_id, {
+                        "kind": "profile", "phase": "sweep.worker",
+                        "pid": os.getpid(),
+                        "rows": top_functions(profiler)}))
                 break
-            span_id, start, stop = task
+            span_id, start, stop, trace_ctx = task
             conn.send(("lease", worker_id, span_id))
+            t_wall = time.time()
+            t_perf = time.perf_counter()
+            t_cpu = time.process_time()
+            if profiler is not None:
+                profiler.enable()
             chunk_ordinal = 0
             for c_start in range(start, stop, chunk_size):
                 clock.before_chunk(span_ordinal, chunk_ordinal)
@@ -77,7 +105,18 @@ def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
                 unit_cost[c_start - 1:c_stop - 1] = matrix @ prices
                 conn.send(("chunk", worker_id, span_id, c_stop))
                 chunk_ordinal += 1
-            conn.send(("done", worker_id, span_id))
+            if profiler is not None:
+                profiler.disable()
+            records = []
+            if trace_ctx is not None:
+                records.append(make_span_record(
+                    "sweep.span", SpanContext.from_tuple(trace_ctx),
+                    start_s=t_wall,
+                    wall_s=time.perf_counter() - t_perf,
+                    cpu_s=time.process_time() - t_cpu,
+                    attrs={"worker": worker_id, "start": start,
+                           "stop": stop, "chunks": chunk_ordinal}))
+            conn.send(("done", worker_id, span_id, records))
             span_ordinal += 1
             clock.drop_span(span_ordinal)
     except (EOFError, BrokenPipeError, OSError):

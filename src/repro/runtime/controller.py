@@ -42,6 +42,9 @@ from repro.apps.base import ElasticApplication
 from repro.cloud.provider import CloudProvider, Lease
 from repro.core.celia import Celia
 from repro.errors import InfeasibleError, ProvisioningError, ValidationError
+from repro.obs.metrics import global_registry
+from repro.obs.profile import profile_block
+from repro.obs.trace import get_tracer
 from repro.runtime.chaos import ChaosScenario
 from repro.runtime.events import (
     DegradationDecision,
@@ -303,26 +306,30 @@ class AdaptiveController:
         Returns the chosen configuration, or ``None`` after recording an
         :class:`InfeasiblePlan` (the caller must stop).
         """
-        residual_t = state.deadline_hours - state.now_hours
-        residual_c = state.budget_dollars - state.spent_dollars
-        est_remaining = self._estimated_remaining_gi(state, state.accuracy)
-        answer = None
-        if residual_t > 0 and residual_c > 0:
-            answer = self._affordable(state, est_remaining, residual_t,
-                                      residual_c)
-        state.timeline.record(ReplanDecision(
-            at_hours=state.now_hours, reason=reason,
-            remaining_gi=est_remaining,
-            residual_deadline_hours=max(residual_t, 0.0),
-            residual_budget_dollars=max(residual_c, 0.0),
-            feasible=answer is not None,
-            configuration=answer.configuration if answer else None,
-            projected_time_hours=answer.time_hours if answer else None,
-            projected_cost_dollars=answer.cost_dollars if answer else None,
-        ))
-        if answer is not None:
-            return answer.configuration
-        return self._degrade(state, residual_t, residual_c, reason)
+        with get_tracer().span("runtime.replan", {"reason": reason}) as span:
+            residual_t = state.deadline_hours - state.now_hours
+            residual_c = state.budget_dollars - state.spent_dollars
+            est_remaining = self._estimated_remaining_gi(state,
+                                                         state.accuracy)
+            answer = None
+            if residual_t > 0 and residual_c > 0:
+                answer = self._affordable(state, est_remaining, residual_t,
+                                          residual_c)
+            state.timeline.record(ReplanDecision(
+                at_hours=state.now_hours, reason=reason,
+                remaining_gi=est_remaining,
+                residual_deadline_hours=max(residual_t, 0.0),
+                residual_budget_dollars=max(residual_c, 0.0),
+                feasible=answer is not None,
+                configuration=answer.configuration if answer else None,
+                projected_time_hours=answer.time_hours if answer else None,
+                projected_cost_dollars=answer.cost_dollars
+                if answer else None,
+            ))
+            span.set_attribute("feasible", answer is not None)
+            if answer is not None:
+                return answer.configuration
+            return self._degrade(state, residual_t, residual_c, reason)
 
     def _affordable(self, state: _RunState, demand_gi: float,
                     residual_t: float, residual_c: float):
@@ -351,6 +358,12 @@ class AdaptiveController:
         integers.  Returns the configuration for the degraded plan, or
         ``None`` after recording :class:`InfeasiblePlan`.
         """
+        with get_tracer().span("runtime.degrade", {"reason": reason}):
+            return self._degrade_inner(state, residual_t, residual_c,
+                                       reason)
+
+    def _degrade_inner(self, state: _RunState, residual_t: float,
+                       residual_c: float, reason: str):
         floor = self._accuracy_floor()
         infeasible = InfeasiblePlan(
             at_hours=state.now_hours,
@@ -403,10 +416,58 @@ class AdaptiveController:
                 ) -> RuntimeReport:
         """Run ``app(n, a)`` under ``(T', C')`` on the chaotic cloud.
 
-        ``configuration`` pins the initial plan (e.g. a frontier point
-        chosen by the caller); omitted, the controller plans the
-        cheapest deadline-meeting configuration itself.
+        Arguments:
+            n: Problem size (app-specific units, e.g. particles).
+            a: Initial accuracy knob value; degradation may lower it,
+                never below the floor (``config.min_accuracy`` or the
+                app's characterization-grid minimum).
+            deadline_hours: The envelope deadline ``T'`` (> 0).
+            budget_dollars: The envelope budget ``C'`` (> 0).
+            configuration: Pins the initial plan (e.g. a frontier point
+                chosen by the caller); omitted, the controller plans the
+                cheapest deadline-meeting configuration itself.
+
+        Returns a :class:`RuntimeReport` whose ``verdict`` is one of
+        ``"met"``, ``"degraded"``, ``"missed_deadline"``,
+        ``"over_budget"``, ``"infeasible"`` or ``"failed"`` — the
+        controller never raises on chaos; it stops with an explicit
+        verdict and a full audit ``timeline``.
+
+        Raises:
+            ValidationError: On a non-positive deadline/budget or
+                parameters outside the app's valid range.
+
+        The run is wrapped in a ``runtime.execute`` trace span (with
+        ``runtime.provision`` / ``runtime.replan`` / ``runtime.degrade``
+        children) and its outcome feeds the global ``runtime_*``
+        metrics; ``CELIA_PROFILE=1`` additionally profiles the loop
+        under the ``runtime.controller`` phase.
         """
+        with get_tracer().span("runtime.execute",
+                               {"app": self.app.name,
+                                "scenario": self.scenario.name,
+                                "adaptive": self.config.replan}) as span:
+            with profile_block("runtime.controller"):
+                report = self._execute(n, a, deadline_hours,
+                                       budget_dollars,
+                                       configuration=configuration)
+            span.set_attribute("verdict", report.verdict)
+        registry = global_registry()
+        registry.counter("runtime_runs_total").increment()
+        registry.counter("runtime_verdicts_total",
+                         labels={"verdict": report.verdict}).increment()
+        registry.counter("runtime_replans_total").increment(report.replans)
+        registry.counter("runtime_degradations_total").increment(
+            report.degradations)
+        registry.counter("runtime_crashes_total").increment(report.crashes)
+        registry.counter("runtime_migrations_total").increment(
+            report.migrations)
+        return report
+
+    def _execute(self, n: float, a: float, deadline_hours: float,
+                 budget_dollars: float,
+                 *, configuration: tuple[int, ...] | None = None
+                 ) -> RuntimeReport:
         self.app.validate_params(n, a)
         if deadline_hours <= 0 or budget_dollars <= 0:
             raise ValidationError("deadline and budget must be positive")
@@ -431,11 +492,14 @@ class AdaptiveController:
         while True:
             # -- provision (with retries; backoff burns deadline) --------------
             try:
-                lease, state.now_hours = provision_with_retry(
-                    provider, config, self._capacities,
-                    policy=self.config.retry, now_hours=state.now_hours,
-                    seed=spawn_seed(self.seed, "retry", state.epoch),
-                    timeline=state.timeline)
+                with get_tracer().span("runtime.provision",
+                                       {"epoch": state.epoch}):
+                    lease, state.now_hours = provision_with_retry(
+                        provider, config, self._capacities,
+                        policy=self.config.retry,
+                        now_hours=state.now_hours,
+                        seed=spawn_seed(self.seed, "retry", state.epoch),
+                        timeline=state.timeline)
             except ProvisioningError:
                 config = self._next_plan_or_none(state, "provisioning")
                 if config is None:

@@ -68,6 +68,20 @@ class PlannerClient:
     jitter_fraction:
         Deterministic ±jitter/2 spread on each backoff, derived from
         ``retry_seed`` so test runs reproduce their exact sleep pattern.
+
+    Raises
+    ------
+    ValidationError
+        From the constructor when ``max_attempts < 1``; from any
+        endpoint when the server rejects the request as invalid (400).
+    InfeasibleError
+        When the requested plan has no feasible configuration (422).
+    ServiceSaturatedError / RequestTimeoutError
+        Admission-control rejection (503) after retries run out, or a
+        missed per-request deadline (504).
+    ServiceUnavailableError
+        When the retry budget is exhausted on transient transport
+        failures or a draining server.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8337,

@@ -1,165 +1,15 @@
-"""Service instrumentation: counters, gauges and latency histograms.
+"""Compatibility shim: the metrics primitives moved to ``repro.obs``.
 
-The planning service answers many small requests, so its health is a
-statistical object — a single slow request means nothing, the p99 does.
-This module provides the three classic primitives behind a
-``/metrics``-style endpoint:
-
-* :class:`Counter` — monotone event count (requests served, rejections);
-* :class:`Gauge` — instantaneous level (queue depth, warm signatures);
-* :class:`Histogram` — bounded-memory sample reservoir reporting
-  ``p50``/``p95``/``p99`` alongside count/sum/min/max.
-
-A :class:`MetricsRegistry` names and owns them and renders one
-JSON-serializable :meth:`~MetricsRegistry.snapshot` of everything.  All
-primitives are guarded by a lock so the asyncio front-end and executor
-worker threads can record concurrently.
+The service grew the registry first; once the sweep supervisor, cache
+and runtime controller needed the same primitives they were lifted into
+:mod:`repro.obs.metrics` as the shared implementation.  This module
+keeps every historical import path working —
+``from repro.service.metrics import MetricsRegistry`` and friends are
+part of the service's public API and must not break.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (DEFAULT_WINDOW, PERCENTILES, Counter, Gauge,
+                               Histogram, MetricsRegistry)
 
-import threading
-from collections import deque
-
-from repro.errors import ValidationError
-
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
-
-#: Samples retained per histogram; older observations fall out of the
-#: window, so percentiles describe recent behavior (what an operator
-#: watching a dashboard actually wants).
-DEFAULT_WINDOW = 4096
-
-#: Percentiles reported by every histogram snapshot.
-PERCENTILES = (50.0, 95.0, 99.0)
-
-
-class Counter:
-    """A monotonically increasing event count."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def increment(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValidationError("counters only move forward")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """An instantaneous level that can move both ways."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0.0
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-
-    def add(self, delta: float) -> None:
-        with self._lock:
-            self._value += float(delta)
-
-    @property
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-
-class Histogram:
-    """Sliding-window sample distribution with percentile snapshots.
-
-    Keeps the last ``window`` observations in a ring buffer plus
-    all-time count/sum, so :meth:`snapshot` is exact over the window and
-    cheap — one sort of at most ``window`` floats.
-    """
-
-    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
-        if window < 1:
-            raise ValidationError("histogram window must be >= 1")
-        self._lock = threading.Lock()
-        self._samples: deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._sum = 0.0
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._samples.append(float(value))
-            self._count += 1
-            self._sum += float(value)
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    def samples(self) -> tuple[float, ...]:
-        """The observations currently in the window, oldest first."""
-        with self._lock:
-            return tuple(self._samples)
-
-    def snapshot(self) -> dict:
-        """count/sum/min/max plus the :data:`PERCENTILES` over the window."""
-        with self._lock:
-            samples = sorted(self._samples)
-            count, total = self._count, self._sum
-        out: dict = {"count": count, "sum": total}
-        if not samples:
-            out.update({"min": None, "max": None})
-            out.update({f"p{p:g}": None for p in PERCENTILES})
-            return out
-        out["min"] = samples[0]
-        out["max"] = samples[-1]
-        last = len(samples) - 1
-        for p in PERCENTILES:
-            # Nearest-rank on the sorted window.
-            rank = min(last, round(p / 100.0 * last))
-            out[f"p{p:g}"] = samples[int(rank)]
-        return out
-
-
-class MetricsRegistry:
-    """Named collection of metrics rendering one JSON snapshot."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        """The counter called ``name`` (created on first use)."""
-        with self._lock:
-            return self._counters.setdefault(name, Counter())
-
-    def gauge(self, name: str) -> Gauge:
-        """The gauge called ``name`` (created on first use)."""
-        with self._lock:
-            return self._gauges.setdefault(name, Gauge())
-
-    def histogram(self, name: str, *, window: int = DEFAULT_WINDOW
-                  ) -> Histogram:
-        """The histogram called ``name`` (created on first use)."""
-        with self._lock:
-            return self._histograms.setdefault(name, Histogram(window))
-
-    def snapshot(self) -> dict:
-        """Every metric's current value, ready for ``json.dumps``."""
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {k: c.value for k, c in sorted(counters.items())},
-            "gauges": {k: g.value for k, g in sorted(gauges.items())},
-            "histograms": {k: h.snapshot()
-                           for k, h in sorted(histograms.items())},
-        }
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_WINDOW", "PERCENTILES"]

@@ -45,6 +45,7 @@ from repro.cloud.catalog import Catalog, ec2_catalog
 from repro.core.celia import Celia
 from repro.core.planner import max_accuracy_plan, max_problem_size_plan
 from repro.errors import ReproError, ValidationError
+from repro.obs.trace import get_tracer
 from repro.service.faults import ServiceFaults
 from repro.service.metrics import MetricsRegistry
 from repro.service.serialize import (
@@ -621,10 +622,28 @@ class PlannerService:
     # -- generic request dispatch (used by the HTTP front-end) -----------------
 
     async def handle(self, request: dict) -> dict:
-        """Dispatch one decoded JSON request by its ``kind`` field."""
+        """Dispatch one decoded JSON request by its ``kind`` field.
+
+        Arguments:
+            request: The decoded JSON body; must be an object whose
+                ``kind`` is one of ``select``/``predict``/``plan``/
+                ``replan``, plus that kind's fields (see ``docs/api.md``).
+
+        Returns the response envelope ``{"kind", "cached", "result"}``.
+
+        Raises:
+            ValidationError: Malformed or unknown-kind requests.
+            ServiceSaturatedError: Admission queue full.
+            RequestTimeoutError: Deadline missed while queued/running.
+            InfeasibleError: No configuration satisfies the envelope.
+        """
         if not isinstance(request, dict):
             raise ValidationError("request body must be a JSON object")
         kind = request.get("kind")
+        with get_tracer().span(f"service.{kind}"):
+            return await self._handle_inner(kind, request)
+
+    async def _handle_inner(self, kind, request: dict) -> dict:
         common = {k: request.get(k) for k in ("quota", "seed", "timeout_s")}
         try:
             if kind == "select":

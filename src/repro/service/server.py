@@ -5,7 +5,11 @@ frameworks, one connection per request — exposing:
 
 * ``POST /v1/select`` / ``/v1/predict`` / ``/v1/plan`` / ``/v1/replan``
   — a JSON request body (the path supplies the ``kind`` field);
-* ``GET /metrics`` — the live metrics snapshot;
+* ``GET /metrics`` — the live metrics snapshot: the service's own
+  request/latency series merged with the process-global registry
+  (``sweep_*``, ``eval_cache_*``, ``runtime_*`` — see
+  ``docs/observability.md``);
+* ``GET /metrics.txt`` — the same snapshot as a flat text exposition;
 * ``GET /healthz`` — liveness, warm-state readiness and drain status.
 
 Library errors map to typed JSON error envelopes::
@@ -30,6 +34,7 @@ import json
 import signal
 
 from repro.errors import InfeasibleError, ReproError, ValidationError
+from repro.obs.metrics import global_registry, merge_snapshots, render_text
 from repro.service.planner import (
     PlannerService,
     RequestTimeoutError,
@@ -122,6 +127,17 @@ class PlannerServer:
         except asyncio.TimeoutError:
             return False
 
+    def _metrics_snapshot(self) -> dict:
+        """Service registry merged with the process-global one.
+
+        Service series keep their historical names (``requests_*``,
+        ``latency_*`` …) so existing scrapers see unchanged output; the
+        global registry contributes the prefixed supervisor/cache/
+        runtime series on top.
+        """
+        return merge_snapshots(global_registry().snapshot(),
+                               self.service.metrics.snapshot())
+
     # -- request handling ------------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -133,9 +149,14 @@ class PlannerServer:
                 status, body = await self._handle_request(reader)
             except Exception as exc:  # last-resort: never kill the server
                 status, body = 500, _error_body("internal", str(exc))
-            payload = json.dumps(body).encode("utf-8")
+            if isinstance(body, str):  # text exposition (/metrics.txt)
+                content_type = "text/plain; charset=utf-8"
+                payload = body.encode("utf-8")
+            else:
+                content_type = "application/json"
+                payload = json.dumps(body).encode("utf-8")
             head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                    f"Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(payload)}\r\n"
                     + ("Retry-After: 1\r\n" if status == 503 else "")
                     + "Connection: close\r\n\r\n").encode("ascii")
@@ -195,7 +216,9 @@ class PlannerServer:
                     ],
                 }
             if path == "/metrics":
-                return 200, self.service.metrics.snapshot()
+                return 200, self._metrics_snapshot()
+            if path == "/metrics.txt":
+                return 200, render_text(self._metrics_snapshot())
             return 404, _error_body("not_found", f"no route {path!r}")
 
         if method != "POST":

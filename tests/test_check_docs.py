@@ -1,0 +1,64 @@
+"""Tests for ``tools/check_docs.py`` (the CI docs job)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_are_clean(check_docs, capsys):
+    """The committed docs must pass their own gate."""
+    assert check_docs.main([]) == 0
+    assert "docs OK" in capsys.readouterr().out
+
+
+def test_broken_link_detected(check_docs, monkeypatch, tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [good](docs/real.md) and [bad](docs/missing.md)\n")
+    (tmp_path / "docs" / "real.md").write_text(
+        "[up](../README.md) [out](https://example.com) [frag](#anchor)\n"
+        "```\n[inside a fence](not-checked.md)\n```\n")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    problems = check_docs.check_links()
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+    assert "README.md:1" in problems[0]
+
+
+def test_stale_cli_reference_detected_and_fixed(check_docs, monkeypatch,
+                                                tmp_path):
+    api = tmp_path / "api.md"
+    api.write_text("intro\n\n"
+                   f"{check_docs.BEGIN_MARK} -->\nstale\n"
+                   f"{check_docs.END_MARK}\n\ntail\n")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "API_DOC", api)
+    assert any("stale" in p
+               for p in check_docs.check_cli_reference(fix=False))
+    assert any("regenerated" in p
+               for p in check_docs.check_cli_reference(fix=True))
+    assert check_docs.check_cli_reference(fix=False) == []
+    text = api.read_text()
+    assert text.startswith("intro") and text.endswith("tail\n")
+    assert "usage: celia" in text
+
+
+def test_missing_markers_reported(check_docs, monkeypatch, tmp_path):
+    api = tmp_path / "api.md"
+    api.write_text("no markers here\n")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "API_DOC", api)
+    assert any("missing" in p
+               for p in check_docs.check_cli_reference(fix=False))

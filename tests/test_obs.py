@@ -1,0 +1,365 @@
+"""Unit tests for ``repro.obs``: tracing, metrics, profiling, export."""
+
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.export import (
+    export_chrome_trace,
+    read_trace,
+    spans_only,
+    to_chrome_trace,
+    trace_summary,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_registry,
+    labeled_name,
+    merge_snapshots,
+    render_text,
+    reset_global_registry,
+)
+from repro.obs.profile import (
+    ProfileStore,
+    get_store,
+    merge_rows,
+    profile_block,
+    render_tables,
+    reset_store,
+)
+from repro.obs.trace import (
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    make_span_record,
+    reset_tracing,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state(monkeypatch):
+    """Isolate the process-global tracer/registry/store per test."""
+    monkeypatch.delenv("CELIA_TRACE", raising=False)
+    monkeypatch.delenv("CELIA_PROFILE", raising=False)
+    reset_tracing()
+    reset_global_registry()
+    reset_store()
+    yield
+    reset_tracing()
+    reset_global_registry()
+    reset_store()
+
+
+class TestSpans:
+    def test_nesting_builds_parent_links(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        records = tracer.records()
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner, outer_rec = records
+        assert inner["parent_id"] == outer.span_id
+        assert inner["trace_id"] == outer_rec["trace_id"]
+        assert outer_rec["parent_id"] is None
+        assert inner["wall_s"] >= 0.0 and inner["cpu_s"] >= 0.0
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer = Tracer(enabled=True)
+        remote = SpanContext("feedfacefeedface", "cafebabecafebabe")
+        with tracer.span("ambient"):
+            with tracer.span("child", parent=remote):
+                pass
+        child = tracer.records()[0]
+        assert child["trace_id"] == "feedfacefeedface"
+        assert child["parent_id"] == "cafebabecafebabe"
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        record = tracer.records()[0]
+        assert record["status"] == "error"
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_attributes_are_typed(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as span:
+            span.set_attribute("ok", 1)
+            with pytest.raises(ValidationError):
+                span.set_attribute("bad", [1, 2])
+        assert tracer.records()[0]["attrs"] == {"ok": 1}
+
+    def test_disabled_tracer_is_shared_noop(self):
+        tracer = Tracer()
+        first = tracer.span("a", {"x": 1})
+        second = tracer.span("b")
+        assert first is second  # one shared object, nothing allocated
+        with first as span:
+            span.set_attribute("ignored", "fine")
+        assert tracer.records() == []
+        assert first.context is None
+
+    def test_current_context(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current_context().span_id == ""
+        with tracer.span("a") as span:
+            assert tracer.current_context() == span.context
+        disabled = Tracer()
+        assert disabled.current_context() is None
+
+
+class TestSpanContext:
+    def test_survives_pickling(self):
+        ctx = SpanContext("aaaa", "bbbb")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        assert SpanContext.from_tuple(ctx.to_tuple()) == ctx
+        assert SpanContext.from_tuple(None) is None
+
+    def test_make_span_record_parents_on_context(self):
+        ctx = SpanContext("tttt", "pppp")
+        record = make_span_record("w", ctx, start_s=1.0, wall_s=0.5,
+                                  cpu_s=0.25, attrs={"k": 1})
+        assert record["kind"] == "span"
+        assert record["trace_id"] == "tttt"
+        assert record["parent_id"] == "pppp"
+        assert record["attrs"] == {"k": 1}
+        json.dumps(record)  # must be JSON-clean as-is
+
+    def test_make_span_record_without_context_is_rootless(self):
+        record = make_span_record("w", None, start_s=0.0, wall_s=0.0,
+                                  cpu_s=0.0)
+        assert record["parent_id"] is None
+
+
+class TestTracerExport:
+    def test_jsonl_streaming_and_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(export_path=path)
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+        tracer.configure(path)  # a new run truncates the file
+        assert path.read_text() == ""
+
+    def test_global_tracer_configuration(self, tmp_path):
+        assert not tracing_enabled()
+        tracer = configure_tracing(tmp_path / "t.jsonl")
+        assert tracing_enabled()
+        assert tracer is get_tracer()
+        tracer.disable()
+        assert not tracing_enabled()
+
+    def test_env_var_enables_tracing(self, monkeypatch, tmp_path):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("CELIA_TRACE", str(path))
+        reset_tracing()
+        tracer = get_tracer()
+        assert tracer.enabled
+        assert tracer.export_path == path
+        monkeypatch.setenv("CELIA_TRACE", "1")
+        reset_tracing()
+        tracer = get_tracer()
+        assert tracer.enabled and tracer.export_path is None
+
+
+class TestMetrics:
+    def test_labeled_name_sorts_keys(self):
+        assert labeled_name("m") == "m"
+        assert labeled_name("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+        registry = MetricsRegistry()
+        registry.counter("m", labels={"b": "2", "a": "1"}).increment()
+        registry.counter("m", labels={"a": "1", "b": "2"}).increment()
+        assert registry.snapshot()["counters"] == {'m{a="1",b="2"}': 2}
+
+    def test_merge_snapshots_later_wins(self):
+        first = MetricsRegistry()
+        first.counter("shared").increment(1)
+        first.gauge("only_first").set(3)
+        second = MetricsRegistry()
+        second.counter("shared").increment(5)
+        second.histogram("lat").observe(0.5)
+        merged = merge_snapshots(first.snapshot(), second.snapshot())
+        assert merged["counters"]["shared"] == 5
+        assert merged["gauges"]["only_first"] == 3.0
+        assert merged["histograms"]["lat"]["count"] == 1
+
+    def test_render_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").increment(7)
+        registry.gauge("queue_depth").set(2)
+        registry.histogram("lat", labels={"kind": "select"}).observe(0.25)
+        registry.histogram("empty")
+        text = render_text(registry.snapshot())
+        assert "requests_total 7\n" in text
+        assert "queue_depth 2\n" in text
+        assert 'lat_count{kind="select"} 1\n' in text
+        assert 'lat_p50{kind="select"} 0.25\n' in text
+        assert "empty_p99 nan\n" in text
+
+    def test_global_registry_thread_safety(self):
+        registry = global_registry()
+        assert registry is global_registry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.counter("hits").increment()
+                registry.histogram("lat").observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits"] == 8000
+        assert snapshot["histograms"]["lat"]["count"] == 8000
+
+    def test_reset_global_registry(self):
+        global_registry().counter("x").increment()
+        reset_global_registry()
+        assert global_registry().snapshot()["counters"] == {}
+
+
+class TestProfile:
+    def test_profile_block_collects_rows(self):
+        with profile_block("test.phase", force=True):
+            sum(range(1000))
+        store = get_store()
+        assert store.blocks("test.phase") == 1
+        rows = store.tables()["test.phase"]
+        assert rows and {"function", "calls", "total_s",
+                         "cumulative_s"} <= set(rows[0])
+
+    def test_profile_block_records_into_trace(self, tmp_path):
+        configure_tracing(tmp_path / "p.jsonl")
+        with profile_block("traced.phase", force=True):
+            sum(range(100))
+        records = read_trace(tmp_path / "p.jsonl")
+        profiles = [r for r in records if r.get("kind") == "profile"]
+        assert len(profiles) == 1
+        assert profiles[0]["phase"] == "traced.phase"
+
+    def test_disabled_block_is_cheap_and_inert(self):
+        start = time.perf_counter()
+        for _ in range(10_000):
+            with profile_block("never") as profiler:
+                assert profiler is None
+        elapsed = time.perf_counter() - start
+        # The overhead guard: 10k disabled entries must stay far under
+        # any meaningful fraction of a run (50 µs each is already 10x
+        # what the bare contextmanager costs).
+        assert elapsed < 0.5
+        assert get_store().tables() == {}
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.setenv("CELIA_PROFILE", "1")
+        with profile_block("via.env"):
+            pass
+        assert get_store().blocks("via.env") == 1
+
+    def test_merge_rows_sums_shared_functions(self):
+        a = [{"function": "f", "calls": 1, "total_s": 0.1,
+              "cumulative_s": 0.2}]
+        b = [{"function": "f", "calls": 2, "total_s": 0.3,
+              "cumulative_s": 0.4},
+             {"function": "g", "calls": 1, "total_s": 0.0,
+              "cumulative_s": 1.0}]
+        merged = merge_rows(a, b)
+        assert merged[0]["function"] == "g"  # sorted by cumulative
+        f_row = next(r for r in merged if r["function"] == "f")
+        assert f_row["calls"] == 3
+        assert f_row["cumulative_s"] == pytest.approx(0.6)
+
+    def test_store_isolated_instances(self):
+        store = ProfileStore()
+        store.add("p", [{"function": "f", "calls": 1, "total_s": 0.0,
+                         "cumulative_s": 0.0}])
+        assert store.blocks("p") == 1
+        assert get_store().blocks("p") == 0
+        store.clear()
+        assert store.tables() == {}
+
+    def test_render_tables(self):
+        assert "CELIA_PROFILE" in render_tables({})
+        text = render_tables({"p": [{"function": "f", "calls": 2,
+                                     "total_s": 0.5, "cumulative_s": 1.0}]})
+        assert "phase: p" in text and "f" in text
+
+
+def _span(name, start, wall, **extra):
+    record = make_span_record(name, SpanContext("t", ""), start_s=start,
+                              wall_s=wall, cpu_s=wall / 2)
+    record.update(extra)
+    return record
+
+
+class TestExportAndSummary:
+    def test_summary_coverage_with_gap(self):
+        records = [_span("a", 0.0, 1.0), _span("b", 2.0, 1.0)]
+        summary = trace_summary(records)
+        assert summary["spans"] == 2
+        assert summary["window_s"] == pytest.approx(3.0)
+        assert summary["coverage"] == pytest.approx(2.0 / 3.0)
+
+    def test_summary_overlap_counts_once(self):
+        records = [_span("a", 0.0, 2.0), _span("b", 1.0, 2.0)]
+        assert trace_summary(records)["coverage"] == pytest.approx(1.0)
+
+    def test_summary_aggregates_and_errors(self):
+        records = [_span("a", 0.0, 1.0), _span("a", 1.0, 3.0),
+                   _span("b", 0.0, 0.5, status="error"),
+                   {"kind": "profile", "phase": "p", "rows": []}]
+        summary = trace_summary(records)
+        assert summary["errors"] == 1
+        assert summary["profile_records"] == 1
+        assert summary["by_name"]["a"] == {
+            "count": 2, "wall_s": pytest.approx(4.0),
+            "cpu_s": pytest.approx(2.0), "max_wall_s": pytest.approx(3.0)}
+        assert trace_summary([]) == {
+            "spans": 0, "errors": 0, "window_s": 0.0, "coverage": 0.0,
+            "profile_records": 0, "by_name": {}}
+
+    def test_chrome_conversion(self):
+        records = [_span("sweep.span", 1.0, 0.5, pid=42),
+                   {"kind": "profile", "phase": "p", "pid": 42,
+                    "rows": [{"function": "f"}]}]
+        chrome = to_chrome_trace(records)
+        assert chrome["displayTimeUnit"] == "ms"
+        complete = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        instant = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 1 and len(instant) == 1
+        assert complete[0]["ts"] == pytest.approx(1e6)
+        assert complete[0]["dur"] == pytest.approx(5e5)
+        assert complete[0]["pid"] == 42
+        assert complete[0]["cat"] == "sweep"
+
+    def test_export_round_trip(self, tmp_path):
+        src = tmp_path / "t.jsonl"
+        src.write_text(json.dumps(_span("a", 0.0, 1.0)) + "\n")
+        out = tmp_path / "t.chrome.json"
+        assert export_chrome_trace(src, out) == 1
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"][0]["name"] == "a"
+
+    def test_read_trace_errors(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            read_trace(tmp_path / "missing.jsonl")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "span"}\nnot json\n')
+        with pytest.raises(ValidationError, match="bad.jsonl:2"):
+            read_trace(bad)
+
+    def test_spans_only(self):
+        records = [{"kind": "span"}, {"kind": "profile"}, {"name": "x"}]
+        assert len(spans_only(records)) == 2  # missing kind counts as span
