@@ -3,10 +3,16 @@
 Times, per space size (Table III catalog at quotas 2, 3 and 5 —
 19,682 / 262,143 / 10,077,695 configurations):
 
-* the full-space sweep, serial vs process-parallel
+* the full-space fused sweep, serial vs process-parallel
   (:meth:`ConfigurationSpace.evaluate` with ``workers``);
 * Algorithm-1 selection, streamed vs the demand-invariant
-  :class:`FrontierIndex` fast path (build cost amortized over queries).
+  :class:`FrontierIndex` fast path (build cost amortized over queries),
+  with the index built cold from the value arrays
+  (``frontier_index_build_s``) and by merging the candidates the fused
+  sweep already produced (``fused_frontier_build_s``);
+* index-snapshot persistence: save, mmap'd load, and the end-to-end
+  warm start (evaluation load + snapshot load — what a fresh
+  ``celia serve`` process pays when the cache is primed).
 
 Run directly (not via pytest)::
 
@@ -25,11 +31,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.cache import EvaluationCache
 from repro.cloud.catalog import ec2_catalog
 from repro.core.configspace import ConfigurationSpace
 from repro.core.selection import FrontierIndex, select_configurations
@@ -79,7 +87,17 @@ def bench_select(evaluation):
     ]
     t_streamed = (time.perf_counter() - t0) / N_QUERIES
 
+    # Cold build (no candidates: rescans the value arrays) vs the fused
+    # build that merges the per-chunk candidates the sweep shipped back.
     index, t_build = _timed(FrontierIndex, evaluation)
+    candidates = evaluation.frontier_candidates()
+    t_fused = None
+    if candidates is not None:
+        fused, t_fused = _timed(FrontierIndex, evaluation,
+                                candidates=candidates)
+        assert fused.frontier_rows.tobytes() == \
+            index.frontier_rows.tobytes(), "fused build not bit-identical"
+    _, t_feasibility = _timed(index.ensure_feasibility)
     t0 = time.perf_counter()
     indexed = [
         index.select(float(d), deadline, budget) for d in demands
@@ -90,7 +108,23 @@ def bench_select(evaluation):
         assert a.feasible_count == b.feasible_count, "paths disagree"
         assert [p.configuration for p in a.pareto] == \
             [p.configuration for p in b.pareto]
-    return t_streamed, t_build, t_indexed, index.frontier_size
+    return (t_streamed, t_build, t_fused, t_feasibility, t_indexed, index)
+
+
+def bench_snapshot(space, evaluation, index):
+    """Snapshot round-trip in a throwaway cache dir, plus the end-to-end
+    warm start a fresh process pays: mmap the evaluation, mmap the index."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = EvaluationCache(tmp)
+        cache.store(evaluation, CAPACITIES)
+        _, t_save = _timed(cache.store_index, index, CAPACITIES)
+        warm_eval, t_eval_load = _timed(cache.load, space, CAPACITIES)
+        assert warm_eval is not None
+        warm_index, t_load = _timed(cache.load_index, warm_eval, CAPACITIES)
+        assert warm_index is not None, "snapshot did not round-trip"
+        assert warm_index.frontier_rows.tobytes() == \
+            index.frontier_rows.tobytes()
+    return t_save, t_load, t_eval_load + t_load
 
 
 def main() -> None:
@@ -110,7 +144,10 @@ def main() -> None:
         space = ConfigurationSpace(ec2_catalog(max_nodes_per_type=quota))
         print(f"quota {quota}: {space.size:,} configurations")
         evaluation, t_serial, t_parallel = bench_evaluate(space, workers)
-        t_streamed, t_build, t_indexed, frontier = bench_select(evaluation)
+        (t_streamed, t_build, t_fused, t_feasibility, t_indexed,
+         index) = bench_select(evaluation)
+        t_save, t_load, t_warm = bench_snapshot(space, evaluation, index)
+        frontier = index.frontier_size
         entry = {
             "quota": quota,
             "space_size": space.size,
@@ -122,6 +159,12 @@ def main() -> None:
                                  if t_parallel else None),
             "select_streamed_s_per_query": round(t_streamed, 6),
             "frontier_index_build_s": round(t_build, 4),
+            "fused_frontier_build_s": (round(t_fused, 4)
+                                       if t_fused is not None else None),
+            "index_feasibility_build_s": round(t_feasibility, 4),
+            "snapshot_save_s": round(t_save, 4),
+            "snapshot_load_s": round(t_load, 4),
+            "warm_start_s": round(t_warm, 4),
             "select_indexed_s_per_query": round(t_indexed, 6),
             "select_speedup_per_query": round(t_streamed / t_indexed, 1),
             "frontier_size": frontier,
@@ -131,6 +174,11 @@ def main() -> None:
               + (f", parallel {t_parallel:.3f}s "
                  f"({t_serial / t_parallel:.2f}x, {workers} workers)"
                  if t_parallel else " (single core; parallel skipped)"))
+        print(f"  frontier: cold build {t_build:.3f}s, fused merge "
+              + (f"{t_fused:.3f}s" if t_fused is not None else "n/a")
+              + f", feasibility {t_feasibility:.3f}s")
+        print(f"  snapshot: save {t_save:.3f}s, load {t_load * 1e3:.1f} ms, "
+              f"warm start {t_warm * 1e3:.1f} ms")
         print(f"  select:   streamed {t_streamed * 1e3:.2f} ms/query, "
               f"indexed {t_indexed * 1e3:.3f} ms/query "
               f"({t_streamed / t_indexed:.0f}x after a {t_build:.2f}s build, "

@@ -11,10 +11,18 @@ The reports may cover different subsets (the CI smoke mode runs
 benchmarks with ``--quick``, which drops the most expensive entries);
 only metrics present in both are compared.
 
+``--require-max LEAF=SECONDS`` additionally enforces an *absolute*
+ceiling on every current-report leaf with that name (e.g.
+``--require-max snapshot_load_s=0.5`` for the mmap'd warm-start path,
+which must stay in the tens of milliseconds regardless of how the
+baseline drifts).  A bound that matches no leaf is an error — it
+catches renamed metrics silently disarming the gate.
+
 Usage::
 
     python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
-        [--max-ratio 3.0] [--min-baseline-s 0.02] [--min-delta-s 0.05]
+        [--max-ratio 3.0] [--min-baseline-s 0.02] [--min-delta-s 0.05] \
+        [--require-max LEAF=SECONDS ...]
 
 Exits 1 if any compared metric regressed, and 2 — with a one-line
 message rather than a traceback — when either report is missing,
@@ -98,6 +106,40 @@ def compare(baseline: dict, current: dict, *, max_ratio: float,
     return regressions
 
 
+def check_bounds(current: dict, bounds: dict[str, float]) -> list[str]:
+    """Absolute ceilings: every current leaf named in ``bounds`` must be
+    at or under its bound; an unmatched bound is itself a failure."""
+    curr = flatten(current)
+    failures = []
+    for leaf, ceiling in bounds.items():
+        matched = {k: v for k, v in curr.items()
+                   if k.rsplit(".", 1)[-1] == leaf}
+        if not matched:
+            failures.append(f"{leaf}: bound {ceiling:g}s matched no metric "
+                            f"in the current report (renamed?)")
+            continue
+        for key, value in matched.items():
+            if value > ceiling:
+                failures.append(f"{key}: {value:.4f}s exceeds absolute "
+                                f"bound {ceiling:g}s")
+    return failures
+
+
+def parse_bounds(specs: list[str]) -> dict[str, float]:
+    """``LEAF=SECONDS`` strings -> bound map, raising on malformed specs."""
+    bounds: dict[str, float] = {}
+    for spec in specs:
+        leaf, sep, raw = spec.partition("=")
+        try:
+            if not sep or not leaf:
+                raise ValueError
+            bounds[leaf] = float(raw)
+        except ValueError:
+            raise ReportError(
+                f"--require-max expects LEAF=SECONDS, got {spec!r}") from None
+    return bounds
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path)
@@ -111,9 +153,14 @@ def main() -> int:
     parser.add_argument("--min-delta-s", type=float, default=0.05,
                         help="skip slowdowns smaller than this in absolute "
                              "terms (default 0.05 s)")
+    parser.add_argument("--require-max", action="append", default=[],
+                        metavar="LEAF=SECONDS",
+                        help="absolute ceiling for every current leaf with "
+                             "this name (repeatable)")
     args = parser.parse_args()
 
     try:
+        bounds = parse_bounds(args.require_max)
         baseline = load_report(args.baseline, "baseline")
         current = load_report(args.current, "current")
     except ReportError as exc:
@@ -122,6 +169,7 @@ def main() -> int:
     regressions = compare(baseline, current, max_ratio=args.max_ratio,
                           min_baseline_s=args.min_baseline_s,
                           min_delta_s=args.min_delta_s)
+    regressions += check_bounds(current, bounds)
     for line in regressions:
         print(f"REGRESSION {line}", file=sys.stderr)
     return 1 if regressions else 0

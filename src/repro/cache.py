@@ -12,6 +12,15 @@ Entries are content-addressed: the key is a SHA-256 hash of the catalog
 (types, quotas, prices) and the capacity vector, so any change to either
 simply misses and re-sweeps — stale artefacts can never be returned.
 
+Besides the raw evaluation arrays the cache also persists *index
+snapshots* — the full precomputed state of a
+:class:`~repro.core.selection.FrontierIndex` (frontier rows, capacity
+order, sorted ratios, ratio blocks), keyed by the same content hash plus
+the feasibility block size.  Snapshots turn the index's three S-length
+sorts into a one-time build cost: every later process memory-maps six
+``.npy`` files and is query-ready in milliseconds, with N processes
+sharing one copy through the page cache.
+
 The cache directory resolves, in order: an explicit ``cache_dir``
 argument, the ``CELIA_CACHE_DIR`` environment variable, then
 ``~/.cache/celia``.
@@ -38,6 +47,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CacheEntry",
     "EvaluationCache",
+    "IndexSnapshotEntry",
     "SweepCheckpoint",
     "default_cache_dir",
     "evaluation_cache_key",
@@ -90,6 +100,23 @@ class CacheEntry:
     space_size: int
     type_names: tuple[str, ...]
     bytes_on_disk: int
+
+
+@dataclass(frozen=True, slots=True)
+class IndexSnapshotEntry:
+    """One persisted frontier-index snapshot on disk."""
+
+    key: str
+    block_size: int
+    space_size: int
+    frontier_size: int
+    bytes_on_disk: int
+
+
+#: Arrays of one index snapshot, in write order (the metadata file lands
+#: last and marks the snapshot valid).
+_INDEX_ARRAYS = ("frontier_rows", "capacity_order", "capacity_sorted",
+                 "ratio_by_capacity", "ratio_sorted", "ratio_blocks")
 
 
 _SPAN_FILE_RE = re.compile(r"^span-(\d{12})-(\d{12})\.npy$")
@@ -162,6 +189,9 @@ class SweepCheckpoint:
     def _span_path(self, start: int, stop: int) -> Path:
         return self.directory / f"span-{start:012d}-{stop:012d}.npy"
 
+    def _cand_path(self, start: int, stop: int) -> Path:
+        return self.directory / f"cand-{start:012d}-{stop:012d}.npy"
+
     def _span_is_aligned(self, start: int, stop: int) -> bool:
         if not (1 <= start < stop <= self.space_size + 1):
             return False
@@ -171,8 +201,17 @@ class SweepCheckpoint:
             (stop - 1) % self.chunk_size == 0
 
     def write_span(self, start: int, stop: int, capacity: np.ndarray,
-                   unit_cost: np.ndarray) -> None:
-        """Atomically persist one completed span's two output slices."""
+                   unit_cost: np.ndarray,
+                   candidates: np.ndarray | None = None) -> None:
+        """Atomically persist one completed span's two output slices.
+
+        ``candidates`` — the span's fused frontier-candidate rows
+        (global 0-based) — lands in a sibling ``cand-*.npy`` shard
+        *before* the span shard: the span shard's presence marks
+        completion, so a crash between the two writes leaves an
+        orphaned candidate file that is never read (and is overwritten
+        when the span eventually completes).
+        """
         if not self._span_is_aligned(start, stop):
             raise ValueError(
                 f"span [{start}, {stop}) is off the chunk grid "
@@ -183,11 +222,41 @@ class SweepCheckpoint:
         ])
         if shard.shape != (2, stop - start):
             raise ValueError("span slices do not match the span length")
+        if candidates is not None:
+            cand_target = self._cand_path(start, stop)
+            tmp = cand_target.with_suffix(f".tmp{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(candidates,
+                                                 dtype=np.int64))
+            os.replace(tmp, cand_target)
         target = self._span_path(start, stop)
         tmp = target.with_suffix(f".tmp{os.getpid()}")
         with open(tmp, "wb") as fh:
             np.save(fh, np.ascontiguousarray(shard))
         os.replace(tmp, target)
+
+    def load_candidates(self, start: int, stop: int) -> np.ndarray | None:
+        """The span's checkpointed candidate rows, or ``None``.
+
+        Any inconsistency — missing file, wrong dtype/shape, rows
+        outside the span, non-ascending order — deletes the file and
+        returns ``None``; the caller recomputes from the restored
+        values (progress lost, correctness never)."""
+        path = self._cand_path(start, stop)
+        try:
+            rows = np.load(path)
+            if rows.ndim != 1 or rows.dtype != np.int64:
+                raise ValueError("malformed candidate shard")
+            if rows.size and (
+                    rows[0] < start - 1 or rows[-1] > stop - 2
+                    or np.any(np.diff(rows) <= 0)):
+                raise ValueError("candidate rows outside span or unsorted")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            return None
+        return rows
 
     def completed_spans(self) -> list[tuple[int, int]]:
         """Chunk-aligned spans with shards on disk (sorted by start)."""
@@ -225,6 +294,7 @@ class SweepCheckpoint:
                     raise ValueError("malformed shard")
             except (OSError, ValueError):
                 path.unlink(missing_ok=True)
+                self._cand_path(start, stop).unlink(missing_ok=True)
                 continue
             capacity[start - 1:stop - 1] = shard[0]
             unit_cost[start - 1:stop - 1] = shard[1]
@@ -386,6 +456,188 @@ class EvaluationCache:
             os.replace(tmp, meta_path)
             return key
 
+    # -- index snapshots -------------------------------------------------------
+
+    def _index_base(self, key: str, block_size: int) -> str:
+        return f"{key}.index-b{block_size}"
+
+    def _index_meta_path(self, key: str, block_size: int) -> Path:
+        return self.cache_dir / f"{self._index_base(key, block_size)}.meta.json"
+
+    def _index_array_path(self, key: str, block_size: int,
+                          which: str) -> Path:
+        return self.cache_dir / f"{self._index_base(key, block_size)}.{which}.npy"
+
+    def _index_is_valid(self, key: str, block_size: int,
+                        space_size: int) -> bool:
+        """Whether a complete, consistent snapshot for ``key`` is on disk."""
+        try:
+            self._load_index_arrays(key, block_size, space_size)
+        except (OSError, ValueError, KeyError):
+            return False
+        return True
+
+    def _load_index_arrays(self, key: str, block_size: int,
+                           space_size: int) -> dict[str, np.ndarray]:
+        """Memory-map and validate one snapshot's arrays (raises on any
+        inconsistency — shapes, dtypes, stale metadata, rows out of
+        range; the public entry points translate that into a miss)."""
+        meta = json.loads(self._index_meta_path(key, block_size)
+                          .read_text(encoding="utf-8"))
+        if meta.get("version") != _FORMAT_VERSION or \
+                meta.get("space_size") != space_size or \
+                meta.get("block_size") != block_size:
+            raise ValueError("stale index snapshot")
+        frontier_size = int(meta["frontier_size"])
+        arrays = {
+            which: np.load(self._index_array_path(key, block_size, which),
+                           mmap_mode="r")
+            for which in _INDEX_ARRAYS
+        }
+        n_blocks = -(-space_size // block_size)
+        expected = {
+            "frontier_rows": ((frontier_size,), np.int64),
+            "capacity_order": ((space_size,), np.int64),
+            "capacity_sorted": ((space_size,), np.float64),
+            "ratio_by_capacity": ((space_size,), np.float64),
+            "ratio_sorted": ((space_size,), np.float64),
+            "ratio_blocks": ((n_blocks, block_size), np.float64),
+        }
+        for which, (shape, dtype) in expected.items():
+            if arrays[which].shape != shape or \
+                    arrays[which].dtype != dtype:
+                raise ValueError(f"malformed snapshot array {which!r}")
+        rows = arrays["frontier_rows"]
+        if rows.size and (
+                rows[0] < 0 or rows[-1] >= space_size
+                or np.any(np.diff(rows) <= 0)):
+            raise ValueError("frontier rows out of range or unsorted")
+        return arrays
+
+    def load_index(self, evaluation: SpaceEvaluation,
+                   capacities_gips: np.ndarray, *,
+                   block_size: int | None = None):
+        """The persisted :class:`~repro.core.selection.FrontierIndex`
+        for this evaluation, or ``None``.
+
+        A hit memory-maps all six snapshot arrays (``mmap_mode="r"``) and
+        rehydrates the index without any pass over the space — the
+        millisecond warm-start path.  The evaluation's ``capacity_order``
+        cache is primed from the snapshot too, so downstream index
+        builds (e.g. ``MinCostIndex``) skip their O(S log S) argsort.
+        Any inconsistency is a miss and the caller rebuilds; never
+        raises.
+        """
+        from repro.core.selection import DEFAULT_FEASIBILITY_BLOCK, FrontierIndex
+
+        if block_size is None:
+            block_size = DEFAULT_FEASIBILITY_BLOCK
+        with get_tracer().span("snapshot.load",
+                               {"block_size": block_size}) as span:
+            key = evaluation_cache_key(evaluation.space.catalog,
+                                       capacities_gips)
+            try:
+                arrays = self._load_index_arrays(key, block_size,
+                                                 evaluation.space.size)
+            except (OSError, ValueError, KeyError):
+                global_registry().counter(
+                    "index_snapshot_misses_total").increment()
+                span.set_attribute("hit", False)
+                return None
+            global_registry().counter(
+                "index_snapshot_hits_total").increment()
+            span.set_attribute("hit", True)
+            span.set_attribute("frontier",
+                               int(arrays["frontier_rows"].size))
+            if "_capacity_order" not in evaluation.__dict__:
+                object.__setattr__(evaluation, "_capacity_order",
+                                   arrays["capacity_order"])
+            return FrontierIndex.from_arrays(
+                evaluation,
+                frontier_rows=arrays["frontier_rows"],
+                capacity_sorted=arrays["capacity_sorted"],
+                ratio_by_capacity=arrays["ratio_by_capacity"],
+                ratio_sorted=arrays["ratio_sorted"],
+                ratio_blocks=arrays["ratio_blocks"],
+                block_size=block_size,
+            )
+
+    def store_index(self, index, capacities_gips: np.ndarray) -> str:
+        """Persist one frontier index; returns its content-hash key.
+
+        Forces the feasibility structure (its sorts must exist to be
+        saved — that cost is paid once here, never again by loaders).
+        Uses the same crash-safe discipline as :meth:`store`: arrays are
+        renamed into place first, the metadata file that marks the
+        snapshot valid lands last, temporaries are PID-suffixed, and a
+        writer that finds a valid snapshot already present skips the
+        rewrite.
+        """
+        with get_tracer().span("snapshot.store",
+                               {"block_size": index.block_size}):
+            evaluation = index.evaluation
+            key = evaluation_cache_key(evaluation.space.catalog,
+                                       capacities_gips)
+            block_size = index.block_size
+            if self._index_is_valid(key, block_size,
+                                    evaluation.space.size):
+                return key
+            index.ensure_feasibility()
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            arrays = {
+                "frontier_rows": index.frontier_rows,
+                "capacity_order": evaluation.capacity_order(),
+                "capacity_sorted": index._capacity_sorted,
+                "ratio_by_capacity": index._ratio_by_capacity,
+                "ratio_sorted": index._ratio_sorted,
+                "ratio_blocks": index._ratio_blocks,
+            }
+            for which in _INDEX_ARRAYS:
+                target = self._index_array_path(key, block_size, which)
+                tmp = target.with_suffix(f".tmp{os.getpid()}")
+                with open(tmp, "wb") as fh:
+                    np.save(fh, np.ascontiguousarray(arrays[which]))
+                os.replace(tmp, target)
+            meta = {
+                "version": _FORMAT_VERSION,
+                "key": key,
+                "space_size": evaluation.space.size,
+                "block_size": block_size,
+                "frontier_size": int(index.frontier_rows.size),
+                "type_names": evaluation.space.catalog.names,
+            }
+            meta_path = self._index_meta_path(key, block_size)
+            tmp = meta_path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+            os.replace(tmp, meta_path)
+            return key
+
+    def index_snapshots(self) -> list[IndexSnapshotEntry]:
+        """All readable index snapshots currently on disk."""
+        found: list[IndexSnapshotEntry] = []
+        if not self.cache_dir.is_dir():
+            return found
+        for meta_path in sorted(self.cache_dir.glob("*.index-b*.meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                key = meta["key"]
+                block_size = int(meta["block_size"])
+                size = sum(
+                    self._index_array_path(key, block_size, which)
+                    .stat().st_size
+                    for which in _INDEX_ARRAYS
+                ) + meta_path.stat().st_size
+                found.append(IndexSnapshotEntry(
+                    key=key,
+                    block_size=block_size,
+                    space_size=int(meta["space_size"]),
+                    frontier_size=int(meta["frontier_size"]),
+                    bytes_on_disk=size,
+                ))
+            except (OSError, ValueError, KeyError):
+                continue
+        return found
+
     # -- sweep checkpoints -----------------------------------------------------
 
     def sweep_checkpoint(self, space: ConfigurationSpace,
@@ -425,6 +677,8 @@ class EvaluationCache:
         if not self.cache_dir.is_dir():
             return found
         for meta_path in sorted(self.cache_dir.glob("*.meta.json")):
+            if ".index-b" in meta_path.name:  # index snapshots, not entries
+                continue
             try:
                 meta = json.loads(meta_path.read_text(encoding="utf-8"))
                 key = meta["key"]
@@ -447,7 +701,10 @@ class EvaluationCache:
         return sum(e.bytes_on_disk for e in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry (and sweep checkpoint); returns entries removed."""
+        """Delete every entry, index snapshot and sweep checkpoint.
+
+        Returns the number of evaluation entries removed (snapshots and
+        checkpoints are removed alongside, uncounted)."""
         removed = 0
         for entry in self.entries():
             for path in (self._meta_path(entry.key),
@@ -459,6 +716,11 @@ class EvaluationCache:
                     pass
             removed += 1
         if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.index-b*"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             for path in self.cache_dir.glob("*.sweep"):
                 shutil.rmtree(path, ignore_errors=True)
         return removed

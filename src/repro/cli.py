@@ -207,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable sweep statistics")
 
+    p = sub.add_parser("snapshot",
+                       help="build or inspect mmap'd frontier-index "
+                            "snapshots")
+    ssub = p.add_subparsers(dest="snapshot_command", required=True)
+    s = ssub.add_parser("build",
+                        help="prewarm: evaluate the space (or load it "
+                             "from cache) and persist its frontier index "
+                             "for millisecond warm starts")
+    s.add_argument("app", choices=APP_CHOICES)
+    s.add_argument("--block-size", type=int, default=None,
+                   help="feasibility-structure rows per block "
+                        "(default 4096; advanced)")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable result")
+    s = ssub.add_parser("info",
+                        help="list index snapshots on disk")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable listing")
+
     p = sub.add_parser("cache",
                        help="inspect or clear the evaluation cache")
     p.add_argument("action", choices=("info", "clear"))
@@ -507,6 +526,72 @@ def _cmd_sweep(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_snapshot(celia: Celia, args) -> int:
+    import time
+
+    cache = celia.evaluation_cache
+    if cache is None:  # snapshots live in the cache directory
+        print("snapshots live in the persistent cache; drop --no-cache",
+              file=sys.stderr)
+        return 2
+    if args.snapshot_command == "info":
+        snapshots = cache.index_snapshots()
+        if args.json:
+            print(json.dumps([{
+                "key": s.key, "block_size": s.block_size,
+                "space_size": s.space_size, "frontier_size": s.frontier_size,
+                "bytes": s.bytes_on_disk} for s in snapshots], indent=2))
+            return 0
+        print(f"cache directory: {cache.cache_dir}")
+        if not snapshots:
+            print("no index snapshots (build one with `celia snapshot "
+                  "build <app>`)")
+            return 0
+        table = TextTable(["Key", "Block", "Space size", "Frontier",
+                           "Bytes"], aligns="lrrrr")
+        for s in snapshots:
+            table.add_row([s.key[:12], str(s.block_size),
+                           f"{s.space_size:,}", f"{s.frontier_size:,}",
+                           f"{s.bytes_on_disk:,}"])
+        print(table.render())
+        return 0
+
+    from repro.cache import evaluation_cache_key
+    from repro.core.selection import DEFAULT_FEASIBILITY_BLOCK, FrontierIndex
+
+    app = application_by_name(args.app, seed=celia.seed)
+    capacities = celia.capacities(app)
+    block_size = args.block_size or DEFAULT_FEASIBILITY_BLOCK
+    t0 = time.perf_counter()
+    evaluation = celia.evaluation(app)
+    evaluate_s = time.perf_counter() - t0
+    key = evaluation_cache_key(celia.catalog, capacities)
+    t0 = time.perf_counter()
+    index = cache.load_index(evaluation, capacities, block_size=block_size)
+    loaded = index is not None
+    if not loaded:
+        index = FrontierIndex(evaluation, block_size=block_size,
+                              candidates=evaluation.frontier_candidates())
+        cache.store_index(index, capacities)
+    snapshot_s = time.perf_counter() - t0
+    if args.json:
+        print(json.dumps({
+            "app": args.app, "key": key, "block_size": block_size,
+            "space_size": evaluation.space.size,
+            "frontier_size": int(index.frontier_rows.size),
+            "loaded": loaded, "evaluate_s": evaluate_s,
+            "snapshot_s": snapshot_s}, indent=2))
+        return 0
+    verb = "loaded existing snapshot" if loaded else "built and persisted"
+    print(f"{verb} for {args.app} (key {key[:12]}, block {block_size}) "
+          f"in {snapshot_s:.3f}s")
+    print(f"  space   : {evaluation.space.size:,} configurations "
+          f"(evaluated/loaded in {evaluate_s:.3f}s)")
+    print(f"  frontier: {index.frontier_rows.size:,} configurations")
+    print(f"  cache   : {cache.cache_dir}")
+    return 0
+
+
 def _cmd_cache(celia: Celia, args) -> int:
     cache = celia.evaluation_cache
     if cache is None:  # --no-cache with the cache command is a user error
@@ -514,12 +599,14 @@ def _cmd_cache(celia: Celia, args) -> int:
         return 2
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached evaluation(s) from {cache.cache_dir}")
+        print(f"removed {removed} cached evaluation(s) and any index "
+              f"snapshots from {cache.cache_dir}")
         return 0
     entries = cache.entries()
     checkpoints = cache.sweep_checkpoints()
+    snapshots = cache.index_snapshots()
     print(f"cache directory: {cache.cache_dir}")
-    if not entries and not checkpoints:
+    if not entries and not checkpoints and not snapshots:
         print("no cached evaluations")
         return 0
     if entries:
@@ -531,6 +618,12 @@ def _cmd_cache(celia: Celia, args) -> int:
                            f"{entry.bytes_on_disk:,}"])
         print(table.render())
     print(f"total: {len(entries)} entries, {cache.total_bytes():,} bytes")
+    if snapshots:
+        print("index snapshots (mmap'd warm starts):")
+        for s in snapshots:
+            print(f"  {s.key[:12]}: block {s.block_size}, "
+                  f"{s.frontier_size:,} frontier row(s), "
+                  f"{s.bytes_on_disk:,} bytes")
     if checkpoints:
         print("interrupted sweeps (resume with `celia sweep --resume`):")
         for key, n_shards, size in checkpoints:
@@ -618,6 +711,7 @@ _COMMANDS = {
     "execute": _cmd_execute,
     "spot": _cmd_spot,
     "sweep": _cmd_sweep,
+    "snapshot": _cmd_snapshot,
     "cache": _cmd_cache,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

@@ -108,6 +108,11 @@ class Celia:
         self._evaluation_cache: dict[str, SpaceEvaluation] = {}
         self._min_cost_cache: dict[str, MinCostIndex] = {}
         self._min_time_cache: dict[str, MinTimeIndex] = {}
+        #: What the most recent :meth:`selection_index` call did —
+        #: whether the index came from a persisted snapshot, and how
+        #: long the snapshot load took (0.0 when it was a rebuild).
+        self.last_index_from_snapshot = False
+        self.last_index_load_s = 0.0
 
     # -- characterization (cached) ---------------------------------------------
 
@@ -199,8 +204,36 @@ class Celia:
 
         After this, every :meth:`select` call without memory constraints
         runs on the O(|frontier|) fast path.
+
+        With persistence enabled this is snapshot-backed: a valid index
+        snapshot on disk is memory-mapped in milliseconds (no pass over
+        the space, no sorts); otherwise the index is built — merging the
+        sweep's fused candidates when the evaluation carries them — and
+        persisted so every later process warm-starts.
+        ``last_index_from_snapshot`` / ``last_index_load_s`` report what
+        the most recent call did (for service metrics).
         """
-        return self.evaluation(app).frontier_index()
+        import time
+
+        evaluation = self.evaluation(app)
+        if evaluation.has_frontier_index():
+            return evaluation.frontier_index()
+        self.last_index_from_snapshot = False
+        self.last_index_load_s = 0.0
+        index = None
+        if self.evaluation_cache is not None:
+            capacities = self.capacities(app)
+            t0 = time.perf_counter()
+            index = self.evaluation_cache.load_index(evaluation, capacities)
+            if index is not None:
+                self.last_index_from_snapshot = True
+                self.last_index_load_s = time.perf_counter() - t0
+                object.__setattr__(evaluation, "_frontier_index", index)
+        if index is None:
+            index = evaluation.frontier_index()
+            if self.evaluation_cache is not None:
+                self.evaluation_cache.store_index(index, capacities)
+        return index
 
     def min_cost_index(self, app: ElasticApplication) -> MinCostIndex:
         """Deadline-query index over the space for ``app`` (cached)."""

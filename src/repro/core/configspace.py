@@ -19,8 +19,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.catalog import Catalog
-from repro.core.capacity import configuration_capacity
-from repro.core.costmodel import configuration_unit_cost
 from repro.errors import ConfigurationError
 
 __all__ = ["ConfigurationSpace", "SpaceEvaluation"]
@@ -56,6 +54,16 @@ class ConfigurationSpace:
             raise ConfigurationError(
                 f"indices must be in [1, {self.size}]"
             )
+        return self._decode_unchecked(idx)
+
+    def _decode_unchecked(self, idx: np.ndarray) -> np.ndarray:
+        """Decode without the two validity scans.
+
+        For callers whose indices are valid by construction (the chunk
+        iterators and the sweep kernel): the two ``np.any`` range checks
+        in :meth:`decode` are full passes over the chunk and were paid
+        on every chunk of every sweep.
+        """
         return ((idx[:, None] // self.strides[None, :])
                 % self.radices[None, :]).astype(np.int16)
 
@@ -85,10 +93,18 @@ class ConfigurationSpace:
         if chunk_size < 1:
             raise ConfigurationError("chunk size must be >= 1")
         total = self.size
+        # One reusable index buffer: chunk indices are valid by
+        # construction, so each chunk is an in-place add on the arange
+        # template plus one unchecked decode (the yielded matrix is
+        # freshly allocated; only the index buffer is reused).
+        buf = np.arange(1, min(chunk_size, total) + 1, dtype=np.int64)
         start = 1
         while start <= total:
             stop = min(start + chunk_size, total + 1)
-            yield start, self.decode(np.arange(start, stop, dtype=np.int64))
+            idx = buf[:stop - start]
+            if start > 1:
+                np.add(idx, chunk_size, out=idx)
+            yield start, self._decode_unchecked(idx)
             start = stop
 
     def mask_using_types(self, type_indices: Sequence[int] | np.ndarray,
@@ -115,11 +131,14 @@ class ConfigurationSpace:
     def evaluate(self, capacities_gips: np.ndarray,
                  *, chunk_size: int = DEFAULT_CHUNK,
                  workers: int | str | None = None,
-                 checkpoint=None) -> "SpaceEvaluation":
+                 checkpoint=None,
+                 collect_candidates: bool = True) -> "SpaceEvaluation":
         """Reduce the whole space to capacity and unit-cost vectors.
 
-        Decodes chunk by chunk so peak memory is one chunk's matrix plus
-        the two S-length float64 outputs (~160 MB for the paper's space).
+        Decodes chunk by chunk so peak memory is one chunk's work
+        buffers plus the two S-length float64 outputs; all chunk buffers
+        are preallocated once per sweep (see
+        :class:`repro.core.sweepkernel.ChunkKernel`).
 
         ``workers`` selects the execution strategy: ``None`` (or 1) runs
         the serial loop, an integer fans the sweep out over that many
@@ -134,6 +153,14 @@ class ConfigurationSpace:
         whatever a previous interrupted sweep left behind.  A checkpoint
         holding shards forces the supervised path even for ``workers=1``,
         so a resumed sweep never re-evaluates completed spans.
+
+        ``collect_candidates`` (default on) fuses frontier discovery
+        into the sweep: each chunk's local Pareto candidates over
+        ``(−capacity, cost_ratio)`` are harvested as it is evaluated and
+        attached to the returned evaluation, so a later
+        :meth:`SpaceEvaluation.frontier_index` build is a merge over a
+        few hundred rows instead of a second full pass over the space.
+        The candidate harvest never changes the evaluation arrays.
         """
         from repro.obs.trace import get_tracer
 
@@ -149,27 +176,46 @@ class ConfigurationSpace:
             capacity, unit_cost, stats = evaluate_resilient(
                 self, capacities_gips, workers=max(n_workers, 1),
                 chunk_size=chunk_size, checkpoint=checkpoint,
+                collect_candidates=collect_candidates,
             )
             evaluation = SpaceEvaluation(space=self, capacity_gips=capacity,
                                          unit_cost_per_hour=unit_cost)
             object.__setattr__(evaluation, "_sweep_stats", stats)
+            if stats.frontier_candidates is not None:
+                object.__setattr__(evaluation, "_frontier_candidates",
+                                   stats.frontier_candidates)
             return evaluation
-        with get_tracer().span("sweep.serial",
+        from repro.core.capacity import capacity_per_type
+        from repro.core.sweepkernel import ChunkKernel
+
+        span_name = "sweep.fused" if collect_candidates else "sweep.serial"
+        with get_tracer().span(span_name,
                                {"size": self.size,
-                                "chunk_size": chunk_size}):
-            prices = self.catalog.prices
+                                "chunk_size": chunk_size}) as span:
+            w = capacity_per_type(capacities_gips)
             total = self.size
             capacity = np.empty(total, dtype=np.float64)
             unit_cost = np.empty(total, dtype=np.float64)
-            for start, matrix in self.iter_chunks(chunk_size):
-                stop = start + matrix.shape[0]
-                capacity[start - 1:stop - 1] = configuration_capacity(
-                    matrix, capacities_gips
-                )
-                unit_cost[start - 1:stop - 1] = \
-                    configuration_unit_cost(matrix, prices)
-            return SpaceEvaluation(space=self, capacity_gips=capacity,
-                                   unit_cost_per_hour=unit_cost)
+            kernel = ChunkKernel(self.strides, self.radices, w,
+                                 self.catalog.prices,
+                                 max_chunk=min(chunk_size, total))
+            candidates: list[np.ndarray] = []
+            for start in range(1, total + 1, chunk_size):
+                stop = min(start + chunk_size, total + 1)
+                cap_slice = capacity[start - 1:stop - 1]
+                cost_slice = unit_cost[start - 1:stop - 1]
+                kernel.evaluate_into(start, stop, cap_slice, cost_slice)
+                if collect_candidates:
+                    candidates.append(kernel.frontier_candidates(
+                        start, cap_slice, cost_slice))
+            evaluation = SpaceEvaluation(space=self, capacity_gips=capacity,
+                                         unit_cost_per_hour=unit_cost)
+            if collect_candidates:
+                rows = (np.concatenate(candidates) if candidates
+                        else np.empty(0, dtype=np.int64))
+                span.set_attribute("candidates", int(rows.size))
+                object.__setattr__(evaluation, "_frontier_candidates", rows)
+            return evaluation
 
 
 @dataclass(frozen=True)
@@ -218,6 +264,16 @@ class SpaceEvaluation:
         that produced this evaluation, or ``None`` (serial or cached)."""
         return self.__dict__.get("_sweep_stats")
 
+    def frontier_candidates(self) -> "np.ndarray | None":
+        """Fused-sweep frontier candidate rows, or ``None`` (cached load).
+
+        Ascending global 0-based rows: the union of every chunk's local
+        Pareto set over ``(−capacity, cost_ratio)``, harvested while the
+        sweep streamed (see :mod:`repro.core.sweepkernel`).  A superset
+        of the demand-invariant frontier, so ``frontier_index`` can
+        merge these few hundred rows instead of rescanning the space."""
+        return self.__dict__.get("_frontier_candidates")
+
     def capacity_order(self) -> np.ndarray:
         """Stable argsort of ``capacity_gips`` (cached)."""
         cached = self.__dict__.get("_capacity_order")
@@ -253,7 +309,8 @@ class SpaceEvaluation:
         if cached is None:
             from repro.core.selection import FrontierIndex
 
-            cached = FrontierIndex(self, chunk_size=chunk_size)
+            cached = FrontierIndex(self, chunk_size=chunk_size,
+                                   candidates=self.frontier_candidates())
             object.__setattr__(self, "_frontier_index", cached)
         return cached
 

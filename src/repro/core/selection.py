@@ -173,53 +173,130 @@ def _materialize(
 class FrontierIndex:
     """Demand-invariant Algorithm-1 accelerator over one evaluation.
 
-    Precomputes two artefacts in one O(S) pass + two sorts:
+    Holds two artefacts:
 
     * ``frontier_rows`` — the nondominated rows over ``(−U, C_u/U)``,
       which *is* the Pareto frontier for every demand (see module
       docstring).  A query keeps the rows meeting ``T < T'`` and
       ``C < C'``; the restriction is exact because any dominator of a
       feasible point is itself feasible (both objectives only improve).
+      When the evaluation came from a fused sweep its harvested
+      candidates are merged directly (a few hundred rows); otherwise one
+      witness-filtered pass over the value arrays recovers them.
     * a capacity-sorted order whose ratio values are additionally sorted
       inside fixed-size blocks — ``feasible_count`` then needs one binary
       search for the capacity cutoff, one for the ratio cutoff, and one
-      ``searchsorted`` per block instead of an O(S) chunk loop.
+      ``searchsorted`` per block instead of an O(S) chunk loop.  Built
+      lazily on first use (three S-length sorts), or rehydrated from a
+      persisted snapshot via :meth:`from_arrays` without any sort.
     """
 
     def __init__(self, evaluation: SpaceEvaluation,
                  *, chunk_size: int = DEFAULT_CHUNK,
-                 block_size: int = DEFAULT_FEASIBILITY_BLOCK):
+                 block_size: int = DEFAULT_FEASIBILITY_BLOCK,
+                 candidates: np.ndarray | None = None):
         if block_size < 1:
             raise ValidationError("block size must be >= 1")
         self.evaluation = evaluation
+        self._block_size = block_size
+        capacity = evaluation.capacity_gips
+        unit_cost = evaluation.unit_cost_per_hour
+
+        # Demand-invariant frontier: chunked local Pareto + exact merge,
+        # the same idiom the streamed path uses per query.  A fused sweep
+        # hands its harvested candidates in; otherwise one witness-
+        # filtered pass over the value arrays recovers them.  Either way
+        # the final merge yields the identical frontier (the Pareto set
+        # of any candidate superset of the frontier is the frontier).
+        from repro.obs.trace import get_tracer
+
+        fused = candidates is not None
+        with get_tracer().span("frontier.build",
+                               {"fused": fused}) as span:
+            if candidates is None:
+                from repro.core.sweepkernel import \
+                    frontier_candidates_from_values
+
+                candidates = frontier_candidates_from_values(
+                    capacity, unit_cost, chunk_size=chunk_size)
+            rows = np.asarray(candidates, dtype=np.int64)
+            cand_capacity = capacity[rows]
+            cand_ratio = unit_cost[rows] / cand_capacity
+            final = pareto_mask_2d(-cand_capacity, cand_ratio)
+            self.frontier_rows = rows[final]  # ascending row order
+            self._frontier_capacity = cand_capacity[final]
+            self._frontier_ratio = cand_ratio[final]
+            span.set_attribute("candidates", int(rows.size))
+            span.set_attribute("frontier", int(self.frontier_rows.size))
+
+        # The feasibility-count structure (three S-length sorts) is built
+        # lazily on the first ``feasible_count`` — frontier-only
+        # consumers and snapshot stores that load it from disk never pay
+        # the sorts.
+        self._capacity_sorted: np.ndarray | None = None
+        self._ratio_by_capacity: np.ndarray | None = None
+        self._ratio_sorted: np.ndarray | None = None
+        self._ratio_blocks: np.ndarray | None = None
+
+    @classmethod
+    def from_arrays(cls, evaluation: SpaceEvaluation, *,
+                    frontier_rows: np.ndarray,
+                    capacity_sorted: np.ndarray,
+                    ratio_by_capacity: np.ndarray,
+                    ratio_sorted: np.ndarray,
+                    ratio_blocks: np.ndarray,
+                    block_size: int) -> "FrontierIndex":
+        """Rehydrate an index from persisted (typically mmap'd) arrays.
+
+        No pass over the space and no sorts: the frontier's capacity and
+        ratio vectors are tiny gathers from the evaluation arrays, and
+        the feasibility structure arrives prebuilt — this is the
+        millisecond warm-start path behind
+        :meth:`repro.cache.EvaluationCache.load_index`.  Callers are
+        responsible for validating shapes/keys (the cache does).
+        """
+        index = cls.__new__(cls)
+        index.evaluation = evaluation
+        index._block_size = int(block_size)
+        index.frontier_rows = np.asarray(frontier_rows, dtype=np.int64)
+        capacity = evaluation.capacity_gips
+        index._frontier_capacity = capacity[index.frontier_rows]
+        index._frontier_ratio = \
+            evaluation.unit_cost_per_hour[index.frontier_rows] \
+            / index._frontier_capacity
+        index._capacity_sorted = capacity_sorted
+        index._ratio_by_capacity = ratio_by_capacity
+        index._ratio_sorted = ratio_sorted
+        index._ratio_blocks = ratio_blocks
+        return index
+
+    def ensure_feasibility(self) -> None:
+        """Build the feasibility-count structure if not yet present.
+
+        Idempotent; called automatically by :meth:`feasible_count` and
+        eagerly by snapshot stores (the sorts must exist to persist).
+        """
+        if self._capacity_sorted is not None:
+            return
+        evaluation = self.evaluation
         capacity = evaluation.capacity_gips
         ratio = evaluation.cost_ratio()
         total = capacity.size
-
-        # Demand-invariant frontier: chunked local Pareto + exact merge,
-        # the same idiom the streamed path uses per query.
-        candidates: list[np.ndarray] = []
-        for start in range(0, total, chunk_size):
-            stop = min(start + chunk_size, total)
-            local = pareto_mask_2d(-capacity[start:stop], ratio[start:stop])
-            candidates.append(np.flatnonzero(local) + start)
-        rows = np.concatenate(candidates)
-        final = pareto_mask_2d(-capacity[rows], ratio[rows])
-        self.frontier_rows = rows[final]  # ascending evaluation-row order
-        self._frontier_capacity = capacity[self.frontier_rows]
-        self._frontier_ratio = ratio[self.frontier_rows]
-
-        # Feasibility-count structure.
         order = evaluation.capacity_order()
         self._capacity_sorted = capacity[order]
         self._ratio_by_capacity = ratio[order]
         self._ratio_sorted = np.sort(ratio, kind="stable")
-        self._block_size = block_size
+        block_size = self._block_size
         n_blocks = -(-total // block_size)
         padded = np.full(n_blocks * block_size, np.inf)
         padded[:total] = self._ratio_by_capacity
         self._ratio_blocks = padded.reshape(n_blocks, block_size)
         self._ratio_blocks.sort(axis=1)
+
+    @property
+    def block_size(self) -> int:
+        """Rows per block of the feasibility-count structure."""
+        return self._block_size
 
     @property
     def frontier_size(self) -> int:
@@ -272,6 +349,7 @@ class FrontierIndex:
         one partial-block scan plus one ``searchsorted`` per full block.
         """
         _validate_query(demand_gi, deadline_hours, budget_dollars)
+        self.ensure_feasibility()
         p = self._capacity_cutoff(demand_gi, deadline_hours)
         total = self._capacity_sorted.size
         if p >= total:

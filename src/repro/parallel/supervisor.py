@@ -130,6 +130,11 @@ class SweepStats:
     workers_lost: int = 0
     retries: int = 0
     wall_s: float = 0.0
+    #: Fused frontier-candidate rows harvested by the sweep (ascending,
+    #: global 0-based), or ``None`` when collection was off.  Carried on
+    #: the stats object so the ``evaluate_resilient`` return shape stays
+    #: a 3-tuple; deliberately excluded from :meth:`to_dict`.
+    frontier_candidates: "np.ndarray | None" = None
 
     def to_dict(self) -> dict:
         return {
@@ -174,7 +179,8 @@ class _Supervisor:
                  checkpoint: "SweepCheckpoint | None",
                  faults: FaultPlan | None, config: SupervisorConfig,
                  cap_view: np.ndarray, cost_view: np.ndarray,
-                 cap_name: str, cost_name: str):
+                 cap_name: str, cost_name: str,
+                 collect_candidates: bool = True):
         self.space = space
         self.w = w
         self.prices = prices
@@ -193,6 +199,10 @@ class _Supervisor:
         ctx = get_tracer().current_context()
         self.trace_ctx = None if ctx is None else ctx.to_tuple()
 
+        self.collect_candidates = collect_candidates
+        #: span start → that span's fused frontier-candidate rows
+        #: (resumed spans included); assembled after the run.
+        self.span_candidates: dict[int, np.ndarray] = {}
         self.stats = SweepStats()
         self.spans: dict[int, _Span] = {}
         self.pending: deque[int] = deque()
@@ -212,6 +222,23 @@ class _Supervisor:
             self.checkpoint.ensure()
             resumed = self.checkpoint.load_into(self.cap_view, self.cost_view)
         self.stats.spans_resumed = len(resumed)
+        if self.collect_candidates:
+            for start, stop in resumed:
+                rows = self.checkpoint.load_candidates(start, stop)
+                if rows is None:
+                    # Shard predates candidate files (or its candidate
+                    # file is corrupt): recompute from the restored
+                    # values — cheap relative to re-evaluating the span,
+                    # and identical because candidates are a pure
+                    # function of the (bit-identical) value slices.
+                    from repro.core.sweepkernel import \
+                        frontier_candidates_from_values
+
+                    rows = frontier_candidates_from_values(
+                        self.cap_view[start - 1:stop - 1],
+                        self.cost_view[start - 1:stop - 1],
+                        start - 1, chunk_size=self.chunk_size)
+                self.span_candidates[start] = rows
         if resumed:
             gaps = missing_ranges(resumed, total)
             spans = partition_ranges(
@@ -234,7 +261,8 @@ class _Supervisor:
             target=worker_main,
             args=(worker_id, child_conn, self.cap_name, self.cost_name,
                   self.space.size, self.chunk_size, self.space.strides,
-                  self.space.radices, self.w, self.prices, self.faults),
+                  self.space.radices, self.w, self.prices, self.faults,
+                  self.collect_candidates),
             daemon=True,
         )
         process.start()
@@ -323,7 +351,7 @@ class _Supervisor:
         elif kind == "profile":
             self._absorb_profile(message[2])
         elif kind == "done":
-            _, worker_id, span_id, records = message
+            _, worker_id, span_id, records, candidates = message
             tracer = get_tracer()
             for record in records:  # even a losing duplicate did real work
                 tracer.record_raw(record)
@@ -338,11 +366,14 @@ class _Supervisor:
             self.completed.add(span_id)
             self.stats.spans_evaluated += 1
             self.durations.append(now - span.leased_at)
+            if self.collect_candidates and candidates is not None:
+                self.span_candidates[span.start] = candidates
             if self.checkpoint is not None:
                 self.checkpoint.write_span(
                     span.start, span.stop,
                     self.cap_view[span.start - 1:span.stop - 1],
-                    self.cost_view[span.start - 1:span.stop - 1])
+                    self.cost_view[span.start - 1:span.stop - 1],
+                    candidates=candidates)
             stop_after = self.config.stop_after_spans
             if stop_after is not None and \
                     self.stats.spans_evaluated >= stop_after and \
@@ -469,12 +500,19 @@ def evaluate_resilient(space: "ConfigurationSpace",
                        checkpoint: "SweepCheckpoint | None" = None,
                        faults: FaultPlan | None = None,
                        config: SupervisorConfig | None = None,
+                       collect_candidates: bool = True,
                        ) -> tuple[np.ndarray, np.ndarray, SweepStats]:
     """Supervised sweep: survives worker loss, resumes from checkpoints.
 
     Returns ``(capacity_gips, unit_cost_per_hour, stats)`` — the arrays
     bit-identical to the serial sweep.  ``workers`` may be 1 (a single
     supervised worker still gets liveness checks and checkpointing).
+
+    With ``collect_candidates`` (the default) each worker also harvests
+    its spans' local Pareto candidate rows; the merged, ascending result
+    lands in ``stats.frontier_candidates`` (resumed spans contribute
+    their checkpointed candidates, recomputed from the restored values
+    when the shard predates candidate files).
     """
     if workers < 1:
         raise ConfigurationError("supervised evaluation needs >= 1 worker")
@@ -502,11 +540,20 @@ def evaluate_resilient(space: "ConfigurationSpace",
                 space, w, space.catalog.prices, workers=workers,
                 chunk_size=chunk_size, checkpoint=checkpoint, faults=faults,
                 config=config, cap_view=cap_view, cost_view=cost_view,
-                cap_name=cap_shm.name, cost_name=cost_shm.name)
+                cap_name=cap_shm.name, cost_name=cost_shm.name,
+                collect_candidates=collect_candidates)
             supervisor.run()
             stats = supervisor.stats
             capacity = cap_view.copy()
             unit_cost = cost_view.copy()
+            if collect_candidates:
+                # Spans are disjoint and each span's rows are ascending,
+                # so concatenating in span-start order is globally sorted.
+                parts = [supervisor.span_candidates[s]
+                         for s in sorted(supervisor.span_candidates)]
+                stats.frontier_candidates = (
+                    np.concatenate(parts) if parts
+                    else np.empty(0, dtype=np.int64))
         finally:
             # Every ndarray export must be dropped before the segments can
             # unmap — including the supervisor's references, which outlive

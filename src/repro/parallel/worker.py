@@ -10,18 +10,24 @@ write:
   and exit;
 * worker → supervisor: ``("lease", worker_id, span_id)`` on pickup,
   ``("chunk", worker_id, span_id, c_stop)`` after every chunk (the
-  heartbeat), ``("done", worker_id, span_id, records)`` on completion
-  (``records`` holds the worker-side trace spans, empty when tracing is
-  off), and ``("profile", worker_id, record)`` once at drain if
-  ``CELIA_PROFILE`` asked for profiling.
+  heartbeat), ``("done", worker_id, span_id, records, candidates)`` on
+  completion (``records`` holds the worker-side trace spans, empty when
+  tracing is off; ``candidates`` the span's fused frontier-candidate
+  rows, ``None`` when candidate collection is off), and
+  ``("profile", worker_id, record)`` once at drain if ``CELIA_PROFILE``
+  asked for profiling.
 
-Results never travel over the pipe: chunks are reduced straight into
-the two shared-memory float64 arrays, at the same offsets and with the
-same matmuls as the serial loop, so any worker (or any two workers,
-racing on a duplicated span) writes byte-identical output.  Tracing and
-profiling only ever *observe* — they time the chunk loop and sample the
-interpreter around it, never touch the arrays, so results stay
-bit-identical with observability on or off.
+Evaluation results never travel over the pipe: chunks are reduced
+straight into the two shared-memory float64 arrays, at the same offsets
+and through the same :class:`~repro.core.sweepkernel.ChunkKernel`
+reductions as the serial loop, so any worker (or any two workers,
+racing on a duplicated span) writes byte-identical output.  Frontier
+candidates are the one exception — a few hundred int64 rows per span,
+derived deterministically from the (identical) evaluated values, so
+duplicated spans ship identical candidate lists and the race stays
+benign.  Tracing and profiling only ever *observe* — they time the
+chunk loop and sample the interpreter around it, never touch the
+arrays, so results stay bit-identical with observability on or off.
 """
 
 from __future__ import annotations
@@ -64,8 +70,11 @@ def attach_shared(name: str) -> shared_memory.SharedMemory:
 def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
                 total: int, chunk_size: int, strides: np.ndarray,
                 radices: np.ndarray, capacities: np.ndarray,
-                prices: np.ndarray, fault_plan: FaultPlan | None) -> None:
+                prices: np.ndarray, fault_plan: FaultPlan | None,
+                collect_candidates: bool = True) -> None:
     """Entry point of one sweep worker process."""
+    from repro.core.sweepkernel import ChunkKernel
+
     clock = FaultClock(fault_plan, worker_id)
     profiler = None
     if profiling_enabled():
@@ -77,6 +86,8 @@ def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
     try:
         capacity = np.ndarray((total,), dtype=np.float64, buffer=cap_shm.buf)
         unit_cost = np.ndarray((total,), dtype=np.float64, buffer=cost_shm.buf)
+        kernel = ChunkKernel(strides, radices, capacities, prices,
+                             max_chunk=min(chunk_size, total))
         span_ordinal = 0
         while True:
             task = conn.recv()
@@ -95,14 +106,16 @@ def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
             if profiler is not None:
                 profiler.enable()
             chunk_ordinal = 0
+            cand_parts: list[np.ndarray] = []
             for c_start in range(start, stop, chunk_size):
                 clock.before_chunk(span_ordinal, chunk_ordinal)
                 c_stop = min(c_start + chunk_size, stop)
-                idx = np.arange(c_start, c_stop, dtype=np.int64)
-                matrix = ((idx[:, None] // strides[None, :])
-                          % radices[None, :]).astype(np.int16)
-                capacity[c_start - 1:c_stop - 1] = matrix @ capacities
-                unit_cost[c_start - 1:c_stop - 1] = matrix @ prices
+                cap_slice = capacity[c_start - 1:c_stop - 1]
+                cost_slice = unit_cost[c_start - 1:c_stop - 1]
+                kernel.evaluate_into(c_start, c_stop, cap_slice, cost_slice)
+                if collect_candidates:
+                    cand_parts.append(kernel.frontier_candidates(
+                        c_start, cap_slice, cost_slice))
                 conn.send(("chunk", worker_id, span_id, c_stop))
                 chunk_ordinal += 1
             if profiler is not None:
@@ -116,7 +129,11 @@ def worker_main(worker_id: int, conn, cap_name: str, cost_name: str,
                     cpu_s=time.process_time() - t_cpu,
                     attrs={"worker": worker_id, "start": start,
                            "stop": stop, "chunks": chunk_ordinal}))
-            conn.send(("done", worker_id, span_id, records))
+            candidates = None
+            if collect_candidates:
+                candidates = (np.concatenate(cand_parts) if cand_parts
+                              else np.empty(0, dtype=np.int64))
+            conn.send(("done", worker_id, span_id, records, candidates))
             span_ordinal += 1
             clock.drop_span(span_ordinal)
     except (EOFError, BrokenPipeError, OSError):

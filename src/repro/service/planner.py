@@ -246,6 +246,12 @@ class PlannerService:
                         sweep.spans_resumed)
                     self.metrics.counter("warm_spans_swept").increment(
                         sweep.spans_evaluated)
+                if state.celia.last_index_from_snapshot:
+                    # The frontier index was memory-mapped from a
+                    # persisted snapshot instead of rebuilt.
+                    self.metrics.counter("warm_from_snapshot").increment()
+                    self.metrics.histogram("warm_load_s").observe(
+                        state.celia.last_index_load_s)
         return state
 
     def _build_state(self, signature: SpaceSignature) -> _WarmState:

@@ -18,6 +18,7 @@ from repro.cache import (
 from repro.cloud.catalog import make_catalog
 from repro.core.celia import Celia
 from repro.core.configspace import ConfigurationSpace
+from repro.core.selection import FrontierIndex
 
 
 @pytest.fixture()
@@ -292,3 +293,116 @@ print("hits", celia.evaluation_cache.hits,
                               capture_output=True, text=True, env=env)
         assert warm.returncode == 0, warm.stderr
         assert "hits 1 misses 0" in warm.stdout
+
+
+class TestIndexSnapshots:
+    """Persistence of the frontier index (mmap'd warm starts)."""
+
+    def build_index(self, evaluation):
+        index = FrontierIndex(
+            evaluation, candidates=evaluation.frontier_candidates())
+        index.ensure_feasibility()
+        return index
+
+    def test_round_trip_is_bit_identical_and_mmapped(
+            self, evaluated, small_capacities, tmp_path):
+        space, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        cache.store(evaluation, small_capacities)
+        index = self.build_index(evaluation)
+        cache.store_index(index, small_capacities)
+
+        warm_eval = cache.load(space, small_capacities)
+        loaded = cache.load_index(warm_eval, small_capacities)
+        assert loaded is not None
+        assert isinstance(loaded._capacity_sorted, np.memmap)
+        assert loaded.frontier_rows.tobytes() == \
+            index.frontier_rows.tobytes()
+        assert loaded._frontier_capacity.tobytes() == \
+            index._frontier_capacity.tobytes()
+        demand = float(evaluation.capacity_gips.max()) * 3600.0
+        a = index.select(demand, 24.0, 350.0)
+        b = loaded.select(demand, 24.0, 350.0)
+        assert a.feasible_count == b.feasible_count
+        assert [p.configuration for p in a.pareto] == \
+            [p.configuration for p in b.pareto]
+
+    def test_missing_snapshot_is_a_miss(self, evaluated, small_capacities,
+                                        tmp_path):
+        _, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        assert cache.load_index(evaluation, small_capacities) is None
+
+    def test_block_size_mismatch_is_a_miss(self, evaluated,
+                                           small_capacities, tmp_path):
+        _, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        cache.store_index(self.build_index(evaluation), small_capacities)
+        assert cache.load_index(evaluation, small_capacities,
+                                block_size=7) is None
+
+    @pytest.mark.parametrize("damage", ["truncate", "corrupt_meta",
+                                        "delete_array"])
+    def test_damaged_snapshot_falls_back_to_rebuild(
+            self, evaluated, small_capacities, tmp_path, damage):
+        _, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        cache.store_index(self.build_index(evaluation), small_capacities)
+        arrays = sorted(tmp_path.glob("*.index-b*.capacity_sorted.npy"))
+        metas = sorted(tmp_path.glob("*.index-b*.meta.json"))
+        assert arrays and metas
+        if damage == "truncate":
+            raw = arrays[0].read_bytes()
+            arrays[0].write_bytes(raw[:len(raw) // 2])
+        elif damage == "corrupt_meta":
+            metas[0].write_text("{not json", encoding="utf-8")
+        else:
+            arrays[0].unlink()
+        assert cache.load_index(evaluation, small_capacities) is None
+
+    def test_info_and_clear_cover_snapshots(self, evaluated,
+                                            small_capacities, tmp_path):
+        _, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        cache.store(evaluation, small_capacities)
+        cache.store_index(self.build_index(evaluation), small_capacities)
+        (snap,) = cache.index_snapshots()
+        assert snap.key == evaluation_cache_key(
+            ConfigurationSpace(evaluation.space.catalog).catalog,
+            small_capacities)
+        assert snap.space_size == evaluation.space.size
+        assert snap.bytes_on_disk > 0
+        # snapshot metas must not masquerade as evaluation entries
+        assert len(cache.entries()) == 1
+        assert cache.clear() == 1
+        assert cache.index_snapshots() == []
+        assert cache.load_index(evaluation, small_capacities) is None
+
+    def test_store_is_idempotent(self, evaluated, small_capacities,
+                                 tmp_path):
+        _, evaluation = evaluated
+        cache = EvaluationCache(tmp_path)
+        index = self.build_index(evaluation)
+        cache.store_index(index, small_capacities)
+        before = sorted((p.name, p.stat().st_mtime_ns)
+                        for p in tmp_path.glob("*.index-b*"))
+        cache.store_index(index, small_capacities)
+        after = sorted((p.name, p.stat().st_mtime_ns)
+                       for p in tmp_path.glob("*.index-b*"))
+        assert before == after  # valid snapshot -> no rewrite
+
+
+class TestCeliaSnapshotWarmStart:
+    def test_selection_index_persists_and_reloads(self, small_catalog,
+                                                  simple_app, tmp_path):
+        first = Celia(small_catalog, seed=7, cache_dir=tmp_path)
+        first.selection_index(simple_app)
+        assert first.last_index_from_snapshot is False
+        assert first.evaluation_cache.index_snapshots()
+
+        second = Celia(small_catalog, seed=7, cache_dir=tmp_path)
+        index = second.selection_index(simple_app)
+        assert second.last_index_from_snapshot is True
+        assert second.last_index_load_s >= 0.0
+        assert index.frontier_rows.tobytes() == \
+            first.selection_index(simple_app).frontier_rows.tobytes()
