@@ -1,0 +1,149 @@
+"""Benchmark mixed on-demand+spot purchasing against pure on-demand.
+
+Runs galaxy(65536, 8000) under a 40 h / $400 envelope through every
+chaos scenario with three purchasing modes (on-demand, all-spot, mixed)
+over several seeds, recording deadline-hit-rate, mean cost and the spot
+share of the bill per cell.  Each cell is executed twice with identical
+seeds and asserted byte-identical, and the report itself asserts the
+subsystem's acceptance criteria:
+
+* the mixed plan is cheaper than all-on-demand in aggregate,
+* at an equal-or-better deadline-hit rate across the catalog,
+* with zero budget overruns anywhere.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_spot.py [--quick]
+        [--trials N] [--output PATH]
+
+``--quick`` drops to one trial per cell for the CI benchmark-smoke job.
+Results land in ``BENCH_spot.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.apps import application_by_name
+from repro.cloud.catalog import ec2_catalog
+from repro.core.celia import Celia
+from repro.experiments.spot_exp import MODES, PROBLEM, run_cell
+from repro.runtime import scenario_names
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_spot.json"
+
+QUOTA = 2
+SEED = 42
+TRIALS = 2
+QUICK_TRIALS = 1
+
+
+def bench_cell(celia: Celia, app, scenario: str, mode: str, *,
+               trials: int) -> dict:
+    t0 = time.perf_counter()
+    outcome = run_cell(celia, app, scenario, mode, seed=SEED, trials=trials)
+    wall = time.perf_counter() - t0
+    replay = run_cell(celia, app, scenario, mode, seed=SEED, trials=trials)
+    assert outcome == replay, \
+        f"{scenario} ({mode}) replay with identical seeds diverged — " \
+        f"determinism is broken"
+    return {
+        "scenario": scenario,
+        "mode": mode,
+        "trials": trials,
+        "deadline_hits": outcome.deadline_hits,
+        "deadline_hit_rate": round(outcome.hit_rate, 4),
+        "mean_cost_dollars": round(outcome.mean_cost_dollars, 2),
+        "mean_spot_cost_dollars": round(outcome.mean_spot_cost_dollars, 2),
+        "spot_share": round(outcome.spot_share, 4),
+        "spot_interruptions": outcome.spot_interruptions,
+        "fallbacks": outcome.fallbacks,
+        "budget_overruns": outcome.budget_overruns,
+        "verdicts": list(outcome.verdicts),
+        "deterministic_replay": True,
+        "wall_s": round(wall, 4),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"{QUICK_TRIALS} trial per cell instead of "
+                             f"{TRIALS} (CI smoke mode)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override trials per (scenario, mode) cell")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"report path (default {OUTPUT.name})")
+    args = parser.parse_args()
+
+    trials = args.trials or (QUICK_TRIALS if args.quick else TRIALS)
+    celia = Celia(ec2_catalog(max_nodes_per_type=QUOTA), seed=SEED)
+    app = application_by_name("galaxy", seed=SEED)
+    print(f"galaxy({PROBLEM['n']}, {PROBLEM['a']}), "
+          f"T'={PROBLEM['deadline_hours']:g} h, "
+          f"C'=${PROBLEM['budget_dollars']:g}, quota {QUOTA}, "
+          f"{trials} trial(s) per cell")
+
+    t0 = time.perf_counter()
+    celia.min_cost_index(app)  # warm the planning stack once, outside timing
+    t_warm = time.perf_counter() - t0
+
+    cells = []
+    for scenario in scenario_names():
+        for mode in MODES:
+            cell = bench_cell(celia, app, scenario, mode, trials=trials)
+            cells.append(cell)
+            print(f"  {cell['scenario']:20s} {cell['mode']:10s} "
+                  f"hit={cell['deadline_hit_rate']:.0%} "
+                  f"${cell['mean_cost_dollars']:7.2f} "
+                  f"spot=${cell['mean_spot_cost_dollars']:.2f} "
+                  f"interrupts={cell['spot_interruptions']} "
+                  f"[{cell['wall_s']:.3f}s]")
+
+    def totals(mode: str) -> tuple[int, float]:
+        rows = [c for c in cells if c["mode"] == mode]
+        return (sum(c["deadline_hits"] for c in rows),
+                sum(c["mean_cost_dollars"] for c in rows) / len(rows))
+
+    od_hits, od_cost = totals("on-demand")
+    mixed_hits, mixed_cost = totals("mixed")
+    overruns = sum(c["budget_overruns"] for c in cells)
+
+    # The subsystem's acceptance criteria, enforced on every run.
+    assert mixed_cost < od_cost, \
+        f"mixed (${mixed_cost:.2f}) must beat on-demand (${od_cost:.2f})"
+    assert mixed_hits >= od_hits, \
+        f"mixed deadline hits ({mixed_hits}) fell below on-demand ({od_hits})"
+    assert overruns == 0, f"{overruns} budget overrun(s) — never acceptable"
+
+    report = {
+        "problem": dict(PROBLEM),
+        "quota": QUOTA,
+        "seed": SEED,
+        "trials_per_cell": trials,
+        "warm_build_s": round(t_warm, 4),
+        "overall": {
+            "ondemand_deadline_hits": od_hits,
+            "mixed_deadline_hits": mixed_hits,
+            "ondemand_mean_cost_dollars": round(od_cost, 2),
+            "mixed_mean_cost_dollars": round(mixed_cost, 2),
+            "mixed_saving_fraction": round(1.0 - mixed_cost / od_cost, 4),
+            "budget_overruns": overruns,
+        },
+        "cells": cells,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"mixed vs on-demand: hits {mixed_hits} vs {od_hits}, "
+          f"mean cost ${mixed_cost:.2f} vs ${od_cost:.2f} "
+          f"({1.0 - mixed_cost / od_cost:.0%} cheaper), "
+          f"{overruns} overruns")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,10 @@ Subcommands mirror how a practitioner would use the system:
 * ``plan`` — best affordable accuracy (or problem size) under a deadline
   and budget;
 * ``validate`` — compare a prediction against a simulated execution;
+* ``execute`` — run a plan closed-loop under a chaos scenario, optionally
+  buying mixed on-demand+spot capacity (``--market``);
+* ``market`` — inspect the seeded spot market's per-type price streams
+  and the available bid policies;
 * ``sweep`` — run (or resume) the fault-tolerant full-space sweep and
   persist its artefacts; interrupted sweeps leave checkpoint shards that
   ``sweep --resume`` picks up instead of starting over;
@@ -182,8 +186,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "(comma-separated node counts, catalog order)")
     p.add_argument("--max-replans", type=int, default=None,
                    help="re-planning budget before giving up")
+    p.add_argument("--market", action="store_true",
+                   help="buy mixed on-demand+spot capacity against the "
+                        "scenario's spot market")
+    p.add_argument("--spot-fraction", type=float, default=None,
+                   metavar="FRACTION",
+                   help="fraction of each type bought on the spot market "
+                        "(implies --market; default 0.6)")
+    p.add_argument("--bid-policy", default=None, metavar="NAME",
+                   help="spot bid policy (implies --market; see "
+                        "`celia market policies`)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report with the full timeline")
+
+    p = sub.add_parser("market",
+                       help="inspect the seeded spot market")
+    msub = p.add_subparsers(dest="market_command", required=True)
+    m = msub.add_parser("prices",
+                        help="per-type spot price streams vs on-demand")
+    m.add_argument("--chaos", default="calm", metavar="SCENARIO",
+                   help="scenario whose market surges to apply "
+                        "(default: calm)")
+    m.add_argument("--json", action="store_true",
+                   help="machine-readable per-type summaries")
+    m = msub.add_parser("policies", help="available bid policies")
+    m.add_argument("--json", action="store_true",
+                   help="machine-readable policy list")
 
     p = sub.add_parser("spot",
                        help="spot-vs-on-demand Monte-Carlo study")
@@ -422,9 +450,20 @@ def _cmd_execute(celia: Celia, args) -> int:
     overrides = {"replan": args.replan}
     if args.max_replans is not None:
         overrides["max_replans"] = args.max_replans
+    market_policy = None
+    if args.market or args.spot_fraction is not None or args.bid_policy:
+        from repro.market import MarketPolicy
+
+        policy_overrides = {}
+        if args.spot_fraction is not None:
+            policy_overrides["spot_fraction"] = args.spot_fraction
+        if args.bid_policy:
+            policy_overrides["bid_policy"] = args.bid_policy
+        market_policy = MarketPolicy(**policy_overrides)
     controller = AdaptiveController(
         celia, app, scenario=chaos_scenario(args.chaos),
-        config=RuntimeConfig(**overrides), seed=celia.seed)
+        config=RuntimeConfig(**overrides), seed=celia.seed,
+        market_policy=market_policy)
     configuration = (_parse_config(args.config, len(celia.catalog))
                      if args.config else None)
     report = controller.execute(args.n, args.a, args.deadline, args.budget,
@@ -450,7 +489,53 @@ def _cmd_execute(celia: Celia, args) -> int:
               f"{report.crashes} crashes, {report.replans} replans, "
               f"{report.migrations} migrations, "
               f"{report.degradations} degradations")
+        if report.market:
+            fallback = (", fell back to on-demand"
+                        if report.ondemand_fallback else "")
+            print(f"  market  : ${report.spot_cost_dollars:.2f} of the bill "
+                  f"at spot prices, {report.spot_interruptions} "
+                  f"spot interruption(s){fallback}")
     return 0 if report.verdict in ("met", "degraded") else 1
+
+
+def _cmd_market(celia: Celia, args) -> int:
+    from repro.market import SpotMarket, bid_policy, bid_policy_names
+    from repro.runtime import chaos_scenario
+    from repro.utils.rng import spawn_seed
+
+    if args.market_command == "policies":
+        rows = [(name, bid_policy(name).describe())
+                for name in bid_policy_names()]
+        if args.json:
+            print(json.dumps([{"name": n, "description": d}
+                              for n, d in rows], indent=2))
+            return 0
+        table = TextTable(["Policy", "Description"], aligns="ll")
+        for name, description in rows:
+            table.add_row([name, description])
+        print(table.render())
+        return 0
+
+    scenario = chaos_scenario(args.chaos)
+    market = SpotMarket(celia.catalog, scenario.market_config(),
+                        seed=spawn_seed(celia.seed, "spot-market"))
+    rows = [market.describe(itype.name) for itype in celia.catalog]
+    if args.json:
+        print(json.dumps({"scenario": scenario.name, "seed": celia.seed,
+                          "horizon_hours": market.config.horizon_hours,
+                          "types": rows}, indent=2))
+        return 0
+    print(f"spot market under '{scenario.name}' (seed {celia.seed}, "
+          f"{market.config.horizon_hours:g} h horizon)")
+    table = TextTable(
+        ["Type", "On-demand $/h", "Mean $/h", "Min", "Max", "h > on-demand"],
+        aligns="lrrrrr", float_format="{:.4f}")
+    for row in rows:
+        table.add_row([row["type"], row["on_demand_price"],
+                       row["mean_price"], row["min_price"], row["max_price"],
+                       f"{row['hours_above_on_demand']:.1f}"])
+    print(table.render())
+    return 0
 
 
 def _cmd_spot(celia: Celia, args) -> int:
@@ -709,6 +794,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "validate": _cmd_validate,
     "execute": _cmd_execute,
+    "market": _cmd_market,
     "spot": _cmd_spot,
     "sweep": _cmd_sweep,
     "snapshot": _cmd_snapshot,

@@ -117,6 +117,10 @@ class SpotPriceProcess:
             raise ValidationError("mean_fraction must be in (0, 1]")
         if theta <= 0 or sigma < 0:
             raise ValidationError("theta must be > 0 and sigma >= 0")
+        if not (0 <= floor_fraction <= mean_fraction):
+            raise ValidationError(
+                f"floor_fraction must be in [0, mean_fraction]; got "
+                f"{floor_fraction!r} with mean_fraction {mean_fraction!r}")
         self.on_demand_price = on_demand_price
         self.mean_price = mean_fraction * on_demand_price
         self.theta = theta

@@ -23,6 +23,7 @@ from repro.experiments import (
     observations,
     schedulers_exp,
     sensitivity_exp,
+    spot_exp,
     table3,
     table4,
 )
@@ -49,6 +50,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
                    "engine ablation: work queue vs stealing vs LPT"),
     "adaptive": (adaptive_exp.run,
                  "static vs closed-loop adaptive execution under chaos"),
+    "spot": (spot_exp.run,
+             "purchasing modes: on-demand vs all-spot vs mixed"),
 }
 
 

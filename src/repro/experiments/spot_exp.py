@@ -1,0 +1,197 @@
+"""Purchasing-mode study: on-demand vs all-spot vs mixed under chaos.
+
+The paper buys exclusively on-demand capacity; :mod:`repro.market` adds
+a seeded spot market and a mixed purchasing vector.  This experiment
+quantifies the trade across the whole chaos catalog: for each scenario,
+galaxy(65536, 8000) runs under the same deadline/budget envelope with
+three purchasing modes over several seeds:
+
+* **on-demand** — the closed-loop controller exactly as before (no
+  market); the baseline every other mode must beat on cost without
+  losing on deadline-hit rate;
+* **all-spot** — every node bought on the spot market
+  (``spot_fraction=1``): the cheapest envelope but the whole fleet dies
+  together on an interruption;
+* **mixed** — the default :class:`~repro.market.MarketPolicy` split:
+  an on-demand core keeps the deadline honest while the spot wing
+  rides the discount, falling back to pure on-demand after repeated
+  interruptions.
+
+Reported per (scenario, mode): deadline-hit rate, mean cost, the spot
+share of the bill, interruptions and fallbacks.  Every run prices its
+budget checks at on-demand rates, so *no* mode can silently overrun —
+the benchmark ``benchmarks/bench_spot.py`` commits this comparison as
+``BENCH_spot.json`` and asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.catalog import ec2_catalog
+from repro.core.celia import Celia
+from repro.experiments.common import ExperimentContext
+from repro.market import MarketPolicy
+from repro.runtime import AdaptiveController, RuntimeConfig, scenario_names
+from repro.runtime.chaos import chaos_scenario
+from repro.utils.rng import spawn_seed
+from repro.utils.tables import TextTable
+
+__all__ = ["SpotExperimentResult", "PurchasingOutcome", "MODES",
+           "run_cell", "run"]
+
+#: Same flagship run the adaptive experiment uses: galaxy(65536, 8000)
+#: under a 40 h deadline and $400 budget at quota 2.
+PROBLEM = {"n": 65_536, "a": 8_000, "deadline_hours": 40.0,
+           "budget_dollars": 400.0}
+
+#: Independent executions per (scenario, mode) cell.
+TRIALS = 2
+
+#: mode name -> MarketPolicy (None = pure on-demand, no market).
+MODES: dict[str, MarketPolicy | None] = {
+    "on-demand": None,
+    "all-spot": MarketPolicy(spot_fraction=1.0),
+    "mixed": MarketPolicy(),
+}
+
+
+@dataclass(frozen=True)
+class PurchasingOutcome:
+    """Aggregates of one (scenario, purchasing-mode) cell."""
+
+    scenario: str
+    mode: str
+    trials: int
+    deadline_hits: int
+    mean_cost_dollars: float
+    mean_spot_cost_dollars: float
+    spot_interruptions: int
+    fallbacks: int
+    budget_overruns: int
+    verdicts: tuple[str, ...]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.deadline_hits / self.trials
+
+    @property
+    def spot_share(self) -> float:
+        """Fraction of the mean bill paid at spot prices."""
+        if self.mean_cost_dollars <= 0:
+            return 0.0
+        return self.mean_spot_cost_dollars / self.mean_cost_dollars
+
+
+@dataclass(frozen=True)
+class SpotExperimentResult:
+    """Purchasing-mode comparison across the chaos catalog."""
+
+    outcomes: tuple[PurchasingOutcome, ...]
+
+    def mode_totals(self, mode: str) -> tuple[int, float]:
+        """(deadline hits, mean cost) summed/averaged across scenarios."""
+        cells = [o for o in self.outcomes if o.mode == mode]
+        hits = sum(o.deadline_hits for o in cells)
+        mean_cost = sum(o.mean_cost_dollars for o in cells) / len(cells)
+        return hits, mean_cost
+
+    def render(self) -> str:
+        lines = [
+            "Purchasing modes under chaos (galaxy(65536, 8000), "
+            f"T'=40 h, C'=$400, quota 2, {TRIALS} seeds per cell)\n"
+        ]
+        table = TextTable(
+            ["Scenario", "Mode", "Hit rate", "Mean $", "Spot $",
+             "Interrupts", "Fallbacks", "Overruns"],
+            aligns="llrrrrrr", float_format="{:.2f}")
+        for o in self.outcomes:
+            table.add_row([
+                o.scenario, o.mode, f"{o.hit_rate:.0%}",
+                o.mean_cost_dollars, o.mean_spot_cost_dollars,
+                o.spot_interruptions, o.fallbacks, o.budget_overruns,
+            ])
+        lines.append(table.render())
+        od_hits, od_cost = self.mode_totals("on-demand")
+        mx_hits, mx_cost = self.mode_totals("mixed")
+        saving = 1.0 - mx_cost / od_cost if od_cost > 0 else 0.0
+        lines.append(
+            f"\nmixed vs on-demand across the catalog: deadline hits "
+            f"{mx_hits} vs {od_hits}, mean cost ${mx_cost:.2f} vs "
+            f"${od_cost:.2f} ({saving:.0%} cheaper); budget overruns: "
+            f"{sum(o.budget_overruns for o in self.outcomes)} anywhere.")
+        return "\n".join(lines)
+
+    def to_series(self) -> dict:
+        return {
+            "problem": dict(PROBLEM),
+            "trials": TRIALS,
+            "outcomes": [
+                {
+                    "scenario": o.scenario,
+                    "mode": o.mode,
+                    "hit_rate": o.hit_rate,
+                    "mean_cost_dollars": o.mean_cost_dollars,
+                    "mean_spot_cost_dollars": o.mean_spot_cost_dollars,
+                    "spot_share": o.spot_share,
+                    "spot_interruptions": o.spot_interruptions,
+                    "fallbacks": o.fallbacks,
+                    "budget_overruns": o.budget_overruns,
+                    "verdicts": list(o.verdicts),
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def run_cell(celia: Celia, app, scenario_name: str, mode: str, *,
+             seed: int, trials: int = TRIALS) -> PurchasingOutcome:
+    """Execute one (scenario, purchasing-mode) cell over ``trials`` seeds.
+
+    Seeds derive off ``(seed, "spot-exp", scenario, trial)`` — shared
+    across modes, so every mode faces the identical chaos draw and the
+    comparison isolates the purchasing decision.
+    """
+    scenario = chaos_scenario(scenario_name)
+    policy = MODES[mode]
+    reports = []
+    for trial in range(trials):
+        controller = AdaptiveController(
+            celia, app, scenario=scenario,
+            config=RuntimeConfig(),
+            seed=spawn_seed(seed, "spot-exp", scenario_name, trial),
+            market_policy=policy)
+        reports.append(controller.execute(
+            PROBLEM["n"], PROBLEM["a"], PROBLEM["deadline_hours"],
+            PROBLEM["budget_dollars"]))
+    return PurchasingOutcome(
+        scenario=scenario_name,
+        mode=mode,
+        trials=trials,
+        deadline_hits=sum(r.completed and r.elapsed_hours <= r.deadline_hours
+                          for r in reports),
+        mean_cost_dollars=sum(r.cost_dollars for r in reports) / trials,
+        mean_spot_cost_dollars=sum(r.spot_cost_dollars
+                                   for r in reports) / trials,
+        spot_interruptions=sum(r.spot_interruptions for r in reports),
+        fallbacks=sum(r.ondemand_fallback for r in reports),
+        budget_overruns=sum(r.cost_dollars > r.budget_dollars
+                            for r in reports),
+        verdicts=tuple(r.verdict for r in reports),
+    )
+
+
+def run(ctx: ExperimentContext) -> SpotExperimentResult:
+    """All purchasing modes across the whole chaos catalog at quota 2."""
+    celia = Celia(
+        ec2_catalog(max_nodes_per_type=2),
+        seed=ctx.seed,
+        workers=ctx.workers,
+        cache_dir=ctx.cache_dir,
+    )
+    app = ctx.app("galaxy")
+    outcomes = []
+    for name in scenario_names():
+        for mode in MODES:
+            outcomes.append(run_cell(celia, app, name, mode, seed=ctx.seed))
+    return SpotExperimentResult(outcomes=tuple(outcomes))

@@ -1,0 +1,117 @@
+"""Bid policies: how much to offer for spot capacity, per type.
+
+A bid caps what a spot node can ever cost per hour (while held, the
+market price is at or below the bid) and sets its interruption exposure
+(the pool is reclaimed when the price crosses the bid).  Policies are
+pure functions of the market view, so the purchase planner and the
+fleet price the same bid for the same type.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ValidationError
+from repro.market.streams import SpotMarket
+
+__all__ = ["BidPolicy", "FixedFractionBid", "OnDemandCapBid", "AdaptiveBid",
+           "BID_POLICIES", "bid_policy", "bid_policy_names"]
+
+
+class BidPolicy(ABC):
+    """Maps (market, type) to a bid price in dollars per hour."""
+
+    #: Registry name (set by subclasses).
+    name: str = ""
+
+    @abstractmethod
+    def bid_price(self, market: SpotMarket, type_name: str) -> float:
+        """The bid for one node of ``type_name`` on ``market``."""
+
+    def describe(self) -> str:
+        """One-line human description (for ``celia market policies``)."""
+        return (self.__doc__ or self.name).strip().splitlines()[0]
+
+
+class FixedFractionBid(BidPolicy):
+    """Bid a fixed fraction of the on-demand price, market be damned."""
+
+    name = "fixed-fraction"
+
+    def __init__(self, fraction: float = 0.5):
+        if not (0 < fraction <= 1):
+            raise ValidationError("bid fraction must be in (0, 1]")
+        self.fraction = fraction
+
+    def bid_price(self, market: SpotMarket, type_name: str) -> float:
+        return self.fraction * market.catalog.type_named(
+            type_name).price_per_hour
+
+    def describe(self) -> str:
+        return (f"bid {self.fraction:.0%} of the on-demand price "
+                f"(cheap, interruption-prone)")
+
+
+class OnDemandCapBid(BidPolicy):
+    """Bid the full on-demand price — only a price spike can out-bid."""
+
+    name = "on-demand-cap"
+
+    def bid_price(self, market: SpotMarket, type_name: str) -> float:
+        return market.catalog.type_named(type_name).price_per_hour
+
+    def describe(self) -> str:
+        return ("bid the on-demand price: pay the market rate, "
+                "interrupted only by spikes above on-demand or reclaims")
+
+
+class AdaptiveBid(BidPolicy):
+    """Bid a margin over the market's long-run mean, capped at on-demand.
+
+    Tracks the market level: in a surged (price-spike) market the
+    long-run mean is higher, so the bid rises with it instead of being
+    out-bid at a stale fraction — up to the on-demand cap, past which
+    spot stops making sense.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, margin: float = 1.8, cap_fraction: float = 1.0):
+        if margin < 1:
+            raise ValidationError("margin must be >= 1")
+        if not (0 < cap_fraction <= 1):
+            raise ValidationError("cap_fraction must be in (0, 1]")
+        self.margin = margin
+        self.cap_fraction = cap_fraction
+
+    def bid_price(self, market: SpotMarket, type_name: str) -> float:
+        od = market.catalog.type_named(type_name).price_per_hour
+        return min(self.margin * market.mean_price(type_name),
+                   self.cap_fraction * od)
+
+    def describe(self) -> str:
+        return (f"bid {self.margin:g}x the market's long-run mean, "
+                f"capped at {self.cap_fraction:.0%} of on-demand")
+
+
+#: name -> zero-argument factory of the default-parameterized policy.
+BID_POLICIES: dict[str, type[BidPolicy]] = {
+    FixedFractionBid.name: FixedFractionBid,
+    OnDemandCapBid.name: OnDemandCapBid,
+    AdaptiveBid.name: AdaptiveBid,
+}
+
+
+def bid_policy_names() -> tuple[str, ...]:
+    """Registry order of the built-in bid policies."""
+    return tuple(BID_POLICIES)
+
+
+def bid_policy(name: str) -> BidPolicy:
+    """Instantiate a built-in bid policy by name (default parameters)."""
+    try:
+        return BID_POLICIES[name]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown bid policy {name!r}; "
+            f"choose from {sorted(BID_POLICIES)}") from None

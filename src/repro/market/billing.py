@@ -1,0 +1,46 @@
+"""Spot billing: expected pricing for the planner.
+
+Realized spot bills are path integrals of the market price
+(:meth:`repro.market.streams.SpotMarket.spot_cost`, used by the fleet);
+this module provides the *model-side* counterpart: a
+:class:`~repro.cloud.pricing.BillingModel` that prices uptime at the
+market's expected (long-run mean) spot rate, which is what the purchase
+planner uses to compute a configuration's expected mixed cost before
+anything is launched.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.pricing import BillingModel
+from repro.errors import ValidationError
+
+__all__ = ["SpotExpectedBilling"]
+
+
+class SpotExpectedBilling(BillingModel):
+    """Linear billing at the expected spot fraction of on-demand.
+
+    ``amount = mean_fraction × price_surge × price_per_hour × uptime`` —
+    the stationary mean of the market's price process.  Spot has no
+    hourly quantization benefit to model (EC2 billed interrupted partial
+    hours at the market rate), so linearity is the honest expectation.
+    """
+
+    def __init__(self, mean_fraction: float = 0.35, price_surge: float = 1.0):
+        if not (0 < mean_fraction <= 1):
+            raise ValidationError("mean_fraction must be in (0, 1]")
+        if price_surge <= 0:
+            raise ValidationError("price_surge must be positive")
+        self.mean_fraction = mean_fraction
+        self.price_surge = price_surge
+
+    @classmethod
+    def for_market(cls, market) -> "SpotExpectedBilling":
+        """The expected-billing model matching one market's parameters."""
+        return cls(mean_fraction=market.config.mean_fraction,
+                   price_surge=market.config.price_surge)
+
+    def amount_due(self, price_per_hour: float, uptime_hours: float) -> float:
+        self.validate_inputs(price_per_hour, uptime_hours)
+        return (self.mean_fraction * self.price_surge
+                * price_per_hour * uptime_hours)

@@ -1,0 +1,157 @@
+"""The spot fleet: launching, interrupting and billing spot nodes.
+
+Spot capacity deliberately lives *outside*
+:class:`~repro.cloud.provider.CloudProvider`: it has its own pool (no
+on-demand quota is consumed), its own billing (the integrated market
+price, not the hourly-quantized on-demand model) and its own failure
+mode (the market interrupts whole per-type pools).  The fleet launches
+one :class:`SpotAllocation` per controller epoch, assigning each type's
+pool the interruption time the market dictates — the deterministic bid
+crossing or the seeded reclaim draw, whichever comes first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.instance import Instance
+from repro.cloud.virtualization import VirtualizationModel
+from repro.errors import ValidationError
+from repro.market.bids import BidPolicy
+from repro.market.streams import SpotMarket
+from repro.utils.rng import derive_rng
+
+__all__ = ["SpotNode", "SpotAllocation", "SpotFleet"]
+
+
+@dataclass
+class SpotNode:
+    """One spot instance plus its market attachment."""
+
+    instance: Instance
+    bid_price: float
+    #: Absolute hour the market interrupts this node's pool
+    #: (``inf`` = survives the horizon).
+    interruption_at_hours: float
+
+    def held_until(self, at_hours: float) -> float:
+        """Hour this node stops being held, looking no further than
+        ``at_hours``: interrupted by the market or still running."""
+        return min(at_hours, self.interruption_at_hours)
+
+
+@dataclass
+class SpotAllocation:
+    """Spot nodes launched together for one controller epoch."""
+
+    allocation_id: int
+    spot: tuple[int, ...]
+    nodes: list[SpotNode]
+    started_at_hours: float
+    ended_at_hours: float | None = None
+    billed_amount: float | None = field(default=None)
+
+    @property
+    def active(self) -> bool:
+        return self.ended_at_hours is None
+
+    @property
+    def instances(self) -> list[Instance]:
+        return [node.instance for node in self.nodes]
+
+    def interruption_hours(self) -> list[float]:
+        """Per-node absolute interruption times, launch order."""
+        return [node.interruption_at_hours for node in self.nodes]
+
+
+class SpotFleet:
+    """Launches and bills spot allocations against one market."""
+
+    def __init__(self, market: SpotMarket, *,
+                 virtualization: VirtualizationModel | None = None,
+                 seed: int = 0):
+        self.market = market
+        self.virtualization = virtualization or VirtualizationModel()
+        self._seed = seed
+        self._allocation_counter = itertools.count(1)
+        self._instance_counter = itertools.count(1)
+        self.spent_dollars = 0.0
+
+    def launch(self, spot: tuple[int, ...], bid: BidPolicy, *,
+               now_hours: float, lease_key: object) -> SpotAllocation:
+        """Launch one allocation of ``spot`` nodes (catalog order).
+
+        Every node of a type shares that pool's bid and interruption
+        time (the market reclaims pools, not single nodes); contention
+        factors are sampled per node from the virtualization model so
+        spot capacity is as noisy as on-demand capacity.
+        """
+        catalog = self.market.catalog
+        if len(spot) != len(catalog):
+            raise ValidationError("spot vector must match the catalog width")
+        if all(c == 0 for c in spot):
+            raise ValidationError("cannot launch an empty spot allocation")
+        allocation_id = next(self._allocation_counter)
+        nodes: list[SpotNode] = []
+        for type_index, count in enumerate(spot):
+            if count == 0:
+                continue
+            itype = catalog[type_index]
+            bid_price = bid.bid_price(self.market, itype.name)
+            interruption = self.market.first_interruption(
+                itype.name, bid_price, now_hours, lease_key=lease_key)
+            for _ in range(int(count)):
+                iid = next(self._instance_counter)
+                rng = derive_rng(self._seed, "spot-launch",
+                                 allocation_id, iid)
+                nodes.append(SpotNode(
+                    instance=Instance(
+                        instance_id=f"si-{iid:08d}",
+                        itype=itype,
+                        contention_factor=(
+                            self.virtualization.sample_contention(rng)),
+                        launched_at_hours=now_hours,
+                    ),
+                    bid_price=bid_price,
+                    interruption_at_hours=interruption,
+                ))
+        return SpotAllocation(
+            allocation_id=allocation_id,
+            spot=tuple(int(v) for v in spot),
+            nodes=nodes,
+            started_at_hours=now_hours,
+        )
+
+    def bill_at(self, allocation: SpotAllocation, at_hours: float) -> float:
+        """What the allocation costs if released at ``at_hours``.
+
+        Each node pays the integrated market price from launch until it
+        stops being held — its pool's interruption or the release,
+        whichever is earlier.  Pure projection: no state changes.
+        """
+        total = 0.0
+        for node in allocation.nodes:
+            end = node.held_until(at_hours)
+            if end > node.instance.launched_at_hours:
+                total += self.market.spot_cost(
+                    node.instance.itype.name,
+                    node.instance.launched_at_hours, end)
+        return total
+
+    def terminate(self, allocation: SpotAllocation, *,
+                  now_hours: float) -> float:
+        """Release an allocation and settle its bill."""
+        if not allocation.active:
+            raise ValidationError(
+                f"spot allocation {allocation.allocation_id} already ended")
+        if now_hours < allocation.started_at_hours:
+            raise ValidationError(
+                "cannot terminate an allocation before it started")
+        bill = self.bill_at(allocation, now_hours)
+        for node in allocation.nodes:
+            node.instance.terminated_at_hours = node.held_until(now_hours)
+        allocation.ended_at_hours = now_hours
+        allocation.billed_amount = bill
+        self.spent_dollars += bill
+        return bill

@@ -1,0 +1,159 @@
+"""Mixed on-demand + spot purchase planning.
+
+A CELIA configuration says *how many nodes of each type*; the purchase
+plan says *how each node is bought*.  :func:`split_configuration` turns
+a configuration and a target spot fraction into an (on-demand, spot)
+purchasing vector, and :func:`purchase_plan` prices that vector against
+a :class:`~repro.market.streams.SpotMarket`: expected cost via
+:class:`~repro.market.billing.SpotExpectedBilling`, deadline risk via
+the market's deterministic bid crossings plus the reclaim hazard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.market.bids import BidPolicy, bid_policy
+from repro.market.billing import SpotExpectedBilling
+from repro.market.streams import SpotMarket
+
+__all__ = ["MarketPolicy", "PurchasePlan", "split_configuration",
+           "purchase_plan"]
+
+
+@dataclass(frozen=True)
+class MarketPolicy:
+    """How the adaptive controller buys capacity on a spot market."""
+
+    #: Target fraction of each type's nodes purchased on the spot market
+    #: (0 = pure on-demand, 1 = all-spot).
+    spot_fraction: float = 0.6
+    #: Bid policy name (see :func:`repro.market.bids.bid_policy_names`).
+    bid_policy: str = "on-demand-cap"
+    #: Spot interruptions tolerated before the controller falls back to
+    #: pure on-demand purchasing for the rest of the run.
+    fallback_after_interruptions: int = 2
+    #: Below this fraction of residual deadline slack (residual deadline
+    #: vs the plan's projected time), new capacity is bought on-demand
+    #: only — no spot gamble when the envelope is already tight.  Must
+    #: sit below ``1 − RuntimeConfig.deadline_safety`` (the slack the
+    #: planner guarantees) or spot purchasing never engages.
+    min_slack_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.spot_fraction <= 1):
+            raise ValidationError("spot_fraction must be in [0, 1]")
+        if self.fallback_after_interruptions < 1:
+            raise ValidationError(
+                "fallback_after_interruptions must be >= 1")
+        if not (0 <= self.min_slack_fraction < 1):
+            raise ValidationError("min_slack_fraction must be in [0, 1)")
+        bid_policy(self.bid_policy)  # validates the name eagerly
+
+    def make_bid_policy(self) -> BidPolicy:
+        return bid_policy(self.bid_policy)
+
+
+@dataclass(frozen=True)
+class PurchasePlan:
+    """One configuration split into a priced purchasing vector."""
+
+    configuration: tuple[int, ...]
+    ondemand: tuple[int, ...]
+    spot: tuple[int, ...]
+    bid_policy: str
+    #: Per-type bid prices for the spot part ($/h; 0 where spot is 0).
+    bids: tuple[float, ...]
+    #: Expected cost of running the split for ``duration_hours``.
+    expected_cost_dollars: float
+    #: What the same duration costs bought purely on-demand.
+    ondemand_cost_dollars: float
+    #: Probability of at least one spot interruption within the duration.
+    interruption_risk: float
+    duration_hours: float
+
+    @property
+    def expected_saving_fraction(self) -> float:
+        """1 − expected mixed cost / pure on-demand cost."""
+        if self.ondemand_cost_dollars <= 0:
+            return 0.0
+        return 1.0 - self.expected_cost_dollars / self.ondemand_cost_dollars
+
+    @property
+    def spot_nodes(self) -> int:
+        return sum(self.spot)
+
+
+def split_configuration(configuration: tuple[int, ...],
+                        spot_fraction: float) -> tuple[tuple[int, ...],
+                                                       tuple[int, ...]]:
+    """Split node counts into (on-demand, spot) purchasing vectors.
+
+    Per type, ``round(count × spot_fraction)`` nodes go to spot and the
+    rest to on-demand — deterministic, and exact at the 0 and 1
+    endpoints.
+    """
+    if not (0 <= spot_fraction <= 1):
+        raise ValidationError("spot_fraction must be in [0, 1]")
+    spot = tuple(int(round(c * spot_fraction)) for c in configuration)
+    ondemand = tuple(c - s for c, s in zip(configuration, spot))
+    return ondemand, spot
+
+
+def purchase_plan(market: SpotMarket, configuration: tuple[int, ...],
+                  policy: MarketPolicy, *, duration_hours: float,
+                  start_hours: float = 0.0,
+                  bid: BidPolicy | None = None) -> PurchasePlan:
+    """Price one configuration's mixed purchase against the market.
+
+    Expected cost charges the on-demand part at catalog prices and the
+    spot part at the market's expected rate
+    (:class:`SpotExpectedBilling`, capped per type at the bid — while
+    held, a node never pays above its bid).  Interruption risk combines
+    the deterministic bid crossing within ``[start, start + duration]``
+    with the reclaim hazard's survival probability per active spot pool.
+    """
+    if duration_hours < 0:
+        raise ValidationError("duration must be non-negative")
+    catalog = market.catalog
+    if len(configuration) != len(catalog):
+        raise ValidationError("configuration must match the catalog width")
+    bid = bid or policy.make_bid_policy()
+    ondemand, spot = split_configuration(configuration, policy.spot_fraction)
+    expected_billing = SpotExpectedBilling.for_market(market)
+
+    expected = 0.0
+    od_only = 0.0
+    bids = []
+    survival = 1.0
+    reclaim_rate = market.config.reclaim_rate_per_hour
+    for i, itype in enumerate(catalog):
+        price = itype.price_per_hour
+        od_only += configuration[i] * price * duration_hours
+        expected += ondemand[i] * price * duration_hours
+        if spot[i] == 0:
+            bids.append(0.0)
+            continue
+        bid_price = bid.bid_price(market, itype.name)
+        bids.append(bid_price)
+        rate = min(expected_billing.amount_due(price, 1.0), bid_price)
+        expected += spot[i] * rate * duration_hours
+        crossing = market.first_bid_crossing(itype.name, bid_price,
+                                             start_hours)
+        if crossing < start_hours + duration_hours:
+            survival = 0.0
+        if reclaim_rate > 0:
+            survival *= math.exp(-reclaim_rate * duration_hours)
+    return PurchasePlan(
+        configuration=tuple(int(v) for v in configuration),
+        ondemand=ondemand,
+        spot=spot,
+        bid_policy=bid.name,
+        bids=tuple(bids),
+        expected_cost_dollars=expected,
+        ondemand_cost_dollars=od_only,
+        interruption_risk=1.0 - survival,
+        duration_hours=duration_hours,
+    )

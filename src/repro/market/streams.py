@@ -1,0 +1,231 @@
+"""Per-instance-type seeded spot price streams.
+
+One :class:`SpotMarket` owns a mean-reverting (Ornstein–Uhlenbeck-like)
+price path per catalog type, discretized on a shared time grid.  Two
+properties matter for everything downstream:
+
+* **determinism** — each type's path is generated from RNG streams
+  derived off ``(seed, type)`` and ``(seed, family)`` keys, so the path
+  for one type never depends on which other paths were queried first,
+  and identical seeds reproduce identical markets across processes;
+* **family correlation** — types sharing a resource family (``c4``,
+  ``m4``, ``r3``) mix a common family noise stream with their own
+  idiosyncratic stream (``rho·z_family + sqrt(1−rho²)·z_type``), so a
+  capacity squeeze on ``c4.xlarge`` co-moves with ``c4.large`` the way
+  real spot pools do, while ``r3`` stays largely independent.
+
+Interruptions come from two causes, mirroring EC2 semantics: the market
+price crossing the bid (deterministic given path and bid) and a
+background capacity reclaim hazard (seeded exponential draw per lease),
+so no bid level makes spot interruption-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.errors import ValidationError
+from repro.utils.rng import derive_rng
+
+__all__ = ["SpotMarketConfig", "SpotMarket"]
+
+
+@dataclass(frozen=True)
+class SpotMarketConfig:
+    """Parameters of one provider's spot market.
+
+    The OU parameters (``mean_fraction``, ``theta``, ``sigma``,
+    ``floor_fraction``) match :class:`~repro.cloud.pricing.SpotPriceProcess`
+    so the legacy single-pool study and the per-type market price the
+    same underlying process.  ``price_surge`` and ``volatility_surge``
+    are chaos-scenario multipliers on the long-run mean and the
+    volatility (1.0 = nominal market).
+    """
+
+    #: Long-run spot mean as a fraction of the on-demand price.
+    mean_fraction: float = 0.35
+    #: Mean-reversion speed per hour.
+    theta: float = 0.6
+    #: Relative volatility (scales the mean price).
+    sigma: float = 0.35
+    #: Price floor as a fraction of the long-run mean.
+    floor_fraction: float = 0.05
+    #: Noise correlation between types of the same resource family.
+    family_correlation: float = 0.6
+    #: Price-path discretization step.
+    step_hours: float = 0.1
+    #: Length of the generated paths (two weeks by default).
+    horizon_hours: float = 24.0 * 14
+    #: Background capacity-reclamation hazard per active spot pool
+    #: (per hour); chaos scenarios raise it.
+    reclaim_rate_per_hour: float = 0.01
+    #: Chaos multiplier on the long-run mean price.
+    price_surge: float = 1.0
+    #: Chaos multiplier on the volatility.
+    volatility_surge: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.mean_fraction <= 1):
+            raise ValidationError("mean_fraction must be in (0, 1]")
+        if self.theta <= 0 or self.sigma < 0:
+            raise ValidationError("theta must be > 0 and sigma >= 0")
+        if not (0 <= self.floor_fraction <= 1):
+            raise ValidationError("floor_fraction must be in [0, 1]")
+        if not (0 <= self.family_correlation <= 1):
+            raise ValidationError("family_correlation must be in [0, 1]")
+        if self.step_hours <= 0 or self.horizon_hours <= 0:
+            raise ValidationError("step and horizon must be positive")
+        if self.reclaim_rate_per_hour < 0:
+            raise ValidationError("reclaim rate must be non-negative")
+        if self.price_surge <= 0 or self.volatility_surge <= 0:
+            raise ValidationError("surge multipliers must be positive")
+
+
+class SpotMarket:
+    """Seeded per-type spot price streams over one catalog.
+
+    Paths are generated lazily and cached, one per type; family noise is
+    likewise generated once per family.  All methods operating on a type
+    accept its name (configuration indices are a planner concern).
+    """
+
+    def __init__(self, catalog: Catalog, config: SpotMarketConfig | None = None,
+                 *, seed: int = 0):
+        self.catalog = catalog
+        self.config = config or SpotMarketConfig()
+        self.seed = seed
+        self.n_steps = int(math.ceil(self.config.horizon_hours
+                                     / self.config.step_hours)) + 1
+        self._paths: dict[str, np.ndarray] = {}
+        self._family_noise: dict[str, np.ndarray] = {}
+
+    # -- path generation ------------------------------------------------------
+
+    def _family_noise_for(self, family: str) -> np.ndarray:
+        noise = self._family_noise.get(family)
+        if noise is None:
+            rng = derive_rng(self.seed, "spot-family", family)
+            noise = rng.standard_normal(self.n_steps - 1)
+            self._family_noise[family] = noise
+        return noise
+
+    def mean_price(self, type_name: str) -> float:
+        """The long-run mean spot price of a type (surge applied)."""
+        itype = self.catalog.type_named(type_name)
+        return (self.config.mean_fraction * self.config.price_surge
+                * itype.price_per_hour)
+
+    def price_path(self, type_name: str) -> np.ndarray:
+        """The full price path of a type (read-only, cached)."""
+        path = self._paths.get(type_name)
+        if path is not None:
+            return path
+        cfg = self.config
+        itype = self.catalog.type_named(type_name)
+        mean = self.mean_price(type_name)
+        sigma = cfg.sigma * cfg.volatility_surge * mean
+        floor = cfg.floor_fraction * mean
+        rho = cfg.family_correlation
+        z_family = self._family_noise_for(itype.category.value)
+        z_type = derive_rng(self.seed, "spot-idio",
+                            type_name).standard_normal(self.n_steps - 1)
+        noise = rho * z_family + math.sqrt(1.0 - rho * rho) * z_type
+        prices = np.empty(self.n_steps, dtype=np.float64)
+        prices[0] = mean
+        sqrt_dt = math.sqrt(cfg.step_hours)
+        for k in range(self.n_steps - 1):
+            drift = cfg.theta * (mean - prices[k]) * cfg.step_hours
+            prices[k + 1] = prices[k] + drift + sigma * sqrt_dt * noise[k]
+        np.clip(prices, floor, None, out=prices)
+        prices.setflags(write=False)
+        self._paths[type_name] = prices
+        return prices
+
+    # -- observations ---------------------------------------------------------
+
+    def price_at(self, type_name: str, hours: float) -> float:
+        """Spot price of a type at an instant (clamped to the horizon)."""
+        if hours < 0:
+            raise ValidationError("time must be non-negative")
+        path = self.price_path(type_name)
+        k = min(int(hours / self.config.step_hours), self.n_steps - 1)
+        return float(path[k])
+
+    def spot_cost(self, type_name: str, start_hours: float,
+                  end_hours: float) -> float:
+        """Dollars to hold one node of a type over ``[start, end]``.
+
+        Piecewise-constant integral of the price path (prices beyond the
+        horizon extend the last grid value), matching EC2's bill-at-the-
+        market-price spot semantics.
+        """
+        if end_hours < start_hours:
+            raise ValidationError("end must not precede start")
+        if end_hours == start_hours:
+            return 0.0
+        step = self.config.step_hours
+        path = self.price_path(type_name)
+        last = self.n_steps - 1
+        total = 0.0
+        k = int(start_hours / step)
+        t = start_hours
+        while t < end_hours:
+            seg_end = min((k + 1) * step, end_hours) if k < last else end_hours
+            total += float(path[min(k, last)]) * (seg_end - t)
+            t = seg_end
+            k += 1
+        return total
+
+    def first_bid_crossing(self, type_name: str, bid_price: float,
+                           start_hours: float = 0.0) -> float:
+        """Hour the market first out-bids ``bid_price`` at or after
+        ``start_hours`` (``inf`` when the bid survives the horizon)."""
+        step = self.config.step_hours
+        path = self.price_path(type_name)
+        k0 = min(int(math.ceil(start_hours / step)), self.n_steps - 1)
+        above = np.flatnonzero(path[k0:] > bid_price)
+        if above.size == 0:
+            return float("inf")
+        return float(k0 + above[0]) * step
+
+    def first_interruption(self, type_name: str, bid_price: float,
+                           start_hours: float = 0.0, *,
+                           lease_key: object = 0,
+                           reclaim_rate_per_hour: float | None = None
+                           ) -> float:
+        """When one spot pool of a type is first interrupted.
+
+        The earlier of the deterministic bid crossing and a seeded
+        exponential capacity-reclaim draw keyed by ``(seed, type,
+        lease_key)`` — distinct leases of the same type draw distinct
+        reclaim times, but one lease replayed under one seed always
+        draws the same.  ``inf`` when neither occurs.
+        """
+        crossing = self.first_bid_crossing(type_name, bid_price, start_hours)
+        rate = (self.config.reclaim_rate_per_hour
+                if reclaim_rate_per_hour is None else reclaim_rate_per_hour)
+        if rate <= 0:
+            return crossing
+        rng = derive_rng(self.seed, "spot-reclaim", type_name, lease_key)
+        reclaim = start_hours + float(rng.exponential(1.0 / rate))
+        return min(crossing, reclaim)
+
+    def describe(self, type_name: str) -> dict:
+        """Summary statistics of one type's path (for the CLI)."""
+        itype = self.catalog.type_named(type_name)
+        path = self.price_path(type_name)
+        od = itype.price_per_hour
+        return {
+            "type": type_name,
+            "on_demand_price": od,
+            "mean_price": float(path.mean()),
+            "min_price": float(path.min()),
+            "max_price": float(path.max()),
+            "long_run_mean": self.mean_price(type_name),
+            "hours_above_on_demand": float(
+                np.count_nonzero(path > od) * self.config.step_hours),
+        }

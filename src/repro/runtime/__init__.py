@@ -24,11 +24,14 @@ from repro.runtime.controller import (
 from repro.runtime.events import (
     DegradationDecision,
     ExecutionTimeline,
+    FallbackToOnDemand,
     InfeasiblePlan,
     Migration,
     NodeCrash,
     ProvisionAttempt,
     ReplanDecision,
+    SpotInterruption,
+    SpotPurchase,
     event_to_dict,
 )
 from repro.runtime.execution import AdvanceResult, LeaseExecution
@@ -54,5 +57,8 @@ __all__ = [
     "DegradationDecision",
     "Migration",
     "InfeasiblePlan",
+    "SpotPurchase",
+    "SpotInterruption",
+    "FallbackToOnDemand",
     "event_to_dict",
 ]

@@ -9,7 +9,12 @@ must survive into one named, auditable object:
 * **mid-run node crashes** — the exponential per-node hazard of
   :class:`repro.engine.faults.FaultModel`, reused verbatim;
 * **stragglers** — a seeded fraction of nodes launching at a fraction
-  of their nominal rate (hidden contention the planner cannot see).
+  of their nominal rate (hidden contention the planner cannot see);
+* **spot-market stress** — surges on the spot market's price level,
+  volatility and capacity-reclaim hazard, applied through
+  :meth:`ChaosScenario.market_config` when a run buys mixed
+  on-demand+spot capacity (:mod:`repro.market`).  Pure on-demand runs
+  are unaffected.
 
 Scenarios are pure data: all randomness is sampled downstream from RNGs
 derived off ``(seed, scenario)`` keys, so one scenario replayed with one
@@ -46,6 +51,13 @@ class ChaosScenario:
     straggler_fraction: float = 0.0
     #: Rate divisor applied to straggling nodes (>1 slows them down).
     straggler_slowdown: float = 1.0
+    #: Extra spot capacity-reclaim hazard (per hour) on top of the
+    #: market's baseline; only bites runs buying spot capacity.
+    spot_reclaim_rate_per_hour: float = 0.0
+    #: Multiplier on the spot market's long-run mean price.
+    spot_price_surge: float = 1.0
+    #: Multiplier on the spot market's volatility.
+    spot_volatility_surge: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -54,6 +66,10 @@ class ChaosScenario:
             raise ValidationError("straggler_fraction must be in [0, 1]")
         if self.straggler_slowdown < 1:
             raise ValidationError("straggler_slowdown must be >= 1")
+        if self.spot_reclaim_rate_per_hour < 0:
+            raise ValidationError("spot reclaim rate must be non-negative")
+        if self.spot_price_surge <= 0 or self.spot_volatility_surge <= 0:
+            raise ValidationError("spot surge multipliers must be positive")
 
     def provisioning_faults(self, seed: int) -> ProvisioningFaultModel:
         """The provisioning injector for one run of this scenario."""
@@ -67,6 +83,28 @@ class ChaosScenario:
         """The mid-run crash hazard (``repro.engine.faults`` reused)."""
         return FaultModel(crash_rate_per_hour=self.crash_rate_per_hour)
 
+    def market_config(self, base=None):
+        """The scenario's view of the spot market.
+
+        Applies this scenario's surges on top of a baseline
+        :class:`~repro.market.SpotMarketConfig` (nominal defaults when
+        omitted).  Imported lazily so pure on-demand runs never touch
+        :mod:`repro.market`.
+        """
+        from dataclasses import replace
+
+        from repro.market import SpotMarketConfig
+
+        base = base or SpotMarketConfig()
+        return replace(
+            base,
+            reclaim_rate_per_hour=(base.reclaim_rate_per_hour
+                                   + self.spot_reclaim_rate_per_hour),
+            price_surge=base.price_surge * self.spot_price_surge,
+            volatility_surge=(base.volatility_surge
+                              * self.spot_volatility_surge),
+        )
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -75,6 +113,9 @@ class ChaosScenario:
             "crash_rate_per_hour": self.crash_rate_per_hour,
             "straggler_fraction": self.straggler_fraction,
             "straggler_slowdown": self.straggler_slowdown,
+            "spot_reclaim_rate_per_hour": self.spot_reclaim_rate_per_hour,
+            "spot_price_surge": self.spot_price_surge,
+            "spot_volatility_surge": self.spot_volatility_surge,
         }
 
 
@@ -99,6 +140,17 @@ SCENARIOS: dict[str, ChaosScenario] = {
                       insufficient_capacity_rate=0.4, throttle_rate=0.2,
                       crash_rate_per_hour=0.08, straggler_fraction=0.25,
                       straggler_slowdown=4.0),
+        # Spot capacity dries up: the provider reclaims spot pools
+        # aggressively while on-demand capacity is also tight — the
+        # fall-back-to-on-demand stressor for mixed purchasing.
+        ChaosScenario(name="spot-squeeze",
+                      insufficient_capacity_rate=0.2,
+                      spot_reclaim_rate_per_hour=0.15),
+        # The market runs hot: the mean price more than doubles and
+        # volatility triples, so fixed bids get out-bid and spot savings
+        # evaporate — the bid-policy stressor.
+        ChaosScenario(name="price-spike",
+                      spot_price_surge=2.2, spot_volatility_surge=3.0),
     )
 }
 

@@ -24,6 +24,18 @@ misbehaves:
    :class:`~repro.runtime.events.InfeasiblePlan` — never a silent
    overrun.
 
+With a :class:`~repro.market.MarketPolicy` the controller additionally
+buys **mixed on-demand + spot capacity**: each planned configuration is
+split into a purchasing vector (:func:`repro.market.purchase_plan`),
+the on-demand part goes through :class:`CloudProvider` as before and
+the spot part through a :class:`~repro.market.SpotFleet`, billed at the
+integrated market price.  A spot kill re-enters the same replan loop
+with residual demand; after too many interruptions (or with the
+residual slack too thin) the controller *falls back to pure on-demand*
+for the rest of the run.  Budget projections always price plans at
+on-demand rates — realized spot cost can only undercut them — so a
+market run can never silently overrun the budget either.
+
 The controller only ever sees what a real one could: measured progress
 and the *model's* demand estimates.  Ground truth (true demand, hidden
 straggler factors, future crash times) lives in the execution substrate
@@ -49,18 +61,21 @@ from repro.runtime.chaos import ChaosScenario
 from repro.runtime.events import (
     DegradationDecision,
     ExecutionTimeline,
+    FallbackToOnDemand,
     InfeasiblePlan,
     Migration,
     NodeCrash,
     ProvisionAttempt,
     ReplanDecision,
     RuntimeEvent,
+    SpotInterruption,
+    SpotPurchase,
     event_to_dict,
 )
 from repro.runtime.execution import LeaseExecution
 from repro.runtime.retry import RetryPolicy, provision_with_retry
 from repro.units import SECONDS_PER_HOUR
-from repro.utils.rng import spawn_seed
+from repro.utils.rng import derive_rng, spawn_seed
 
 __all__ = ["RuntimeConfig", "RuntimeReport", "AdaptiveController",
            "degraded_accuracy_search"]
@@ -189,6 +204,14 @@ class RuntimeReport:
     crashes: int
     provision_attempts: int
     timeline: tuple[RuntimeEvent, ...]
+    #: Whether the run bought capacity on the spot market.
+    market: bool = False
+    #: Spot nodes reclaimed by the market during the run.
+    spot_interruptions: int = 0
+    #: Dollars of ``cost_dollars`` billed at spot (market) prices.
+    spot_cost_dollars: float = 0.0
+    #: Whether the controller fell back to pure on-demand purchasing.
+    ondemand_fallback: bool = False
 
     @property
     def deadline_met(self) -> bool:
@@ -226,6 +249,10 @@ class RuntimeReport:
             "migrations": self.migrations,
             "crashes": self.crashes,
             "provision_attempts": self.provision_attempts,
+            "market": self.market,
+            "spot_interruptions": self.spot_interruptions,
+            "spot_cost_dollars": self.spot_cost_dollars,
+            "ondemand_fallback": self.ondemand_fallback,
             "timeline": [event_to_dict(e) for e in self.timeline],
         }
 
@@ -251,6 +278,9 @@ class _RunState:
         self.degradations = 0
         self.migrations = 0
         self.crashes = 0
+        self.spot_interruptions = 0
+        self.spot_cost_dollars = 0.0
+        self.spot_fallback = False
         self.epoch = 0
         self.timeline = ExecutionTimeline()
 
@@ -271,11 +301,21 @@ class AdaptiveController:
         Controller knobs; ``replan=False`` gives the static baseline.
     seed:
         Root seed of every stochastic draw in the run.
+    market:
+        A :class:`~repro.market.SpotMarket` to buy spot capacity on.
+        Omitted but with a ``market_policy`` given, a market is built
+        from the scenario's :meth:`~ChaosScenario.market_config` and a
+        seed derived off the root seed.
+    market_policy:
+        How to split purchases between on-demand and spot
+        (:class:`~repro.market.MarketPolicy`).  Defaults when a
+        ``market`` is given.  With neither, the controller buys pure
+        on-demand capacity exactly as before.
     """
 
     def __init__(self, celia: Celia, app: ElasticApplication, *,
                  scenario: ChaosScenario, config: RuntimeConfig | None = None,
-                 seed: int = 0):
+                 seed: int = 0, market=None, market_policy=None):
         self.celia = celia
         self.app = app
         self.scenario = scenario
@@ -283,6 +323,24 @@ class AdaptiveController:
         self.seed = seed
         self._capacities = celia.capacities(app)
         self._index = celia.min_cost_index(app)
+        self.market = None
+        self.market_policy = None
+        self._fleet = None
+        self._bid = None
+        if market is not None or market_policy is not None:
+            # Imported lazily so pure on-demand runs never touch the
+            # market subsystem.
+            from repro.market import MarketPolicy, SpotFleet, SpotMarket
+            if market is None:
+                market = SpotMarket(celia.catalog, scenario.market_config(),
+                                    seed=spawn_seed(seed, "spot-market"))
+            self.market = market
+            self.market_policy = market_policy or MarketPolicy()
+            self._fleet = SpotFleet(
+                market,
+                virtualization=celia.engine_config.virtualization,
+                seed=spawn_seed(seed, "spot-fleet"))
+            self._bid = self.market_policy.make_bid_policy()
 
     # -- model-side estimates ----------------------------------------------------
 
@@ -408,6 +466,69 @@ class AdaptiveController:
         ))
         return best_answer.configuration
 
+    # -- mixed purchasing --------------------------------------------------------
+
+    def _purchase_split(self, state: _RunState, config: tuple[int, ...]):
+        """Split one planned configuration into purchasing vectors.
+
+        Returns ``(ondemand, spot)`` in catalog order; ``spot`` is
+        ``None`` when everything is bought on-demand — no market, the
+        run has fallen back, or the policy's spot fraction rounds every
+        type to zero.  A live split is priced against the market over
+        the projected residual duration and recorded as a
+        :class:`SpotPurchase`; fallback (interruption tolerance
+        exhausted, or residual slack below the policy's floor) is
+        permanent for the run and recorded once as a
+        :class:`FallbackToOnDemand`.
+        """
+        if self.market is None:
+            return config, None
+        from repro.market import purchase_plan
+
+        policy = self.market_policy
+        residual_t = max(state.deadline_hours - state.now_hours, 0.0)
+        rate = float(np.dot(np.asarray(config, dtype=float),
+                            self._capacities)) * state.rate_efficiency
+        est_remaining = self._estimated_remaining_gi(state, state.accuracy)
+        projected = (est_remaining / rate / SECONDS_PER_HOUR
+                     if rate > 0 else float("inf"))
+        if not state.spot_fallback:
+            reason = None
+            if state.spot_interruptions >= policy.fallback_after_interruptions:
+                reason = (f"{state.spot_interruptions} spot interruptions "
+                          f"reached the tolerance of "
+                          f"{policy.fallback_after_interruptions}")
+            elif (residual_t <= 0
+                  or (residual_t - projected) / residual_t
+                  < policy.min_slack_fraction):
+                reason = (f"residual deadline slack below "
+                          f"{policy.min_slack_fraction:.0%}; not gambling "
+                          f"on spot capacity")
+            if reason is not None:
+                state.spot_fallback = True
+                state.timeline.record(FallbackToOnDemand(
+                    at_hours=state.now_hours,
+                    interruptions=state.spot_interruptions,
+                    reason=reason))
+        if state.spot_fallback:
+            return config, None
+        plan = purchase_plan(self.market, config, policy,
+                             duration_hours=min(projected, residual_t),
+                             start_hours=state.now_hours, bid=self._bid)
+        if not any(plan.spot):
+            return config, None
+        state.timeline.record(SpotPurchase(
+            at_hours=state.now_hours,
+            configuration=plan.configuration,
+            ondemand=plan.ondemand,
+            spot=plan.spot,
+            bid_policy=plan.bid_policy,
+            expected_cost_dollars=plan.expected_cost_dollars,
+            ondemand_cost_dollars=plan.ondemand_cost_dollars,
+            interruption_risk=plan.interruption_risk,
+        ))
+        return plan.ondemand, plan.spot
+
     # -- execution ---------------------------------------------------------------
 
     def execute(self, n: float, a: float, deadline_hours: float,
@@ -462,6 +583,8 @@ class AdaptiveController:
         registry.counter("runtime_crashes_total").increment(report.crashes)
         registry.counter("runtime_migrations_total").increment(
             report.migrations)
+        registry.counter("runtime_spot_interruptions_total").increment(
+            report.spot_interruptions)
         return report
 
     def _execute(self, n: float, a: float, deadline_hours: float,
@@ -490,23 +613,31 @@ class AdaptiveController:
             config = tuple(int(v) for v in configuration)
 
         while True:
+            ondemand, spot = self._purchase_split(state, config)
             # -- provision (with retries; backoff burns deadline) --------------
+            lease = None
             try:
-                with get_tracer().span("runtime.provision",
-                                       {"epoch": state.epoch}):
-                    lease, state.now_hours = provision_with_retry(
-                        provider, config, self._capacities,
-                        policy=self.config.retry,
-                        now_hours=state.now_hours,
-                        seed=spawn_seed(self.seed, "retry", state.epoch),
-                        timeline=state.timeline)
+                if any(ondemand):
+                    with get_tracer().span("runtime.provision",
+                                           {"epoch": state.epoch}):
+                        lease, state.now_hours = provision_with_retry(
+                            provider, ondemand, self._capacities,
+                            policy=self.config.retry,
+                            now_hours=state.now_hours,
+                            seed=spawn_seed(self.seed, "retry", state.epoch),
+                            timeline=state.timeline)
             except ProvisioningError:
                 config = self._next_plan_or_none(state, "provisioning")
                 if config is None:
                     return self._report(state, "infeasible")
                 continue
+            spot_alloc = None
+            if spot is not None:
+                spot_alloc = self._fleet.launch(
+                    spot, self._bid, now_hours=state.now_hours,
+                    lease_key=state.epoch)
 
-            outcome = self._run_lease(state, provider, lease)
+            outcome = self._run_lease(state, provider, lease, spot_alloc)
             if outcome == "completed":
                 return self._final_verdict(state)
             # "stall" | "deviation" | "crash": lease is already terminated
@@ -555,26 +686,74 @@ class AdaptiveController:
         return self._plan(state, reason)
 
     def _run_lease(self, state: _RunState, provider: CloudProvider,
-                   lease: Lease) -> str:
-        """Execute on one lease until completion or a deviation.
+                   lease: Lease | None,
+                   spot_alloc=None) -> str:
+        """Execute on one lease (plus optional spot allocation) until
+        completion or a deviation.
 
-        Returns "completed", "crash", "deviation" or "stall"; in every
-        non-completed case the lease has been terminated and billed.
+        Returns "completed", "crash", "spot-interruption", "deviation"
+        or "stall"; in every non-completed case the lease and the spot
+        allocation have been terminated and billed.  Without a spot
+        allocation the execution is built exactly as before (same RNG
+        keys), so pure on-demand runs replay the seed's legacy
+        timeline bit-for-bit.
         """
         cfg = self.config
         ready = state.now_hours + cfg.node_startup_seconds / SECONDS_PER_HOUR
-        nominal = np.array([
-            self.app.true_rate_gips(inst.itype) * inst.contention_factor
-            for inst in lease.instances
-        ])
-        execution = LeaseExecution.launch(
-            nominal, start_hours=ready,
-            fault_model=self.scenario.fault_model(),
-            straggler_fraction=self.scenario.straggler_fraction,
-            straggler_slowdown=self.scenario.straggler_slowdown,
-            seed=self.seed, lease_id=lease.lease_id)
+        od_instances = list(lease.instances) if lease is not None else []
+        interrupted = None
+        if spot_alloc is None:
+            instances = od_instances
+            nominal = np.array([
+                self.app.true_rate_gips(inst.itype) * inst.contention_factor
+                for inst in instances
+            ])
+            execution = LeaseExecution.launch(
+                nominal, start_hours=ready,
+                fault_model=self.scenario.fault_model(),
+                straggler_fraction=self.scenario.straggler_fraction,
+                straggler_slowdown=self.scenario.straggler_slowdown,
+                seed=self.seed, lease_id=lease.lease_id)
+        else:
+            # Mixed fleet: the on-demand nodes first, the spot nodes
+            # after, sharing one execution so progress and crash order
+            # interleave exactly once.  Crash/straggler draws reuse the
+            # launch() key shapes; spot nodes additionally die at their
+            # pool's market interruption, whichever comes first.
+            instances = od_instances + spot_alloc.instances
+            nominal = np.array([
+                self.app.true_rate_gips(inst.itype) * inst.contention_factor
+                for inst in instances
+            ])
+            n = nominal.size
+            lease_key = (lease.lease_id if lease is not None
+                         else -(state.epoch + 1))
+            fault_model = self.scenario.fault_model()
+            crash_rng = derive_rng(self.seed, "crash", lease_key)
+            crash_at = (ready
+                        + fault_model.sample_crash_seconds(crash_rng, n)
+                        / SECONDS_PER_HOUR)
+            rates = nominal.astype(float).copy()
+            if (self.scenario.straggler_fraction > 0
+                    and self.scenario.straggler_slowdown > 1):
+                straggler_rng = derive_rng(self.seed, "straggler", lease_key)
+                mask = (straggler_rng.uniform(size=n)
+                        < self.scenario.straggler_fraction)
+                rates[mask] /= self.scenario.straggler_slowdown
+            interrupted = np.zeros(n, dtype=bool)
+            offset = len(od_instances)
+            for j, spot_node in enumerate(spot_alloc.nodes):
+                # An interruption during boot still counts: clamp it
+                # just past readiness so the node dies on the first
+                # advance instead of silently never existing.
+                kill = max(spot_node.interruption_at_hours, ready + 1e-9)
+                if kill < crash_at[offset + j]:
+                    crash_at[offset + j] = kill
+                    interrupted[offset + j] = True
+            execution = LeaseExecution(rates, crash_at, ready)
 
         monitoring = cfg.replan
+        interrupted_this_advance = False
         while True:
             tick_start = execution.now_hours
             until = (tick_start + cfg.monitor_interval_hours
@@ -584,8 +763,24 @@ class AdaptiveController:
             state.remaining_true_gi -= result.work_done_gi
             state.now_hours = result.now_hours
             crashed_this_advance = bool(result.crashed)
+            interrupted_this_advance = False
             for node in result.crashed:
-                inst = lease.instances[node]
+                inst = instances[node]
+                if interrupted is not None and interrupted[node]:
+                    interrupted_this_advance = True
+                    spot_node = spot_alloc.nodes[node - len(od_instances)]
+                    state.spot_interruptions += 1
+                    state.timeline.record(SpotInterruption(
+                        at_hours=float(execution.crash_at[node]),
+                        instance_id=inst.instance_id,
+                        type_name=inst.itype.name,
+                        bid_price=spot_node.bid_price,
+                        market_price=self.market.price_at(
+                            inst.itype.name,
+                            float(execution.crash_at[node])),
+                        surviving_nodes=execution.surviving_nodes,
+                    ))
+                    continue
                 state.crashes += 1
                 state.timeline.record(NodeCrash(
                     at_hours=float(execution.crash_at[node]),
@@ -594,10 +789,10 @@ class AdaptiveController:
                     surviving_nodes=execution.surviving_nodes,
                 ))
             if result.completed:
-                self._terminate(state, provider, lease)
+                self._terminate(state, provider, lease, spot_alloc)
                 return "completed"
             if result.stalled:
-                self._terminate(state, provider, lease)
+                self._terminate(state, provider, lease, spot_alloc)
                 return "stall"
             if not monitoring:
                 continue
@@ -612,24 +807,32 @@ class AdaptiveController:
                     observed = result.work_done_gi / dt_s / nominal_alive
                     state.rate_efficiency = float(
                         np.clip(observed, 0.25, 1.0))
-            if self._deviated(state, provider, lease, execution):
-                self._terminate(state, provider, lease)
+            if self._deviated(state, provider, lease, execution, spot_alloc):
+                self._terminate(state, provider, lease, spot_alloc)
+                if interrupted_this_advance:
+                    return "spot-interruption"
                 return "crash" if crashed_this_advance else "deviation"
 
     def _deviated(self, state: _RunState, provider: CloudProvider,
-                  lease: Lease, execution: LeaseExecution) -> bool:
+                  lease: Lease | None, execution: LeaseExecution,
+                  spot_alloc=None) -> bool:
         """Projected envelope check at one monitor tick.
 
         Projections use the *estimated* residual demand and the billing
         model applied to the projected uptime — what a real monitor
-        could compute from observables.
+        could compute from observables.  Spot capacity is projected at
+        the integrated market price up to the projected finish, which
+        its bid caps from above.
         """
         est_remaining = self._estimated_remaining_gi(state, state.accuracy)
         finish = execution.projected_finish_hours(est_remaining)
         tol = self.config.deviation_tolerance
         if finish > state.deadline_hours * tol:
             return True
-        projected_bill = self._lease_bill_at(provider, lease, finish)
+        projected_bill = (self._lease_bill_at(provider, lease, finish)
+                          if lease is not None else 0.0)
+        if spot_alloc is not None:
+            projected_bill += self._fleet.bill_at(spot_alloc, finish)
         return (state.spent_dollars + projected_bill
                 > state.budget_dollars * tol)
 
@@ -643,8 +846,15 @@ class AdaptiveController:
         )
 
     def _terminate(self, state: _RunState, provider: CloudProvider,
-                   lease: Lease) -> None:
-        bill = provider.terminate(lease, now_hours=state.now_hours)
+                   lease: Lease | None, spot_alloc=None) -> None:
+        bill = 0.0
+        if lease is not None:
+            bill += provider.terminate(lease, now_hours=state.now_hours)
+        if spot_alloc is not None:
+            spot_bill = self._fleet.terminate(spot_alloc,
+                                              now_hours=state.now_hours)
+            state.spot_cost_dollars += spot_bill
+            bill += spot_bill
         state.spent_dollars += bill
         state.last_lease_bill = bill
 
@@ -681,4 +891,8 @@ class AdaptiveController:
             crashes=state.crashes,
             provision_attempts=state.timeline.count(ProvisionAttempt),
             timeline=state.timeline.events,
+            market=self.market is not None,
+            spot_interruptions=state.spot_interruptions,
+            spot_cost_dollars=state.spot_cost_dollars,
+            ondemand_fallback=state.spot_fallback,
         )

@@ -24,6 +24,9 @@ __all__ = [
     "DegradationDecision",
     "Migration",
     "InfeasiblePlan",
+    "SpotPurchase",
+    "SpotInterruption",
+    "FallbackToOnDemand",
     "RuntimeEvent",
     "ExecutionTimeline",
     "event_to_dict",
@@ -58,7 +61,8 @@ class ReplanDecision:
     """The controller re-ran frontier selection over residual state."""
 
     at_hours: float
-    reason: str  # "crash" | "deviation" | "provisioning" | "stall"
+    reason: str  # "crash" | "spot-interruption" | "deviation"
+    #           | "provisioning" | "stall"
     remaining_gi: float
     residual_deadline_hours: float
     residual_budget_dollars: float
@@ -114,8 +118,48 @@ class InfeasiblePlan:
     detail: str
 
 
+@dataclass(frozen=True, slots=True)
+class SpotPurchase:
+    """A configuration was split into an on-demand + spot purchasing
+    vector and priced against the market before launch."""
+
+    at_hours: float
+    configuration: tuple[int, ...]
+    ondemand: tuple[int, ...]
+    spot: tuple[int, ...]
+    bid_policy: str
+    expected_cost_dollars: float
+    ondemand_cost_dollars: float
+    interruption_risk: float
+
+
+@dataclass(frozen=True, slots=True)
+class SpotInterruption:
+    """The market reclaimed a spot node: the price crossed its pool's
+    bid, or the provider took the capacity back."""
+
+    at_hours: float
+    instance_id: str
+    type_name: str
+    bid_price: float
+    market_price: float
+    surviving_nodes: int
+
+
+@dataclass(frozen=True, slots=True)
+class FallbackToOnDemand:
+    """The controller stopped buying spot capacity for this run —
+    interruptions exceeded the tolerance or the residual slack got too
+    thin to gamble."""
+
+    at_hours: float
+    interruptions: int
+    reason: str
+
+
 RuntimeEvent = (ProvisionAttempt | NodeCrash | ReplanDecision
-                | DegradationDecision | Migration | InfeasiblePlan)
+                | DegradationDecision | Migration | InfeasiblePlan
+                | SpotPurchase | SpotInterruption | FallbackToOnDemand)
 
 _EVENT_KINDS = {
     ProvisionAttempt: "provision_attempt",
@@ -124,6 +168,9 @@ _EVENT_KINDS = {
     DegradationDecision: "degradation",
     Migration: "migration",
     InfeasiblePlan: "infeasible_plan",
+    SpotPurchase: "spot_purchase",
+    SpotInterruption: "spot_interruption",
+    FallbackToOnDemand: "fallback_on_demand",
 }
 
 

@@ -2,12 +2,14 @@
 
 One spot run executes an application's total work on a fixed
 configuration whose instances are bid on the spot market.  The price
-path follows the mean-reverting process in
-:class:`~repro.cloud.pricing.SpotPriceProcess`; whenever the market
-price crosses the bid, the whole allocation is reclaimed, progress rolls
-back to the last checkpoint, and the run waits for the price to drop
-below the bid before restarting.  Billing accrues at the *market* price
-while instances are held (EC2 spot semantics).
+path is the configuration-weighted sum of the *shared* per-type market
+streams (:class:`~repro.market.SpotMarket`), so this ablation and the
+runtime's mixed on-demand+spot purchasing study the same market;
+whenever the aggregate market price crosses the bid, the whole
+allocation is reclaimed, progress rolls back to the last checkpoint,
+and the run waits for the price to drop below the bid before
+restarting.  Billing accrues at the *market* price while instances are
+held (EC2 spot semantics).
 """
 
 from __future__ import annotations
@@ -17,10 +19,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.catalog import Catalog
-from repro.cloud.pricing import SpotPriceProcess
 from repro.errors import ValidationError
+from repro.market.streams import SpotMarket, SpotMarketConfig
 from repro.spot.checkpoint import CheckpointPolicy
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, spawn_seed
 
 __all__ = ["SpotRunConfig", "SpotOutcome", "simulate_spot_run"]
 
@@ -92,14 +94,23 @@ def simulate_spot_run(run: SpotRunConfig, catalog: Catalog,
     prices = catalog.prices
     on_demand_rate = float(config_vec @ prices)  # $/h at on-demand prices
 
-    # One aggregated price process for the allocation: realistic enough
-    # for a single-market-pool study, and keeps the ablation legible.
-    process = SpotPriceProcess(on_demand_price=on_demand_rate)
-    rng = derive_rng(seed, "spot-path", run.configuration, run.bid_fraction)
-    path = process.sample_path(run.horizon_hours, run.step_hours, rng)
+    # The allocation pays the sum of its nodes' per-type market streams
+    # — the same correlated paths the runtime's mixed purchasing buys
+    # against, so bid-fraction sweeps here transfer to bid policies
+    # there.  Reclaim draws key off the configuration but *not* the
+    # bid, so raising the bid can only remove interruptions per seed.
+    market = SpotMarket(
+        catalog,
+        SpotMarketConfig(step_hours=run.step_hours,
+                         horizon_hours=run.horizon_hours,
+                         reclaim_rate_per_hour=run.reclaim_rate_per_hour),
+        seed=spawn_seed(seed, "spot-market"))
+    path = sum(count * market.price_path(itype.name)
+               for count, itype in zip(run.configuration, catalog) if count)
     bid = run.bid_fraction * on_demand_rate
     reclaim_prob = run.reclaim_rate_per_hour * run.step_hours
-    reclaims = rng.random(path.size) < reclaim_prob
+    reclaim_rng = derive_rng(seed, "spot-reclaim", run.configuration)
+    reclaims = reclaim_rng.random(path.size) < reclaim_prob
 
     work_needed_hours = (run.demand_gi / run.capacity_gips / 3600.0) \
         * run.policy.overhead_factor()

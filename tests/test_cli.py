@@ -269,6 +269,101 @@ class TestExecuteCommand:
         assert code != 0
         assert "unknown chaos scenario" in capsys.readouterr().err
 
+    def test_execute_market_json_is_deterministic(self, capsys):
+        argv = ["--seed", "1", "--quota", "2", "execute", "galaxy",
+                "65536", "8000", "--deadline", "40", "--budget", "400",
+                "--market", "--chaos", "spot-squeeze", "--json"]
+        code = main(argv)
+        first = capsys.readouterr().out
+        assert main(argv) == code
+        assert capsys.readouterr().out == first
+        report = json.loads(first)
+        assert report["market"] is True
+        assert report["scenario"] == "spot-squeeze"
+        assert report["cost_dollars"] <= report["budget_dollars"]
+        assert 0.0 <= report["spot_cost_dollars"] <= report["cost_dollars"]
+        kinds = {event["kind"] for event in report["timeline"]}
+        assert "spot_purchase" in kinds
+
+    def test_spot_fraction_implies_market(self, capsys):
+        code = main(["--seed", "1", "--quota", "2", "execute", "galaxy",
+                     "65536", "8000", "--deadline", "40", "--budget", "400",
+                     "--spot-fraction", "1.0", "--bid-policy", "adaptive",
+                     "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert report["market"] is True
+
+    def test_execute_market_human_summary(self, capsys):
+        code = main(["--seed", "1", "--quota", "2", "execute", "galaxy",
+                     "65536", "8000", "--deadline", "40", "--budget", "400",
+                     "--market"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "market  :" in out and "spot interruption" in out
+
+    def test_invalid_market_policy_rejected(self, capsys):
+        code = main(["--quota", "2", "execute", "galaxy", "65536", "8000",
+                     "--deadline", "40", "--budget", "400",
+                     "--spot-fraction", "1.5"])
+        assert code == 2
+        assert "spot_fraction" in capsys.readouterr().err
+        code = main(["--quota", "2", "execute", "galaxy", "65536", "8000",
+                     "--deadline", "40", "--budget", "400",
+                     "--bid-policy", "yolo"])
+        assert code == 2
+        assert "unknown bid policy" in capsys.readouterr().err
+
+
+class TestMarketCommand:
+    def test_policies_table(self, capsys):
+        code = main(["market", "policies"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("fixed-fraction", "on-demand-cap", "adaptive"):
+            assert name in out
+
+    def test_policies_json(self, capsys):
+        code = main(["market", "policies", "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [row["name"] for row in rows] == \
+            ["fixed-fraction", "on-demand-cap", "adaptive"]
+        assert all(row["description"] for row in rows)
+
+    def test_prices_json_covers_catalog(self, capsys):
+        code = main(["--seed", "3", "market", "prices", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["scenario"] == "calm"
+        assert len(payload["types"]) == 9
+        for row in payload["types"]:
+            assert row["min_price"] <= row["mean_price"] <= row["max_price"]
+
+    def test_prices_surged_scenario(self, capsys):
+        code = main(["--seed", "3", "market", "prices",
+                     "--chaos", "price-spike", "--json"])
+        spiked = json.loads(capsys.readouterr().out)
+        assert code == 0
+        main(["--seed", "3", "market", "prices", "--json"])
+        calm = json.loads(capsys.readouterr().out)
+        spiked_mean = {r["type"]: r["long_run_mean"]
+                       for r in spiked["types"]}
+        for row in calm["types"]:
+            assert spiked_mean[row["type"]] > row["long_run_mean"]
+
+    def test_prices_human_table(self, capsys):
+        code = main(["market", "prices"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spot market under 'calm'" in out
+        assert "c4.large" in out
+
+    def test_prices_unknown_scenario(self, capsys):
+        code = main(["market", "prices", "--chaos", "volcano"])
+        assert code == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
 
 class TestRegistryJsonExport:
     def test_figure5_series_written(self, tmp_path):

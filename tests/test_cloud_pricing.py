@@ -114,6 +114,23 @@ class TestSpotPriceProcess:
         with pytest.raises(ValidationError):
             SpotPriceProcess(on_demand_price=1.0, theta=0.0)
 
+    def test_floor_fraction_validated(self):
+        with pytest.raises(ValidationError, match="floor_fraction"):
+            SpotPriceProcess(on_demand_price=1.0, floor_fraction=-0.1)
+        with pytest.raises(ValidationError, match="floor_fraction"):
+            # The floor cannot sit above the long-run mean.
+            SpotPriceProcess(on_demand_price=1.0, mean_fraction=0.35,
+                             floor_fraction=0.4)
+
+    def test_floor_fraction_boundary_accepted(self):
+        process = SpotPriceProcess(on_demand_price=1.0, mean_fraction=0.35,
+                                   floor_fraction=0.35)
+        assert process.floor == pytest.approx(0.35 * process.mean_price)
+        path = process.sample_path(10, 1.0, np.random.default_rng(3))
+        assert np.all(path >= process.floor)
+        assert SpotPriceProcess(on_demand_price=1.0,
+                                floor_fraction=0.0).floor == 0.0
+
     def test_invalid_path_request(self):
         process = SpotPriceProcess(on_demand_price=1.0)
         with pytest.raises(ValidationError):

@@ -1,0 +1,517 @@
+"""Tests for the spot market subsystem (:mod:`repro.market`).
+
+Covers the seeded price streams (determinism, floor clipping, mean
+reversion, family correlation), interruption draws (bid monotonicity,
+cross-process reproducibility), bid policies, the mixed purchase
+planner, the spot fleet, the chaos scenarios' market surges, and — the
+subsystem's headline guarantee — byte-identical double runs of the
+market-enabled controller under both new chaos scenarios.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import application_by_name
+from repro.cloud.catalog import ec2_catalog
+from repro.core.celia import Celia
+from repro.errors import ValidationError
+from repro.market import (
+    AdaptiveBid,
+    FixedFractionBid,
+    MarketPolicy,
+    OnDemandCapBid,
+    SpotExpectedBilling,
+    SpotFleet,
+    SpotMarket,
+    SpotMarketConfig,
+    bid_policy,
+    bid_policy_names,
+    purchase_plan,
+    split_configuration,
+)
+from repro.runtime import AdaptiveController, RuntimeConfig
+from repro.runtime.chaos import chaos_scenario
+
+#: Short-horizon config: fast paths, plenty of steps for statistics.
+SHORT = SpotMarketConfig(horizon_hours=48.0)
+
+
+@pytest.fixture(scope="module")
+def ec2m():
+    """The nine-type catalog (quota irrelevant to the market)."""
+    return ec2_catalog()
+
+
+@pytest.fixture()
+def market(ec2m):
+    return SpotMarket(ec2m, SHORT, seed=7)
+
+
+class TestSpotMarketConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_fraction": 0.0},
+        {"mean_fraction": 1.5},
+        {"theta": 0.0},
+        {"sigma": -0.1},
+        {"floor_fraction": 1.5},
+        {"floor_fraction": -0.1},
+        {"family_correlation": 1.5},
+        {"step_hours": 0.0},
+        {"horizon_hours": -1.0},
+        {"reclaim_rate_per_hour": -0.01},
+        {"price_surge": 0.0},
+        {"volatility_surge": -1.0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            SpotMarketConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        config = SpotMarketConfig()
+        assert config.mean_fraction == 0.35
+        assert config.horizon_hours == pytest.approx(24.0 * 14)
+
+
+class TestPricePaths:
+    def test_identical_seeds_identical_paths(self, ec2m):
+        a = SpotMarket(ec2m, SHORT, seed=11)
+        b = SpotMarket(ec2m, SHORT, seed=11)
+        for itype in ec2m:
+            np.testing.assert_array_equal(a.price_path(itype.name),
+                                          b.price_path(itype.name))
+
+    def test_different_seeds_differ(self, ec2m):
+        a = SpotMarket(ec2m, SHORT, seed=11)
+        b = SpotMarket(ec2m, SHORT, seed=12)
+        assert not np.array_equal(a.price_path("c4.large"),
+                                  b.price_path("c4.large"))
+
+    def test_query_order_independence(self, ec2m):
+        names = [itype.name for itype in ec2m]
+        forward = SpotMarket(ec2m, SHORT, seed=3)
+        backward = SpotMarket(ec2m, SHORT, seed=3)
+        paths_fwd = {n: forward.price_path(n) for n in names}
+        paths_bwd = {n: backward.price_path(n) for n in reversed(names)}
+        for n in names:
+            np.testing.assert_array_equal(paths_fwd[n], paths_bwd[n])
+
+    def test_paths_are_read_only_and_cached(self, market):
+        path = market.price_path("m4.large")
+        assert path is market.price_path("m4.large")
+        with pytest.raises(ValueError):
+            path[0] = 0.0
+
+    def test_floor_clipping(self, ec2m):
+        config = SpotMarketConfig(sigma=3.0, floor_fraction=0.5,
+                                  horizon_hours=48.0)
+        market = SpotMarket(ec2m, config, seed=5)
+        for itype in ec2m:
+            path = market.price_path(itype.name)
+            floor = config.floor_fraction * market.mean_price(itype.name)
+            assert np.all(path >= floor - 1e-12)
+
+    def test_mean_reversion(self, ec2m):
+        config = SpotMarketConfig(sigma=0.05, horizon_hours=200.0,
+                                  step_hours=0.5)
+        market = SpotMarket(ec2m, config, seed=1)
+        mean = market.mean_price("c4.xlarge")
+        path = market.price_path("c4.xlarge")
+        assert abs(path.mean() - mean) < 0.1 * mean
+
+    def test_family_correlation_extremes(self, ec2m):
+        def increment_corr(rho):
+            config = SpotMarketConfig(family_correlation=rho,
+                                      floor_fraction=0.0,
+                                      horizon_hours=96.0)
+            market = SpotMarket(ec2m, config, seed=9)
+            a = np.diff(market.price_path("c4.large"))
+            b = np.diff(market.price_path("c4.xlarge"))
+            return float(np.corrcoef(a / a.std(), b / b.std())[0, 1])
+
+        assert increment_corr(1.0) > 0.99
+        assert abs(increment_corr(0.0)) < 0.2
+        assert increment_corr(1.0) > increment_corr(0.0)
+
+    def test_same_family_co_moves_more_than_cross_family(self, ec2m):
+        config = SpotMarketConfig(floor_fraction=0.0, horizon_hours=96.0)
+        market = SpotMarket(ec2m, config, seed=9)
+        c4l = np.diff(market.price_path("c4.large"))
+        c4x = np.diff(market.price_path("c4.xlarge"))
+        r3l = np.diff(market.price_path("r3.large"))
+        same = np.corrcoef(c4l, c4x)[0, 1]
+        cross = np.corrcoef(c4l, r3l)[0, 1]
+        assert same > cross
+
+    def test_price_at(self, market):
+        path = market.price_path("c4.large")
+        assert market.price_at("c4.large", 0.0) == path[0]
+        # Beyond the horizon clamps to the last grid value.
+        assert market.price_at("c4.large", 10_000.0) == path[-1]
+        with pytest.raises(ValidationError):
+            market.price_at("c4.large", -1.0)
+
+    def test_surge_scales_mean(self, ec2m):
+        calm = SpotMarket(ec2m, SHORT, seed=2)
+        surged = SpotMarket(
+            ec2m, SpotMarketConfig(horizon_hours=48.0, price_surge=2.0),
+            seed=2)
+        assert surged.mean_price("c4.large") == pytest.approx(
+            2.0 * calm.mean_price("c4.large"))
+
+
+class TestSpotCost:
+    def test_validation(self, market):
+        with pytest.raises(ValidationError):
+            market.spot_cost("c4.large", 2.0, 1.0)
+        assert market.spot_cost("c4.large", 1.0, 1.0) == 0.0
+
+    def test_piecewise_constant_integral(self, market):
+        step = market.config.step_hours
+        path = market.price_path("c4.large")
+        # One full grid cell costs exactly price × step.
+        assert market.spot_cost("c4.large", 0.0, step) == pytest.approx(
+            float(path[0]) * step)
+        # Additivity over adjacent intervals.
+        total = market.spot_cost("c4.large", 0.0, 1.7)
+        split = (market.spot_cost("c4.large", 0.0, 0.85)
+                 + market.spot_cost("c4.large", 0.85, 1.7))
+        assert total == pytest.approx(split)
+
+    def test_extends_past_horizon_at_last_price(self, market):
+        h = market.config.horizon_hours
+        last = float(market.price_path("c4.large")[-1])
+        assert market.spot_cost("c4.large", h + 5.0, h + 7.0) == \
+            pytest.approx(2.0 * last)
+
+
+class TestInterruptions:
+    def test_bid_above_max_never_crosses(self, market):
+        ceiling = float(market.price_path("c4.large").max())
+        assert market.first_bid_crossing("c4.large", ceiling + 1.0) == \
+            float("inf")
+
+    def test_bid_below_start_crosses_immediately(self, market):
+        path = market.price_path("c4.large")
+        assert market.first_bid_crossing("c4.large",
+                                         float(path[0]) * 0.5) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_crossing_monotone_in_bid(self, f1, f2):
+        market = SpotMarket(ec2_catalog(), SHORT, seed=13)
+        od = market.catalog.type_named("m4.xlarge").price_per_hour
+        lo, hi = sorted((f1, f2))
+        assert (market.first_bid_crossing("m4.xlarge", lo * od)
+                <= market.first_bid_crossing("m4.xlarge", hi * od))
+
+    def test_interruption_never_after_crossing(self, market):
+        bid = market.catalog.type_named("c4.large").price_per_hour
+        crossing = market.first_bid_crossing("c4.large", bid)
+        hit = market.first_interruption("c4.large", bid, lease_key=4)
+        assert hit <= crossing
+
+    def test_zero_reclaim_rate_is_pure_crossing(self, market):
+        bid = 0.6 * market.catalog.type_named("c4.large").price_per_hour
+        assert market.first_interruption(
+            "c4.large", bid, reclaim_rate_per_hour=0.0) == \
+            market.first_bid_crossing("c4.large", bid)
+
+    def test_reproducible_per_lease_key(self, ec2m):
+        config = SpotMarketConfig(horizon_hours=48.0,
+                                  reclaim_rate_per_hour=0.5)
+        a = SpotMarket(ec2m, config, seed=21)
+        b = SpotMarket(ec2m, config, seed=21)
+        bid = ec2m.type_named("r3.large").price_per_hour
+        assert a.first_interruption("r3.large", bid, lease_key=1) == \
+            b.first_interruption("r3.large", bid, lease_key=1)
+        # Distinct leases of the same type draw distinct reclaim times.
+        assert a.first_interruption("r3.large", bid, lease_key=1) != \
+            a.first_interruption("r3.large", bid, lease_key=2)
+
+
+class TestCrossProcessReproducibility:
+    """Identical seeds reproduce identical markets in a fresh process."""
+
+    SCRIPT = """\
+import json
+from repro.cloud.catalog import ec2_catalog
+from repro.market import SpotMarket, SpotMarketConfig
+
+market = SpotMarket(ec2_catalog(),
+                    SpotMarketConfig(horizon_hours=48.0,
+                                     reclaim_rate_per_hour=0.3),
+                    seed=17)
+print(json.dumps({
+    "head": market.price_path("c4.xlarge")[:8].tolist(),
+    "cost": market.spot_cost("c4.xlarge", 0.0, 10.0),
+    "hit": market.first_interruption(
+        "c4.xlarge", 0.5 * market.catalog.type_named(
+            "c4.xlarge").price_per_hour, lease_key=3),
+}))
+"""
+
+    def test_subprocess_matches_in_process(self, ec2m):
+        market = SpotMarket(
+            ec2m, SpotMarketConfig(horizon_hours=48.0,
+                                   reclaim_rate_per_hour=0.3),
+            seed=17)
+        expected = {
+            "head": market.price_path("c4.xlarge")[:8].tolist(),
+            "cost": market.spot_cost("c4.xlarge", 0.0, 10.0),
+            "hit": market.first_interruption(
+                "c4.xlarge", 0.5 * ec2m.type_named(
+                    "c4.xlarge").price_per_hour, lease_key=3),
+        }
+        proc = subprocess.run([sys.executable, "-c", self.SCRIPT],
+                              capture_output=True, text=True, check=True)
+        # json round-trips doubles exactly, so equality is bit-level.
+        assert json.loads(proc.stdout) == expected
+
+
+class TestBidPolicies:
+    def test_registry(self):
+        assert bid_policy_names() == ("fixed-fraction", "on-demand-cap",
+                                      "adaptive")
+        for name in bid_policy_names():
+            policy = bid_policy(name)
+            assert policy.name == name
+            assert "\n" not in policy.describe()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown bid policy"):
+            bid_policy("wing-it")
+
+    def test_fixed_fraction(self, market):
+        od = market.catalog.type_named("c4.large").price_per_hour
+        assert FixedFractionBid(0.4).bid_price(market, "c4.large") == \
+            pytest.approx(0.4 * od)
+        with pytest.raises(ValidationError):
+            FixedFractionBid(0.0)
+
+    def test_on_demand_cap(self, market):
+        od = market.catalog.type_named("m4.large").price_per_hour
+        assert OnDemandCapBid().bid_price(market, "m4.large") == od
+
+    def test_adaptive_tracks_surge_up_to_cap(self, ec2m):
+        calm = SpotMarket(ec2m, SHORT, seed=2)
+        surged = SpotMarket(
+            ec2m, SpotMarketConfig(horizon_hours=48.0, price_surge=2.2),
+            seed=2)
+        policy = AdaptiveBid()
+        od = ec2m.type_named("c4.large").price_per_hour
+        assert policy.bid_price(surged, "c4.large") > \
+            policy.bid_price(calm, "c4.large")
+        assert policy.bid_price(surged, "c4.large") <= od
+        with pytest.raises(ValidationError):
+            AdaptiveBid(margin=0.5)
+        with pytest.raises(ValidationError):
+            AdaptiveBid(cap_fraction=0.0)
+
+
+class TestExpectedBilling:
+    def test_linear_at_the_mean_fraction(self):
+        billing = SpotExpectedBilling(mean_fraction=0.35)
+        assert billing.amount_due(1.0, 10.0) == pytest.approx(3.5)
+
+    def test_for_market_matches_config(self, ec2m):
+        market = SpotMarket(
+            ec2m, SpotMarketConfig(horizon_hours=48.0, price_surge=2.0),
+            seed=0)
+        billing = SpotExpectedBilling.for_market(market)
+        assert billing.amount_due(1.0, 1.0) == pytest.approx(0.7)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SpotExpectedBilling(mean_fraction=0.0)
+        with pytest.raises(ValidationError):
+            SpotExpectedBilling(price_surge=0.0)
+
+
+class TestSplitConfiguration:
+    @given(st.lists(st.integers(min_value=0, max_value=5),
+                    min_size=1, max_size=9),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_partition(self, counts, fraction):
+        ondemand, spot = split_configuration(tuple(counts), fraction)
+        assert all(o >= 0 and s >= 0 for o, s in zip(ondemand, spot))
+        assert tuple(o + s for o, s in zip(ondemand, spot)) == tuple(counts)
+
+    def test_endpoints_exact(self):
+        config = (2, 0, 1)
+        assert split_configuration(config, 0.0) == (config, (0, 0, 0))
+        assert split_configuration(config, 1.0) == ((0, 0, 0), config)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            split_configuration((1,), 1.5)
+
+
+class TestMarketPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"spot_fraction": -0.1},
+        {"spot_fraction": 1.5},
+        {"fallback_after_interruptions": 0},
+        {"min_slack_fraction": 1.0},
+        {"bid_policy": "yolo"},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            MarketPolicy(**kwargs)
+
+    def test_default_slack_below_planner_guarantee(self):
+        # The planner guarantees ~(1 − deadline_safety) slack; the
+        # default policy must not demand more or spot never engages.
+        assert MarketPolicy().min_slack_fraction < \
+            1.0 - RuntimeConfig().deadline_safety
+
+
+class TestPurchasePlan:
+    CONFIG = (2, 1, 0, 0, 2, 0, 0, 0, 1)
+
+    def test_expected_never_above_on_demand(self, market):
+        plan = purchase_plan(market, self.CONFIG, MarketPolicy(),
+                             duration_hours=12.0)
+        assert plan.expected_cost_dollars <= plan.ondemand_cost_dollars
+        assert 0.0 <= plan.interruption_risk <= 1.0
+        assert 0.0 <= plan.expected_saving_fraction < 1.0
+        assert plan.spot_nodes == sum(plan.spot)
+        for s, b in zip(plan.spot, plan.bids):
+            assert (b > 0) == (s > 0)
+
+    def test_zero_spot_fraction_prices_pure_on_demand(self, market):
+        plan = purchase_plan(market, self.CONFIG,
+                             MarketPolicy(spot_fraction=0.0),
+                             duration_hours=12.0)
+        assert plan.spot_nodes == 0
+        assert plan.expected_cost_dollars == \
+            pytest.approx(plan.ondemand_cost_dollars)
+        assert plan.expected_saving_fraction == pytest.approx(0.0)
+
+    def test_validation(self, market):
+        with pytest.raises(ValidationError):
+            purchase_plan(market, (1, 2), MarketPolicy(), duration_hours=1.0)
+        with pytest.raises(ValidationError):
+            purchase_plan(market, self.CONFIG, MarketPolicy(),
+                          duration_hours=-1.0)
+
+
+class TestSpotFleet:
+    SPOT = (1, 0, 0, 0, 2, 0, 0, 0, 0)
+
+    @pytest.fixture()
+    def fleet(self, market):
+        return SpotFleet(market, seed=5)
+
+    def test_launch_shape_and_pools(self, fleet):
+        allocation = fleet.launch(self.SPOT, bid_policy("on-demand-cap"),
+                                  now_hours=0.0, lease_key=0)
+        assert len(allocation.nodes) == sum(self.SPOT)
+        assert allocation.active
+        # Nodes of the same type share one pool: one bid, one
+        # interruption time.
+        m4 = [n for n in allocation.nodes
+              if n.instance.itype.name == "m4.xlarge"]
+        assert len(m4) == 2
+        assert m4[0].bid_price == m4[1].bid_price
+        assert m4[0].interruption_at_hours == m4[1].interruption_at_hours
+
+    def test_launch_validation(self, fleet):
+        with pytest.raises(ValidationError):
+            fleet.launch((0,) * 9, bid_policy("on-demand-cap"),
+                         now_hours=0.0, lease_key=0)
+        with pytest.raises(ValidationError):
+            fleet.launch((1, 0), bid_policy("on-demand-cap"),
+                         now_hours=0.0, lease_key=0)
+
+    def test_bill_monotone_and_capped_by_bid(self, fleet):
+        allocation = fleet.launch(self.SPOT, bid_policy("fixed-fraction"),
+                                  now_hours=0.0, lease_key=0)
+        assert fleet.bill_at(allocation, 0.0) == 0.0
+        bills = [fleet.bill_at(allocation, t) for t in (1.0, 2.0, 4.0, 8.0)]
+        assert all(b1 <= b2 + 1e-12 for b1, b2 in zip(bills, bills[1:]))
+        # While held, a node never pays above its bid.
+        for horizon, bill in zip((1.0, 2.0, 4.0, 8.0), bills):
+            cap = sum(n.bid_price * (n.held_until(horizon)
+                                     - n.instance.launched_at_hours)
+                      for n in allocation.nodes)
+            assert bill <= cap + 1e-9
+
+    def test_terminate_settles_once(self, fleet):
+        allocation = fleet.launch(self.SPOT, bid_policy("on-demand-cap"),
+                                  now_hours=1.0, lease_key=0)
+        bill = fleet.terminate(allocation, now_hours=3.0)
+        assert bill == pytest.approx(fleet.spent_dollars)
+        assert not allocation.active
+        assert allocation.billed_amount == bill
+        with pytest.raises(ValidationError):
+            fleet.terminate(allocation, now_hours=4.0)
+
+    def test_terminate_before_start_rejected(self, fleet):
+        allocation = fleet.launch(self.SPOT, bid_policy("on-demand-cap"),
+                                  now_hours=2.0, lease_key=0)
+        with pytest.raises(ValidationError):
+            fleet.terminate(allocation, now_hours=1.0)
+
+
+class TestChaosMarketConfigs:
+    def test_calm_is_nominal(self):
+        config = chaos_scenario("calm").market_config()
+        base = SpotMarketConfig()
+        assert config.price_surge == base.price_surge
+        assert config.reclaim_rate_per_hour == base.reclaim_rate_per_hour
+
+    def test_spot_squeeze_raises_reclaims(self):
+        config = chaos_scenario("spot-squeeze").market_config()
+        assert config.reclaim_rate_per_hour == pytest.approx(
+            SpotMarketConfig().reclaim_rate_per_hour + 0.15)
+
+    def test_price_spike_surges(self):
+        config = chaos_scenario("price-spike").market_config()
+        assert config.price_surge == pytest.approx(2.2)
+        assert config.volatility_surge == pytest.approx(3.0)
+
+
+class TestMarketRunsAreByteIdentical:
+    """The tentpole guarantee: market-enabled double runs replay exactly."""
+
+    PROBLEM = (65536, 8000, 40.0, 400.0)
+
+    @pytest.fixture(scope="class")
+    def celia2(self):
+        return Celia(ec2_catalog(max_nodes_per_type=2), seed=42)
+
+    @pytest.fixture(scope="class")
+    def galaxy_app(self):
+        return application_by_name("galaxy", seed=42)
+
+    def run_market(self, celia2, galaxy_app, scenario, **policy):
+        controller = AdaptiveController(
+            celia2, galaxy_app, scenario=chaos_scenario(scenario),
+            config=RuntimeConfig(), seed=123,
+            market_policy=MarketPolicy(**policy))
+        return controller.execute(*self.PROBLEM)
+
+    @pytest.mark.parametrize("scenario", ["spot-squeeze", "price-spike"])
+    def test_double_run_byte_identical(self, celia2, galaxy_app, scenario):
+        first = self.run_market(celia2, galaxy_app, scenario)
+        second = self.run_market(celia2, galaxy_app, scenario)
+        assert json.dumps(first.to_dict(), sort_keys=True) == \
+            json.dumps(second.to_dict(), sort_keys=True)
+        assert first.market is True
+        assert first.cost_dollars <= first.budget_dollars
+
+    def test_spot_experiment_cell_replays(self, celia2, galaxy_app):
+        from repro.experiments.spot_exp import run_cell
+
+        first = run_cell(celia2, galaxy_app, "spot-squeeze", "mixed",
+                         seed=42, trials=1)
+        second = run_cell(celia2, galaxy_app, "spot-squeeze", "mixed",
+                          seed=42, trials=1)
+        assert first == second
+        assert first.budget_overruns == 0

@@ -21,7 +21,8 @@ from repro.runtime.events import (
 class TestCatalog:
     def test_expected_scenarios_present(self):
         assert scenario_names() == ("calm", "flaky-control-plane", "crashy",
-                                    "stragglers", "perfect-storm")
+                                    "stragglers", "perfect-storm",
+                                    "spot-squeeze", "price-spike")
 
     def test_calm_injects_nothing(self):
         calm = chaos_scenario("calm")
