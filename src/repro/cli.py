@@ -18,6 +18,9 @@ Subcommands mirror how a practitioner would use the system:
   ``sweep --resume`` picks up instead of starting over;
 * ``cache`` — inspect or clear the persistent space-evaluation cache;
 * ``serve`` — run the batched JSON-over-HTTP planning service;
+* ``fleet`` — run the sharded multi-process planner fleet (an asyncio
+  keep-alive front end consistent-hashing warm keys over N shard
+  workers — see ``docs/ops.md``);
 * ``trace`` — summarize a ``--trace`` JSONL file or export it to the
   Chrome ``trace_event`` format (``chrome://tracing`` / Perfetto);
 * ``profile`` — render the per-phase ``CELIA_PROFILE=1`` cProfile
@@ -295,6 +298,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=32,
                    help="max requests per vectorized batch (default 32)")
     p.add_argument("--timeout", type=float, default=30.0,
+                   help="default per-request deadline in seconds")
+
+    p = sub.add_parser("fleet",
+                       help="run the sharded multi-process planner fleet")
+    fsub = p.add_subparsers(dest="fleet_command", required=True)
+    f = fsub.add_parser("serve",
+                        help="asyncio front end routing over N shard "
+                             "worker processes")
+    f.add_argument("--workers", dest="fleet_workers", type=int, default=2,
+                   help="shard worker processes (default 2)")
+    f.add_argument("--host", default="127.0.0.1")
+    f.add_argument("--port", type=int, default=8337)
+    f.add_argument("--warm", action="append", choices=APP_CHOICES,
+                   default=None, metavar="APP",
+                   help="pre-warm an application's state on its owning "
+                        "shard before accepting requests (repeatable)")
+    f.add_argument("--max-warm", type=int, default=None,
+                   help="LRU cap on warm signatures per worker "
+                        "(default: unbounded)")
+    f.add_argument("--max-queue", type=int, default=64,
+                   help="admission-control queue depth per worker "
+                        "(default 64)")
+    f.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window (default 2 ms)")
+    f.add_argument("--max-batch", type=int, default=32,
+                   help="max requests per vectorized batch (default 32)")
+    f.add_argument("--timeout", type=float, default=30.0,
                    help="default per-request deadline in seconds")
     return parser
 
@@ -787,6 +817,33 @@ def _cmd_serve(celia: Celia, args) -> int:
     return 0
 
 
+def _cmd_fleet(celia: Celia, args) -> int:
+    from repro.fleet import FleetConfig, run_fleet
+
+    config = FleetConfig(
+        workers=args.fleet_workers,
+        host=args.host,
+        port=args.port,
+        quota=args.quota,
+        seed=args.seed,
+        max_warm=args.max_warm,
+        max_queue=args.max_queue,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        timeout_s=args.timeout,
+        cache_dir=False if args.no_cache else args.cache_dir,
+        warm_apps=tuple(args.warm or ()),
+    )
+    run_fleet(
+        config,
+        ready_callback=lambda frontend: print(
+            f"celia fleet listening on http://{frontend.host}:"
+            f"{frontend.port} ({config.workers} workers, quota "
+            f"{config.quota})", flush=True),
+    )
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "select": _cmd_select,
@@ -802,11 +859,13 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
 }
 
-#: Commands that only read trace files — they never build the planning
-#: stack, so they dispatch without constructing a :class:`Celia`.
-_OFFLINE_COMMANDS = ("trace", "profile")
+#: Commands that never build the planning stack in this process — trace
+#: readers, and the fleet supervisor (each shard worker builds its own
+#: service) — so they dispatch without constructing a :class:`Celia`.
+_OFFLINE_COMMANDS = ("trace", "profile", "fleet")
 
 
 def main(argv: list[str] | None = None) -> int:

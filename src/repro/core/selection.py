@@ -283,15 +283,24 @@ class FrontierIndex:
         ratio = evaluation.cost_ratio()
         total = capacity.size
         order = evaluation.capacity_order()
-        self._capacity_sorted = capacity[order]
-        self._ratio_by_capacity = ratio[order]
-        self._ratio_sorted = np.sort(ratio, kind="stable")
+        capacity_sorted = capacity[order]
+        ratio_by_capacity = ratio[order]
+        ratio_sorted = np.sort(ratio, kind="stable")
         block_size = self._block_size
         n_blocks = -(-total // block_size)
         padded = np.full(n_blocks * block_size, np.inf)
-        padded[:total] = self._ratio_by_capacity
-        self._ratio_blocks = padded.reshape(n_blocks, block_size)
-        self._ratio_blocks.sort(axis=1)
+        padded[:total] = ratio_by_capacity
+        ratio_blocks = padded.reshape(n_blocks, block_size)
+        ratio_blocks.sort(axis=1)
+        self._ratio_by_capacity = ratio_by_capacity
+        self._ratio_sorted = ratio_sorted
+        self._ratio_blocks = ratio_blocks
+        # Published LAST: concurrent callers (the service computes
+        # batches on executor threads) gate on this attribute, so every
+        # other array must be visible before it is.  A racing duplicate
+        # build is benign — the inputs are deterministic, so both builds
+        # produce identical arrays.
+        self._capacity_sorted = capacity_sorted
 
     @property
     def block_size(self) -> int:

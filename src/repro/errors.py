@@ -23,6 +23,7 @@ __all__ = [
     "SimulationError",
     "ValidationError",
     "ServiceUnavailableError",
+    "WorkerLostError",
 ]
 
 
@@ -131,3 +132,19 @@ class ServiceUnavailableError(ReproError):
     def __init__(self, message: str, *, attempts: int):
         super().__init__(message)
         self.attempts = attempts
+
+
+class WorkerLostError(ServiceUnavailableError):
+    """A fleet shard worker died while holding this request.
+
+    The fleet front end returns this as a 503 ``worker_lost`` envelope
+    when the owning shard dropped mid-request and the one fallback
+    attempt failed too.  :class:`~repro.service.client.PlannerClient`
+    replays an idempotent request exactly once — the dead worker has
+    already left routing, so the replay lands on the re-routed shard —
+    and raises this (never a raw ``ConnectionError``) if that also
+    fails.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1):
+        super().__init__(message, attempts=attempts)

@@ -1,0 +1,40 @@
+"""``repro.fleet`` — the sharded planner fleet.
+
+A multi-process deployment of :class:`~repro.service.planner.
+PlannerService`: an asyncio keep-alive HTTP front end
+(:mod:`~repro.fleet.frontend`) consistent-hashes each request's warm key
+``(app, quota, seed)`` (:mod:`~repro.fleet.hashing`) onto one of N shard
+worker processes (:mod:`~repro.fleet.worker`), reached over persistent
+framed Unix-domain links (:mod:`~repro.fleet.rpc`) and supervised —
+spawn, monitor, graceful restart — by :mod:`~repro.fleet.supervisor`.
+
+Sharding keeps each tenant signature's warm state on exactly one
+worker, bounded by an LRU (``max_warm``) and rebuilt lazily from the
+shared content-addressed snapshot cache, so fleet RAM scales with the
+*active* tenant set, not the historical one.  Start one with::
+
+    celia fleet serve --workers 2 --warm small --port 8337
+
+See ``docs/ops.md`` for the operator runbook.
+"""
+
+from repro.fleet.frontend import FleetFrontend
+from repro.fleet.hashing import DEFAULT_VNODES, HashRing, ring_hash, warm_key
+from repro.fleet.rpc import WorkerGone, WorkerLink, encode_frame
+from repro.fleet.supervisor import FleetConfig, PlannerFleet, run_fleet
+from repro.fleet.worker import ShardWorker
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "FleetConfig",
+    "FleetFrontend",
+    "HashRing",
+    "PlannerFleet",
+    "ShardWorker",
+    "WorkerGone",
+    "WorkerLink",
+    "encode_frame",
+    "ring_hash",
+    "run_fleet",
+    "warm_key",
+]

@@ -1,0 +1,410 @@
+"""Asyncio HTTP front end and shard router for the planner fleet.
+
+This replaces the single-process server's connection-per-request hot
+path: connections are **keep-alive** (HTTP/1.1 pipelining of sequential
+requests over one socket), and each planning request costs one framed
+write/read on a persistent Unix-domain link to the owning shard worker
+(:mod:`repro.fleet.rpc`) instead of a fresh connection and HTTP parse.
+
+Routing is deterministic: the request's warm key ``(app, quota, seed)``
+hashes onto the consistent ring (:mod:`repro.fleet.hashing`), so every
+request for one tenant signature lands on the worker holding that
+signature's warm state.  When a worker drops mid-request the router
+retries **once** against the fallback owner — the worker the ring would
+pick if the dead one left — and surfaces a typed ``worker_lost`` (503)
+envelope if the retry fails too.
+
+Routes:
+
+* ``POST /v1/select`` / ``/v1/predict`` / ``/v1/plan`` / ``/v1/replan``
+  — routed to the owning shard; answers are byte-identical to
+  ``celia serve`` because both ends share
+  :func:`repro.service.server.dispatch_request`;
+* ``GET  /healthz``     — fleet liveness + per-worker link status;
+* ``GET  /fleet``       — topology: workers, sockets, routing counts;
+* ``GET  /metrics``     — every worker's snapshot relabeled with
+  ``{worker="..."}`` and merged with the router's own series;
+* ``GET  /metrics.txt`` — the same, as a flat text exposition;
+* ``POST /fleet/restart`` — gracefully restart one worker
+  (``{"worker": "w1"}``) and wait for it to rejoin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from collections import OrderedDict
+
+from repro.errors import ValidationError
+from repro.fleet.hashing import warm_key
+from repro.fleet.rpc import WorkerGone
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_registry,
+    label_snapshot,
+    merge_snapshots,
+    render_text,
+)
+from repro.service.server import _MAX_BODY_BYTES, _POST_ROUTES, _REASONS
+
+__all__ = ["FleetFrontend"]
+
+_MAX_HEAD_BYTES = 1 << 14
+
+
+def _error_body(code: str, message: str) -> dict:
+    return {"error": {"code": code, "message": message}}
+
+
+class FleetFrontend:
+    """Keep-alive HTTP listener that routes requests to shard workers.
+
+    ``fleet`` is the routing surface (normally a
+    :class:`repro.fleet.supervisor.PlannerFleet`) and must provide:
+    ``worker_ids``, ``default_quota``, ``default_seed``,
+    ``route(key, exclude=...)``, ``link(worker_id)``,
+    ``note_lost(worker_id)``, ``restart_worker(worker_id)`` and
+    ``describe()``.
+    """
+
+    def __init__(self, fleet, *, host: str = "127.0.0.1", port: int = 0,
+                 call_timeout_s: "float | None" = None):
+        self.fleet = fleet
+        self.host = host
+        self.port = port  # 0 → ephemeral; replaced by the bound port
+        #: ``None`` (the default) trusts the worker's own request
+        #: timeout (``ServiceConfig.default_timeout_s`` → 504) and the
+        #: link's crash detection (:class:`WorkerGone`); a float adds a
+        #: per-call ``wait_for`` on top, which costs ~60µs per request.
+        self.call_timeout_s = call_timeout_s
+        self.metrics = MetricsRegistry()
+        self._server: asyncio.AbstractServer | None = None
+        self._in_flight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Raw body bytes → warm key, so repeat planning requests skip
+        # the JSON parse entirely (routing is the only reason the front
+        # end ever looks inside a body).  Small bodies only, LRU-bounded.
+        self._route_keys: "OrderedDict[bytes, str]" = OrderedDict()
+        # Hot-path metric objects, resolved once — each registry lookup
+        # costs a lock and a label format, too much at thousands of rps.
+        self._requests_total = self.metrics.counter("fleet_requests_total")
+        self._request_latency = \
+            self.metrics.histogram("fleet_request_latency_s")
+        self._routed_counters: dict = {}
+        # Head-block parse memo: keep-alive clients repeat the same few
+        # header blocks verbatim, so parsing each distinct block once
+        # covers virtually all requests.
+        self._head_cache: dict = {}
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being served."""
+        return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        """True once graceful shutdown has begun."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def drain(self, *, timeout_s: float = 10.0) -> bool:
+        """Refuse new work, wait for in-flight requests, close listener."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP transport
+            pass
+        try:
+            while True:
+                keep_alive = await self._serve_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, OSError):
+            pass  # client went away mid-stream
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Serve one request on the connection; True to keep it open."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return False  # clean EOF between requests
+        except asyncio.LimitOverrunError:
+            await self._write_response(
+                writer, 400,
+                _error_body("invalid_request",
+                            f"header block over {_MAX_HEAD_BYTES} bytes"),
+                keep_alive=False)
+            return False
+
+        parsed = self._head_cache.get(head)
+        if parsed is None:
+            parsed = self._parse_head(head)
+            if parsed[4] is None and len(head) <= 1024:
+                if len(self._head_cache) >= 256:
+                    self._head_cache.clear()
+                self._head_cache[head] = parsed
+        method, path, want_keep_alive, content_length, parse_error = parsed
+        if parse_error is not None:
+            await self._write_response(writer, 400,
+                                       _error_body("invalid_request",
+                                                   parse_error),
+                                       keep_alive=False)
+            return False
+        if content_length > _MAX_BODY_BYTES:
+            await self._write_response(
+                writer, 413,
+                _error_body("payload_too_large",
+                            f"body over {_MAX_BODY_BYTES} bytes"),
+                keep_alive=False)
+            return False
+        raw = await reader.readexactly(content_length) if content_length \
+            else b""
+
+        self._in_flight += 1
+        self._idle.clear()
+        started = time.monotonic()
+        try:
+            try:
+                status, body = await self._handle_request(method, path, raw)
+            except Exception as exc:  # last-resort: never kill the router
+                status, body = 500, _error_body("internal", str(exc))
+            self._requests_total.increment()
+            self._request_latency.observe(time.monotonic() - started)
+            keep = want_keep_alive and not self._draining
+            await self._write_response(writer, status, body, keep_alive=keep)
+            return keep
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    @staticmethod
+    def _parse_head(head: bytes
+                    ) -> "tuple[str, str, bool, int, str | None]":
+        """``(method, path, keep_alive, content_length, error)``."""
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return "", "", False, 0, f"malformed request line {lines[0]!r}"
+        method, path, version = parts
+        keep_alive = not version.endswith("/1.0")
+        content_length = 0
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return method, path, keep_alive, 0, "bad Content-Length"
+            elif name == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    keep_alive = False
+                elif token == "keep-alive":
+                    keep_alive = True
+        return method, path, keep_alive, content_length, None
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                              body, *, keep_alive: bool) -> None:
+        if isinstance(body, str):  # text exposition (/metrics.txt)
+            content_type = "text/plain; charset=utf-8"
+            payload = body.encode("utf-8")
+        elif isinstance(body, bytes):  # worker response, forwarded verbatim
+            content_type = "application/json"
+            payload = body
+        else:
+            content_type = "application/json"
+            payload = json.dumps(body).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                + ("Retry-After: 1\r\n" if status == 503 else "")
+                + ("Connection: keep-alive\r\n" if keep_alive
+                   else "Connection: close\r\n")
+                + "\r\n").encode("ascii")
+        writer.write(head + payload)
+        # drain() is a no-op below the transport's high-water mark but
+        # still costs a coroutine round trip; only pay it when the
+        # buffer actually backed up (a slow-reading client).
+        if writer.transport.get_write_buffer_size() > (1 << 16):
+            await writer.drain()
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle_request(self, method: str, path: str,
+                              raw: bytes) -> tuple[int, dict]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, await self._healthz()
+            if path == "/fleet":
+                return 200, self.fleet.describe()
+            if path == "/metrics":
+                return 200, await self._metrics_snapshot()
+            if path == "/metrics.txt":
+                return 200, render_text(await self._metrics_snapshot())
+            return 404, _error_body("not_found", f"no route {path!r}")
+        if method != "POST":
+            return 405, _error_body("method_not_allowed",
+                                    f"{method} not supported")
+        if self._draining:
+            return 503, _error_body(
+                "draining", "fleet is shutting down; retry elsewhere")
+
+        kind = _POST_ROUTES.get(path)
+        if kind is not None:
+            key = self._route_keys.get(raw)
+            if key is not None:
+                self._route_keys.move_to_end(raw)
+                return await self._route_request(kind, key, raw)
+
+        try:
+            request = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _error_body("invalid_request", f"bad JSON: {exc}")
+        if not isinstance(request, dict):
+            return 400, _error_body("invalid_request",
+                                    "body must be a JSON object")
+
+        if path == "/fleet/restart":
+            return await self._restart(request)
+        if kind is None:
+            return 404, _error_body("not_found", f"no route {path!r}")
+        key = warm_key(str(request.get("app", "")),
+                       request.get("quota", self.fleet.default_quota),
+                       request.get("seed", self.fleet.default_seed))
+        if len(raw) <= 4096:  # memo small bodies only
+            self._route_keys[raw] = key
+            while len(self._route_keys) > 1024:
+                self._route_keys.popitem(last=False)
+        return await self._route_request(kind, key, raw)
+
+    async def _healthz(self) -> dict:
+        links = {wid: self.fleet.link(wid).up for wid in self.fleet.worker_ids}
+        return {
+            "status": "draining" if self._draining else "ok",
+            "ready": not self._draining and all(links.values()),
+            "draining": self._draining,
+            "in_flight": self._in_flight,
+            "workers": links,
+        }
+
+    async def _metrics_snapshot(self) -> dict:
+        """Router series + every worker's snapshot tagged ``{worker=…}``."""
+        per_worker: list[dict] = []
+        for wid in self.fleet.worker_ids:
+            try:
+                status, body = await self.fleet.link(wid).call(
+                    {"kind": "__metrics__"}, timeout_s=self.call_timeout_s)
+            except WorkerGone:
+                self.metrics.counter("fleet_scrape_errors_total").increment()
+                continue
+            if status == 200:
+                per_worker.append(label_snapshot(body, {"worker": wid}))
+        return merge_snapshots(global_registry().snapshot(),
+                               self.metrics.snapshot(), *per_worker)
+
+    async def _restart(self, request: dict) -> tuple[int, dict]:
+        worker = request.get("worker")
+        if worker not in self.fleet.worker_ids:
+            return 404, _error_body("not_found",
+                                    f"no worker {worker!r} in the fleet")
+        await self.fleet.restart_worker(worker)
+        return 200, {"restarted": worker}
+
+    async def _route_request(self, kind: str, key: str,
+                             raw: bytes) -> tuple[int, bytes]:
+        """Route by warm key; forward ``raw`` body bytes verbatim.
+
+        The body is parsed (at most once per distinct body — see
+        ``_route_keys``) only to derive the warm key; the payload
+        crossing the worker hop (and the response bytes coming back
+        into the HTTP reply) never re-serialize.
+        """
+        try:
+            worker = self.fleet.route(key)
+        except ValidationError as exc:
+            self.metrics.counter("fleet_worker_lost_total").increment()
+            return 503, _error_body("worker_lost", str(exc))
+        try:
+            status, body = await self.fleet.link(worker).call_raw(
+                kind, raw, timeout_s=self.call_timeout_s)
+        except WorkerGone as exc:
+            self.fleet.note_lost(exc.worker_id)
+            return await self._reroute(key, kind, raw, lost=exc)
+        self._routed(worker).increment()
+        return status, body
+
+    def _routed(self, worker: str):
+        counter = self._routed_counters.get(worker)
+        if counter is None:
+            counter = self.metrics.counter("fleet_routed",
+                                           labels={"worker": worker})
+            self._routed_counters[worker] = counter
+        return counter
+
+    async def _reroute(self, key: str, kind: str, raw: bytes,
+                       *, lost: WorkerGone) -> tuple[int, bytes]:
+        """One retry against the fallback owner after a worker drop."""
+        self.metrics.counter("fleet_reroutes_total").increment()
+        try:
+            fallback = self.fleet.route(key,
+                                        exclude={lost.worker_id})
+            status, body = await self.fleet.link(fallback).call_raw(
+                kind, raw, timeout_s=self.call_timeout_s)
+        except WorkerGone as exc:
+            self.fleet.note_lost(exc.worker_id)
+            self.metrics.counter("fleet_worker_lost_total").increment()
+            return 503, _error_body(
+                "worker_lost",
+                f"{lost} and fallback failed: {exc}")
+        except ValidationError as exc:
+            self.metrics.counter("fleet_worker_lost_total").increment()
+            return 503, _error_body("worker_lost", f"{lost}; {exc}")
+        self._routed(fallback).increment()
+        return status, body

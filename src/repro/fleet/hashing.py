@@ -1,0 +1,114 @@
+"""Consistent hashing for the planner fleet's shard router.
+
+Warm planner state is keyed by the *warm key* ``(app, quota, seed)`` —
+everything a :class:`~repro.service.planner.PlannerService` builds for
+one tenant signature.  The fleet partitions those keys across worker
+processes with a classic consistent-hash ring:
+
+* every worker owns ``vnodes`` pseudo-random points ("virtual nodes")
+  on a 64-bit ring, derived by hashing ``"{worker}#{v}"``;
+* a key routes to the owner of the first ring point at or after the
+  key's own hash (wrapping around);
+* adding a worker steals only the key ranges that now fall to its new
+  points, and removing a worker reassigns only the ranges it owned —
+  every other key keeps its placement.  That stability is what makes
+  rolling restarts cheap: a restart invalidates one shard's warm state,
+  not the whole fleet's.
+
+Hashes come from :func:`hashlib.blake2b`, not Python's builtin ``hash``
+(which is salted per process): two processes — or two runs a week
+apart — always agree on where a key lives, which the CI fleet-smoke
+job asserts end to end.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+from repro.errors import ValidationError
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "ring_hash", "warm_key"]
+
+#: Virtual nodes per worker.  64 keeps the max/mean load imbalance for a
+#: handful of workers under ~30% while the ring stays a few KB.
+DEFAULT_VNODES = 64
+
+
+def ring_hash(value: str) -> int:
+    """Deterministic 64-bit position of ``value`` on the ring."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def warm_key(app: str, quota: int, seed: int) -> str:
+    """The canonical routing key for one warm-state signature."""
+    return f"{app}|{int(quota)}|{int(seed)}"
+
+
+class HashRing:
+    """A consistent-hash ring mapping string keys to worker ids."""
+
+    def __init__(self, workers: Iterable[str] = (),
+                 *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValidationError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._workers: set[str] = set()
+        self._points: list[int] = []      # sorted ring positions
+        self._owners: list[str] = []      # worker id per position
+        for worker in workers:
+            self.add_worker(worker)
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        """Current members, sorted for stable iteration."""
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    def add_worker(self, worker: str) -> None:
+        """Insert ``worker``'s virtual nodes (idempotent-hostile: once)."""
+        if worker in self._workers:
+            raise ValidationError(f"worker {worker!r} already on the ring")
+        self._workers.add(worker)
+        for v in range(self.vnodes):
+            point = ring_hash(f"{worker}#{v}")
+            at = bisect.bisect_left(self._points, point)
+            self._points.insert(at, point)
+            self._owners.insert(at, worker)
+
+    def remove_worker(self, worker: str) -> None:
+        """Drop ``worker``; only its keys get new owners."""
+        if worker not in self._workers:
+            raise ValidationError(f"worker {worker!r} not on the ring")
+        self._workers.discard(worker)
+        keep = [i for i, owner in enumerate(self._owners) if owner != worker]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def route(self, key: str, *, exclude: frozenset[str] | set[str] = frozenset()
+              ) -> str:
+        """The worker owning ``key``, skipping ``exclude`` (down workers).
+
+        Excluding a worker routes its keys exactly where they would land
+        if it left the ring — so a fallback during a restart agrees with
+        the post-restart placement of a permanently removed member.
+        """
+        candidates = self._workers - set(exclude)
+        if not candidates:
+            raise ValidationError("no workers available on the ring")
+        if not self._points:  # pragma: no cover - candidates implies points
+            raise ValidationError("empty ring")
+        start = bisect.bisect_right(self._points, ring_hash(key))
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner in candidates:
+                return owner
+        raise ValidationError("no workers available on the ring")

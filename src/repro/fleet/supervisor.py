@@ -1,0 +1,368 @@
+"""Fleet lifecycle: spawn shard workers, keep them alive, restart them.
+
+:class:`PlannerFleet` owns the moving parts the front end routes over:
+
+* one **subprocess per worker** running ``python -m repro.fleet.worker``
+  (each with its own :class:`~repro.service.planner.PlannerService` and
+  Unix-domain socket in a private temp directory);
+* one persistent :class:`~repro.fleet.rpc.WorkerLink` per worker;
+* the consistent-hash :class:`~repro.fleet.hashing.HashRing` mapping
+  warm keys onto workers;
+* a **monitor task** that respawns any worker whose process dies, and
+  re-admits it to routing once its socket answers a ping.
+
+Restarts are graceful: :meth:`PlannerFleet.restart_worker` first drops
+the worker from routing (the front end's fallback path covers requests
+in flight), sends SIGTERM so the worker drains, waits for exit, spawns
+the replacement, and re-admits it once connected.  Warm state for that
+shard is rebuilt lazily on the next routed request — a millisecond mmap
+of the shared content-addressed snapshot when a cache dir is configured.
+
+All workers share one ``cache_dir``, so the expensive sweep/frontier
+build happens once fleet-wide and every other worker maps the same
+snapshot file read-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.errors import ValidationError
+from repro.fleet.frontend import FleetFrontend
+from repro.fleet.hashing import DEFAULT_VNODES, HashRing, warm_key
+from repro.fleet.rpc import WorkerGone, WorkerLink
+
+__all__ = ["FleetConfig", "PlannerFleet", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything needed to stand up a planner fleet."""
+
+    #: Number of shard worker processes.
+    workers: int = 2
+    #: Front-end bind address.
+    host: str = "127.0.0.1"
+    port: int = 8337
+    #: Defaults forwarded to every worker's ``ServiceConfig`` (and used
+    #: by the router to complete partial warm keys).
+    quota: int = 5
+    seed: int = 0
+    #: LRU cap on warm signatures per worker (None → unbounded).
+    max_warm: "int | None" = None
+    max_queue: int = 64
+    batch_window_ms: float = 2.0
+    max_batch: int = 32
+    timeout_s: float = 30.0
+    #: Space-sweep parallelism inside each shard.  Defaults to 1: the
+    #: fleet's processes are the parallelism.
+    sweep_workers: "int | str" = 1
+    #: Shared snapshot cache directory (None → library default,
+    #: False → disabled).  Sharing it across workers makes warm-state
+    #: rebuild an mmap, not a sweep.
+    cache_dir: "str | bool | None" = None
+    #: Apps warmed on their owning shard before the fleet reports ready.
+    warm_apps: tuple = field(default_factory=tuple)
+    vnodes: int = DEFAULT_VNODES
+    #: Seconds a worker gets to drain on SIGTERM.
+    drain_timeout_s: float = 10.0
+    #: Seconds to wait for a spawned worker's socket + ping.
+    connect_timeout_s: float = 30.0
+    #: Monitor poll interval for crashed-worker respawn.
+    monitor_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError("fleet needs at least one worker")
+        if self.connect_timeout_s <= 0:
+            raise ValidationError("connect_timeout_s must be positive")
+
+
+class WorkerHandle:
+    """One shard worker subprocess and its socket path."""
+
+    def __init__(self, worker_id: str, socket_path: str):
+        self.worker_id = worker_id
+        self.socket_path = socket_path
+        self.process: "subprocess.Popen | None" = None
+
+    @property
+    def pid(self) -> "int | None":
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def spawn(self, config: FleetConfig) -> None:
+        # A -c shim instead of ``-m repro.fleet.worker``: runpy would
+        # warn about re-executing a module the package already imported.
+        shim = ("import sys; from repro.fleet.worker import main; "
+                "sys.exit(main(sys.argv[1:]))")
+        argv = [sys.executable, "-c", shim,
+                "--socket", self.socket_path,
+                "--worker-id", self.worker_id,
+                "--quota", str(config.quota),
+                "--seed", str(config.seed),
+                "--max-queue", str(config.max_queue),
+                "--batch-window-ms", str(config.batch_window_ms),
+                "--max-batch", str(config.max_batch),
+                "--timeout", str(config.timeout_s),
+                "--sweep-workers", str(config.sweep_workers),
+                "--drain-timeout", str(config.drain_timeout_s)]
+        if config.max_warm is not None:
+            argv += ["--max-warm", str(config.max_warm)]
+        if config.cache_dir is False:
+            argv += ["--no-cache"]
+        elif config.cache_dir is not None:
+            argv += ["--cache-dir", str(config.cache_dir)]
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root + (os.pathsep + existing
+                                        if existing else "")
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # stale socket from a dead worker
+        self.process = subprocess.Popen(argv, env=env)
+
+    def terminate(self, *, timeout_s: float) -> None:
+        """SIGTERM (graceful drain), escalating to SIGKILL on timeout."""
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        self.process = None
+
+
+class PlannerFleet:
+    """The worker processes, their links, and the routing ring."""
+
+    def __init__(self, config: "FleetConfig | None" = None):
+        self.config = config or FleetConfig()
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        self._handles: dict[str, WorkerHandle] = {}
+        self._links: dict[str, WorkerLink] = {}
+        self._down: set[str] = set()
+        self._restart_locks: dict[str, asyncio.Lock] = {}
+        self._socket_dir: "str | None" = None
+        self._monitor_task: "asyncio.Task | None" = None
+        self._stopping = False
+        # key → owner memo for the healthy-ring fast path.  Ring
+        # membership is fixed after start(), so entries stay valid for
+        # the fleet's whole life; the memo is simply bypassed while any
+        # worker is down (exclusions change the answer).
+        self._route_memo: dict[str, str] = {}
+
+    # -- routing surface (used by FleetFrontend) -------------------------------
+
+    @property
+    def worker_ids(self) -> tuple:
+        return tuple(sorted(self._handles))
+
+    @property
+    def default_quota(self) -> int:
+        return self.config.quota
+
+    @property
+    def default_seed(self) -> int:
+        return self.config.seed
+
+    def route(self, key: str, *, exclude=frozenset()) -> str:
+        """The live owner of ``key`` (down workers are skipped)."""
+        if not exclude and not self._down:
+            worker = self._route_memo.get(key)
+            if worker is None:
+                worker = self.ring.route(key)
+                if len(self._route_memo) >= 4096:
+                    self._route_memo.clear()
+                self._route_memo[key] = worker
+            return worker
+        return self.ring.route(key, exclude=self._down | set(exclude))
+
+    def link(self, worker_id: str) -> WorkerLink:
+        return self._links[worker_id]
+
+    def note_lost(self, worker_id: str) -> None:
+        """Drop a worker from routing; the monitor re-admits it."""
+        if worker_id in self._handles:
+            self._down.add(worker_id)
+
+    def describe(self) -> dict:
+        """Topology for ``GET /fleet``."""
+        return {
+            "workers": [
+                {"id": wid,
+                 "pid": self._handles[wid].pid,
+                 "socket": self._handles[wid].socket_path,
+                 "alive": self._handles[wid].alive(),
+                 "routable": wid not in self._down and
+                             self._links[wid].up}
+                for wid in self.worker_ids
+            ],
+            "vnodes": self.config.vnodes,
+            "quota": self.config.quota,
+            "seed": self.config.seed,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker, connect its link, join it to the ring."""
+        self._socket_dir = tempfile.mkdtemp(prefix="celia-fleet-")
+        try:
+            for index in range(self.config.workers):
+                wid = f"w{index}"
+                handle = WorkerHandle(
+                    wid, os.path.join(self._socket_dir, f"{wid}.sock"))
+                handle.spawn(self.config)
+                self._handles[wid] = handle
+                self._restart_locks[wid] = asyncio.Lock()
+            for wid, handle in self._handles.items():
+                link = WorkerLink(wid, handle.socket_path)
+                await link.connect(timeout_s=self.config.connect_timeout_s)
+                self._links[wid] = link
+                self.ring.add_worker(wid)
+        except BaseException:
+            await self.stop()
+            raise
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def stop(self) -> None:
+        """Tear the whole fleet down (drain, close links, rm sockets)."""
+        self._stopping = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._monitor_task = None
+        for link in self._links.values():
+            await link.close()
+        self._links.clear()
+        for handle in self._handles.values():
+            handle.terminate(timeout_s=self.config.drain_timeout_s)
+        self._handles.clear()
+        self._down.clear()
+        if self._socket_dir is not None:
+            shutil.rmtree(self._socket_dir, ignore_errors=True)
+            self._socket_dir = None
+
+    async def warm(self, app: str, *, quota: "int | None" = None,
+                   seed: "int | None" = None) -> str:
+        """Warm one signature's state on its owning shard; returns owner."""
+        q = self.config.quota if quota is None else int(quota)
+        s = self.config.seed if seed is None else int(seed)
+        worker = self.route(warm_key(app, q, s))
+        status, body = await self._links[worker].call(
+            {"kind": "__warm__", "app": app, "quota": q, "seed": s},
+            timeout_s=self.config.connect_timeout_s * 4)
+        if status != 200:
+            raise ValidationError(
+                f"warm({app!r}) failed on {worker}: {body}")
+        return worker
+
+    async def restart_worker(self, worker_id: str) -> None:
+        """Gracefully restart one worker and wait for it to rejoin.
+
+        The worker leaves routing first (its keys fall back to the ring's
+        next owner), drains on SIGTERM, and is re-admitted once the
+        replacement process answers a ping.  Warm state rebuilds lazily
+        from the shared snapshot cache on the next routed request.
+        """
+        if worker_id not in self._handles:
+            raise ValidationError(f"no worker {worker_id!r} in the fleet")
+        async with self._restart_locks[worker_id]:
+            self._down.add(worker_id)
+            handle = self._handles[worker_id]
+            link = self._links.get(worker_id)
+            if link is not None:
+                await link.close()
+            # terminate() blocks on the drain; run it off-loop so the
+            # front end keeps serving rerouted requests meanwhile.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: handle.terminate(
+                    timeout_s=self.config.drain_timeout_s))
+            handle.spawn(self.config)
+            link = WorkerLink(worker_id, handle.socket_path)
+            await link.connect(timeout_s=self.config.connect_timeout_s)
+            self._links[worker_id] = link
+            self._down.discard(worker_id)
+
+    async def _monitor(self) -> None:
+        """Respawn workers whose process died (crash, OOM-kill...)."""
+        while not self._stopping:
+            await asyncio.sleep(self.config.monitor_interval_s)
+            for wid, handle in list(self._handles.items()):
+                if self._restart_locks[wid].locked():
+                    continue  # an explicit restart is already in charge
+                link = self._links.get(wid)
+                if handle.alive() and (link is None or link.up):
+                    continue
+                self._down.add(wid)
+                try:
+                    await self.restart_worker(wid)
+                except (WorkerGone, ValidationError, OSError):
+                    continue  # still down; retried on the next tick
+
+
+def run_fleet(config: FleetConfig, *, ready_callback=None,
+              drain_timeout_s: float = 10.0) -> None:
+    """Blocking entry point used by ``celia fleet serve``.
+
+    Stands the fleet up, warms ``config.warm_apps`` on their owning
+    shards, then serves until SIGTERM/SIGINT, which drains the front end
+    before the workers are terminated.
+    """
+
+    async def _run() -> None:
+        fleet = PlannerFleet(config)
+        await fleet.start()
+        frontend = FleetFrontend(fleet, host=config.host, port=config.port)
+        try:
+            await frontend.start()
+            shutdown = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            installed: list = []
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, shutdown.set)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without signal support
+            for app in config.warm_apps:
+                await fleet.warm(app)
+            if ready_callback is not None:
+                ready_callback(frontend)
+            serve_task = asyncio.create_task(frontend.serve_forever())
+            try:
+                await shutdown.wait()
+                await frontend.drain(timeout_s=drain_timeout_s)
+            finally:
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                for sig in installed:
+                    loop.remove_signal_handler(sig)
+        finally:
+            await fleet.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        pass

@@ -24,7 +24,8 @@ metric catalog, viewer walkthroughs).
 from repro.obs.export import (export_chrome_trace, read_trace, spans_only,
                               to_chrome_trace, trace_summary)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               global_registry, merge_snapshots, render_text,
+                               global_registry, label_snapshot,
+                               merge_snapshots, render_text,
                                reset_global_registry)
 from repro.obs.profile import (PROFILE_ENV, ProfileStore, get_store,
                                profile_block, profiling_enabled, reset_store)
@@ -48,6 +49,7 @@ __all__ = [
     "get_store",
     "get_tracer",
     "global_registry",
+    "label_snapshot",
     "make_span_record",
     "merge_snapshots",
     "profile_block",

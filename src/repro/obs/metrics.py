@@ -45,6 +45,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_registry",
+    "label_snapshot",
     "labeled_name",
     "merge_snapshots",
     "render_text",
@@ -215,6 +216,42 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+def _parse_series(name: str) -> "tuple[str, dict[str, str]]":
+    """Split a canonical series name back into ``(base, labels)``."""
+    base, brace, rest = name.partition("{")
+    if not brace:
+        return name, {}
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        key, _, value = part.partition("=")
+        labels[key] = value.strip('"')
+    return base, labels
+
+
+def label_snapshot(snapshot: dict, labels: "dict[str, str]") -> dict:
+    """A copy of ``snapshot`` with ``labels`` folded into every series.
+
+    Existing labels are kept (new ones win on a key collision) and the
+    result uses the same canonical sorted-label naming as
+    :func:`labeled_name`, so relabeled series from several registries
+    merge cleanly.  The fleet front end uses this to distinguish each
+    shard worker's series (``requests_total{worker="w1"}``) in the
+    fleet-wide ``/metrics`` view.
+    """
+    if not labels:
+        return snapshot
+
+    def relabel(name: str) -> str:
+        base, existing = _parse_series(name)
+        return labeled_name(base, {**existing, **labels})
+
+    out: dict = {}
+    for section in ("counters", "gauges", "histograms"):
+        out[section] = {relabel(name): value
+                        for name, value in snapshot.get(section, {}).items()}
+    return out
 
 
 def merge_snapshots(*snapshots: dict) -> dict:

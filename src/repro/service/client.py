@@ -18,7 +18,14 @@ only for idempotent requests (every built-in endpoint is a pure query).
 Definitive answers (2xx, 4xx, 504) are never retried.  When the retry
 budget runs out the client raises a typed
 :class:`~repro.errors.ServiceUnavailableError` recording how many
-attempts were made.
+attempts were made — transport errors are always wrapped, never
+re-raised raw.
+
+A fleet's 503 ``worker_lost`` envelope (the owning shard died
+mid-request) gets special treatment: one immediate idempotency-gated
+replay with no backoff — the dead worker has already left routing, so
+the replay lands on the re-routed shard — then a typed
+:class:`~repro.errors.WorkerLostError` if the replay fails too.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.errors import (
     ReproError,
     ServiceUnavailableError,
     ValidationError,
+    WorkerLostError,
 )
 from repro.service.planner import RequestTimeoutError, ServiceSaturatedError
 from repro.utils.rng import derive_rng
@@ -46,6 +54,7 @@ _ERROR_TYPES = {
     "deadline_exceeded": lambda msg: RequestTimeoutError(msg, timeout_s=-1.0),
     "infeasible": lambda msg: InfeasibleError(msg),
     "invalid_request": ValidationError,
+    "worker_lost": lambda msg: WorkerLostError(msg),
 }
 
 #: Connection-level failures that are safe to retry for idempotent
@@ -82,6 +91,10 @@ class PlannerClient:
     ServiceUnavailableError
         When the retry budget is exhausted on transient transport
         failures or a draining server.
+    WorkerLostError
+        When a fleet shard died mid-request and the single re-routed
+        replay failed as well (idempotent requests only; non-idempotent
+        ones surface it on the first failure).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8337,
@@ -121,21 +134,36 @@ class PlannerClient:
         and never retried regardless.
         """
         attempts = self.max_attempts if idempotent else 1
+        worker_lost_retry = idempotent  # one dedicated replay, ever
         last_error: Exception | None = None
-        for attempt in range(1, attempts + 1):
+        attempt = 0
+        total = 0
+        while True:
+            total += 1
             try:
                 return self._request_once(method, path, body)
+            except WorkerLostError as exc:
+                # A fleet shard died holding the request.  The front end
+                # has already dropped it from routing, so an immediate
+                # replay lands on the re-routed shard — but only once,
+                # and only for idempotent requests.
+                if worker_lost_retry:
+                    worker_lost_retry = False
+                    continue
+                raise WorkerLostError(str(exc), attempts=total) from exc
             except (ServiceSaturatedError, ServiceUnavailableError) as exc:
                 last_error = exc  # 503: the server asked us to back off
             except _TRANSIENT_ERRORS as exc:
                 last_error = exc
-            if attempt < attempts:
-                self._sleep(self._backoff_s(attempt))
-        if attempts == 1:
-            raise last_error  # no retry budget: surface the original
+            attempt += 1
+            if attempt >= attempts:
+                break
+            self._sleep(self._backoff_s(attempt))
+        if attempts == 1 and isinstance(last_error, ReproError):
+            raise last_error  # no retry budget: surface the typed original
         raise ServiceUnavailableError(
-            f"{method} {path} failed after {attempts} attempts: "
-            f"{last_error}", attempts=attempts) from last_error
+            f"{method} {path} failed after {total} attempt(s): "
+            f"{last_error}", attempts=total) from last_error
 
     def _request_once(self, method: str, path: str,
                       body: dict | None = None) -> dict:

@@ -96,6 +96,12 @@ class ServiceConfig:
     max_batch: int = 32
     #: Entries kept in the canonical-request result cache.
     result_cache_size: int = 1024
+    #: LRU cap on warm signatures (None = unbounded).  With a fleet of
+    #: shards serving an open tenant population this is the RAM bound:
+    #: the least-recently-used signature's state is dropped and lazily
+    #: rebuilt on its next request — a millisecond mmap when the index
+    #: snapshot is on disk, bit-identical either way.
+    max_warm_states: "int | None" = None
     #: Deadline applied when a request does not carry its own.
     default_timeout_s: float = 30.0
     #: Catalog quota used for signatures that do not override it.
@@ -118,6 +124,8 @@ class ServiceConfig:
             raise ValidationError("result_cache_size must be non-negative")
         if self.default_timeout_s <= 0:
             raise ValidationError("default_timeout_s must be positive")
+        if self.max_warm_states is not None and self.max_warm_states < 1:
+            raise ValidationError("max_warm_states must be >= 1 (or None)")
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,7 +198,7 @@ class PlannerService:
         self.metrics = metrics or MetricsRegistry()
         self._catalog_factory = catalog_factory or (
             lambda quota: ec2_catalog(max_nodes_per_type=quota))
-        self._states: dict[SpaceSignature, _WarmState] = {}
+        self._states: OrderedDict[SpaceSignature, _WarmState] = OrderedDict()
         self._state_locks: dict[SpaceSignature, asyncio.Lock] = {}
         self._pending: dict[SpaceSignature, list[_PendingSelect]] = {}
         self._flush_handles: dict[SpaceSignature, asyncio.TimerHandle] = {}
@@ -226,10 +234,13 @@ class PlannerService:
     async def _ensure_state(self, signature: SpaceSignature) -> _WarmState:
         state = self._states.get(signature)
         if state is not None:
+            self._states.move_to_end(signature)  # LRU touch
             return state
         lock = self._state_locks.setdefault(signature, asyncio.Lock())
         async with lock:
             state = self._states.get(signature)  # racing warmers: reuse
+            if state is not None:
+                self._states.move_to_end(signature)
             if state is None:
                 t0 = time.perf_counter()
                 state = await asyncio.get_running_loop().run_in_executor(
@@ -252,7 +263,33 @@ class PlannerService:
                     self.metrics.counter("warm_from_snapshot").increment()
                     self.metrics.histogram("warm_load_s").observe(
                         state.celia.last_index_load_s)
+                self._evict_excess()
         return state
+
+    def _evict_excess(self) -> None:
+        """Drop least-recently-used warm states over ``max_warm_states``.
+
+        Signatures with a pending micro-batch are skipped — their flush
+        callback still needs the state — and picked up by a later
+        eviction pass.  An evicted signature rebuilds lazily (and
+        bit-identically) on its next request.
+        """
+        limit = self.config.max_warm_states
+        if limit is None:
+            return
+        while len(self._states) > limit:
+            # Never the most-recent entry (the state just ensured for the
+            # caller) and never one with a pending micro-batch — its
+            # flush callback still resolves through ``self._states``.
+            candidates = list(self._states)[:-1]
+            victim = next((s for s in candidates if s not in self._pending),
+                          None)
+            if victim is None:
+                return  # everything old is mid-batch; try again later
+            del self._states[victim]
+            self._state_locks.pop(victim, None)
+            self.metrics.counter("warm_evictions").increment()
+            self.metrics.gauge("warm_signatures").set(len(self._states))
 
     def _build_state(self, signature: SpaceSignature) -> _WarmState:
         self.faults.on_warm()

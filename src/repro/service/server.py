@@ -41,7 +41,7 @@ from repro.service.planner import (
     ServiceSaturatedError,
 )
 
-__all__ = ["PlannerServer", "run_server"]
+__all__ = ["PlannerServer", "dispatch_request", "run_server"]
 
 _MAX_BODY_BYTES = 1 << 20
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -55,6 +55,29 @@ _POST_ROUTES = {"/v1/select": "select", "/v1/predict": "predict",
 
 def _error_body(code: str, message: str) -> dict:
     return {"error": {"code": code, "message": message}}
+
+
+async def dispatch_request(service: PlannerService,
+                           request: dict) -> tuple[int, dict]:
+    """Run one decoded request; map library errors to (status, envelope).
+
+    The single source of truth for the service's HTTP error contract,
+    shared by :class:`PlannerServer` and the fleet shard workers
+    (:mod:`repro.fleet.worker`) so a request answers identically whether
+    it reached the service directly or through the shard router.
+    """
+    try:
+        return 200, await service.handle(request)
+    except ServiceSaturatedError as exc:
+        return 503, _error_body("saturated", str(exc))
+    except RequestTimeoutError as exc:
+        return 504, _error_body("deadline_exceeded", str(exc))
+    except InfeasibleError as exc:
+        return 422, _error_body("infeasible", str(exc))
+    except ValidationError as exc:
+        return 400, _error_body("invalid_request", str(exc))
+    except ReproError as exc:
+        return 400, _error_body("error", str(exc))
 
 
 class PlannerServer:
@@ -245,18 +268,7 @@ class PlannerServer:
         return await self._dispatch(request)
 
     async def _dispatch(self, request: dict) -> tuple[int, dict]:
-        try:
-            return 200, await self.service.handle(request)
-        except ServiceSaturatedError as exc:
-            return 503, _error_body("saturated", str(exc))
-        except RequestTimeoutError as exc:
-            return 504, _error_body("deadline_exceeded", str(exc))
-        except InfeasibleError as exc:
-            return 422, _error_body("infeasible", str(exc))
-        except ValidationError as exc:
-            return 400, _error_body("invalid_request", str(exc))
-        except ReproError as exc:
-            return 400, _error_body("error", str(exc))
+        return await dispatch_request(self.service, request)
 
 
 def run_server(service: PlannerService, *, host: str = "127.0.0.1",

@@ -204,6 +204,28 @@ class TestIndexedSelection:
             assert index.feasible_count(50_000.0, 5.0, 3.0) == \
                 reference.feasible_count
 
+    def test_concurrent_feasibility_builds_are_safe(self, small_catalog,
+                                                    small_capacities):
+        """The lazy feasibility structure publishes its guard attribute
+        last, so threads racing through `feasible_count` (the service
+        computes batches on executor threads) never observe a
+        half-built index."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core.selection import FrontierIndex
+
+        space = ConfigurationSpace(small_catalog)
+        evaluation = space.evaluate(small_capacities)
+        reference = select_configurations(evaluation, 50_000.0, 5.0, 3.0,
+                                          method="streamed")
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for _ in range(50):
+                index = FrontierIndex(evaluation)
+                counts = list(pool.map(
+                    lambda _i, idx=index: idx.feasible_count(
+                        50_000.0, 5.0, 3.0), range(4)))
+                assert counts == [reference.feasible_count] * 4
+
     def test_epsilons_equivalent(self, small_catalog, small_capacities):
         space = ConfigurationSpace(small_catalog)
         evaluation = space.evaluate(small_capacities)

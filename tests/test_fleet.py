@@ -1,0 +1,254 @@
+"""End-to-end planner fleet: parity, routing, failure handling.
+
+These tests boot real fleets — worker subprocesses behind Unix-domain
+sockets, the asyncio HTTP front end on an ephemeral port — and drive
+them over HTTP, asserting the contracts the architecture advertises:
+
+* a select answered by a shard is **byte-identical** to the in-process
+  ``dispatch_request`` answer (the front end forwards worker bytes
+  verbatim, the worker serializes exactly like ``celia serve``);
+* repeats of a request hit the shard's result cache and then the
+  worker's serialized-response memo;
+* a killed worker's keys re-route to the fallback owner without the
+  client seeing an error, and the monitor respawns the worker;
+* a graceful restart through ``POST /fleet/restart`` drains, respawns
+  and re-admits the worker.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+from repro.fleet import FleetConfig, PlannerFleet
+from repro.fleet.frontend import FleetFrontend
+from repro.fleet.hashing import warm_key
+from repro.obs.metrics import label_snapshot, merge_snapshots
+from repro.service.planner import PlannerService, ServiceConfig
+from repro.service.server import dispatch_request
+
+SELECT_BODY = {"app": "galaxy", "n": 65536, "a": 2000,
+               "deadline_hours": 48, "budget_dollars": 350}
+
+
+def fleet_config(**overrides):
+    defaults = dict(workers=2, port=0, quota=2, cache_dir=False,
+                    monitor_interval_s=0.2, connect_timeout_s=60.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+async def boot_fleet(config):
+    fleet = PlannerFleet(config)
+    await fleet.start()
+    frontend = FleetFrontend(fleet, host="127.0.0.1", port=0)
+    await frontend.start()
+    return fleet, frontend
+
+
+async def http(port, method, path, body=None):
+    """One blocking HTTP exchange, off-loop; returns (status, bytes)."""
+
+    def go():
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    return await asyncio.get_running_loop().run_in_executor(None, go)
+
+
+def seed_owned_by(fleet, worker_id, quota=2):
+    """A seed whose warm key the ring assigns to ``worker_id``."""
+    for seed in range(64):
+        if fleet.route(warm_key("galaxy", quota, seed)) == worker_id:
+            return seed
+    raise AssertionError(f"no seed in 0..63 routes to {worker_id}")
+
+
+class TestLabelSnapshot:
+    SNAP = {
+        "counters": {"requests_select": 4,
+                     'hits{kind="select"}': 2},
+        "gauges": {"queue_depth": 1.0},
+        "histograms": {"latency_s": {"count": 4}},
+    }
+
+    def test_labels_fold_into_every_series(self):
+        out = label_snapshot(self.SNAP, {"worker": "w0"})
+        assert out["counters"]['requests_select{worker="w0"}'] == 4
+        assert out["gauges"]['queue_depth{worker="w0"}'] == 1.0
+        assert out["histograms"]['latency_s{worker="w0"}'] == {"count": 4}
+
+    def test_existing_labels_kept_and_sorted(self):
+        out = label_snapshot(self.SNAP, {"worker": "w0"})
+        assert out["counters"]['hits{kind="select",worker="w0"}'] == 2
+
+    def test_new_label_wins_collision(self):
+        out = label_snapshot({"counters": {'x{worker="old"}': 1}},
+                             {"worker": "new"})
+        assert out["counters"] == {'x{worker="new"}': 1}
+
+    def test_empty_labels_is_identity(self):
+        assert label_snapshot(self.SNAP, {}) is self.SNAP
+
+    def test_relabeled_worker_snapshots_merge_without_collision(self):
+        merged = merge_snapshots(
+            label_snapshot({"counters": {"requests_select": 1}},
+                           {"worker": "w0"}),
+            label_snapshot({"counters": {"requests_select": 2}},
+                           {"worker": "w1"}))
+        assert merged["counters"] == {
+            'requests_select{worker="w0"}': 1,
+            'requests_select{worker="w1"}': 2,
+        }
+
+
+class TestFleetEndToEnd:
+    def test_select_parity_routing_and_repeat_caching(self):
+        async def run():
+            fleet, frontend = await boot_fleet(fleet_config())
+            try:
+                port = frontend.port
+                status, health = await http(port, "GET", "/healthz")
+                assert status == 200
+                assert json.loads(health)["ready"] is True
+
+                # One seed per worker so both shards serve.
+                seeds = [seed_owned_by(fleet, wid)
+                         for wid in fleet.worker_ids]
+                responses = {}
+                for seed in seeds:
+                    status, raw = await http(
+                        port, "POST", "/v1/select",
+                        {**SELECT_BODY, "seed": seed})
+                    assert status == 200, raw
+                    responses[seed] = raw
+
+                # Byte parity with the single-process dispatch path.
+                service = PlannerService(config=ServiceConfig(
+                    default_quota=2, cache_dir=False))
+                for seed, raw in responses.items():
+                    status, body = await dispatch_request(
+                        service, {"kind": "select", **SELECT_BODY,
+                                  "seed": seed})
+                    assert status == 200
+                    assert raw == json.dumps(body).encode("utf-8"), seed
+
+                # Repeats: shard result cache, then the raw-byte memo.
+                repeat_body = {**SELECT_BODY, "seed": seeds[0]}
+                status, second = await http(port, "POST", "/v1/select",
+                                            repeat_body)
+                assert json.loads(second)["cached"] is True
+                status, third = await http(port, "POST", "/v1/select",
+                                           repeat_body)
+                assert third == second
+
+                status, raw = await http(port, "GET", "/metrics")
+                counters = json.loads(raw)["counters"]
+                for wid in fleet.worker_ids:
+                    assert counters[f'fleet_routed{{worker="{wid}"}}'] >= 1
+                    assert counters[
+                        f'requests_select{{worker="{wid}"}}'] >= 1
+                assert any(k.startswith("raw_response_hits")
+                           and v >= 1 for k, v in counters.items()), \
+                    counters
+
+                status, text = await http(port, "GET", "/metrics.txt")
+                assert status == 200
+                assert b'fleet_routed{worker="w0"}' in text
+
+                status, raw = await http(port, "GET", "/fleet")
+                topology = json.loads(raw)
+                assert [w["id"] for w in topology["workers"]] == \
+                    list(fleet.worker_ids)
+                assert all(w["alive"] and w["routable"]
+                           for w in topology["workers"])
+            finally:
+                await frontend.stop()
+                await fleet.stop()
+
+        asyncio.run(run())
+
+    def test_killed_worker_reroutes_then_respawns(self):
+        async def run():
+            fleet, frontend = await boot_fleet(fleet_config())
+            try:
+                port = frontend.port
+                victim = fleet.worker_ids[0]
+                seed = seed_owned_by(fleet, victim)
+                body = {**SELECT_BODY, "seed": seed}
+
+                pid = next(w["pid"] for w in fleet.describe()["workers"]
+                           if w["id"] == victim)
+                os.kill(pid, signal.SIGKILL)
+
+                # The very next request for the dead shard's key must
+                # still be answered — rerouted to the fallback owner.
+                status, raw = await http(port, "POST", "/v1/select", body)
+                assert status == 200, raw
+                assert json.loads(raw)["result"]["feasible_count"] > 0
+
+                snapshot = frontend.metrics.snapshot()["counters"]
+                assert snapshot["fleet_reroutes_total"] >= 1
+
+                # The monitor respawns the worker and re-admits it.
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    workers = fleet.describe()["workers"]
+                    if all(w["alive"] and w["routable"] for w in workers):
+                        break
+                    await asyncio.sleep(0.2)
+                else:
+                    raise AssertionError(f"{victim} never rejoined")
+
+                status, raw = await http(port, "POST", "/v1/select", body)
+                assert status == 200, raw
+            finally:
+                await frontend.stop()
+                await fleet.stop()
+
+        asyncio.run(run())
+
+    def test_graceful_restart_endpoint_and_warm_owner(self):
+        async def run():
+            # Slow monitor: the explicit restart should do the work.
+            fleet, frontend = await boot_fleet(
+                fleet_config(monitor_interval_s=30.0))
+            try:
+                port = frontend.port
+                owner = await fleet.warm("galaxy")
+                assert owner == fleet.route(
+                    warm_key("galaxy", fleet.default_quota,
+                             fleet.default_seed))
+
+                status, raw = await http(port, "POST", "/fleet/restart",
+                                         {"worker": "w0"})
+                assert status == 200
+                assert json.loads(raw) == {"restarted": "w0"}
+                workers = fleet.describe()["workers"]
+                assert all(w["alive"] and w["routable"] for w in workers)
+
+                # Warm state is gone but rebuilds lazily, bit-identical.
+                seed = seed_owned_by(fleet, "w0")
+                status, raw = await http(port, "POST", "/v1/select",
+                                         {**SELECT_BODY, "seed": seed})
+                assert status == 200, raw
+                assert json.loads(raw)["cached"] is False
+
+                status, raw = await http(port, "POST", "/fleet/restart",
+                                         {"worker": "w9"})
+                assert status == 404
+            finally:
+                await frontend.stop()
+                await fleet.stop()
+
+        asyncio.run(run())

@@ -1,0 +1,142 @@
+"""Consistent-hash ring: determinism, stability, and balance.
+
+The fleet's whole restart story rests on two properties of
+`repro.fleet.hashing.HashRing`:
+
+* **Determinism** — routing is a pure function of (key, membership).
+  Two processes, or two boots a week apart, agree on every placement;
+  the CI fleet-smoke job asserts this end to end and these tests pin
+  it down in-process.
+* **Stability** — membership changes remap only the keys that *must*
+  move: adding a worker steals keys only for itself, removing one
+  reassigns only its own keys.  That is what makes a rolling restart
+  invalidate one shard's warm state instead of the whole fleet's.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.fleet.hashing import DEFAULT_VNODES, HashRing, ring_hash, warm_key
+
+
+def keys(count):
+    return [warm_key(f"app{i % 7}", quota=i % 3 + 1, seed=i) for i in
+            range(count)]
+
+
+class TestHashPrimitives:
+    def test_ring_hash_is_stable_across_runs(self):
+        """blake2b, not the per-process-salted builtin hash: these
+        exact values are what any other process computes too."""
+        assert ring_hash("galaxy|2|0") == 0x8A849257113CEBAA
+        assert ring_hash("x264|5|0") == 0xDDDFC57CF2C6F798
+        assert ring_hash("a") != ring_hash("b")
+
+    def test_warm_key_canonical_form(self):
+        assert warm_key("galaxy", 2, 7) == "galaxy|2|7"
+        assert warm_key("x264", quota=5, seed=0) == "x264|5|0"
+
+
+class TestDeterminism:
+    def test_two_rings_agree_on_every_placement(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order is irrelevant
+        for key in keys(500):
+            assert a.route(key) == b.route(key)
+
+    def test_routing_is_repeatable(self):
+        ring = HashRing(["w0", "w1"])
+        sample = keys(100)
+        assert [ring.route(k) for k in sample] == \
+            [ring.route(k) for k in sample]
+
+
+class TestStability:
+    def test_adding_a_worker_steals_only_for_itself(self):
+        """Every key that moves must move TO the new worker — no
+        reshuffling among the existing members."""
+        before = HashRing(["w0", "w1", "w2", "w3"])
+        sample = keys(2000)
+        placement = {k: before.route(k) for k in sample}
+        before.add_worker("w4")
+        moved = 0
+        for key in sample:
+            owner = before.route(key)
+            if owner != placement[key]:
+                assert owner == "w4", (key, placement[key], owner)
+                moved += 1
+        # A fifth worker should take roughly 1/5 of the keyspace; allow
+        # a wide band for vnode-placement variance.
+        assert 0.05 < moved / len(sample) < 0.40, moved
+
+    def test_removing_a_worker_moves_only_its_keys(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        sample = keys(2000)
+        placement = {k: ring.route(k) for k in sample}
+        ring.remove_worker("w2")
+        for key in sample:
+            if placement[key] != "w2":
+                assert ring.route(key) == placement[key], key
+
+    def test_exclusion_equals_removal(self):
+        """A down worker's keys land exactly where they would live if
+        it left the ring — the fallback during a restart agrees with
+        the permanent placement."""
+        full = HashRing(["w0", "w1", "w2"])
+        without = HashRing(["w0", "w1", "w2"])
+        without.remove_worker("w1")
+        for key in keys(500):
+            assert full.route(key, exclude={"w1"}) == without.route(key)
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(["w0", "w1"])
+        sample = keys(500)
+        placement = {k: ring.route(k) for k in sample}
+        ring.add_worker("w2")
+        ring.remove_worker("w2")
+        assert {k: ring.route(k) for k in sample} == placement
+
+
+class TestBalance:
+    def test_default_vnodes_keep_load_roughly_even(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        counts = {w: 0 for w in ring.workers}
+        sample = keys(4000)
+        for key in sample:
+            counts[ring.route(key)] += 1
+        mean = len(sample) / len(counts)
+        assert all(count > 0 for count in counts.values()), counts
+        # The docstring promise: max/mean imbalance stays modest for a
+        # handful of workers at 64 vnodes each.
+        assert max(counts.values()) / mean < 1.6, counts
+        assert DEFAULT_VNODES == 64
+
+
+class TestValidation:
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(ValidationError):
+            ring.add_worker("w0")
+
+    def test_remove_absent_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(["w0"]).remove_worker("w9")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            HashRing(vnodes=0)
+
+    def test_route_with_everyone_excluded_rejected(self):
+        ring = HashRing(["w0", "w1"])
+        with pytest.raises(ValidationError):
+            ring.route("k", exclude={"w0", "w1"})
+
+    def test_route_on_empty_ring_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing().route("k")
+
+    def test_membership_protocol(self):
+        ring = HashRing(["w1", "w0"])
+        assert ring.workers == ("w0", "w1")
+        assert len(ring) == 2
+        assert "w0" in ring and "w9" not in ring

@@ -89,6 +89,63 @@ class TestWarmState:
             asyncio.run(service.select("hadoop", 1.0, 1.0, 1.0, 1.0))
 
 
+class TestWarmStateEviction:
+    def test_max_warm_states_validated(self):
+        with pytest.raises(ValidationError):
+            ServiceConfig(max_warm_states=0)
+        assert ServiceConfig(max_warm_states=1).max_warm_states == 1
+        assert ServiceConfig().max_warm_states is None
+
+    def test_lru_eviction_and_bit_identical_rebuild(self):
+        """Over the cap, the least-recently-used signature's state is
+        dropped — and its next request rebuilds it lazily with the exact
+        same answer (the fleet's restart/eviction guarantee)."""
+        service = make_service(max_warm_states=2, result_cache_size=0)
+
+        async def run():
+            first = await service.select("galaxy", seed=0, **SELECT_ARGS)
+            await service.select("galaxy", seed=1, **SELECT_ARGS)
+            await service.select("galaxy", seed=2, **SELECT_ARGS)
+            survivors = {s.seed for s in service.warm_signatures}
+            again = await service.select("galaxy", seed=0, **SELECT_ARGS)
+            return first, survivors, again
+
+        first, survivors, again = asyncio.run(run())
+        # Seed 0 was the LRU victim; the newest two stayed resident.
+        assert survivors == {1, 2}
+        assert again["cached"] is False
+        assert again["result"] == first["result"]
+        snap = service.metrics.snapshot()
+        assert snap["counters"]["warm_evictions"] == 2  # 0 out, then 1
+        assert snap["gauges"]["warm_signatures"] == 2.0
+        assert snap["histograms"]["warm_build_s"]["count"] == 4
+        assert {s.seed for s in service.warm_signatures} == {2, 0}
+
+    def test_warm_respects_the_cap(self):
+        service = make_service(max_warm_states=1)
+
+        async def run():
+            await service.warm("galaxy", seed=0)
+            await service.warm("galaxy", seed=1)
+
+        asyncio.run(run())
+        assert [s.seed for s in service.warm_signatures] == [1]
+        assert service.metrics.snapshot(
+        )["counters"]["warm_evictions"] == 1
+
+    def test_unbounded_by_default(self):
+        service = make_service()
+
+        async def run():
+            for seed in range(4):
+                await service.warm("galaxy", seed=seed)
+
+        asyncio.run(run())
+        assert len(service.warm_signatures) == 4
+        assert "warm_evictions" not in \
+            service.metrics.snapshot()["counters"]
+
+
 class TestBatching:
     def test_concurrent_requests_coalesce(self):
         service = make_service(batch_window_s=0.05)

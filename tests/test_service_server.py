@@ -11,7 +11,7 @@ import json
 import pytest
 
 from repro.cloud.catalog import make_catalog
-from repro.errors import ReproError, ValidationError
+from repro.errors import ReproError, ServiceUnavailableError, ValidationError
 from repro.service import (
     PlannerClient,
     PlannerServer,
@@ -245,7 +245,9 @@ class TestGracefulDrain:
             drained = await server.drain(timeout_s=1.0)
 
             def connect():
-                with pytest.raises(ConnectionError):
+                # Transport failures surface as the typed service error,
+                # never a raw ConnectionError (clients catch one type).
+                with pytest.raises(ServiceUnavailableError):
                     PlannerClient(port=port, max_attempts=1).health()
                 return True
 
@@ -348,18 +350,63 @@ class TestClientRetry:
         assert err.value.attempts == 3
         assert isinstance(err.value.__cause__, ConnectionRefusedError)
 
-    def test_single_attempt_surfaces_original_error(self):
+    def test_single_attempt_wraps_transport_error(self):
         client = self.make_client([ConnectionRefusedError("boom")],
                                   max_attempts=1)
-        with pytest.raises(ConnectionRefusedError):
+        with pytest.raises(ServiceUnavailableError) as err:
             client._request("GET", "/healthz")
+        assert err.value.attempts == 1
+        assert isinstance(err.value.__cause__, ConnectionRefusedError)
+
+    def test_single_attempt_surfaces_typed_service_error(self):
+        saturated = ServiceSaturatedError("full", queue_depth=1,
+                                          max_queue_depth=1)
+        client = self.make_client([saturated], max_attempts=1)
+        with pytest.raises(ServiceSaturatedError):
+            client._request("POST", "/v1/select", {})
 
     def test_non_idempotent_never_retried(self):
         sleeps = []
         client = self.make_client(
             [ConnectionRefusedError("boom"), {"ok": True}], sleeps=sleeps)
-        with pytest.raises(ConnectionRefusedError):
+        with pytest.raises(ServiceUnavailableError) as err:
             client._request("POST", "/v1/mutate", {}, idempotent=False)
+        assert sleeps == []
+        assert isinstance(err.value.__cause__, ConnectionRefusedError)
+
+    def test_worker_lost_replayed_once_without_backoff(self):
+        """A fleet shard died mid-request: the dead worker has already
+        left routing, so one immediate replay lands on the re-routed
+        shard — no backoff sleep, no retry-budget spend."""
+        from repro.errors import WorkerLostError
+
+        sleeps = []
+        client = self.make_client(
+            [WorkerLostError("w0 died"), {"ok": True}], sleeps=sleeps)
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+        assert sleeps == []
+
+    def test_worker_lost_replay_fails_raises_typed_error(self):
+        from repro.errors import WorkerLostError
+
+        client = self.make_client(
+            [WorkerLostError("w0 died"), WorkerLostError("w1 died")])
+        with pytest.raises(WorkerLostError) as err:
+            client._request("POST", "/v1/select", {})
+        assert err.value.attempts == 2
+        assert isinstance(err.value.__cause__, WorkerLostError)
+        # Still catchable by callers handling generic unavailability.
+        assert isinstance(err.value, ServiceUnavailableError)
+
+    def test_worker_lost_non_idempotent_never_replayed(self):
+        from repro.errors import WorkerLostError
+
+        sleeps = []
+        client = self.make_client(
+            [WorkerLostError("w0 died"), {"ok": True}], sleeps=sleeps)
+        with pytest.raises(WorkerLostError) as err:
+            client._request("POST", "/v1/mutate", {}, idempotent=False)
+        assert err.value.attempts == 1
         assert sleeps == []
 
     def test_definitive_errors_never_retried(self):
