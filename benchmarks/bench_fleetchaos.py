@@ -1,0 +1,426 @@
+"""Replay a seeded chaos chain against the fleet, twice, under load.
+
+The fleet's resilience story is only worth shipping if it is
+*predictable*: the same faults, injected at the same offsets with the
+same seed, must produce the same recovery behavior — and clients must
+barely notice.  This benchmark boots a three-worker in-process fleet,
+drives it with paced keep-alive HTTP clients, and replays the
+``kill-hang-slow`` chaos chain (a SIGKILL, a SIGSTOP/SIGCONT hang, and
+a slow shard) from :mod:`repro.fleet.chaos` — twice, same seed.
+
+Acceptance, asserted in-process on every run:
+
+* **deterministic timelines** — the per-worker normalized fault /
+  ejection / re-admission event sequences are identical across the two
+  runs, and match the expected recovery story exactly (the killed
+  worker is ejected and re-admitted; the hung worker is ejected by
+  heartbeat probes *during* the hang and re-admitted after SIGCONT;
+  the slow shard is never ejected — probes are exempt from the
+  injected per-frame delay, so slow is distinguished from hung);
+* **deterministic answers** — every distinct query's planning response
+  is byte-identical (modulo the ``cached`` flag) within a run and
+  across both runs, no matter which worker served it;
+* **availability** — at least ``AVAILABILITY_TARGET`` of non-shed
+  requests succeed.  Load-shed responses (typed 503/429 with
+  ``Retry-After``) are counted separately: shedding is the mechanism
+  working, not a failure of it;
+* **bounded tail** — client-observed p99 stays under ``P99_BOUND_S``
+  even while workers die, hang, and crawl (``chaos_p99_s`` in the
+  report; CI enforces it with ``compare_bench.py --require-max``).
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_fleetchaos.py [--quick]
+        [--output PATH]
+
+Results land in ``BENCH_fleetchaos.json`` at the repository root.
+``--quick`` drives fewer, more gently paced clients (the CI fleet-chaos
+smoke mode); the chaos chain itself is never shortened — the fault
+schedule is the contract under test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.fleet.chaos import ChaosInjector, fleet_chaos_plan
+from repro.fleet.frontend import FleetFrontend
+from repro.fleet.hashing import HashRing, warm_key
+from repro.fleet.supervisor import FleetConfig, PlannerFleet
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_fleetchaos.json"
+
+APP = "galaxy"
+QUOTA = 2
+WORKERS = 3
+CHAOS_SEED = 0
+SEEDS_PER_WORKER = 2
+
+#: Closed-loop keep-alive clients and their per-request pacing.  The
+#: load generator shares one machine with the fleet it torments; pacing
+#: keeps the event loops responsive so heartbeat probes measure the
+#: *injected* faults, not generator-induced starvation.
+CLIENTS = 6
+QUICK_CLIENTS = 3
+PACING_S = 0.005
+QUICK_PACING_S = 0.01
+
+#: Probe cadence: worst-case hang detection is
+#: ``max_missed * (interval + timeout)`` ≈ 1.2 s, comfortably inside
+#: the chain's 2.0 s hang window even on a loaded single-core runner.
+PROBE_INTERVAL_S = 0.1
+PROBE_TIMEOUT_S = 0.5
+PROBE_MAX_MISSED = 2
+
+#: Per-worker in-flight cap.  During the hang window this is what
+#: bounds how many requests pile up behind the stopped worker; the
+#: rest are shed with a typed 503 + Retry-After instead of queueing.
+MAX_INFLIGHT = 4
+SHED_RETRY_AFTER_S = 0.05
+
+#: Seconds of load to keep driving after the last worker is re-admitted
+#: (proves the recovered fleet serves normally), and how long to wait
+#: for that recovery.
+POST_RECOVERY_S = 1.5
+RECOVERY_DEADLINE_S = 60.0
+
+AVAILABILITY_TARGET = 0.99
+P99_BOUND_S = 3.0
+
+#: The recovery story each worker's normalized timeline must tell.
+#: ``w1`` is SIGKILLed (crash monitor respawns it), ``w2`` is hung
+#: (probes eject it mid-hang, then re-admit after SIGCONT), ``w0`` is
+#: slowed but never ejected — probes are exempt from the frame delay.
+EXPECTED_TIMELINE = {
+    "w1": ("fault-kill", "ejected", "readmitted"),
+    "w2": ("fault-hang", "ejected", "fault-hang-end", "readmitted"),
+    "w0": ("fault-slow", "fault-slow-end"),
+}
+
+
+def pick_seeds(per_worker: int = SEEDS_PER_WORKER) -> tuple[int, ...]:
+    """Lowest seeds giving every worker ``per_worker`` warm keys.
+
+    Chosen off the same ring the fleet routes with, so the chaos chain
+    provably disturbs traffic on every shard: the killed, hung, and
+    slowed workers each own live keys.
+    """
+    ring = HashRing([f"w{i}" for i in range(WORKERS)])
+    counts = {worker: 0 for worker in ring.workers}
+    chosen: list[int] = []
+    seed = 0
+    while any(count < per_worker for count in counts.values()):
+        owner = ring.route(warm_key(APP, QUOTA, seed))
+        if counts[owner] < per_worker:
+            counts[owner] += 1
+            chosen.append(seed)
+        seed += 1
+    return tuple(chosen)
+
+
+SEEDS = pick_seeds()
+
+
+def query_body(slot: int) -> dict:
+    seed = SEEDS[slot % len(SEEDS)]
+    return {"app": APP, "n": 65536.0 + float(slot), "a": 2000.0,
+            "deadline_hours": 48.0, "budget_dollars": 350.0,
+            "seed": seed, "top": 5}
+
+
+def encode_post(body: dict) -> bytes:
+    payload = json.dumps(body).encode("utf-8")
+    return (f"POST /v1/select HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode("ascii") + payload
+
+
+_FRAMES = [encode_post(query_body(slot)) for slot in range(len(SEEDS))]
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    content_length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    body = await reader.readexactly(content_length) if content_length else b""
+    return status, body
+
+
+def canonical(body: bytes) -> str:
+    """A response's identity: its JSON minus the volatile cache flag."""
+    decoded = json.loads(body)
+    decoded.pop("cached", None)
+    return json.dumps(decoded, sort_keys=True)
+
+
+def percentile(latencies: list[float], p: float) -> float:
+    ordered = sorted(latencies)
+    last = len(ordered) - 1
+    return ordered[min(last, round(p / 100.0 * last))]
+
+
+class LoadStats:
+    """Tallies one run's client-side view of the chaos window."""
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.shed = 0
+        self.failed = 0
+        self.failures: dict[str, int] = {}
+        self.latencies: list[float] = []
+        self.responses: dict[int, set[str]] = {}
+
+    def availability(self) -> float:
+        served = self.ok + self.failed
+        return self.ok / served if served else 0.0
+
+
+async def run_clients(port: int, stats: LoadStats, stop: asyncio.Event,
+                      *, clients: int, pacing_s: float) -> None:
+    """Paced keep-alive clients cycling the query catalog until ``stop``."""
+
+    async def client(client_index: int) -> None:
+        reader = writer = None
+        slot = client_index  # stagger starting slots across clients
+        while not stop.is_set():
+            frame = _FRAMES[slot % len(_FRAMES)]
+            t0 = time.perf_counter()
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port)
+                writer.write(frame)
+                await writer.drain()
+                status, body = await _read_response(reader)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                # The front end never drops keep-alive connections
+                # mid-run; a reset here would itself be a finding.
+                stats.failed += 1
+                stats.failures["connection"] = \
+                    stats.failures.get("connection", 0) + 1
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+                continue
+            if status == 200:
+                stats.ok += 1
+                stats.latencies.append(time.perf_counter() - t0)
+                stats.responses.setdefault(
+                    slot % len(_FRAMES), set()).add(canonical(body))
+            else:
+                code = ""
+                try:
+                    code = json.loads(body)["error"]["code"]
+                except (ValueError, KeyError, TypeError):
+                    pass
+                if code in ("overloaded", "too_many_requests"):
+                    stats.shed += 1
+                else:
+                    stats.failed += 1
+                    stats.failures[code or f"http_{status}"] = \
+                        stats.failures.get(code or f"http_{status}", 0) + 1
+            slot += clients
+            await asyncio.sleep(pacing_s)
+        if writer is not None:
+            writer.close()
+
+    await asyncio.gather(*(client(c) for c in range(clients)))
+
+
+async def prewarm(fleet: PlannerFleet, port: int) -> float:
+    """Warm every query on its owner *and* its first fallback.
+
+    The owner warms through the front end (the production path); the
+    fallback warms over its worker link directly.  With both warm, the
+    timed window measures rerouting and recovery — the only cold warms
+    left are the respawned worker's, which are exactly the recovery
+    cost the benchmark exists to observe.
+    """
+    t0 = time.perf_counter()
+
+    async def warm_slot(slot: int) -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(_FRAMES[slot])
+            await writer.drain()
+            status, body = await _read_response(reader)
+            assert status == 200, f"prewarm slot {slot} -> HTTP {status}"
+        finally:
+            writer.close()
+        key = warm_key(APP, QUOTA, SEEDS[slot])
+        owner = fleet.ring.route(key)
+        fallback = fleet.ring.route(key, exclude={owner})
+        raw = json.dumps(query_body(slot)).encode("utf-8")
+        status, _ = await fleet.link(fallback).call_raw("select", raw)
+        assert status == 200, f"fallback prewarm slot {slot} -> {status}"
+
+    await asyncio.gather(*(warm_slot(s) for s in range(len(SEEDS))))
+    return time.perf_counter() - t0
+
+
+async def wait_for_recovery(fleet: PlannerFleet) -> None:
+    deadline = time.monotonic() + RECOVERY_DEADLINE_S
+    while time.monotonic() < deadline:
+        normalized = fleet.timeline.normalized()
+        if all("readmitted" in normalized.get(worker, ())
+               for worker in ("w1", "w2")):
+            return
+        await asyncio.sleep(0.1)
+    raise AssertionError(
+        f"fleet did not recover within {RECOVERY_DEADLINE_S:g}s: "
+        f"{fleet.timeline.normalized()}")
+
+
+async def chaos_run(run_index: int, cache_dir: str, *, clients: int,
+                    pacing_s: float) -> dict:
+    """One full boot → prewarm → chaos-under-load → recovery cycle."""
+    config = FleetConfig(
+        workers=WORKERS, port=0, quota=QUOTA, cache_dir=cache_dir,
+        monitor_interval_s=0.2, connect_timeout_s=120.0,
+        probe_interval_s=PROBE_INTERVAL_S, probe_timeout_s=PROBE_TIMEOUT_S,
+        probe_max_missed=PROBE_MAX_MISSED)
+    fleet = PlannerFleet(config)
+    await fleet.start()
+    frontend = FleetFrontend(
+        fleet, host="127.0.0.1", port=0, max_inflight=MAX_INFLIGHT,
+        shed_retry_after_s=SHED_RETRY_AFTER_S)
+    await frontend.start()
+    try:
+        warm_s = await prewarm(fleet, frontend.port)
+        assert fleet.timeline.events() == (), \
+            f"faults before injection: {fleet.timeline.normalized()}"
+
+        plan = fleet_chaos_plan("kill-hang-slow", workers=WORKERS,
+                                seed=CHAOS_SEED)
+        stats = LoadStats()
+        stop = asyncio.Event()
+        load = asyncio.ensure_future(run_clients(
+            frontend.port, stats, stop, clients=clients,
+            pacing_s=pacing_s))
+        t0 = time.perf_counter()
+        await ChaosInjector(fleet, plan).run()
+        await wait_for_recovery(fleet)
+        await asyncio.sleep(POST_RECOVERY_S)
+        stop.set()
+        await load
+        wall = time.perf_counter() - t0
+
+        for slot, seen in sorted(stats.responses.items()):
+            assert len(seen) == 1, (
+                f"run {run_index}: query slot {slot} got "
+                f"{len(seen)} distinct responses")
+        return {
+            "run": run_index,
+            "warm_s": round(warm_s, 4),
+            "wall_s": round(wall, 4),
+            "requests": stats.ok + stats.shed + stats.failed,
+            "ok": stats.ok,
+            "shed": stats.shed,
+            "failed": stats.failed,
+            "failures": stats.failures,
+            "availability": round(stats.availability(), 6),
+            "chaos_p50_s": round(percentile(stats.latencies, 50), 6),
+            "chaos_p99_s": round(percentile(stats.latencies, 99), 6),
+            "max_latency_s": round(max(stats.latencies), 6),
+            "timeline": {worker: list(kinds) for worker, kinds
+                         in sorted(fleet.timeline.normalized().items())},
+            "responses": {slot: next(iter(seen)) for slot, seen
+                          in sorted(stats.responses.items())},
+        }
+    finally:
+        await frontend.stop()
+        await fleet.stop()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"{QUICK_CLIENTS} clients at "
+                             f"{QUICK_PACING_S * 1e3:g} ms pacing instead "
+                             f"of {CLIENTS} at {PACING_S * 1e3:g} ms "
+                             "(CI smoke mode); the chaos chain is "
+                             "identical")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"report path (default {OUTPUT.name})")
+    args = parser.parse_args()
+    clients = QUICK_CLIENTS if args.quick else CLIENTS
+    pacing_s = QUICK_PACING_S if args.quick else PACING_S
+
+    plan = fleet_chaos_plan("kill-hang-slow", workers=WORKERS,
+                            seed=CHAOS_SEED)
+    print(f"chaos chain: {plan.name} over {WORKERS} workers, "
+          f"horizon {plan.horizon_s:g}s, seeds {SEEDS}")
+    # Both runs share one snapshot cache: warm-state rebuild is an
+    # mmap, not a sweep, exactly as a production fleet shares one.
+    cache_dir = tempfile.mkdtemp(prefix="bench-fleetchaos-")
+
+    runs = []
+    for run_index in (1, 2):
+        run = asyncio.run(chaos_run(run_index, cache_dir,
+                                    clients=clients, pacing_s=pacing_s))
+        runs.append(run)
+        print(f"run {run_index}: {run['requests']} requests "
+              f"({run['ok']} ok, {run['shed']} shed, "
+              f"{run['failed']} failed), availability "
+              f"{run['availability']:.4f}, p50 "
+              f"{run['chaos_p50_s'] * 1e3:.1f} ms, p99 "
+              f"{run['chaos_p99_s'] * 1e3:.1f} ms")
+        assert run["timeline"] == {w: list(k) for w, k
+                                   in EXPECTED_TIMELINE.items()}, (
+            f"run {run_index} timeline diverged from the recovery "
+            f"contract: {run['timeline']}")
+        assert run["availability"] >= AVAILABILITY_TARGET, (
+            f"run {run_index}: availability {run['availability']:.4f} "
+            f"< {AVAILABILITY_TARGET} (failures: {run['failures']})")
+        assert run["chaos_p99_s"] <= P99_BOUND_S, (
+            f"run {run_index}: p99 {run['chaos_p99_s']:.3f}s exceeds "
+            f"{P99_BOUND_S:g}s under chaos")
+
+    assert runs[0]["timeline"] == runs[1]["timeline"], (
+        "fault/ejection/re-admission timelines differ across same-seed "
+        f"runs:\n{runs[0]['timeline']}\n{runs[1]['timeline']}")
+    assert runs[0]["responses"] == runs[1]["responses"], (
+        "planning responses differ across same-seed runs")
+    print("determinism: timelines and responses identical across runs")
+
+    report = {
+        "app": APP,
+        "quota": QUOTA,
+        "workers": WORKERS,
+        "seeds": list(SEEDS),
+        "clients": clients,
+        "pacing_s": pacing_s,
+        "plan": plan.to_dict(),
+        "probe": {"interval_s": PROBE_INTERVAL_S,
+                  "timeout_s": PROBE_TIMEOUT_S,
+                  "max_missed": PROBE_MAX_MISSED},
+        "max_inflight": MAX_INFLIGHT,
+        "availability_target": AVAILABILITY_TARGET,
+        "p99_bound_s": P99_BOUND_S,
+        "chaos_p99_s": max(run["chaos_p99_s"] for run in runs),
+        "availability": min(run["availability"] for run in runs),
+        "timelines_identical": True,
+        "responses_identical": True,
+        "timeline": runs[0]["timeline"],
+        "runs": [{k: v for k, v in run.items() if k != "responses"}
+                 for run in runs],
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -326,6 +326,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max requests per vectorized batch (default 32)")
     f.add_argument("--timeout", type=float, default=30.0,
                    help="default per-request deadline in seconds")
+    f.add_argument("--call-timeout", type=float, default=None,
+                   help="front-end deadline per routed worker call; a "
+                        "hung worker trips a reroute instead of stalling "
+                        "its shard (default: unbounded)")
+    f.add_argument("--max-inflight", type=int, default=None,
+                   help="per-worker in-flight cap; excess requests are "
+                        "shed with a typed 503 + Retry-After "
+                        "(default: unbounded)")
+    f.add_argument("--max-total-inflight", type=int, default=None,
+                   help="fleet-wide in-flight cap; excess requests get "
+                        "a typed 429 (default: unbounded)")
+    f.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint in seconds on shed responses "
+                        "(default 1)")
+    f.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to wait for in-flight requests on "
+                        "SIGTERM before force-closing connections")
+    f.add_argument("--no-health-probes", action="store_true",
+                   help="disable heartbeat probing (hung-worker "
+                        "ejection and re-admission)")
+    f.add_argument("--probe-interval", type=float, default=0.5,
+                   help="seconds between heartbeat probes per worker "
+                        "(default 0.5)")
+    f.add_argument("--probe-timeout", type=float, default=2.0,
+                   help="seconds before an unanswered probe counts as "
+                        "a miss (default 2)")
+    f.add_argument("--probe-max-missed", type=int, default=2,
+                   help="consecutive probe misses before a worker is "
+                        "ejected from the ring (default 2)")
+    f.add_argument("--chaos", default=None, metavar="SCENARIO",
+                   help="inject a named fleet chaos scenario once the "
+                        "fleet is ready (see --list-chaos)")
+    f.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for the chaos plan's randomness "
+                        "(frame-drop pattern)")
+    f.add_argument("--list-chaos", action="store_true",
+                   help="list the named fleet chaos scenarios and exit")
     return parser
 
 
@@ -818,8 +855,18 @@ def _cmd_serve(celia: Celia, args) -> int:
 
 
 def _cmd_fleet(celia: Celia, args) -> int:
-    from repro.fleet import FleetConfig, run_fleet
+    from repro.fleet import (FleetConfig, fleet_chaos_names,
+                             fleet_chaos_plan, run_fleet)
 
+    if args.list_chaos:
+        for name in fleet_chaos_names():
+            print(name)
+        return 0
+    chaos_plan = None
+    if args.chaos is not None:
+        chaos_plan = fleet_chaos_plan(args.chaos,
+                                      workers=args.fleet_workers,
+                                      seed=args.chaos_seed)
     config = FleetConfig(
         workers=args.fleet_workers,
         host=args.host,
@@ -833,13 +880,25 @@ def _cmd_fleet(celia: Celia, args) -> int:
         timeout_s=args.timeout,
         cache_dir=False if args.no_cache else args.cache_dir,
         warm_apps=tuple(args.warm or ()),
+        call_timeout_s=args.call_timeout,
+        max_inflight=args.max_inflight,
+        max_total_inflight=args.max_total_inflight,
+        shed_retry_after_s=args.retry_after,
+        health_probes=not args.no_health_probes,
+        probe_interval_s=args.probe_interval,
+        probe_timeout_s=args.probe_timeout,
+        probe_max_missed=args.probe_max_missed,
     )
     run_fleet(
         config,
+        drain_timeout_s=args.drain_timeout,
+        chaos_plan=chaos_plan,
         ready_callback=lambda frontend: print(
             f"celia fleet listening on http://{frontend.host}:"
             f"{frontend.port} ({config.workers} workers, quota "
-            f"{config.quota})", flush=True),
+            f"{config.quota})"
+            + (f" [chaos: {args.chaos}]" if args.chaos else ""),
+            flush=True),
     )
     return 0
 

@@ -24,6 +24,8 @@ __all__ = [
     "ValidationError",
     "ServiceUnavailableError",
     "WorkerLostError",
+    "FleetOverloadedError",
+    "CircuitOpenError",
 ]
 
 
@@ -148,3 +150,33 @@ class WorkerLostError(ServiceUnavailableError):
 
     def __init__(self, message: str, *, attempts: int = 1):
         super().__init__(message, attempts=attempts)
+
+
+class FleetOverloadedError(ServiceUnavailableError):
+    """The fleet shed this request at an in-flight cap.
+
+    Returned as a typed 503 ``overloaded`` (per-worker cap) or 429
+    ``too_many_requests`` (fleet-wide cap) envelope carrying a
+    ``Retry-After`` hint; ``retry_after_s`` mirrors that hint so
+    :class:`~repro.service.client.PlannerClient` can pace its retry
+    instead of hammering a saturated fleet.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1,
+                 retry_after_s: float | None = None):
+        super().__init__(message, attempts=attempts)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """The client's circuit breaker is open: the request was not sent.
+
+    After ``failure_threshold`` consecutive failed request cycles the
+    breaker stops traffic locally for ``reset_timeout_s``, then lets a
+    single half-open probe through; ``retry_after_s`` says how long
+    until that probe slot opens.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.0):
+        super().__init__(message, attempts=0)
+        self.retry_after_s = retry_after_s

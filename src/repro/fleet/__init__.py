@@ -18,22 +18,42 @@ shared content-addressed snapshot cache, so fleet RAM scales with the
 See ``docs/ops.md`` for the operator runbook.
 """
 
+from repro.fleet.chaos import (
+    FLEET_FAULT_KINDS,
+    ChaosInjector,
+    FleetChaosPlan,
+    FleetFault,
+    LinkFaults,
+    fleet_chaos_names,
+    fleet_chaos_plan,
+)
 from repro.fleet.frontend import FleetFrontend
 from repro.fleet.hashing import DEFAULT_VNODES, HashRing, ring_hash, warm_key
+from repro.fleet.health import FleetTimeline, HealthMonitor, TimelineEvent
 from repro.fleet.rpc import WorkerGone, WorkerLink, encode_frame
 from repro.fleet.supervisor import FleetConfig, PlannerFleet, run_fleet
 from repro.fleet.worker import ShardWorker
 
 __all__ = [
     "DEFAULT_VNODES",
+    "FLEET_FAULT_KINDS",
+    "ChaosInjector",
+    "FleetChaosPlan",
     "FleetConfig",
+    "FleetFault",
     "FleetFrontend",
+    "FleetTimeline",
     "HashRing",
+    "HealthMonitor",
+    "LinkFaults",
     "PlannerFleet",
     "ShardWorker",
+    "TimelineEvent",
     "WorkerGone",
     "WorkerLink",
     "encode_frame",
+    "fleet_chaos_names",
+    "fleet_chaos_plan",
     "ring_hash",
     "run_fleet",
     "warm_key",

@@ -1,0 +1,327 @@
+"""Seeded, deterministic fault injection for the planner fleet.
+
+The sweep layer rehearses worker loss with :mod:`repro.parallel.faults`
+and the adaptive runtime rehearses cloud failures with
+:mod:`repro.runtime.chaos`; this module is the fleet's analog — it
+breaks the *serving* path on a schedule so the resilience machinery
+(health probing, ring ejection, load shedding, client circuit breaking)
+can be validated deterministically instead of by hoping production
+finds the bugs first.
+
+A :class:`FleetChaosPlan` is a seeded list of :class:`FleetFault`\\ s,
+each naming a worker, a fault kind and a logical offset:
+
+* ``kill``  — SIGKILL the worker process (crash; the supervisor's
+  monitor respawns it);
+* ``hang``  — SIGSTOP for ``duration_s`` then SIGCONT (alive but
+  unresponsive — the case only deadline-based health probing catches);
+* ``slow``  — the worker sleeps ``delay_s`` before answering each
+  planning frame for ``duration_s`` (degraded shard);
+* ``delay`` — every RPC frame to the worker waits ``delay_s`` before
+  being written for ``duration_s`` (slow network path);
+* ``drop``  — each frame to the worker is dropped with probability
+  ``drop_rate`` for ``duration_s``, using a generator derived from the
+  plan seed so the loss pattern replays exactly (lossy network path).
+
+:class:`ChaosInjector` replays a plan against a live
+:class:`~repro.fleet.supervisor.PlannerFleet`, recording every applied
+fault on the fleet's :class:`~repro.fleet.health.FleetTimeline` with
+its *scheduled* offset — two same-seed runs therefore produce
+identical per-worker timelines, which is the determinism contract
+``benchmarks/bench_fleetchaos.py`` asserts.
+
+Named scenarios (``fleet_chaos_names()``) mirror the runtime's chaos
+catalog: ``celia fleet serve --chaos kill-hang-slow`` boots a fleet
+that starts sabotaging itself the moment it reports ready.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.fleet.rpc import WorkerGone
+from repro.utils.rng import derive_rng
+
+__all__ = ["FLEET_FAULT_KINDS", "ChaosInjector", "FleetChaosPlan",
+           "FleetFault", "LinkFaults", "fleet_chaos_names",
+           "fleet_chaos_plan"]
+
+FLEET_FAULT_KINDS = ("kill", "hang", "slow", "delay", "drop")
+
+#: Kinds that act for a window and need an explicit end step.
+_WINDOWED = ("hang", "slow", "delay", "drop")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetFault:
+    """One scheduled fault against one fleet worker."""
+
+    worker: str
+    kind: str
+    #: Logical offset (seconds after the injector starts).
+    at_s: float
+    #: Window length for hang/slow/delay/drop.
+    duration_s: float = 0.0
+    #: Injected latency for slow (per answered frame) / delay (per sent
+    #: frame).
+    delay_s: float = 0.0
+    #: Per-frame drop probability for ``drop``.
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FLEET_FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fleet fault kind {self.kind!r}; "
+                f"expected one of {FLEET_FAULT_KINDS}")
+        if self.at_s < 0:
+            raise ValidationError("fault at_s must be >= 0")
+        if self.kind in _WINDOWED and self.duration_s <= 0:
+            raise ValidationError(
+                f"{self.kind} fault needs a positive duration_s")
+        if self.kind in ("slow", "delay") and self.delay_s <= 0:
+            raise ValidationError(
+                f"{self.kind} fault needs a positive delay_s")
+        if self.kind == "drop" and not 0.0 < self.drop_rate <= 1.0:
+            raise ValidationError(
+                "drop fault needs drop_rate in (0, 1]")
+
+    def to_dict(self) -> dict:
+        return {"worker": self.worker, "kind": self.kind,
+                "at_s": self.at_s, "duration_s": self.duration_s,
+                "delay_s": self.delay_s, "drop_rate": self.drop_rate}
+
+
+@dataclass(frozen=True)
+class FleetChaosPlan:
+    """A seeded, ordered schedule of fleet faults."""
+
+    faults: tuple = ()
+    seed: int = 0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __add__(self, other: "FleetChaosPlan") -> "FleetChaosPlan":
+        return FleetChaosPlan(faults=self.faults + other.faults,
+                              seed=self.seed,
+                              name=f"{self.name}+{other.name}")
+
+    @property
+    def horizon_s(self) -> float:
+        """Offset at which the last fault window has closed."""
+        return max((f.at_s + f.duration_s for f in self.faults),
+                   default=0.0)
+
+    def steps(self) -> "list[tuple[float, str, FleetFault]]":
+        """Expand to ``(offset, action, fault)`` steps, time-ordered.
+
+        Windowed faults contribute a start and an end step; the sort is
+        stable on ``(offset, fault position)`` so plans replay in one
+        deterministic order even with coinciding offsets.
+        """
+        out: list[tuple[float, str, FleetFault]] = []
+        for fault in self.faults:
+            if fault.kind == "kill":
+                out.append((fault.at_s, "kill", fault))
+                continue
+            out.append((fault.at_s, f"{fault.kind}-start", fault))
+            out.append((fault.at_s + fault.duration_s,
+                        f"{fault.kind}-end", fault))
+        out.sort(key=lambda step: step[0])
+        return out
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "seed": self.seed,
+                "faults": [fault.to_dict() for fault in self.faults]}
+
+
+def _w(index: int, workers: int) -> str:
+    return f"w{index % workers}"
+
+
+def _plan_worker_kill(workers: int, seed: int) -> FleetChaosPlan:
+    """One worker SIGKILLed early; the monitor must respawn it."""
+    return FleetChaosPlan(name="worker-kill", seed=seed, faults=(
+        FleetFault(_w(1, workers), "kill", 1.0),))
+
+
+def _plan_worker_hang(workers: int, seed: int) -> FleetChaosPlan:
+    """One worker stalls (SIGSTOP) for 2s, then resumes."""
+    return FleetChaosPlan(name="worker-hang", seed=seed, faults=(
+        FleetFault(_w(1, workers), "hang", 1.0, duration_s=2.0),))
+
+
+def _plan_slow_shard(workers: int, seed: int) -> FleetChaosPlan:
+    """One shard answers 50ms late for 3s (degraded, not down)."""
+    return FleetChaosPlan(name="slow-shard", seed=seed, faults=(
+        FleetFault(_w(0, workers), "slow", 1.0, duration_s=3.0,
+                   delay_s=0.05),))
+
+
+def _plan_frame_delay(workers: int, seed: int) -> FleetChaosPlan:
+    """Frames to one worker wait 20ms on the wire for 2s."""
+    return FleetChaosPlan(name="frame-delay", seed=seed, faults=(
+        FleetFault(_w(1, workers), "delay", 1.0, duration_s=2.0,
+                   delay_s=0.02),))
+
+
+def _plan_frame_loss(workers: int, seed: int) -> FleetChaosPlan:
+    """30% of frames to one worker vanish for 2s (seeded pattern)."""
+    return FleetChaosPlan(name="frame-loss", seed=seed, faults=(
+        FleetFault(_w(1, workers), "drop", 1.0, duration_s=2.0,
+                   drop_rate=0.3),))
+
+
+def _plan_kill_hang_slow(workers: int, seed: int) -> FleetChaosPlan:
+    """The bench chain: a crash, then a hang, then a slow shard."""
+    return FleetChaosPlan(name="kill-hang-slow", seed=seed, faults=(
+        FleetFault(_w(1, workers), "kill", 1.0),
+        FleetFault(_w(2, workers), "hang", 3.5, duration_s=2.0),
+        FleetFault(_w(0, workers), "slow", 6.0, duration_s=1.5,
+                   delay_s=0.05),))
+
+
+_SCENARIOS = {
+    "worker-kill": _plan_worker_kill,
+    "worker-hang": _plan_worker_hang,
+    "slow-shard": _plan_slow_shard,
+    "frame-delay": _plan_frame_delay,
+    "frame-loss": _plan_frame_loss,
+    "kill-hang-slow": _plan_kill_hang_slow,
+}
+
+
+def fleet_chaos_names() -> tuple:
+    """Catalog of named fleet chaos scenarios."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def fleet_chaos_plan(name: str, *, workers: int = 2,
+                     seed: int = 0) -> FleetChaosPlan:
+    """Build the named scenario for a fleet of ``workers`` workers."""
+    builder = _SCENARIOS.get(name)
+    if builder is None:
+        raise ValidationError(
+            f"unknown chaos scenario {name!r}; "
+            f"known: {', '.join(fleet_chaos_names())}")
+    if workers < 1:
+        raise ValidationError("chaos plan needs at least one worker")
+    return builder(workers, seed)
+
+
+class LinkFaults:
+    """Network-shaped faults applied by :class:`WorkerLink.call_raw`.
+
+    ``delay_s`` stalls every outbound frame; ``drop_rate`` makes each
+    frame vanish (never written) with that probability, drawn from a
+    generator derived from ``(seed, "link-faults", worker_id)`` — the
+    drop pattern is a property of the plan, not of wall-clock timing.
+    """
+
+    def __init__(self, *, delay_s: float = 0.0, drop_rate: float = 0.0,
+                 seed: int = 0, worker_id: str = ""):
+        self.delay_s = delay_s
+        self.drop_rate = drop_rate
+        self._rng = derive_rng(seed, "link-faults", worker_id)
+
+    def drop(self) -> bool:
+        """Deterministically decide this frame's fate."""
+        if self.drop_rate <= 0.0:
+            return False
+        return bool(float(self._rng.uniform()) < self.drop_rate)
+
+
+class ChaosInjector:
+    """Replays a :class:`FleetChaosPlan` against a live fleet.
+
+    Every applied fault is recorded on ``fleet.timeline`` with its
+    *scheduled* offset (``at_s``), so the timeline's per-worker view is
+    identical across same-seed runs regardless of scheduler jitter.
+    """
+
+    def __init__(self, fleet, plan: FleetChaosPlan):
+        self.fleet = fleet
+        self.plan = plan
+        #: pids captured at SIGSTOP time, so the matching SIGCONT goes
+        #: to the process that was stopped even if the monitor has
+        #: respawned the worker id meanwhile.
+        self._stopped: dict[str, int] = {}
+
+    async def run(self) -> None:
+        """Apply every step of the plan at its scheduled offset."""
+        started = time.monotonic()
+        for offset, action, fault in self.plan.steps():
+            delay = started + offset - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            try:
+                await self._apply(action, fault)
+            except (ProcessLookupError, KeyError, OSError,
+                    WorkerGone) as exc:
+                # The target vanished between scheduling and firing
+                # (e.g. killed by an earlier fault); record the miss so
+                # the timeline still tells the whole story.
+                self.fleet.timeline.record(
+                    f"fault-{action}-missed", fault.worker,
+                    at_s=fault.at_s, detail=str(exc))
+
+    async def _apply(self, action: str, fault: FleetFault) -> None:
+        worker = fault.worker
+        timeline = self.fleet.timeline
+        if action == "kill":
+            timeline.record("fault-kill", worker, at_s=fault.at_s)
+            os.kill(self._pid(worker), signal.SIGKILL)
+        elif action == "hang-start":
+            pid = self._pid(worker)
+            timeline.record("fault-hang", worker, at_s=fault.at_s,
+                            detail=f"SIGSTOP for {fault.duration_s:g}s")
+            self._stopped[worker] = pid
+            os.kill(pid, signal.SIGSTOP)
+        elif action == "hang-end":
+            pid = self._stopped.pop(worker, None)
+            timeline.record("fault-hang-end", worker,
+                            at_s=fault.at_s + fault.duration_s)
+            if pid is not None:
+                os.kill(pid, signal.SIGCONT)
+        elif action == "slow-start":
+            timeline.record("fault-slow", worker, at_s=fault.at_s,
+                            detail=f"+{fault.delay_s:g}s per frame")
+            await self._set_slow(worker, fault.delay_s)
+        elif action == "slow-end":
+            timeline.record("fault-slow-end", worker,
+                            at_s=fault.at_s + fault.duration_s)
+            await self._set_slow(worker, 0.0)
+        elif action == "delay-start":
+            timeline.record("fault-delay", worker, at_s=fault.at_s,
+                            detail=f"+{fault.delay_s:g}s per frame")
+            self.fleet.link(worker).faults = LinkFaults(
+                delay_s=fault.delay_s, seed=self.plan.seed,
+                worker_id=worker)
+        elif action == "drop-start":
+            timeline.record("fault-drop", worker, at_s=fault.at_s,
+                            detail=f"p={fault.drop_rate:g}")
+            self.fleet.link(worker).faults = LinkFaults(
+                drop_rate=fault.drop_rate, seed=self.plan.seed,
+                worker_id=worker)
+        elif action in ("delay-end", "drop-end"):
+            timeline.record(f"fault-{action.split('-')[0]}-end", worker,
+                            at_s=fault.at_s + fault.duration_s)
+            self.fleet.link(worker).faults = None
+        else:  # pragma: no cover - steps() only emits the above
+            raise ValidationError(f"unknown chaos action {action!r}")
+
+    def _pid(self, worker: str) -> int:
+        pid = self.fleet.worker_pid(worker)
+        if pid is None:
+            raise ProcessLookupError(f"worker {worker} has no process")
+        return pid
+
+    async def _set_slow(self, worker: str, slow_s: float) -> None:
+        await self.fleet.link(worker).call(
+            {"kind": "__chaos__", "slow_s": slow_s}, timeout_s=5.0)

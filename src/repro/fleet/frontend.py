@@ -70,7 +70,11 @@ class FleetFrontend:
     """
 
     def __init__(self, fleet, *, host: str = "127.0.0.1", port: int = 0,
-                 call_timeout_s: "float | None" = None):
+                 call_timeout_s: "float | None" = None,
+                 max_inflight: "int | None" = None,
+                 max_total_inflight: "int | None" = None,
+                 shed_retry_after_s: float = 1.0,
+                 expected_warm: tuple = ()):
         self.fleet = fleet
         self.host = host
         self.port = port  # 0 → ephemeral; replaced by the bound port
@@ -78,13 +82,30 @@ class FleetFrontend:
         #: timeout (``ServiceConfig.default_timeout_s`` → 504) and the
         #: link's crash detection (:class:`WorkerGone`); a float adds a
         #: per-call ``wait_for`` on top, which costs ~60µs per request.
+        #: It is also the hung-worker backstop: a SIGSTOPped worker
+        #: holds the frame forever, and only this deadline turns that
+        #: into a :class:`WorkerGone` reroute.
         self.call_timeout_s = call_timeout_s
+        #: Per-worker in-flight cap.  A worker already serving this many
+        #: routed calls sheds further ones with a typed 503
+        #: ``overloaded`` envelope + ``Retry-After`` instead of queueing
+        #: without bound behind a slow shard.
+        self.max_inflight = max_inflight
+        #: Fleet-wide cap across all routed calls; beyond it requests
+        #: get a typed 429 ``too_many_requests``.
+        self.max_total_inflight = max_total_inflight
+        self.shed_retry_after_s = shed_retry_after_s
+        #: Apps that must be warmed before ``/healthz`` reports ready —
+        #: the same readiness contract as the single server.
+        self.expected_warm = tuple(expected_warm)
         self.metrics = MetricsRegistry()
         self._server: asyncio.AbstractServer | None = None
         self._in_flight = 0
+        self._worker_inflight: dict = {}
         self._draining = False
         self._idle = asyncio.Event()
         self._idle.set()
+        self._conn_tasks: set = set()
         # Raw body bytes → warm key, so repeat planning requests skip
         # the JSON parse entirely (routing is the only reason the front
         # end ever looks inside a body).  Small bodies only, LRU-bounded.
@@ -92,6 +113,7 @@ class FleetFrontend:
         # Hot-path metric objects, resolved once — each registry lookup
         # costs a lock and a label format, too much at thousands of rps.
         self._requests_total = self.metrics.counter("fleet_requests_total")
+        self._shed_total = self.metrics.counter("fleet_shed_total")
         self._request_latency = \
             self.metrics.histogram("fleet_request_latency_s")
         self._routed_counters: dict = {}
@@ -128,22 +150,37 @@ class FleetFrontend:
             self._server = None
 
     async def drain(self, *, timeout_s: float = 10.0) -> bool:
-        """Refuse new work, wait for in-flight requests, close listener."""
+        """Refuse new work, finish in-flight requests, close connections.
+
+        Returns True when every in-flight request finished inside the
+        timeout.  Either way the surviving connection tasks — idle
+        keep-alive readers and, on timeout, requests hung behind a dead
+        shard — are cancelled, so drain always leaves the front end
+        fully quiesced instead of leaking tasks that outlive it.
+        """
         self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        completed = True
         try:
             await asyncio.wait_for(self._idle.wait(), timeout_s)
-            return True
         except asyncio.TimeoutError:
-            return False
+            completed = False
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        return completed
 
     # -- connection handling ---------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             sock = writer.get_extra_info("socket")
             if sock is not None:
@@ -157,11 +194,18 @@ class FleetFrontend:
                     break
         except (ConnectionError, OSError):
             pass  # client went away mid-stream
+        except asyncio.CancelledError:
+            # drain() cancels connection tasks once in-flight work is
+            # done (or timed out); any other cancellation propagates.
+            if not self._draining:
+                raise
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     async def _serve_one(self, reader: asyncio.StreamReader,
@@ -264,7 +308,8 @@ class FleetFrontend:
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
-                + ("Retry-After: 1\r\n" if status == 503 else "")
+                + (f"Retry-After: {self.shed_retry_after_s:g}\r\n"
+                   if status in (503, 429) else "")
                 + ("Connection: keep-alive\r\n" if keep_alive
                    else "Connection: close\r\n")
                 + "\r\n").encode("ascii")
@@ -284,6 +329,8 @@ class FleetFrontend:
                 return 200, await self._healthz()
             if path == "/fleet":
                 return 200, self.fleet.describe()
+            if path == "/fleet/timeline":
+                return 200, self._timeline_view()
             if path == "/metrics":
                 return 200, await self._metrics_snapshot()
             if path == "/metrics.txt":
@@ -295,6 +342,12 @@ class FleetFrontend:
         if self._draining:
             return 503, _error_body(
                 "draining", "fleet is shutting down; retry elsewhere")
+        if self.max_total_inflight is not None \
+                and self._in_flight > self.max_total_inflight:
+            self._shed_total.increment()
+            return 429, self._shed_body(
+                "too_many_requests",
+                f"fleet at in-flight cap {self.max_total_inflight}")
 
         kind = _POST_ROUTES.get(path)
         if kind is not None:
@@ -326,13 +379,38 @@ class FleetFrontend:
 
     async def _healthz(self) -> dict:
         links = {wid: self.fleet.link(wid).up for wid in self.fleet.worker_ids}
+        ejected = sorted(getattr(self.fleet, "down", ()))
+        warmed = getattr(self.fleet, "warmed_apps", None)
+        warm_ok = warmed is None \
+            or set(self.expected_warm) <= set(warmed)
         return {
             "status": "draining" if self._draining else "ok",
-            "ready": not self._draining and all(links.values()),
+            "ready": not self._draining and all(links.values())
+            and not ejected and warm_ok,
             "draining": self._draining,
             "in_flight": self._in_flight,
             "workers": links,
+            "ejected": ejected,
+            "expected_warm": list(self.expected_warm),
+            "warm_ok": warm_ok,
         }
+
+    def _timeline_view(self) -> dict:
+        """``GET /fleet/timeline``: the resilience audit trail."""
+        timeline = getattr(self.fleet, "timeline", None)
+        if timeline is None:
+            return {"events": [], "normalized": {}}
+        return {
+            "events": timeline.to_dicts(),
+            "normalized": {worker: list(kinds) for worker, kinds
+                           in sorted(timeline.normalized().items())},
+        }
+
+    def _shed_body(self, code: str, message: str) -> dict:
+        """Typed shed envelope; the hint rides in body and header both."""
+        body = _error_body(code, message)
+        body["error"]["retry_after_s"] = self.shed_retry_after_s
+        return body
 
     async def _metrics_snapshot(self) -> dict:
         """Router series + every worker's snapshot tagged ``{worker=…}``."""
@@ -371,14 +449,39 @@ class FleetFrontend:
         except ValidationError as exc:
             self.metrics.counter("fleet_worker_lost_total").increment()
             return 503, _error_body("worker_lost", str(exc))
+        shed = self._shed_check(worker)
+        if shed is not None:
+            return shed
+        counts = self._worker_inflight
+        counts[worker] = counts.get(worker, 0) + 1
         try:
             status, body = await self.fleet.link(worker).call_raw(
                 kind, raw, timeout_s=self.call_timeout_s)
         except WorkerGone as exc:
             self.fleet.note_lost(exc.worker_id)
-            return await self._reroute(key, kind, raw, lost=exc)
-        self._routed(worker).increment()
-        return status, body
+            lost = exc
+        else:
+            self._routed(worker).increment()
+            return status, body
+        finally:
+            counts[worker] -= 1
+        return await self._reroute(key, kind, raw, lost=lost)
+
+    def _shed_check(self, worker: str) -> "tuple[int, dict] | None":
+        """Deterministic load shedding at the per-worker in-flight cap.
+
+        Shedding at admission (rather than queueing) keeps a slow or
+        stalling shard from absorbing the whole front end's concurrency
+        budget: the 503 + ``Retry-After`` pushes the wait onto clients,
+        whose retry backoff spreads the load in time.
+        """
+        limit = self.max_inflight
+        if limit is None \
+                or self._worker_inflight.get(worker, 0) < limit:
+            return None
+        self._shed_total.increment()
+        return 503, self._shed_body(
+            "overloaded", f"worker {worker} at in-flight cap {limit}")
 
     def _routed(self, worker: str):
         counter = self._routed_counters.get(worker)
@@ -395,6 +498,15 @@ class FleetFrontend:
         try:
             fallback = self.fleet.route(key,
                                         exclude={lost.worker_id})
+        except ValidationError as exc:
+            self.metrics.counter("fleet_worker_lost_total").increment()
+            return 503, _error_body("worker_lost", f"{lost}; {exc}")
+        shed = self._shed_check(fallback)
+        if shed is not None:
+            return shed
+        counts = self._worker_inflight
+        counts[fallback] = counts.get(fallback, 0) + 1
+        try:
             status, body = await self.fleet.link(fallback).call_raw(
                 kind, raw, timeout_s=self.call_timeout_s)
         except WorkerGone as exc:
@@ -403,8 +515,7 @@ class FleetFrontend:
             return 503, _error_body(
                 "worker_lost",
                 f"{lost} and fallback failed: {exc}")
-        except ValidationError as exc:
-            self.metrics.counter("fleet_worker_lost_total").increment()
-            return 503, _error_body("worker_lost", f"{lost}; {exc}")
+        finally:
+            counts[fallback] -= 1
         self._routed(fallback).increment()
         return status, body

@@ -1,0 +1,172 @@
+"""Fleet health: the resilience timeline and the heartbeat prober.
+
+Two pieces the rest of the fleet's failure handling hangs off:
+
+* :class:`FleetTimeline` — an append-only audit trail of resilience
+  events (injected faults, ring ejections, re-admissions, respawns).
+  Every event carries a monotone sequence number and, when it stems
+  from a scheduled chaos fault, the fault's *logical* offset.  The
+  :meth:`FleetTimeline.normalized` view groups event kinds per worker
+  and drops wall-clock timestamps, so two same-seed chaos runs can be
+  compared for byte-identical resilience behavior without fighting
+  scheduler jitter — the determinism contract
+  ``benchmarks/bench_fleetchaos.py`` and the CI fleet-chaos job assert.
+
+* :class:`HealthMonitor` — the front door's answer to the failure mode
+  a crash monitor cannot see: a worker that is *alive but not
+  answering* (SIGSTOP, deadlock, runaway GC).  It pings every worker
+  on a fixed cadence with a hard probe deadline; ``max_missed``
+  consecutive missed probes eject the worker from the consistent-hash
+  ring (its keys fall back exactly where permanent removal would put
+  them — see :meth:`repro.fleet.hashing.HashRing.route`), and the
+  first answered probe after an ejection re-admits it.  Ejection and
+  re-admission are pure routing-set operations: no process is killed,
+  so a worker that was merely stalled rejoins with its warm state
+  intact.
+
+Probe metrics land in the process-global registry
+(``fleet_probe_latency_s``, ``fleet_ejections_total``,
+``fleet_readmissions_total``), which the front end already merges into
+the fleet-wide ``/metrics`` view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.fleet.rpc import WorkerGone
+from repro.obs.metrics import global_registry
+
+__all__ = ["FleetTimeline", "HealthMonitor", "TimelineEvent"]
+
+#: Events retained by a timeline; older entries are dropped from the
+#: front.  High enough that a bench run never wraps, low enough that a
+#: long-lived fleet's timeline cannot grow without bound.
+_MAX_EVENTS = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """One resilience event on the fleet's audit trail."""
+
+    seq: int
+    kind: str
+    worker: str
+    #: Logical offset of a scheduled chaos fault (None for reactive
+    #: events like ejections, whose wall timing is not deterministic).
+    at_s: "float | None"
+    wall_s: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "kind": self.kind, "worker": self.worker,
+                "at_s": self.at_s, "wall_s": self.wall_s,
+                "detail": self.detail}
+
+
+class FleetTimeline:
+    """Append-only, bounded record of fleet resilience events."""
+
+    def __init__(self) -> None:
+        self._events: list[TimelineEvent] = []
+        self._seq = 0
+
+    def record(self, kind: str, worker: str, *, at_s: "float | None" = None,
+               detail: str = "") -> TimelineEvent:
+        event = TimelineEvent(seq=self._seq, kind=kind, worker=worker,
+                              at_s=at_s, wall_s=time.monotonic(),
+                              detail=detail)
+        self._seq += 1
+        self._events.append(event)
+        if len(self._events) > _MAX_EVENTS:
+            del self._events[: len(self._events) - _MAX_EVENTS]
+        return event
+
+    def events(self) -> tuple[TimelineEvent, ...]:
+        return tuple(self._events)
+
+    def to_dicts(self) -> list[dict]:
+        return [event.to_dict() for event in self._events]
+
+    def normalized(self) -> "dict[str, tuple[str, ...]]":
+        """Per-worker event-kind sequences, wall clock stripped.
+
+        Events for *one* worker are causally ordered (a fault precedes
+        the ejection it causes, which precedes the re-admission), so
+        the per-worker sequence is deterministic for a seeded chaos
+        plan; the interleaving *across* workers depends on scheduler
+        timing and is deliberately not part of this view.
+        """
+        out: dict[str, list[str]] = {}
+        for event in self._events:
+            out.setdefault(event.worker, []).append(event.kind)
+        return {worker: tuple(kinds) for worker, kinds in out.items()}
+
+
+class HealthMonitor:
+    """Deadline-based heartbeat probing with ring ejection/re-admission.
+
+    ``fleet`` must provide the supervisor surface: ``worker_ids``,
+    ``link(wid)``, ``down``, ``restarting(wid)``, ``eject(wid,
+    reason=...)`` and ``readmit(wid, reason=...)``.
+    """
+
+    def __init__(self, fleet, *, interval_s: float = 0.5,
+                 timeout_s: float = 2.0, max_missed: int = 2):
+        self.fleet = fleet
+        self.interval_s = interval_s
+        self.timeout_s = timeout_s
+        self.max_missed = max_missed
+        self._missed: dict[str, int] = {}
+        registry = global_registry()
+        self._probe_latency = registry.histogram("fleet_probe_latency_s")
+        self._probes_missed = registry.counter("fleet_probes_missed_total")
+
+    async def run(self) -> None:
+        """Probe forever (cancelled by the supervisor on shutdown)."""
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.probe_all()
+
+    async def probe_all(self) -> None:
+        """One probe round, all workers concurrently.
+
+        Concurrency matters: probes carry a deadline, and probing a
+        hung worker sequentially would delay every other worker's
+        health verdict by ``timeout_s`` per stall.
+        """
+        await asyncio.gather(
+            *(self._probe(wid) for wid in self.fleet.worker_ids),
+            return_exceptions=True)
+
+    async def _probe(self, worker_id: str) -> None:
+        if self.fleet.restarting(worker_id):
+            return  # the restart owns this worker's routing state
+        try:
+            link = self.fleet.link(worker_id)
+        except KeyError:
+            return  # mid-spawn; the next round sees the link
+        started = time.monotonic()
+        try:
+            status, _ = await link.call({"kind": "__ping__"},
+                                        timeout_s=self.timeout_s)
+            answered = status == 200
+        except WorkerGone:
+            answered = False
+        if answered:
+            self._probe_latency.observe(time.monotonic() - started)
+            self._missed[worker_id] = 0
+            if worker_id in self.fleet.down:
+                self.fleet.readmit(worker_id,
+                                   reason="health probe answered")
+            return
+        self._probes_missed.increment()
+        missed = self._missed.get(worker_id, 0) + 1
+        self._missed[worker_id] = missed
+        if missed >= self.max_missed and worker_id not in self.fleet.down:
+            self.fleet.eject(
+                worker_id,
+                reason=f"missed {missed} probes "
+                       f"(deadline {self.timeout_s:g}s)")

@@ -78,6 +78,10 @@ class WorkerLink:
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self.up = False
+        #: Injected network faults (:class:`repro.fleet.chaos.LinkFaults`
+        #: or None).  Consulted per call; chaos-only, never set in
+        #: normal operation.
+        self.faults = None
         # Outbound frames queued within one loop tick coalesce into a
         # single ``send`` syscall — at high concurrency that is one
         # write per batch of routed requests instead of one per request.
@@ -142,6 +146,21 @@ class WorkerLink:
         """
         if not self.up or self._writer is None:
             raise WorkerGone(self.worker_id, "link is down")
+        faults = self.faults
+        if faults is not None:
+            if faults.delay_s > 0:
+                await asyncio.sleep(faults.delay_s)
+            if faults.drop():
+                # The frame is never written.  With a deadline the
+                # caller sees exactly what a lost frame looks like (no
+                # reply until the timeout); without one, failing fast
+                # beats awaiting a reply that can never arrive.
+                if timeout_s is None:
+                    raise WorkerGone(self.worker_id,
+                                     "frame dropped (injected fault)")
+                await asyncio.sleep(timeout_s)
+                raise WorkerGone(self.worker_id,
+                                 f"no reply in {timeout_s:g}s")
         self._next_id += 1
         frame_id = self._next_id
         loop = asyncio.get_running_loop()

@@ -39,7 +39,9 @@ import repro
 from repro.errors import ValidationError
 from repro.fleet.frontend import FleetFrontend
 from repro.fleet.hashing import DEFAULT_VNODES, HashRing, warm_key
+from repro.fleet.health import FleetTimeline, HealthMonitor
 from repro.fleet.rpc import WorkerGone, WorkerLink
+from repro.obs.metrics import global_registry
 
 __all__ = ["FleetConfig", "PlannerFleet", "run_fleet"]
 
@@ -79,12 +81,43 @@ class FleetConfig:
     connect_timeout_s: float = 30.0
     #: Monitor poll interval for crashed-worker respawn.
     monitor_interval_s: float = 0.5
+    #: Front-end deadline per routed worker call (None → unbounded).
+    #: The backstop for hung workers: a stalled call turns into
+    #: :class:`WorkerGone` and the request reroutes.
+    call_timeout_s: "float | None" = None
+    #: Per-worker in-flight cap; excess requests are shed with a typed
+    #: 503 + ``Retry-After`` (None → unbounded).
+    max_inflight: "int | None" = None
+    #: Fleet-wide in-flight cap; excess requests get a typed 429
+    #: (None → unbounded).
+    max_total_inflight: "int | None" = None
+    #: ``Retry-After`` hint (seconds) on shed responses.
+    shed_retry_after_s: float = 1.0
+    #: Heartbeat probing (hung-worker ejection + re-admission).
+    health_probes: bool = True
+    probe_interval_s: float = 0.5
+    probe_timeout_s: float = 2.0
+    #: Consecutive missed probes before a worker is ejected.
+    probe_max_missed: int = 2
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValidationError("fleet needs at least one worker")
         if self.connect_timeout_s <= 0:
             raise ValidationError("connect_timeout_s must be positive")
+        if self.call_timeout_s is not None and self.call_timeout_s <= 0:
+            raise ValidationError("call_timeout_s must be positive")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValidationError("max_inflight must be >= 1")
+        if self.max_total_inflight is not None \
+                and self.max_total_inflight < 1:
+            raise ValidationError("max_total_inflight must be >= 1")
+        if self.shed_retry_after_s <= 0:
+            raise ValidationError("shed_retry_after_s must be positive")
+        if self.probe_interval_s <= 0 or self.probe_timeout_s <= 0:
+            raise ValidationError("probe intervals must be positive")
+        if self.probe_max_missed < 1:
+            raise ValidationError("probe_max_missed must be >= 1")
 
 
 class WorkerHandle:
@@ -159,7 +192,16 @@ class PlannerFleet:
         self._restart_locks: dict[str, asyncio.Lock] = {}
         self._socket_dir: "str | None" = None
         self._monitor_task: "asyncio.Task | None" = None
+        self._health_task: "asyncio.Task | None" = None
         self._stopping = False
+        #: Resilience audit trail (faults, ejections, re-admissions).
+        self.timeline = FleetTimeline()
+        #: Apps warmed via :meth:`warm` — the front end's readiness
+        #: contract checks ``expected_warm`` against this.
+        self.warmed_apps: set = set()
+        registry = global_registry()
+        self._ejections = registry.counter("fleet_ejections_total")
+        self._readmissions = registry.counter("fleet_readmissions_total")
         # key → owner memo for the healthy-ring fast path.  Ring
         # membership is fixed after start(), so entries stay valid for
         # the fleet's whole life; the memo is simply bypassed while any
@@ -195,10 +237,44 @@ class PlannerFleet:
     def link(self, worker_id: str) -> WorkerLink:
         return self._links[worker_id]
 
+    @property
+    def down(self) -> frozenset:
+        """Workers currently ejected from routing."""
+        return frozenset(self._down)
+
+    def worker_pid(self, worker_id: str) -> "int | None":
+        handle = self._handles.get(worker_id)
+        return handle.pid if handle is not None else None
+
+    def restarting(self, worker_id: str) -> bool:
+        """True while an explicit restart owns this worker's state."""
+        lock = self._restart_locks.get(worker_id)
+        return lock is not None and lock.locked()
+
+    def eject(self, worker_id: str, *, reason: str = "") -> None:
+        """Drop a worker from routing (its keys fall to ring neighbors).
+
+        Idempotent: only the closed→open transition is recorded, so
+        concurrent detectors (health prober, crash monitor, in-flight
+        ``WorkerGone``) produce one timeline event per incident.
+        """
+        if worker_id not in self._handles or worker_id in self._down:
+            return
+        self._down.add(worker_id)
+        self._ejections.increment()
+        self.timeline.record("ejected", worker_id, detail=reason)
+
+    def readmit(self, worker_id: str, *, reason: str = "") -> None:
+        """Return an ejected worker to routing (state transitions only)."""
+        if worker_id not in self._down:
+            return
+        self._down.discard(worker_id)
+        self._readmissions.increment()
+        self.timeline.record("readmitted", worker_id, detail=reason)
+
     def note_lost(self, worker_id: str) -> None:
-        """Drop a worker from routing; the monitor re-admits it."""
-        if worker_id in self._handles:
-            self._down.add(worker_id)
+        """Drop a worker from routing; probes/monitor re-admit it."""
+        self.eject(worker_id, reason="lost mid-request")
 
     def describe(self) -> dict:
         """Topology for ``GET /fleet``."""
@@ -239,17 +315,25 @@ class PlannerFleet:
             await self.stop()
             raise
         self._monitor_task = asyncio.ensure_future(self._monitor())
+        if self.config.health_probes:
+            monitor = HealthMonitor(
+                self, interval_s=self.config.probe_interval_s,
+                timeout_s=self.config.probe_timeout_s,
+                max_missed=self.config.probe_max_missed)
+            self._health_task = asyncio.ensure_future(monitor.run())
 
     async def stop(self) -> None:
         """Tear the whole fleet down (drain, close links, rm sockets)."""
         self._stopping = True
-        if self._monitor_task is not None:
-            self._monitor_task.cancel()
-            try:
-                await self._monitor_task
-            except (asyncio.CancelledError, Exception):
-                pass
-            self._monitor_task = None
+        for attr in ("_monitor_task", "_health_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                setattr(self, attr, None)
         for link in self._links.values():
             await link.close()
         self._links.clear()
@@ -273,6 +357,7 @@ class PlannerFleet:
         if status != 200:
             raise ValidationError(
                 f"warm({app!r}) failed on {worker}: {body}")
+        self.warmed_apps.add(app)
         return worker
 
     async def restart_worker(self, worker_id: str) -> None:
@@ -286,7 +371,7 @@ class PlannerFleet:
         if worker_id not in self._handles:
             raise ValidationError(f"no worker {worker_id!r} in the fleet")
         async with self._restart_locks[worker_id]:
-            self._down.add(worker_id)
+            self.eject(worker_id, reason="restart requested")
             handle = self._handles[worker_id]
             link = self._links.get(worker_id)
             if link is not None:
@@ -300,7 +385,7 @@ class PlannerFleet:
             link = WorkerLink(worker_id, handle.socket_path)
             await link.connect(timeout_s=self.config.connect_timeout_s)
             self._links[worker_id] = link
-            self._down.discard(worker_id)
+            self.readmit(worker_id, reason="respawned and answering")
 
     async def _monitor(self) -> None:
         """Respawn workers whose process died (crash, OOM-kill...)."""
@@ -312,7 +397,8 @@ class PlannerFleet:
                 link = self._links.get(wid)
                 if handle.alive() and (link is None or link.up):
                     continue
-                self._down.add(wid)
+                self.eject(wid, reason="process died"
+                           if not handle.alive() else "link down")
                 try:
                     await self.restart_worker(wid)
                 except (WorkerGone, ValidationError, OSError):
@@ -320,18 +406,30 @@ class PlannerFleet:
 
 
 def run_fleet(config: FleetConfig, *, ready_callback=None,
-              drain_timeout_s: float = 10.0) -> None:
+              drain_timeout_s: float = 10.0, chaos_plan=None) -> None:
     """Blocking entry point used by ``celia fleet serve``.
 
     Stands the fleet up, warms ``config.warm_apps`` on their owning
     shards, then serves until SIGTERM/SIGINT, which drains the front end
+    (stop accepting, finish in-flight, force-close hung connections)
     before the workers are terminated.
+
+    ``chaos_plan`` (a :class:`repro.fleet.chaos.FleetChaosPlan`) starts
+    a fault injector against the fleet's own workers once it is ready —
+    ``celia fleet serve --chaos S`` for resilience rehearsal.
     """
 
     async def _run() -> None:
         fleet = PlannerFleet(config)
         await fleet.start()
-        frontend = FleetFrontend(fleet, host=config.host, port=config.port)
+        frontend = FleetFrontend(
+            fleet, host=config.host, port=config.port,
+            call_timeout_s=config.call_timeout_s,
+            max_inflight=config.max_inflight,
+            max_total_inflight=config.max_total_inflight,
+            shed_retry_after_s=config.shed_retry_after_s,
+            expected_warm=tuple(config.warm_apps))
+        chaos_task: "asyncio.Task | None" = None
         try:
             await frontend.start()
             shutdown = asyncio.Event()
@@ -345,18 +443,29 @@ def run_fleet(config: FleetConfig, *, ready_callback=None,
                     pass  # platform without signal support
             for app in config.warm_apps:
                 await fleet.warm(app)
+            if chaos_plan is not None:
+                from repro.fleet.chaos import ChaosInjector
+                injector = ChaosInjector(fleet, chaos_plan)
+                chaos_task = asyncio.create_task(injector.run())
             if ready_callback is not None:
                 ready_callback(frontend)
             serve_task = asyncio.create_task(frontend.serve_forever())
             try:
                 await shutdown.wait()
-                await frontend.drain(timeout_s=drain_timeout_s)
+                completed = await frontend.drain(timeout_s=drain_timeout_s)
+                if not completed:
+                    print(f"fleet drain timeout ({drain_timeout_s:g}s) "
+                          f"expired; closing hung connections",
+                          file=sys.stderr, flush=True)
             finally:
-                serve_task.cancel()
-                try:
-                    await serve_task
-                except (asyncio.CancelledError, Exception):
-                    pass
+                for task in (serve_task, chaos_task):
+                    if task is None:
+                        continue
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
                 for sig in installed:
                     loop.remove_signal_handler(sig)
         finally:

@@ -104,6 +104,10 @@ class ShardWorker:
         self._raw_responses: OrderedDict[tuple[str, bytes], bytes] = \
             OrderedDict()
         self._raw_hits = service.metrics.counter("raw_response_hits")
+        self._draining = False
+        # Injected per-frame latency (chaos ``slow`` fault); set via the
+        # ``__chaos__`` control frame, 0 in normal operation.
+        self._slow_s = 0.0
 
     async def start(self) -> None:
         self._server = await asyncio.start_unix_server(
@@ -116,6 +120,7 @@ class ShardWorker:
 
     async def stop(self, *, drain_timeout_s: float = 10.0) -> None:
         """Stop accepting frames, let in-flight ones finish, close."""
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -148,7 +153,12 @@ class ShardWorker:
                 asyncio.IncompleteReadError):
             pass  # router went away; the supervisor decides what's next
         except asyncio.CancelledError:
-            pass  # loop teardown on shutdown; exit quietly, close below
+            # Only swallow cancellation during drain (loop teardown on
+            # shutdown).  Mid-operation cancellation must propagate, or
+            # the caller's cancel silently drops an in-flight reply and
+            # leaves the task looking finished.
+            if not self._draining:
+                raise
         finally:
             writer.close()
             try:
@@ -160,6 +170,8 @@ class ShardWorker:
         """Serialized-response memo hit for a planning frame, or None."""
         if not kind or kind.startswith("__"):
             return None
+        if self._slow_s > 0:
+            return None  # an injected-slow shard must not answer fast
         raw = self._raw_responses.get((kind, payload))
         if raw is not None:
             self._raw_responses.move_to_end((kind, payload))
@@ -170,6 +182,8 @@ class ShardWorker:
                            replies: _ReplyStream) -> None:
         kind = header.get("kind")
         try:
+            if self._slow_s > 0 and kind and not kind.startswith("__"):
+                await asyncio.sleep(self._slow_s)
             request = json.loads(payload) if payload else {}
             if not isinstance(request, dict):
                 raise ValueError("request payload must be a JSON object")
@@ -206,6 +220,9 @@ class ShardWorker:
                     {"app": s.app, "quota": s.quota, "seed": s.seed}
                     for s in self.service.warm_signatures],
             }
+        if kind == "__chaos__":
+            self._slow_s = max(0.0, float(request.get("slow_s", 0.0)))
+            return 200, {"worker": self.worker_id, "slow_s": self._slow_s}
         if kind == "__metrics__":
             return 200, merge_snapshots(global_registry().snapshot(),
                                         self.service.metrics.snapshot())

@@ -61,6 +61,13 @@ DEFAULT_WINDOW = 4096
 PERCENTILES = (50.0, 95.0, 99.0)
 
 
+def _nearest_rank(sorted_samples, p: float) -> float:
+    """Nearest-rank percentile on an already-sorted, non-empty list."""
+    last = len(sorted_samples) - 1
+    rank = min(last, round(p / 100.0 * last))
+    return sorted_samples[int(rank)]
+
+
 def labeled_name(name: str, labels: "dict[str, str] | None" = None) -> str:
     """The canonical series name: ``name{k="v",...}`` with sorted keys.
 
@@ -147,6 +154,14 @@ class Histogram:
         with self._lock:
             return tuple(self._samples)
 
+    def percentile(self, p: float) -> "float | None":
+        """Nearest-rank percentile over the window (None when empty)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        return _nearest_rank(samples, p)
+
     def snapshot(self) -> dict:
         """count/sum/min/max plus the :data:`PERCENTILES` over the window."""
         with self._lock:
@@ -159,11 +174,8 @@ class Histogram:
             return out
         out["min"] = samples[0]
         out["max"] = samples[-1]
-        last = len(samples) - 1
         for p in PERCENTILES:
-            # Nearest-rank on the sorted window.
-            rank = min(last, round(p / 100.0 * last))
-            out[f"p{p:g}"] = samples[int(rank)]
+            out[f"p{p:g}"] = _nearest_rank(samples, p)
         return out
 
 

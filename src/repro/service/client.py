@@ -26,6 +26,20 @@ mid-request) gets special treatment: one immediate idempotency-gated
 replay with no backoff — the dead worker has already left routing, so
 the replay lands on the re-routed shard — then a typed
 :class:`~repro.errors.WorkerLostError` if the replay fails too.
+
+Three mechanisms keep a retrying client from amplifying a fleet-wide
+incident (see :mod:`repro.service.resilience`):
+
+* shed responses (503 ``overloaded`` / 429 ``too_many_requests``)
+  carry a ``Retry-After`` hint, and the client honors it — the sleep
+  before the next attempt is at least the hint (with the same
+  deterministic jitter), never an immediate hammer;
+* a **retry budget** caps the ratio of retries to requests, so a broad
+  outage degrades to ~10% extra traffic instead of
+  ``max_attempts``-fold;
+* a **circuit breaker** opens after consecutive fully-failed request
+  cycles and fails fast (:class:`~repro.errors.CircuitOpenError`,
+  no network I/O) until a half-open probe proves the service back.
 """
 
 from __future__ import annotations
@@ -36,6 +50,8 @@ import socket
 import time
 
 from repro.errors import (
+    CircuitOpenError,
+    FleetOverloadedError,
     InfeasibleError,
     ReproError,
     ServiceUnavailableError,
@@ -43,6 +59,7 @@ from repro.errors import (
     WorkerLostError,
 )
 from repro.service.planner import RequestTimeoutError, ServiceSaturatedError
+from repro.service.resilience import CircuitBreaker, RetryBudget
 from repro.utils.rng import derive_rng
 
 __all__ = ["PlannerClient"]
@@ -55,6 +72,8 @@ _ERROR_TYPES = {
     "infeasible": lambda msg: InfeasibleError(msg),
     "invalid_request": ValidationError,
     "worker_lost": lambda msg: WorkerLostError(msg),
+    "overloaded": lambda msg: FleetOverloadedError(msg),
+    "too_many_requests": lambda msg: FleetOverloadedError(msg),
 }
 
 #: Connection-level failures that are safe to retry for idempotent
@@ -101,7 +120,11 @@ class PlannerClient:
                  *, timeout_s: float = 60.0, max_attempts: int = 4,
                  backoff_base_s: float = 0.05, backoff_cap_s: float = 2.0,
                  jitter_fraction: float = 0.25, retry_seed: int = 0,
-                 sleep=time.sleep):
+                 sleep=time.sleep, breaker_failures: int = 5,
+                 breaker_reset_s: float = 5.0,
+                 retry_budget_ratio: float = 0.1,
+                 retry_budget_initial: float = 10.0,
+                 clock=time.monotonic):
         if max_attempts < 1:
             raise ValidationError("max_attempts must be >= 1")
         self.host = host
@@ -113,6 +136,16 @@ class PlannerClient:
         self.jitter_fraction = jitter_fraction
         self.retry_seed = retry_seed
         self._sleep = sleep
+        #: Circuit breaker over whole request cycles (0 disables).
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_failures,
+            reset_timeout_s=breaker_reset_s,
+            clock=clock) if breaker_failures > 0 else None
+        #: Retry budget shared by every request this client makes
+        #: (ratio <= 0 disables).
+        self.retry_budget = RetryBudget(
+            ratio=retry_budget_ratio,
+            initial=retry_budget_initial) if retry_budget_ratio > 0 else None
 
     # -- transport -------------------------------------------------------------
 
@@ -124,6 +157,22 @@ class PlannerClient:
         jitter = 1.0 + self.jitter_fraction * (float(rng.uniform()) - 0.5)
         return base * jitter
 
+    def _retry_delay_s(self, attempt: int, last_error) -> float:
+        """Backoff for ``attempt``, honoring a server ``Retry-After``.
+
+        A shed response's hint is a floor, not a replacement: the sleep
+        is the larger of the exponential backoff and the (jittered)
+        hint, so clients neither hammer a shedding fleet immediately
+        nor synchronize their retries on the exact hint boundary.
+        """
+        base = self._backoff_s(attempt)
+        hinted = getattr(last_error, "retry_after_s", None)
+        if not hinted:
+            return base
+        rng = derive_rng(self.retry_seed, "client-retry-after", attempt)
+        jitter = 1.0 + self.jitter_fraction * (float(rng.uniform()) - 0.5)
+        return max(base, float(hinted) * jitter)
+
     def _request(self, method: str, path: str, body: dict | None = None,
                  *, idempotent: bool = True) -> dict:
         """One HTTP exchange, with bounded retries of transient failures.
@@ -132,16 +181,31 @@ class PlannerClient:
         connection leaves the outcome unknown, and replaying it could
         apply the effect twice.  4xx/422/504 responses are definitive
         and never retried regardless.
+
+        The circuit breaker scores whole request cycles, not attempts:
+        only a cycle that exhausts its retries counts as a failure, and
+        any response from the service — including definitive errors —
+        counts as a success.  The retry budget is spent per retry (the
+        ``worker_lost`` replay excepted: the fleet has already rerouted,
+        so the replay is the cheap path, not amplification).
         """
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"{method} {path} not sent: circuit open for another "
+                f"{self.breaker.remaining_s():.3f}s",
+                retry_after_s=self.breaker.remaining_s())
+        if self.retry_budget is not None:
+            self.retry_budget.deposit()
         attempts = self.max_attempts if idempotent else 1
         worker_lost_retry = idempotent  # one dedicated replay, ever
         last_error: Exception | None = None
+        budget_dry = False
         attempt = 0
         total = 0
         while True:
             total += 1
             try:
-                return self._request_once(method, path, body)
+                result = self._request_once(method, path, body)
             except WorkerLostError as exc:
                 # A fleet shard died holding the request.  The front end
                 # has already dropped it from routing, so an immediate
@@ -150,20 +214,43 @@ class PlannerClient:
                 if worker_lost_retry:
                     worker_lost_retry = False
                     continue
+                self._record_failure()
                 raise WorkerLostError(str(exc), attempts=total) from exc
             except (ServiceSaturatedError, ServiceUnavailableError) as exc:
                 last_error = exc  # 503: the server asked us to back off
             except _TRANSIENT_ERRORS as exc:
                 last_error = exc
+            except ReproError:
+                # Definitive typed answer (400/422/504): the service is
+                # alive and responding, so the breaker resets.
+                self._record_success()
+                raise
+            else:
+                self._record_success()
+                return result
             attempt += 1
             if attempt >= attempts:
                 break
-            self._sleep(self._backoff_s(attempt))
+            if self.retry_budget is not None \
+                    and not self.retry_budget.spend():
+                budget_dry = True
+                break
+            self._sleep(self._retry_delay_s(attempt, last_error))
+        self._record_failure()
         if attempts == 1 and isinstance(last_error, ReproError):
             raise last_error  # no retry budget: surface the typed original
+        suffix = " (retry budget exhausted)" if budget_dry else ""
         raise ServiceUnavailableError(
-            f"{method} {path} failed after {total} attempt(s): "
+            f"{method} {path} failed after {total} attempt(s){suffix}: "
             f"{last_error}", attempts=total) from last_error
+
+    def _record_success(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _record_failure(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
     def _request_once(self, method: str, path: str,
                       body: dict | None = None) -> dict:
@@ -175,6 +262,7 @@ class PlannerClient:
             headers = {"Content-Type": "application/json"} if payload else {}
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
+            retry_after = response.getheader("Retry-After")
             decoded = json.loads(response.read().decode("utf-8"))
         finally:
             conn.close()
@@ -183,7 +271,13 @@ class PlannerClient:
         error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
         code = error.get("code", "error")
         message = error.get("message", f"HTTP {response.status}")
-        raise _ERROR_TYPES.get(code, ReproError)(message)
+        exc = _ERROR_TYPES.get(code, ReproError)(message)
+        if retry_after is not None:
+            try:
+                exc.retry_after_s = float(retry_after)
+            except (TypeError, ValueError):
+                pass  # unparsable hint; exponential backoff still applies
+        raise exc
 
     # -- endpoints -------------------------------------------------------------
 

@@ -1,0 +1,138 @@
+"""Client-side resilience primitives: circuit breaker + retry budget.
+
+Retries are load amplification: when the fleet is sick, every client
+retrying on its own schedule multiplies the traffic exactly when
+capacity is lowest.  These two primitives bound that amplification from
+the client side, complementing the fleet's server-side shedding:
+
+* :class:`CircuitBreaker` — after ``failure_threshold`` *consecutive*
+  fully-failed request cycles the breaker opens and requests fail
+  locally (:class:`~repro.errors.CircuitOpenError`, no network I/O)
+  for ``reset_timeout_s``.  It then moves to **half-open** and admits
+  exactly one probe request; success closes the breaker, failure
+  re-opens it for another timeout.  States: ``closed`` → ``open`` →
+  ``half-open`` → (``closed`` | ``open``).
+
+* :class:`RetryBudget` — a token bucket that caps the fleet-wide ratio
+  of retries to requests.  Every first attempt deposits ``ratio``
+  tokens; every retry spends one.  Under healthy traffic the bucket
+  stays full and retries are free; in a broad outage the bucket drains
+  and clients degrade to ~``ratio`` retries per request instead of
+  ``max_attempts``-fold amplification.  ``initial`` pre-funds the
+  bucket so low-volume clients still get their early retries.
+
+Both are deliberately clock-injectable and lock-guarded: the planner
+client is used from thread pools in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ValidationError
+
+__all__ = ["CircuitBreaker", "RetryBudget"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout_s: float = 5.0, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValidationError("reset_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request go out now?
+
+        In the open state this flips to half-open once the reset
+        timeout has elapsed, admitting exactly one probe; further
+        callers are refused until that probe reports back.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._state = self.HALF_OPEN
+                return True
+            return False  # half-open: the probe slot is taken
+
+    def remaining_s(self) -> float:
+        """Seconds until the next half-open probe slot (0 if allowed)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.reset_timeout_s - elapsed)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """One fully-failed request cycle (all attempts exhausted)."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                # The probe failed; back to open for a fresh timeout.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+
+class RetryBudget:
+    """Token bucket bounding the retry:request ratio."""
+
+    def __init__(self, *, ratio: float = 0.1, initial: float = 10.0,
+                 cap: float = 100.0):
+        if ratio <= 0:
+            raise ValidationError("ratio must be positive")
+        if cap <= 0 or initial < 0:
+            raise ValidationError("cap must be positive, initial >= 0")
+        self.ratio = ratio
+        self.cap = cap
+        self._lock = threading.Lock()
+        self._tokens = min(float(initial), float(cap))
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def deposit(self) -> None:
+        """Fund the bucket: called once per first attempt."""
+        with self._lock:
+            self._tokens = min(self.cap, self._tokens + self.ratio)
+
+    def spend(self) -> bool:
+        """Take one token for a retry; False means the budget is dry."""
+        with self._lock:
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True

@@ -46,8 +46,9 @@ __all__ = ["PlannerServer", "dispatch_request", "run_server"]
 _MAX_BODY_BYTES = 1 << 20
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
-            422: "Unprocessable Entity", 500: "Internal Server Error",
-            503: "Service Unavailable", 504: "Gateway Timeout"}
+            422: "Unprocessable Entity", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
 
 _POST_ROUTES = {"/v1/select": "select", "/v1/predict": "predict",
                 "/v1/plan": "plan", "/v1/replan": "replan"}

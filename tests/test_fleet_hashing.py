@@ -97,6 +97,73 @@ class TestStability:
         assert {k: ring.route(k) for k in sample} == placement
 
 
+class TestEjectionChurn:
+    """Repeated eject/re-admit cycles — the health monitor's usage.
+
+    Ejection is modeled as routing with an exclusion set while ring
+    membership stays fixed; these tests pin the contract the fleet's
+    resilience layer relies on: at *every* intermediate step of an
+    eject/re-admit sequence, exclusion routing agrees with a ring from
+    which the ejected workers were permanently removed, and the whole
+    sequence is deterministic on replay.
+    """
+
+    WORKERS = ["w0", "w1", "w2", "w3"]
+    # A churn storm: eject (True) / re-admit (False) events as the
+    # health monitor might emit them — overlapping ejections included.
+    SEQUENCE = [("w1", True), ("w3", True), ("w1", False), ("w2", True),
+                ("w3", False), ("w1", True), ("w2", False), ("w1", False)]
+
+    def test_churn_agrees_with_permanent_removal_at_every_step(self):
+        ring = HashRing(self.WORKERS)
+        sample = keys(300)
+        ejected: set = set()
+        for worker, eject in self.SEQUENCE:
+            ejected.add(worker) if eject else ejected.discard(worker)
+            rebuilt = HashRing([w for w in self.WORKERS
+                                if w not in ejected])
+            for key in sample:
+                assert ring.route(key, exclude=ejected) == \
+                    rebuilt.route(key), (key, ejected)
+
+    def test_churn_routing_is_deterministic_on_replay(self):
+        sample = keys(200)
+
+        def replay():
+            ring = HashRing(self.WORKERS)
+            ejected: set = set()
+            trace = []
+            for worker, eject in self.SEQUENCE:
+                ejected.add(worker) if eject else ejected.discard(worker)
+                trace.append(tuple(ring.route(k, exclude=ejected)
+                                   for k in sample))
+            return trace
+
+        assert replay() == replay()
+
+    def test_readmitted_worker_gets_exactly_its_old_keys_back(self):
+        """Eject → re-admit is a routing no-op: the ring never forgot
+        the worker, so its keys return to it and nobody else moves."""
+        ring = HashRing(self.WORKERS)
+        sample = keys(500)
+        placement = {k: ring.route(k) for k in sample}
+        for key in sample:
+            ring.route(key, exclude={"w2"})  # churn while ejected
+        assert {k: ring.route(k) for k in sample} == placement
+
+    def test_keys_not_owned_by_ejected_workers_never_move(self):
+        ring = HashRing(self.WORKERS)
+        sample = keys(500)
+        placement = {k: ring.route(k) for k in sample}
+        ejected: set = set()
+        for worker, eject in self.SEQUENCE:
+            ejected.add(worker) if eject else ejected.discard(worker)
+            for key in sample:
+                if placement[key] not in ejected:
+                    assert ring.route(key, exclude=ejected) == \
+                        placement[key], (key, ejected)
+
+
 class TestBalance:
     def test_default_vnodes_keep_load_roughly_even(self):
         ring = HashRing(["w0", "w1", "w2", "w3"])

@@ -1,0 +1,220 @@
+"""Fleet health machinery: the timeline and the heartbeat prober.
+
+These are unit tests against a scripted fake fleet — no subprocesses —
+pinning the detection contract: ``max_missed`` consecutive missed
+probes eject a worker, one answered probe re-admits it, and both
+transitions land on the timeline exactly once per incident.
+"""
+
+import asyncio
+
+import repro.fleet.health as health_mod
+from repro.fleet.health import FleetTimeline, HealthMonitor
+from repro.fleet.rpc import WorkerGone
+
+
+class FakeLink:
+    """Answers ``__ping__`` from a mutable ``healthy`` flag."""
+
+    def __init__(self, worker_id):
+        self.worker_id = worker_id
+        self.healthy = True
+        self.probes = 0
+
+    async def call(self, request, *, timeout_s=None):
+        assert request["kind"] == "__ping__"
+        self.probes += 1
+        if not self.healthy:
+            raise WorkerGone(self.worker_id, "no reply (fake)")
+        return 200, {"ok": True, "worker": self.worker_id}
+
+
+class FakeFleet:
+    def __init__(self, worker_ids=("w0", "w1")):
+        self.links = {wid: FakeLink(wid) for wid in worker_ids}
+        self.timeline = FleetTimeline()
+        self._down = set()
+        self._restarting = set()
+
+    @property
+    def worker_ids(self):
+        return tuple(sorted(self.links))
+
+    @property
+    def down(self):
+        return frozenset(self._down)
+
+    def link(self, worker_id):
+        return self.links[worker_id]
+
+    def restarting(self, worker_id):
+        return worker_id in self._restarting
+
+    def eject(self, worker_id, *, reason=""):
+        if worker_id in self._down:
+            return
+        self._down.add(worker_id)
+        self.timeline.record("ejected", worker_id, detail=reason)
+
+    def readmit(self, worker_id, *, reason=""):
+        if worker_id not in self._down:
+            return
+        self._down.discard(worker_id)
+        self.timeline.record("readmitted", worker_id, detail=reason)
+
+
+def make_monitor(fleet, **overrides):
+    defaults = dict(interval_s=0.01, timeout_s=0.1, max_missed=2)
+    defaults.update(overrides)
+    return HealthMonitor(fleet, **defaults)
+
+
+class TestTimeline:
+    def test_events_are_sequenced_and_typed(self):
+        timeline = FleetTimeline()
+        timeline.record("fault-kill", "w1", at_s=1.0)
+        timeline.record("ejected", "w1", detail="probe missed")
+        events = timeline.events()
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].kind == "fault-kill"
+        assert events[0].at_s == 1.0
+        assert events[1].at_s is None
+        assert events[1].detail == "probe missed"
+
+    def test_normalized_groups_kinds_per_worker(self):
+        timeline = FleetTimeline()
+        timeline.record("fault-kill", "w1")
+        timeline.record("fault-hang", "w2")
+        timeline.record("ejected", "w1")
+        timeline.record("ejected", "w2")
+        timeline.record("readmitted", "w1")
+        assert timeline.normalized() == {
+            "w1": ("fault-kill", "ejected", "readmitted"),
+            "w2": ("fault-hang", "ejected"),
+        }
+
+    def test_normalized_strips_timing_so_replays_compare_equal(self):
+        a, b = FleetTimeline(), FleetTimeline()
+        a.record("ejected", "w0", detail="missed 2 probes")
+        b.record("ejected", "w0", detail="missed 3 probes")
+        assert a.normalized() == b.normalized()
+        assert a.events() != b.events()
+
+    def test_event_count_is_bounded(self):
+        timeline = FleetTimeline()
+        for i in range(health_mod._MAX_EVENTS + 10):
+            timeline.record("ejected", f"w{i}")
+        events = timeline.events()
+        assert len(events) == health_mod._MAX_EVENTS
+        # Oldest events fall off the front; sequence numbers keep going.
+        assert events[-1].seq == health_mod._MAX_EVENTS + 9
+
+    def test_to_dicts_round_trips_fields(self):
+        timeline = FleetTimeline()
+        timeline.record("fault-slow", "w0", at_s=6.0, detail="+0.05s")
+        (event,) = timeline.to_dicts()
+        assert event["kind"] == "fault-slow"
+        assert event["worker"] == "w0"
+        assert event["at_s"] == 6.0
+        assert event["detail"] == "+0.05s"
+
+
+class TestHealthMonitor:
+    def test_healthy_fleet_is_left_alone(self):
+        async def run():
+            fleet = FakeFleet()
+            monitor = make_monitor(fleet)
+            for _ in range(3):
+                await monitor.probe_all()
+            assert fleet.down == frozenset()
+            assert fleet.timeline.events() == ()
+
+        asyncio.run(run())
+
+    def test_ejection_needs_consecutive_misses(self):
+        async def run():
+            fleet = FakeFleet()
+            monitor = make_monitor(fleet, max_missed=2)
+            fleet.links["w1"].healthy = False
+            await monitor.probe_all()
+            assert fleet.down == frozenset()  # one miss is a blip
+            await monitor.probe_all()
+            assert fleet.down == {"w1"}
+            assert fleet.timeline.normalized() == {"w1": ("ejected",)}
+
+        asyncio.run(run())
+
+    def test_a_success_resets_the_miss_count(self):
+        async def run():
+            fleet = FakeFleet()
+            monitor = make_monitor(fleet, max_missed=2)
+            link = fleet.links["w1"]
+            link.healthy = False
+            await monitor.probe_all()  # miss 1
+            link.healthy = True
+            await monitor.probe_all()  # success resets
+            link.healthy = False
+            await monitor.probe_all()  # miss 1 again, not 2
+            assert fleet.down == frozenset()
+
+        asyncio.run(run())
+
+    def test_recovered_worker_is_readmitted(self):
+        async def run():
+            fleet = FakeFleet()
+            monitor = make_monitor(fleet)
+            link = fleet.links["w0"]
+            link.healthy = False
+            await monitor.probe_all()
+            await monitor.probe_all()
+            assert fleet.down == {"w0"}
+            link.healthy = True
+            await monitor.probe_all()
+            assert fleet.down == frozenset()
+            assert fleet.timeline.normalized() == {
+                "w0": ("ejected", "readmitted")}
+
+        asyncio.run(run())
+
+    def test_ejection_recorded_once_per_incident(self):
+        async def run():
+            fleet = FakeFleet()
+            monitor = make_monitor(fleet, max_missed=1)
+            fleet.links["w1"].healthy = False
+            for _ in range(4):  # stays down across many rounds
+                await monitor.probe_all()
+            assert fleet.timeline.normalized() == {"w1": ("ejected",)}
+
+        asyncio.run(run())
+
+    def test_restarting_worker_is_skipped(self):
+        async def run():
+            fleet = FakeFleet()
+            monitor = make_monitor(fleet, max_missed=1)
+            fleet.links["w1"].healthy = False
+            fleet._restarting.add("w1")
+            await monitor.probe_all()
+            assert fleet.down == frozenset()
+            assert fleet.links["w1"].probes == 0
+
+        asyncio.run(run())
+
+    def test_all_workers_probed_concurrently(self):
+        async def run():
+            fleet = FakeFleet(("w0", "w1", "w2"))
+            monitor = make_monitor(fleet)
+            await monitor.probe_all()
+            assert all(link.probes == 1
+                       for link in fleet.links.values())
+
+        asyncio.run(run())
+
+    def test_real_supervisor_surface_matches(self):
+        """The duck-typed surface HealthMonitor needs exists for real."""
+        from repro.fleet.supervisor import PlannerFleet
+
+        fleet = PlannerFleet()
+        for name in ("worker_ids", "down", "timeline"):
+            assert hasattr(fleet, name)
+        for name in ("link", "restarting", "eject", "readmit"):
+            assert callable(getattr(fleet, name))

@@ -1,0 +1,306 @@
+"""Client-side resilience: circuit breaker, retry budget, Retry-After.
+
+Unit tests drive :mod:`repro.service.resilience` with a fake clock;
+integration tests script ``PlannerClient._request_once`` (no sockets)
+and assert the request loop honors the three amplification bounds:
+shed hints pace the retry, the budget caps retries, and the breaker
+fails fast after consecutive dead cycles.
+"""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    FleetOverloadedError,
+    ServiceUnavailableError,
+    ValidationError,
+)
+from repro.service.client import PlannerClient
+from repro.service.planner import ServiceSaturatedError
+from repro.service.resilience import CircuitBreaker, RetryBudget
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **overrides):
+        defaults = dict(failure_threshold=3, reset_timeout_s=10.0,
+                        clock=clock)
+        defaults.update(overrides)
+        return CircuitBreaker(**defaults)
+
+    def test_stays_closed_below_threshold(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold_and_refuses(self):
+        breaker = self.make(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.remaining_s() == pytest.approx(10.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe slot
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # everyone else waits for the verdict
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_timeout(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert not breaker.allow()  # timeout restarted at probe failure
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+
+class TestRetryBudget:
+    def test_spend_draws_down_initial_funding(self):
+        budget = RetryBudget(ratio=0.1, initial=2.0)
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()  # dry
+
+    def test_deposits_refund_the_bucket(self):
+        budget = RetryBudget(ratio=0.5, initial=0.0)
+        assert not budget.spend()
+        for _ in range(2):
+            budget.deposit()
+        assert budget.spend()
+
+    def test_cap_bounds_the_bucket(self):
+        budget = RetryBudget(ratio=1.0, initial=0.0, cap=3.0)
+        for _ in range(100):
+            budget.deposit()
+        assert budget.tokens == 3.0
+
+    def test_ratio_bounds_retry_fraction_under_outage(self):
+        """1000 failing requests with ratio 0.1 get ~100 retries, not
+        1000 * (max_attempts - 1)."""
+        budget = RetryBudget(ratio=0.1, initial=0.0)
+        granted = 0
+        for _ in range(1000):
+            budget.deposit()
+            if budget.spend():
+                granted += 1
+        assert 90 <= granted <= 110
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryBudget(ratio=0.0)
+        with pytest.raises(ValidationError):
+            RetryBudget(cap=0.0)
+
+
+def make_client(outcomes, *, sleeps=None, **overrides):
+    """A client whose ``_request_once`` replays ``outcomes``.
+
+    Each outcome is an exception instance (raised) or a dict
+    (returned); sleeps are recorded instead of slept.
+    """
+    defaults = dict(max_attempts=3, retry_seed=7)
+    if sleeps is not None:
+        defaults["sleep"] = sleeps.append
+    defaults.update(overrides)
+    client = PlannerClient("127.0.0.1", 1, **defaults)
+    script = list(outcomes)
+    calls = {"n": 0}
+
+    def fake_request_once(method, path, body=None):
+        calls["n"] += 1
+        outcome = script.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = fake_request_once
+    client._calls = calls
+    return client
+
+
+def shed_error(retry_after_s=2.0):
+    exc = FleetOverloadedError("worker w0 at in-flight cap 4")
+    exc.retry_after_s = retry_after_s
+    return exc
+
+
+class TestRetryAfterHonored:
+    def test_shed_hint_floors_the_backoff(self):
+        sleeps = []
+        client = make_client([shed_error(2.0), {"ok": True}],
+                             sleeps=sleeps)
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+        assert sleeps == [client._retry_delay_s(1, shed_error(2.0))]
+        # The hint (2s) dominates the small exponential base (50ms).
+        assert sleeps[0] >= 2.0 * (1 - client.jitter_fraction / 2)
+        assert sleeps[0] > client._backoff_s(1)
+
+    def test_hinted_delay_is_deterministic(self):
+        def run():
+            sleeps = []
+            client = make_client([shed_error(), shed_error(),
+                                  {"ok": True}], sleeps=sleeps)
+            client._request("POST", "/v1/select", {})
+            return sleeps
+
+        assert run() == run()
+
+    def test_backoff_without_hint_is_unchanged(self):
+        sleeps = []
+        client = make_client(
+            [ServiceUnavailableError("draining", attempts=1),
+             {"ok": True}], sleeps=sleeps)
+        client._request("POST", "/v1/select", {})
+        assert sleeps == [client._backoff_s(1)]
+
+    def test_large_backoff_still_wins_over_small_hint(self):
+        sleeps = []
+        client = make_client([shed_error(0.001), {"ok": True}],
+                             sleeps=sleeps, backoff_base_s=1.0)
+        client._request("POST", "/v1/select", {})
+        assert sleeps[0] >= 1.0 * (1 - client.jitter_fraction / 2)
+
+
+class TestClientRetryBudget:
+    def test_dry_budget_stops_retries(self):
+        sleeps = []
+        client = make_client([shed_error()] * 3, sleeps=sleeps,
+                             max_attempts=3, retry_budget_ratio=0.1,
+                             retry_budget_initial=1.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            client._request("POST", "/v1/select", {})
+        # initial=1 token: first retry granted, second refused.
+        assert client._calls["n"] == 2
+        assert excinfo.value.attempts == 2
+        assert "retry budget exhausted" in str(excinfo.value)
+        assert len(sleeps) == 1
+
+    def test_healthy_traffic_replenishes_budget(self):
+        client = make_client([{"ok": True}] * 20 + [shed_error(),
+                                                    {"ok": True}],
+                             retry_budget_ratio=0.1,
+                             retry_budget_initial=0.0)
+        for _ in range(20):
+            client._request("GET", "/healthz")
+        # 20 deposits at 0.1 = 2 tokens: the retry is affordable.
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+
+    def test_zero_ratio_disables_the_budget(self):
+        client = make_client([shed_error(), {"ok": True}],
+                             retry_budget_ratio=0.0)
+        assert client.retry_budget is None
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+
+
+class TestClientCircuitBreaker:
+    def make_failing_client(self, cycles, clock, **overrides):
+        """Each cycle = max_attempts transient failures (one request)."""
+        defaults = dict(max_attempts=2, breaker_failures=2,
+                        breaker_reset_s=10.0, clock=clock,
+                        retry_budget_initial=100.0)
+        defaults.update(overrides)
+        return make_client([ConnectionError("refused")] * cycles * 2,
+                           **defaults)
+
+    def test_opens_after_consecutive_failed_cycles(self):
+        clock = FakeClock()
+        client = self.make_failing_client(2, clock)
+        for _ in range(2):
+            with pytest.raises(ServiceUnavailableError):
+                client._request("POST", "/v1/select", {})
+        with pytest.raises(CircuitOpenError) as excinfo:
+            client._request("POST", "/v1/select", {})
+        # The breaker fails locally: no further transport attempts.
+        assert client._calls["n"] == 4
+        assert excinfo.value.retry_after_s == pytest.approx(10.0)
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        client = make_client(
+            [ConnectionError("refused")] * 4 + [{"ok": True}] * 2,
+            max_attempts=2, breaker_failures=2, breaker_reset_s=10.0,
+            clock=clock, retry_budget_initial=100.0)
+        for _ in range(2):
+            with pytest.raises(ServiceUnavailableError):
+                client._request("POST", "/v1/select", {})
+        clock.advance(10.0)
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+        assert client.breaker.state == CircuitBreaker.CLOSED
+        assert client._request("POST", "/v1/select", {}) == {"ok": True}
+
+    def test_definitive_errors_count_as_service_alive(self):
+        clock = FakeClock()
+        client = make_client(
+            [ValidationError("bad app")] * 5, max_attempts=2,
+            breaker_failures=2, clock=clock)
+        for _ in range(5):
+            with pytest.raises(ValidationError):
+                client._request("POST", "/v1/select", {})
+        assert client.breaker.state == CircuitBreaker.CLOSED
+
+    def test_zero_threshold_disables_the_breaker(self):
+        client = make_client([ConnectionError("x")] * 10,
+                             max_attempts=1, breaker_failures=0)
+        assert client.breaker is None
+        for _ in range(10):
+            with pytest.raises(ServiceUnavailableError):
+                client._request("POST", "/v1/select", {})
+
+    def test_saturated_retry_path_still_surfaces_typed_original(self):
+        """The pre-existing max_attempts=1 contract survives the new
+        machinery: the typed 503 comes through, not a wrapper."""
+        client = make_client(
+            [ServiceSaturatedError("full", queue_depth=9,
+                                   max_queue_depth=8)], max_attempts=1)
+        with pytest.raises(ServiceSaturatedError):
+            client._request("POST", "/v1/select", {})
