@@ -49,6 +49,7 @@ __all__ = [
     "EvaluationCache",
     "IndexSnapshotEntry",
     "SweepCheckpoint",
+    "TraceEntry",
     "default_cache_dir",
     "evaluation_cache_key",
 ]
@@ -99,6 +100,18 @@ class CacheEntry:
     key: str
     space_size: int
     type_names: tuple[str, ...]
+    bytes_on_disk: int
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One stored loadgen request trace on disk."""
+
+    key: str
+    name: str
+    seed: int
+    requests: int
+    duration_s: float
     bytes_on_disk: int
 
 
@@ -669,15 +682,105 @@ class EvaluationCache:
             found.append((path.name[:-len(".sweep")], len(shards), size))
         return found
 
+    # -- loadgen traces --------------------------------------------------------
+
+    def _trace_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.trace.jsonl"
+
+    def _trace_meta_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.trace.meta.json"
+
+    def store_trace(self, jsonl: str, *, name: str, seed: int,
+                    requests: int, duration_s: float) -> str:
+        """Persist one loadgen trace document; returns its content key.
+
+        The key is the SHA-256 of the JSONL text itself, so a trace is
+        stored once no matter how often it is regenerated — the
+        determinism contract of :mod:`repro.loadgen.trace` made concrete.
+        Takes the serialized text rather than a ``Trace`` object to keep
+        this module free of upward imports (the cache sits below
+        ``repro.loadgen`` in the layering).
+
+        Write discipline matches evaluations: payload first (tmp + atomic
+        rename), the ``.trace.meta.json`` marker last.
+        """
+        key = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        target = self._trace_path(key)
+        tmp = target.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(jsonl, encoding="utf-8")
+        os.replace(tmp, target)
+        meta = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "kind": "trace",
+            "name": name,
+            "seed": int(seed),
+            "requests": int(requests),
+            "duration_s": float(duration_s),
+        }
+        meta_path = self._trace_meta_path(key)
+        tmp = meta_path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+        os.replace(tmp, meta_path)
+        return key
+
+    def load_trace(self, key: str) -> "str | None":
+        """The stored JSONL text for ``key`` (None when absent/invalid)."""
+        meta_path = self._trace_meta_path(key)
+        trace_path = self._trace_path(key)
+        if not (meta_path.is_file() and trace_path.is_file()):
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if meta.get("version") != _FORMAT_VERSION or meta.get("key") != key:
+            return None
+        return trace_path.read_text(encoding="utf-8")
+
+    def trace_entries(self) -> list[TraceEntry]:
+        """All valid stored traces currently on disk."""
+        found: list[TraceEntry] = []
+        if not self.cache_dir.is_dir():
+            return found
+        for meta_path in sorted(self.cache_dir.glob("*.trace.meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                key = meta["key"]
+                size = (self._trace_path(key).stat().st_size
+                        + meta_path.stat().st_size)
+                found.append(TraceEntry(
+                    key=key,
+                    name=str(meta.get("name", "trace")),
+                    seed=int(meta.get("seed", 0)),
+                    requests=int(meta["requests"]),
+                    duration_s=float(meta["duration_s"]),
+                    bytes_on_disk=size,
+                ))
+            except (OSError, ValueError, KeyError):
+                continue
+        return found
+
     # -- maintenance -----------------------------------------------------------
 
     def entries(self) -> list[CacheEntry]:
-        """All valid entries currently on disk."""
+        """All valid *evaluation* entries currently on disk.
+
+        Index snapshots and loadgen traces share the cache directory and
+        the ``.meta.json`` marker convention but are distinct artifact
+        kinds — both are filtered out here (and listed by
+        :meth:`index_snapshots` / :meth:`trace_entries` instead), so a
+        directory full of replay traces never inflates the evaluation
+        count ``cache info`` reports.
+        """
         found: list[CacheEntry] = []
         if not self.cache_dir.is_dir():
             return found
         for meta_path in sorted(self.cache_dir.glob("*.meta.json")):
             if ".index-b" in meta_path.name:  # index snapshots, not entries
+                continue
+            if ".trace." in meta_path.name:  # loadgen traces, not entries
                 continue
             try:
                 meta = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -701,10 +804,10 @@ class EvaluationCache:
         return sum(e.bytes_on_disk for e in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry, index snapshot and sweep checkpoint.
+        """Delete every entry, index snapshot, trace and sweep checkpoint.
 
-        Returns the number of evaluation entries removed (snapshots and
-        checkpoints are removed alongside, uncounted)."""
+        Returns the number of evaluation entries removed (snapshots,
+        traces and checkpoints are removed alongside, uncounted)."""
         removed = 0
         for entry in self.entries():
             for path in (self._meta_path(entry.key),
@@ -716,11 +819,12 @@ class EvaluationCache:
                     pass
             removed += 1
         if self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.index-b*"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in ("*.index-b*", "*.trace.*"):
+                for path in self.cache_dir.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
             for path in self.cache_dir.glob("*.sweep"):
                 shutil.rmtree(path, ignore_errors=True)
         return removed

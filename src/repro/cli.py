@@ -21,6 +21,9 @@ Subcommands mirror how a practitioner would use the system:
 * ``fleet`` — run the sharded multi-process planner fleet (an asyncio
   keep-alive front end consistent-hashing warm keys over N shard
   workers — see ``docs/ops.md``);
+* ``loadgen`` — generate seeded multi-tenant request traces, replay
+  them open-loop against a running service, and render replay reports
+  (see ``docs/loadgen.md``);
 * ``trace`` — summarize a ``--trace`` JSONL file or export it to the
   Chrome ``trace_event`` format (``chrome://tracing`` / Perfetto);
 * ``profile`` — render the per-phase ``CELIA_PROFILE=1`` cProfile
@@ -363,6 +366,73 @@ def build_parser() -> argparse.ArgumentParser:
                         "(frame-drop pattern)")
     f.add_argument("--list-chaos", action="store_true",
                    help="list the named fleet chaos scenarios and exit")
+
+    p = sub.add_parser("loadgen",
+                       help="seeded multi-tenant load generation, open-loop "
+                            "replay and replay reports")
+    lsub = p.add_subparsers(dest="loadgen_command", required=True)
+    lg = lsub.add_parser("generate",
+                         help="emit a deterministic JSONL request trace")
+    lg.add_argument("--tenants", type=int, default=6,
+                    help="number of tenants (Zipf-weighted, default 6)")
+    lg.add_argument("--duration", type=float, default=30.0,
+                    help="trace length in seconds (default 30)")
+    lg.add_argument("--rps", type=float, default=20.0,
+                    help="target aggregate request rate (default 20)")
+    lg.add_argument("--apps", default="galaxy,x264,sand",
+                    help="comma-separated app mix cycled across tenants")
+    lg.add_argument("--planner-seeds", default="0",
+                    help="comma-separated measurement seeds cycled across "
+                         "tenants (each (app, quota, seed) is one warm "
+                         "state)")
+    lg.add_argument("--trace-quota", type=int, default=2,
+                    help="catalog quota stamped on every request "
+                         "(default 2; match the serving fleet's --quota)")
+    lg.add_argument("--diurnal-amplitude", type=float, default=0.4,
+                    help="relative diurnal swing in [0, 1) (default 0.4)")
+    lg.add_argument("--diurnal-period", type=float, default=60.0,
+                    help="synthetic day length in seconds (default 60)")
+    lg.add_argument("--bursts-per-minute", type=float, default=1.0,
+                    help="expected burst episodes per tenant-minute")
+    lg.add_argument("--burst-multiplier", type=float, default=4.0,
+                    help="arrival-rate multiplier inside bursts")
+    lg.add_argument("--think-alpha", type=float, default=1.6,
+                    help="Pareto tail exponent for think times")
+    lg.add_argument("--name", default="loadgen",
+                    help="trace name recorded in the header")
+    lg.add_argument("--output", metavar="PATH",
+                    help="write the JSONL trace here ('-' for stdout; "
+                         "default: store in the evaluation cache and "
+                         "print the key)")
+    lg.add_argument("--json", action="store_true",
+                    help="print the trace summary as JSON")
+
+    lr = lsub.add_parser("replay",
+                         help="fire a trace open-loop at a running "
+                              "`celia serve` or `celia fleet serve`")
+    # dest avoids the global --trace observability flag (same namespace).
+    lr.add_argument("trace_input", metavar="trace",
+                    help="JSONL trace path or an evaluation-cache trace key")
+    lr.add_argument("--host", default="127.0.0.1")
+    lr.add_argument("--port", type=int, default=8337)
+    lr.add_argument("--time-scale", type=float, default=1.0,
+                    help="replay speed-up: 2.0 compresses trace time 2x "
+                         "(default 1.0)")
+    lr.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request response timeout in seconds")
+    lr.add_argument("--no-prewarm", action="store_true",
+                    help="skip the untimed warm-state priming pass "
+                         "(first contact then pays the state build)")
+    lr.add_argument("--output", metavar="PATH",
+                    help="write the replay report JSON here")
+    lr.add_argument("--json", action="store_true",
+                    help="print the replay report as JSON")
+
+    lp = lsub.add_parser("report",
+                         help="render a saved replay report")
+    lp.add_argument("report", help="replay report JSON path")
+    lp.add_argument("--json", action="store_true",
+                    help="print the report as JSON")
     return parser
 
 
@@ -757,8 +827,9 @@ def _cmd_cache(celia: Celia, args) -> int:
     entries = cache.entries()
     checkpoints = cache.sweep_checkpoints()
     snapshots = cache.index_snapshots()
+    traces = cache.trace_entries()
     print(f"cache directory: {cache.cache_dir}")
-    if not entries and not checkpoints and not snapshots:
+    if not entries and not checkpoints and not snapshots and not traces:
         print("no cached evaluations")
         return 0
     if entries:
@@ -781,6 +852,12 @@ def _cmd_cache(celia: Celia, args) -> int:
         for key, n_shards, size in checkpoints:
             print(f"  {key[:12]}: {n_shards} checkpointed span(s), "
                   f"{size:,} bytes")
+    if traces:
+        print("loadgen traces (replay with `celia loadgen replay KEY`):")
+        for t in traces:
+            print(f"  {t.key[:12]}: {t.name} seed {t.seed}, "
+                  f"{t.requests:,} request(s) over {t.duration_s:g}s, "
+                  f"{t.bytes_on_disk:,} bytes")
     return 0
 
 
@@ -903,6 +980,136 @@ def _cmd_fleet(celia: Celia, args) -> int:
     return 0
 
 
+def _load_trace_argument(raw: str, cache_dir, no_cache: bool):
+    """Resolve a replay's trace argument: file path first, cache key second."""
+    import os
+
+    from repro.cache import EvaluationCache
+    from repro.loadgen import Trace
+
+    if os.path.isfile(raw):
+        return Trace.read(raw)
+    if not no_cache:
+        cache = EvaluationCache(cache_dir)
+        text = cache.load_trace(raw)
+        if text is None:
+            # accept a unique key prefix (cache info prints key[:12])
+            matches = [e.key for e in cache.trace_entries()
+                       if e.key.startswith(raw)]
+            if len(matches) == 1:
+                text = cache.load_trace(matches[0])
+            elif len(matches) > 1:
+                raise SystemExit(
+                    f"trace key prefix {raw!r} is ambiguous "
+                    f"({len(matches)} matches)")
+        if text is not None:
+            return Trace.from_jsonl(text)
+    raise SystemExit(f"no trace file or cached trace key {raw!r}")
+
+
+def _cmd_loadgen(_celia: "Celia | None", args) -> int:
+    import asyncio
+
+    from repro.cache import EvaluationCache
+    from repro.loadgen import (ReplayReport, WorkloadConfig, check_invariants,
+                               generate_trace, prewarm, replay_trace)
+
+    if args.loadgen_command == "generate":
+        config = WorkloadConfig(
+            tenants=args.tenants,
+            duration_s=args.duration,
+            mean_rps=args.rps,
+            seed=args.seed,
+            apps=tuple(a for a in args.apps.split(",") if a),
+            quota=args.trace_quota,
+            planner_seeds=tuple(
+                int(s) for s in args.planner_seeds.split(",")),
+            diurnal_amplitude=args.diurnal_amplitude,
+            diurnal_period_s=args.diurnal_period,
+            bursts_per_minute=args.bursts_per_minute,
+            burst_multiplier=args.burst_multiplier,
+            think_alpha=args.think_alpha,
+            name=args.name,
+        )
+        trace = generate_trace(config)
+        text = trace.to_jsonl()
+        summary = {
+            "name": trace.name,
+            "seed": trace.seed,
+            "requests": len(trace),
+            "duration_s": trace.duration_s,
+            "offered_rps": trace.offered_rps(),
+            "tenants": list(trace.tenants),
+            "warm_keys": [list(k) for k in trace.warm_keys],
+        }
+        if args.output == "-":
+            sys.stdout.write(text)
+            return 0
+        if args.output:
+            trace.write(args.output)
+            summary["path"] = args.output
+        elif args.no_cache:
+            print("loadgen generate needs --output when the cache is "
+                  "disabled (--no-cache)", file=sys.stderr)
+            return 2
+        else:
+            cache = EvaluationCache(args.cache_dir)
+            summary["cache_key"] = cache.store_trace(
+                text, name=trace.name, seed=trace.seed,
+                requests=len(trace), duration_s=trace.duration_s)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"trace {trace.name}: {len(trace)} request(s) from "
+                  f"{len(trace.tenants)} tenant(s) over "
+                  f"{trace.duration_s:g}s "
+                  f"({trace.offered_rps():.1f} offered rps)")
+            if "path" in summary:
+                print(f"written to {summary['path']}")
+            else:
+                print(f"stored trace {summary['cache_key']} "
+                      f"(replay with `celia loadgen replay "
+                      f"{summary['cache_key'][:12]}`)")
+        return 0
+
+    if args.loadgen_command == "replay":
+        trace = _load_trace_argument(args.trace_input, args.cache_dir,
+                                     args.no_cache)
+
+        async def run():
+            if not args.no_prewarm:
+                statuses = await prewarm(trace, host=args.host,
+                                         port=args.port)
+                cold = {k: v for k, v in statuses.items() if v != 200}
+                if cold:
+                    print(f"warning: prewarm got non-200 for {cold}",
+                          file=sys.stderr)
+            return await replay_trace(
+                trace, host=args.host, port=args.port,
+                time_scale=args.time_scale, timeout_s=args.timeout)
+
+        report = ReplayReport.from_result(asyncio.run(run()))
+        if args.output:
+            report.save(args.output)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        problems = check_invariants(report)
+        if problems:
+            print("report invariant violations: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    report = ReplayReport.load(args.report)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "select": _cmd_select,
@@ -919,12 +1126,14 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
+    "loadgen": _cmd_loadgen,
 }
 
 #: Commands that never build the planning stack in this process — trace
-#: readers, and the fleet supervisor (each shard worker builds its own
-#: service) — so they dispatch without constructing a :class:`Celia`.
-_OFFLINE_COMMANDS = ("trace", "profile", "fleet")
+#: readers, the fleet supervisor (each shard worker builds its own
+#: service), and the load generator (it talks to a service over HTTP) —
+#: so they dispatch without constructing a :class:`Celia`.
+_OFFLINE_COMMANDS = ("trace", "profile", "fleet", "loadgen")
 
 
 def main(argv: list[str] | None = None) -> int:

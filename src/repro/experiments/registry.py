@@ -15,6 +15,7 @@ from collections.abc import Callable
 from repro.experiments import (
     ablations,
     adaptive_exp,
+    capacity_exp,
     figure2,
     figure3,
     figure4,
@@ -52,6 +53,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
                  "static vs closed-loop adaptive execution under chaos"),
     "spot": (spot_exp.run,
              "purchasing modes: on-demand vs all-spot vs mixed"),
+    "capacity": (capacity_exp.run,
+                 "fleet capacity: cheapest shard count meeting a p99 SLO"),
 }
 
 

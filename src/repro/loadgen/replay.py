@@ -1,0 +1,277 @@
+"""Open-loop trace replay against a planner service or fleet.
+
+The replayer fires every trace request at its *scheduled* timestamp, no
+matter how the previous requests fared — the open-loop discipline that
+avoids **coordinated omission**: a closed-loop client that waits for each
+response before sending the next one silently stops measuring exactly
+when the service stalls, and its percentiles flatter the server.  Here:
+
+* each request gets its own asyncio task woken at
+  ``start + arrival_s / time_scale``;
+* latency is measured from the request's *intended* arrival, so queueing
+  delay caused by a slow service (including scheduling lag in the
+  replayer itself, reported separately as ``lag_s``) stays in the
+  distribution;
+* one fresh connection per request — the measurement includes connection
+  acceptance, which is the first thing an overloaded accept loop drops.
+
+Responses are classified, never retried (a replay is a measurement, not
+a delivery guarantee):
+
+* ``ok`` — HTTP 200;
+* ``shed`` — typed admission-control rejections (``overloaded``,
+  ``too_many_requests``, ``saturated``, ``draining``): the protection
+  mechanism working as designed, counted apart from failures;
+* ``infeasible`` — HTTP 422 with the planner's typed infeasibility: the
+  service answered correctly, the demand point was outside the
+  deadline–budget region;
+* ``error`` — anything else (5xx, transport resets, timeouts).
+
+Per-tenant counters and latency histograms land in a
+:class:`repro.obs.MetricsRegistry` (``loadgen_*`` series with a
+``tenant`` label) so a replay exposes the same observability surface as
+the services it drives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.loadgen.trace import Trace, TraceRequest
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SHED_CODES",
+    "Observation",
+    "ReplayResult",
+    "replay_trace",
+    "replay_trace_sync",
+    "prewarm",
+]
+
+#: Typed error codes that mean "admission control declined", not "failed".
+SHED_CODES = frozenset({"overloaded", "too_many_requests", "saturated",
+                        "draining"})
+
+_STATUSES = ("ok", "shed", "infeasible", "error")
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """What happened to one trace request during a replay."""
+
+    request_id: int
+    tenant: str
+    arrival_s: float       # scheduled arrival (trace time)
+    status: str            # ok | shed | infeasible | error
+    http_status: int       # 0 on transport failure
+    code: str              # typed error code ("" for 200s)
+    latency_s: float       # intended arrival -> response (open-loop)
+    service_s: float       # actual send -> response
+    lag_s: float           # replayer scheduling lag (actual - intended send)
+    burst: bool
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One replay run: observations in request order plus run context."""
+
+    trace_name: str
+    trace_seed: int
+    duration_s: float
+    time_scale: float
+    wall_s: float
+    observations: tuple[Observation, ...]
+    peak_inflight: int
+    server_metrics: dict = field(default_factory=dict)
+
+    def counts(self) -> dict:
+        out = {status: 0 for status in _STATUSES}
+        for obs in self.observations:
+            out[obs.status] += 1
+        return out
+
+
+async def _post(host: str, port: int, path: str, body: dict,
+                timeout_s: float) -> tuple[int, bytes]:
+    payload = json.dumps(body).encode("utf-8")
+    frame = (f"POST {path} HTTP/1.1\r\nHost: loadgen\r\n"
+             f"Content-Type: application/json\r\n"
+             f"Content-Length: {len(payload)}\r\n"
+             f"Connection: close\r\n\r\n").encode("ascii") + payload
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(frame)
+        await writer.drain()
+        head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"),
+                                      timeout_s)
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        content_length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        body_bytes = (await asyncio.wait_for(
+            reader.readexactly(content_length), timeout_s)
+            if content_length else b"")
+        return status, body_bytes
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+def _classify(status: int, body: bytes) -> tuple[str, str]:
+    """Map an HTTP response to (replay status, typed code)."""
+    if status == 200:
+        return "ok", ""
+    code = ""
+    try:
+        code = json.loads(body)["error"]["code"]
+    except (ValueError, KeyError, TypeError):
+        pass
+    if code in SHED_CODES:
+        return "shed", code
+    if status == 422 or code == "infeasible":
+        return "infeasible", code or "infeasible"
+    return "error", code or f"http_{status}"
+
+
+async def _fetch_metrics(host: str, port: int, timeout_s: float) -> dict:
+    """Best-effort GET /metrics after the replay (empty dict on failure)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/1.1 200"):
+        return {}
+    try:
+        return json.loads(body)
+    except ValueError:
+        return {}
+
+
+async def replay_trace(trace: Trace, *, host: str = "127.0.0.1",
+                       port: int, time_scale: float = 1.0,
+                       timeout_s: float = 30.0,
+                       registry: "MetricsRegistry | None" = None,
+                       fetch_server_metrics: bool = True) -> ReplayResult:
+    """Replay ``trace`` open-loop and return every observation.
+
+    ``time_scale`` compresses trace time: 2.0 replays a 30 s trace in
+    15 s of wall time (arrival gaps shrink, offered rate doubles).
+    Latencies are always reported in wall seconds.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    registry = registry if registry is not None else MetricsRegistry()
+    loop = asyncio.get_running_loop()
+    inflight = 0
+    peak_inflight = 0
+    inflight_gauge = registry.gauge("loadgen_inflight")
+    # Small grace so the earliest tasks are all scheduled before t0.
+    t0 = loop.time() + 0.05
+    wall_start = time.perf_counter()
+
+    async def fire(request: TraceRequest) -> Observation:
+        nonlocal inflight, peak_inflight
+        intended = t0 + request.arrival_s / time_scale
+        delay = intended - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        send_at = loop.time()
+        lag = max(0.0, send_at - intended)
+        inflight += 1
+        peak_inflight = max(peak_inflight, inflight)
+        inflight_gauge.set(inflight)
+        try:
+            status, body = await _post(
+                host, port, f"/v1/{request.kind}", request.body(), timeout_s)
+            outcome, code = _classify(status, body)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            status, outcome, code = 0, "error", "connection"
+        except asyncio.TimeoutError:
+            status, outcome, code = 0, "error", "timeout"
+        finally:
+            inflight -= 1
+            inflight_gauge.set(inflight)
+        done = loop.time()
+        labels = {"tenant": request.tenant}
+        registry.counter("loadgen_requests_total",
+                         labels={**labels, "status": outcome}).increment()
+        if outcome == "ok":
+            registry.histogram("loadgen_latency_s",
+                               labels=labels).observe(done - intended)
+        return Observation(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            arrival_s=request.arrival_s,
+            status=outcome,
+            http_status=status,
+            code=code,
+            latency_s=done - intended,
+            service_s=done - send_at,
+            lag_s=lag,
+            burst=request.burst,
+        )
+
+    observations = await asyncio.gather(
+        *(fire(request) for request in trace.requests))
+    wall_s = time.perf_counter() - wall_start
+    server_metrics: dict = {}
+    if fetch_server_metrics:
+        try:
+            server_metrics = await _fetch_metrics(host, port, timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            server_metrics = {}
+    return ReplayResult(
+        trace_name=trace.name,
+        trace_seed=trace.seed,
+        duration_s=trace.duration_s,
+        time_scale=time_scale,
+        wall_s=wall_s,
+        observations=tuple(
+            sorted(observations, key=lambda obs: obs.request_id)),
+        peak_inflight=peak_inflight,
+        server_metrics=server_metrics,
+    )
+
+
+def replay_trace_sync(trace: Trace, **kwargs) -> ReplayResult:
+    """Blocking wrapper around :func:`replay_trace`."""
+    return asyncio.run(replay_trace(trace, **kwargs))
+
+
+async def prewarm(trace: Trace, *, host: str = "127.0.0.1", port: int,
+                  timeout_s: float = 120.0) -> dict:
+    """Send one untimed request per warm-state signature in the trace.
+
+    First contact with a cold ``(app, quota, seed)`` pays the sweep +
+    frontier build; replaying a trace without prewarming measures state
+    construction, not steady-state service.  Returns
+    ``{warm_key: http_status}`` — callers decide whether non-200s are
+    acceptable.
+    """
+    statuses: dict = {}
+    for app, quota, seed in trace.warm_keys:
+        first = next(r for r in trace.requests
+                     if r.warm_key() == (app, quota, seed))
+        status, _ = await _post(host, port, f"/v1/{first.kind}",
+                                first.body(), timeout_s)
+        statuses[f"{app}/q{quota}/s{seed}"] = status
+    return statuses

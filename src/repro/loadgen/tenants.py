@@ -1,0 +1,300 @@
+"""Seeded multi-tenant workload generation.
+
+Each tenant is an independent seeded stream (``derive_rng(seed, "loadgen",
+tenant)``), so adding or removing tenants never perturbs the others — the
+same keyed-stream discipline :mod:`repro.utils.rng` gives the simulator.
+
+The traffic model composes four classic ingredients:
+
+* **Session arrivals** follow a non-homogeneous Poisson process, sampled
+  by Lewis–Shedler thinning against the peak rate.  The instantaneous
+  rate is the tenant's base rate modulated by a *diurnal* sinusoid
+  (per-tenant phase) and multiplied during *burst episodes* (a seeded
+  Poisson process of exponentially-sized windows).
+* **Sessions** issue a geometric number of requests separated by
+  **heavy-tail Pareto think times** — the open-loop replayer preserves
+  these gaps regardless of service latency.
+* **Demand points** ``(n, a)`` are drawn log-uniformly from a per-app
+  feasibility envelope, so every request body is unique (result caches
+  cannot short-circuit a replay) yet stays inside the planner's feasible
+  region at the trace's quota.
+* **Tenant weights** are Zipf-skewed: a few heavy tenants dominate, a
+  long tail trickles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ValidationError
+from repro.loadgen.trace import Trace, TraceRequest, merge_sorted
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "APP_ENVELOPES",
+    "TenantProfile",
+    "WorkloadConfig",
+    "tenant_mix",
+    "generate_trace",
+]
+
+#: Per-app demand envelopes (n_lo, n_hi, a_lo, a_hi) known feasible at
+#: quota >= 2 under the default 48 h / $350 deadline-budget pair.
+APP_ENVELOPES: Mapping[str, tuple[float, float, float, float]] = {
+    "x264": (600.0, 1800.0, 1.0, 40.0),
+    "galaxy": (65536.0, 65536.0, 2000.0, 8000.0),
+    "sand": (4.0e6, 6.4e7, 0.04, 0.04),
+}
+
+#: Demand fields each paper app validates as integers (clip counts, mass
+#: counts, step counts, sequence counts); drawn values are rounded.
+_INTEGER_FIELDS: Mapping[str, tuple[str, ...]] = {
+    "x264": ("n",),
+    "galaxy": ("n", "a"),
+    "sand": ("n",),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TenantProfile:
+    """Static traffic identity of one tenant."""
+
+    tenant: str
+    app: str
+    quota: int
+    seed: int
+    request_rate_per_s: float
+    requests_per_session: float
+    diurnal_phase: float
+
+    def session_rate_per_s(self) -> float:
+        return self.request_rate_per_s / max(self.requests_per_session, 1.0)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the generator.  All stochastic choices derive from ``seed``."""
+
+    tenants: int = 6
+    duration_s: float = 30.0
+    mean_rps: float = 20.0
+    seed: int = 0
+    apps: tuple[str, ...] = ("galaxy", "x264", "sand")
+    quota: int = 2
+    #: Planner measurement seeds cycled across tenants; together with the
+    #: app this determines the warm-state signature each tenant hits.
+    planner_seeds: tuple[int, ...] = (0,)
+    #: Zipf exponent for the tenant weight distribution (0 = uniform).
+    tenant_skew: float = 1.1
+    #: Relative amplitude of the diurnal sinusoid, in [0, 1).
+    diurnal_amplitude: float = 0.4
+    #: One synthetic "day", compressed to trace scale.
+    diurnal_period_s: float = 60.0
+    #: Expected burst episodes per tenant per minute of trace.
+    bursts_per_minute: float = 1.0
+    #: Mean burst episode length (exponential).
+    burst_len_s: float = 3.0
+    #: Arrival-rate multiplier inside a burst episode.
+    burst_multiplier: float = 4.0
+    #: Mean requests per session (geometric).
+    requests_per_session: float = 4.0
+    #: Pareto tail exponent for think times (< 2 means infinite variance).
+    think_alpha: float = 1.6
+    #: Minimum think time between requests of one session.
+    think_min_s: float = 0.05
+    deadline_hours: float = 48.0
+    budget_dollars: float = 350.0
+    name: str = "loadgen"
+    envelopes: Mapping[str, tuple[float, float, float, float]] = field(
+        default_factory=lambda: dict(APP_ENVELOPES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValidationError("need at least one tenant")
+        if self.duration_s <= 0:
+            raise ValidationError("duration_s must be positive")
+        if self.mean_rps <= 0:
+            raise ValidationError("mean_rps must be positive")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValidationError("diurnal_amplitude must be in [0, 1)")
+        if self.burst_multiplier < 1:
+            raise ValidationError("burst_multiplier must be >= 1")
+        if self.think_alpha <= 1:
+            raise ValidationError("think_alpha must exceed 1 (finite mean)")
+        unknown = [a for a in self.apps if a not in self.envelopes]
+        if unknown:
+            raise ValidationError(
+                f"no demand envelope for apps {unknown}; "
+                f"known: {sorted(self.envelopes)}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable echo stored in the trace header."""
+        return {
+            "tenants": self.tenants,
+            "duration_s": float(self.duration_s),
+            "mean_rps": float(self.mean_rps),
+            "seed": int(self.seed),
+            "apps": list(self.apps),
+            "quota": int(self.quota),
+            "planner_seeds": list(self.planner_seeds),
+            "tenant_skew": float(self.tenant_skew),
+            "diurnal_amplitude": float(self.diurnal_amplitude),
+            "diurnal_period_s": float(self.diurnal_period_s),
+            "bursts_per_minute": float(self.bursts_per_minute),
+            "burst_len_s": float(self.burst_len_s),
+            "burst_multiplier": float(self.burst_multiplier),
+            "requests_per_session": float(self.requests_per_session),
+            "think_alpha": float(self.think_alpha),
+            "think_min_s": float(self.think_min_s),
+            "deadline_hours": float(self.deadline_hours),
+            "budget_dollars": float(self.budget_dollars),
+            "name": self.name,
+        }
+
+
+def tenant_mix(config: WorkloadConfig) -> tuple[TenantProfile, ...]:
+    """Deterministic tenant population for a config.
+
+    Tenant ``i`` gets Zipf weight ``1/(i+1)^skew`` of the aggregate
+    request rate, the ``i``-th app and planner seed round-robin, and a
+    seeded diurnal phase so tenants do not peak in lockstep.
+    """
+    weights = [1.0 / (i + 1) ** config.tenant_skew for i in range(config.tenants)]
+    total = sum(weights)
+    profiles = []
+    for i in range(config.tenants):
+        tenant = f"t{i:02d}"
+        rng = derive_rng(config.seed, "loadgen", "phase", tenant)
+        profiles.append(
+            TenantProfile(
+                tenant=tenant,
+                app=config.apps[i % len(config.apps)],
+                quota=config.quota,
+                seed=config.planner_seeds[i % len(config.planner_seeds)],
+                request_rate_per_s=config.mean_rps * weights[i] / total,
+                requests_per_session=config.requests_per_session,
+                diurnal_phase=float(rng.uniform(0.0, 2.0 * math.pi)),
+            )
+        )
+    return tuple(profiles)
+
+
+def _burst_episodes(
+    config: WorkloadConfig, rng
+) -> list[tuple[float, float]]:
+    """Seeded burst windows [(start, end), ...] within the trace."""
+    expected = config.bursts_per_minute * config.duration_s / 60.0
+    count = int(rng.poisson(expected))
+    if count == 0:
+        return []
+    starts = sorted(float(s) for s in rng.uniform(0.0, config.duration_s, size=count))
+    lengths = [float(x) for x in rng.exponential(config.burst_len_s, size=count)]
+    return [
+        (start, min(start + length, config.duration_s))
+        for start, length in zip(starts, lengths)
+    ]
+
+
+def _in_burst(t: float, episodes: list[tuple[float, float]]) -> bool:
+    return any(start <= t < end for start, end in episodes)
+
+
+def _rate_at(
+    t: float,
+    profile: TenantProfile,
+    config: WorkloadConfig,
+    episodes: list[tuple[float, float]],
+) -> float:
+    diurnal = 1.0 + config.diurnal_amplitude * math.sin(
+        2.0 * math.pi * t / config.diurnal_period_s + profile.diurnal_phase
+    )
+    rate = profile.session_rate_per_s() * diurnal
+    if _in_burst(t, episodes):
+        rate *= config.burst_multiplier
+    return rate
+
+
+def _think_time(rng, config: WorkloadConfig) -> float:
+    # Pareto via inverse CDF: heavy tail with exponent think_alpha.
+    u = float(rng.uniform(0.0, 1.0))
+    return config.think_min_s * (1.0 - u) ** (-1.0 / config.think_alpha)
+
+
+def _demand_point(rng, config: WorkloadConfig, app: str) -> tuple[float, float]:
+    n_lo, n_hi, a_lo, a_hi = config.envelopes[app]
+    integral = _INTEGER_FIELDS.get(app, ())
+
+    def log_uniform(lo: float, hi: float, field: str) -> float:
+        if lo == hi:
+            value = float(lo)
+        else:
+            value = float(math.exp(rng.uniform(math.log(lo), math.log(hi))))
+        if field in integral:
+            value = float(max(round(value), math.ceil(lo)))
+        return value
+
+    return log_uniform(n_lo, n_hi, "n"), log_uniform(a_lo, a_hi, "a")
+
+
+def _tenant_stream(
+    profile: TenantProfile, config: WorkloadConfig
+) -> list[TraceRequest]:
+    """All requests of one tenant, in arrival order (request_id unset)."""
+    rng = derive_rng(config.seed, "loadgen", "tenant", profile.tenant)
+    episodes = _burst_episodes(config, rng)
+    # Lewis–Shedler thinning: sample a homogeneous process at the peak
+    # rate, then keep each point with probability rate(t) / peak.
+    peak = (
+        profile.session_rate_per_s()
+        * (1.0 + config.diurnal_amplitude)
+        * config.burst_multiplier
+    )
+    requests: list[TraceRequest] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= config.duration_s:
+            break
+        if float(rng.uniform(0.0, 1.0)) * peak > _rate_at(t, profile, config, episodes):
+            continue
+        session_len = int(rng.geometric(1.0 / max(profile.requests_per_session, 1.0)))
+        arrival = t
+        in_burst = _in_burst(t, episodes)
+        for _ in range(session_len):
+            if arrival >= config.duration_s:
+                break
+            n, a = _demand_point(rng, config, profile.app)
+            requests.append(
+                TraceRequest(
+                    request_id=0,  # assigned after the global merge
+                    arrival_s=arrival,
+                    tenant=profile.tenant,
+                    app=profile.app,
+                    quota=profile.quota,
+                    seed=profile.seed,
+                    n=n,
+                    a=a,
+                    deadline_hours=config.deadline_hours,
+                    budget_dollars=config.budget_dollars,
+                    burst=in_burst,
+                )
+            )
+            arrival += _think_time(rng, config)
+    return requests
+
+
+def generate_trace(config: WorkloadConfig) -> Trace:
+    """Generate the full deterministic trace for a workload config."""
+    profiles = tenant_mix(config)
+    streams = [_tenant_stream(profile, config) for profile in profiles]
+    return Trace(
+        name=config.name,
+        seed=config.seed,
+        duration_s=config.duration_s,
+        requests=tuple(merge_sorted(streams)),
+        config=config.to_dict(),
+    )

@@ -1,0 +1,283 @@
+"""Reproducible multi-tenant request traces.
+
+A trace is an immutable, fully materialized sequence of planner requests
+with *open-loop* arrival timestamps: each record says when the request
+enters the system relative to trace start, independent of how fast the
+service answers.  Traces are the contract between the workload generator
+(:mod:`repro.loadgen.tenants`), the replayer (:mod:`repro.loadgen.replay`)
+and the capacity experiment — they serialize to JSONL so a trace generated
+once can be replayed against any deployment, diffed byte-for-byte, and
+content-addressed by the evaluation cache.
+
+Determinism contract: for a fixed generator config and seed the JSONL
+serialization is **byte-identical across processes**.  Every numeric field
+is a plain Python ``float``/``int`` (``repr``-based JSON encoding is exact
+and stable), records are emitted in sorted arrival order with a stable
+tie-break, and ``json.dumps(..., sort_keys=True)`` fixes key order.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "REQUEST_KINDS",
+    "TraceRequest",
+    "Trace",
+    "merge_sorted",
+]
+
+#: Bumped whenever the JSONL schema changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+_HEADER_KIND = "trace-header"
+
+#: Request kinds the replayer knows how to fire (service POST routes).
+REQUEST_KINDS = ("select", "predict")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRequest:
+    """One planner request at a scheduled arrival offset.
+
+    ``arrival_s`` is seconds since trace start; ``request_id`` is the dense
+    global arrival index (0..N-1) and doubles as the deterministic
+    tie-break for simultaneous arrivals.  ``(app, quota, seed)`` is the
+    warm-state signature the fleet routes on; ``(n, a)`` is the demand
+    point, unique per request so result caches cannot short-circuit the
+    replay.
+    """
+
+    request_id: int
+    arrival_s: float
+    tenant: str
+    app: str
+    quota: int
+    seed: int
+    n: float
+    a: float
+    deadline_hours: float
+    budget_dollars: float
+    kind: str = "select"
+    burst: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValidationError(
+                f"unknown request kind {self.kind!r}; choose from {REQUEST_KINDS}"
+            )
+        if self.arrival_s < 0:
+            raise ValidationError("arrival_s must be >= 0")
+
+    def body(self) -> dict:
+        """The JSON body POSTed to ``/v1/<kind>``."""
+        return {
+            "app": self.app,
+            "n": self.n,
+            "a": self.a,
+            "deadline_hours": self.deadline_hours,
+            "budget_dollars": self.budget_dollars,
+            "quota": self.quota,
+            "seed": self.seed,
+        }
+
+    def warm_key(self) -> tuple[str, int, int]:
+        """The warm-state signature the fleet shards on."""
+        return (self.app, self.quota, self.seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "arrival_s": float(self.arrival_s),
+            "tenant": self.tenant,
+            "app": self.app,
+            "quota": int(self.quota),
+            "seed": int(self.seed),
+            "n": float(self.n),
+            "a": float(self.a),
+            "deadline_hours": float(self.deadline_hours),
+            "budget_dollars": float(self.budget_dollars),
+            "kind": self.kind,
+            "burst": bool(self.burst),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TraceRequest":
+        try:
+            return cls(
+                request_id=int(payload["request_id"]),
+                arrival_s=float(payload["arrival_s"]),
+                tenant=str(payload["tenant"]),
+                app=str(payload["app"]),
+                quota=int(payload["quota"]),
+                seed=int(payload["seed"]),
+                n=float(payload["n"]),
+                a=float(payload["a"]),
+                deadline_hours=float(payload["deadline_hours"]),
+                budget_dollars=float(payload["budget_dollars"]),
+                kind=str(payload.get("kind", "select")),
+                burst=bool(payload.get("burst", False)),
+            )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise ValidationError(f"trace record missing field {exc}") from None
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered, validated request trace plus its generator provenance."""
+
+    name: str
+    seed: int
+    duration_s: float
+    requests: tuple[TraceRequest, ...]
+    config: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        object.__setattr__(self, "config", dict(self.config))
+        self.validate()
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted({r.tenant for r in self.requests}))
+
+    @property
+    def warm_keys(self) -> tuple[tuple[str, int, int], ...]:
+        return tuple(sorted({r.warm_key() for r in self.requests}))
+
+    def offered_rps(self) -> float:
+        """Mean offered request rate over the trace duration."""
+        if self.duration_s <= 0:
+            return 0.0
+        return len(self.requests) / self.duration_s
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` on any structural violation."""
+        if self.duration_s <= 0:
+            raise ValidationError("trace duration_s must be positive")
+        previous = -1.0
+        for index, request in enumerate(self.requests):
+            if request.request_id != index:
+                raise ValidationError(
+                    f"request_id {request.request_id} at position {index}: "
+                    "ids must be dense in arrival order"
+                )
+            if request.arrival_s < previous:
+                raise ValidationError(
+                    f"arrivals out of order at request {index}"
+                )
+            if request.arrival_s > self.duration_s:
+                raise ValidationError(
+                    f"request {index} arrives after trace end"
+                )
+            previous = request.arrival_s
+
+    # -- JSONL round-trip -------------------------------------------------
+
+    def header(self) -> dict:
+        return {
+            "kind": _HEADER_KIND,
+            "version": TRACE_FORMAT_VERSION,
+            "name": self.name,
+            "seed": int(self.seed),
+            "duration_s": float(self.duration_s),
+            "requests": len(self.requests),
+            "tenants": list(self.tenants),
+            "config": dict(self.config),
+        }
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(
+            json.dumps(request.to_dict(), sort_keys=True)
+            for request in self.requests
+        )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValidationError("empty trace document")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"bad trace header: {exc}") from None
+        if header.get("kind") != _HEADER_KIND:
+            raise ValidationError("first line is not a trace header")
+        version = header.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValidationError(
+                f"trace format version {version!r} unsupported "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        requests = tuple(
+            TraceRequest.from_dict(json.loads(line)) for line in lines[1:]
+        )
+        if len(requests) != int(header.get("requests", -1)):
+            raise ValidationError(
+                f"header promises {header.get('requests')} requests, "
+                f"document has {len(requests)}"
+            )
+        return cls(
+            name=str(header.get("name", "trace")),
+            seed=int(header.get("seed", 0)),
+            duration_s=float(header["duration_s"]),
+            requests=requests,
+            config=header.get("config", {}),
+        )
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "Trace":
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+def merge_sorted(streams: Iterable[Iterable[TraceRequest]]) -> list[TraceRequest]:
+    """Merge per-tenant request streams into global arrival order.
+
+    The tie-break (arrival, tenant, original position) is total and
+    deterministic, so the merged order — and therefore the assigned dense
+    ``request_id`` — never depends on dict/iteration order.
+    """
+    tagged = [
+        (request.arrival_s, request.tenant, position, request)
+        for stream in streams
+        for position, request in enumerate(stream)
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    merged = []
+    for index, (_, _, _, request) in enumerate(tagged):
+        merged.append(
+            TraceRequest(
+                request_id=index,
+                arrival_s=request.arrival_s,
+                tenant=request.tenant,
+                app=request.app,
+                quota=request.quota,
+                seed=request.seed,
+                n=request.n,
+                a=request.a,
+                deadline_hours=request.deadline_hours,
+                budget_dollars=request.budget_dollars,
+                kind=request.kind,
+                burst=request.burst,
+            )
+        )
+    return merged

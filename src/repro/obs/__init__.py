@@ -24,9 +24,9 @@ metric catalog, viewer walkthroughs).
 from repro.obs.export import (export_chrome_trace, read_trace, spans_only,
                               to_chrome_trace, trace_summary)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               global_registry, label_snapshot,
-                               merge_snapshots, render_text,
-                               reset_global_registry)
+                               global_registry, group_by_label,
+                               label_snapshot, merge_snapshots, parse_series,
+                               render_text, reset_global_registry)
 from repro.obs.profile import (PROFILE_ENV, ProfileStore, get_store,
                                profile_block, profiling_enabled, reset_store)
 from repro.obs.trace import (TRACE_ENV, Span, SpanContext, Tracer,
@@ -49,9 +49,11 @@ __all__ = [
     "get_store",
     "get_tracer",
     "global_registry",
+    "group_by_label",
     "label_snapshot",
     "make_span_record",
     "merge_snapshots",
+    "parse_series",
     "profile_block",
     "profiling_enabled",
     "read_trace",

@@ -45,9 +45,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_registry",
+    "group_by_label",
     "label_snapshot",
     "labeled_name",
     "merge_snapshots",
+    "parse_series",
     "render_text",
     "reset_global_registry",
 ]
@@ -240,6 +242,45 @@ def _parse_series(name: str) -> "tuple[str, dict[str, str]]":
         key, _, value = part.partition("=")
         labels[key] = value.strip('"')
     return base, labels
+
+
+def parse_series(name: str) -> "tuple[str, dict[str, str]]":
+    """Split a canonical series name back into ``(base, labels)``.
+
+    The public inverse of :func:`labeled_name`:
+
+    >>> parse_series('loadgen_requests_total{status="ok",tenant="t00"}')
+    ('loadgen_requests_total', {'status': 'ok', 'tenant': 't00'})
+    """
+    return _parse_series(name)
+
+
+def group_by_label(snapshot: dict, label: str) -> "dict[str, dict]":
+    """Split one snapshot into per-label-value sub-snapshots.
+
+    Series carrying ``label`` land in the sub-snapshot keyed by the
+    label's value, renamed without that label (remaining labels stay);
+    series without it are dropped.  This is how the load replayer turns a
+    flat registry snapshot with ``{tenant="t03"}`` series into the
+    per-tenant view the replay report prints:
+
+    >>> snap = {"counters": {'requests{tenant="a"}': 3, "other": 1},
+    ...         "gauges": {}, "histograms": {}}
+    >>> group_by_label(snap, "tenant")["a"]["counters"]
+    {'requests': 3}
+    """
+    grouped: dict[str, dict] = {}
+    for section in ("counters", "gauges", "histograms"):
+        for name, value in snapshot.get(section, {}).items():
+            base, labels = _parse_series(name)
+            if label not in labels:
+                continue
+            value_key = labels.pop(label)
+            sub = grouped.setdefault(
+                value_key, {"counters": {}, "gauges": {}, "histograms": {}}
+            )
+            sub[section][labeled_name(base, labels)] = value
+    return {key: grouped[key] for key in sorted(grouped)}
 
 
 def label_snapshot(snapshot: dict, labels: "dict[str, str]") -> dict:
